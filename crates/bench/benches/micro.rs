@@ -1,0 +1,135 @@
+//! Microbenchmarks of the Mether building blocks: address encoding, the
+//! wire codec, page-buffer operations, and the page-table state machine.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mether_core::{
+    Generation, HostId, MapMode, MetherConfig, PageBuf, PageId, PageLength, PageTable, Packet,
+    VAddr, View, Want,
+};
+use std::hint::black_box;
+
+fn bench_addr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addr");
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(VAddr::new(PageId::new(17), View::short_data(), 8).unwrap()))
+    });
+    let va = VAddr::new(PageId::new(17), View::short_data(), 8).unwrap();
+    g.bench_function("decode", |b| b.iter(|| black_box((va.page(), va.view(), va.offset()))));
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let req = Packet::PageRequest {
+        from: HostId(1),
+        page: PageId::new(5),
+        length: PageLength::Short,
+        want: Want::ReadOnly,
+    };
+    let short_data = Packet::PageData {
+        from: HostId(1),
+        page: PageId::new(5),
+        length: PageLength::Short,
+        generation: Generation(9),
+        transfer_to: None,
+        data: Bytes::from(vec![7u8; 32]),
+    };
+    let full_data = Packet::PageData {
+        from: HostId(1),
+        page: PageId::new(5),
+        length: PageLength::Full,
+        generation: Generation(9),
+        transfer_to: Some(HostId(2)),
+        data: Bytes::from(vec![7u8; 8192]),
+    };
+    g.bench_function("encode_request", |b| b.iter(|| black_box(req.encode())));
+    g.bench_function("encode_short_data", |b| b.iter(|| black_box(short_data.encode())));
+    g.bench_function("encode_full_data", |b| b.iter(|| black_box(full_data.encode())));
+    let enc = full_data.encode();
+    g.bench_function("decode_full_data", |b| b.iter(|| black_box(Packet::decode(&enc).unwrap())));
+    g.finish();
+}
+
+fn bench_pagebuf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pagebuf");
+    g.bench_function("install_short", |b| {
+        let data = [1u8; 32];
+        b.iter(|| black_box(PageBuf::from_network(&data)))
+    });
+    g.bench_function("install_full", |b| {
+        let data = vec![1u8; 8192];
+        b.iter(|| black_box(PageBuf::from_network(&data)))
+    });
+    g.bench_function("refresh_short_into_full", |b| {
+        let mut buf = PageBuf::new_zeroed();
+        let data = [1u8; 32];
+        b.iter(|| {
+            buf.refresh_from_network(&data);
+            black_box(buf.valid_len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_table");
+    g.bench_function("local_hit_access", |b| {
+        let mut t = PageTable::new(HostId(0), MetherConfig::new());
+        t.create_owned(PageId::new(0));
+        let mut fx = Vec::new();
+        b.iter(|| {
+            fx.clear();
+            black_box(
+                t.access(PageId::new(0), View::short_demand(), MapMode::Writeable, 1, &mut fx)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("fault_and_satisfy", |b| {
+        // One full demand-fault round trip between two tables.
+        b.iter(|| {
+            let mut holder = PageTable::new(HostId(0), MetherConfig::new());
+            let mut reader = PageTable::new(HostId(1), MetherConfig::new());
+            holder.create_owned(PageId::new(0));
+            let mut fx = Vec::new();
+            reader
+                .access(PageId::new(0), View::short_demand(), MapMode::ReadOnly, 1, &mut fx)
+                .unwrap();
+            let req = match fx.remove(0) {
+                mether_core::Effect::Send(p) => p,
+                other => panic!("{other:?}"),
+            };
+            holder.handle_packet(&req, &mut fx);
+            let data = match fx.remove(0) {
+                mether_core::Effect::Send(p) => p,
+                other => panic!("{other:?}"),
+            };
+            reader.handle_packet(&data, &mut fx);
+            black_box(reader.page_buf(PageId::new(0)).is_some())
+        })
+    });
+    g.bench_function("snoop_refresh", |b| {
+        let mut t = PageTable::new(HostId(1), MetherConfig::new());
+        let mut fx = Vec::new();
+        // Map the page so snoops install.
+        let _ = t.access(PageId::new(0), View::short_data(), MapMode::ReadOnly, 1, &mut fx);
+        let pkt = Packet::PageData {
+            from: HostId(0),
+            page: PageId::new(0),
+            length: PageLength::Short,
+            generation: Generation(1),
+            transfer_to: None,
+            data: Bytes::from(vec![1u8; 32]),
+        };
+        b.iter(|| {
+            fx.clear();
+            t.handle_packet(&pkt, &mut fx);
+            black_box(fx.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_addr, bench_wire, bench_pagebuf, bench_table);
+criterion_main!(benches);

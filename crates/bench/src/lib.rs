@@ -1,0 +1,1 @@
+//! Bench harness library (see bins and benches).

@@ -1,0 +1,404 @@
+//! The Mether virtual address space (the paper's Figure 2).
+//!
+//! "All of these operations are encoded in a few address bits in the Mether
+//! virtual address." A Mether address selects a page, an offset within it,
+//! and *how* the page is viewed:
+//!
+//! * one bit selects the **full** (8192-byte) or **short** (32-byte) view;
+//! * one bit selects **demand-driven** or **data-driven** faulting.
+//!
+//! Whether the mapping is the consistent (writeable) or an inconsistent
+//! (read-only) one is *not* an address bit: "The choice of the read-only
+//! space or the writeable space is chosen when the application maps the
+//! Mether address space in" (paper, Figure 2 notes). That choice is
+//! [`MapMode`].
+//!
+//! Bit layout of a [`VAddr`] (32 bits):
+//!
+//! ```text
+//!  31 30   29          28       27 ............ 13  12 ............. 0
+//! +-----+------------+-------+----------------------+-----------------+
+//! | rsv | DATA_DRIVEN| SHORT |     page number      |     offset      |
+//! +-----+------------+-------+----------------------+-----------------+
+//! ```
+//!
+//! The two reserved bits leave room for the paper's "four different page
+//! sizes — one more bit of address space" extension.
+
+use crate::config::{MAX_PAGES, PAGE_BITS, PAGE_SHIFT, PAGE_SIZE, SHORT_PAGE_SIZE};
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const SHORT_BIT: u32 = 1 << (PAGE_SHIFT + PAGE_BITS);
+const DATA_BIT: u32 = 1 << (PAGE_SHIFT + PAGE_BITS + 1);
+const OFFSET_MASK: u32 = (1 << PAGE_SHIFT) - 1;
+const PAGE_MASK: u32 = (MAX_PAGES - 1) << PAGE_SHIFT;
+
+/// Identifier of a Mether page (its page number in the shared address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(u32);
+
+impl PageId {
+    /// Creates a page id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not below [`MAX_PAGES`]; use [`PageId::try_new`] for
+    /// a fallible constructor.
+    pub fn new(n: u32) -> Self {
+        Self::try_new(n).expect("page number out of range")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAddress`] if `n >= MAX_PAGES`.
+    pub fn try_new(n: u32) -> Result<Self> {
+        if n >= MAX_PAGES {
+            return Err(Error::InvalidAddress {
+                reason: format!("page number {n} >= {MAX_PAGES}"),
+            });
+        }
+        Ok(PageId(n))
+    }
+
+    /// The raw page number.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// How much of a page a view transfers on a fault: the whole page, or only
+/// its first 32 bytes (a *short page*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageLength {
+    /// The full 8192-byte page.
+    Full,
+    /// The 32-byte short page overlaying the start of the full page.
+    Short,
+}
+
+impl PageLength {
+    /// The view length in bytes under the default configuration.
+    pub fn len(self) -> usize {
+        match self {
+            PageLength::Full => PAGE_SIZE,
+            PageLength::Short => SHORT_PAGE_SIZE,
+        }
+    }
+
+    /// True if the view is empty (never; present for `len`/`is_empty` parity).
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// True if `self` contains at least as many bytes as `other`.
+    ///
+    /// Used by the Figure 1 rules: a full page is the *superset* of its
+    /// short page.
+    pub fn covers(self, other: PageLength) -> bool {
+        self.len() >= other.len()
+    }
+}
+
+/// Whether a fault on the view actively requests the page over the network
+/// (demand) or passively waits for someone to broadcast it (data driven).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriveMode {
+    /// A fault broadcasts a page request; the consistent holder answers.
+    Demand,
+    /// A fault blocks silently until a copy of the page transits the network.
+    /// "Thus this form of page fault is completely passive."
+    Data,
+}
+
+/// One of the four views of a page selected by the two address bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct View {
+    /// Full or short.
+    pub length: PageLength,
+    /// Demand- or data-driven faulting.
+    pub drive: DriveMode,
+}
+
+impl View {
+    /// Creates a view from its two components.
+    pub fn new(length: PageLength, drive: DriveMode) -> Self {
+        Self { length, drive }
+    }
+
+    /// The demand-driven, full-page view (the classic DSM view).
+    pub fn full_demand() -> Self {
+        Self::new(PageLength::Full, DriveMode::Demand)
+    }
+
+    /// The demand-driven, short-page view.
+    pub fn short_demand() -> Self {
+        Self::new(PageLength::Short, DriveMode::Demand)
+    }
+
+    /// The data-driven, full-page view.
+    pub fn full_data() -> Self {
+        Self::new(PageLength::Full, DriveMode::Data)
+    }
+
+    /// The data-driven, short-page view (the final protocol's reader view).
+    pub fn short_data() -> Self {
+        Self::new(PageLength::Short, DriveMode::Data)
+    }
+
+    /// All four views, in a stable order.
+    pub fn all() -> [View; 4] {
+        [
+            Self::full_demand(),
+            Self::short_demand(),
+            Self::full_data(),
+            Self::short_data(),
+        ]
+    }
+}
+
+/// Whether an application mapped the consistent (writeable) space or the
+/// inconsistent (read-only) space.
+///
+/// "A process indicates its desired access by mapping the memory read-only
+/// or writeable. There is only ever one consistent copy of a page."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapMode {
+    /// Inconsistent, read-only mapping: cheap, possibly stale.
+    ReadOnly,
+    /// Consistent, writeable mapping: there is only ever one such copy.
+    Writeable,
+}
+
+/// A virtual address in the Mether space: page, view bits, and offset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VAddr(u32);
+
+impl VAddr {
+    /// Builds an address from its components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OffsetOutsideView`] if `offset` does not fit inside
+    /// the selected view (e.g. offset 40 of a short view), and
+    /// [`Error::InvalidAddress`] if it does not fit in a page at all.
+    pub fn new(page: PageId, view: View, offset: u32) -> Result<Self> {
+        if offset as usize >= PAGE_SIZE {
+            return Err(Error::InvalidAddress {
+                reason: format!("offset {offset} >= page size {PAGE_SIZE}"),
+            });
+        }
+        if offset as usize >= view.length.len() {
+            return Err(Error::OffsetOutsideView { offset, view_len: view.length.len() });
+        }
+        let mut raw = (page.0 << PAGE_SHIFT) | offset;
+        if view.length == PageLength::Short {
+            raw |= SHORT_BIT;
+        }
+        if view.drive == DriveMode::Data {
+            raw |= DATA_BIT;
+        }
+        Ok(VAddr(raw))
+    }
+
+    /// Reinterprets a raw 32-bit value as a Mether address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAddress`] if reserved bits are set or the
+    /// offset lies outside the encoded view.
+    pub fn from_raw(raw: u32) -> Result<Self> {
+        if raw & !(OFFSET_MASK | PAGE_MASK | SHORT_BIT | DATA_BIT) != 0 {
+            return Err(Error::InvalidAddress { reason: format!("reserved bits set in {raw:#x}") });
+        }
+        let va = VAddr(raw);
+        if va.offset() as usize >= va.view().length.len() {
+            return Err(Error::OffsetOutsideView {
+                offset: va.offset(),
+                view_len: va.view().length.len(),
+            });
+        }
+        Ok(va)
+    }
+
+    /// The raw 32-bit encoding.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The page this address refers to.
+    pub fn page(self) -> PageId {
+        PageId((self.0 & PAGE_MASK) >> PAGE_SHIFT)
+    }
+
+    /// The view encoded in the address bits.
+    pub fn view(self) -> View {
+        View {
+            length: if self.0 & SHORT_BIT != 0 { PageLength::Short } else { PageLength::Full },
+            drive: if self.0 & DATA_BIT != 0 { DriveMode::Data } else { DriveMode::Demand },
+        }
+    }
+
+    /// The byte offset within the page.
+    pub fn offset(self) -> u32 {
+        self.0 & OFFSET_MASK
+    }
+
+    /// The same location seen through a different view.
+    ///
+    /// "The address space for short pages completely overlays the address
+    /// space for full pages, which is how the short pages can share
+    /// variables with full pages."
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OffsetOutsideView`] if the offset does not fit in
+    /// the new view.
+    pub fn with_view(self, view: View) -> Result<Self> {
+        VAddr::new(self.page(), view, self.offset())
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.view();
+        write!(
+            f,
+            "VAddr(page={}, {:?}/{:?}, off={}, raw={:#x})",
+            self.page(),
+            v.length,
+            v.drive,
+            self.offset(),
+            self.0
+        )
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_components() {
+        for view in View::all() {
+            let va = VAddr::new(PageId::new(5), view, 8).unwrap();
+            assert_eq!(va.page(), PageId::new(5));
+            assert_eq!(va.view(), view);
+            assert_eq!(va.offset(), 8);
+        }
+    }
+
+    #[test]
+    fn short_and_full_views_overlay_same_page() {
+        let full = VAddr::new(PageId::new(3), View::full_demand(), 4).unwrap();
+        let short = full.with_view(View::short_demand()).unwrap();
+        assert_eq!(full.page(), short.page());
+        assert_eq!(full.offset(), short.offset());
+        assert_ne!(full.raw(), short.raw(), "views differ only in address bits");
+    }
+
+    #[test]
+    fn offset_outside_short_view_rejected() {
+        let err = VAddr::new(PageId::new(0), View::short_demand(), 32).unwrap_err();
+        assert_eq!(err, Error::OffsetOutsideView { offset: 32, view_len: 32 });
+        // ...but the same offset is fine in the full view.
+        assert!(VAddr::new(PageId::new(0), View::full_demand(), 32).is_ok());
+    }
+
+    #[test]
+    fn offset_outside_page_rejected() {
+        assert!(matches!(
+            VAddr::new(PageId::new(0), View::full_demand(), 8192),
+            Err(Error::InvalidAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn page_id_range_checked() {
+        assert!(PageId::try_new(MAX_PAGES - 1).is_ok());
+        assert!(PageId::try_new(MAX_PAGES).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "page number out of range")]
+    fn page_id_new_panics_out_of_range() {
+        let _ = PageId::new(MAX_PAGES);
+    }
+
+    #[test]
+    fn from_raw_rejects_reserved_bits() {
+        assert!(VAddr::from_raw(1 << 31).is_err());
+        assert!(VAddr::from_raw(1 << 30).is_err());
+    }
+
+    #[test]
+    fn from_raw_rejects_short_offset_overflow() {
+        // Raw value with SHORT bit and offset 100.
+        let raw = SHORT_BIT | 100;
+        assert!(VAddr::from_raw(raw).is_err());
+    }
+
+    #[test]
+    fn view_constructors_cover_all_bit_patterns() {
+        let raws: std::collections::HashSet<u32> = View::all()
+            .iter()
+            .map(|v| VAddr::new(PageId::new(1), *v, 0).unwrap().raw())
+            .collect();
+        assert_eq!(raws.len(), 4);
+    }
+
+    #[test]
+    fn covers_relation() {
+        assert!(PageLength::Full.covers(PageLength::Short));
+        assert!(PageLength::Full.covers(PageLength::Full));
+        assert!(!PageLength::Short.covers(PageLength::Full));
+        assert!(PageLength::Short.covers(PageLength::Short));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(page in 0u32..MAX_PAGES, off in 0u32..32, s in any::<bool>(), d in any::<bool>()) {
+            let view = View::new(
+                if s { PageLength::Short } else { PageLength::Full },
+                if d { DriveMode::Data } else { DriveMode::Demand },
+            );
+            let va = VAddr::new(PageId::new(page), view, off).unwrap();
+            prop_assert_eq!(va.page().index(), page);
+            prop_assert_eq!(va.view(), view);
+            prop_assert_eq!(va.offset(), off);
+            // raw round-trip
+            let back = VAddr::from_raw(va.raw()).unwrap();
+            prop_assert_eq!(back, va);
+        }
+
+        #[test]
+        fn prop_full_offsets(off in 0u32..8192) {
+            let va = VAddr::new(PageId::new(0), View::full_demand(), off).unwrap();
+            prop_assert_eq!(va.offset(), off);
+        }
+
+        #[test]
+        fn prop_distinct_pages_distinct_addrs(a in 0u32..MAX_PAGES, b in 0u32..MAX_PAGES) {
+            prop_assume!(a != b);
+            let va = VAddr::new(PageId::new(a), View::full_demand(), 0).unwrap();
+            let vb = VAddr::new(PageId::new(b), View::full_demand(), 0).unwrap();
+            prop_assert_ne!(va.raw(), vb.raw());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types shared by all Mether crates.
+
+use std::fmt;
+
+/// Convenience alias for results with [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by Mether protocol logic and the runtimes built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A virtual address had an out-of-range page number or offset.
+    InvalidAddress {
+        /// Human-readable description of which component was invalid.
+        reason: String,
+    },
+    /// An offset was outside the selected view (e.g. byte 100 of a short page).
+    OffsetOutsideView {
+        /// The offending offset.
+        offset: u32,
+        /// The length of the view in bytes.
+        view_len: usize,
+    },
+    /// A wire packet failed to decode.
+    Decode(String),
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+    /// A page lock could not be granted because a subset was absent
+    /// (Figure 1: "otherwise the lock fails and any non-present subsets are
+    /// marked wanted").
+    LockFailed {
+        /// The page on which the lock was attempted.
+        page: crate::PageId,
+    },
+    /// An operation required the consistent copy but this host does not
+    /// hold it.
+    NotConsistentHolder {
+        /// The page involved.
+        page: crate::PageId,
+    },
+    /// An operation was attempted through a read-only mapping that requires
+    /// a writeable mapping (or vice versa).
+    WrongMapMode {
+        /// What the operation needed.
+        needed: crate::MapMode,
+    },
+    /// A named segment or pipe was not found.
+    NotFound(String),
+    /// A capability check failed.
+    PermissionDenied(String),
+    /// The peer or cluster shut down while an operation was blocked.
+    Disconnected,
+    /// An operation timed out (runtimes only; the simulator never times out).
+    Timeout,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidAddress { reason } => write!(f, "invalid mether address: {reason}"),
+            Error::OffsetOutsideView { offset, view_len } => {
+                write!(f, "offset {offset} outside view of {view_len} bytes")
+            }
+            Error::Decode(msg) => write!(f, "packet decode failed: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::LockFailed { page } => write!(f, "lock failed on page {page}"),
+            Error::NotConsistentHolder { page } => {
+                write!(f, "host does not hold the consistent copy of page {page}")
+            }
+            Error::WrongMapMode { needed } => {
+                write!(f, "operation requires a {needed:?} mapping")
+            }
+            Error::NotFound(name) => write!(f, "no such segment or pipe: {name}"),
+            Error::PermissionDenied(what) => write!(f, "capability does not permit {what}"),
+            Error::Disconnected => write!(f, "peer disconnected"),
+            Error::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MapMode, PageId};
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs: Vec<Error> = vec![
+            Error::InvalidAddress { reason: "page 99999".into() },
+            Error::OffsetOutsideView { offset: 100, view_len: 32 },
+            Error::Decode("truncated".into()),
+            Error::InvalidConfig("bad".into()),
+            Error::LockFailed { page: PageId::new(3) },
+            Error::NotConsistentHolder { page: PageId::new(3) },
+            Error::WrongMapMode { needed: MapMode::Writeable },
+            Error::NotFound("pipe0".into()),
+            Error::PermissionDenied("write".into()),
+            Error::Disconnected,
+            Error::Timeout,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

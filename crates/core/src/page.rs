@@ -1,0 +1,301 @@
+//! Page storage: the bytes backing one Mether page on one host.
+
+use crate::config::PAGE_SIZE;
+use crate::{Error, PageLength, Result};
+use bytes::Bytes;
+use std::fmt;
+
+/// The backing store for one page on one host.
+///
+/// A `PageBuf` always reserves the full 8192 bytes, but tracks how many of
+/// them are *valid*: after a short-page fault only the first `short_len`
+/// bytes hold data from the network; the remainder is stale or zero. The
+/// Figure 1 rules call the short page the *subset* and the full page the
+/// *superset*; "pagein from the network: all subsets paged in, no supersets
+/// paged in" is expressed here as `valid_len`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PageBuf {
+    data: Box<[u8; PAGE_SIZE]>,
+    valid_len: usize,
+}
+
+impl PageBuf {
+    /// A zero-filled page with the full extent valid (a freshly created
+    /// page owned by its creator).
+    pub fn new_zeroed() -> Self {
+        Self { data: Box::new([0; PAGE_SIZE]), valid_len: PAGE_SIZE }
+    }
+
+    /// A page installed from `bytes` received off the network; only the
+    /// received prefix is valid.
+    pub fn from_network(bytes: &[u8]) -> Self {
+        let mut buf = Self::new_zeroed();
+        let n = bytes.len().min(PAGE_SIZE);
+        buf.data[..n].copy_from_slice(&bytes[..n]);
+        buf.valid_len = n;
+        buf
+    }
+
+    /// How many leading bytes hold real (network- or locally-written) data.
+    pub fn valid_len(&self) -> usize {
+        self.valid_len
+    }
+
+    /// True if the whole 8192-byte extent is valid (a *superset* presence
+    /// in Figure 1 terms).
+    pub fn full_valid(&self) -> bool {
+        self.valid_len == PAGE_SIZE
+    }
+
+    /// True if at least the first `len` bytes are valid.
+    pub fn covers(&self, len: usize) -> bool {
+        self.valid_len >= len
+    }
+
+    /// Merges bytes received from the network into this buffer, extending
+    /// the valid prefix if the transfer was longer than what we had.
+    ///
+    /// A short-page broadcast refreshes the first 32 bytes of an existing
+    /// full copy without invalidating the rest — the snoopy-refresh rule.
+    pub fn refresh_from_network(&mut self, bytes: &[u8]) {
+        let n = bytes.len().min(PAGE_SIZE);
+        self.data[..n].copy_from_slice(&bytes[..n]);
+        self.valid_len = self.valid_len.max(n);
+    }
+
+    /// Merges *superset* bytes under an authoritative local prefix: only
+    /// bytes beyond the current valid prefix are taken from `bytes`.
+    ///
+    /// Used when a host that holds the consistent copy of a short page
+    /// receives the full page from a host with an older full copy
+    /// (Figure 1's "supersets not present are marked wanted"): the local
+    /// short prefix carries newer writes and must win.
+    pub fn extend_from_network(&mut self, bytes: &[u8]) {
+        let n = bytes.len().min(PAGE_SIZE);
+        if n > self.valid_len {
+            self.data[self.valid_len..n].copy_from_slice(&bytes[self.valid_len..n]);
+            self.valid_len = n;
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OffsetOutsideView`] if the range extends past the
+    /// valid prefix.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        let end = offset.checked_add(buf.len()).ok_or(Error::OffsetOutsideView {
+            offset: offset as u32,
+            view_len: self.valid_len,
+        })?;
+        if end > self.valid_len {
+            return Err(Error::OffsetOutsideView {
+                offset: offset as u32,
+                view_len: self.valid_len,
+            });
+        }
+        buf.copy_from_slice(&self.data[offset..end]);
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OffsetOutsideView`] if the range extends past the
+    /// valid prefix (you cannot write through a short copy beyond its
+    /// extent).
+    pub fn write(&mut self, offset: usize, buf: &[u8]) -> Result<()> {
+        let end = offset.checked_add(buf.len()).ok_or(Error::OffsetOutsideView {
+            offset: offset as u32,
+            view_len: self.valid_len,
+        })?;
+        if end > self.valid_len {
+            return Err(Error::OffsetOutsideView {
+                offset: offset as u32,
+                view_len: self.valid_len,
+            });
+        }
+        self.data[offset..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PageBuf::read`] errors.
+    pub fn read_u32(&self, offset: usize) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read(offset, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PageBuf::write`] errors.
+    pub fn write_u32(&mut self, offset: usize, v: u32) -> Result<()> {
+        self.write(offset, &v.to_le_bytes())
+    }
+
+    /// The transfer payload for a view of `len`: the prefix of the page
+    /// that a `PageData` broadcast of that length carries.
+    ///
+    /// Short transfers carry the first `transfer_len` bytes; full transfers
+    /// the whole page. The returned [`Bytes`] is an owned copy, suitable
+    /// for handing to the network.
+    pub fn payload(&self, transfer_len: usize) -> Bytes {
+        let n = transfer_len.min(PAGE_SIZE);
+        Bytes::copy_from_slice(&self.data[..n])
+    }
+
+    /// The valid prefix as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[..self.valid_len]
+    }
+
+    /// Whether this buffer satisfies a fault of the given `length` view
+    /// under `short_len`-byte short pages.
+    pub fn satisfies(&self, length: PageLength, short_len: usize) -> bool {
+        match length {
+            PageLength::Full => self.full_valid(),
+            PageLength::Short => self.covers(short_len),
+        }
+    }
+}
+
+impl fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PageBuf(valid={}, head={:02x?})",
+            self.valid_len,
+            &self.data[..8.min(self.valid_len)]
+        )
+    }
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        Self::new_zeroed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeroed_page_is_fully_valid() {
+        let p = PageBuf::new_zeroed();
+        assert!(p.full_valid());
+        assert_eq!(p.read_u32(0).unwrap(), 0);
+        assert_eq!(p.read_u32(8188).unwrap(), 0);
+    }
+
+    #[test]
+    fn short_install_limits_valid_prefix() {
+        let p = PageBuf::from_network(&[1u8; 32]);
+        assert_eq!(p.valid_len(), 32);
+        assert!(!p.full_valid());
+        assert!(p.covers(32));
+        assert!(!p.covers(33));
+        assert!(p.read_u32(28).is_ok());
+        assert!(p.read_u32(29).is_err(), "crosses the valid prefix");
+    }
+
+    #[test]
+    fn refresh_extends_but_never_shrinks_valid_prefix() {
+        let mut p = PageBuf::from_network(&[1u8; 8192]);
+        assert!(p.full_valid());
+        // A short broadcast refreshes the head without shrinking validity.
+        p.refresh_from_network(&[2u8; 32]);
+        assert!(p.full_valid());
+        assert_eq!(p.read_u32(0).unwrap(), 0x0202_0202);
+        let mut tail = [0u8; 4];
+        p.read(100, &mut tail).unwrap();
+        assert_eq!(tail, [1, 1, 1, 1], "tail untouched by short refresh");
+    }
+
+    #[test]
+    fn extend_preserves_local_prefix() {
+        let mut p = PageBuf::from_network(&[9u8; 32]);
+        p.extend_from_network(&[1u8; 8192]);
+        assert!(p.full_valid());
+        let mut head = [0u8; 4];
+        p.read(0, &mut head).unwrap();
+        assert_eq!(head, [9, 9, 9, 9], "local prefix is authoritative");
+        let mut tail = [0u8; 4];
+        p.read(32, &mut tail).unwrap();
+        assert_eq!(tail, [1, 1, 1, 1], "tail adopted from the superset");
+    }
+
+    #[test]
+    fn extend_with_shorter_data_is_noop() {
+        let mut p = PageBuf::from_network(&[9u8; 64]);
+        p.extend_from_network(&[1u8; 32]);
+        assert_eq!(p.valid_len(), 64);
+        assert_eq!(p.as_slice(), &[9u8; 64][..]);
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut p = PageBuf::new_zeroed();
+        p.write_u32(16, 0xdead_beef).unwrap();
+        assert_eq!(p.read_u32(16).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn payload_lengths() {
+        let mut p = PageBuf::new_zeroed();
+        p.write_u32(0, 7).unwrap();
+        assert_eq!(p.payload(32).len(), 32);
+        assert_eq!(p.payload(8192).len(), 8192);
+        assert_eq!(&p.payload(32)[..4], &7u32.to_le_bytes());
+    }
+
+    #[test]
+    fn satisfies_view_lengths() {
+        let short = PageBuf::from_network(&[0u8; 32]);
+        assert!(short.satisfies(PageLength::Short, 32));
+        assert!(!short.satisfies(PageLength::Full, 32));
+        let full = PageBuf::new_zeroed();
+        assert!(full.satisfies(PageLength::Full, 32));
+        assert!(full.satisfies(PageLength::Short, 32));
+    }
+
+    #[test]
+    fn out_of_range_write_rejected() {
+        let mut p = PageBuf::new_zeroed();
+        assert!(p.write(8190, &[0u8; 4]).is_err());
+        assert!(p.write(usize::MAX, &[0u8; 4]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_write_read_identity(off in 0usize..8188, v in any::<u32>()) {
+            let mut p = PageBuf::new_zeroed();
+            p.write_u32(off, v).unwrap();
+            prop_assert_eq!(p.read_u32(off).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_install_prefix_matches(len in 1usize..8192) {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let p = PageBuf::from_network(&data);
+            prop_assert_eq!(p.valid_len(), len);
+            prop_assert_eq!(p.as_slice(), &data[..]);
+        }
+
+        #[test]
+        fn prop_refresh_monotone_validity(a in 1usize..8192, b in 1usize..8192) {
+            let mut p = PageBuf::from_network(&vec![1u8; a]);
+            p.refresh_from_network(&vec![2u8; b]);
+            prop_assert_eq!(p.valid_len(), a.max(b));
+        }
+    }
+}

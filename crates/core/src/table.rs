@@ -1,0 +1,1264 @@
+//! The per-host Mether page table and protocol state machine.
+//!
+//! A [`PageTable`] holds one host's view of every Mether page: the local
+//! copy (if any), whether this host holds *the* consistent copy, the lock
+//! and purge-pending bits, and the processes blocked on the page. It is
+//! pure logic: callers feed it accesses, purges, and packets, and it
+//! returns [`Effect`]s (packets to send, waiters to wake, work for the
+//! user-level server). Both the discrete-event simulator and the threaded
+//! runtime drive this same state machine, so protocol behaviour cannot
+//! diverge between them.
+//!
+//! Protocol summary (paper §3):
+//!
+//! * There is only ever **one consistent copy** of a page. Writes (and any
+//!   access through a writeable mapping) require it; acquiring it moves the
+//!   copy, not just write permission.
+//! * Read-only mappings see **inconsistent** copies: present copies are
+//!   returned however stale they are. Absent copies fault.
+//! * A **demand-driven** fault broadcasts a [`Packet::PageRequest`]; a
+//!   **data-driven** fault blocks silently until the page transits the
+//!   network.
+//! * **PURGE** on a read-only mapping invalidates the local copy. PURGE on
+//!   a writeable mapping sets *purge pending*; the server broadcasts a
+//!   read-only copy and then issues **DO-PURGE**, which clears the bit and
+//!   wakes the purger.
+//! * Every server **snoops**: any `PageData` on the wire refreshes the
+//!   local inconsistent copy and wakes data-driven waiters.
+
+use crate::rules::Presence;
+use crate::{
+    DriveMode, Error, Generation, HostId, MapMode, MetherConfig, PageBuf, PageId, PageLength,
+    Packet, Result, View, Want,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Token identifying a blocked process; opaque to the page table. The
+/// embedding runtime maps it back to a process/thread.
+pub type WaiterId = u64;
+
+/// The kind of fault a blocked access is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Demand-driven read fault: a request was broadcast.
+    DemandFetch,
+    /// Data-driven fault: waiting passively for a broadcast.
+    DataWait,
+    /// Waiting for the consistent copy to arrive.
+    ConsistentFetch,
+    /// Waiting for the server to complete a purge of a writeable page.
+    PurgeWait,
+}
+
+/// Result of attempting an access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access may proceed against the local copy right now.
+    Ready,
+    /// The process must block; the accompanying effects say what was set
+    /// in motion.
+    Blocked(FaultKind),
+}
+
+/// Side effects the embedding runtime must carry out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// Transmit this packet (broadcast).
+    Send(Packet),
+    /// Wake this blocked process; its access can be retried.
+    Wake(WaiterId),
+    /// The purge-pending bit was set: the user-level server must broadcast
+    /// a read-only copy of the page and then call
+    /// [`PageTable::do_purge`]. (The paper's PURGE → server → DO-PURGE
+    /// handshake.)
+    ServerPurge(PageId),
+    /// This host just became the consistent holder of the page.
+    ConsistentArrived(PageId),
+}
+
+/// Per-page protocol state on one host.
+#[derive(Debug, Clone)]
+struct PageEntry {
+    /// Local copy, if any. `None` = absent/invalid.
+    buf: Option<PageBuf>,
+    /// Generation of the local copy.
+    generation: Generation,
+    /// True if this host holds the consistent copy.
+    consistent: bool,
+    /// Lock count (Figure 1 "lock" row); only meaningful on the holder.
+    locked: bool,
+    /// Purge of the writeable page requested; server must act.
+    purge_pending: bool,
+    /// Waiter blocked purging (woken by DO-PURGE).
+    purge_waiter: Option<WaiterId>,
+    /// Processes blocked on demand faults, with the view length each needs.
+    demand_waiters: Vec<(WaiterId, PageLength, Want)>,
+    /// Processes blocked on data-driven faults.
+    data_waiters: Vec<WaiterId>,
+    /// True if a request for this page is outstanding from this host
+    /// (suppresses duplicate requests).
+    requested: Option<Want>,
+    /// Consistent-copy requests that arrived while the page was locked;
+    /// satisfied at unlock, in arrival order.
+    deferred_transfers: Vec<(HostId, PageLength)>,
+    /// A process on this host has mapped the page (accessed it at least
+    /// once). Mapped pages are installed from snooped broadcasts even
+    /// with no copy and no waiter — this closes the purge → data-block
+    /// window: a broadcast that transits in between still lands, so the
+    /// subsequent data-driven access hits instead of sleeping forever.
+    mapped: bool,
+}
+
+impl PageEntry {
+    fn new() -> Self {
+        PageEntry {
+            buf: None,
+            generation: Generation::zero(),
+            consistent: false,
+            locked: false,
+            purge_pending: false,
+            purge_waiter: None,
+            demand_waiters: Vec::new(),
+            data_waiters: Vec::new(),
+            requested: None,
+            deferred_transfers: Vec::new(),
+            mapped: false,
+        }
+    }
+
+    fn presence(&self, short_len: usize) -> Presence {
+        Presence::from_valid_len(self.buf.as_ref().map(PageBuf::valid_len), short_len)
+    }
+}
+
+/// One host's Mether page table (kernel-driver state).
+pub struct PageTable {
+    host: HostId,
+    cfg: MetherConfig,
+    pages: HashMap<PageId, PageEntry>,
+    stats: TableStats,
+}
+
+/// Counters the simulator and runtime surface as metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Demand faults taken (request broadcast).
+    pub demand_faults: u64,
+    /// Data-driven faults taken (silent block).
+    pub data_faults: u64,
+    /// Consistent-copy fetches initiated.
+    pub consistent_faults: u64,
+    /// Purges of read-only mappings (local invalidate).
+    pub ro_purges: u64,
+    /// Purges of writeable mappings (broadcast + DO-PURGE).
+    pub rw_purges: u64,
+    /// Packets snooped that refreshed a local copy.
+    pub snoop_refreshes: u64,
+}
+
+impl PageTable {
+    /// Creates an empty table for `host`.
+    pub fn new(host: HostId, cfg: MetherConfig) -> Self {
+        PageTable { host, cfg, pages: HashMap::new(), stats: TableStats::default() }
+    }
+
+    /// The host this table belongs to.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MetherConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Seeds `page` as created on this host: a zeroed, fully valid page
+    /// whose consistent copy lives here. Used at segment-creation time.
+    pub fn create_owned(&mut self, page: PageId) {
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        e.buf = Some(PageBuf::new_zeroed());
+        e.consistent = true;
+        e.generation = Generation::zero();
+    }
+
+    /// Does this host currently hold the consistent copy of `page`?
+    pub fn is_consistent_holder(&self, page: PageId) -> bool {
+        self.pages.get(&page).is_some_and(|e| e.consistent)
+    }
+
+    /// The generation of the local copy (zero if absent).
+    pub fn generation(&self, page: PageId) -> Generation {
+        self.pages.get(&page).map_or(Generation::zero(), |e| e.generation)
+    }
+
+    /// Immutable view of the local copy of `page`, if present.
+    pub fn page_buf(&self, page: PageId) -> Option<&PageBuf> {
+        self.pages.get(&page).and_then(|e| e.buf.as_ref())
+    }
+
+    /// Mutable view of the local copy of `page`, if present.
+    ///
+    /// Callers must only mutate pages they verified are consistent-held
+    /// (an [`AccessOutcome::Ready`] from a writeable access).
+    pub fn page_buf_mut(&mut self, page: PageId) -> Option<&mut PageBuf> {
+        self.pages.get_mut(&page).and_then(|e| e.buf.as_mut())
+    }
+
+    /// Attempts an access to `page` through `view` under `mode`.
+    ///
+    /// On [`AccessOutcome::Ready`], the caller may read (and for
+    /// [`MapMode::Writeable`], write) the local copy via
+    /// [`PageTable::page_buf`] / [`PageTable::page_buf_mut`]. On
+    /// [`AccessOutcome::Blocked`], the caller must block `waiter` until a
+    /// [`Effect::Wake`] names it, then retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongMapMode`] for a writeable access through a
+    /// data-driven view ("the data driven view is by definition read-only").
+    pub fn access(
+        &mut self,
+        page: PageId,
+        view: View,
+        mode: MapMode,
+        waiter: WaiterId,
+        effects: &mut Vec<Effect>,
+    ) -> Result<AccessOutcome> {
+        if mode == MapMode::Writeable && view.drive == DriveMode::Data {
+            return Err(Error::WrongMapMode { needed: MapMode::ReadOnly });
+        }
+        let short_len = self.cfg.short_len;
+        let host = self.host;
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        e.mapped = true;
+        match mode {
+            MapMode::Writeable => {
+                // Access through the consistent space: needs the consistent
+                // copy here, covering the view.
+                if e.consistent && e.presence(short_len).satisfies_fault(view.length) {
+                    return Ok(AccessOutcome::Ready);
+                }
+                // Fault (demand only; data-driven writes were rejected
+                // above). Two cases: we lack consistency entirely, or we
+                // hold it as a short prefix and the full view faulted —
+                // Figure 1's "supersets not present are marked wanted".
+                let want = if e.consistent { Want::Superset } else { Want::Consistent };
+                self.stats.consistent_faults += 1;
+                e.demand_waiters.push((waiter, view.length, want));
+                if e.requested != Some(want) {
+                    e.requested = Some(want);
+                    effects.push(Effect::Send(Packet::PageRequest {
+                        from: host,
+                        page,
+                        length: view.length,
+                        want,
+                    }));
+                }
+                Ok(AccessOutcome::Blocked(FaultKind::ConsistentFetch))
+            }
+            MapMode::ReadOnly => {
+                // Inconsistent space: any present copy satisfies, however
+                // stale.
+                if e.presence(short_len).satisfies_fault(view.length) {
+                    return Ok(AccessOutcome::Ready);
+                }
+                match view.drive {
+                    DriveMode::Demand => {
+                        self.stats.demand_faults += 1;
+                        e.demand_waiters.push((waiter, view.length, Want::ReadOnly));
+                        if e.requested.is_none() {
+                            e.requested = Some(Want::ReadOnly);
+                            effects.push(Effect::Send(Packet::PageRequest {
+                                from: host,
+                                page,
+                                length: view.length,
+                                want: Want::ReadOnly,
+                            }));
+                        }
+                        Ok(AccessOutcome::Blocked(FaultKind::DemandFetch))
+                    }
+                    DriveMode::Data => {
+                        // "the server does not send out a request. Some
+                        // other process must actively send out an update."
+                        self.stats.data_faults += 1;
+                        e.data_waiters.push(waiter);
+                        Ok(AccessOutcome::Blocked(FaultKind::DataWait))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Purges `page` through a mapping of `mode`.
+    ///
+    /// * Read-only: invalidates the local copy immediately (unless this
+    ///   host holds the consistent copy, in which case the inconsistent
+    ///   view shares the consistent storage and there is nothing separate
+    ///   to purge — the purge is a no-op). Returns `Ready`.
+    /// * Writeable: sets purge-pending, emits [`Effect::ServerPurge`];
+    ///   the purger must block until DO-PURGE. Returns
+    ///   `Blocked(PurgeWait)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotConsistentHolder`] for a writeable purge by a
+    /// host that does not hold the consistent copy.
+    pub fn purge(
+        &mut self,
+        page: PageId,
+        mode: MapMode,
+        waiter: WaiterId,
+        effects: &mut Vec<Effect>,
+    ) -> Result<AccessOutcome> {
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        match mode {
+            MapMode::ReadOnly => {
+                self.stats.ro_purges += 1;
+                if !e.consistent {
+                    // Figure 1 "purge": all consistent subsets purged;
+                    // supersets not affected — dropping the whole local
+                    // copy drops every subset view of it.
+                    e.buf = None;
+                }
+                Ok(AccessOutcome::Ready)
+            }
+            MapMode::Writeable => {
+                if !e.consistent {
+                    return Err(Error::NotConsistentHolder { page });
+                }
+                self.stats.rw_purges += 1;
+                e.purge_pending = true;
+                e.purge_waiter = Some(waiter);
+                effects.push(Effect::ServerPurge(page));
+                Ok(AccessOutcome::Blocked(FaultKind::PurgeWait))
+            }
+        }
+    }
+
+    /// Builds the broadcast the server sends to satisfy a pending purge of
+    /// `page` (a read-only copy of the page). Bumps the generation: each
+    /// purge broadcast publishes a new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotConsistentHolder`] if the page is not held
+    /// consistent here or no purge is pending.
+    pub fn server_purge_broadcast(&mut self, page: PageId, length: PageLength) -> Result<Packet> {
+        let short_len = self.cfg.short_len;
+        let host = self.host;
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        if !e.consistent || !e.purge_pending {
+            return Err(Error::NotConsistentHolder { page });
+        }
+        let buf = e.buf.as_ref().ok_or(Error::NotConsistentHolder { page })?;
+        e.generation = e.generation.next();
+        let transfer_len = match length {
+            PageLength::Full => crate::PAGE_SIZE,
+            PageLength::Short => short_len,
+        };
+        Ok(Packet::PageData {
+            from: host,
+            page,
+            length,
+            generation: e.generation,
+            transfer_to: None,
+            data: buf.payload(transfer_len),
+        })
+    }
+
+    /// DO-PURGE: the server acknowledges that the purge broadcast went
+    /// out. Clears purge-pending and wakes the blocked purger.
+    pub fn do_purge(&mut self, page: PageId, effects: &mut Vec<Effect>) {
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        if e.purge_pending {
+            e.purge_pending = false;
+            if let Some(w) = e.purge_waiter.take() {
+                effects.push(Effect::Wake(w));
+            }
+        }
+    }
+
+    /// True if a purge is pending on `page` (the server has work to do).
+    pub fn purge_pending(&self, page: PageId) -> bool {
+        self.pages.get(&page).is_some_and(|e| e.purge_pending)
+    }
+
+    /// Locks `page` into this host's address space (Figure 1 "lock" row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LockFailed`] if the consistent copy (with all its
+    /// subsets) is not present here — per Figure 1 the missing pieces are
+    /// marked wanted, which in this implementation means the caller should
+    /// fault them in with [`PageTable::access`] first.
+    pub fn lock(&mut self, page: PageId, length: PageLength) -> Result<()> {
+        let short_len = self.cfg.short_len;
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        if !e.consistent || !e.presence(short_len).satisfies_lock(length) {
+            return Err(Error::LockFailed { page });
+        }
+        e.locked = true;
+        Ok(())
+    }
+
+    /// Unlocks `page`, releasing any consistent-copy transfers that were
+    /// deferred while the lock was held.
+    pub fn unlock(&mut self, page: PageId, effects: &mut Vec<Effect>) {
+        let deferred = {
+            let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+            e.locked = false;
+            std::mem::take(&mut e.deferred_transfers)
+        };
+        for (to, length) in deferred {
+            self.grant_consistent(page, to, length, effects);
+        }
+    }
+
+    /// True if `page` is locked on this host.
+    pub fn is_locked(&self, page: PageId) -> bool {
+        self.pages.get(&page).is_some_and(|e| e.locked)
+    }
+
+    /// Handles a packet snooped off the network. Every host calls this for
+    /// every broadcast, including its own transmissions' recipients.
+    pub fn handle_packet(&mut self, pkt: &Packet, effects: &mut Vec<Effect>) {
+        match pkt {
+            Packet::PageRequest { from, page, length, want } => {
+                if *from == self.host {
+                    return; // our own broadcast
+                }
+                self.handle_request(*from, *page, *length, *want, effects);
+            }
+            Packet::PageData { from, page, length, generation, transfer_to, data } => {
+                if *from == self.host {
+                    return;
+                }
+                self.handle_data(*page, *length, *generation, *transfer_to, data, effects);
+            }
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        from: HostId,
+        page: PageId,
+        length: PageLength,
+        want: Want,
+        effects: &mut Vec<Effect>,
+    ) {
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        if want == Want::Superset {
+            // Answered by any host still holding a full copy (the
+            // requester holds the consistent short prefix and will merge
+            // our bytes underneath it). Never the holder itself.
+            if !e.consistent && e.buf.as_ref().is_some_and(PageBuf::full_valid) {
+                let gen = e.generation;
+                let data = e.buf.as_ref().expect("checked above").payload(crate::PAGE_SIZE);
+                effects.push(Effect::Send(Packet::PageData {
+                    from: self.host,
+                    page,
+                    length: PageLength::Full,
+                    generation: gen,
+                    transfer_to: None,
+                    data,
+                }));
+            }
+            return;
+        }
+        if !e.consistent {
+            return; // only the consistent holder answers
+        }
+        match want {
+            Want::ReadOnly => {
+                // Broadcast an up-to-date read-only copy; we remain the
+                // holder. "all the Mether servers having a copy of the
+                // page will refresh their copy" — the broadcast itself
+                // does that.
+                let host = self.host;
+                let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+                e.generation = e.generation.next();
+                let gen = e.generation;
+                let transfer_len = self.cfg.transfer_len(length);
+                let data = e.buf.as_ref().expect("consistent holder has a buffer").payload(
+                    transfer_len,
+                );
+                effects.push(Effect::Send(Packet::PageData {
+                    from: host,
+                    page,
+                    length,
+                    generation: gen,
+                    transfer_to: None,
+                    data,
+                }));
+            }
+            Want::Consistent => {
+                if e.locked || e.purge_pending {
+                    // Defer: the page is pinned here until unlock/DO-PURGE.
+                    e.deferred_transfers.push((from, length));
+                } else {
+                    self.grant_consistent(page, from, length, effects);
+                }
+            }
+            Want::Superset => unreachable!("handled above"),
+        }
+    }
+
+    /// Ships the consistent copy to `to`, honouring the requested view
+    /// length: a short-view write fault moves consistency with only a
+    /// 32-byte transfer. This is central to the paper's short-page
+    /// economics — even ownership moves are cheap. The new holder then
+    /// has a consistent copy whose *superset* is absent, exactly the
+    /// Figure 1 "pagein from the network" rule (all subsets paged in, no
+    /// supersets paged in).
+    fn grant_consistent(
+        &mut self,
+        page: PageId,
+        to: HostId,
+        length: PageLength,
+        effects: &mut Vec<Effect>,
+    ) {
+        let host = self.host;
+        let transfer_len = self.cfg.transfer_len(length);
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        if !e.consistent {
+            return;
+        }
+        e.generation = e.generation.next();
+        let gen = e.generation;
+        let data =
+            e.buf.as_ref().expect("consistent holder has a buffer").payload(transfer_len);
+        // We keep an inconsistent copy; consistency moves to `to`.
+        e.consistent = false;
+        effects.push(Effect::Send(Packet::PageData {
+            from: host,
+            page,
+            length,
+            generation: gen,
+            transfer_to: Some(to),
+            data,
+        }));
+    }
+
+    fn handle_data(
+        &mut self,
+        page: PageId,
+        _length: PageLength,
+        generation: Generation,
+        transfer_to: Option<HostId>,
+        data: &bytes::Bytes,
+        effects: &mut Vec<Effect>,
+    ) {
+        let short_len = self.cfg.short_len;
+        let host = self.host;
+        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        let becomes_holder = transfer_to == Some(host);
+
+        // A consistent holder with only the short prefix merges superset
+        // bytes underneath its authoritative prefix (Want::Superset reply
+        // path); its own generation stands.
+        if e.consistent && !becomes_holder {
+            if let Some(buf) = &mut e.buf {
+                buf.extend_from_network(data);
+            }
+        }
+
+        // Snoopy refresh: every transit updates the local copy (if we have
+        // one or want one). A host that holds the consistent copy ignores
+        // stale broadcasts of its own page. With snooping ablated, only
+        // transfers addressed to us and pages with blocked waiters are
+        // taken from the wire.
+        let interested = self.cfg.snoopy
+            || becomes_holder
+            || !e.demand_waiters.is_empty()
+            || !e.data_waiters.is_empty();
+        // Reject stale broadcasts: a frame that queued behind newer ones
+        // on the wire must not regress a copy that already reflects a
+        // later version. (Only equal-or-newer generations refresh.)
+        let fresh_enough = becomes_holder || !e.generation.newer_than(generation);
+        if (!e.consistent || becomes_holder) && interested && fresh_enough {
+            match &mut e.buf {
+                Some(buf) => {
+                    buf.refresh_from_network(data);
+                    self.stats.snoop_refreshes += 1;
+                }
+                None => {
+                    // Install if someone here is waiting, the page is
+                    // mapped, or we are becoming the holder. Unmapped
+                    // pages are not installed: an uninterested host must
+                    // not accumulate copies of every page on the LAN.
+                    if becomes_holder
+                        || (e.mapped && self.cfg.snoopy)
+                        || !e.demand_waiters.is_empty()
+                        || !e.data_waiters.is_empty()
+                    {
+                        e.buf = Some(PageBuf::from_network(data));
+                        self.stats.snoop_refreshes += 1;
+                    }
+                }
+            }
+            if generation.newer_than(e.generation) || becomes_holder {
+                e.generation = generation;
+            }
+        }
+
+        if becomes_holder {
+            e.consistent = true;
+            e.requested = None;
+            effects.push(Effect::ConsistentArrived(page));
+        }
+
+        // Wake demand waiters whose needs are now met.
+        let presence = e.presence(short_len);
+        let mut still_waiting = Vec::new();
+        for (w, len, want) in e.demand_waiters.drain(..) {
+            let satisfied = match want {
+                Want::ReadOnly => presence.satisfies_fault(len),
+                Want::Consistent | Want::Superset => {
+                    e.consistent && presence.satisfies_fault(len)
+                }
+            };
+            if satisfied {
+                effects.push(Effect::Wake(w));
+            } else {
+                still_waiting.push((w, len, want));
+            }
+        }
+        e.demand_waiters = still_waiting;
+        if e.demand_waiters.is_empty() && !becomes_holder {
+            e.requested = None;
+        }
+
+        // Wake every data-driven waiter: the page transited the network.
+        for w in e.data_waiters.drain(..) {
+            effects.push(Effect::Wake(w));
+        }
+    }
+
+    /// Abandons `waiter`'s blocked access on `page` (a timed-out fault).
+    ///
+    /// Removes the waiter from the demand and data queues; if no demand
+    /// waiter remains, the outstanding-request flag is cleared so that a
+    /// *retry* of the access transmits a fresh request — the recovery
+    /// path for a request or reply datagram lost on the unreliable
+    /// network.
+    pub fn cancel_wait(&mut self, page: PageId, waiter: WaiterId) {
+        if let Some(e) = self.pages.get_mut(&page) {
+            e.demand_waiters.retain(|(w, _, _)| *w != waiter);
+            e.data_waiters.retain(|w| *w != waiter);
+            if e.demand_waiters.is_empty() && !e.consistent {
+                e.requested = None;
+            }
+        }
+    }
+
+    /// Pages this table currently tracks (for diagnostics).
+    pub fn tracked_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.pages.keys().copied()
+    }
+}
+
+impl fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageTable(host={}, pages={})", self.host, self.pages.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn table(host: u16) -> PageTable {
+        PageTable::new(HostId(host), MetherConfig::new())
+    }
+
+    fn p0() -> PageId {
+        PageId::new(0)
+    }
+
+    #[test]
+    fn owned_page_access_is_ready() {
+        let mut t = table(0);
+        t.create_owned(p0());
+        let mut fx = Vec::new();
+        let out = t.access(p0(), View::full_demand(), MapMode::Writeable, 1, &mut fx).unwrap();
+        assert_eq!(out, AccessOutcome::Ready);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn write_through_data_view_rejected() {
+        let mut t = table(0);
+        t.create_owned(p0());
+        let mut fx = Vec::new();
+        let err = t.access(p0(), View::short_data(), MapMode::Writeable, 1, &mut fx).unwrap_err();
+        assert!(matches!(err, Error::WrongMapMode { .. }));
+    }
+
+    #[test]
+    fn demand_read_fault_broadcasts_request() {
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        let out = t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        assert_eq!(out, AccessOutcome::Blocked(FaultKind::DemandFetch));
+        assert_eq!(fx.len(), 1);
+        match &fx[0] {
+            Effect::Send(Packet::PageRequest { from, page, length, want }) => {
+                assert_eq!(*from, HostId(1));
+                assert_eq!(*page, p0());
+                assert_eq!(*length, PageLength::Short);
+                assert_eq!(*want, Want::ReadOnly);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_demand_faults_send_one_request() {
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 2, &mut fx).unwrap();
+        let sends = fx.iter().filter(|e| matches!(e, Effect::Send(_))).count();
+        assert_eq!(sends, 1, "second fault piggybacks on the outstanding request");
+    }
+
+    #[test]
+    fn data_driven_fault_is_silent() {
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        let out = t.access(p0(), View::short_data(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        assert_eq!(out, AccessOutcome::Blocked(FaultKind::DataWait));
+        assert!(fx.is_empty(), "completely passive: no request on the wire");
+        assert_eq!(t.stats().data_faults, 1);
+    }
+
+    #[test]
+    fn stale_present_copy_reads_ready() {
+        // An inconsistent copy is returned however stale: that is the
+        // point of the inconsistent space.
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        let pkt = Packet::PageData {
+            from: HostId(0),
+            page: p0(),
+            length: PageLength::Short,
+            generation: Generation(1),
+            transfer_to: None,
+            data: Bytes::from(vec![1u8; 32]),
+        };
+        // Fault first so the snoop installs the copy.
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        t.handle_packet(&pkt, &mut fx);
+        let out = t.access(p0(), View::short_demand(), MapMode::ReadOnly, 8, &mut fx).unwrap();
+        assert_eq!(out, AccessOutcome::Ready);
+    }
+
+    #[test]
+    fn short_copy_does_not_satisfy_full_view() {
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Short,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(vec![1u8; 32]),
+            },
+            &mut fx,
+        );
+        let out = t.access(p0(), View::full_demand(), MapMode::ReadOnly, 2, &mut fx).unwrap();
+        assert_eq!(
+            out,
+            AccessOutcome::Blocked(FaultKind::DemandFetch),
+            "Figure 1: a full-view fault needs the superset present"
+        );
+    }
+
+    #[test]
+    fn holder_answers_ro_request_with_broadcast() {
+        let mut t = table(0);
+        t.create_owned(p0());
+        let mut fx = Vec::new();
+        t.handle_packet(
+            &Packet::PageRequest {
+                from: HostId(1),
+                page: p0(),
+                length: PageLength::Short,
+                want: Want::ReadOnly,
+            },
+            &mut fx,
+        );
+        assert_eq!(fx.len(), 1);
+        match &fx[0] {
+            Effect::Send(Packet::PageData { transfer_to, length, data, .. }) => {
+                assert_eq!(*transfer_to, None);
+                assert_eq!(*length, PageLength::Short);
+                assert_eq!(data.len(), 32);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(t.is_consistent_holder(p0()), "RO request does not move consistency");
+    }
+
+    #[test]
+    fn non_holder_ignores_requests() {
+        let mut t = table(2);
+        let mut fx = Vec::new();
+        t.handle_packet(
+            &Packet::PageRequest {
+                from: HostId(1),
+                page: p0(),
+                length: PageLength::Full,
+                want: Want::ReadOnly,
+            },
+            &mut fx,
+        );
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn consistent_request_moves_ownership() {
+        let mut t0 = table(0);
+        let mut t1 = table(1);
+        t0.create_owned(p0());
+        let mut fx = Vec::new();
+
+        // Host 1 write-faults.
+        let out =
+            t1.access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx).unwrap();
+        assert_eq!(out, AccessOutcome::Blocked(FaultKind::ConsistentFetch));
+        let req = match fx.remove(0) {
+            Effect::Send(p) => p,
+            other => panic!("{other:?}"),
+        };
+
+        // Host 0 grants, shipping the full page and giving up consistency.
+        t0.handle_packet(&req, &mut fx);
+        let data = match fx.remove(0) {
+            Effect::Send(p) => p,
+            other => panic!("{other:?}"),
+        };
+        assert!(!t0.is_consistent_holder(p0()), "holder relinquished");
+        assert!(t0.page_buf(p0()).is_some(), "but keeps an inconsistent copy");
+
+        // Host 1 receives and becomes the holder; waiter wakes.
+        t1.handle_packet(&data, &mut fx);
+        assert!(t1.is_consistent_holder(p0()));
+        assert!(fx.contains(&Effect::ConsistentArrived(p0())));
+        assert!(fx.contains(&Effect::Wake(9)));
+        let mut fx2 = Vec::new();
+        let out =
+            t1.access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx2).unwrap();
+        assert_eq!(out, AccessOutcome::Ready);
+    }
+
+    #[test]
+    fn consistent_transfer_honours_view_length() {
+        // A short-view write fault moves consistency with a 32-byte
+        // transfer; a full-view fault ships the whole page.
+        let mut t0 = table(0);
+        t0.create_owned(p0());
+        let mut fx = Vec::new();
+        t0.handle_packet(
+            &Packet::PageRequest {
+                from: HostId(1),
+                page: p0(),
+                length: PageLength::Short,
+                want: Want::Consistent,
+            },
+            &mut fx,
+        );
+        match &fx[0] {
+            Effect::Send(Packet::PageData { data, length, .. }) => {
+                assert_eq!(*length, PageLength::Short);
+                assert_eq!(data.len(), 32);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let mut t1 = table(1);
+        t1.create_owned(p0());
+        fx.clear();
+        t1.handle_packet(
+            &Packet::PageRequest {
+                from: HostId(2),
+                page: p0(),
+                length: PageLength::Full,
+                want: Want::Consistent,
+            },
+            &mut fx,
+        );
+        match &fx[0] {
+            Effect::Send(Packet::PageData { data, length, .. }) => {
+                assert_eq!(*length, PageLength::Full);
+                assert_eq!(data.len(), crate::PAGE_SIZE);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_consistent_transfer_leaves_superset_absent() {
+        // Figure 1 "pagein from the network": all subsets paged in, no
+        // supersets. After a short consistency transfer the new holder can
+        // satisfy short-view accesses but faults on full-view ones.
+        let mut t0 = table(0);
+        let mut t1 = table(1);
+        t0.create_owned(p0());
+        let mut fx = Vec::new();
+        let out = t1.access(p0(), View::short_demand(), MapMode::Writeable, 1, &mut fx).unwrap();
+        assert_eq!(out, AccessOutcome::Blocked(FaultKind::ConsistentFetch));
+        let req = match fx.remove(0) {
+            Effect::Send(p) => p,
+            other => panic!("{other:?}"),
+        };
+        t0.handle_packet(&req, &mut fx);
+        let data = match fx.remove(0) {
+            Effect::Send(p) => p,
+            other => panic!("{other:?}"),
+        };
+        t1.handle_packet(&data, &mut fx);
+        assert!(t1.is_consistent_holder(p0()));
+        let mut fx2 = Vec::new();
+        assert_eq!(
+            t1.access(p0(), View::short_demand(), MapMode::Writeable, 1, &mut fx2).unwrap(),
+            AccessOutcome::Ready
+        );
+        assert_eq!(
+            t1.access(p0(), View::full_demand(), MapMode::Writeable, 2, &mut fx2).unwrap(),
+            AccessOutcome::Blocked(FaultKind::ConsistentFetch),
+            "superset absent after short transfer"
+        );
+        // The fault broadcast a Superset request...
+        let sup_req = match fx2.remove(0) {
+            Effect::Send(p @ Packet::PageRequest { want: Want::Superset, .. }) => p,
+            other => panic!("{other:?}"),
+        };
+        // ...which the old holder (full inconsistent copy) answers.
+        // First make the new prefix observable: write through the short view.
+        t1.page_buf_mut(p0()).unwrap().write_u32(0, 0xfeed).unwrap();
+        let mut fx3 = Vec::new();
+        t0.handle_packet(&sup_req, &mut fx3);
+        let sup_data = match fx3.remove(0) {
+            Effect::Send(p) => p,
+            other => panic!("{other:?}"),
+        };
+        let mut fx4 = Vec::new();
+        t1.handle_packet(&sup_data, &mut fx4);
+        assert!(fx4.contains(&Effect::Wake(2)), "superset waiter woken");
+        assert_eq!(
+            t1.access(p0(), View::full_demand(), MapMode::Writeable, 2, &mut fx4).unwrap(),
+            AccessOutcome::Ready
+        );
+        assert_eq!(
+            t1.page_buf(p0()).unwrap().read_u32(0).unwrap(),
+            0xfeed,
+            "merge kept the consistent short prefix"
+        );
+        assert!(t1.page_buf(p0()).unwrap().full_valid());
+    }
+
+    #[test]
+    fn snoop_refreshes_inconsistent_copies() {
+        let mut t = table(2);
+        let mut fx = Vec::new();
+        // Install via a data-driven wait + broadcast.
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Short,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(7u32.to_le_bytes().to_vec()),
+            },
+            &mut fx,
+        );
+        assert_eq!(t.page_buf(p0()).unwrap().read_u32(0).unwrap(), 7);
+        // A later broadcast refreshes in place.
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Short,
+                generation: Generation(2),
+                transfer_to: None,
+                data: Bytes::from(8u32.to_le_bytes().to_vec()),
+            },
+            &mut fx,
+        );
+        assert_eq!(t.page_buf(p0()).unwrap().read_u32(0).unwrap(), 8);
+        assert_eq!(t.generation(p0()), Generation(2));
+    }
+
+    #[test]
+    fn snoop_does_not_install_on_uninterested_host() {
+        let mut t = table(3);
+        let mut fx = Vec::new();
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Full,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 8192]),
+            },
+            &mut fx,
+        );
+        assert!(t.page_buf(p0()).is_none(), "no waiters, no copy: no install");
+    }
+
+    #[test]
+    fn data_waiters_wake_on_any_transit() {
+        let mut t = table(2);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 11, &mut fx).unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 12, &mut fx).unwrap();
+        assert!(fx.is_empty());
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Short,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 32]),
+            },
+            &mut fx,
+        );
+        assert!(fx.contains(&Effect::Wake(11)));
+        assert!(fx.contains(&Effect::Wake(12)));
+    }
+
+    #[test]
+    fn ro_purge_invalidates_local_copy() {
+        let mut t = table(2);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Short,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 32]),
+            },
+            &mut fx,
+        );
+        assert!(t.page_buf(p0()).is_some());
+        let out = t.purge(p0(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        assert_eq!(out, AccessOutcome::Ready);
+        assert!(t.page_buf(p0()).is_none());
+        assert_eq!(t.stats().ro_purges, 1);
+    }
+
+    #[test]
+    fn ro_purge_on_holder_is_noop() {
+        let mut t = table(0);
+        t.create_owned(p0());
+        let mut fx = Vec::new();
+        t.purge(p0(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        assert!(t.page_buf(p0()).is_some(), "the consistent copy is never purged away");
+        assert!(t.is_consistent_holder(p0()));
+    }
+
+    #[test]
+    fn rw_purge_roundtrip_with_do_purge() {
+        let mut t = table(0);
+        t.create_owned(p0());
+        t.page_buf_mut(p0()).unwrap().write_u32(0, 42).unwrap();
+        let mut fx = Vec::new();
+
+        let out = t.purge(p0(), MapMode::Writeable, 5, &mut fx).unwrap();
+        assert_eq!(out, AccessOutcome::Blocked(FaultKind::PurgeWait));
+        assert_eq!(fx, vec![Effect::ServerPurge(p0())]);
+        assert!(t.purge_pending(p0()));
+
+        // Server: broadcast then DO-PURGE.
+        let pkt = t.server_purge_broadcast(p0(), PageLength::Short).unwrap();
+        match &pkt {
+            Packet::PageData { data, generation, transfer_to, .. } => {
+                assert_eq!(&data[..4], &42u32.to_le_bytes());
+                assert_eq!(*generation, Generation(1), "purge publishes a new version");
+                assert_eq!(*transfer_to, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        fx.clear();
+        t.do_purge(p0(), &mut fx);
+        assert_eq!(fx, vec![Effect::Wake(5)]);
+        assert!(!t.purge_pending(p0()));
+        assert_eq!(t.stats().rw_purges, 1);
+    }
+
+    #[test]
+    fn rw_purge_requires_holder() {
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        let err = t.purge(p0(), MapMode::Writeable, 1, &mut fx).unwrap_err();
+        assert_eq!(err, Error::NotConsistentHolder { page: p0() });
+    }
+
+    #[test]
+    fn lock_requires_present_consistent_copy() {
+        let mut t = table(1);
+        assert_eq!(
+            t.lock(p0(), PageLength::Full).unwrap_err(),
+            Error::LockFailed { page: p0() }
+        );
+        t.create_owned(p0());
+        t.lock(p0(), PageLength::Full).unwrap();
+        assert!(t.is_locked(p0()));
+    }
+
+    #[test]
+    fn locked_page_defers_consistent_transfer_until_unlock() {
+        let mut t = table(0);
+        t.create_owned(p0());
+        t.lock(p0(), PageLength::Full).unwrap();
+        let mut fx = Vec::new();
+        t.handle_packet(
+            &Packet::PageRequest {
+                from: HostId(1),
+                page: p0(),
+                length: PageLength::Full,
+                want: Want::Consistent,
+            },
+            &mut fx,
+        );
+        assert!(fx.is_empty(), "transfer deferred while locked");
+        assert!(t.is_consistent_holder(p0()));
+
+        t.unlock(p0(), &mut fx);
+        assert_eq!(fx.len(), 1);
+        match &fx[0] {
+            Effect::Send(Packet::PageData { transfer_to, .. }) => {
+                assert_eq!(*transfer_to, Some(HostId(1)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!t.is_consistent_holder(p0()));
+    }
+
+    #[test]
+    fn own_broadcasts_are_ignored() {
+        let mut t = table(0);
+        t.create_owned(p0());
+        let mut fx = Vec::new();
+        t.handle_packet(
+            &Packet::PageRequest {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Full,
+                want: Want::ReadOnly,
+            },
+            &mut fx,
+        );
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn holder_ignores_stale_broadcasts_of_its_page() {
+        let mut t = table(0);
+        t.create_owned(p0());
+        t.page_buf_mut(p0()).unwrap().write_u32(0, 9).unwrap();
+        let mut fx = Vec::new();
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(1),
+                page: p0(),
+                length: PageLength::Short,
+                generation: Generation(5),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 32]),
+            },
+            &mut fx,
+        );
+        assert_eq!(
+            t.page_buf(p0()).unwrap().read_u32(0).unwrap(),
+            9,
+            "the consistent copy is never overwritten by snooping"
+        );
+    }
+
+    #[test]
+    fn stale_broadcast_does_not_regress_copy() {
+        // A late frame carrying an older generation must not overwrite
+        // newer content in an inconsistent copy.
+        let mut t = table(2);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        let mk = |g: u64, v: u32| Packet::PageData {
+            from: HostId(0),
+            page: p0(),
+            length: PageLength::Short,
+            generation: Generation(g),
+            transfer_to: None,
+            data: Bytes::from(v.to_le_bytes().to_vec().repeat(8)),
+        };
+        t.handle_packet(&mk(5, 0x0505_0505), &mut fx);
+        assert_eq!(t.page_buf(p0()).unwrap().read_u32(0).unwrap(), 0x0505_0505);
+        // An older generation arrives late: rejected.
+        t.handle_packet(&mk(3, 0x0303_0303), &mut fx);
+        assert_eq!(t.page_buf(p0()).unwrap().read_u32(0).unwrap(), 0x0505_0505);
+        assert_eq!(t.generation(p0()), Generation(5));
+        // A newer one refreshes.
+        t.handle_packet(&mk(6, 0x0606_0606), &mut fx);
+        assert_eq!(t.page_buf(p0()).unwrap().read_u32(0).unwrap(), 0x0606_0606);
+    }
+
+    #[test]
+    fn cancel_wait_allows_retransmission() {
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        assert_eq!(fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(), 1);
+        // A second attempt without cancel is deduplicated.
+        fx.clear();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        assert!(fx.iter().all(|e| !matches!(e, Effect::Send(_))));
+        // After a cancel (timed-out fault), the retry retransmits.
+        t.cancel_wait(p0(), 7);
+        fx.clear();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        assert_eq!(
+            fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(),
+            1,
+            "fresh request after cancel"
+        );
+    }
+
+    #[test]
+    fn generation_monotone_under_snooping() {
+        let mut t = table(2);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        for g in [3u64, 1, 5, 2] {
+            t.handle_packet(
+                &Packet::PageData {
+                    from: HostId(0),
+                    page: p0(),
+                    length: PageLength::Short,
+                    generation: Generation(g),
+                    transfer_to: None,
+                    data: Bytes::from(vec![0u8; 32]),
+                },
+                &mut fx,
+            );
+        }
+        assert_eq!(t.generation(p0()), Generation(5), "generation never regresses");
+    }
+}

@@ -1,0 +1,373 @@
+//! The Mether wire protocol.
+//!
+//! Mether is "a broadcast protocol": every packet is broadcast on the
+//! Ethernet and every Mether server snoops every packet. Only two packet
+//! types ever cross the network:
+//!
+//! * [`Packet::PageRequest`] — a demand-driven fault asking for a page
+//!   (read-only or consistent, full or short);
+//! * [`Packet::PageData`] — a copy of a page in flight, either answering a
+//!   request, transferring the consistent copy, or propagating a purge
+//!   broadcast. "Because Mether is a broadcast protocol, every time a page
+//!   transits the network all the inconsistent copies of that page are
+//!   updated."
+//!
+//! `PURGE`/`DO-PURGE` are *local* kernel-driver operators, not packets; a
+//! purge of a writeable page manifests on the wire as a `PageData`
+//! broadcast.
+//!
+//! The encoding is a simple length-prefixed binary format over UDP-like
+//! datagrams. [`Packet::wire_size`] accounts for Ethernet + IP + UDP
+//! framing so the simulator's network-load numbers are comparable to the
+//! paper's.
+
+use crate::{Error, Generation, PageId, PageLength, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a host (workstation) on the Mether network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HostId(pub u16);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// What kind of copy a page request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Want {
+    /// Any up-to-date copy; the requester maps it read-only (inconsistent).
+    ReadOnly,
+    /// The consistent copy itself; ownership moves to the requester.
+    /// "We move the consistent copy of a page around, rather than just the
+    /// write permission to a page."
+    Consistent,
+    /// The *superset* bytes of a page whose consistent copy the requester
+    /// already holds as a short prefix (Figure 1: "supersets not present
+    /// are marked wanted"). Answered by any host still holding a full
+    /// inconsistent copy; the requester merges the tail under its own
+    /// fresh prefix.
+    Superset,
+}
+
+/// Ethernet (14) + IPv4 (20) + UDP (8) header bytes charged per datagram.
+pub const FRAME_OVERHEAD: usize = 42;
+
+/// Minimum Ethernet frame size; small datagrams are padded up to this.
+pub const MIN_FRAME: usize = 64;
+
+const MAGIC: u16 = 0x4D45; // "ME"
+const TYPE_REQUEST: u8 = 1;
+const TYPE_DATA: u8 = 2;
+
+/// A Mether datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Broadcast request for a page. Answered by whichever host holds the
+    /// consistent copy.
+    PageRequest {
+        /// The requesting host.
+        from: HostId,
+        /// The page wanted.
+        page: PageId,
+        /// How much of it to transfer (full or short).
+        length: PageLength,
+        /// Read-only copy or the consistent copy itself.
+        want: Want,
+    },
+    /// Broadcast copy of a page. All servers snoop it and refresh their
+    /// inconsistent copies; if `transfer_to` is set, that host becomes the
+    /// new consistent holder.
+    PageData {
+        /// The sending host (the consistent holder at send time).
+        from: HostId,
+        /// The page carried.
+        page: PageId,
+        /// Full or short transfer.
+        length: PageLength,
+        /// Version of the page carried.
+        generation: Generation,
+        /// If set, consistency transfers to this host.
+        transfer_to: Option<HostId>,
+        /// The page bytes (a full page or a short-page prefix).
+        data: Bytes,
+    },
+}
+
+impl Packet {
+    /// The page this packet concerns.
+    pub fn page(&self) -> PageId {
+        match self {
+            Packet::PageRequest { page, .. } | Packet::PageData { page, .. } => *page,
+        }
+    }
+
+    /// The sending host.
+    pub fn from(&self) -> HostId {
+        match self {
+            Packet::PageRequest { from, .. } | Packet::PageData { from, .. } => *from,
+        }
+    }
+
+    /// True for data-carrying packets.
+    pub fn is_data(&self) -> bool {
+        matches!(self, Packet::PageData { .. })
+    }
+
+    /// Serialized payload length in bytes (without link-layer framing).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Packet::PageRequest { .. } => 2 + 1 + 2 + 4 + 1 + 1,
+            Packet::PageData { data, .. } => 2 + 1 + 2 + 4 + 1 + 8 + 3 + 4 + data.len(),
+        }
+    }
+
+    /// Bytes this packet occupies on the wire, including Ethernet/IP/UDP
+    /// framing and minimum-frame padding. This is what the simulator's
+    /// network-load accounting charges.
+    pub fn wire_size(&self) -> usize {
+        (self.encoded_len() + FRAME_OVERHEAD).max(MIN_FRAME)
+    }
+
+    /// Encodes the packet into a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        b.put_u16(MAGIC);
+        match self {
+            Packet::PageRequest { from, page, length, want } => {
+                b.put_u8(TYPE_REQUEST);
+                b.put_u16(from.0);
+                b.put_u32(page.index());
+                b.put_u8(match length {
+                    PageLength::Full => 0,
+                    PageLength::Short => 1,
+                });
+                b.put_u8(match want {
+                    Want::ReadOnly => 0,
+                    Want::Consistent => 1,
+                    Want::Superset => 2,
+                });
+            }
+            Packet::PageData { from, page, length, generation, transfer_to, data } => {
+                b.put_u8(TYPE_DATA);
+                b.put_u16(from.0);
+                b.put_u32(page.index());
+                b.put_u8(match length {
+                    PageLength::Full => 0,
+                    PageLength::Short => 1,
+                });
+                b.put_u64(generation.0);
+                match transfer_to {
+                    None => {
+                        b.put_u8(0);
+                        b.put_u16(0);
+                    }
+                    Some(h) => {
+                        b.put_u8(1);
+                        b.put_u16(h.0);
+                    }
+                }
+                b.put_u32(data.len() as u32);
+                b.put_slice(data);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes a packet from bytes produced by [`Packet::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Decode`] on truncation, a bad magic number, an
+    /// unknown type tag, or invalid field values.
+    pub fn decode(mut buf: &[u8]) -> Result<Self> {
+        fn need(buf: &[u8], n: usize) -> Result<()> {
+            if buf.remaining() < n {
+                Err(Error::Decode(format!("need {n} bytes, have {}", buf.remaining())))
+            } else {
+                Ok(())
+            }
+        }
+        need(buf, 3)?;
+        let magic = buf.get_u16();
+        if magic != MAGIC {
+            return Err(Error::Decode(format!("bad magic {magic:#x}")));
+        }
+        let ty = buf.get_u8();
+        match ty {
+            TYPE_REQUEST => {
+                need(buf, 8)?;
+                let from = HostId(buf.get_u16());
+                let page = PageId::try_new(buf.get_u32())
+                    .map_err(|e| Error::Decode(e.to_string()))?;
+                let length = decode_length(buf.get_u8())?;
+                let want = match buf.get_u8() {
+                    0 => Want::ReadOnly,
+                    1 => Want::Consistent,
+                    2 => Want::Superset,
+                    w => return Err(Error::Decode(format!("bad want {w}"))),
+                };
+                Ok(Packet::PageRequest { from, page, length, want })
+            }
+            TYPE_DATA => {
+                need(buf, 22)?;
+                let from = HostId(buf.get_u16());
+                let page = PageId::try_new(buf.get_u32())
+                    .map_err(|e| Error::Decode(e.to_string()))?;
+                let length = decode_length(buf.get_u8())?;
+                let generation = Generation(buf.get_u64());
+                let has_transfer = buf.get_u8();
+                let transfer_host = buf.get_u16();
+                let transfer_to = match has_transfer {
+                    0 => None,
+                    1 => Some(HostId(transfer_host)),
+                    t => return Err(Error::Decode(format!("bad transfer flag {t}"))),
+                };
+                let len = buf.get_u32() as usize;
+                need(buf, len)?;
+                let data = Bytes::copy_from_slice(&buf[..len]);
+                Ok(Packet::PageData { from, page, length, generation, transfer_to, data })
+            }
+            t => Err(Error::Decode(format!("unknown packet type {t}"))),
+        }
+    }
+}
+
+fn decode_length(b: u8) -> Result<PageLength> {
+    match b {
+        0 => Ok(PageLength::Full),
+        1 => Ok(PageLength::Short),
+        l => Err(Error::Decode(format!("bad length tag {l}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_request() -> Packet {
+        Packet::PageRequest {
+            from: HostId(3),
+            page: PageId::new(17),
+            length: PageLength::Short,
+            want: Want::Consistent,
+        }
+    }
+
+    fn sample_data(len: usize) -> Packet {
+        Packet::PageData {
+            from: HostId(1),
+            page: PageId::new(4),
+            length: if len <= 32 { PageLength::Short } else { PageLength::Full },
+            generation: Generation(9),
+            transfer_to: Some(HostId(2)),
+            data: Bytes::from(vec![0xabu8; len]),
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let p = sample_request();
+        assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn data_round_trip() {
+        for len in [0, 1, 32, 8192] {
+            let p = sample_data(len);
+            assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn request_fits_minimum_frame() {
+        // Request packets are tiny; they are padded to the 64-byte minimum
+        // Ethernet frame. This matches the paper's §4 accounting where 1024
+        // requests cost ~60 kbytes.
+        assert_eq!(sample_request().wire_size(), MIN_FRAME);
+    }
+
+    #[test]
+    fn short_data_wire_size_near_paper() {
+        // Paper: "86kb for data packets" over ~1024 increments ≈ 84 bytes.
+        let p = Packet::PageData {
+            from: HostId(0),
+            page: PageId::new(0),
+            length: PageLength::Short,
+            generation: Generation(1),
+            transfer_to: None,
+            data: Bytes::from(vec![0u8; 32]),
+        };
+        let sz = p.wire_size();
+        assert!((64..=128).contains(&sz), "short data frame {sz} bytes");
+    }
+
+    #[test]
+    fn full_data_wire_size() {
+        let p = sample_data(8192);
+        assert!(p.wire_size() > 8192);
+        assert!(p.wire_size() < 8192 + 128);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Packet::decode(&[]).is_err());
+        assert!(Packet::decode(&[0, 0, 0]).is_err());
+        let mut good = sample_request().encode().to_vec();
+        good[2] = 99; // unknown type
+        assert!(Packet::decode(&good).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_data() {
+        let enc = sample_data(32).encode();
+        for cut in [3, 10, enc.len() - 1] {
+            assert!(Packet::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut enc = sample_request().encode().to_vec();
+        enc[0] = 0;
+        assert!(matches!(Packet::decode(&enc), Err(Error::Decode(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_any_data(
+            from in 0u16..16,
+            page in 0u32..1024,
+            generation in any::<u64>(),
+            transfer in proptest::option::of(0u16..16),
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let p = Packet::PageData {
+                from: HostId(from),
+                page: PageId::new(page),
+                length: PageLength::Short,
+                generation: Generation(generation),
+                transfer_to: transfer.map(HostId),
+                data: Bytes::from(data),
+            };
+            prop_assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Packet::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_encoded_len_matches(len in 0usize..512) {
+            let p = sample_data(len);
+            prop_assert_eq!(p.encode().len(), p.encoded_len());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! `csend`/`crecv`: message passing over Mether pages (§3's sample user
+//! protocol, Figure 3).
+//!
+//! A channel joins two nodes through two pages used as one-way links.
+//! Each end permanently holds the consistent copy of *its own* page
+//! ("leaving the write capability stationary") and sees the peer's page
+//! as an inconsistent, read-only copy. The four header words implement
+//! the generation handshake of [`mether_core::generation`]:
+//!
+//! * a send may proceed when the peer's `ReadGeneration` (seen through
+//!   the inconsistent copy) has caught up with our `WriteGeneration`;
+//! * a receive may proceed when the peer's `WriteGeneration` exceeds our
+//!   `ReadGeneration`.
+//!
+//! Waiting follows the paper's final-protocol recipe verbatim: check the
+//! demand-driven short copy; if stale, purge and check again; if still
+//! stale, block on the data-driven short view until the peer's purge
+//! broadcast arrives. Payloads up to 16 bytes ride inside the short page
+//! ("if the amount of data is less than 32 bytes then the short page can
+//! be accessed with a corresponding performance improvement"); larger
+//! payloads switch both the broadcast and the read to the full-page view.
+//!
+//! The protocol "is absolutely symmetric; a write or read from either
+//! end proceeds in the exact same way" — a [`ChannelEnd`] can both send
+//! and receive, which is also what makes it the §5 *pipe*: creating a
+//! pipe returns a read pointer and a write pointer onto the same pair of
+//! pages.
+
+use mether_core::generation::{fits_short_page, read_may_proceed, write_may_proceed, ChannelHeader};
+use mether_core::{Error, MapMode, PageId, PageLength, Result, VAddr, View, PAGE_SIZE};
+use mether_runtime::Node;
+use std::time::Duration;
+
+/// Maximum payload of one message.
+pub const MAX_PAYLOAD: usize = PAGE_SIZE - ChannelHeader::INLINE_DATA;
+
+/// One end of a Mether channel (equivalently: one end of a §5 pipe).
+#[derive(Debug, Clone)]
+pub struct ChannelEnd {
+    my_page: PageId,
+    peer_page: PageId,
+    timeout: Duration,
+}
+
+impl ChannelEnd {
+    /// Builds this end over `my_page` (created and held consistent on
+    /// `node`) and the peer's `peer_page`.
+    ///
+    /// Performs the paper's "Deal Me In" initialisation: the stale
+    /// inconsistent copy of the peer's page (if any) is purged so the
+    /// first access fetches fresh state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates purge errors from the runtime.
+    pub fn create(node: &Node, my_page: PageId, peer_page: PageId) -> Result<ChannelEnd> {
+        node.create_owned(my_page);
+        let end = ChannelEnd { my_page, peer_page, timeout: Duration::from_secs(30) };
+        // Deal Me In: "a part of the initialization code purges the
+        // current copy of the inconsistent page, so that an up-to-date
+        // one will be accessed."
+        node.purge(peer_page, MapMode::ReadOnly, PageLength::Short)?;
+        Ok(end)
+    }
+
+    /// Overrides the blocking timeout (default 30 s).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> ChannelEnd {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The page this end writes.
+    pub fn my_page(&self) -> PageId {
+        self.my_page
+    }
+
+    /// The page this end reads.
+    pub fn peer_page(&self) -> PageId {
+        self.peer_page
+    }
+
+    fn my(&self, offset: usize) -> VAddr {
+        VAddr::new(self.my_page, View::short_demand(), offset as u32)
+            .expect("header fits the short view")
+    }
+
+    fn peer(&self, view: View, offset: usize) -> VAddr {
+        VAddr::new(self.peer_page, view, offset as u32).expect("header fits the short view")
+    }
+
+    /// Reads a header word of the peer's page, waiting data-driven until
+    /// `pred` holds on it.
+    ///
+    /// The wait follows the paper's recipe (demand check → purge →
+    /// data-driven block) with one addition: the data-driven block is
+    /// bounded by a short poll interval, after which the loop falls back
+    /// to a fresh demand fetch from the holder. This closes the inherent
+    /// purge/broadcast race of the raw protocol — a broadcast that lands
+    /// *between* our purge and our block would otherwise be the last one
+    /// ever sent, leaving the sleeper waiting forever. (The original
+    /// implementation lived with this because its workloads broadcast
+    /// continuously; a request/response library cannot.)
+    fn await_peer_word<F: Fn(u32) -> bool>(
+        &self,
+        node: &Node,
+        offset: usize,
+        pred: F,
+    ) -> Result<u32> {
+        const DATA_POLL: Duration = Duration::from_millis(25);
+        const DEMAND_POLL: Duration = Duration::from_millis(250);
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            // 1. Check the demand-driven short copy (fetching on a miss;
+            //    bounded so a dropped request datagram is retransmitted).
+            match node.read_u32_timeout(
+                self.peer(View::short_demand(), offset),
+                MapMode::ReadOnly,
+                DEMAND_POLL,
+            ) {
+                Ok(v) if pred(v) => return Ok(v),
+                Ok(_) => {}
+                Err(Error::Timeout) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(Error::Timeout);
+                    }
+                    continue; // request or reply lost; retransmit
+                }
+                Err(e) => return Err(e),
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(Error::Timeout);
+            }
+            // 2. Stale: purge, then 3. block on the data-driven view
+            //    (bounded; a publish that lands inside the purge window
+            //    or a dropped broadcast is recovered by looping back to
+            //    the demand fetch).
+            node.purge(self.peer_page, MapMode::ReadOnly, PageLength::Short)?;
+            match node.read_u32_timeout(
+                self.peer(View::short_data(), offset),
+                MapMode::ReadOnly,
+                DATA_POLL,
+            ) {
+                Ok(v) if pred(v) => return Ok(v),
+                Ok(_) | Err(Error::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one message (the paper's `csend`).
+    ///
+    /// Blocks until the receiver has consumed the previous message, then
+    /// publishes: "The writer locks the page, fills in the data, sets the
+    /// WriteDataSize, increments the WriteGeneration counter, and issues
+    /// a purge."
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if `data` exceeds [`MAX_PAYLOAD`];
+    /// [`Error::Timeout`] if the receiver never catches up.
+    pub fn csend(&self, node: &Node, data: &[u8]) -> Result<()> {
+        if data.len() > MAX_PAYLOAD {
+            return Err(Error::InvalidConfig(format!(
+                "message of {} bytes exceeds the {MAX_PAYLOAD}-byte channel maximum",
+                data.len()
+            )));
+        }
+        let wgen = node.read_u32(self.my(ChannelHeader::WRITE_GEN), MapMode::Writeable)?;
+        self.await_peer_word(node, ChannelHeader::READ_GEN, |rg| write_may_proceed(wgen, rg))?;
+
+        let fits = fits_short_page(data.len());
+        node.lock(self.my_page, PageLength::Full)?;
+        let write_addr = VAddr::new(
+            self.my_page,
+            if fits { View::short_demand() } else { View::full_demand() },
+            ChannelHeader::INLINE_DATA as u32,
+        )?;
+        if !data.is_empty() {
+            node.write_bytes(write_addr, data)?;
+        }
+        node.write_u32(self.my(ChannelHeader::WRITE_SIZE), data.len() as u32)?;
+        node.write_u32(self.my(ChannelHeader::WRITE_GEN), wgen + 1)?;
+        node.unlock(self.my_page)?;
+        node.purge(
+            self.my_page,
+            MapMode::Writeable,
+            if fits { PageLength::Short } else { PageLength::Full },
+        )
+    }
+
+    /// Receives one message into `buf`, returning its length (the
+    /// paper's `crecv`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if `buf` is too small for the message;
+    /// [`Error::Timeout`] if no message arrives in time.
+    pub fn crecv(&self, node: &Node, buf: &mut [u8]) -> Result<usize> {
+        let rgen = node.read_u32(self.my(ChannelHeader::READ_GEN), MapMode::Writeable)?;
+        self.await_peer_word(node, ChannelHeader::WRITE_GEN, |wg| read_may_proceed(wg, rgen))?;
+
+        let size = node.read_u32(
+            self.peer(View::short_demand(), ChannelHeader::WRITE_SIZE),
+            MapMode::ReadOnly,
+        )? as usize;
+        if size > buf.len() {
+            return Err(Error::InvalidConfig(format!(
+                "message of {size} bytes does not fit caller buffer of {}",
+                buf.len()
+            )));
+        }
+        if size > 0 {
+            // "Note that if the amount of data to be copied out is larger
+            // than the short page the reader must access the full-page
+            // view." Bounded + retried so a dropped full-page reply on a
+            // lossy LAN is refetched.
+            let view = if fits_short_page(size) { View::short_demand() } else { View::full_demand() };
+            let addr = VAddr::new(self.peer_page, view, ChannelHeader::INLINE_DATA as u32)?;
+            let deadline = std::time::Instant::now() + self.timeout;
+            loop {
+                match node.read_bytes_timeout(
+                    addr,
+                    MapMode::ReadOnly,
+                    &mut buf[..size],
+                    Duration::from_millis(250),
+                ) {
+                    Ok(()) => break,
+                    Err(Error::Timeout) if std::time::Instant::now() < deadline => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        node.write_u32(self.my(ChannelHeader::READ_SIZE), size as u32)?;
+        node.write_u32(self.my(ChannelHeader::READ_GEN), rgen + 1)?;
+        node.purge(self.my_page, MapMode::Writeable, PageLength::Short)?;
+        Ok(size)
+    }
+
+    /// Convenience: receive into an owned buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelEnd::crecv`].
+    pub fn crecv_vec(&self, node: &Node) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; MAX_PAYLOAD];
+        let n = self.crecv(node, &mut buf)?;
+        buf.truncate(n);
+        Ok(buf)
+    }
+}
+
+/// Creates a connected pair of channel ends over `pages` (two pages),
+/// one end per node. Returns `(end_a, end_b)` where `end_a` lives on
+/// `node_a`.
+///
+/// # Errors
+///
+/// Propagates creation errors.
+pub fn channel_pair(
+    node_a: &Node,
+    node_b: &Node,
+    page_a: PageId,
+    page_b: PageId,
+) -> Result<(ChannelEnd, ChannelEnd)> {
+    let a = ChannelEnd::create(node_a, page_a, page_b)?;
+    let b = ChannelEnd::create(node_b, page_b, page_a)?;
+    Ok((a, b))
+}

@@ -1,0 +1,110 @@
+//! Pipe-like operations over named segments (§5).
+//!
+//! "One may create a pipe or open an existing pipe. In either case, two
+//! pointers are returned, a read and a write pointer. These pointers may
+//! be used to read the pipe and write the pipe... A bidirectional flow
+//! of data is possible."
+//!
+//! A pipe is a named two-page segment; each opener binds one side of a
+//! [`ChannelEnd`]. The creator is side A (owns page 0); the opener is
+//! side B (owns page 1). The returned [`PipeReader`]/[`PipeWriter`]
+//! pointers share the underlying channel end, giving the paper's
+//! two-pointer API.
+
+use crate::channel::ChannelEnd;
+use crate::segment::{Capability, Registry, Rights};
+use mether_core::{Error, Result};
+use mether_runtime::Node;
+
+/// Which side of the pipe an opener binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeSide {
+    /// The creator's side (owns the segment's first page).
+    A,
+    /// The peer side (owns the second page).
+    B,
+}
+
+/// The write pointer of a pipe.
+#[derive(Debug, Clone)]
+pub struct PipeWriter {
+    end: ChannelEnd,
+}
+
+impl PipeWriter {
+    /// Writes one message to the pipe.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelEnd::csend`].
+    pub fn write(&self, node: &Node, data: &[u8]) -> Result<()> {
+        self.end.csend(node, data)
+    }
+}
+
+/// The read pointer of a pipe.
+#[derive(Debug, Clone)]
+pub struct PipeReader {
+    end: ChannelEnd,
+}
+
+impl PipeReader {
+    /// Reads one message from the pipe into `buf`, returning its length.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelEnd::crecv`].
+    pub fn read(&self, node: &Node, buf: &mut [u8]) -> Result<usize> {
+        self.end.crecv(node, buf)
+    }
+
+    /// Reads one message into an owned buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelEnd::crecv_vec`].
+    pub fn read_vec(&self, node: &Node) -> Result<Vec<u8>> {
+        self.end.crecv_vec(node)
+    }
+}
+
+/// Creates a named pipe on `node` and returns its read/write pointers
+/// plus the capability a peer needs to open the other side.
+///
+/// # Errors
+///
+/// Segment-creation errors ([`Error::InvalidConfig`]) or channel-setup
+/// errors.
+pub fn create_pipe(
+    registry: &Registry,
+    node: &Node,
+    name: &str,
+) -> Result<(PipeReader, PipeWriter, Capability)> {
+    let (seg, cap) = registry.create(name, 2)?;
+    let end = ChannelEnd::create(node, seg.page(0)?, seg.page(1)?)?;
+    Ok((PipeReader { end: end.clone() }, PipeWriter { end }, cap))
+}
+
+/// Opens the peer side of an existing pipe with `cap`.
+///
+/// # Errors
+///
+/// [`Error::NotFound`] / [`Error::PermissionDenied`] from the registry;
+/// the capability must cover read, write, and purge (the channel
+/// protocol purges on both send and receive).
+pub fn open_pipe(
+    registry: &Registry,
+    node: &Node,
+    cap: &Capability,
+) -> Result<(PipeReader, PipeWriter)> {
+    if !cap.rights().covers(Rights::READ | Rights::WRITE | Rights::PURGE) {
+        return Err(Error::PermissionDenied(format!(
+            "pipe {} needs read+write+purge, capability grants {}",
+            cap.segment(),
+            cap.rights()
+        )));
+    }
+    let seg = registry.open(cap)?;
+    let end = ChannelEnd::create(node, seg.page(1)?, seg.page(0)?)?;
+    Ok((PipeReader { end: end.clone() }, PipeWriter { end }))
+}

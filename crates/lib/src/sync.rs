@@ -1,0 +1,104 @@
+//! `SyncCell`: the final protocol (§4, Figure 9) packaged as a one-word
+//! synchronisation primitive.
+//!
+//! A publisher owns a page and publishes successive values of one word;
+//! watchers on other nodes wait for a value newer than the last they saw,
+//! sleeping data-driven between purge broadcasts — "a process is either
+//! incrementing the variable, checking the variable once or twice, or
+//! sleeping on a new version of the variable."
+
+use mether_core::{MapMode, PageId, PageLength, Result, VAddr, View};
+use mether_runtime::Node;
+use std::time::Duration;
+
+/// A one-word publish/watch cell on a Mether page.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncCell {
+    page: PageId,
+    offset: u32,
+}
+
+impl SyncCell {
+    /// Binds a cell to word `offset` of `page` (must be inside the short
+    /// page so publishes travel as 32-byte broadcasts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit in the short view.
+    pub fn new(page: PageId, offset: u32) -> SyncCell {
+        assert!(
+            (offset as usize) + 4 <= mether_core::SHORT_PAGE_SIZE,
+            "cell must live in the short page"
+        );
+        SyncCell { page, offset }
+    }
+
+    /// Creates the backing page on the publisher's node.
+    pub fn create_on(&self, node: &Node) {
+        node.create_owned(self.page);
+    }
+
+    /// Publishes `value`: write through the consistent short view, then
+    /// purge (one broadcast packet — the final protocol's entire cost).
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors (the publisher must hold the consistent copy).
+    pub fn publish(&self, node: &Node, value: u32) -> Result<()> {
+        let addr = VAddr::new(self.page, View::short_demand(), self.offset)?;
+        node.write_u32(addr, value)?;
+        node.purge(self.page, MapMode::Writeable, PageLength::Short)
+    }
+
+    /// Reads the current (possibly stale) value through the inconsistent
+    /// demand view.
+    ///
+    /// # Errors
+    ///
+    /// [`mether_core::Error::Timeout`] if the fetch times out.
+    pub fn get(&self, node: &Node, timeout: Duration) -> Result<u32> {
+        let addr = VAddr::new(self.page, View::short_demand(), self.offset)?;
+        node.read_u32_timeout(addr, MapMode::ReadOnly, timeout)
+    }
+
+    /// Waits until the cell holds a value different from `last` and
+    /// returns it, using the final protocol's check → purge → data-block
+    /// sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`mether_core::Error::Timeout`] if nothing is published in time.
+    pub fn wait_change(&self, node: &Node, last: u32, timeout: Duration) -> Result<u32> {
+        const DATA_POLL: Duration = Duration::from_millis(25);
+        const DEMAND_POLL: Duration = Duration::from_millis(250);
+        let deadline = std::time::Instant::now() + timeout;
+        let demand = VAddr::new(self.page, View::short_demand(), self.offset)?;
+        let data = VAddr::new(self.page, View::short_data(), self.offset)?;
+        loop {
+            // Demand check first (bounded so dropped requests retry).
+            match node.read_u32_timeout(demand, MapMode::ReadOnly, DEMAND_POLL) {
+                Ok(v) if v != last => return Ok(v),
+                Ok(_) => {}
+                Err(mether_core::Error::Timeout) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(mether_core::Error::Timeout);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(mether_core::Error::Timeout);
+            }
+            // Bounded data-driven block; survives both the purge-window
+            // race and dropped broadcasts by looping back to the demand
+            // fetch (see `ChannelEnd::await_peer_word`).
+            node.purge(self.page, MapMode::ReadOnly, PageLength::Short)?;
+            match node.read_u32_timeout(data, MapMode::ReadOnly, DATA_POLL) {
+                Ok(v) if v != last => return Ok(v),
+                Ok(_) | Err(mether_core::Error::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

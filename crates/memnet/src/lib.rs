@@ -1,0 +1,32 @@
+//! A simplified **MemNet** simulator — the hardware DSM the Mether paper
+//! uses as its comparator.
+//!
+//! MemNet (Delp, Sethi & Farber) is a distributed shared memory
+//! implemented *entirely in hardware*: each host's MemNet device caches
+//! 32-byte chunks and satisfies misses over a 200 Mbit/s insertion-
+//! modification token ring, with microsecond-scale latencies — four
+//! orders of magnitude below Mether's user-level-server-over-Ethernet
+//! path. The Mether paper's closing observation is that despite that
+//! gulf, "the experimental results for Mether directly match the
+//! analytical and simulation results for MemNet": the *same* user
+//! protocol (stationary write capability, one-way chunks, passive
+//! update-driven readers) wins on both.
+//!
+//! This crate reproduces exactly what that claim needs: a chunk cache
+//! with hardware coherence ([`cache`]), a token-ring cost model
+//! ([`ring`]), and the §4 counting-protocol shapes re-expressed as
+//! MemNet programs ([`protocols`]). The ranking experiment in
+//! `mether-bench` runs both simulators and compares the orderings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocols;
+pub mod ring;
+pub mod sim;
+
+pub use cache::{ChunkId, ChunkState};
+pub use protocols::{MemNetProtocol, ProtocolReport};
+pub use ring::{RingConfig, RingStats};
+pub use sim::{run_counting, CountingParams};

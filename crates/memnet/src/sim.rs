@@ -1,0 +1,267 @@
+//! Two-process counting on MemNet: the §4 experiment transplanted onto
+//! the hardware DSM.
+//!
+//! Each host runs the same "count to 1024 cooperatively" loop as the
+//! Mether version, but chunk operations cost nanoseconds-to-microseconds
+//! of ring time instead of milliseconds of server time. Hosts advance
+//! local clocks; the simulation always steps the host whose clock is
+//! earliest, so chunk-state changes serialise in time order exactly as
+//! the single token ring would serialise them.
+
+use crate::cache::{Chunk, OpCost, WritePolicy};
+use crate::protocols::{MemNetProtocol, ProtocolReport};
+use crate::ring::{RingConfig, RingStats};
+
+/// Parameters of a MemNet counting run.
+#[derive(Debug, Clone)]
+pub struct CountingParams {
+    /// Count to this value.
+    pub target: u32,
+    /// Host CPU cost of one check iteration, nanoseconds (the same
+    /// ~50 µs loop as on the Suns).
+    pub spin_ns: u64,
+    /// Ring parameters.
+    pub ring: RingConfig,
+}
+
+impl CountingParams {
+    /// The paper-equivalent run: count to 1024, 50 µs iterations,
+    /// two-host MemNet ring.
+    pub fn paper() -> Self {
+        CountingParams { target: 1024, spin_ns: 50_000, ring: RingConfig::memnet(2) }
+    }
+}
+
+struct HostState {
+    clock: u64,
+    /// Last value read from the chunk this host *reads* (win/loss is
+    /// judged per chunk, not against our own writes).
+    last_seen: Option<u32>,
+    /// Highest value this host has written itself.
+    own_written: u32,
+    /// A write decided by the previous read op, not yet performed.
+    pending_write: Option<u32>,
+    losses: u64,
+    wins: u64,
+    additions: u64,
+    losses_since_flush: u64,
+    done: bool,
+    miss_ns_total: u64,
+    misses: u64,
+}
+
+impl HostState {
+    fn new() -> Self {
+        HostState {
+            clock: 0,
+            last_seen: None,
+            own_written: 0,
+            pending_write: None,
+            losses: 0,
+            wins: 0,
+            additions: 0,
+            losses_since_flush: 0,
+            done: false,
+            miss_ns_total: 0,
+            misses: 0,
+        }
+    }
+}
+
+fn charge(ring: &RingConfig, stats: &mut RingStats, host: &mut HostState, cost: OpCost) -> u64 {
+    let mut ns = 0;
+    stats.fetches += cost.fetches;
+    stats.invalidates += cost.invalidates;
+    stats.updates += cost.updates;
+    stats.bytes += (cost.fetches + cost.updates) * ring.chunk_size as u64;
+    ns += cost.fetches * ring.fetch_ns();
+    ns += cost.invalidates * ring.invalidate_ns();
+    ns += cost.updates * ring.update_ns();
+    if cost.fetches > 0 {
+        host.miss_ns_total += cost.fetches * ring.fetch_ns();
+        host.misses += cost.fetches;
+    }
+    ns
+}
+
+/// Runs the counting experiment under `protocol` and reports ring costs.
+pub fn run_counting(protocol: MemNetProtocol, params: &CountingParams) -> ProtocolReport {
+    let ring = params.ring.clone();
+    let mut stats = RingStats::default();
+    let mut hosts = [HostState::new(), HostState::new()];
+
+    // Chunk layout: the shared shapes use chunk 0; the one-way shapes
+    // give host i exclusive ownership of chunk i.
+    let policy = match protocol {
+        MemNetProtocol::OneWayUpdate => WritePolicy::Update,
+        _ => WritePolicy::Invalidate,
+    };
+    let mut chunks = [Chunk::new(0, policy), Chunk::new(1, policy)];
+
+    let shared = matches!(protocol, MemNetProtocol::SharedChunk);
+
+    // Step the earliest host until both finish (or a safety cap).
+    let cap: u64 = 60_000_000_000; // 60 s of virtual time; far beyond need
+    loop {
+        if hosts[0].done && hosts[1].done {
+            break;
+        }
+        let h = match (hosts[0].done, hosts[1].done) {
+            (false, true) => 0,
+            (true, false) => 1,
+            _ => {
+                if hosts[0].clock <= hosts[1].clock {
+                    0
+                } else {
+                    1
+                }
+            }
+        };
+        if hosts[h].clock > cap {
+            break;
+        }
+
+        // One *operation* of the counting program on host h — the
+        // stepping is per-op, not per-iteration, so that a host's write
+        // cannot become visible to a peer read at an earlier virtual
+        // time.
+        let parity = h as u32;
+        let read_chunk = if shared { 0 } else { 1 - h };
+        match hosts[h].pending_write {
+            Some(v) => {
+                hosts[h].pending_write = None;
+                let write_chunk = if shared { 0 } else { h };
+                let cost = chunks[write_chunk].write(h, v);
+                let ns = charge(&ring, &mut stats, &mut hosts[h], cost);
+                hosts[h].clock += ns;
+                hosts[h].additions += 1;
+                hosts[h].own_written = v;
+                if shared {
+                    hosts[h].last_seen = Some(v);
+                }
+                if v >= params.target {
+                    hosts[h].done = true;
+                }
+            }
+            None => {
+                let (value, cost) = chunks[read_chunk].read(h);
+                let ns = charge(&ring, &mut stats, &mut hosts[h], cost);
+                hosts[h].clock += ns + params.spin_ns;
+
+                let changed = hosts[h].last_seen != Some(value);
+                if changed {
+                    hosts[h].wins += 1;
+                    hosts[h].losses_since_flush = 0;
+                } else {
+                    hosts[h].losses += 1;
+                    hosts[h].losses_since_flush += 1;
+                }
+                hosts[h].last_seen = Some(value);
+
+                // In the one-way shapes the counter's effective value is
+                // the newer of what the peer published and what we last
+                // wrote ourselves.
+                let effective = value.max(hosts[h].own_written);
+                if effective >= params.target {
+                    hosts[h].done = true;
+                } else if effective % 2 == parity {
+                    hosts[h].pending_write = Some(effective + 1);
+                } else if let MemNetProtocol::OneWayFlush { hysteresis } = protocol {
+                    if hosts[h].losses_since_flush >= hysteresis {
+                        chunks[read_chunk].flush(h);
+                        hosts[h].losses_since_flush = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    let wall_ns = hosts[0].clock.max(hosts[1].clock);
+    let additions = hosts[0].additions + hosts[1].additions;
+    let losses = hosts[0].losses + hosts[1].losses;
+    let wins = hosts[0].wins + hosts[1].wins;
+    let misses = hosts[0].misses + hosts[1].misses;
+    let miss_ns = hosts[0].miss_ns_total + hosts[1].miss_ns_total;
+    ProtocolReport {
+        protocol,
+        finished: hosts[0].done && hosts[1].done,
+        wall_ns,
+        ring: stats,
+        additions,
+        losses,
+        wins,
+        avg_miss_ns: miss_ns.checked_div(misses).unwrap_or(0),
+        messages_per_addition: if additions == 0 {
+            f64::INFINITY
+        } else {
+            stats.messages() as f64 / additions as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CountingParams {
+        CountingParams { target: 64, spin_ns: 50_000, ring: RingConfig::memnet(2) }
+    }
+
+    #[test]
+    fn all_protocols_complete_the_count() {
+        for p in MemNetProtocol::all() {
+            let r = run_counting(p, &small());
+            assert!(r.finished, "{p:?} did not finish: {r:?}");
+            assert_eq!(r.additions, 64, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn one_way_update_sends_fewest_messages() {
+        let params = small();
+        let update = run_counting(MemNetProtocol::OneWayUpdate, &params);
+        let shared = run_counting(MemNetProtocol::SharedChunk, &params);
+        let flush = run_counting(MemNetProtocol::OneWayFlush { hysteresis: 1 }, &params);
+        assert!(
+            update.messages_per_addition < shared.messages_per_addition,
+            "update {} vs shared {}",
+            update.messages_per_addition,
+            shared.messages_per_addition
+        );
+        assert!(update.messages_per_addition < flush.messages_per_addition);
+    }
+
+    #[test]
+    fn flush_every_loss_floods_the_ring() {
+        let params = small();
+        let flush = run_counting(MemNetProtocol::OneWayFlush { hysteresis: 1 }, &params);
+        let shared = run_counting(MemNetProtocol::SharedChunk, &params);
+        assert!(
+            flush.ring.fetches > shared.ring.fetches,
+            "flush {} vs shared {}",
+            flush.ring.fetches,
+            shared.ring.fetches
+        );
+    }
+
+    #[test]
+    fn update_policy_costs_one_update_per_addition() {
+        let r = run_counting(MemNetProtocol::OneWayUpdate, &small());
+        // One update circulation per increment, plus a handful of
+        // startup fetches.
+        assert!(r.ring.updates >= 64);
+        assert!(r.ring.fetches <= 4, "{}", r.ring.fetches);
+        assert_eq!(r.ring.invalidates, 0);
+    }
+
+    #[test]
+    fn hardware_latencies_make_every_protocol_fast() {
+        // Even the worst MemNet protocol finishes 1024 counts orders of
+        // magnitude faster than the best Mether protocol — the regime
+        // gap the paper stresses.
+        let r = run_counting(MemNetProtocol::OneWayFlush { hysteresis: 1 }, &CountingParams::paper());
+        assert!(r.finished);
+        let secs = r.wall_ns as f64 / 1e9;
+        assert!(secs < 2.0, "{secs}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Broadcast-Ethernet substrates for the Mether DSM reproduction.
+//!
+//! The paper runs Mether over a 10 Mbit/s Ethernet using broadcast
+//! datagrams. This crate provides two interchangeable stand-ins:
+//!
+//! * [`sim::EtherSim`] — an analytical model of a shared-medium Ethernet
+//!   for the discrete-event simulator (`mether-sim`): serialised medium,
+//!   store-and-forward transmission time, inter-frame gap, optional packet
+//!   loss, and full traffic accounting. The simulator asks it *when* a
+//!   packet transmitted "now" is delivered.
+//! * [`rt::Lan`] — a real, threaded in-process broadcast LAN for the
+//!   `mether-runtime` crate: a wire thread serialises broadcasts exactly
+//!   like a shared segment would, with configurable latency, bandwidth and
+//!   loss.
+//!
+//! Both charge traffic using [`mether_core::Packet::wire_size`], so the
+//! network-load numbers produced by the simulator and the runtime are
+//! directly comparable to the paper's (e.g. Figure 4's 66 kbytes/second).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rt;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use sim::{EtherConfig, EtherSim};
+pub use stats::NetStats;
+pub use time::{SimDuration, SimTime};

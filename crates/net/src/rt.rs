@@ -1,0 +1,360 @@
+//! A real, threaded in-process broadcast LAN.
+//!
+//! `mether-runtime` nodes attach [`Endpoint`]s to a [`Lan`]. A dedicated
+//! *wire thread* serialises all broadcasts — exactly one frame in flight
+//! at a time, like a shared Ethernet segment — applies configurable
+//! latency, bandwidth and loss, and fans each frame out to every endpoint
+//! except the sender (hosts do not hear their own transmissions; the
+//! Mether page table ignores them anyway).
+//!
+//! Frames cross the wire as encoded bytes ([`mether_core::Packet::encode`])
+//! rather than as in-memory values, so the runtime exercises the same
+//! codec the paper's UDP implementation would.
+
+use crate::stats::NetStats;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use mether_core::{Error, HostId, Packet, Result};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Parameters of the in-process LAN.
+#[derive(Debug, Clone)]
+pub struct LanConfig {
+    /// Fixed one-way latency applied to every frame.
+    pub latency: Duration,
+    /// If set, frames additionally occupy the wire for
+    /// `wire_size × 8 / bandwidth` (simulating a 10 Mbit/s segment).
+    pub bandwidth_bps: Option<u64>,
+    /// Probability a frame is dropped (delivered to no one).
+    pub loss: f64,
+    /// Seed for loss injection.
+    pub seed: u64,
+}
+
+impl LanConfig {
+    /// A fast LAN: no artificial latency, no bandwidth cap, no loss.
+    /// Appropriate for tests and examples that care about protocol
+    /// behaviour rather than timing.
+    pub fn fast() -> Self {
+        LanConfig { latency: Duration::ZERO, bandwidth_bps: None, loss: 0.0, seed: 0 }
+    }
+
+    /// A LAN shaped like the paper's: 10 Mbit/s with a small latency.
+    pub fn ten_megabit() -> Self {
+        LanConfig {
+            latency: Duration::from_micros(100),
+            bandwidth_bps: Some(10_000_000),
+            loss: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Adds uniform frame loss with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn with_loss(mut self, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        self.loss = p;
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for LanConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+struct Frame {
+    from: HostId,
+    bytes: bytes::Bytes,
+    wire_size: usize,
+}
+
+struct Inner {
+    wire_tx: Sender<Frame>,
+    endpoints: Mutex<Vec<(HostId, Sender<bytes::Bytes>)>>,
+    stats: Mutex<NetStats>,
+}
+
+/// An in-process broadcast LAN. Cloning shares the same segment.
+#[derive(Clone)]
+pub struct Lan {
+    inner: Arc<Inner>,
+}
+
+impl Lan {
+    /// Brings up a LAN and its wire thread.
+    pub fn new(cfg: LanConfig) -> Self {
+        let (wire_tx, wire_rx) = channel::unbounded::<Frame>();
+        let inner = Arc::new(Inner {
+            wire_tx,
+            endpoints: Mutex::new(Vec::new()),
+            stats: Mutex::new(NetStats::new()),
+        });
+        let weak = Arc::downgrade(&inner);
+        thread::Builder::new()
+            .name("mether-lan-wire".into())
+            .spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
+                while let Ok(frame) = wire_rx.recv() {
+                    // Occupy the wire: latency + transmission time.
+                    let mut dwell = cfg.latency;
+                    if let Some(bw) = cfg.bandwidth_bps {
+                        let nanos = (frame.wire_size as u64 * 8).saturating_mul(1_000_000_000) / bw;
+                        dwell += Duration::from_nanos(nanos);
+                    }
+                    if !dwell.is_zero() {
+                        thread::sleep(dwell);
+                    }
+                    if cfg.loss > 0.0 && rng.gen::<f64>() < cfg.loss {
+                        if let Some(inner) = weak.upgrade() {
+                            inner.stats.lock().record_loss();
+                        }
+                        continue;
+                    }
+                    let Some(inner) = weak.upgrade() else { break };
+                    let endpoints = inner.endpoints.lock();
+                    for (host, tx) in endpoints.iter() {
+                        if *host != frame.from {
+                            // A receiver that has gone away is not an error
+                            // for the broadcaster.
+                            let _ = tx.send(frame.bytes.clone());
+                        }
+                    }
+                }
+            })
+            .expect("spawn LAN wire thread");
+        Lan { inner }
+    }
+
+    /// Attaches a new endpoint as `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is already attached — one NIC per host.
+    pub fn endpoint(&self, host: HostId) -> Endpoint {
+        let (tx, rx) = channel::unbounded();
+        let mut eps = self.inner.endpoints.lock();
+        assert!(
+            eps.iter().all(|(h, _)| *h != host),
+            "host {host} already attached to this LAN"
+        );
+        eps.push((host, tx));
+        Endpoint { host, rx, inner: Arc::clone(&self.inner) }
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> NetStats {
+        *self.inner.stats.lock()
+    }
+}
+
+impl std::fmt::Debug for Lan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lan(endpoints={})", self.inner.endpoints.lock().len())
+    }
+}
+
+/// One host's attachment to a [`Lan`].
+pub struct Endpoint {
+    host: HostId,
+    rx: Receiver<bytes::Bytes>,
+    inner: Arc<Inner>,
+}
+
+impl Endpoint {
+    /// The host this endpoint belongs to.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Broadcasts `pkt` to every other endpoint on the segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] if the LAN has shut down.
+    pub fn broadcast(&self, pkt: &Packet) -> Result<()> {
+        self.inner.stats.lock().record(pkt);
+        self.inner
+            .wire_tx
+            .send(Frame { from: self.host, bytes: pkt.encode(), wire_size: pkt.wire_size() })
+            .map_err(|_| Error::Disconnected)
+    }
+
+    /// Blocks until the next frame arrives and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] if the LAN has shut down, or a
+    /// decode error for a corrupt frame.
+    pub fn recv(&self) -> Result<Packet> {
+        let bytes = self.rx.recv().map_err(|_| Error::Disconnected)?;
+        Packet::decode(&bytes)
+    }
+
+    /// Receives with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] on expiry, [`Error::Disconnected`] on shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(bytes) => Packet::decode(&bytes),
+            Err(RecvTimeoutError::Timeout) => Err(Error::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(Error::Disconnected),
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no frame is waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Disconnected`] on shutdown, or a decode error.
+    pub fn try_recv(&self) -> Result<Option<Packet>> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Packet::decode(&bytes).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(Error::Disconnected),
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.inner.endpoints.lock().retain(|(h, _)| *h != self.host);
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Endpoint({})", self.host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mether_core::{PageId, PageLength, Want};
+
+    fn req(from: u16) -> Packet {
+        Packet::PageRequest {
+            from: HostId(from),
+            page: PageId::new(1),
+            length: PageLength::Short,
+            want: Want::ReadOnly,
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_but_sender() {
+        let lan = Lan::new(LanConfig::fast());
+        let a = lan.endpoint(HostId(0));
+        let b = lan.endpoint(HostId(1));
+        let c = lan.endpoint(HostId(2));
+        a.broadcast(&req(0)).unwrap();
+        assert_eq!(b.recv().unwrap(), req(0));
+        assert_eq!(c.recv().unwrap(), req(0));
+        assert!(
+            a.recv_timeout(Duration::from_millis(50)).is_err(),
+            "sender does not hear itself"
+        );
+    }
+
+    #[test]
+    fn frames_arrive_in_order() {
+        let lan = Lan::new(LanConfig::fast());
+        let a = lan.endpoint(HostId(0));
+        let b = lan.endpoint(HostId(1));
+        for i in 0..100u16 {
+            a.broadcast(&Packet::PageRequest {
+                from: HostId(0),
+                page: PageId::new(u32::from(i)),
+                length: PageLength::Full,
+                want: Want::ReadOnly,
+            })
+            .unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(b.recv().unwrap().page(), PageId::new(i));
+        }
+    }
+
+    #[test]
+    fn try_recv_empty_then_some() {
+        let lan = Lan::new(LanConfig::fast());
+        let a = lan.endpoint(HostId(0));
+        let b = lan.endpoint(HostId(1));
+        assert_eq!(b.try_recv().unwrap(), None);
+        a.broadcast(&req(0)).unwrap();
+        // Wait for the wire thread to forward it.
+        let pkt = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(pkt, req(0));
+    }
+
+    #[test]
+    fn loss_drops_frames() {
+        let lan = Lan::new(LanConfig::fast().with_loss(1.0, 7));
+        let a = lan.endpoint(HostId(0));
+        let b = lan.endpoint(HostId(1));
+        a.broadcast(&req(0)).unwrap();
+        assert!(matches!(b.recv_timeout(Duration::from_millis(50)), Err(Error::Timeout)));
+        // Give the wire thread a moment to account the loss.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(lan.stats().lost, 1);
+    }
+
+    #[test]
+    fn stats_count_broadcasts() {
+        let lan = Lan::new(LanConfig::fast());
+        let a = lan.endpoint(HostId(0));
+        let _b = lan.endpoint(HostId(1));
+        a.broadcast(&req(0)).unwrap();
+        a.broadcast(&req(0)).unwrap();
+        assert_eq!(lan.stats().packets, 2);
+        assert_eq!(lan.stats().requests, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn duplicate_host_rejected() {
+        let lan = Lan::new(LanConfig::fast());
+        let _a = lan.endpoint(HostId(0));
+        let _dup = lan.endpoint(HostId(0));
+    }
+
+    #[test]
+    fn dropped_endpoint_detaches() {
+        let lan = Lan::new(LanConfig::fast());
+        let a = lan.endpoint(HostId(0));
+        {
+            let _b = lan.endpoint(HostId(1));
+        }
+        // b is gone; broadcasting must not error or hang.
+        a.broadcast(&req(0)).unwrap();
+        let _c = lan.endpoint(HostId(1)); // id reusable after detach
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let lan = Lan::new(LanConfig {
+            latency: Duration::from_millis(30),
+            bandwidth_bps: None,
+            loss: 0.0,
+            seed: 0,
+        });
+        let a = lan.endpoint(HostId(0));
+        let b = lan.endpoint(HostId(1));
+        let t0 = std::time::Instant::now();
+        a.broadcast(&req(0)).unwrap();
+        let _ = b.recv().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(25), "latency enforced");
+    }
+}

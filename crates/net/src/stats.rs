@@ -1,0 +1,148 @@
+//! Traffic accounting shared by the simulated and threaded networks.
+
+use mether_core::Packet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cumulative traffic counters for one network.
+///
+/// `bytes` uses [`Packet::wire_size`], i.e. it includes Ethernet/IP/UDP
+/// framing and minimum-frame padding, matching how the paper reports
+/// network load ("66 kbytes/second" etc.).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Datagrams transmitted (including any later lost).
+    pub packets: u64,
+    /// Wire bytes transmitted.
+    pub bytes: u64,
+    /// Request packets.
+    pub requests: u64,
+    /// Data-carrying packets.
+    pub data_packets: u64,
+    /// Data payload bytes (page contents only, no framing).
+    pub payload_bytes: u64,
+    /// Packets dropped by loss injection.
+    pub lost: u64,
+}
+
+impl NetStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transmission of `pkt`.
+    pub fn record(&mut self, pkt: &Packet) {
+        self.packets += 1;
+        self.bytes += pkt.wire_size() as u64;
+        match pkt {
+            Packet::PageRequest { .. } => self.requests += 1,
+            Packet::PageData { data, .. } => {
+                self.data_packets += 1;
+                self.payload_bytes += data.len() as u64;
+            }
+        }
+    }
+
+    /// Records a loss-injected drop of an already-recorded packet.
+    pub fn record_loss(&mut self) {
+        self.lost += 1;
+    }
+
+    /// Average offered load in bytes/second over a window of `secs`.
+    ///
+    /// Returns zero for an empty window rather than dividing by zero.
+    pub fn load_bytes_per_sec(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / secs
+        }
+    }
+
+    /// Difference of two counter snapshots (`self` minus `earlier`).
+    #[must_use]
+    pub fn delta(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            packets: self.packets - earlier.packets,
+            bytes: self.bytes - earlier.bytes,
+            requests: self.requests - earlier.requests,
+            data_packets: self.data_packets - earlier.data_packets,
+            payload_bytes: self.payload_bytes - earlier.payload_bytes,
+            lost: self.lost - earlier.lost,
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pkts ({} req, {} data), {} wire bytes, {} payload bytes, {} lost",
+            self.packets, self.requests, self.data_packets, self.bytes, self.payload_bytes,
+            self.lost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mether_core::{Generation, HostId, PageId, PageLength, Want};
+
+    fn req() -> Packet {
+        Packet::PageRequest {
+            from: HostId(0),
+            page: PageId::new(0),
+            length: PageLength::Short,
+            want: Want::ReadOnly,
+        }
+    }
+
+    fn data(len: usize) -> Packet {
+        Packet::PageData {
+            from: HostId(0),
+            page: PageId::new(0),
+            length: PageLength::Short,
+            generation: Generation(1),
+            transfer_to: None,
+            data: Bytes::from(vec![0u8; len]),
+        }
+    }
+
+    #[test]
+    fn record_classifies_packets() {
+        let mut s = NetStats::new();
+        s.record(&req());
+        s.record(&data(32));
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.data_packets, 1);
+        assert_eq!(s.payload_bytes, 32);
+        assert!(s.bytes >= 64 + 64, "both frames at least minimum size");
+    }
+
+    #[test]
+    fn load_calculation() {
+        let mut s = NetStats::new();
+        for _ in 0..10 {
+            s.record(&data(8192));
+        }
+        let load = s.load_bytes_per_sec(10.0);
+        assert!(load > 8192.0 && load < 9000.0, "{load}");
+        assert_eq!(s.load_bytes_per_sec(0.0), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let mut s = NetStats::new();
+        s.record(&req());
+        let snap = s;
+        s.record(&data(32));
+        let d = s.delta(&snap);
+        assert_eq!(d.packets, 1);
+        assert_eq!(d.requests, 0);
+        assert_eq!(d.data_packets, 1);
+    }
+}

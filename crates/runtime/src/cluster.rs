@@ -1,0 +1,112 @@
+//! A cluster: several Mether nodes on one in-process broadcast LAN.
+
+use crate::node::Node;
+use mether_core::{HostId, MetherConfig};
+use mether_net::rt::{Lan, LanConfig};
+use mether_net::NetStats;
+
+/// A set of Mether nodes sharing a broadcast segment.
+///
+/// # Example
+///
+/// ```
+/// use mether_runtime::{Cluster, ClusterConfig};
+/// use mether_core::{MapMode, PageId, VAddr, View};
+///
+/// let cluster = Cluster::new(ClusterConfig::fast(2))?;
+/// let page = PageId::new(0);
+/// cluster.node(0).create_owned(page);
+///
+/// let addr = VAddr::new(page, View::short_demand(), 0)?;
+/// cluster.node(0).write_u32(addr, 42)?;
+/// // Node 1 demand-fetches an inconsistent copy.
+/// let v = cluster.node(1).read_u32(addr, MapMode::ReadOnly)?;
+/// assert_eq!(v, 42);
+/// # Ok::<(), mether_core::Error>(())
+/// ```
+pub struct Cluster {
+    lan: Lan,
+    nodes: Vec<Node>,
+}
+
+/// Configuration of a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// LAN shaping (latency, bandwidth, loss).
+    pub lan: LanConfig,
+    /// Mether page parameters.
+    pub mether: MetherConfig,
+}
+
+impl ClusterConfig {
+    /// `n` nodes on an unshaped LAN — protocol behaviour at full speed.
+    pub fn fast(n: usize) -> Self {
+        ClusterConfig { nodes: n, lan: LanConfig::fast(), mether: MetherConfig::new() }
+    }
+
+    /// `n` nodes on a 10 Mbit/s-shaped LAN (timing-realistic demos).
+    pub fn ten_megabit(n: usize) -> Self {
+        ClusterConfig { nodes: n, lan: LanConfig::ten_megabit(), mether: MetherConfig::new() }
+    }
+}
+
+impl Cluster {
+    /// Brings up the LAN and all nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mether_core::Error::InvalidConfig`] for a zero-node
+    /// cluster.
+    pub fn new(cfg: ClusterConfig) -> mether_core::Result<Cluster> {
+        if cfg.nodes == 0 {
+            return Err(mether_core::Error::InvalidConfig("cluster needs at least one node".into()));
+        }
+        let lan = Lan::new(cfg.lan);
+        let nodes = (0..cfg.nodes)
+            .map(|i| {
+                let host = HostId(i as u16);
+                Node::start(host, lan.endpoint(host), cfg.mether.clone())
+            })
+            .collect();
+        Ok(Cluster { lan, nodes })
+    }
+
+    /// The `i`-th node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a node-less cluster (never constructible; for API parity).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// LAN traffic counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.lan.stats()
+    }
+
+    /// Stops every node's receiver thread.
+    pub fn shutdown(&mut self) {
+        for n in &mut self.nodes {
+            n.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cluster(nodes={})", self.nodes.len())
+    }
+}

@@ -1,0 +1,663 @@
+//! One simulated workstation: CPU, scheduler, kernel driver, user-level
+//! Mether server, and application processes.
+//!
+//! The host model deliberately reproduces the *dynamics* the paper blames
+//! for its numbers:
+//!
+//! * one CPU, round-robin scheduled with a quantum
+//!   ([`crate::Calib::quantum`]) — a spinning process starves everyone
+//!   else until the quantum expires;
+//! * the Mether server is an ordinary user process: when an application
+//!   spins, a runnable server waits [`crate::Calib::server_patience`]
+//!   before SunOS priority aging lets it preempt ("the client may be
+//!   pre-empting the user level server and thus preventing itself from
+//!   getting the newest version of a page");
+//! * every context switch costs real time and is counted — the paper's
+//!   "context switches per addition" metric;
+//! * all network I/O (requests, installs, purge broadcasts, snooping) is
+//!   the server's work, queued and charged per item.
+//!
+//! The CPU executes *bursts*: a compute slice, a memory/trap cost for a
+//! DSM operation, one server work item, or a context switch. The
+//! simulation schedules one `BurstEnd` event per host at a time.
+
+use crate::calib::Calib;
+use crate::process::{DsmOp, OpResult, Step, StepCtx, Workload, WorkloadCounters};
+use mether_core::{
+    AccessOutcome, Effect, FaultKind, MapMode, MetherConfig, PageId, PageLength, PageTable,
+    Packet, Want,
+};
+use mether_core::table::WaiterId;
+use mether_net::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Scheduler state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable, waiting for the CPU.
+    Ready,
+    /// Blocked on a DSM operation.
+    Blocked,
+    /// In a timed kernel sleep.
+    Sleeping,
+    /// Exited.
+    Done,
+}
+
+/// Per-process accounting the simulation reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcTimes {
+    /// CPU time in user mode (compute, spin loops, memory references).
+    pub user: SimDuration,
+    /// CPU time in system mode (traps, purges, lock calls).
+    pub sys: SimDuration,
+}
+
+struct Proc {
+    workload: Box<dyn Workload>,
+    state: ProcState,
+    counters: WorkloadCounters,
+    times: ProcTimes,
+    last: OpResult,
+    /// Operation to retry when woken (faulting instruction restart).
+    pending_op: Option<DsmOp>,
+    blocked_at: SimTime,
+    blocked_kind: Option<FaultKind>,
+    label: String,
+}
+
+/// Work items for the user-level Mether server.
+#[derive(Debug, Clone)]
+enum ServerWork {
+    /// A datagram arrived; snoop/handle it.
+    Packet(Packet),
+    /// Transmit a datagram built by the kernel driver (fault requests).
+    SendPacket(Packet),
+    /// A writeable PURGE is pending: broadcast a read-only copy and issue
+    /// DO-PURGE.
+    PurgeBroadcast {
+        page: PageId,
+        length: PageLength,
+    },
+}
+
+/// Who the CPU is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    App(usize),
+    Server,
+}
+
+/// What the current burst is.
+enum Burst {
+    AppCompute { proc: usize, d: SimDuration },
+    AppOp { proc: usize, op: DsmOp, d: SimDuration, sys: bool },
+    ServerItem { work: ServerWork, d: SimDuration },
+    CtxSwitch { to: Slot },
+}
+
+/// Things the host asks the simulation to do after a burst.
+#[derive(Debug)]
+pub enum HostAction {
+    /// Broadcast this packet on the Ethernet.
+    Transmit(Packet),
+}
+
+/// One simulated workstation.
+pub struct HostSim {
+    /// Index of this host (also its `HostId`).
+    pub index: usize,
+    calib: Calib,
+    /// The kernel driver state (shared protocol logic).
+    pub table: PageTable,
+    procs: Vec<Proc>,
+    run_queue: VecDeque<usize>,
+    server_queue: VecDeque<ServerWork>,
+    server_ready_since: Option<SimTime>,
+    current: Option<Slot>,
+    current_burst: Option<Burst>,
+    current_started: SimTime,
+    last_ran: Option<Slot>,
+    /// Context switches performed.
+    pub ctx_switches: u64,
+    /// Completed fault latencies (block → wake), page faults only.
+    pub fault_latencies: Vec<SimDuration>,
+    /// CPU time consumed by the server (reported as system time).
+    pub server_time: SimDuration,
+    /// Peak depth of the server work queue (degeneration diagnostic).
+    pub max_server_queue: usize,
+    /// Sleeps requested during dispatch (drained by `finish_burst`).
+    pending_sleeps: Vec<(usize, SimTime)>,
+    /// Pending writeable-purge broadcast lengths, page → view length.
+    purge_lengths: Vec<(PageId, PageLength)>,
+    /// A process was just woken: it outranks the server once (SunOS
+    /// priority boost for processes returning from a long sleep).
+    wake_boost: bool,
+}
+
+impl HostSim {
+    /// A host with no processes.
+    pub fn new(index: usize, calib: Calib, cfg: MetherConfig) -> Self {
+        HostSim {
+            index,
+            calib,
+            table: PageTable::new(mether_core::HostId(index as u16), cfg),
+            procs: Vec::new(),
+            run_queue: VecDeque::new(),
+            server_queue: VecDeque::new(),
+            server_ready_since: None,
+            current: None,
+            current_burst: None,
+            current_started: SimTime::ZERO,
+            last_ran: None,
+            ctx_switches: 0,
+            fault_latencies: Vec::new(),
+            server_time: SimDuration::ZERO,
+            max_server_queue: 0,
+            pending_sleeps: Vec::new(),
+            purge_lengths: Vec::new(),
+            wake_boost: false,
+        }
+    }
+
+    /// Adds an application process; returns its index.
+    pub fn add_process(&mut self, workload: Box<dyn Workload>) -> usize {
+        let label = workload.label().to_string();
+        let idx = self.procs.len();
+        self.procs.push(Proc {
+            workload,
+            state: ProcState::Ready,
+            counters: WorkloadCounters::default(),
+            times: ProcTimes::default(),
+            last: OpResult::None,
+            pending_op: None,
+            blocked_at: SimTime::ZERO,
+            blocked_kind: None,
+            label,
+        });
+        self.run_queue.push_back(idx);
+        idx
+    }
+
+    /// Number of processes on this host.
+    pub fn proc_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when every application process has exited.
+    pub fn all_done(&self) -> bool {
+        self.procs.iter().all(|p| p.state == ProcState::Done)
+    }
+
+    /// Counters of process `i`.
+    pub fn counters(&self, i: usize) -> &WorkloadCounters {
+        &self.procs[i].counters
+    }
+
+    /// CPU accounting of process `i`.
+    pub fn times(&self, i: usize) -> ProcTimes {
+        self.procs[i].times
+    }
+
+    /// Label of process `i`.
+    pub fn proc_label(&self, i: usize) -> &str {
+        &self.procs[i].label
+    }
+
+    /// A packet arrived from the network: queue it for the server.
+    pub fn deliver_packet(&mut self, now: SimTime, pkt: Packet) {
+        self.push_server_work(now, ServerWork::Packet(pkt));
+    }
+
+    /// A sleep timer fired for process `proc`.
+    pub fn timer_fired(&mut self, proc: usize) {
+        if self.procs[proc].state == ProcState::Sleeping {
+            self.procs[proc].state = ProcState::Ready;
+            self.run_queue.push_back(proc);
+        }
+    }
+
+    /// Is the CPU idle (no burst outstanding)?
+    pub fn cpu_idle(&self) -> bool {
+        self.current_burst.is_none()
+    }
+
+    /// Drains sleep requests made during dispatch; the simulation turns
+    /// them into timer events.
+    pub fn take_sleeps(&mut self) -> Vec<(usize, SimTime)> {
+        std::mem::take(&mut self.pending_sleeps)
+    }
+
+    fn push_server_work(&mut self, now: SimTime, work: ServerWork) {
+        if self.server_queue.is_empty() {
+            self.server_ready_since = Some(now);
+        }
+        self.server_queue.push_back(work);
+        self.max_server_queue = self.max_server_queue.max(self.server_queue.len());
+    }
+
+    fn server_cost(&self, work: &ServerWork) -> SimDuration {
+        match work {
+            ServerWork::SendPacket(_) => self.calib.server_send_request,
+            ServerWork::PurgeBroadcast { .. } => self.calib.server_purge_broadcast,
+            ServerWork::Packet(pkt) => match pkt {
+                Packet::PageRequest { page, want, length, .. } => {
+                    let answers = match want {
+                        Want::ReadOnly | Want::Consistent => {
+                            self.table.is_consistent_holder(*page)
+                        }
+                        Want::Superset => {
+                            !self.table.is_consistent_holder(*page)
+                                && self
+                                    .table
+                                    .page_buf(*page)
+                                    .is_some_and(mether_core::PageBuf::full_valid)
+                        }
+                    };
+                    if answers {
+                        let bytes = match want {
+                            Want::Superset => mether_core::PAGE_SIZE,
+                            _ => self.table.config().transfer_len(*length),
+                        };
+                        self.calib.reply_cost(bytes)
+                    } else {
+                        self.calib.server_snoop
+                    }
+                }
+                Packet::PageData { page, data, transfer_to, .. } => {
+                    let interested = transfer_to
+                        == &Some(mether_core::HostId(self.index as u16))
+                        || self.table.page_buf(*page).is_some()
+                        || self.table.tracked_pages().any(|p| p == *page);
+                    if interested {
+                        self.calib.install_cost(data.len())
+                    } else {
+                        self.calib.server_snoop
+                    }
+                }
+            },
+        }
+    }
+
+    /// Picks and starts the next burst if the CPU is idle. Returns the
+    /// burst completion time to schedule, if any.
+    pub fn dispatch(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.current_burst.is_some() {
+            return None;
+        }
+        loop {
+            let next = self.choose(now)?;
+            // Charge a context switch when the CPU changes hands.
+            if self.last_ran != Some(next) && self.last_ran.is_some() {
+                self.ctx_switches += 1;
+                let d = self.calib.ctx_switch;
+                self.current_burst = Some(Burst::CtxSwitch { to: next });
+                return Some(now + d);
+            }
+            if self.current != Some(next) {
+                self.current_started = now;
+            }
+            self.current = Some(next);
+            self.last_ran = Some(next);
+            match next {
+                Slot::Server => {
+                    let work = self.server_queue.front().expect("chose server with work");
+                    let d = self.server_cost(work);
+                    let work = self.server_queue.pop_front().expect("non-empty");
+                    if self.server_queue.is_empty() {
+                        self.server_ready_since = None;
+                    } else {
+                        self.server_ready_since = Some(now);
+                    }
+                    self.current_burst = Some(Burst::ServerItem { work, d });
+                    return Some(now + d);
+                }
+                Slot::App(i) => {
+                    match self.next_app_action(now, i) {
+                        Some((burst, d)) => {
+                            self.current_burst = Some(burst);
+                            return Some(now + d);
+                        }
+                        None => {
+                            // Process blocked, slept, or exited without
+                            // using the CPU; pick someone else.
+                            self.current = None;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Determines the app's next CPU burst, advancing its workload state
+    /// machine. Returns `None` if the process did not take the CPU
+    /// (slept/done — sleep scheduling is requested via `pending_actions`).
+    fn next_app_action(&mut self, now: SimTime, i: usize) -> Option<(Burst, SimDuration)> {
+        // Retry a faulted operation first.
+        if let Some(op) = self.procs[i].pending_op.clone() {
+            let (d, sys) = self.op_cost(&op);
+            return Some((Burst::AppOp { proc: i, op, d, sys }, d));
+        }
+        let p = &mut self.procs[i];
+        let mut ctx = StepCtx { now, last: p.last, counters: &mut p.counters };
+        let step = p.workload.step(&mut ctx);
+        p.last = OpResult::None;
+        match step {
+            Step::Compute(d) => Some((Burst::AppCompute { proc: i, d }, d)),
+            Step::Op(op) => {
+                let (d, sys) = self.op_cost(&op);
+                Some((Burst::AppOp { proc: i, op, d, sys }, d))
+            }
+            Step::Sleep(d) => {
+                self.procs[i].state = ProcState::Sleeping;
+                self.pending_sleeps.push((i, now + d));
+                None
+            }
+            Step::Done => {
+                self.procs[i].state = ProcState::Done;
+                None
+            }
+        }
+    }
+
+    fn op_cost(&self, op: &DsmOp) -> (SimDuration, bool) {
+        match op {
+            DsmOp::Read { page, view, mode, .. } => {
+                if self.would_hit(*page, view.length, *mode) {
+                    (self.calib.mem_ref, false)
+                } else {
+                    (self.calib.fault_trap, true)
+                }
+            }
+            DsmOp::Write { page, view, .. } => {
+                if self.would_hit(*page, view.length, MapMode::Writeable) {
+                    (self.calib.mem_ref, false)
+                } else {
+                    (self.calib.fault_trap, true)
+                }
+            }
+            DsmOp::Purge { .. } | DsmOp::Lock { .. } | DsmOp::Unlock { .. } => {
+                (self.calib.fault_trap, true)
+            }
+        }
+    }
+
+    fn would_hit(&self, page: PageId, length: PageLength, mode: MapMode) -> bool {
+        let short_len = self.table.config().short_len;
+        let present = self
+            .table
+            .page_buf(page)
+            .is_some_and(|b| b.satisfies(length, short_len));
+        match mode {
+            MapMode::Writeable => self.table.is_consistent_holder(page) && present,
+            MapMode::ReadOnly => present,
+        }
+    }
+
+    /// Scheduler policy: who gets the CPU now?
+    fn choose(&mut self, now: SimTime) -> Option<Slot> {
+        let server_has_work = !self.server_queue.is_empty();
+        let server_waited = self
+            .server_ready_since
+            .map(|t| now.since(t) >= self.calib.server_patience)
+            .unwrap_or(false);
+        // Sleeper boost: a process returning from a long sleep outranks
+        // the server once. This is what lets the just-installed page be
+        // used before the next incoming request ships it away again —
+        // and, symmetrically, what forces the server to sit out a
+        // patience period while the woken client spins (the paper's
+        // "client preempting the user level server").
+        if self.wake_boost && !self.run_queue.is_empty() && self.current != Some(Slot::Server) {
+            self.wake_boost = false;
+            if server_has_work {
+                self.server_ready_since = Some(now);
+            }
+            if let Some(Slot::App(i)) = self.current {
+                if self.procs[i].state == ProcState::Ready {
+                    self.run_queue.push_back(i);
+                }
+            }
+            self.current = None;
+            return self.run_queue.pop_front().map(Slot::App);
+        }
+        match self.current {
+            // Continuing after a burst by the same app.
+            Some(Slot::App(i))
+                if self.procs[i].state == ProcState::Ready
+                    || self.procs[i].state == ProcState::Blocked =>
+            {
+                // (Blocked processes never reach here; see finish_burst.)
+                self.wake_boost = false;
+                if server_has_work && server_waited {
+                    self.run_queue.push_back(i);
+                    self.current = None;
+                    return Some(Slot::Server);
+                }
+                if now.since(self.current_started) >= self.calib.quantum {
+                    if let Some(next) = self.run_queue.pop_front() {
+                        self.run_queue.push_back(i);
+                        self.current = None;
+                        return Some(Slot::App(next));
+                    }
+                }
+                Some(Slot::App(i))
+            }
+            Some(Slot::Server) if server_has_work => {
+                if self.wake_boost && !self.run_queue.is_empty() {
+                    self.wake_boost = false;
+                    self.server_ready_since = Some(now);
+                    self.current = None;
+                    return self.run_queue.pop_front().map(Slot::App);
+                }
+                Some(Slot::Server)
+            }
+            _ => {
+                // CPU idle or previous occupant gone.
+                self.current = None;
+                if server_has_work {
+                    return Some(Slot::Server);
+                }
+                let next = self.run_queue.pop_front().map(Slot::App);
+                if next.is_some() {
+                    self.wake_boost = false;
+                }
+                next
+            }
+        }
+    }
+
+    /// Completes the current burst at `now`, returning follow-up actions
+    /// for the simulation (transmissions, sleeps).
+    pub fn finish_burst(&mut self, now: SimTime) -> Vec<HostAction> {
+        let mut actions: Vec<HostAction> = Vec::new();
+        let burst = self.current_burst.take().expect("finish without burst");
+        if std::env::var_os("METHER_TRACE").is_some() {
+            let what = match &burst {
+                Burst::AppCompute { proc, .. } => format!("app{proc} compute"),
+                Burst::AppOp { proc, op, .. } => format!("app{proc} op {op:?}"),
+                Burst::ServerItem { work, .. } => format!("server {work:?}"),
+                Burst::CtxSwitch { to } => format!("ctxswitch -> {to:?}"),
+            };
+            eprintln!("[{now}] h{} END {what}", self.index);
+        }
+        match burst {
+            Burst::CtxSwitch { to } => {
+                // Now actually give `to` the CPU; dispatch() will resume it.
+                self.current = Some(to);
+                self.last_ran = Some(to);
+                self.current_started = now;
+                // Re-queue semantics: `to` was chosen; if it is an app it
+                // was already popped from the run queue by choose().
+            }
+            Burst::AppCompute { proc, d } => {
+                self.procs[proc].times.user += d;
+            }
+            Burst::AppOp { proc, op, d, sys } => {
+                if sys {
+                    self.procs[proc].times.sys += d;
+                } else {
+                    self.procs[proc].times.user += d;
+                }
+                self.exec_op(now, proc, op, &mut actions);
+            }
+            Burst::ServerItem { work, d } => {
+                self.server_time += d;
+                self.exec_server(now, work, &mut actions);
+            }
+        }
+        actions
+    }
+
+    fn exec_op(&mut self, now: SimTime, proc: usize, op: DsmOp, actions: &mut Vec<HostAction>) {
+        let waiter = proc as WaiterId;
+        let mut effects = Vec::new();
+        let outcome = match &op {
+            DsmOp::Read { page, view, mode, offset } => {
+                match self.table.access(*page, *view, *mode, waiter, &mut effects) {
+                    Ok(AccessOutcome::Ready) => {
+                        let v = self
+                            .table
+                            .page_buf(*page)
+                            .expect("ready implies present")
+                            .read_u32(*offset as usize)
+                            .expect("offset validated by VAddr");
+                        Some(OpResult::Value(v))
+                    }
+                    Ok(AccessOutcome::Blocked(kind)) => {
+                        self.block(now, proc, op.clone(), kind);
+                        None
+                    }
+                    Err(e) => panic!("workload bug: {e}"),
+                }
+            }
+            DsmOp::Write { page, view, offset, value } => {
+                match self.table.access(*page, *view, MapMode::Writeable, waiter, &mut effects) {
+                    Ok(AccessOutcome::Ready) => {
+                        self.table
+                            .page_buf_mut(*page)
+                            .expect("ready implies present")
+                            .write_u32(*offset as usize, *value)
+                            .expect("offset validated");
+                        Some(OpResult::Done)
+                    }
+                    Ok(AccessOutcome::Blocked(kind)) => {
+                        self.block(now, proc, op.clone(), kind);
+                        None
+                    }
+                    Err(e) => panic!("workload bug: {e}"),
+                }
+            }
+            DsmOp::Purge { page, mode, length } => {
+                match self.table.purge(*page, *mode, waiter, &mut effects) {
+                    Ok(AccessOutcome::Ready) => Some(OpResult::Done),
+                    Ok(AccessOutcome::Blocked(kind)) => {
+                        // Record the broadcast length for the server.
+                        self.purge_lengths.push((*page, *length));
+                        self.block(now, proc, op.clone(), kind);
+                        None
+                    }
+                    Err(e) => panic!("workload bug: {e}"),
+                }
+            }
+            DsmOp::Lock { page, length } => match self.table.lock(*page, *length) {
+                Ok(()) => Some(OpResult::LockOk),
+                Err(_) => Some(OpResult::LockFailed),
+            },
+            DsmOp::Unlock { page } => {
+                self.table.unlock(*page, &mut effects);
+                Some(OpResult::Done)
+            }
+        };
+        if let Some(res) = outcome {
+            self.procs[proc].last = res;
+            self.procs[proc].pending_op = None;
+        }
+        self.apply_effects(now, effects, actions);
+    }
+
+    fn block(&mut self, now: SimTime, proc: usize, op: DsmOp, kind: FaultKind) {
+        let p = &mut self.procs[proc];
+        p.state = ProcState::Blocked;
+        p.pending_op = Some(op);
+        p.blocked_at = now;
+        p.blocked_kind = Some(kind);
+        self.current = None;
+    }
+
+    fn exec_server(&mut self, now: SimTime, work: ServerWork, actions: &mut Vec<HostAction>) {
+        match work {
+            ServerWork::SendPacket(pkt) => actions.push(HostAction::Transmit(pkt)),
+            ServerWork::PurgeBroadcast { page, length } => {
+                let mut effects = Vec::new();
+                match self.table.server_purge_broadcast(page, length) {
+                    Ok(pkt) => actions.push(HostAction::Transmit(pkt)),
+                    Err(_) => {
+                        // Consistency moved away before the server got to
+                        // it; nothing to broadcast.
+                    }
+                }
+                self.table.do_purge(page, &mut effects);
+                self.apply_effects(now, effects, actions);
+            }
+            ServerWork::Packet(pkt) => {
+                let mut effects = Vec::new();
+                self.table.handle_packet(&pkt, &mut effects);
+                self.apply_effects(now, effects, actions);
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, now: SimTime, effects: Vec<Effect>, actions: &mut Vec<HostAction>) {
+        for fx in effects {
+            match fx {
+                Effect::Send(pkt) => {
+                    // The kernel driver built a packet; the user-level
+                    // server must transmit it. When the effect arises
+                    // *inside* server processing (answering a request) the
+                    // cost was already charged; transmit directly.
+                    if matches!(self.current, Some(Slot::Server)) {
+                        actions.push(HostAction::Transmit(pkt));
+                    } else {
+                        self.push_server_work(now, ServerWork::SendPacket(pkt));
+                    }
+                }
+                Effect::Wake(w) => {
+                    let proc = w as usize;
+                    let p = &mut self.procs[proc];
+                    if p.state == ProcState::Blocked {
+                        p.state = ProcState::Ready;
+                        if matches!(
+                            p.blocked_kind,
+                            Some(FaultKind::DemandFetch)
+                                | Some(FaultKind::DataWait)
+                                | Some(FaultKind::ConsistentFetch)
+                        ) {
+                            self.fault_latencies.push(now.since(p.blocked_at));
+                        }
+                        if p.blocked_kind == Some(FaultKind::PurgeWait) {
+                            // The purge completed; do not re-execute it.
+                            p.pending_op = None;
+                            p.last = OpResult::Done;
+                        }
+                        p.blocked_kind = None;
+                        self.run_queue.push_back(proc);
+                        self.wake_boost = true;
+                    }
+                }
+                Effect::ServerPurge(page) => {
+                    let length = self
+                        .purge_lengths
+                        .iter()
+                        .rev()
+                        .find(|(p, _)| *p == page)
+                        .map(|(_, l)| *l)
+                        .unwrap_or(PageLength::Full);
+                    self.purge_lengths.retain(|(p, _)| *p != page);
+                    self.push_server_work(now, ServerWork::PurgeBroadcast { page, length });
+                }
+                Effect::ConsistentArrived(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Experiment metrics: the columns of the paper's Figures 4–9.
+//!
+//! Every counting-protocol run produces a [`ProtocolMetrics`], whose
+//! `Display` impl prints a table in the same shape as the paper's figures
+//! (operation → cost), plus reproduction-specific extras (bytes per
+//! addition, server queue depth).
+
+use mether_net::{NetStats, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Measured costs of one user protocol run (one paper figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtocolMetrics {
+    /// Protocol name, e.g. `"P1: increment on full-size page"`.
+    pub label: String,
+    /// Whether the workload completed within the run limits. Figure 6's
+    /// protocol 3 "never finished".
+    pub finished: bool,
+    /// Virtual wall-clock time at completion (or at the cap).
+    pub wall: SimDuration,
+    /// Mean per-host user CPU time of the application processes.
+    pub user: SimDuration,
+    /// Mean per-host system time (application traps + the user-level
+    /// server's work, which is mostly syscalls on this platform).
+    pub sys: SimDuration,
+    /// Network traffic counters for the whole run.
+    pub net: NetStats,
+    /// Offered network load in bytes/second (wire bytes ÷ wall).
+    pub net_load_bps: f64,
+    /// Wire bytes per completed addition.
+    pub bytes_per_addition: f64,
+    /// Total context switches across all hosts.
+    pub ctx_switches: u64,
+    /// Context switches per completed addition.
+    pub ctx_per_addition: f64,
+    /// Mean page-fault service time (block → wake).
+    pub avg_latency: SimDuration,
+    /// Total checks that saw an unchanged variable.
+    pub losses: u64,
+    /// Total checks that saw a changed variable.
+    pub wins: u64,
+    /// Synchronisation operations completed (the paper's 1024 additions).
+    pub additions: u64,
+    /// Pages of Mether address space the protocol uses.
+    pub space_pages: u32,
+    /// Peak server work-queue depth across hosts (degeneration marker).
+    pub max_server_queue: usize,
+}
+
+impl ProtocolMetrics {
+    /// losses ÷ wins (`inf` when no wins — total starvation).
+    pub fn loss_win_ratio(&self) -> f64 {
+        if self.wins == 0 {
+            f64::INFINITY
+        } else {
+            self.losses as f64 / self.wins as f64
+        }
+    }
+}
+
+impl fmt::Display for ProtocolMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── {} ──", self.label)?;
+        if !self.finished {
+            writeln!(f, "  (did not finish; cut off at the run limit)")?;
+        }
+        writeln!(f, "  {:<24} {}", "Wallclock Time", self.wall)?;
+        writeln!(f, "  {:<24} {}", "User Time", self.user)?;
+        writeln!(f, "  {:<24} {}", "Sys Time", self.sys)?;
+        writeln!(
+            f,
+            "  {:<24} {:.1} kbytes/second ({:.0} bytes/addition)",
+            "Network Load",
+            self.net_load_bps / 1000.0,
+            self.bytes_per_addition
+        )?;
+        writeln!(f, "  {:<24} {:.1} per addition", "Context Switches", self.ctx_per_addition)?;
+        writeln!(f, "  {:<24} {} pages", "Space", self.space_pages)?;
+        writeln!(f, "  {:<24} {}", "Average Latency", self.avg_latency)?;
+        writeln!(f, "  {:<24} {:.1}", "Losses/Wins", self.loss_win_ratio())?;
+        writeln!(
+            f,
+            "  {:<24} {} pkts ({} req / {} data), peak server queue {}",
+            "Packets", self.net.packets, self.net.requests, self.net.data_packets,
+            self.max_server_queue
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProtocolMetrics {
+        ProtocolMetrics {
+            label: "test".into(),
+            finished: true,
+            wall: SimDuration::from_secs(10),
+            user: SimDuration::from_secs(1),
+            sys: SimDuration::from_secs(2),
+            net: NetStats::new(),
+            net_load_bps: 2200.0,
+            bytes_per_addition: 148.0,
+            ctx_switches: 4096,
+            ctx_per_addition: 4.0,
+            avg_latency: SimDuration::from_millis(68),
+            losses: 1340,
+            wins: 10,
+            additions: 1024,
+            space_pages: 1,
+            max_server_queue: 3,
+        }
+    }
+
+    #[test]
+    fn loss_win_ratio_math() {
+        let mut m = sample();
+        assert_eq!(m.loss_win_ratio(), 134.0);
+        m.wins = 0;
+        assert!(m.loss_win_ratio().is_infinite());
+    }
+
+    #[test]
+    fn display_contains_paper_rows() {
+        let s = sample().to_string();
+        for row in [
+            "Wallclock Time",
+            "User Time",
+            "Sys Time",
+            "Network Load",
+            "Context Switches",
+            "Space",
+            "Average Latency",
+            "Losses/Wins",
+        ] {
+            assert!(s.contains(row), "missing row {row}:\n{s}");
+        }
+    }
+
+    #[test]
+    fn display_flags_unfinished_runs() {
+        let mut m = sample();
+        m.finished = false;
+        assert!(m.to_string().contains("did not finish"));
+    }
+}

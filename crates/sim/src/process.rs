@@ -1,0 +1,227 @@
+//! The workload abstraction: user programs as resumable state machines.
+//!
+//! The simulator cannot run real code against virtual time, so a simulated
+//! user program is a [`Workload`]: each call to [`Workload::step`] returns
+//! the next thing the process does — burn CPU, touch the Mether address
+//! space, sleep, or exit. Blocking is implicit: when a DSM operation
+//! faults, the process blocks and the *same* operation is re-issued after
+//! wakeup, exactly like a faulting instruction restarting.
+//!
+//! Workloads communicate results through [`StepCtx::last`], and report
+//! protocol-level outcomes (the paper's losses and wins) through
+//! [`StepCtx::counters`].
+
+use mether_core::{MapMode, PageId, PageLength, VAddr, View};
+use mether_net::{SimDuration, SimTime};
+
+/// One simulated user process.
+pub trait Workload: Send {
+    /// Returns the process's next action. Called when the process is
+    /// scheduled: initially, after each completed step, and after each
+    /// wakeup from a blocking operation (the operation will have been
+    /// retried and its result placed in [`StepCtx::last`]).
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step;
+
+    /// A short label for traces and metrics.
+    fn label(&self) -> &str {
+        "workload"
+    }
+}
+
+/// What a process does next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Burn CPU for this long (charged to user time).
+    Compute(SimDuration),
+    /// Sleep without holding the CPU (a kernel sleep; wall time only).
+    Sleep(SimDuration),
+    /// Perform a DSM operation; result arrives in [`StepCtx::last`].
+    Op(DsmOp),
+    /// Exit successfully.
+    Done,
+}
+
+/// A Mether operation issued by a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsmOp {
+    /// Read a 32-bit word through the given view and mapping.
+    Read {
+        /// Page to read.
+        page: PageId,
+        /// View (full/short × demand/data) used for the access.
+        view: View,
+        /// Consistent (writeable) or inconsistent (read-only) mapping.
+        mode: MapMode,
+        /// Byte offset of the word.
+        offset: u32,
+    },
+    /// Write a 32-bit word through the consistent mapping.
+    Write {
+        /// Page to write.
+        page: PageId,
+        /// View used for the faulting access (demand-driven only).
+        view: View,
+        /// Byte offset of the word.
+        offset: u32,
+        /// Value to store.
+        value: u32,
+    },
+    /// PURGE the page through a mapping.
+    Purge {
+        /// Page to purge.
+        page: PageId,
+        /// Read-only purge (invalidate) or writeable purge (broadcast).
+        mode: MapMode,
+        /// For writeable purges: how much of the page the server
+        /// broadcasts.
+        length: PageLength,
+    },
+    /// Lock the page into the address space (must hold the consistent
+    /// copy).
+    Lock {
+        /// Page to lock.
+        page: PageId,
+        /// View length to lock (Figure 1 rules).
+        length: PageLength,
+    },
+    /// Release a lock.
+    Unlock {
+        /// Page to unlock.
+        page: PageId,
+    },
+}
+
+impl DsmOp {
+    /// Convenience: read through an address (view bits decoded from it).
+    pub fn read_addr(addr: VAddr, mode: MapMode) -> DsmOp {
+        DsmOp::Read { page: addr.page(), view: addr.view(), mode, offset: addr.offset() }
+    }
+
+    /// Convenience: write through an address.
+    pub fn write_addr(addr: VAddr, value: u32) -> DsmOp {
+        DsmOp::Write { page: addr.page(), view: addr.view(), offset: addr.offset(), value }
+    }
+}
+
+/// Result of the most recent [`DsmOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpResult {
+    /// No operation has completed yet.
+    #[default]
+    None,
+    /// A read completed with this value.
+    Value(u32),
+    /// A write, purge, or unlock completed.
+    Done,
+    /// A lock was granted.
+    LockOk,
+    /// A lock failed (consistent copy or subsets absent).
+    LockFailed,
+}
+
+/// Counters a workload accumulates; the paper's Loss/Win ratio lives here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadCounters {
+    /// Checks that saw an unchanged variable.
+    pub losses: u64,
+    /// Checks that saw a changed variable.
+    pub wins: u64,
+    /// Synchronisation operations completed (increments, messages, ...).
+    pub operations: u64,
+}
+
+impl WorkloadCounters {
+    /// losses ÷ wins, the paper's Loss/Win ratio ( `inf` if no wins).
+    pub fn loss_win_ratio(&self) -> f64 {
+        if self.wins == 0 {
+            f64::INFINITY
+        } else {
+            self.losses as f64 / self.wins as f64
+        }
+    }
+}
+
+/// Context handed to [`Workload::step`].
+#[derive(Debug)]
+pub struct StepCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Result of the last completed operation.
+    pub last: OpResult,
+    /// The workload's counters.
+    pub counters: &'a mut WorkloadCounters,
+}
+
+impl StepCtx<'_> {
+    /// The last read value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous step was not a completed read — a logic
+    /// error in the workload state machine.
+    pub fn value(&self) -> u32 {
+        match self.last {
+            OpResult::Value(v) => v,
+            other => panic!("expected a read result, got {other:?}"),
+        }
+    }
+
+    /// Records a loss (saw an unchanged variable).
+    pub fn lose(&mut self) {
+        self.counters.losses += 1;
+    }
+
+    /// Records a win (saw a changed variable).
+    pub fn win(&mut self) {
+        self.counters.wins += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mether_core::{DriveMode, PageLength};
+
+    #[test]
+    fn op_from_addr_round_trip() {
+        let addr = VAddr::new(PageId::new(3), View::short_data(), 8).unwrap();
+        match DsmOp::read_addr(addr, MapMode::ReadOnly) {
+            DsmOp::Read { page, view, mode, offset } => {
+                assert_eq!(page, PageId::new(3));
+                assert_eq!(view.length, PageLength::Short);
+                assert_eq!(view.drive, DriveMode::Data);
+                assert_eq!(mode, MapMode::ReadOnly);
+                assert_eq!(offset, 8);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_win_ratio() {
+        let mut c = WorkloadCounters::default();
+        assert!(c.loss_win_ratio().is_infinite());
+        c.wins = 2;
+        c.losses = 1000;
+        assert_eq!(c.loss_win_ratio(), 500.0);
+    }
+
+    #[test]
+    fn ctx_value_accessor() {
+        let mut counters = WorkloadCounters::default();
+        let mut ctx = StepCtx { now: SimTime::ZERO, last: OpResult::Value(7), counters: &mut counters };
+        assert_eq!(ctx.value(), 7);
+        ctx.lose();
+        ctx.win();
+        assert_eq!(ctx.counters.losses, 1);
+        assert_eq!(ctx.counters.wins, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a read result")]
+    fn ctx_value_panics_without_read() {
+        let mut counters = WorkloadCounters::default();
+        let ctx = StepCtx { now: SimTime::ZERO, last: OpResult::Done, counters: &mut counters };
+        let _ = ctx.value();
+    }
+}

@@ -1,0 +1,302 @@
+//! The discrete-event simulation driver.
+//!
+//! A [`Simulation`] owns the hosts and the Ethernet, and advances virtual
+//! time through a single event heap. Three event kinds exist: a host CPU
+//! finishing its current burst, a packet arriving at a host, and a sleep
+//! timer firing. Determinism: events at equal times are ordered by
+//! insertion sequence, and all randomness (loss injection) flows from the
+//! seed in [`mether_net::EtherConfig`].
+
+use crate::calib::Calib;
+use crate::host::{HostAction, HostSim};
+use crate::metrics::ProtocolMetrics;
+use crate::process::Workload;
+use mether_core::{MetherConfig, PageId, Packet};
+use mether_net::{EtherConfig, EtherSim, SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// Static description of a simulated deployment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of workstations on the segment.
+    pub hosts: usize,
+    /// Host-side cost model.
+    pub calib: Calib,
+    /// Network model parameters.
+    pub ether: EtherConfig,
+    /// Mether page configuration.
+    pub mether: MetherConfig,
+}
+
+impl SimConfig {
+    /// The paper's testbed: `n` Sun-3/50s on a 10 Mbit/s Ethernet.
+    pub fn paper(n: usize) -> Self {
+        SimConfig {
+            hosts: n,
+            calib: Calib::sun3_sunos4(),
+            ether: EtherConfig::ten_megabit(),
+            mether: MetherConfig::new(),
+        }
+    }
+}
+
+/// Caps on a run, so degenerate protocols (Figure 6) terminate.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Stop after this much virtual time.
+    pub max_sim_time: SimDuration,
+    /// Stop after this many events (backstop against livelock).
+    pub max_events: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_sim_time: SimDuration::from_secs(600), max_events: 200_000_000 }
+    }
+}
+
+/// Result summary of [`Simulation::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// True if every application process exited before the limits.
+    pub finished: bool,
+    /// Virtual time when the run stopped.
+    pub wall: SimDuration,
+    /// Events processed.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+enum EvKind {
+    BurstEnd { host: usize },
+    PacketArrive { host: usize, pkt: Packet },
+    Timer { host: usize, proc: usize },
+}
+
+struct Ev {
+    at: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A complete simulated deployment, ready to run.
+pub struct Simulation {
+    hosts: Vec<HostSim>,
+    ether: EtherSim,
+    events: BinaryHeap<Ev>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl Simulation {
+    /// Builds a quiet deployment from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.hosts` is zero.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.hosts > 0, "a simulation needs at least one host");
+        let hosts = (0..cfg.hosts)
+            .map(|i| HostSim::new(i, cfg.calib.clone(), cfg.mether.clone()))
+            .collect();
+        Simulation {
+            hosts,
+            ether: EtherSim::new(cfg.ether),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Adds an application process to `host`; returns its process index.
+    pub fn add_process(&mut self, host: usize, workload: Box<dyn Workload>) -> usize {
+        self.hosts[host].add_process(workload)
+    }
+
+    /// Seeds `page` as created (consistent) on `host`.
+    pub fn create_owned(&mut self, host: usize, page: PageId) {
+        self.hosts[host].table.create_owned(page);
+    }
+
+    /// Immutable access to a host (metrics, page table inspection).
+    pub fn host(&self, i: usize) -> &HostSim {
+        &self.hosts[i]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network traffic so far.
+    pub fn net_stats(&self) -> mether_net::NetStats {
+        *self.ether.stats()
+    }
+
+    fn push(&mut self, at: SimTime, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Ev { at, seq, kind });
+    }
+
+    /// Dispatches `host` if its CPU is idle, scheduling the burst end and
+    /// any sleep timers it requested.
+    fn kick(&mut self, host: usize) {
+        if let Some(end) = self.hosts[host].dispatch(self.now) {
+            self.push(end, EvKind::BurstEnd { host });
+        }
+        for (proc, wake_at) in self.hosts[host].take_sleeps() {
+            self.push(wake_at, EvKind::Timer { host, proc });
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<HostAction>) {
+        for a in actions {
+            match a {
+                HostAction::Transmit(pkt) => {
+                    let tx = self.ether.transmit(self.now, &pkt);
+                    if let Some(at) = tx.delivered_at {
+                        for h in 0..self.hosts.len() {
+                            if h != pkt.from().0 as usize {
+                                self.push(at, EvKind::PacketArrive { host: h, pkt: pkt.clone() });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until every process is done or a limit trips.
+    pub fn run(&mut self, limits: RunLimits) -> RunOutcome {
+        let deadline = SimTime::ZERO + limits.max_sim_time;
+        let mut processed: u64 = 0;
+        for h in 0..self.hosts.len() {
+            self.kick(h);
+        }
+        while let Some(ev) = self.events.pop() {
+            if ev.at > deadline || processed >= limits.max_events {
+                self.now = self.now.max(ev.at.max(deadline));
+                return RunOutcome {
+                    finished: false,
+                    wall: self.now - SimTime::ZERO,
+                    events: processed,
+                };
+            }
+            processed += 1;
+            self.now = ev.at;
+            match ev.kind {
+                EvKind::BurstEnd { host } => {
+                    let actions = self.hosts[host].finish_burst(self.now);
+                    self.apply(actions);
+                    self.kick(host);
+                }
+                EvKind::PacketArrive { host, pkt } => {
+                    self.hosts[host].deliver_packet(self.now, pkt);
+                    self.kick(host);
+                }
+                EvKind::Timer { host, proc } => {
+                    self.hosts[host].timer_fired(proc);
+                    self.kick(host);
+                }
+            }
+            if self.hosts.iter().all(HostSim::all_done) {
+                return RunOutcome {
+                    finished: true,
+                    wall: self.now - SimTime::ZERO,
+                    events: processed,
+                };
+            }
+        }
+        RunOutcome {
+            finished: self.hosts.iter().all(HostSim::all_done),
+            wall: self.now - SimTime::ZERO,
+            events: processed,
+        }
+    }
+
+    /// Aggregates a finished (or capped) run into the paper's table
+    /// format. `space_pages` is the protocol's Mether footprint (the
+    /// paper's "Space" row).
+    pub fn metrics(&self, label: &str, finished: bool, space_pages: u32) -> ProtocolMetrics {
+        let wall = self.now - SimTime::ZERO;
+        let nhosts = self.hosts.len().max(1) as u64;
+        let mut user = SimDuration::ZERO;
+        let mut sys = SimDuration::ZERO;
+        let mut losses = 0;
+        let mut wins = 0;
+        let mut additions = 0;
+        let mut ctx = 0;
+        let mut lat_sum = SimDuration::ZERO;
+        let mut lat_n: u64 = 0;
+        let mut max_q = 0;
+        for h in &self.hosts {
+            for i in 0..h.proc_count() {
+                let t = h.times(i);
+                user += t.user;
+                sys += t.sys;
+                let c = h.counters(i);
+                losses += c.losses;
+                wins += c.wins;
+                additions += c.operations;
+            }
+            sys += h.server_time;
+            ctx += h.ctx_switches;
+            for l in &h.fault_latencies {
+                lat_sum += *l;
+                lat_n += 1;
+            }
+            max_q = max_q.max(h.max_server_queue);
+        }
+        let net = self.net_stats();
+        let wall_secs = wall.as_secs_f64();
+        ProtocolMetrics {
+            label: label.to_string(),
+            finished,
+            wall,
+            user: SimDuration::from_nanos(user.as_nanos() / nhosts),
+            sys: SimDuration::from_nanos(sys.as_nanos() / nhosts),
+            net,
+            net_load_bps: net.load_bytes_per_sec(wall_secs),
+            bytes_per_addition: if additions == 0 {
+                f64::NAN
+            } else {
+                net.bytes as f64 / additions as f64
+            },
+            ctx_switches: ctx,
+            ctx_per_addition: if additions == 0 { f64::NAN } else { ctx as f64 / additions as f64 },
+            avg_latency: SimDuration::from_nanos(
+                lat_sum.as_nanos().checked_div(lat_n).unwrap_or(0),
+            ),
+            losses,
+            wins,
+            additions,
+            space_pages,
+            max_server_queue: max_q,
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Simulation(hosts={}, now={}, queued={})", self.hosts.len(), self.now, self.events.len())
+    }
+}

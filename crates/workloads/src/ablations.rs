@@ -1,0 +1,150 @@
+//! Ablation experiments for the design decisions DESIGN.md calls out.
+//!
+//! Each ablation removes or varies one mechanism the paper credits for
+//! its results and re-runs the §4 counting experiment, showing what that
+//! mechanism buys:
+//!
+//! 1. **update-carrying purge vs write-invalidate** — already an
+//!    experiment in the paper itself: protocol 5 (purge broadcasts data)
+//!    vs protocol 3 with hysteresis (reader invalidates and refetches).
+//!    [`run_purge_vs_invalidate`] packages the pair.
+//! 2. **snoopy refresh** — [`run_snoop_ablation`] disables background
+//!    installs; spinning readers stop seeing updates for free.
+//! 3. **short-page size** — [`run_short_size_sweep`] sweeps the short
+//!    page through {32, 128, 512, 1024, 4096} bytes, testing the paper's
+//!    conjecture that "we could make the short pages larger with very
+//!    little impact on performance; making them smaller would not be
+//!    worthwhile".
+//! 4. **kernel-resident server** — [`run_kernel_server`] applies the
+//!    paper's proposed fix for the end-state bottleneck ("that problem
+//!    will be solved by ... a migration of the user level server code to
+//!    the kernel") to protocols 1 and 5.
+
+use crate::counting::CountingConfig;
+use crate::protocols::{build_counting, Protocol};
+use mether_sim::{Calib, ProtocolMetrics, RunLimits, SimConfig};
+
+fn run_with(protocol: Protocol, sim_cfg: SimConfig, limits: RunLimits) -> ProtocolMetrics {
+    let cfg = CountingConfig::paper();
+    let mut sim = build_counting(protocol, &cfg, sim_cfg);
+    let outcome = sim.run(limits);
+    sim.metrics(&protocol.label(), outcome.finished, protocol.space_pages())
+}
+
+/// Ablation 1: the final protocol (purge carries data) vs the same
+/// structure with invalidate-and-refetch readers. Returns `(p5, p3h)`.
+pub fn run_purge_vs_invalidate() -> (ProtocolMetrics, ProtocolMetrics) {
+    let p5 = run_with(Protocol::P5, SimConfig::paper(2), RunLimits::default());
+    let p3h = run_with(Protocol::P3Hysteresis(100), SimConfig::paper(2), RunLimits::default());
+    (p5, p3h)
+}
+
+/// Ablation 2: protocol 3 with hysteresis, with and without snoopy
+/// refresh. Without snooping the spinning reader never sees updates for
+/// free and every win costs an explicit refetch. Returns
+/// `(with_snoop, without_snoop)`.
+pub fn run_snoop_ablation(hysteresis: u64) -> (ProtocolMetrics, ProtocolMetrics) {
+    let with = run_with(
+        Protocol::P3Hysteresis(hysteresis),
+        SimConfig::paper(2),
+        RunLimits::default(),
+    );
+    let mut cfg = SimConfig::paper(2);
+    cfg.mether = cfg.mether.without_snooping();
+    let without = run_with(Protocol::P3Hysteresis(hysteresis), cfg, RunLimits::default());
+    (with, without)
+}
+
+/// Ablation 3: protocol 2 with the short page swept through several
+/// sizes. Returns `(size, metrics)` pairs.
+pub fn run_short_size_sweep(sizes: &[usize]) -> Vec<(usize, ProtocolMetrics)> {
+    sizes
+        .iter()
+        .map(|&len| {
+            let mut cfg = SimConfig::paper(2);
+            cfg.mether = cfg
+                .mether
+                .with_short_len(len)
+                .expect("sweep sizes are valid short-page lengths");
+            (len, run_with(Protocol::P2, cfg, RunLimits::default()))
+        })
+        .collect()
+}
+
+/// Ablation 4: a protocol under the user-level server vs the idealised
+/// kernel-resident server. Returns `(user_level, kernel)`.
+pub fn run_kernel_server(protocol: Protocol) -> (ProtocolMetrics, ProtocolMetrics) {
+    let user = run_with(protocol, SimConfig::paper(2), RunLimits::default());
+    let mut cfg = SimConfig::paper(2);
+    cfg.calib = Calib::kernel_server();
+    let kernel = run_with(protocol, cfg, RunLimits::default());
+    (user, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purge_carrying_data_beats_invalidate() {
+        let (p5, p3h) = run_purge_vs_invalidate();
+        assert!(p5.finished && p3h.finished);
+        assert!(
+            p5.wall < p3h.wall,
+            "update-carrying purge should win: {} vs {}",
+            p5.wall,
+            p3h.wall
+        );
+        assert!(p5.net.packets < p3h.net.packets);
+    }
+
+    #[test]
+    fn snooping_pays_for_itself() {
+        // With a high hysteresis the reader leans entirely on snoopy
+        // refresh: updates land in its copy while it spins. Ablating the
+        // snoop makes every win cost a full 10,000-loss spin plus an
+        // explicit refetch — an order of magnitude in wall time.
+        let (with, without) = run_snoop_ablation(10_000);
+        assert!(with.finished);
+        assert!(
+            without.wall.as_secs_f64() > with.wall.as_secs_f64() * 5.0,
+            "no-snoop {} vs snoop {}",
+            without.wall,
+            with.wall
+        );
+        assert!(without.net.packets > with.net.packets);
+        assert!(without.loss_win_ratio() > with.loss_win_ratio());
+    }
+
+    #[test]
+    fn short_page_sweep_confirms_paper_conjecture() {
+        // "We could make the short pages larger with very little impact
+        // on performance": 32 → 1024 bytes should change wall time by
+        // well under 2x, while 8192 (the full page) is protocol 1
+        // territory.
+        let sweep = run_short_size_sweep(&[32, 1024]);
+        let w32 = sweep[0].1.wall.as_secs_f64();
+        let w1024 = sweep[1].1.wall.as_secs_f64();
+        assert!(sweep.iter().all(|(_, m)| m.finished));
+        assert!(
+            w1024 / w32 < 1.5,
+            "short page 32→1024 bytes should barely matter: {w32} vs {w1024}"
+        );
+    }
+
+    #[test]
+    fn kernel_server_removes_the_bottleneck() {
+        // "At this point we have hit a threshold in which the major
+        // bottleneck is now the context switches required to receive a
+        // new page" — the kernel server removes it.
+        let (user, kernel) = run_kernel_server(Protocol::P5);
+        assert!(user.finished && kernel.finished);
+        assert!(
+            kernel.wall.as_secs_f64() < user.wall.as_secs_f64() / 1.8,
+            "kernel server should be much faster: {} vs {}",
+            kernel.wall,
+            user.wall
+        );
+        assert!(kernel.avg_latency < user.avg_latency);
+    }
+}

@@ -1,0 +1,653 @@
+//! The paper's §4 measurement program: "count up to 1024, cooperatively".
+//!
+//! Two processes share a counter; a process may increment it only when the
+//! counter's parity matches its own. "Because the program does nothing but
+//! synchronize, it will exercise the worst-case behavior of all the
+//! components of a shared-memory system." Every check that sees an
+//! unchanged value is a *loss*; every check that sees a changed value is a
+//! *win* — the paper's Loss/Win ratio.
+//!
+//! Two workload shapes cover all five user protocols:
+//!
+//! * [`SharedPageCounter`] — one page that both processes map writeable
+//!   (protocols 1, 2) or mixed writeable/data-driven (protocol 4);
+//! * [`DisjointPageCounter`] — two pages used as one-way links, the write
+//!   capability stationary (protocols 3, 3-with-hysteresis, and the final
+//!   protocol 5).
+
+use mether_core::{MapMode, PageId, PageLength, View};
+use mether_net::SimDuration;
+use mether_sim::{DsmOp, Step, StepCtx, Workload};
+
+/// Shared parameters of a counting run.
+#[derive(Debug, Clone, Copy)]
+pub struct CountingConfig {
+    /// Count to this value (the paper's 1024).
+    pub target: u32,
+    /// How many processes take turns (the counter increments when
+    /// `value % processes == parity`). The single-process baseline uses 1.
+    pub processes: u32,
+    /// CPU cost of one check iteration (the paper's ~50 µs).
+    pub spin: SimDuration,
+}
+
+impl CountingConfig {
+    /// The paper's two-process count-to-1024.
+    pub fn paper() -> Self {
+        CountingConfig { target: 1024, processes: 2, spin: SimDuration::from_micros(48) }
+    }
+
+    /// Single-process variant (the 50 ms calibration baseline).
+    pub fn single() -> Self {
+        CountingConfig { target: 1024, processes: 1, spin: SimDuration::from_micros(48) }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Issue the next read of the counter.
+    Read,
+    /// A read completed; decide.
+    Check,
+    /// A write completed; for protocols with purge-after-write, purge.
+    Wrote,
+    /// The purge completed; go back to reading.
+    Purged,
+    /// Finished.
+    Exit,
+}
+
+/// Counting over a single shared page (protocols 1, 2, 4).
+///
+/// * Protocols 1 and 2 map the page writeable on both hosts: every access
+///   runs through the consistent copy, which ping-pongs.
+/// * Protocol 4 reads through the data-driven short view and writes
+///   through the demand-driven consistent short view, purging after each
+///   increment.
+pub struct SharedPageCounter {
+    cfg: CountingConfig,
+    parity: u32,
+    page: PageId,
+    read_view: View,
+    read_mode: MapMode,
+    write_view: View,
+    /// Purge (broadcast) after each increment — protocol 4.
+    purge_after_write: bool,
+    last_seen: Option<u32>,
+    phase: Phase,
+    label: String,
+}
+
+impl SharedPageCounter {
+    /// Protocol 1: increment on the full-size page, both sides writeable.
+    pub fn protocol1(cfg: CountingConfig, parity: u32, page: PageId) -> Self {
+        Self::new(
+            cfg,
+            parity,
+            page,
+            View::full_demand(),
+            MapMode::Writeable,
+            View::full_demand(),
+            false,
+            format!("p1-proc{parity}"),
+        )
+    }
+
+    /// Protocol 2: spin on the short page, both sides writeable.
+    pub fn protocol2(cfg: CountingConfig, parity: u32, page: PageId) -> Self {
+        Self::new(
+            cfg,
+            parity,
+            page,
+            View::short_demand(),
+            MapMode::Writeable,
+            View::short_demand(),
+            false,
+            format!("p2-proc{parity}"),
+        )
+    }
+
+    /// Protocol 4: spin on the data-driven short view, write through the
+    /// demand-driven consistent short view, purge after writing.
+    pub fn protocol4(cfg: CountingConfig, parity: u32, page: PageId) -> Self {
+        Self::new(
+            cfg,
+            parity,
+            page,
+            View::short_data(),
+            MapMode::ReadOnly,
+            View::short_demand(),
+            true,
+            format!("p4-proc{parity}"),
+        )
+    }
+
+    /// The local baseline: one or two processes on one host, full page.
+    pub fn baseline(cfg: CountingConfig, parity: u32, page: PageId) -> Self {
+        Self::new(
+            cfg,
+            parity,
+            page,
+            View::full_demand(),
+            MapMode::Writeable,
+            View::full_demand(),
+            false,
+            format!("baseline-proc{parity}"),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cfg: CountingConfig,
+        parity: u32,
+        page: PageId,
+        read_view: View,
+        read_mode: MapMode,
+        write_view: View,
+        purge_after_write: bool,
+        label: String,
+    ) -> Self {
+        SharedPageCounter {
+            cfg,
+            parity,
+            page,
+            read_view,
+            read_mode,
+            write_view,
+            purge_after_write,
+            last_seen: None,
+            phase: Phase::Read,
+            label,
+        }
+    }
+
+    fn my_turn(&self, v: u32) -> bool {
+        v % self.cfg.processes == self.parity
+    }
+}
+
+impl Workload for SharedPageCounter {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        loop {
+            match self.phase {
+                Phase::Read => {
+                    self.phase = Phase::Check;
+                    return Step::Op(DsmOp::Read {
+                        page: self.page,
+                        view: self.read_view,
+                        mode: self.read_mode,
+                        offset: 0,
+                    });
+                }
+                Phase::Check => {
+                    let v = ctx.value();
+                    let changed = self.last_seen != Some(v);
+                    if changed {
+                        ctx.win();
+                    } else {
+                        ctx.lose();
+                    }
+                    self.last_seen = Some(v);
+                    if v >= self.cfg.target {
+                        self.phase = Phase::Exit;
+                        continue;
+                    }
+                    if self.my_turn(v) {
+                        self.phase = Phase::Wrote;
+                        ctx.counters.operations += 1;
+                        return Step::Op(DsmOp::Write {
+                            page: self.page,
+                            view: self.write_view,
+                            offset: 0,
+                            value: v + 1,
+                        });
+                    }
+                    self.phase = Phase::Read;
+                    return Step::Compute(self.cfg.spin);
+                }
+                Phase::Wrote => {
+                    if self.purge_after_write {
+                        self.phase = Phase::Purged;
+                        return Step::Op(DsmOp::Purge {
+                            page: self.page,
+                            mode: MapMode::Writeable,
+                            length: self.write_view.length,
+                        });
+                    }
+                    // The increment iteration costs a full loop body (the
+                    // paper's ~50 µs per increment including overhead).
+                    self.phase = Phase::Read;
+                    return Step::Compute(self.cfg.spin);
+                }
+                Phase::Purged => {
+                    self.phase = Phase::Read;
+                    return Step::Compute(self.cfg.spin);
+                }
+                Phase::Exit => return Step::Done,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Reader behaviour of the disjoint-page protocols on a loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossPolicy {
+    /// Protocol 3: purge the read-only copy and refetch on *every* loss —
+    /// the degenerate packet storm.
+    PurgeEveryLoss,
+    /// Protocol 3 with hysteresis: purge after this many consecutive
+    /// losses; otherwise spin on the (possibly stale, snoop-refreshed)
+    /// local copy.
+    Hysteresis(u64),
+    /// Final protocol: one stale check, then purge and block on the
+    /// data-driven view until a new version transits the network.
+    DataDriven,
+}
+
+/// Counting over two pages used as one-way links (protocols 3, 3h, 5).
+///
+/// Each process holds the consistent copy of its own page permanently
+/// ("leaving the write capability stationary") and reads the other's page
+/// through a read-only view. After each increment the writer purges its
+/// page, broadcasting the new version.
+pub struct DisjointPageCounter {
+    cfg: CountingConfig,
+    parity: u32,
+    my_page: PageId,
+    other_page: PageId,
+    length: PageLength,
+    policy: LossPolicy,
+    last_seen: u32,
+    consecutive_losses: u64,
+    phase: DjPhase,
+    label: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DjPhase {
+    Decide,
+    ReadDemand,
+    ReadData,
+    CheckFrom(DjRead),
+    Write(u32),
+    PurgeOwn(u32),
+    PurgeOther { then_data: bool },
+    Exit,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DjRead {
+    Demand,
+    Data,
+}
+
+impl DisjointPageCounter {
+    /// Protocol 3: spin on disjoint pages, one read-only, purge every loss.
+    pub fn protocol3(cfg: CountingConfig, parity: u32, my: PageId, other: PageId) -> Self {
+        Self::new(cfg, parity, my, other, LossPolicy::PurgeEveryLoss, format!("p3-proc{parity}"))
+    }
+
+    /// Protocol 3 with hysteresis `h` (the paper tried 100 and 10,000).
+    pub fn protocol3_hysteresis(
+        cfg: CountingConfig,
+        parity: u32,
+        my: PageId,
+        other: PageId,
+        h: u64,
+    ) -> Self {
+        Self::new(cfg, parity, my, other, LossPolicy::Hysteresis(h), format!("p3h-proc{parity}"))
+    }
+
+    /// The final protocol: spin on disjoint pages, one data-driven.
+    pub fn protocol5(cfg: CountingConfig, parity: u32, my: PageId, other: PageId) -> Self {
+        Self::new(cfg, parity, my, other, LossPolicy::DataDriven, format!("p5-proc{parity}"))
+    }
+
+    fn new(
+        cfg: CountingConfig,
+        parity: u32,
+        my_page: PageId,
+        other_page: PageId,
+        policy: LossPolicy,
+        label: String,
+    ) -> Self {
+        DisjointPageCounter {
+            cfg,
+            parity,
+            my_page,
+            other_page,
+            length: PageLength::Short,
+            policy,
+            last_seen: 0,
+            consecutive_losses: 0,
+            phase: DjPhase::Decide,
+            label,
+        }
+    }
+
+    /// Use full-page views instead of short (the pre-short-page variant).
+    #[must_use]
+    pub fn with_full_pages(mut self) -> Self {
+        self.length = PageLength::Full;
+        self
+    }
+
+    fn read_view(&self, drive: DjRead) -> View {
+        match (self.length, drive) {
+            (PageLength::Short, DjRead::Demand) => View::short_demand(),
+            (PageLength::Short, DjRead::Data) => View::short_data(),
+            (PageLength::Full, DjRead::Demand) => View::full_demand(),
+            (PageLength::Full, DjRead::Data) => View::full_data(),
+        }
+    }
+
+    fn my_turn(&self, v: u32) -> bool {
+        v % self.cfg.processes == self.parity
+    }
+}
+
+impl Workload for DisjointPageCounter {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        loop {
+            match self.phase {
+                DjPhase::Decide => {
+                    // "Deal Me In": each process knows the counter starts
+                    // at zero; exactly one side opens with a write, the
+                    // other with a read, so the data-driven variant cannot
+                    // deadlock at start-up.
+                    if self.my_turn(self.last_seen) && self.last_seen < self.cfg.target {
+                        self.phase = DjPhase::Write(self.last_seen + 1);
+                        continue;
+                    }
+                    self.phase = DjPhase::ReadDemand;
+                    continue;
+                }
+                DjPhase::ReadDemand => {
+                    self.phase = DjPhase::CheckFrom(DjRead::Demand);
+                    return Step::Op(DsmOp::Read {
+                        page: self.other_page,
+                        view: self.read_view(DjRead::Demand),
+                        mode: MapMode::ReadOnly,
+                        offset: 0,
+                    });
+                }
+                DjPhase::ReadData => {
+                    self.phase = DjPhase::CheckFrom(DjRead::Data);
+                    return Step::Op(DsmOp::Read {
+                        page: self.other_page,
+                        view: self.read_view(DjRead::Data),
+                        mode: MapMode::ReadOnly,
+                        offset: 0,
+                    });
+                }
+                DjPhase::CheckFrom(src) => {
+                    let v = ctx.value();
+                    if v > self.last_seen {
+                        ctx.win();
+                        self.last_seen = v;
+                        self.consecutive_losses = 0;
+                        if v >= self.cfg.target {
+                            self.phase = DjPhase::Exit;
+                            continue;
+                        }
+                        self.phase = DjPhase::Decide;
+                        continue;
+                    }
+                    ctx.lose();
+                    self.consecutive_losses += 1;
+                    match self.policy {
+                        LossPolicy::PurgeEveryLoss => {
+                            self.phase = DjPhase::PurgeOther { then_data: false };
+                            continue;
+                        }
+                        LossPolicy::Hysteresis(h) => {
+                            if self.consecutive_losses.is_multiple_of(h) {
+                                self.phase = DjPhase::PurgeOther { then_data: false };
+                                continue;
+                            }
+                            self.phase = DjPhase::ReadDemand;
+                            return Step::Compute(self.cfg.spin);
+                        }
+                        LossPolicy::DataDriven => {
+                            // One stale check is fine; then purge and
+                            // block on the data-driven view.
+                            if src == DjRead::Data && self.consecutive_losses >= 2 {
+                                // Already woken by a transit yet stale:
+                                // re-block without purging again.
+                                self.phase = DjPhase::ReadData;
+                                return Step::Compute(self.cfg.spin);
+                            }
+                            self.phase = DjPhase::PurgeOther { then_data: true };
+                            continue;
+                        }
+                    }
+                }
+                DjPhase::PurgeOther { then_data } => {
+                    self.phase =
+                        if then_data { DjPhase::ReadData } else { DjPhase::ReadDemand };
+                    return Step::Op(DsmOp::Purge {
+                        page: self.other_page,
+                        mode: MapMode::ReadOnly,
+                        length: self.length,
+                    });
+                }
+                DjPhase::Write(v) => {
+                    self.phase = DjPhase::PurgeOwn(v);
+                    ctx.counters.operations += 1;
+                    return Step::Op(DsmOp::Write {
+                        page: self.my_page,
+                        view: self.read_view(DjRead::Demand),
+                        offset: 0,
+                        value: v,
+                    });
+                }
+                DjPhase::PurgeOwn(v) => {
+                    self.last_seen = v;
+                    self.phase = if v >= self.cfg.target { DjPhase::Exit } else { DjPhase::Decide };
+                    return Step::Op(DsmOp::Purge {
+                        page: self.my_page,
+                        mode: MapMode::Writeable,
+                        length: self.length,
+                    });
+                }
+                DjPhase::Exit => return Step::Done,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mether_sim::{OpResult, WorkloadCounters};
+    use mether_net::SimTime;
+
+    fn ctx<'a>(counters: &'a mut WorkloadCounters, last: OpResult) -> StepCtx<'a> {
+        StepCtx { now: SimTime::ZERO, last, counters }
+    }
+
+    #[test]
+    fn p1_first_mover_writes_immediately_after_read() {
+        let cfg = CountingConfig { target: 4, processes: 2, spin: SimDuration::from_micros(48) };
+        let mut w = SharedPageCounter::protocol1(cfg, 0, PageId::new(0));
+        let mut c = WorkloadCounters::default();
+        // First step: a read.
+        match w.step(&mut ctx(&mut c, OpResult::None)) {
+            Step::Op(DsmOp::Read { offset: 0, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        // Sees 0, its turn: writes 1.
+        match w.step(&mut ctx(&mut c, OpResult::Value(0))) {
+            Step::Op(DsmOp::Write { value: 1, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.wins, 1, "first sight of the counter is a win");
+        assert_eq!(c.operations, 1);
+    }
+
+    #[test]
+    fn p1_not_my_turn_spins() {
+        let cfg = CountingConfig { target: 4, processes: 2, spin: SimDuration::from_micros(48) };
+        let mut w = SharedPageCounter::protocol1(cfg, 1, PageId::new(0));
+        let mut c = WorkloadCounters::default();
+        let _ = w.step(&mut ctx(&mut c, OpResult::None));
+        // Sees 0: not proc 1's turn; spin then read again.
+        match w.step(&mut ctx(&mut c, OpResult::Value(0))) {
+            Step::Compute(_) => {}
+            other => panic!("{other:?}"),
+        }
+        // Second sight of 0 is a loss.
+        let _ = w.step(&mut ctx(&mut c, OpResult::None));
+        let _ = w.step(&mut ctx(&mut c, OpResult::Value(0)));
+        assert_eq!(c.losses, 1);
+    }
+
+    #[test]
+    fn p1_terminates_at_target() {
+        let cfg = CountingConfig { target: 4, processes: 2, spin: SimDuration::from_micros(48) };
+        let mut w = SharedPageCounter::protocol1(cfg, 0, PageId::new(0));
+        let mut c = WorkloadCounters::default();
+        let _ = w.step(&mut ctx(&mut c, OpResult::None));
+        match w.step(&mut ctx(&mut c, OpResult::Value(4))) {
+            Step::Done => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn p4_purges_after_write() {
+        let cfg = CountingConfig::paper();
+        let mut w = SharedPageCounter::protocol4(cfg, 0, PageId::new(0));
+        let mut c = WorkloadCounters::default();
+        let _ = w.step(&mut ctx(&mut c, OpResult::None));
+        let _ = w.step(&mut ctx(&mut c, OpResult::Value(0))); // write 1
+        match w.step(&mut ctx(&mut c, OpResult::Done)) {
+            Step::Op(DsmOp::Purge { mode: MapMode::Writeable, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn p5_writer_opens_with_write_and_purge() {
+        let cfg = CountingConfig::paper();
+        let mut w =
+            DisjointPageCounter::protocol5(cfg, 0, PageId::new(0), PageId::new(1));
+        let mut c = WorkloadCounters::default();
+        match w.step(&mut ctx(&mut c, OpResult::None)) {
+            Step::Op(DsmOp::Write { value: 1, page, .. }) => assert_eq!(page, PageId::new(0)),
+            other => panic!("{other:?}"),
+        }
+        match w.step(&mut ctx(&mut c, OpResult::Done)) {
+            Step::Op(DsmOp::Purge { mode: MapMode::Writeable, page, .. }) => {
+                assert_eq!(page, PageId::new(0));
+            }
+            other => panic!("{other:?}"),
+        }
+        // After the purge completes it reads the *other* page.
+        match w.step(&mut ctx(&mut c, OpResult::Done)) {
+            Step::Op(DsmOp::Read { page, .. }) => assert_eq!(page, PageId::new(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn p5_reader_opens_with_demand_read_then_blocks_on_data_view() {
+        let cfg = CountingConfig::paper();
+        let mut w =
+            DisjointPageCounter::protocol5(cfg, 1, PageId::new(1), PageId::new(0));
+        let mut c = WorkloadCounters::default();
+        // Not its turn at 0: demand-read the other's page first ("first
+        // checks the inconsistent, short, demand-driven copy").
+        match w.step(&mut ctx(&mut c, OpResult::None)) {
+            Step::Op(DsmOp::Read { view, .. }) => {
+                assert_eq!(view, View::short_demand());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Stale value: purge, then switch to the data-driven view.
+        match w.step(&mut ctx(&mut c, OpResult::Value(0))) {
+            Step::Op(DsmOp::Purge { mode: MapMode::ReadOnly, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        match w.step(&mut ctx(&mut c, OpResult::Done)) {
+            Step::Op(DsmOp::Read { view, .. }) => assert_eq!(view, View::short_data()),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.losses, 1);
+    }
+
+    #[test]
+    fn p3_purges_on_every_loss() {
+        let cfg = CountingConfig::paper();
+        let mut w =
+            DisjointPageCounter::protocol3(cfg, 1, PageId::new(1), PageId::new(0))
+                .with_full_pages();
+        let mut c = WorkloadCounters::default();
+        let _ = w.step(&mut ctx(&mut c, OpResult::None)); // demand read
+        match w.step(&mut ctx(&mut c, OpResult::Value(0))) {
+            Step::Op(DsmOp::Purge { mode: MapMode::ReadOnly, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        // Immediately refetches (no spin delay) — the storm.
+        match w.step(&mut ctx(&mut c, OpResult::Done)) {
+            Step::Op(DsmOp::Read { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn p3h_spins_until_hysteresis_threshold() {
+        let cfg = CountingConfig::paper();
+        let mut w = DisjointPageCounter::protocol3_hysteresis(
+            cfg,
+            1,
+            PageId::new(1),
+            PageId::new(0),
+            3,
+        );
+        let mut c = WorkloadCounters::default();
+        let _ = w.step(&mut ctx(&mut c, OpResult::None));
+        // Losses 1 and 2: spin.
+        assert!(matches!(w.step(&mut ctx(&mut c, OpResult::Value(0))), Step::Compute(_)));
+        let _ = w.step(&mut ctx(&mut c, OpResult::None));
+        assert!(matches!(w.step(&mut ctx(&mut c, OpResult::Value(0))), Step::Compute(_)));
+        let _ = w.step(&mut ctx(&mut c, OpResult::None));
+        // Loss 3: purge.
+        assert!(matches!(
+            w.step(&mut ctx(&mut c, OpResult::Value(0))),
+            Step::Op(DsmOp::Purge { .. })
+        ));
+        assert_eq!(c.losses, 3);
+    }
+
+    #[test]
+    fn disjoint_counter_alternates_turns() {
+        // Drive both sides by hand to verify the turn logic: values
+        // written alternate 1, 2, 3, ...
+        let cfg = CountingConfig { target: 3, processes: 2, spin: SimDuration::from_micros(48) };
+        let mut a = DisjointPageCounter::protocol5(cfg, 0, PageId::new(0), PageId::new(1));
+        let mut ca = WorkloadCounters::default();
+        match a.step(&mut ctx(&mut ca, OpResult::None)) {
+            Step::Op(DsmOp::Write { value: 1, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        let _ = a.step(&mut ctx(&mut ca, OpResult::Done)); // purge own
+        let _ = a.step(&mut ctx(&mut ca, OpResult::Done)); // read other (demand first time)
+        // Sees the peer's 2: win, then writes 3.
+        match a.step(&mut ctx(&mut ca, OpResult::Value(2))) {
+            Step::Op(DsmOp::Write { value: 3, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        // 3 == target: after purging its own page it exits.
+        let _ = a.step(&mut ctx(&mut ca, OpResult::Done)); // purge own
+        assert!(matches!(a.step(&mut ctx(&mut ca, OpResult::Done)), Step::Done));
+    }
+}

@@ -1,0 +1,20 @@
+//! Workloads from the Mether paper: the §4 counting protocols (Figures
+//! 4–9), the sparse-solver send/receive application (§3), and the
+//! experiment harness that regenerates each figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod counting;
+pub mod protocols;
+pub mod solver;
+
+pub use counting::{CountingConfig, DisjointPageCounter, LossPolicy, SharedPageCounter};
+pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
+pub use ablations::{
+    run_kernel_server, run_purge_vs_invalidate, run_short_size_sweep, run_snoop_ablation,
+};
+pub use solver::{
+    jacobi_step, run_solver_speedup, SolverConfig, SolverWorker, SparseMatrix, SpeedupPoint,
+};

@@ -1,0 +1,66 @@
+//! The §4 protocol study in one command: all five user protocols on the
+//! simulated Sun-3/SunOS-4.0 testbed, plus the MemNet cross-check.
+//!
+//! Prints each protocol's table in the paper's Figure 4–9 layout and
+//! finishes with the §6 punchline: the ranking of protocol shapes on
+//! Mether (software DSM over Ethernet) and on MemNet (hardware DSM on a
+//! token ring) picks the *same* best protocol.
+//!
+//! Run with: `cargo run --release -p mether-bench --example counting_protocols`
+//! (release strongly recommended: protocol 1 simulates ~2 minutes of
+//! virtual time at 50 µs granularity).
+
+use memnet::{run_counting as memnet_run, CountingParams, MemNetProtocol};
+use mether_workloads::{run_paper_protocol, Protocol};
+
+fn main() {
+    println!("== Mether (simulated Sun-3/50s, SunOS 4.0, 10 Mbit/s Ethernet) ==\n");
+    let mut mether_results = Vec::new();
+    for p in [
+        Protocol::P1,
+        Protocol::P2,
+        Protocol::P3,
+        Protocol::P3Hysteresis(10_000),
+        Protocol::P4,
+        Protocol::P5,
+    ] {
+        let m = run_paper_protocol(p);
+        println!("{m}");
+        mether_results.push((p, m));
+    }
+
+    println!("== MemNet (simulated 200 Mbit/s token ring, 32-byte chunks) ==\n");
+    let params = CountingParams::paper();
+    let mut memnet_results = Vec::new();
+    for p in MemNetProtocol::all() {
+        let r = memnet_run(p, &params);
+        println!("{r}");
+        memnet_results.push(r);
+    }
+
+    // The §6 claim: same best protocol on both systems.
+    // "Best" the way the paper means it: the compromise across host
+    // load, network load, and latency — i.e. the fastest wall clock on
+    // the pure-synchronisation benchmark.
+    let mether_best = mether_results
+        .iter()
+        .filter(|(_, m)| m.finished)
+        .min_by(|a, b| a.1.wall.cmp(&b.1.wall))
+        .expect("at least one finished protocol");
+    let memnet_best = memnet_results
+        .iter()
+        .filter(|r| r.finished)
+        .min_by(|a, b| a.messages_per_addition.total_cmp(&b.messages_per_addition))
+        .expect("at least one finished protocol");
+    println!("Mether's best protocol (wall clock):        {}", mether_best.1.label);
+    println!("MemNet's best protocol (messages/addition): {}", memnet_best.protocol.label());
+    let both_one_way_passive = matches!(mether_best.0, Protocol::P5)
+        && matches!(memnet_best.protocol, MemNetProtocol::OneWayUpdate);
+    assert!(both_one_way_passive, "the paper's §6 ranking equivalence should hold");
+    println!(
+        "\n→ identical shape on both systems: one-way links, stationary write \
+         capability, passive (data-driven / write-update) readers.\n\
+         \"Finding the identical 'best' protocol for Mether, a software DSM, \
+         and MemNet, a hardware DSM, is surprising.\""
+    );
+}

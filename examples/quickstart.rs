@@ -1,0 +1,72 @@
+//! Quickstart: a two-node Mether cluster sharing one page.
+//!
+//! Demonstrates the four things that make Mether *Mether*:
+//!
+//! 1. inconsistent (read-only) copies are cheap and possibly stale;
+//! 2. PURGE refreshes them explicitly — the application decides when
+//!    consistency is worth paying for;
+//! 3. the consistent copy moves to whoever writes;
+//! 4. data-driven views let a reader sleep until a page transits the
+//!    network (no polling, no request packet).
+//!
+//! Run with: `cargo run -p mether-bench --example quickstart`
+
+use mether_core::{MapMode, PageId, PageLength, VAddr, View};
+use mether_runtime::{Cluster, ClusterConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> mether_core::Result<()> {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::fast(2))?);
+    let page = PageId::new(0);
+    cluster.node(0).create_owned(page);
+
+    // Addresses are plain integers whose bits encode the view: short vs
+    // full page, demand- vs data-driven faulting.
+    let counter = VAddr::new(page, View::short_demand(), 0)?;
+    let counter_data = VAddr::new(page, View::short_data(), 0)?;
+
+    // 1. Node 0 (the consistent holder) writes; node 1 demand-fetches an
+    //    inconsistent copy.
+    cluster.node(0).write_u32(counter, 1)?;
+    let seen = cluster.node(1).read_u32(counter, MapMode::ReadOnly)?;
+    println!("node 1 fetched an inconsistent copy: counter = {seen}");
+
+    // 2. The holder writes again. Node 1's copy is now stale — and Mether
+    //    happily returns the stale value. That is the point: consistency
+    //    costs time, and the application chooses when to pay.
+    cluster.node(0).write_u32(counter, 2)?;
+    let stale = cluster.node(1).read_u32(counter, MapMode::ReadOnly)?;
+    println!("node 1 re-read without purging:    counter = {stale} (stale, as designed)");
+
+    // 3. PURGE invalidates the local copy; the next access fetches fresh.
+    cluster.node(1).purge(page, MapMode::ReadOnly, PageLength::Short)?;
+    let fresh = cluster.node(1).read_u32(counter, MapMode::ReadOnly)?;
+    println!("node 1 after PURGE + refetch:      counter = {fresh}");
+
+    // 4. Data-driven: node 1 sleeps until the page transits the network;
+    //    node 0 publishes with a writeable PURGE (one broadcast packet).
+    let watcher = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            cluster.node(1).purge(page, MapMode::ReadOnly, PageLength::Short)?;
+            cluster.node(1).read_u32_timeout(counter_data, MapMode::ReadOnly, Duration::from_secs(5))
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.node(0).write_u32(counter, 3)?;
+    cluster.node(0).purge(page, MapMode::Writeable, PageLength::Short)?;
+    let woken = watcher.join().expect("watcher thread")?;
+    println!("node 1 woke on the purge broadcast: counter = {woken}");
+
+    // 5. Writing from node 1 moves the consistent copy there.
+    cluster.node(1).write_u32(counter, 4)?;
+    println!(
+        "after node 1 writes: node0 holder = {}, node1 holder = {}",
+        cluster.node(0).is_consistent_holder(page),
+        cluster.node(1).is_consistent_holder(page),
+    );
+
+    println!("network: {}", cluster.net_stats());
+    Ok(())
+}

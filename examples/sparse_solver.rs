@@ -1,0 +1,105 @@
+//! The §3 application, end to end: a multi-process sparse solver whose
+//! only communication primitives are `csend`/`crecv` over Mether pages.
+//!
+//! The paper ported a Cray-2 sparse solver to Mether by rewriting its
+//! `csend`/`crecv` functions over shared pages (Figure 3). This example
+//! does the same in miniature: a distributed Jacobi solve of a sparse
+//! diagonally dominant system, block-partitioned across Mether nodes.
+//! Each iteration, every worker updates its row block and exchanges halo
+//! values with its neighbours *only* through `mether-lib` channels — no
+//! shared Rust state crosses worker boundaries.
+//!
+//! Run with: `cargo run -p mether-bench --example sparse_solver [-- n_workers]`
+
+use mether_lib::channel_pair;
+use mether_runtime::{Cluster, ClusterConfig};
+use mether_workloads::{jacobi_step, SparseMatrix};
+use std::sync::Arc;
+
+const N: usize = 256;
+const ITERATIONS: usize = 120;
+
+fn main() -> mether_core::Result<()> {
+    let workers: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    assert!((1..=8).contains(&workers), "1..=8 workers");
+
+    // The system: A·x = b with a known solution, so we can verify.
+    let a = SparseMatrix::laplacian_1d(N);
+    let x_true: Vec<f64> = (0..N).map(|i| (i as f64 * 0.1).sin()).collect();
+    let b = a.mul(&x_true);
+
+    let cluster = Arc::new(Cluster::new(ClusterConfig::fast(workers))?);
+
+    // Channels between neighbouring ranks: rank r talks to r+1 over a
+    // dedicated page pair (the Figure 3 communication structure).
+    let mut left_ends: Vec<Option<mether_lib::ChannelEnd>> = (0..workers).map(|_| None).collect();
+    let mut right_ends: Vec<Option<mether_lib::ChannelEnd>> = (0..workers).map(|_| None).collect();
+    for r in 0..workers.saturating_sub(1) {
+        let page_a = mether_core::PageId::new((2 * r) as u32);
+        let page_b = mether_core::PageId::new((2 * r + 1) as u32);
+        let (a_end, b_end) = channel_pair(cluster.node(r), cluster.node(r + 1), page_a, page_b)?;
+        right_ends[r] = Some(a_end);
+        left_ends[r + 1] = Some(b_end);
+    }
+
+    let rows_per = N / workers;
+    let mut handles = Vec::new();
+    for rank in 0..workers {
+        let cluster = Arc::clone(&cluster);
+        let a = a.clone();
+        let b = b.clone();
+        let left = left_ends[rank].take();
+        let right = right_ends[rank].take();
+        handles.push(std::thread::spawn(move || -> mether_core::Result<Vec<f64>> {
+            let node = cluster.node(rank);
+            let lo = rank * rows_per;
+            let hi = if rank == workers - 1 { N } else { lo + rows_per };
+            // Each worker keeps a full-length x vector but only its block
+            // is authoritative; halo rows are refreshed via crecv.
+            let mut x = vec![0.0f64; N];
+            for _ in 0..ITERATIONS {
+                let block = jacobi_step(&a, &b, &x, lo, hi);
+                x[lo..hi].copy_from_slice(&block);
+
+                // Halo exchange: send boundary row values to neighbours,
+                // receive theirs. Order (send right, recv left, send
+                // left, recv right) is deadlock-free for a chain.
+                if let Some(r) = &right {
+                    r.csend(node, &x[hi - 1].to_le_bytes())?;
+                }
+                if let Some(l) = &left {
+                    let mut buf = [0u8; 8];
+                    l.crecv(node, &mut buf)?;
+                    x[lo - 1] = f64::from_le_bytes(buf);
+                }
+                if let Some(l) = &left {
+                    l.csend(node, &x[lo].to_le_bytes())?;
+                }
+                if let Some(r) = &right {
+                    let mut buf = [0u8; 8];
+                    r.crecv(node, &mut buf)?;
+                    x[hi] = f64::from_le_bytes(buf);
+                }
+            }
+            Ok(x[lo..hi].to_vec())
+        }));
+    }
+
+    // Gather blocks and verify against the direct solution.
+    let mut x = Vec::with_capacity(N);
+    for h in handles {
+        x.extend(h.join().expect("worker thread")?);
+    }
+    let residual = a.residual(&x, &b);
+    let err: f64 =
+        x.iter().zip(&x_true).map(|(xi, ti)| (xi - ti).abs()).fold(0.0, f64::max);
+    println!("workers            {workers}");
+    println!("matrix             {N}×{N} (1-D Laplacian-like, diagonally dominant)");
+    println!("iterations         {ITERATIONS}");
+    println!("residual ‖Ax−b‖∞  {residual:.3e}");
+    println!("error    ‖x−x*‖∞  {err:.3e}");
+    println!("network            {}", cluster.net_stats());
+    assert!(residual < 1e-6, "solver failed to converge");
+    println!("converged ✓ — all inter-worker data moved via csend/crecv over Mether pages");
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Integration-test-only crate.
+//!
+//! The actual tests live in `tests/tests/*.rs` and span every crate of
+//! the workspace:
+//!
+//! * `protocol_orderings` — the paper's qualitative findings end to end
+//!   on the discrete-event simulator;
+//! * `memnet_equivalence` — the §6 "same best protocol" claim across
+//!   the software and hardware DSMs;
+//! * `runtime_lossy` — failure injection: channels over a lossy LAN;
+//! * `sim_runtime_agreement` — the simulator and the threaded runtime
+//!   agree on protocol-level facts;
+//! * `invariants` — property-based soup testing of the single-
+//!   consistent-holder invariant.

@@ -1,0 +1,174 @@
+//! The paper's qualitative results, asserted end to end on the
+//! discrete-event simulator at reduced scale (count to 128 instead of
+//! 1024 so the suite stays fast; the orderings are scale-invariant).
+
+use mether_net::SimDuration;
+use mether_sim::{ProtocolMetrics, RunLimits, SimConfig};
+use mether_workloads::{run_counting, CountingConfig, Protocol};
+
+fn run(p: Protocol) -> ProtocolMetrics {
+    let cfg = match p {
+        Protocol::BaselineSingle => {
+            CountingConfig { target: 128, processes: 1, spin: SimDuration::from_micros(48) }
+        }
+        _ => CountingConfig { target: 128, processes: 2, spin: SimDuration::from_micros(48) },
+    };
+    let limits = match p {
+        Protocol::P3 => RunLimits {
+            max_sim_time: SimDuration::from_secs(19),
+            max_events: 50_000_000,
+        },
+        _ => RunLimits { max_sim_time: SimDuration::from_secs(120), max_events: 100_000_000 },
+    };
+    let hosts = match p {
+        Protocol::BaselineSingle | Protocol::BaselineLocal => 1,
+        _ => 2,
+    };
+    run_counting(p, &cfg, SimConfig::paper(hosts), limits)
+}
+
+#[test]
+fn every_networked_protocol_except_p3_finishes() {
+    for p in [Protocol::P1, Protocol::P2, Protocol::P3Hysteresis(10_000), Protocol::P4, Protocol::P5]
+    {
+        let m = run(p);
+        assert!(m.finished, "{} did not finish:\n{m}", m.label);
+        assert_eq!(m.additions, 128, "{}", m.label);
+    }
+}
+
+#[test]
+fn figure_6_protocol_3_does_not_finish() {
+    // "The whole process is degenerative, and in the end it is almost
+    // impossible for any work to be done at all."
+    let m = run(Protocol::P3);
+    assert!(!m.finished, "protocol 3 should blow the time budget:\n{m}");
+}
+
+#[test]
+fn wall_clock_ordering_matches_paper() {
+    // Paper: P1 (128 s) is the slowest finisher; P5 (57 s) the fastest.
+    let p1 = run(Protocol::P1);
+    let p2 = run(Protocol::P2);
+    let p5 = run(Protocol::P5);
+    assert!(
+        p1.wall > p2.wall,
+        "short pages beat full pages: P1 {} vs P2 {}",
+        p1.wall,
+        p2.wall
+    );
+    assert!(
+        p2.wall > p5.wall,
+        "the final protocol beats spinning: P2 {} vs P5 {}",
+        p2.wall,
+        p5.wall
+    );
+}
+
+#[test]
+fn network_bytes_ordering_matches_paper() {
+    // Per addition: P1 moves a full page (~8.3 kB); P2 a request + short
+    // reply (~160 B); P5 one short broadcast (~110 B).
+    let p1 = run(Protocol::P1);
+    let p2 = run(Protocol::P2);
+    let p5 = run(Protocol::P5);
+    assert!(p1.bytes_per_addition > 8000.0, "{}", p1.bytes_per_addition);
+    assert!(p2.bytes_per_addition < 300.0, "{}", p2.bytes_per_addition);
+    assert!(
+        p5.bytes_per_addition < p2.bytes_per_addition,
+        "no request packets in the final protocol: {} vs {}",
+        p5.bytes_per_addition,
+        p2.bytes_per_addition
+    );
+}
+
+#[test]
+fn final_protocol_sends_one_packet_per_addition() {
+    // "Only one packet was ever sent per increment: the PURGE packet
+    // from the host with the writeable page."
+    let p5 = run(Protocol::P5);
+    let per_addition = p5.net.packets as f64 / p5.additions as f64;
+    assert!(
+        (0.9..1.2).contains(&per_addition),
+        "{per_addition} packets/addition:\n{p5}"
+    );
+    assert!(p5.net.requests <= 4, "essentially no request packets: {}", p5.net.requests);
+}
+
+#[test]
+fn loss_win_ratio_final_protocol_is_tiny() {
+    // Paper: 3 for the final protocol vs hundreds for the spinners.
+    let p5 = run(Protocol::P5);
+    let p2 = run(Protocol::P2);
+    assert!(p5.loss_win_ratio() < 10.0, "{}", p5.loss_win_ratio());
+    assert!(
+        p2.loss_win_ratio() > 20.0 * p5.loss_win_ratio(),
+        "spinning loses orders of magnitude more: P2 {} vs P5 {}",
+        p2.loss_win_ratio(),
+        p5.loss_win_ratio()
+    );
+}
+
+#[test]
+fn latency_ordering_matches_paper() {
+    // Paper: P1 120 ms (worst) ... P5 20 ms (best among finishers'
+    // blocking protocols).
+    let p1 = run(Protocol::P1);
+    let p2 = run(Protocol::P2);
+    let p5 = run(Protocol::P5);
+    assert!(p1.avg_latency > p2.avg_latency, "P1 {} vs P2 {}", p1.avg_latency, p2.avg_latency);
+    assert!(p2.avg_latency > p5.avg_latency, "P2 {} vs P5 {}", p2.avg_latency, p5.avg_latency);
+}
+
+#[test]
+fn user_time_final_protocol_is_tiny() {
+    // Paper: "User time dropped to below one second" (from 3–19 s).
+    let p5 = run(Protocol::P5);
+    let p2 = run(Protocol::P2);
+    assert!(
+        p5.user.as_secs_f64() * 20.0 < p2.user.as_secs_f64(),
+        "P5 user {} vs P2 user {}",
+        p5.user,
+        p2.user
+    );
+}
+
+#[test]
+fn hysteresis_rescues_protocol_3() {
+    // Figure 6 → Figure 7: with hysteresis "the program would at least
+    // run".
+    let p3 = run(Protocol::P3);
+    let p3h = run(Protocol::P3Hysteresis(10_000));
+    assert!(!p3.finished);
+    assert!(p3h.finished);
+}
+
+#[test]
+fn protocol_4_pays_context_switches() {
+    // Paper figure 8: 10 context switches per addition vs 4–5 for the
+    // others — the single-page data-driven hybrid churns the scheduler.
+    let p4 = run(Protocol::P4);
+    let p2 = run(Protocol::P2);
+    assert!(
+        p4.ctx_per_addition > p2.ctx_per_addition,
+        "P4 {} vs P2 {}",
+        p4.ctx_per_addition,
+        p2.ctx_per_addition
+    );
+}
+
+#[test]
+fn baselines_match_paper_calibration() {
+    let single = run(Protocol::BaselineSingle);
+    assert!(single.finished);
+    // 128 increments at ~52 µs each ≈ 6.7 ms.
+    let ms = single.wall.as_millis_f64();
+    assert!((4.0..12.0).contains(&ms), "{ms} ms");
+
+    let local = run(Protocol::BaselineLocal);
+    assert!(local.finished);
+    // 128 quantum rotations at ~75 ms ≈ 9.6 s.
+    let s = local.wall.as_secs_f64();
+    assert!((6.0..14.0).contains(&s), "{s} s");
+    assert_eq!(local.net.packets, 0, "local run must not touch the network");
+}

@@ -1,0 +1,102 @@
+//! Failure injection: the channel layer over a lossy LAN.
+//!
+//! The paper's motivation for abandoning global consistency was "the
+//! comparatively low reliability of the network we are using". The raw
+//! Mether protocols have no acknowledgements; the library layer's
+//! wait loops (demand-poll fallback) are what make `csend`/`crecv`
+//! usable over drops. These tests inject uniform frame loss and assert
+//! the channel still delivers every message, in order.
+
+use mether_core::{MapMode, PageId, VAddr, View};
+use mether_lib::channel_pair;
+use mether_net::rt::LanConfig;
+use mether_runtime::{Cluster, ClusterConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn lossy_cluster(loss: f64, seed: u64) -> Arc<Cluster> {
+    let cfg = ClusterConfig {
+        nodes: 2,
+        lan: LanConfig::fast().with_loss(loss, seed),
+        mether: mether_core::MetherConfig::new(),
+    };
+    Arc::new(Cluster::new(cfg).unwrap())
+}
+
+#[test]
+fn channel_survives_10_percent_loss() {
+    let c = lossy_cluster(0.10, 42);
+    let (a, b) = channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
+    let a = a.with_timeout(Duration::from_secs(30));
+    let b = b.with_timeout(Duration::from_secs(30));
+
+    let c2 = Arc::clone(&c);
+    let receiver = std::thread::spawn(move || {
+        (0..40u32)
+            .map(|_| {
+                let v = b.crecv_vec(c2.node(1)).unwrap();
+                u32::from_le_bytes(v.try_into().unwrap())
+            })
+            .collect::<Vec<u32>>()
+    });
+    for i in 0..40u32 {
+        a.csend(c.node(0), &i.to_le_bytes()).unwrap();
+    }
+    assert_eq!(receiver.join().unwrap(), (0..40).collect::<Vec<u32>>());
+    let stats = c.net_stats();
+    assert!(stats.lost > 0, "the loss injection must actually have dropped frames");
+}
+
+#[test]
+fn channel_survives_30_percent_loss() {
+    let c = lossy_cluster(0.30, 7);
+    let (a, b) = channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
+    let a = a.with_timeout(Duration::from_secs(60));
+    let b = b.with_timeout(Duration::from_secs(60));
+
+    let c2 = Arc::clone(&c);
+    let receiver = std::thread::spawn(move || b.crecv_vec(c2.node(1)).unwrap());
+    a.csend(c.node(0), b"survives heavy loss").unwrap();
+    assert_eq!(receiver.join().unwrap(), b"survives heavy loss");
+}
+
+#[test]
+fn demand_read_retries_via_library_poll() {
+    // A bare demand fault whose request frame is dropped would block
+    // forever in the raw protocol; verify the *library* path (SyncCell)
+    // recovers where the raw runtime read would not.
+    let c = lossy_cluster(0.25, 99);
+    let cell = mether_lib::SyncCell::new(PageId::new(4), 0);
+    cell.create_on(c.node(0));
+    cell.publish(c.node(0), 5).unwrap();
+    // get() is a single demand fetch: retry at the test level to tolerate
+    // a dropped request or reply, as the paper's applications did.
+    let mut got = None;
+    for _ in 0..20 {
+        match cell.get(c.node(1), Duration::from_millis(200)) {
+            Ok(v) => {
+                got = Some(v);
+                break;
+            }
+            Err(mether_core::Error::Timeout) => continue,
+            Err(e) => panic!("{e}"),
+        }
+    }
+    assert_eq!(got, Some(5), "demand fetch should succeed within 20 poll attempts");
+}
+
+#[test]
+fn loss_free_control_moves_no_retries() {
+    // Control: with loss 0 the same exchange completes with the minimal
+    // packet count (sanity check on the loss tests above).
+    let c = lossy_cluster(0.0, 0);
+    let page = PageId::new(0);
+    c.node(0).create_owned(page);
+    let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+    c.node(0).write_u32(addr, 1).unwrap();
+    let v = c.node(1).read_u32(addr, MapMode::ReadOnly).unwrap();
+    assert_eq!(v, 1);
+    assert_eq!(c.net_stats().lost, 0);
+    assert_eq!(c.net_stats().requests, 1);
+    assert_eq!(c.net_stats().data_packets, 1);
+}

@@ -11,17 +11,22 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use memnet::{CountingParams, MemNetProtocol, RingConfig};
 use mether_net::SimDuration;
 use mether_sim::{RunLimits, SimConfig};
-use mether_workloads::{
-    run_counting, run_solver_speedup, CountingConfig, Protocol, SolverConfig,
-};
+use mether_workloads::{run_counting, run_solver_speedup, CountingConfig, Protocol, SolverConfig};
 use std::hint::black_box;
 
 fn small_cfg() -> CountingConfig {
-    CountingConfig { target: 64, processes: 2, spin: SimDuration::from_micros(48) }
+    CountingConfig {
+        target: 64,
+        processes: 2,
+        spin: SimDuration::from_micros(48),
+    }
 }
 
 fn limits() -> RunLimits {
-    RunLimits { max_sim_time: SimDuration::from_secs(60), max_events: 50_000_000 }
+    RunLimits {
+        max_sim_time: SimDuration::from_secs(60),
+        max_events: 50_000_000,
+    }
 }
 
 fn bench_figures(c: &mut Criterion) {
@@ -31,7 +36,10 @@ fn bench_figures(c: &mut Criterion) {
     // §4 baselines.
     g.bench_function("baseline_single", |b| {
         b.iter(|| {
-            let cfg = CountingConfig { processes: 1, ..small_cfg() };
+            let cfg = CountingConfig {
+                processes: 1,
+                ..small_cfg()
+            };
             black_box(run_counting(
                 Protocol::BaselineSingle,
                 &cfg,
@@ -62,15 +70,27 @@ fn bench_figures(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                black_box(run_counting(proto, &small_cfg(), SimConfig::paper(2), limits()))
+                black_box(run_counting(
+                    proto,
+                    &small_cfg(),
+                    SimConfig::paper(2),
+                    limits(),
+                ))
             })
         });
     }
     g.bench_function("fig6_p3", |b| {
         b.iter(|| {
-            let caps =
-                RunLimits { max_sim_time: SimDuration::from_secs(10), max_events: 5_000_000 };
-            black_box(run_counting(Protocol::P3, &small_cfg(), SimConfig::paper(2), caps))
+            let caps = RunLimits {
+                max_sim_time: SimDuration::from_secs(10),
+                max_events: 5_000_000,
+            };
+            black_box(run_counting(
+                Protocol::P3,
+                &small_cfg(),
+                SimConfig::paper(2),
+                caps,
+            ))
         })
     });
 

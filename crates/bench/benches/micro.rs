@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use mether_core::{
-    Generation, HostId, MapMode, MetherConfig, PageBuf, PageId, PageLength, PageTable, Packet,
+    Generation, HostId, MapMode, MetherConfig, Packet, PageBuf, PageId, PageLength, PageTable,
     VAddr, View, Want,
 };
 use std::hint::black_box;
@@ -15,7 +15,9 @@ fn bench_addr(c: &mut Criterion) {
         b.iter(|| black_box(VAddr::new(PageId::new(17), View::short_data(), 8).unwrap()))
     });
     let va = VAddr::new(PageId::new(17), View::short_data(), 8).unwrap();
-    g.bench_function("decode", |b| b.iter(|| black_box((va.page(), va.view(), va.offset()))));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box((va.page(), va.view(), va.offset())))
+    });
     g.finish();
 }
 
@@ -44,10 +46,16 @@ fn bench_wire(c: &mut Criterion) {
         data: Bytes::from(vec![7u8; 8192]),
     };
     g.bench_function("encode_request", |b| b.iter(|| black_box(req.encode())));
-    g.bench_function("encode_short_data", |b| b.iter(|| black_box(short_data.encode())));
-    g.bench_function("encode_full_data", |b| b.iter(|| black_box(full_data.encode())));
+    g.bench_function("encode_short_data", |b| {
+        b.iter(|| black_box(short_data.encode()))
+    });
+    g.bench_function("encode_full_data", |b| {
+        b.iter(|| black_box(full_data.encode()))
+    });
     let enc = full_data.encode();
-    g.bench_function("decode_full_data", |b| b.iter(|| black_box(Packet::decode(&enc).unwrap())));
+    g.bench_function("decode_full_data", |b| {
+        b.iter(|| black_box(Packet::decode(&enc).unwrap()))
+    });
     g.finish();
 }
 
@@ -69,6 +77,69 @@ fn bench_pagebuf(c: &mut Criterion) {
             black_box(buf.valid_len())
         })
     });
+    g.bench_function("payload_short", |b| {
+        let mut buf = PageBuf::new_zeroed();
+        b.iter(|| black_box(buf.payload(32).len()))
+    });
+    g.bench_function("payload_full", |b| {
+        let mut buf = PageBuf::new_zeroed();
+        b.iter(|| black_box(buf.payload(8192).len()))
+    });
+    g.finish();
+}
+
+/// One full-page `PageData` broadcast delivered to N snooping hosts, the
+/// way the LAN delivery path does it. This is the end-to-end cost the
+/// zero-copy page-data path optimises: per-snooper datagram decode plus
+/// per-snooper page install/refresh.
+fn bench_fanout(c: &mut Criterion) {
+    const SNOOPERS: usize = 16;
+    let mut g = c.benchmark_group("fanout");
+    for (name, len) in [("broadcast_16_full", 8192usize), ("broadcast_16_short", 32)] {
+        let pkt = Packet::PageData {
+            from: HostId(0),
+            page: PageId::new(0),
+            length: if len <= 32 {
+                PageLength::Short
+            } else {
+                PageLength::Full
+            },
+            generation: Generation(1),
+            transfer_to: None,
+            data: Bytes::from(vec![9u8; len]),
+        };
+        let frame = pkt.encode();
+        // Snoopers in steady state: page mapped, copy installed.
+        let mut tables: Vec<PageTable> = (1..=SNOOPERS as u16)
+            .map(|i| {
+                let mut t = PageTable::new(HostId(i), MetherConfig::new());
+                let mut fx = Vec::new();
+                let _ = t.access(
+                    PageId::new(0),
+                    View::short_data(),
+                    MapMode::ReadOnly,
+                    1,
+                    &mut fx,
+                );
+                t.handle_packet(&pkt, &mut fx);
+                assert!(t.page_buf(PageId::new(0)).is_some());
+                t
+            })
+            .collect();
+        g.bench_function(name, |b| {
+            let mut fx = Vec::new();
+            b.iter(|| {
+                // One decode per broadcast; every snooper handles a shared
+                // view of the same datagram — the zero-copy delivery path.
+                let decoded = Packet::decode(&frame).unwrap();
+                for t in tables.iter_mut() {
+                    fx.clear();
+                    t.handle_packet(&decoded, &mut fx);
+                }
+                black_box(tables.len())
+            })
+        });
+    }
     g.finish();
 }
 
@@ -81,8 +152,14 @@ fn bench_table(c: &mut Criterion) {
         b.iter(|| {
             fx.clear();
             black_box(
-                t.access(PageId::new(0), View::short_demand(), MapMode::Writeable, 1, &mut fx)
-                    .unwrap(),
+                t.access(
+                    PageId::new(0),
+                    View::short_demand(),
+                    MapMode::Writeable,
+                    1,
+                    &mut fx,
+                )
+                .unwrap(),
             )
         })
     });
@@ -94,7 +171,13 @@ fn bench_table(c: &mut Criterion) {
             holder.create_owned(PageId::new(0));
             let mut fx = Vec::new();
             reader
-                .access(PageId::new(0), View::short_demand(), MapMode::ReadOnly, 1, &mut fx)
+                .access(
+                    PageId::new(0),
+                    View::short_demand(),
+                    MapMode::ReadOnly,
+                    1,
+                    &mut fx,
+                )
                 .unwrap();
             let req = match fx.remove(0) {
                 mether_core::Effect::Send(p) => p,
@@ -113,7 +196,13 @@ fn bench_table(c: &mut Criterion) {
         let mut t = PageTable::new(HostId(1), MetherConfig::new());
         let mut fx = Vec::new();
         // Map the page so snoops install.
-        let _ = t.access(PageId::new(0), View::short_data(), MapMode::ReadOnly, 1, &mut fx);
+        let _ = t.access(
+            PageId::new(0),
+            View::short_data(),
+            MapMode::ReadOnly,
+            1,
+            &mut fx,
+        );
         let pkt = Packet::PageData {
             from: HostId(0),
             page: PageId::new(0),
@@ -131,5 +220,12 @@ fn bench_table(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_addr, bench_wire, bench_pagebuf, bench_table);
+criterion_group!(
+    benches,
+    bench_addr,
+    bench_wire,
+    bench_pagebuf,
+    bench_fanout,
+    bench_table
+);
 criterion_main!(benches);

@@ -30,7 +30,10 @@ fn bench_node_ops(c: &mut Criterion) {
         cluster.node(0).write_u32(addr, 7).unwrap();
         let _ = cluster.node(1).read_u32(addr, MapMode::ReadOnly).unwrap();
         b.iter(|| {
-            cluster.node(1).purge(page, MapMode::ReadOnly, PageLength::Short).unwrap();
+            cluster
+                .node(1)
+                .purge(page, MapMode::ReadOnly, PageLength::Short)
+                .unwrap();
             black_box(cluster.node(1).read_u32(addr, MapMode::ReadOnly).unwrap())
         })
     });
@@ -45,7 +48,10 @@ fn bench_node_ops(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             cluster.node(0).write_u32(addr, i).unwrap();
-            cluster.node(0).purge(page, MapMode::Writeable, PageLength::Short).unwrap();
+            cluster
+                .node(0)
+                .purge(page, MapMode::Writeable, PageLength::Short)
+                .unwrap();
         })
     });
 
@@ -60,9 +66,13 @@ fn bench_channel(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_function(name, |b| {
             let cluster = Arc::new(Cluster::new(ClusterConfig::fast(2)).unwrap());
-            let (a, e) =
-                channel_pair(cluster.node(0), cluster.node(1), PageId::new(0), PageId::new(1))
-                    .unwrap();
+            let (a, e) = channel_pair(
+                cluster.node(0),
+                cluster.node(1),
+                PageId::new(0),
+                PageId::new(1),
+            )
+            .unwrap();
             // Echo server on node 1.
             let cluster2 = Arc::clone(&cluster);
             let echo = std::thread::spawn(move || {

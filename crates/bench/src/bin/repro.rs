@@ -156,7 +156,10 @@ fn main() {
     }
     if want("speedup") {
         println!("== §3: sparse-solver speedup (\"linear speedup on up to four processors\") ==\n");
-        println!("{:>8} {:>12} {:>9} {:>11} {:>14}", "workers", "wall", "speedup", "efficiency", "bytes moved");
+        println!(
+            "{:>8} {:>12} {:>9} {:>11} {:>14}",
+            "workers", "wall", "speedup", "efficiency", "bytes moved"
+        );
         for p in run_solver_speedup(SolverConfig::paper(), &[1, 2, 3, 4]) {
             println!(
                 "{:>8} {:>12} {:>9.2} {:>11.2} {:>14}",
@@ -210,7 +213,10 @@ fn main() {
         );
 
         println!("-- 3. short-page size sweep on protocol 2 --");
-        println!("  {:>6} {:>12} {:>12} {:>14}", "bytes", "wall", "latency", "bytes/add");
+        println!(
+            "  {:>6} {:>12} {:>12} {:>14}",
+            "bytes", "wall", "latency", "bytes/add"
+        );
         for (len, m) in run_short_size_sweep(&[32, 128, 512, 1024, 4096]) {
             println!(
                 "  {:>6} {:>12} {:>12} {:>14.0}",

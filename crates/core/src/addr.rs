@@ -198,7 +198,10 @@ impl VAddr {
             });
         }
         if offset as usize >= view.length.len() {
-            return Err(Error::OffsetOutsideView { offset, view_len: view.length.len() });
+            return Err(Error::OffsetOutsideView {
+                offset: offset.into(),
+                view_len: view.length.len(),
+            });
         }
         let mut raw = (page.0 << PAGE_SHIFT) | offset;
         if view.length == PageLength::Short {
@@ -218,12 +221,14 @@ impl VAddr {
     /// offset lies outside the encoded view.
     pub fn from_raw(raw: u32) -> Result<Self> {
         if raw & !(OFFSET_MASK | PAGE_MASK | SHORT_BIT | DATA_BIT) != 0 {
-            return Err(Error::InvalidAddress { reason: format!("reserved bits set in {raw:#x}") });
+            return Err(Error::InvalidAddress {
+                reason: format!("reserved bits set in {raw:#x}"),
+            });
         }
         let va = VAddr(raw);
         if va.offset() as usize >= va.view().length.len() {
             return Err(Error::OffsetOutsideView {
-                offset: va.offset(),
+                offset: va.offset().into(),
                 view_len: va.view().length.len(),
             });
         }
@@ -243,8 +248,16 @@ impl VAddr {
     /// The view encoded in the address bits.
     pub fn view(self) -> View {
         View {
-            length: if self.0 & SHORT_BIT != 0 { PageLength::Short } else { PageLength::Full },
-            drive: if self.0 & DATA_BIT != 0 { DriveMode::Data } else { DriveMode::Demand },
+            length: if self.0 & SHORT_BIT != 0 {
+                PageLength::Short
+            } else {
+                PageLength::Full
+            },
+            drive: if self.0 & DATA_BIT != 0 {
+                DriveMode::Data
+            } else {
+                DriveMode::Demand
+            },
         }
     }
 
@@ -316,7 +329,13 @@ mod tests {
     #[test]
     fn offset_outside_short_view_rejected() {
         let err = VAddr::new(PageId::new(0), View::short_demand(), 32).unwrap_err();
-        assert_eq!(err, Error::OffsetOutsideView { offset: 32, view_len: 32 });
+        assert_eq!(
+            err,
+            Error::OffsetOutsideView {
+                offset: 32,
+                view_len: 32
+            }
+        );
         // ...but the same offset is fine in the full view.
         assert!(VAddr::new(PageId::new(0), View::full_demand(), 32).is_ok());
     }

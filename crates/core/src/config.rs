@@ -43,7 +43,11 @@ pub struct MetherConfig {
 impl MetherConfig {
     /// Configuration with the paper's constants.
     pub fn new() -> Self {
-        Self { short_len: SHORT_PAGE_SIZE, num_pages: 64, snoopy: true }
+        Self {
+            short_len: SHORT_PAGE_SIZE,
+            num_pages: 64,
+            snoopy: true,
+        }
     }
 
     /// Override the short-page length (for the short-page-size ablation).

@@ -16,8 +16,10 @@ pub enum Error {
     },
     /// An offset was outside the selected view (e.g. byte 100 of a short page).
     OffsetOutsideView {
-        /// The offending offset.
-        offset: u32,
+        /// The offending offset. Wide enough for any `usize` offset a
+        /// page read/write can be asked for — a 64-bit offset used to be
+        /// truncated to `u32` here and reported wrong.
+        offset: u64,
         /// The length of the view in bytes.
         view_len: usize,
     },
@@ -88,13 +90,24 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_nonempty() {
         let errs: Vec<Error> = vec![
-            Error::InvalidAddress { reason: "page 99999".into() },
-            Error::OffsetOutsideView { offset: 100, view_len: 32 },
+            Error::InvalidAddress {
+                reason: "page 99999".into(),
+            },
+            Error::OffsetOutsideView {
+                offset: 100,
+                view_len: 32,
+            },
             Error::Decode("truncated".into()),
             Error::InvalidConfig("bad".into()),
-            Error::LockFailed { page: PageId::new(3) },
-            Error::NotConsistentHolder { page: PageId::new(3) },
-            Error::WrongMapMode { needed: MapMode::Writeable },
+            Error::LockFailed {
+                page: PageId::new(3),
+            },
+            Error::NotConsistentHolder {
+                page: PageId::new(3),
+            },
+            Error::WrongMapMode {
+                needed: MapMode::Writeable,
+            },
             Error::NotFound("pipe0".into()),
             Error::PermissionDenied("write".into()),
             Error::Disconnected,

@@ -27,6 +27,28 @@
 //! in [`rules`]; the generation-counter handshake used by the paper's
 //! send/receive protocol in [`generation`].
 //!
+//! # The zero-copy page-data path
+//!
+//! The paper's whole argument is about *reducing host load*; this crate's
+//! page-data path is therefore allocation-free in steady state:
+//!
+//! * [`PageBuf`] is backed by shared, reference-counted storage with
+//!   copy-on-write. Publishing a full page ([`PageBuf::payload`]) hands
+//!   out a shared view instead of copying 8 KiB; a later local write
+//!   detaches a private copy first, so published bytes are immutable.
+//! * [`Packet::decode`] returns the page payload as a zero-copy slice of
+//!   the datagram. One decoded broadcast is cloned to every snooping host
+//!   for a reference-count bump; each interested host *adopts* the
+//!   payload as its page storage ([`PageBuf::from_payload`],
+//!   [`PageBuf::refresh_from_payload`]) — zero full-page copies per
+//!   snooping host.
+//! * [`table::PageTable`] indexes per-page state with a dense `Vec` slot
+//!   array keyed by page number (page ids are small integers), so every
+//!   access/snoop/wake path costs an array index instead of a SipHash.
+//!
+//! `BENCH_baseline.json` at the repo root records the before/after
+//! microbenchmark numbers for this design.
+//!
 //! # Example
 //!
 //! ```

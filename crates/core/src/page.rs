@@ -1,39 +1,108 @@
 //! Page storage: the bytes backing one Mether page on one host.
+//!
+//! # The zero-copy buffer model
+//!
+//! A [`PageBuf`] is backed by either *owned* storage (a private, full
+//! 8192-byte extent) or *shared* storage (a reference-counted [`Bytes`]
+//! view — typically a slice of the decoded datagram the page arrived in).
+//! The two states convert lazily, copy-on-write:
+//!
+//! * **Install/refresh from the network is copy-free.** A snooping host
+//!   adopts the broadcast's payload by reference
+//!   ([`PageBuf::from_payload`], [`PageBuf::refresh_from_payload`]); N
+//!   hosts snooping one broadcast share one allocation.
+//! * **Publishing is copy-free.** [`PageBuf::payload`] hands the page's
+//!   storage to the network as a shared view instead of copying it out
+//!   (short transfers below [`ZERO_COPY_MIN`] are copied — a 32-byte
+//!   memcpy is cheaper than freezing 8 KiB of storage).
+//! * **Writes are isolated.** Any mutation of shared storage first
+//!   materialises a private owned copy, so a payload already handed to
+//!   the network (or a datagram other hosts still share) can never be
+//!   mutated retroactively.
+//!
+//! A `PageBuf` always *represents* the full 8192 bytes, but tracks how
+//! many of them are *valid*: after a short-page fault only the first
+//! `short_len` bytes hold data from the network; the remainder is stale
+//! or zero. The Figure 1 rules call the short page the *subset* and the
+//! full page the *superset*; "pagein from the network: all subsets paged
+//! in, no supersets paged in" is expressed here as `valid_len`.
 
 use crate::config::PAGE_SIZE;
 use crate::{Error, PageLength, Result};
 use bytes::Bytes;
 use std::fmt;
 
+/// Transfers at least this long are published as zero-copy shared views;
+/// shorter ones are copied out (cheaper than freezing the whole page).
+pub const ZERO_COPY_MIN: usize = 1024;
+
+/// The backing store for one page on one host. See the module docs for
+/// the owned/shared copy-on-write model.
+#[derive(Clone)]
+enum Storage {
+    /// Private storage, always the full [`PAGE_SIZE`] extent, never
+    /// aliased (sharing converts to `Shared` first).
+    Owned(Vec<u8>),
+    /// Reference-counted storage, possibly aliased by the network layer
+    /// or by other hosts; extent is `bytes.len()` (≤ [`PAGE_SIZE`]).
+    Shared(Bytes),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(b) => b,
+        }
+    }
+}
+
 /// The backing store for one page on one host.
-///
-/// A `PageBuf` always reserves the full 8192 bytes, but tracks how many of
-/// them are *valid*: after a short-page fault only the first `short_len`
-/// bytes hold data from the network; the remainder is stale or zero. The
-/// Figure 1 rules call the short page the *subset* and the full page the
-/// *superset*; "pagein from the network: all subsets paged in, no supersets
-/// paged in" is expressed here as `valid_len`.
-#[derive(Clone, PartialEq, Eq)]
 pub struct PageBuf {
-    data: Box<[u8; PAGE_SIZE]>,
+    storage: Storage,
     valid_len: usize,
+}
+
+/// A `len`-byte vector holding as much of `src` as fits, zero-padded —
+/// the single definition of the "prefix plus zero tail" storage shape.
+fn padded_vec(src: &[u8], len: usize) -> Vec<u8> {
+    let keep = src.len().min(len);
+    let mut v = Vec::with_capacity(len);
+    v.extend_from_slice(&src[..keep]);
+    v.resize(len, 0);
+    v
 }
 
 impl PageBuf {
     /// A zero-filled page with the full extent valid (a freshly created
     /// page owned by its creator).
     pub fn new_zeroed() -> Self {
-        Self { data: Box::new([0; PAGE_SIZE]), valid_len: PAGE_SIZE }
+        Self {
+            storage: Storage::Owned(vec![0; PAGE_SIZE]),
+            valid_len: PAGE_SIZE,
+        }
     }
 
     /// A page installed from `bytes` received off the network; only the
-    /// received prefix is valid.
+    /// received prefix is valid. Copies once into private storage — use
+    /// [`PageBuf::from_payload`] on the snoop path to install without
+    /// copying at all.
     pub fn from_network(bytes: &[u8]) -> Self {
-        let mut buf = Self::new_zeroed();
-        let n = bytes.len().min(PAGE_SIZE);
-        buf.data[..n].copy_from_slice(&bytes[..n]);
-        buf.valid_len = n;
-        buf
+        Self {
+            storage: Storage::Owned(padded_vec(bytes, PAGE_SIZE)),
+            valid_len: bytes.len().min(PAGE_SIZE),
+        }
+    }
+
+    /// A page installed by adopting a decoded datagram's payload by
+    /// reference — the zero-copy install path. The buffer shares the
+    /// datagram's storage until something writes to it.
+    pub fn from_payload(data: &Bytes) -> Self {
+        let n = data.len().min(PAGE_SIZE);
+        Self {
+            storage: Storage::Shared(data.slice(..n)),
+            valid_len: n,
+        }
     }
 
     /// How many leading bytes hold real (network- or locally-written) data.
@@ -52,15 +121,67 @@ impl PageBuf {
         self.valid_len >= len
     }
 
+    /// True if this buffer's storage is shared with `payload` (no copy
+    /// separates them). Exposed for the zero-copy tests and assertions.
+    pub fn shares_storage_with(&self, payload: &Bytes) -> bool {
+        match &self.storage {
+            Storage::Owned(_) => false,
+            Storage::Shared(b) => b.shares_storage_with(payload),
+        }
+    }
+
+    /// Materialises private full-extent storage, preserving the valid
+    /// prefix and zero-filling the tail — the copy-on-write step.
+    ///
+    /// When the shared allocation is a full-extent page that nobody else
+    /// references any more (every network view was dropped), it is
+    /// reclaimed in place instead of copied, so a single-writer
+    /// publish → write cycle stays copy-free once the published payload
+    /// has been consumed.
+    fn ensure_owned(&mut self) {
+        if let Storage::Shared(b) = &mut self.storage {
+            self.storage = match std::mem::take(b).try_unique() {
+                Ok(v) if v.len() == PAGE_SIZE => Storage::Owned(v),
+                Ok(v) => Storage::Owned(padded_vec(&v, PAGE_SIZE)),
+                Err(shared) => Storage::Owned(padded_vec(&shared, PAGE_SIZE)),
+            };
+        }
+    }
+
     /// Merges bytes received from the network into this buffer, extending
     /// the valid prefix if the transfer was longer than what we had.
     ///
     /// A short-page broadcast refreshes the first 32 bytes of an existing
     /// full copy without invalidating the rest — the snoopy-refresh rule.
+    /// Copies `bytes`; the snoop path uses the copy-free
+    /// [`PageBuf::refresh_from_payload`] instead.
     pub fn refresh_from_network(&mut self, bytes: &[u8]) {
         let n = bytes.len().min(PAGE_SIZE);
-        self.data[..n].copy_from_slice(&bytes[..n]);
+        self.ensure_owned();
+        match &mut self.storage {
+            Storage::Owned(v) => v[..n].copy_from_slice(&bytes[..n]),
+            Storage::Shared(_) => unreachable!("ensure_owned materialised"),
+        }
         self.valid_len = self.valid_len.max(n);
+    }
+
+    /// Snoopy refresh from a decoded datagram's payload.
+    ///
+    /// When the transfer covers the whole valid prefix the buffer simply
+    /// adopts the payload's storage by reference — zero bytes move, and
+    /// the host's previous storage (possibly still shared with a payload
+    /// it published earlier) is released untouched. Only a refresh
+    /// *shorter* than the valid prefix (a short-page broadcast landing on
+    /// a full copy) has to merge, which costs one copy-on-write of the
+    /// local page plus the short prefix copy.
+    pub fn refresh_from_payload(&mut self, data: &Bytes) {
+        let n = data.len().min(PAGE_SIZE);
+        if n >= self.valid_len {
+            self.storage = Storage::Shared(data.slice(..n));
+            self.valid_len = n;
+        } else {
+            self.refresh_from_network(data);
+        }
     }
 
     /// Merges *superset* bytes under an authoritative local prefix: only
@@ -73,7 +194,12 @@ impl PageBuf {
     pub fn extend_from_network(&mut self, bytes: &[u8]) {
         let n = bytes.len().min(PAGE_SIZE);
         if n > self.valid_len {
-            self.data[self.valid_len..n].copy_from_slice(&bytes[self.valid_len..n]);
+            self.ensure_owned();
+            let start = self.valid_len;
+            match &mut self.storage {
+                Storage::Owned(v) => v[start..n].copy_from_slice(&bytes[start..n]),
+                Storage::Shared(_) => unreachable!("ensure_owned materialised"),
+            }
             self.valid_len = n;
         }
     }
@@ -85,21 +211,27 @@ impl PageBuf {
     /// Returns [`Error::OffsetOutsideView`] if the range extends past the
     /// valid prefix.
     pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
-        let end = offset.checked_add(buf.len()).ok_or(Error::OffsetOutsideView {
-            offset: offset as u32,
-            view_len: self.valid_len,
-        })?;
+        let end = offset
+            .checked_add(buf.len())
+            .ok_or(Error::OffsetOutsideView {
+                offset: offset as u64,
+                view_len: self.valid_len,
+            })?;
         if end > self.valid_len {
             return Err(Error::OffsetOutsideView {
-                offset: offset as u32,
+                offset: offset as u64,
                 view_len: self.valid_len,
             });
         }
-        buf.copy_from_slice(&self.data[offset..end]);
+        buf.copy_from_slice(&self.storage.as_slice()[offset..end]);
         Ok(())
     }
 
     /// Writes `buf` starting at `offset`.
+    ///
+    /// Copy-on-write: if the storage is shared (with a payload handed to
+    /// the network, or with the datagram the page arrived in), a private
+    /// copy is materialised first, so the shared bytes are never mutated.
     ///
     /// # Errors
     ///
@@ -107,17 +239,23 @@ impl PageBuf {
     /// valid prefix (you cannot write through a short copy beyond its
     /// extent).
     pub fn write(&mut self, offset: usize, buf: &[u8]) -> Result<()> {
-        let end = offset.checked_add(buf.len()).ok_or(Error::OffsetOutsideView {
-            offset: offset as u32,
-            view_len: self.valid_len,
-        })?;
+        let end = offset
+            .checked_add(buf.len())
+            .ok_or(Error::OffsetOutsideView {
+                offset: offset as u64,
+                view_len: self.valid_len,
+            })?;
         if end > self.valid_len {
             return Err(Error::OffsetOutsideView {
-                offset: offset as u32,
+                offset: offset as u64,
                 view_len: self.valid_len,
             });
         }
-        self.data[offset..end].copy_from_slice(buf);
+        self.ensure_owned();
+        match &mut self.storage {
+            Storage::Owned(v) => v[offset..end].copy_from_slice(buf),
+            Storage::Shared(_) => unreachable!("ensure_owned materialised"),
+        }
         Ok(())
     }
 
@@ -144,17 +282,34 @@ impl PageBuf {
     /// The transfer payload for a view of `len`: the prefix of the page
     /// that a `PageData` broadcast of that length carries.
     ///
-    /// Short transfers carry the first `transfer_len` bytes; full transfers
-    /// the whole page. The returned [`Bytes`] is an owned copy, suitable
-    /// for handing to the network.
-    pub fn payload(&self, transfer_len: usize) -> Bytes {
+    /// Full-page transfers (anything ≥ [`ZERO_COPY_MIN`]) are **zero
+    /// copy**: the returned [`Bytes`] shares this buffer's storage, and a
+    /// subsequent local write copy-on-writes rather than mutating what
+    /// was handed to the network. Short transfers are copied out — a
+    /// 32-byte memcpy beats freezing 8 KiB of storage.
+    pub fn payload(&mut self, transfer_len: usize) -> Bytes {
         let n = transfer_len.min(PAGE_SIZE);
-        Bytes::copy_from_slice(&self.data[..n])
+        if n >= ZERO_COPY_MIN {
+            // Freeze owned storage into a shared allocation (a pointer
+            // move, not a copy), then hand out a view of it.
+            if let Storage::Owned(v) = &mut self.storage {
+                self.storage = Storage::Shared(Bytes::from(std::mem::take(v)));
+            }
+            if let Storage::Shared(b) = &self.storage {
+                if b.len() >= n {
+                    return b.slice(..n);
+                }
+            }
+        }
+        // Copy path: short transfers, or shared storage whose extent is
+        // shorter than the requested transfer (pad the tail with zeros,
+        // as the full-extent storage would have held).
+        Bytes::from(padded_vec(self.storage.as_slice(), n))
     }
 
     /// The valid prefix as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[..self.valid_len]
+        &self.storage.as_slice()[..self.valid_len]
     }
 
     /// Whether this buffer satisfies a fault of the given `length` view
@@ -167,13 +322,41 @@ impl PageBuf {
     }
 }
 
+impl PartialEq for PageBuf {
+    /// Buffers are equal when their *valid* contents are equal; the
+    /// storage representation (owned vs shared) is invisible.
+    fn eq(&self, other: &Self) -> bool {
+        self.valid_len == other.valid_len && self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PageBuf {}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> Self {
+        PageBuf {
+            storage: match &self.storage {
+                // Cloning shared storage bumps a refcount; mutation on
+                // either side copy-on-writes.
+                Storage::Shared(b) => Storage::Shared(b.clone()),
+                Storage::Owned(v) => Storage::Owned(v.clone()),
+            },
+            valid_len: self.valid_len,
+        }
+    }
+}
+
 impl fmt::Debug for PageBuf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "PageBuf(valid={}, head={:02x?})",
+            "PageBuf(valid={}, {}, head={:02x?})",
             self.valid_len,
-            &self.data[..8.min(self.valid_len)]
+            match &self.storage {
+                Storage::Owned(_) => "owned",
+                Storage::Shared(_) => "shared",
+            },
+            &self.as_slice()[..8.min(self.valid_len)]
         )
     }
 }
@@ -275,6 +458,145 @@ mod tests {
         assert!(p.write(usize::MAX, &[0u8; 4]).is_err());
     }
 
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn huge_offset_reported_untruncated() {
+        // Regression: offsets ≥ 2³² used to be truncated to u32 in the
+        // error, reporting e.g. 5 instead of 4294967301.
+        let mut p = PageBuf::new_zeroed();
+        let off = (1usize << 32) + 5;
+        match p.write(off, &[0u8; 4]).unwrap_err() {
+            Error::OffsetOutsideView { offset, .. } => assert_eq!(offset, off as u64),
+            other => panic!("{other:?}"),
+        }
+        match p.read_u32(off).unwrap_err() {
+            Error::OffsetOutsideView { offset, .. } => assert_eq!(offset, off as u64),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_payload_is_zero_copy() {
+        let mut p = PageBuf::new_zeroed();
+        let a = p.payload(PAGE_SIZE);
+        let b = p.payload(PAGE_SIZE);
+        assert!(
+            a.shares_storage_with(&b),
+            "both payloads view the same storage"
+        );
+        assert!(p.shares_storage_with(&a), "the page itself shares it too");
+    }
+
+    #[test]
+    fn short_payload_is_copied_not_shared() {
+        // Publishing 32 bytes must not freeze the whole page's storage.
+        let mut p = PageBuf::new_zeroed();
+        let short = p.payload(32);
+        assert_eq!(short.len(), 32);
+        assert!(!p.shares_storage_with(&short));
+    }
+
+    #[test]
+    fn write_after_payload_copy_on_writes() {
+        // COW isolation: a payload handed to the network never observes
+        // writes made after it was published.
+        let mut p = PageBuf::new_zeroed();
+        p.write_u32(0, 1).unwrap();
+        let published = p.payload(PAGE_SIZE);
+        assert!(p.shares_storage_with(&published));
+        p.write_u32(0, 2).unwrap();
+        assert!(
+            !p.shares_storage_with(&published),
+            "write detached the storage"
+        );
+        assert_eq!(
+            &published[..4],
+            &1u32.to_le_bytes(),
+            "published bytes unchanged"
+        );
+        assert_eq!(p.read_u32(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn write_after_consumed_payload_reclaims_storage() {
+        // Once every network view of a published payload is dropped, the
+        // next write reclaims the allocation in place instead of copying
+        // 8 KiB — the single-writer publish → write cycle is copy-free.
+        let mut p = PageBuf::new_zeroed();
+        p.write_u32(0, 1).unwrap();
+        let published = p.payload(PAGE_SIZE);
+        let alloc = published.as_ref().as_ptr() as usize;
+        drop(published);
+        p.write_u32(0, 2).unwrap();
+        assert_eq!(p.read_u32(0).unwrap(), 2);
+        assert_eq!(
+            p.as_slice().as_ptr() as usize,
+            alloc,
+            "write reclaimed the published allocation instead of copying"
+        );
+    }
+
+    #[test]
+    fn install_from_payload_is_zero_copy_and_isolated() {
+        let datagram = bytes::Bytes::from(vec![5u8; 8192]);
+        let mut p = PageBuf::from_payload(&datagram);
+        assert!(p.full_valid());
+        assert!(
+            p.shares_storage_with(&datagram),
+            "install adopts the datagram"
+        );
+        // A local write must not mutate the (still shared) datagram.
+        p.write_u32(0, 0xffff_ffff).unwrap();
+        assert_eq!(datagram[0], 5, "datagram bytes are immutable");
+        assert!(!p.shares_storage_with(&datagram));
+    }
+
+    #[test]
+    fn full_refresh_adopts_payload_storage() {
+        let mut p = PageBuf::from_network(&[1u8; 8192]);
+        let update = bytes::Bytes::from(vec![2u8; 8192]);
+        p.refresh_from_payload(&update);
+        assert!(
+            p.shares_storage_with(&update),
+            "steady-state refresh is copy-free"
+        );
+        assert_eq!(p.read_u32(0).unwrap(), 0x0202_0202);
+    }
+
+    #[test]
+    fn short_refresh_of_full_copy_merges() {
+        let mut p = PageBuf::from_network(&[1u8; 8192]);
+        let update = bytes::Bytes::from(vec![2u8; 32]);
+        p.refresh_from_payload(&update);
+        assert!(p.full_valid());
+        assert_eq!(p.read_u32(0).unwrap(), 0x0202_0202);
+        assert_eq!(
+            p.read_u32(100).unwrap(),
+            0x0101_0101,
+            "tail survives the merge"
+        );
+    }
+
+    #[test]
+    fn payload_pads_beyond_shared_extent() {
+        // A holder that only ever received 32 bytes can still publish a
+        // longer transfer; the tail reads as zeros, as the old
+        // full-extent storage representation guaranteed.
+        let datagram = bytes::Bytes::from(vec![7u8; 32]);
+        let mut p = PageBuf::from_payload(&datagram);
+        let full = p.payload(PAGE_SIZE);
+        assert_eq!(full.len(), PAGE_SIZE);
+        assert_eq!(&full[..32], &[7u8; 32][..]);
+        assert!(full[32..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn equality_ignores_storage_representation() {
+        let owned = PageBuf::from_network(&[3u8; 32]);
+        let shared = PageBuf::from_payload(&bytes::Bytes::from(vec![3u8; 32]));
+        assert_eq!(owned, shared);
+    }
+
     proptest! {
         #[test]
         fn prop_write_read_identity(off in 0usize..8188, v in any::<u32>()) {
@@ -289,12 +611,18 @@ mod tests {
             let p = PageBuf::from_network(&data);
             prop_assert_eq!(p.valid_len(), len);
             prop_assert_eq!(p.as_slice(), &data[..]);
+            let shared = PageBuf::from_payload(&bytes::Bytes::from(data.clone()));
+            prop_assert_eq!(shared.valid_len(), len);
+            prop_assert_eq!(shared.as_slice(), &data[..]);
         }
 
         #[test]
         fn prop_refresh_monotone_validity(a in 1usize..8192, b in 1usize..8192) {
             let mut p = PageBuf::from_network(&vec![1u8; a]);
             p.refresh_from_network(&vec![2u8; b]);
+            prop_assert_eq!(p.valid_len(), a.max(b));
+            let mut p = PageBuf::from_network(&vec![1u8; a]);
+            p.refresh_from_payload(&bytes::Bytes::from(vec![2u8; b]));
             prop_assert_eq!(p.valid_len(), a.max(b));
         }
     }

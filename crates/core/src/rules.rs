@@ -98,11 +98,18 @@ pub fn rule_for(op: Operation) -> Rule {
         Operation::MapIn => (SubsetRule::MustBePresent, SupersetRule::NeedNotBePresent),
         Operation::PageIn => (SubsetRule::AllPagedIn, SupersetRule::NonePagedIn),
         Operation::PageOut => (SubsetRule::AllPagedOut, SupersetRule::LeftPagedInUnmapped),
-        Operation::Lock => (SubsetRule::AllLockedOrWanted, SupersetRule::PresentUnmappedOrWanted),
+        Operation::Lock => (
+            SubsetRule::AllLockedOrWanted,
+            SupersetRule::PresentUnmappedOrWanted,
+        ),
         Operation::PageFault => (SubsetRule::MustBePresent, SupersetRule::NeedNotBePresent),
         Operation::Purge => (SubsetRule::ConsistentPurged, SupersetRule::NotAffected),
     };
-    Rule { operation: op, subset, superset }
+    Rule {
+        operation: op,
+        subset,
+        superset,
+    }
 }
 
 /// The full Figure 1 table, row by row.
@@ -230,7 +237,10 @@ mod tests {
         assert_eq!(Presence::from_valid_len(None, 32), Presence::Absent);
         assert_eq!(Presence::from_valid_len(Some(0), 32), Presence::Absent);
         assert_eq!(Presence::from_valid_len(Some(32), 32), Presence::SubsetOnly);
-        assert_eq!(Presence::from_valid_len(Some(8191), 32), Presence::SubsetOnly);
+        assert_eq!(
+            Presence::from_valid_len(Some(8191), 32),
+            Presence::SubsetOnly
+        );
         assert_eq!(Presence::from_valid_len(Some(8192), 32), Presence::Whole);
     }
 

@@ -28,10 +28,9 @@
 
 use crate::rules::Presence;
 use crate::{
-    DriveMode, Error, Generation, HostId, MapMode, MetherConfig, PageBuf, PageId, PageLength,
-    Packet, Result, View, Want,
+    DriveMode, Error, Generation, HostId, MapMode, MetherConfig, Packet, PageBuf, PageId,
+    PageLength, Result, View, Want,
 };
-use std::collections::HashMap;
 use std::fmt;
 
 /// Token identifying a blocked process; opaque to the page table. The
@@ -132,11 +131,59 @@ impl PageEntry {
     }
 }
 
+/// Dense per-page slot index.
+///
+/// `PageId`s are small integers (the page number in the shared address
+/// space), so the per-page state lives in a plain `Vec` indexed by page
+/// number instead of a hash map: lookup on every access, snoop, and wake
+/// path is an array index, not a SipHash of the key. Slots materialise
+/// lazily — the vector only grows to the highest page this host has ever
+/// touched, and untouched pages cost nothing but a `None`.
+#[derive(Default)]
+struct PageSlots {
+    slots: Vec<Option<PageEntry>>,
+}
+
+impl PageSlots {
+    fn get(&self, page: PageId) -> Option<&PageEntry> {
+        self.slots
+            .get(page.index() as usize)
+            .and_then(Option::as_ref)
+    }
+
+    fn get_mut(&mut self, page: PageId) -> Option<&mut PageEntry> {
+        self.slots
+            .get_mut(page.index() as usize)
+            .and_then(Option::as_mut)
+    }
+
+    /// The entry for `page`, created (and the index grown) on first touch.
+    fn slot(&mut self, page: PageId) -> &mut PageEntry {
+        let i = page.index() as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i].get_or_insert_with(PageEntry::new)
+    }
+
+    fn ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(i, _)| PageId::new(i as u32))
+    }
+
+    fn tracked(&self) -> usize {
+        self.slots.iter().filter(|e| e.is_some()).count()
+    }
+}
+
 /// One host's Mether page table (kernel-driver state).
 pub struct PageTable {
     host: HostId,
     cfg: MetherConfig,
-    pages: HashMap<PageId, PageEntry>,
+    pages: PageSlots,
     stats: TableStats,
 }
 
@@ -160,7 +207,12 @@ pub struct TableStats {
 impl PageTable {
     /// Creates an empty table for `host`.
     pub fn new(host: HostId, cfg: MetherConfig) -> Self {
-        PageTable { host, cfg, pages: HashMap::new(), stats: TableStats::default() }
+        PageTable {
+            host,
+            cfg,
+            pages: PageSlots::default(),
+            stats: TableStats::default(),
+        }
     }
 
     /// The host this table belongs to.
@@ -181,7 +233,7 @@ impl PageTable {
     /// Seeds `page` as created on this host: a zeroed, fully valid page
     /// whose consistent copy lives here. Used at segment-creation time.
     pub fn create_owned(&mut self, page: PageId) {
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        let e = self.pages.slot(page);
         e.buf = Some(PageBuf::new_zeroed());
         e.consistent = true;
         e.generation = Generation::zero();
@@ -189,17 +241,19 @@ impl PageTable {
 
     /// Does this host currently hold the consistent copy of `page`?
     pub fn is_consistent_holder(&self, page: PageId) -> bool {
-        self.pages.get(&page).is_some_and(|e| e.consistent)
+        self.pages.get(page).is_some_and(|e| e.consistent)
     }
 
     /// The generation of the local copy (zero if absent).
     pub fn generation(&self, page: PageId) -> Generation {
-        self.pages.get(&page).map_or(Generation::zero(), |e| e.generation)
+        self.pages
+            .get(page)
+            .map_or(Generation::zero(), |e| e.generation)
     }
 
     /// Immutable view of the local copy of `page`, if present.
     pub fn page_buf(&self, page: PageId) -> Option<&PageBuf> {
-        self.pages.get(&page).and_then(|e| e.buf.as_ref())
+        self.pages.get(page).and_then(|e| e.buf.as_ref())
     }
 
     /// Mutable view of the local copy of `page`, if present.
@@ -207,7 +261,7 @@ impl PageTable {
     /// Callers must only mutate pages they verified are consistent-held
     /// (an [`AccessOutcome::Ready`] from a writeable access).
     pub fn page_buf_mut(&mut self, page: PageId) -> Option<&mut PageBuf> {
-        self.pages.get_mut(&page).and_then(|e| e.buf.as_mut())
+        self.pages.get_mut(page).and_then(|e| e.buf.as_mut())
     }
 
     /// Attempts an access to `page` through `view` under `mode`.
@@ -231,11 +285,13 @@ impl PageTable {
         effects: &mut Vec<Effect>,
     ) -> Result<AccessOutcome> {
         if mode == MapMode::Writeable && view.drive == DriveMode::Data {
-            return Err(Error::WrongMapMode { needed: MapMode::ReadOnly });
+            return Err(Error::WrongMapMode {
+                needed: MapMode::ReadOnly,
+            });
         }
         let short_len = self.cfg.short_len;
         let host = self.host;
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        let e = self.pages.slot(page);
         e.mapped = true;
         match mode {
             MapMode::Writeable => {
@@ -248,7 +304,11 @@ impl PageTable {
                 // above). Two cases: we lack consistency entirely, or we
                 // hold it as a short prefix and the full view faulted —
                 // Figure 1's "supersets not present are marked wanted".
-                let want = if e.consistent { Want::Superset } else { Want::Consistent };
+                let want = if e.consistent {
+                    Want::Superset
+                } else {
+                    Want::Consistent
+                };
                 self.stats.consistent_faults += 1;
                 e.demand_waiters.push((waiter, view.length, want));
                 if e.requested != Some(want) {
@@ -316,7 +376,7 @@ impl PageTable {
         waiter: WaiterId,
         effects: &mut Vec<Effect>,
     ) -> Result<AccessOutcome> {
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        let e = self.pages.slot(page);
         match mode {
             MapMode::ReadOnly => {
                 self.stats.ro_purges += 1;
@@ -352,11 +412,11 @@ impl PageTable {
     pub fn server_purge_broadcast(&mut self, page: PageId, length: PageLength) -> Result<Packet> {
         let short_len = self.cfg.short_len;
         let host = self.host;
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        let e = self.pages.slot(page);
         if !e.consistent || !e.purge_pending {
             return Err(Error::NotConsistentHolder { page });
         }
-        let buf = e.buf.as_ref().ok_or(Error::NotConsistentHolder { page })?;
+        let buf = e.buf.as_mut().ok_or(Error::NotConsistentHolder { page })?;
         e.generation = e.generation.next();
         let transfer_len = match length {
             PageLength::Full => crate::PAGE_SIZE,
@@ -375,7 +435,7 @@ impl PageTable {
     /// DO-PURGE: the server acknowledges that the purge broadcast went
     /// out. Clears purge-pending and wakes the blocked purger.
     pub fn do_purge(&mut self, page: PageId, effects: &mut Vec<Effect>) {
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        let e = self.pages.slot(page);
         if e.purge_pending {
             e.purge_pending = false;
             if let Some(w) = e.purge_waiter.take() {
@@ -386,7 +446,7 @@ impl PageTable {
 
     /// True if a purge is pending on `page` (the server has work to do).
     pub fn purge_pending(&self, page: PageId) -> bool {
-        self.pages.get(&page).is_some_and(|e| e.purge_pending)
+        self.pages.get(page).is_some_and(|e| e.purge_pending)
     }
 
     /// Locks `page` into this host's address space (Figure 1 "lock" row).
@@ -399,7 +459,7 @@ impl PageTable {
     /// fault them in with [`PageTable::access`] first.
     pub fn lock(&mut self, page: PageId, length: PageLength) -> Result<()> {
         let short_len = self.cfg.short_len;
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        let e = self.pages.slot(page);
         if !e.consistent || !e.presence(short_len).satisfies_lock(length) {
             return Err(Error::LockFailed { page });
         }
@@ -411,7 +471,7 @@ impl PageTable {
     /// deferred while the lock was held.
     pub fn unlock(&mut self, page: PageId, effects: &mut Vec<Effect>) {
         let deferred = {
-            let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+            let e = self.pages.slot(page);
             e.locked = false;
             std::mem::take(&mut e.deferred_transfers)
         };
@@ -422,20 +482,32 @@ impl PageTable {
 
     /// True if `page` is locked on this host.
     pub fn is_locked(&self, page: PageId) -> bool {
-        self.pages.get(&page).is_some_and(|e| e.locked)
+        self.pages.get(page).is_some_and(|e| e.locked)
     }
 
     /// Handles a packet snooped off the network. Every host calls this for
     /// every broadcast, including its own transmissions' recipients.
     pub fn handle_packet(&mut self, pkt: &Packet, effects: &mut Vec<Effect>) {
         match pkt {
-            Packet::PageRequest { from, page, length, want } => {
+            Packet::PageRequest {
+                from,
+                page,
+                length,
+                want,
+            } => {
                 if *from == self.host {
                     return; // our own broadcast
                 }
                 self.handle_request(*from, *page, *length, *want, effects);
             }
-            Packet::PageData { from, page, length, generation, transfer_to, data } => {
+            Packet::PageData {
+                from,
+                page,
+                length,
+                generation,
+                transfer_to,
+                data,
+            } => {
                 if *from == self.host {
                     return;
                 }
@@ -452,16 +524,30 @@ impl PageTable {
         want: Want,
         effects: &mut Vec<Effect>,
     ) {
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        // One slot lookup serves the whole request; host/config values are
+        // copied out first so the entry borrow can stay live throughout.
+        // A host with no state for the page can never answer, so no slot
+        // is materialised for it — a snooped request for an arbitrary
+        // page id must not make every host on the LAN allocate tracking
+        // state (the dense index would otherwise grow to the id).
+        let host = self.host;
+        let transfer_len = self.cfg.transfer_len(length);
+        let Some(e) = self.pages.get_mut(page) else {
+            return;
+        };
         if want == Want::Superset {
             // Answered by any host still holding a full copy (the
             // requester holds the consistent short prefix and will merge
             // our bytes underneath it). Never the holder itself.
             if !e.consistent && e.buf.as_ref().is_some_and(PageBuf::full_valid) {
                 let gen = e.generation;
-                let data = e.buf.as_ref().expect("checked above").payload(crate::PAGE_SIZE);
+                let data = e
+                    .buf
+                    .as_mut()
+                    .expect("checked above")
+                    .payload(crate::PAGE_SIZE);
                 effects.push(Effect::Send(Packet::PageData {
-                    from: self.host,
+                    from: host,
                     page,
                     length: PageLength::Full,
                     generation: gen,
@@ -480,14 +566,13 @@ impl PageTable {
                 // holder. "all the Mether servers having a copy of the
                 // page will refresh their copy" — the broadcast itself
                 // does that.
-                let host = self.host;
-                let e = self.pages.entry(page).or_insert_with(PageEntry::new);
                 e.generation = e.generation.next();
                 let gen = e.generation;
-                let transfer_len = self.cfg.transfer_len(length);
-                let data = e.buf.as_ref().expect("consistent holder has a buffer").payload(
-                    transfer_len,
-                );
+                let data = e
+                    .buf
+                    .as_mut()
+                    .expect("consistent holder has a buffer")
+                    .payload(transfer_len);
                 effects.push(Effect::Send(Packet::PageData {
                     from: host,
                     page,
@@ -525,14 +610,17 @@ impl PageTable {
     ) {
         let host = self.host;
         let transfer_len = self.cfg.transfer_len(length);
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
+        let e = self.pages.slot(page);
         if !e.consistent {
             return;
         }
         e.generation = e.generation.next();
         let gen = e.generation;
-        let data =
-            e.buf.as_ref().expect("consistent holder has a buffer").payload(transfer_len);
+        let data = e
+            .buf
+            .as_mut()
+            .expect("consistent holder has a buffer")
+            .payload(transfer_len);
         // We keep an inconsistent copy; consistency moves to `to`.
         e.consistent = false;
         effects.push(Effect::Send(Packet::PageData {
@@ -556,8 +644,16 @@ impl PageTable {
     ) {
         let short_len = self.cfg.short_len;
         let host = self.host;
-        let e = self.pages.entry(page).or_insert_with(PageEntry::new);
         let becomes_holder = transfer_to == Some(host);
+        // Hosts with no state for the page (nothing mapped, nothing
+        // waiting, not the transfer target) take nothing from the wire
+        // and, crucially, allocate nothing: a broadcast naming an
+        // arbitrary page id must not grow every snooping host's dense
+        // slot index to that id.
+        if !becomes_holder && self.pages.get(page).is_none() {
+            return;
+        }
+        let e = self.pages.slot(page);
 
         // A consistent holder with only the short prefix merges superset
         // bytes underneath its authoritative prefix (Want::Superset reply
@@ -584,7 +680,9 @@ impl PageTable {
         if (!e.consistent || becomes_holder) && interested && fresh_enough {
             match &mut e.buf {
                 Some(buf) => {
-                    buf.refresh_from_network(data);
+                    // Zero-copy in steady state: a transfer covering the
+                    // valid prefix adopts the datagram's storage.
+                    buf.refresh_from_payload(data);
                     self.stats.snoop_refreshes += 1;
                 }
                 None => {
@@ -597,7 +695,8 @@ impl PageTable {
                         || !e.demand_waiters.is_empty()
                         || !e.data_waiters.is_empty()
                     {
-                        e.buf = Some(PageBuf::from_network(data));
+                        // Zero-copy install: share the datagram's storage.
+                        e.buf = Some(PageBuf::from_payload(data));
                         self.stats.snoop_refreshes += 1;
                     }
                 }
@@ -619,9 +718,7 @@ impl PageTable {
         for (w, len, want) in e.demand_waiters.drain(..) {
             let satisfied = match want {
                 Want::ReadOnly => presence.satisfies_fault(len),
-                Want::Consistent | Want::Superset => {
-                    e.consistent && presence.satisfies_fault(len)
-                }
+                Want::Consistent | Want::Superset => e.consistent && presence.satisfies_fault(len),
             };
             if satisfied {
                 effects.push(Effect::Wake(w));
@@ -648,7 +745,7 @@ impl PageTable {
     /// path for a request or reply datagram lost on the unreliable
     /// network.
     pub fn cancel_wait(&mut self, page: PageId, waiter: WaiterId) {
-        if let Some(e) = self.pages.get_mut(&page) {
+        if let Some(e) = self.pages.get_mut(page) {
             e.demand_waiters.retain(|(w, _, _)| *w != waiter);
             e.data_waiters.retain(|w| *w != waiter);
             if e.demand_waiters.is_empty() && !e.consistent {
@@ -659,13 +756,18 @@ impl PageTable {
 
     /// Pages this table currently tracks (for diagnostics).
     pub fn tracked_pages(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.pages.keys().copied()
+        self.pages.ids()
     }
 }
 
 impl fmt::Debug for PageTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PageTable(host={}, pages={})", self.host, self.pages.len())
+        write!(
+            f,
+            "PageTable(host={}, pages={})",
+            self.host,
+            self.pages.tracked()
+        )
     }
 }
 
@@ -687,7 +789,9 @@ mod tests {
         let mut t = table(0);
         t.create_owned(p0());
         let mut fx = Vec::new();
-        let out = t.access(p0(), View::full_demand(), MapMode::Writeable, 1, &mut fx).unwrap();
+        let out = t
+            .access(p0(), View::full_demand(), MapMode::Writeable, 1, &mut fx)
+            .unwrap();
         assert_eq!(out, AccessOutcome::Ready);
         assert!(fx.is_empty());
     }
@@ -697,7 +801,9 @@ mod tests {
         let mut t = table(0);
         t.create_owned(p0());
         let mut fx = Vec::new();
-        let err = t.access(p0(), View::short_data(), MapMode::Writeable, 1, &mut fx).unwrap_err();
+        let err = t
+            .access(p0(), View::short_data(), MapMode::Writeable, 1, &mut fx)
+            .unwrap_err();
         assert!(matches!(err, Error::WrongMapMode { .. }));
     }
 
@@ -705,11 +811,18 @@ mod tests {
     fn demand_read_fault_broadcasts_request() {
         let mut t = table(1);
         let mut fx = Vec::new();
-        let out = t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        let out = t
+            .access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx)
+            .unwrap();
         assert_eq!(out, AccessOutcome::Blocked(FaultKind::DemandFetch));
         assert_eq!(fx.len(), 1);
         match &fx[0] {
-            Effect::Send(Packet::PageRequest { from, page, length, want }) => {
+            Effect::Send(Packet::PageRequest {
+                from,
+                page,
+                length,
+                want,
+            }) => {
                 assert_eq!(*from, HostId(1));
                 assert_eq!(*page, p0());
                 assert_eq!(*length, PageLength::Short);
@@ -723,17 +836,24 @@ mod tests {
     fn duplicate_demand_faults_send_one_request() {
         let mut t = table(1);
         let mut fx = Vec::new();
-        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 1, &mut fx).unwrap();
-        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 2, &mut fx).unwrap();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 1, &mut fx)
+            .unwrap();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 2, &mut fx)
+            .unwrap();
         let sends = fx.iter().filter(|e| matches!(e, Effect::Send(_))).count();
-        assert_eq!(sends, 1, "second fault piggybacks on the outstanding request");
+        assert_eq!(
+            sends, 1,
+            "second fault piggybacks on the outstanding request"
+        );
     }
 
     #[test]
     fn data_driven_fault_is_silent() {
         let mut t = table(1);
         let mut fx = Vec::new();
-        let out = t.access(p0(), View::short_data(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        let out = t
+            .access(p0(), View::short_data(), MapMode::ReadOnly, 7, &mut fx)
+            .unwrap();
         assert_eq!(out, AccessOutcome::Blocked(FaultKind::DataWait));
         assert!(fx.is_empty(), "completely passive: no request on the wire");
         assert_eq!(t.stats().data_faults, 1);
@@ -754,9 +874,12 @@ mod tests {
             data: Bytes::from(vec![1u8; 32]),
         };
         // Fault first so the snoop installs the copy.
-        t.access(p0(), View::short_data(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 7, &mut fx)
+            .unwrap();
         t.handle_packet(&pkt, &mut fx);
-        let out = t.access(p0(), View::short_demand(), MapMode::ReadOnly, 8, &mut fx).unwrap();
+        let out = t
+            .access(p0(), View::short_demand(), MapMode::ReadOnly, 8, &mut fx)
+            .unwrap();
         assert_eq!(out, AccessOutcome::Ready);
     }
 
@@ -764,7 +887,8 @@ mod tests {
     fn short_copy_does_not_satisfy_full_view() {
         let mut t = table(1);
         let mut fx = Vec::new();
-        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 1, &mut fx)
+            .unwrap();
         t.handle_packet(
             &Packet::PageData {
                 from: HostId(0),
@@ -776,7 +900,9 @@ mod tests {
             },
             &mut fx,
         );
-        let out = t.access(p0(), View::full_demand(), MapMode::ReadOnly, 2, &mut fx).unwrap();
+        let out = t
+            .access(p0(), View::full_demand(), MapMode::ReadOnly, 2, &mut fx)
+            .unwrap();
         assert_eq!(
             out,
             AccessOutcome::Blocked(FaultKind::DemandFetch),
@@ -800,14 +926,22 @@ mod tests {
         );
         assert_eq!(fx.len(), 1);
         match &fx[0] {
-            Effect::Send(Packet::PageData { transfer_to, length, data, .. }) => {
+            Effect::Send(Packet::PageData {
+                transfer_to,
+                length,
+                data,
+                ..
+            }) => {
                 assert_eq!(*transfer_to, None);
                 assert_eq!(*length, PageLength::Short);
                 assert_eq!(data.len(), 32);
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(t.is_consistent_holder(p0()), "RO request does not move consistency");
+        assert!(
+            t.is_consistent_holder(p0()),
+            "RO request does not move consistency"
+        );
     }
 
     #[test]
@@ -834,8 +968,9 @@ mod tests {
         let mut fx = Vec::new();
 
         // Host 1 write-faults.
-        let out =
-            t1.access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx).unwrap();
+        let out = t1
+            .access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx)
+            .unwrap();
         assert_eq!(out, AccessOutcome::Blocked(FaultKind::ConsistentFetch));
         let req = match fx.remove(0) {
             Effect::Send(p) => p,
@@ -849,7 +984,10 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert!(!t0.is_consistent_holder(p0()), "holder relinquished");
-        assert!(t0.page_buf(p0()).is_some(), "but keeps an inconsistent copy");
+        assert!(
+            t0.page_buf(p0()).is_some(),
+            "but keeps an inconsistent copy"
+        );
 
         // Host 1 receives and becomes the holder; waiter wakes.
         t1.handle_packet(&data, &mut fx);
@@ -857,8 +995,9 @@ mod tests {
         assert!(fx.contains(&Effect::ConsistentArrived(p0())));
         assert!(fx.contains(&Effect::Wake(9)));
         let mut fx2 = Vec::new();
-        let out =
-            t1.access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx2).unwrap();
+        let out = t1
+            .access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx2)
+            .unwrap();
         assert_eq!(out, AccessOutcome::Ready);
     }
 
@@ -916,7 +1055,9 @@ mod tests {
         let mut t1 = table(1);
         t0.create_owned(p0());
         let mut fx = Vec::new();
-        let out = t1.access(p0(), View::short_demand(), MapMode::Writeable, 1, &mut fx).unwrap();
+        let out = t1
+            .access(p0(), View::short_demand(), MapMode::Writeable, 1, &mut fx)
+            .unwrap();
         assert_eq!(out, AccessOutcome::Blocked(FaultKind::ConsistentFetch));
         let req = match fx.remove(0) {
             Effect::Send(p) => p,
@@ -931,17 +1072,24 @@ mod tests {
         assert!(t1.is_consistent_holder(p0()));
         let mut fx2 = Vec::new();
         assert_eq!(
-            t1.access(p0(), View::short_demand(), MapMode::Writeable, 1, &mut fx2).unwrap(),
+            t1.access(p0(), View::short_demand(), MapMode::Writeable, 1, &mut fx2)
+                .unwrap(),
             AccessOutcome::Ready
         );
         assert_eq!(
-            t1.access(p0(), View::full_demand(), MapMode::Writeable, 2, &mut fx2).unwrap(),
+            t1.access(p0(), View::full_demand(), MapMode::Writeable, 2, &mut fx2)
+                .unwrap(),
             AccessOutcome::Blocked(FaultKind::ConsistentFetch),
             "superset absent after short transfer"
         );
         // The fault broadcast a Superset request...
         let sup_req = match fx2.remove(0) {
-            Effect::Send(p @ Packet::PageRequest { want: Want::Superset, .. }) => p,
+            Effect::Send(
+                p @ Packet::PageRequest {
+                    want: Want::Superset,
+                    ..
+                },
+            ) => p,
             other => panic!("{other:?}"),
         };
         // ...which the old holder (full inconsistent copy) answers.
@@ -957,7 +1105,8 @@ mod tests {
         t1.handle_packet(&sup_data, &mut fx4);
         assert!(fx4.contains(&Effect::Wake(2)), "superset waiter woken");
         assert_eq!(
-            t1.access(p0(), View::full_demand(), MapMode::Writeable, 2, &mut fx4).unwrap(),
+            t1.access(p0(), View::full_demand(), MapMode::Writeable, 2, &mut fx4)
+                .unwrap(),
             AccessOutcome::Ready
         );
         assert_eq!(
@@ -973,7 +1122,8 @@ mod tests {
         let mut t = table(2);
         let mut fx = Vec::new();
         // Install via a data-driven wait + broadcast.
-        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx)
+            .unwrap();
         t.handle_packet(
             &Packet::PageData {
                 from: HostId(0),
@@ -1017,15 +1167,65 @@ mod tests {
             },
             &mut fx,
         );
-        assert!(t.page_buf(p0()).is_none(), "no waiters, no copy: no install");
+        assert!(
+            t.page_buf(p0()).is_none(),
+            "no waiters, no copy: no install"
+        );
+    }
+
+    #[test]
+    fn snooped_packets_for_foreign_pages_allocate_no_state() {
+        // A broadcast naming an arbitrary (huge) page id must not grow
+        // the dense slot index on uninvolved hosts: one 56-byte datagram
+        // would otherwise cost megabytes of tracking state per snooper.
+        let mut t = table(3);
+        let mut fx = Vec::new();
+        let far = PageId::new(crate::config::MAX_PAGES - 1);
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: far,
+                length: PageLength::Full,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 8192]),
+            },
+            &mut fx,
+        );
+        t.handle_packet(
+            &Packet::PageRequest {
+                from: HostId(1),
+                page: far,
+                length: PageLength::Full,
+                want: Want::ReadOnly,
+            },
+            &mut fx,
+        );
+        assert_eq!(t.tracked_pages().count(), 0, "no slot materialised");
+        assert!(fx.is_empty());
+        // ...but a transfer addressed to this host still installs.
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: far,
+                length: PageLength::Full,
+                generation: Generation(2),
+                transfer_to: Some(HostId(3)),
+                data: Bytes::from(vec![9u8; 8192]),
+            },
+            &mut fx,
+        );
+        assert!(t.is_consistent_holder(far));
     }
 
     #[test]
     fn data_waiters_wake_on_any_transit() {
         let mut t = table(2);
         let mut fx = Vec::new();
-        t.access(p0(), View::short_data(), MapMode::ReadOnly, 11, &mut fx).unwrap();
-        t.access(p0(), View::short_data(), MapMode::ReadOnly, 12, &mut fx).unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 11, &mut fx)
+            .unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 12, &mut fx)
+            .unwrap();
         assert!(fx.is_empty());
         t.handle_packet(
             &Packet::PageData {
@@ -1046,7 +1246,8 @@ mod tests {
     fn ro_purge_invalidates_local_copy() {
         let mut t = table(2);
         let mut fx = Vec::new();
-        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx)
+            .unwrap();
         t.handle_packet(
             &Packet::PageData {
                 from: HostId(0),
@@ -1071,7 +1272,10 @@ mod tests {
         t.create_owned(p0());
         let mut fx = Vec::new();
         t.purge(p0(), MapMode::ReadOnly, 1, &mut fx).unwrap();
-        assert!(t.page_buf(p0()).is_some(), "the consistent copy is never purged away");
+        assert!(
+            t.page_buf(p0()).is_some(),
+            "the consistent copy is never purged away"
+        );
         assert!(t.is_consistent_holder(p0()));
     }
 
@@ -1090,7 +1294,12 @@ mod tests {
         // Server: broadcast then DO-PURGE.
         let pkt = t.server_purge_broadcast(p0(), PageLength::Short).unwrap();
         match &pkt {
-            Packet::PageData { data, generation, transfer_to, .. } => {
+            Packet::PageData {
+                data,
+                generation,
+                transfer_to,
+                ..
+            } => {
                 assert_eq!(&data[..4], &42u32.to_le_bytes());
                 assert_eq!(*generation, Generation(1), "purge publishes a new version");
                 assert_eq!(*transfer_to, None);
@@ -1200,7 +1409,8 @@ mod tests {
         // newer content in an inconsistent copy.
         let mut t = table(2);
         let mut fx = Vec::new();
-        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx)
+            .unwrap();
         let mk = |g: u64, v: u32| Packet::PageData {
             from: HostId(0),
             page: p0(),
@@ -1224,16 +1434,22 @@ mod tests {
     fn cancel_wait_allows_retransmission() {
         let mut t = table(1);
         let mut fx = Vec::new();
-        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx).unwrap();
-        assert_eq!(fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(), 1);
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx)
+            .unwrap();
+        assert_eq!(
+            fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(),
+            1
+        );
         // A second attempt without cancel is deduplicated.
         fx.clear();
-        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx)
+            .unwrap();
         assert!(fx.iter().all(|e| !matches!(e, Effect::Send(_))));
         // After a cancel (timed-out fault), the retry retransmits.
         t.cancel_wait(p0(), 7);
         fx.clear();
-        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx).unwrap();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx)
+            .unwrap();
         assert_eq!(
             fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(),
             1,
@@ -1245,7 +1461,8 @@ mod tests {
     fn generation_monotone_under_snooping() {
         let mut t = table(2);
         let mut fx = Vec::new();
-        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx).unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 1, &mut fx)
+            .unwrap();
         for g in [3u64, 1, 5, 2] {
             t.handle_packet(
                 &Packet::PageData {
@@ -1259,6 +1476,10 @@ mod tests {
                 &mut fx,
             );
         }
-        assert_eq!(t.generation(p0()), Generation(5), "generation never regresses");
+        assert_eq!(
+            t.generation(p0()),
+            Generation(5),
+            "generation never regresses"
+        );
     }
 }

@@ -135,11 +135,21 @@ impl Packet {
     }
 
     /// Encodes the packet into a byte buffer.
+    ///
+    /// The buffer is built in one exact-capacity allocation; this is the
+    /// single copy of the payload on the transmit side (a contiguous
+    /// datagram has to be materialised somewhere). The receive side is
+    /// copy-free: see [`Packet::decode`].
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(self.encoded_len());
         b.put_u16(MAGIC);
         match self {
-            Packet::PageRequest { from, page, length, want } => {
+            Packet::PageRequest {
+                from,
+                page,
+                length,
+                want,
+            } => {
                 b.put_u8(TYPE_REQUEST);
                 b.put_u16(from.0);
                 b.put_u32(page.index());
@@ -153,7 +163,14 @@ impl Packet {
                     Want::Superset => 2,
                 });
             }
-            Packet::PageData { from, page, length, generation, transfer_to, data } => {
+            Packet::PageData {
+                from,
+                page,
+                length,
+                generation,
+                transfer_to,
+                data,
+            } => {
                 b.put_u8(TYPE_DATA);
                 b.put_u16(from.0);
                 b.put_u32(page.index());
@@ -179,20 +196,30 @@ impl Packet {
         b.freeze()
     }
 
-    /// Decodes a packet from bytes produced by [`Packet::encode`].
+    /// Decodes a packet from a datagram produced by [`Packet::encode`].
+    ///
+    /// **Zero-copy:** the payload of a `PageData` packet is returned as a
+    /// [`Bytes`] slice of the datagram itself — no bytes are copied out.
+    /// One decoded packet can therefore be cloned to every snooping host
+    /// for the cost of a reference-count bump, which is what makes the
+    /// broadcast fan-out path allocation-free.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Decode`] on truncation, a bad magic number, an
     /// unknown type tag, or invalid field values.
-    pub fn decode(mut buf: &[u8]) -> Result<Self> {
+    pub fn decode(datagram: &Bytes) -> Result<Self> {
         fn need(buf: &[u8], n: usize) -> Result<()> {
             if buf.remaining() < n {
-                Err(Error::Decode(format!("need {n} bytes, have {}", buf.remaining())))
+                Err(Error::Decode(format!(
+                    "need {n} bytes, have {}",
+                    buf.remaining()
+                )))
             } else {
                 Ok(())
             }
         }
+        let mut buf: &[u8] = datagram;
         need(buf, 3)?;
         let magic = buf.get_u16();
         if magic != MAGIC {
@@ -203,8 +230,8 @@ impl Packet {
             TYPE_REQUEST => {
                 need(buf, 8)?;
                 let from = HostId(buf.get_u16());
-                let page = PageId::try_new(buf.get_u32())
-                    .map_err(|e| Error::Decode(e.to_string()))?;
+                let page =
+                    PageId::try_new(buf.get_u32()).map_err(|e| Error::Decode(e.to_string()))?;
                 let length = decode_length(buf.get_u8())?;
                 let want = match buf.get_u8() {
                     0 => Want::ReadOnly,
@@ -212,13 +239,18 @@ impl Packet {
                     2 => Want::Superset,
                     w => return Err(Error::Decode(format!("bad want {w}"))),
                 };
-                Ok(Packet::PageRequest { from, page, length, want })
+                Ok(Packet::PageRequest {
+                    from,
+                    page,
+                    length,
+                    want,
+                })
             }
             TYPE_DATA => {
                 need(buf, 22)?;
                 let from = HostId(buf.get_u16());
-                let page = PageId::try_new(buf.get_u32())
-                    .map_err(|e| Error::Decode(e.to_string()))?;
+                let page =
+                    PageId::try_new(buf.get_u32()).map_err(|e| Error::Decode(e.to_string()))?;
                 let length = decode_length(buf.get_u8())?;
                 let generation = Generation(buf.get_u64());
                 let has_transfer = buf.get_u8();
@@ -230,8 +262,16 @@ impl Packet {
                 };
                 let len = buf.get_u32() as usize;
                 need(buf, len)?;
-                let data = Bytes::copy_from_slice(&buf[..len]);
-                Ok(Packet::PageData { from, page, length, generation, transfer_to, data })
+                let payload_start = datagram.len() - buf.remaining();
+                let data = datagram.slice(payload_start..payload_start + len);
+                Ok(Packet::PageData {
+                    from,
+                    page,
+                    length,
+                    generation,
+                    transfer_to,
+                    data,
+                })
             }
             t => Err(Error::Decode(format!("unknown packet type {t}"))),
         }
@@ -264,7 +304,11 @@ mod tests {
         Packet::PageData {
             from: HostId(1),
             page: PageId::new(4),
-            length: if len <= 32 { PageLength::Short } else { PageLength::Full },
+            length: if len <= 32 {
+                PageLength::Short
+            } else {
+                PageLength::Full
+            },
             generation: Generation(9),
             transfer_to: Some(HostId(2)),
             data: Bytes::from(vec![0xabu8; len]),
@@ -317,18 +361,18 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(Packet::decode(&[]).is_err());
-        assert!(Packet::decode(&[0, 0, 0]).is_err());
+        assert!(Packet::decode(&Bytes::new()).is_err());
+        assert!(Packet::decode(&Bytes::from(vec![0, 0, 0])).is_err());
         let mut good = sample_request().encode().to_vec();
         good[2] = 99; // unknown type
-        assert!(Packet::decode(&good).is_err());
+        assert!(Packet::decode(&Bytes::from(good)).is_err());
     }
 
     #[test]
     fn decode_rejects_truncated_data() {
         let enc = sample_data(32).encode();
         for cut in [3, 10, enc.len() - 1] {
-            assert!(Packet::decode(&enc[..cut]).is_err(), "cut at {cut}");
+            assert!(Packet::decode(&enc.slice(..cut)).is_err(), "cut at {cut}");
         }
     }
 
@@ -336,7 +380,35 @@ mod tests {
     fn decode_rejects_bad_magic() {
         let mut enc = sample_request().encode().to_vec();
         enc[0] = 0;
-        assert!(matches!(Packet::decode(&enc), Err(Error::Decode(_))));
+        assert!(matches!(
+            Packet::decode(&Bytes::from(enc)),
+            Err(Error::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn decoded_payload_is_a_zero_copy_slice_of_the_datagram() {
+        let enc = sample_data(8192).encode();
+        let decoded = Packet::decode(&enc).unwrap();
+        match &decoded {
+            Packet::PageData { data, .. } => {
+                assert_eq!(data.len(), 8192);
+                assert!(
+                    data.shares_storage_with(&enc),
+                    "payload must be a view of the datagram, not a copy"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Cloning the decoded packet shares the same storage again: the
+        // fan-out to N snooping hosts costs reference counts, not bytes.
+        let cloned = decoded.clone();
+        match (&decoded, &cloned) {
+            (Packet::PageData { data: a, .. }, Packet::PageData { data: b, .. }) => {
+                assert!(a.shares_storage_with(b));
+            }
+            _ => unreachable!(),
+        }
     }
 
     proptest! {
@@ -361,7 +433,7 @@ mod tests {
 
         #[test]
         fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
-            let _ = Packet::decode(&bytes);
+            let _ = Packet::decode(&Bytes::from(bytes.clone()));
         }
 
         #[test]

@@ -32,7 +32,11 @@ impl Barrier {
     ///
     /// Panics if `rank` is out of range.
     pub fn join(node: &Node, pages: &[PageId], rank: usize) -> Barrier {
-        assert!(rank < pages.len(), "rank {rank} out of range for {} pages", pages.len());
+        assert!(
+            rank < pages.len(),
+            "rank {rank} out of range for {} pages",
+            pages.len()
+        );
         let my_cell = SyncCell::new(pages[rank], 0);
         my_cell.create_on(node);
         let peer_cells = pages
@@ -41,7 +45,12 @@ impl Barrier {
             .filter(|(i, _)| *i != rank)
             .map(|(_, &p)| SyncCell::new(p, 0))
             .collect();
-        Barrier { my_cell, peer_cells, epoch: 0, timeout: Duration::from_secs(30) }
+        Barrier {
+            my_cell,
+            peer_cells,
+            epoch: 0,
+            timeout: Duration::from_secs(30),
+        }
     }
 
     /// Overrides the wait timeout (default 30 s).
@@ -67,8 +76,7 @@ impl Barrier {
         let deadline = std::time::Instant::now() + self.timeout;
         for cell in &self.peer_cells {
             loop {
-                let remaining = deadline
-                    .saturating_duration_since(std::time::Instant::now());
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
                 if remaining.is_zero() {
                     return Err(mether_core::Error::Timeout);
                 }
@@ -77,8 +85,7 @@ impl Barrier {
                     Ok(v) if v >= self.epoch => break,
                     Ok(stale) => {
                         // Wait for the peer's next publish.
-                        match cell.wait_change(node, stale, remaining.min(Duration::from_secs(1)))
-                        {
+                        match cell.wait_change(node, stale, remaining.min(Duration::from_secs(1))) {
                             Ok(v) if v >= self.epoch => break,
                             Ok(_) | Err(mether_core::Error::Timeout) => continue,
                             Err(e) => return Err(e),
@@ -146,7 +153,10 @@ mod tests {
         let mut barrier =
             Barrier::join(c.node(0), &pages, 0).with_timeout(Duration::from_millis(300));
         // Nobody owns page 1, nobody arrives: timeout.
-        assert_eq!(barrier.wait(c.node(0)).unwrap_err(), mether_core::Error::Timeout);
+        assert_eq!(
+            barrier.wait(c.node(0)).unwrap_err(),
+            mether_core::Error::Timeout
+        );
     }
 
     #[test]

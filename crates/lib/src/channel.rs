@@ -26,7 +26,9 @@
 //! pipe returns a read pointer and a write pointer onto the same pair of
 //! pages.
 
-use mether_core::generation::{fits_short_page, read_may_proceed, write_may_proceed, ChannelHeader};
+use mether_core::generation::{
+    fits_short_page, read_may_proceed, write_may_proceed, ChannelHeader,
+};
 use mether_core::{Error, MapMode, PageId, PageLength, Result, VAddr, View, PAGE_SIZE};
 use mether_runtime::Node;
 use std::time::Duration;
@@ -55,7 +57,11 @@ impl ChannelEnd {
     /// Propagates purge errors from the runtime.
     pub fn create(node: &Node, my_page: PageId, peer_page: PageId) -> Result<ChannelEnd> {
         node.create_owned(my_page);
-        let end = ChannelEnd { my_page, peer_page, timeout: Duration::from_secs(30) };
+        let end = ChannelEnd {
+            my_page,
+            peer_page,
+            timeout: Duration::from_secs(30),
+        };
         // Deal Me In: "a part of the initialization code purges the
         // current copy of the inconsistent page, so that an up-to-date
         // one will be accessed."
@@ -167,13 +173,19 @@ impl ChannelEnd {
             )));
         }
         let wgen = node.read_u32(self.my(ChannelHeader::WRITE_GEN), MapMode::Writeable)?;
-        self.await_peer_word(node, ChannelHeader::READ_GEN, |rg| write_may_proceed(wgen, rg))?;
+        self.await_peer_word(node, ChannelHeader::READ_GEN, |rg| {
+            write_may_proceed(wgen, rg)
+        })?;
 
         let fits = fits_short_page(data.len());
         node.lock(self.my_page, PageLength::Full)?;
         let write_addr = VAddr::new(
             self.my_page,
-            if fits { View::short_demand() } else { View::full_demand() },
+            if fits {
+                View::short_demand()
+            } else {
+                View::full_demand()
+            },
             ChannelHeader::INLINE_DATA as u32,
         )?;
         if !data.is_empty() {
@@ -185,7 +197,11 @@ impl ChannelEnd {
         node.purge(
             self.my_page,
             MapMode::Writeable,
-            if fits { PageLength::Short } else { PageLength::Full },
+            if fits {
+                PageLength::Short
+            } else {
+                PageLength::Full
+            },
         )
     }
 
@@ -198,7 +214,9 @@ impl ChannelEnd {
     /// [`Error::Timeout`] if no message arrives in time.
     pub fn crecv(&self, node: &Node, buf: &mut [u8]) -> Result<usize> {
         let rgen = node.read_u32(self.my(ChannelHeader::READ_GEN), MapMode::Writeable)?;
-        self.await_peer_word(node, ChannelHeader::WRITE_GEN, |wg| read_may_proceed(wg, rgen))?;
+        self.await_peer_word(node, ChannelHeader::WRITE_GEN, |wg| {
+            read_may_proceed(wg, rgen)
+        })?;
 
         let size = node.read_u32(
             self.peer(View::short_demand(), ChannelHeader::WRITE_SIZE),
@@ -215,7 +233,11 @@ impl ChannelEnd {
             // than the short page the reader must access the full-page
             // view." Bounded + retried so a dropped full-page reply on a
             // lossy LAN is refetched.
-            let view = if fits_short_page(size) { View::short_demand() } else { View::full_demand() };
+            let view = if fits_short_page(size) {
+                View::short_demand()
+            } else {
+                View::full_demand()
+            };
             let addr = VAddr::new(self.peer_page, view, ChannelHeader::INLINE_DATA as u32)?;
             let deadline = std::time::Instant::now() + self.timeout;
             loop {

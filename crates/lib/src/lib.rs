@@ -29,8 +29,8 @@ pub mod sync;
 
 pub use barrier::Barrier;
 pub use channel::{channel_pair, ChannelEnd, MAX_PAYLOAD};
-pub use publisher::{Publisher, Subscriber};
 pub use pipe::{create_pipe, open_pipe, PipeReader, PipeWriter};
+pub use publisher::{Publisher, Subscriber};
 pub use segment::{Capability, Registry, Rights, Segment};
 pub use sync::SyncCell;
 
@@ -49,8 +49,7 @@ mod tests {
     #[test]
     fn channel_small_message_round_trip() {
         let c = two();
-        let (a, b) =
-            channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
+        let (a, b) = channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
         let c2 = Arc::clone(&c);
         let receiver = std::thread::spawn(move || b.crecv_vec(c2.node(1)).unwrap());
         a.csend(c.node(0), b"hi").unwrap();
@@ -60,8 +59,7 @@ mod tests {
     #[test]
     fn channel_large_message_uses_full_page() {
         let c = two();
-        let (a, b) =
-            channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
+        let (a, b) = channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
         let msg: Vec<u8> = (0..4000u32).map(|i| (i % 251) as u8).collect();
         let expect = msg.clone();
         let c2 = Arc::clone(&c);
@@ -73,8 +71,7 @@ mod tests {
     #[test]
     fn channel_sequence_of_messages_flow_controlled() {
         let c = two();
-        let (a, b) =
-            channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
+        let (a, b) = channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
         let c2 = Arc::clone(&c);
         let receiver = std::thread::spawn(move || {
             (0..20u32)
@@ -93,8 +90,7 @@ mod tests {
     #[test]
     fn channel_is_bidirectional() {
         let c = two();
-        let (a, b) =
-            channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
+        let (a, b) = channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
         let c2 = Arc::clone(&c);
         let peer = std::thread::spawn(move || {
             let got = b.crecv_vec(c2.node(1)).unwrap();
@@ -110,8 +106,7 @@ mod tests {
     #[test]
     fn oversized_message_rejected() {
         let c = two();
-        let (a, _b) =
-            channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
+        let (a, _b) = channel_pair(c.node(0), c.node(1), PageId::new(0), PageId::new(1)).unwrap();
         let too_big = vec![0u8; MAX_PAYLOAD + 1];
         assert!(a.csend(c.node(0), &too_big).is_err());
     }
@@ -147,7 +142,8 @@ mod tests {
         cell.create_on(c.node(0));
         let c2 = Arc::clone(&c);
         let watcher = std::thread::spawn(move || {
-            cell.wait_change(c2.node(1), 0, Duration::from_secs(10)).unwrap()
+            cell.wait_change(c2.node(1), 0, Duration::from_secs(10))
+                .unwrap()
         });
         std::thread::sleep(Duration::from_millis(50));
         cell.publish(c.node(0), 41).unwrap();

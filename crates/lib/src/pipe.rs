@@ -97,7 +97,10 @@ pub fn open_pipe(
     node: &Node,
     cap: &Capability,
 ) -> Result<(PipeReader, PipeWriter)> {
-    if !cap.rights().covers(Rights::READ | Rights::WRITE | Rights::PURGE) {
+    if !cap
+        .rights()
+        .covers(Rights::READ | Rights::WRITE | Rights::PURGE)
+    {
         return Err(Error::PermissionDenied(format!(
             "pipe {} needs read+write+purge, capability grants {}",
             cap.segment(),

@@ -59,7 +59,11 @@ impl Publisher {
             )));
         }
         let fits_short = item.len() <= SHORT_ITEM;
-        let view = if fits_short { View::short_demand() } else { View::full_demand() };
+        let view = if fits_short {
+            View::short_demand()
+        } else {
+            View::full_demand()
+        };
         self.seq += 1;
         if !item.is_empty() {
             node.write_bytes(VAddr::new(self.page, view, DATA)?, item)?;
@@ -72,7 +76,11 @@ impl Publisher {
         node.purge(
             self.page,
             MapMode::Writeable,
-            if fits_short { PageLength::Short } else { PageLength::Full },
+            if fits_short {
+                PageLength::Short
+            } else {
+                PageLength::Full
+            },
         )?;
         Ok(self.seq)
     }
@@ -90,7 +98,11 @@ pub struct Subscriber {
 impl Subscriber {
     /// Attaches to the publication on `page`.
     pub fn new(page: PageId) -> Subscriber {
-        Subscriber { page, last_seq: 0, timeout: Duration::from_secs(30) }
+        Subscriber {
+            page,
+            last_seq: 0,
+            timeout: Duration::from_secs(30),
+        }
     }
 
     /// Overrides the wait timeout (default 30 s).
@@ -140,16 +152,18 @@ impl Subscriber {
                 Err(e) => return Err(e),
             }
         };
-        let len = node
-            .read_u32_timeout(
-                VAddr::new(self.page, View::short_demand(), LEN)?,
-                MapMode::ReadOnly,
-                self.timeout,
-            )? as usize;
+        let len = node.read_u32_timeout(
+            VAddr::new(self.page, View::short_demand(), LEN)?,
+            MapMode::ReadOnly,
+            self.timeout,
+        )? as usize;
         let mut buf = vec![0u8; len];
         if len > 0 {
-            let view =
-                if len <= SHORT_ITEM { View::short_demand() } else { View::full_demand() };
+            let view = if len <= SHORT_ITEM {
+                View::short_demand()
+            } else {
+                View::full_demand()
+            };
             node.read_bytes_timeout(
                 VAddr::new(self.page, view, DATA)?,
                 MapMode::ReadOnly,
@@ -180,8 +194,11 @@ impl Subscriber {
         )? as usize;
         let mut buf = vec![0u8; len];
         if len > 0 {
-            let view =
-                if len <= SHORT_ITEM { View::short_demand() } else { View::full_demand() };
+            let view = if len <= SHORT_ITEM {
+                View::short_demand()
+            } else {
+                View::full_demand()
+            };
             node.read_bytes_timeout(
                 VAddr::new(self.page, view, DATA)?,
                 MapMode::ReadOnly,
@@ -236,7 +253,9 @@ mod tests {
         let page = PageId::new(0);
         let mut publisher = Publisher::create(c.node(0), page);
         for i in 1..=5u32 {
-            publisher.publish(c.node(0), format!("v{i}").as_bytes()).unwrap();
+            publisher
+                .publish(c.node(0), format!("v{i}").as_bytes())
+                .unwrap();
         }
         // The subscriber may observe a broadcast still in flight (it is
         // an inconsistent store), but each next() is strictly newer and
@@ -247,7 +266,10 @@ mod tests {
         let mut item = Vec::new();
         while last < 5 {
             let (seq, it) = sub.next(c.node(1)).unwrap();
-            assert!(seq > last, "each delivery strictly newer: {seq} after {last}");
+            assert!(
+                seq > last,
+                "each delivery strictly newer: {seq} after {last}"
+            );
             last = seq;
             item = it;
         }

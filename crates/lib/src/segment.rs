@@ -146,7 +146,9 @@ impl Registry {
     pub fn create(&self, name: &str, pages: u32) -> Result<(Segment, Capability)> {
         let mut inner = self.inner.lock();
         if inner.segments.contains_key(name) {
-            return Err(Error::InvalidConfig(format!("segment {name} already exists")));
+            return Err(Error::InvalidConfig(format!(
+                "segment {name} already exists"
+            )));
         }
         if pages == 0 || inner.next_page + pages > inner.max_pages {
             return Err(Error::InvalidConfig(format!(
@@ -157,9 +159,23 @@ impl Registry {
         inner.next_page += pages;
         let nonce = inner.next_nonce;
         inner.next_nonce += 1;
-        inner.segments.insert(name.to_string(), SegmentMeta { base, pages, nonce });
-        let cap = Capability { segment: name.to_string(), rights: Rights::ALL, nonce };
-        Ok((Segment { name: name.to_string(), base, pages, rights: Rights::ALL }, cap))
+        inner
+            .segments
+            .insert(name.to_string(), SegmentMeta { base, pages, nonce });
+        let cap = Capability {
+            segment: name.to_string(),
+            rights: Rights::ALL,
+            nonce,
+        };
+        Ok((
+            Segment {
+                name: name.to_string(),
+                base,
+                pages,
+                rights: Rights::ALL,
+            },
+            cap,
+        ))
     }
 
     /// Opens an existing segment with `cap`.
@@ -243,7 +259,10 @@ impl Segment {
     /// [`VAddr::new`].
     pub fn addr(&self, page: u32, view: View, offset: u32) -> Result<VAddr> {
         if !self.rights.covers(Rights::READ) {
-            return Err(Error::PermissionDenied(format!("read of segment {}", self.name)));
+            return Err(Error::PermissionDenied(format!(
+                "read of segment {}",
+                self.name
+            )));
         }
         VAddr::new(self.page(page)?, view, offset)
     }
@@ -255,7 +274,10 @@ impl Segment {
     /// [`Error::PermissionDenied`] without WRITE.
     pub fn check_write(&self) -> Result<()> {
         if !self.rights.covers(Rights::WRITE) {
-            return Err(Error::PermissionDenied(format!("write of segment {}", self.name)));
+            return Err(Error::PermissionDenied(format!(
+                "write of segment {}",
+                self.name
+            )));
         }
         Ok(())
     }
@@ -267,7 +289,10 @@ impl Segment {
     /// [`Error::PermissionDenied`] without PURGE.
     pub fn check_purge(&self) -> Result<()> {
         if !self.rights.covers(Rights::PURGE) {
-            return Err(Error::PermissionDenied(format!("purge of segment {}", self.name)));
+            return Err(Error::PermissionDenied(format!(
+                "purge of segment {}",
+                self.name
+            )));
         }
         Ok(())
     }
@@ -328,7 +353,11 @@ mod tests {
         let (_, cap) = r.create("data", 1).unwrap();
         let ro = cap.restrict(Rights::READ);
         let back = ro.restrict(Rights::ALL);
-        assert_eq!(back.rights(), Rights::READ, "restrict intersects, never adds");
+        assert_eq!(
+            back.rights(),
+            Rights::READ,
+            "restrict intersects, never adds"
+        );
     }
 
     #[test]

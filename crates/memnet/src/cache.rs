@@ -73,12 +73,19 @@ impl Chunk {
     pub fn new(home: usize, policy: WritePolicy) -> Self {
         let mut states = HashMap::new();
         states.insert(home, ChunkState::Exclusive);
-        Chunk { value: 0, states, policy }
+        Chunk {
+            value: 0,
+            states,
+            policy,
+        }
     }
 
     /// The state of the chunk in `dev`'s cache.
     pub fn state(&self, dev: usize) -> ChunkState {
-        self.states.get(&dev).copied().unwrap_or(ChunkState::Invalid)
+        self.states
+            .get(&dev)
+            .copied()
+            .unwrap_or(ChunkState::Invalid)
     }
 
     /// Reads the chunk from `dev`, fetching it over the ring on a miss.
@@ -172,7 +179,10 @@ mod tests {
         c.read(2);
         assert_eq!(c.holders(), 3);
         let cost = c.write(1, 7);
-        assert_eq!(cost.invalidates, 1, "one circulation regardless of holder count");
+        assert_eq!(
+            cost.invalidates, 1,
+            "one circulation regardless of holder count"
+        );
         assert_eq!(c.holders(), 1);
         assert_eq!(c.state(1), ChunkState::Exclusive);
         assert_eq!(c.state(0), ChunkState::Invalid);

@@ -61,9 +61,7 @@ impl MemNetProtocol {
             MemNetProtocol::OneWayFlush { hysteresis } => {
                 format!("one-way chunks, flush after {hysteresis} losses (P3h analogue)")
             }
-            MemNetProtocol::OneWayUpdate => {
-                "one-way chunks, write-update (P5 analogue)".into()
-            }
+            MemNetProtocol::OneWayUpdate => "one-way chunks, write-update (P5 analogue)".into(),
         }
     }
 }
@@ -94,7 +92,12 @@ pub struct ProtocolReport {
 impl std::fmt::Display for ProtocolReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "── MemNet: {} ──", self.protocol.label())?;
-        writeln!(f, "  {:<24} {:.3} ms", "Wallclock Time", self.wall_ns as f64 / 1e6)?;
+        writeln!(
+            f,
+            "  {:<24} {:.3} ms",
+            "Wallclock Time",
+            self.wall_ns as f64 / 1e6
+        )?;
         writeln!(
             f,
             "  {:<24} {:.2} per addition ({} fetch / {} inval / {} update)",
@@ -104,12 +107,21 @@ impl std::fmt::Display for ProtocolReport {
             self.ring.invalidates,
             self.ring.updates
         )?;
-        writeln!(f, "  {:<24} {:.2} µs", "Average miss latency", self.avg_miss_ns as f64 / 1e3)?;
+        writeln!(
+            f,
+            "  {:<24} {:.2} µs",
+            "Average miss latency",
+            self.avg_miss_ns as f64 / 1e3
+        )?;
         writeln!(
             f,
             "  {:<24} {:.1}",
             "Losses/Wins",
-            if self.wins == 0 { f64::INFINITY } else { self.losses as f64 / self.wins as f64 }
+            if self.wins == 0 {
+                f64::INFINITY
+            } else {
+                self.losses as f64 / self.wins as f64
+            }
         )
     }
 }
@@ -127,7 +139,10 @@ mod tests {
 
     #[test]
     fn display_has_ranking_metric() {
-        let r = crate::run_counting(MemNetProtocol::OneWayUpdate, &crate::CountingParams::paper());
+        let r = crate::run_counting(
+            MemNetProtocol::OneWayUpdate,
+            &crate::CountingParams::paper(),
+        );
         let s = r.to_string();
         assert!(s.contains("Ring messages"));
         assert!(s.contains("per addition"));

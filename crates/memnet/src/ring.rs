@@ -27,7 +27,12 @@ pub struct RingConfig {
 impl RingConfig {
     /// The MemNet prototype: 200 Mbit/s, 32-byte chunks.
     pub fn memnet(hosts: usize) -> Self {
-        RingConfig { hosts, link_bps: 200_000_000, hop_delay_ns: 100, chunk_size: 32 }
+        RingConfig {
+            hosts,
+            link_bps: 200_000_000,
+            hop_delay_ns: 100,
+            chunk_size: 32,
+        }
     }
 
     /// Nanoseconds for one full circulation carrying `bytes` of payload.
@@ -113,7 +118,12 @@ mod tests {
 
     #[test]
     fn stats_sum() {
-        let s = RingStats { fetches: 2, invalidates: 3, updates: 4, bytes: 0 };
+        let s = RingStats {
+            fetches: 2,
+            invalidates: 3,
+            updates: 4,
+            bytes: 0,
+        };
         assert_eq!(s.messages(), 9);
     }
 }

@@ -28,7 +28,11 @@ impl CountingParams {
     /// The paper-equivalent run: count to 1024, 50 µs iterations,
     /// two-host MemNet ring.
     pub fn paper() -> Self {
-        CountingParams { target: 1024, spin_ns: 50_000, ring: RingConfig::memnet(2) }
+        CountingParams {
+            target: 1024,
+            spin_ns: 50_000,
+            ring: RingConfig::memnet(2),
+        }
     }
 }
 
@@ -204,7 +208,11 @@ mod tests {
     use super::*;
 
     fn small() -> CountingParams {
-        CountingParams { target: 64, spin_ns: 50_000, ring: RingConfig::memnet(2) }
+        CountingParams {
+            target: 64,
+            spin_ns: 50_000,
+            ring: RingConfig::memnet(2),
+        }
     }
 
     #[test]
@@ -259,7 +267,10 @@ mod tests {
         // Even the worst MemNet protocol finishes 1024 counts orders of
         // magnitude faster than the best Mether protocol — the regime
         // gap the paper stresses.
-        let r = run_counting(MemNetProtocol::OneWayFlush { hysteresis: 1 }, &CountingParams::paper());
+        let r = run_counting(
+            MemNetProtocol::OneWayFlush { hysteresis: 1 },
+            &CountingParams::paper(),
+        );
         assert!(r.finished);
         let secs = r.wall_ns as f64 / 1e9;
         assert!(secs < 2.0, "{secs}");

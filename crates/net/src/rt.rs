@@ -8,8 +8,12 @@
 //! Mether page table ignores them anyway).
 //!
 //! Frames cross the wire as encoded bytes ([`mether_core::Packet::encode`])
-//! rather than as in-memory values, so the runtime exercises the same
-//! codec the paper's UDP implementation would.
+//! so the runtime exercises the same codec the paper's UDP implementation
+//! would — but each broadcast is **decoded exactly once**, on the wire
+//! thread, and the decoded packet is fanned out to the N−1 receiving
+//! endpoints as cheap clones whose page payload is a shared, zero-copy
+//! view of the datagram. Host load for a broadcast no longer scales with
+//! `receivers × PAGE_SIZE`.
 
 use crate::stats::NetStats;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -40,7 +44,12 @@ impl LanConfig {
     /// Appropriate for tests and examples that care about protocol
     /// behaviour rather than timing.
     pub fn fast() -> Self {
-        LanConfig { latency: Duration::ZERO, bandwidth_bps: None, loss: 0.0, seed: 0 }
+        LanConfig {
+            latency: Duration::ZERO,
+            bandwidth_bps: None,
+            loss: 0.0,
+            seed: 0,
+        }
     }
 
     /// A LAN shaped like the paper's: 10 Mbit/s with a small latency.
@@ -59,7 +68,10 @@ impl LanConfig {
     ///
     /// Panics if `p` is not within `0.0..=1.0`.
     pub fn with_loss(mut self, p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.loss = p;
         self.seed = seed;
         self
@@ -80,7 +92,7 @@ struct Frame {
 
 struct Inner {
     wire_tx: Sender<Frame>,
-    endpoints: Mutex<Vec<(HostId, Sender<bytes::Bytes>)>>,
+    endpoints: Mutex<Vec<(HostId, Sender<Packet>)>>,
     stats: Mutex<NetStats>,
 }
 
@@ -121,13 +133,23 @@ impl Lan {
                         continue;
                     }
                     let Some(inner) = weak.upgrade() else { break };
-                    let endpoints = inner.endpoints.lock();
-                    for (host, tx) in endpoints.iter() {
-                        if *host != frame.from {
-                            // A receiver that has gone away is not an error
-                            // for the broadcaster.
-                            let _ = tx.send(frame.bytes.clone());
+                    // Decode once per broadcast; every receiver gets a
+                    // cheap clone whose payload is a zero-copy view of
+                    // the datagram. (A frame that fails to decode cannot
+                    // be produced by `Packet::encode`; it is dropped and
+                    // counted rather than crashing the segment.)
+                    match Packet::decode(&frame.bytes) {
+                        Ok(pkt) => {
+                            let endpoints = inner.endpoints.lock();
+                            for (host, tx) in endpoints.iter() {
+                                if *host != frame.from {
+                                    // A receiver that has gone away is not
+                                    // an error for the broadcaster.
+                                    let _ = tx.send(pkt.clone());
+                                }
+                            }
                         }
+                        Err(_) => inner.stats.lock().record_decode_error(),
                     }
                 }
             })
@@ -148,7 +170,11 @@ impl Lan {
             "host {host} already attached to this LAN"
         );
         eps.push((host, tx));
-        Endpoint { host, rx, inner: Arc::clone(&self.inner) }
+        Endpoint {
+            host,
+            rx,
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// A snapshot of the traffic counters.
@@ -166,7 +192,7 @@ impl std::fmt::Debug for Lan {
 /// One host's attachment to a [`Lan`].
 pub struct Endpoint {
     host: HostId,
-    rx: Receiver<bytes::Bytes>,
+    rx: Receiver<Packet>,
     inner: Arc<Inner>,
 }
 
@@ -185,19 +211,25 @@ impl Endpoint {
         self.inner.stats.lock().record(pkt);
         self.inner
             .wire_tx
-            .send(Frame { from: self.host, bytes: pkt.encode(), wire_size: pkt.wire_size() })
+            .send(Frame {
+                from: self.host,
+                bytes: pkt.encode(),
+                wire_size: pkt.wire_size(),
+            })
             .map_err(|_| Error::Disconnected)
     }
 
-    /// Blocks until the next frame arrives and decodes it.
+    /// Blocks until the next broadcast arrives.
+    ///
+    /// The packet was decoded once by the wire thread; receiving it here
+    /// costs a queue pop, and its page payload is a zero-copy view shared
+    /// with every other receiver of the same broadcast.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Disconnected`] if the LAN has shut down, or a
-    /// decode error for a corrupt frame.
+    /// Returns [`Error::Disconnected`] if the LAN has shut down.
     pub fn recv(&self) -> Result<Packet> {
-        let bytes = self.rx.recv().map_err(|_| Error::Disconnected)?;
-        Packet::decode(&bytes)
+        self.rx.recv().map_err(|_| Error::Disconnected)
     }
 
     /// Receives with a timeout.
@@ -207,7 +239,7 @@ impl Endpoint {
     /// [`Error::Timeout`] on expiry, [`Error::Disconnected`] on shutdown.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet> {
         match self.rx.recv_timeout(timeout) {
-            Ok(bytes) => Packet::decode(&bytes),
+            Ok(pkt) => Ok(pkt),
             Err(RecvTimeoutError::Timeout) => Err(Error::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(Error::Disconnected),
         }
@@ -217,10 +249,10 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// [`Error::Disconnected`] on shutdown, or a decode error.
+    /// [`Error::Disconnected`] on shutdown.
     pub fn try_recv(&self) -> Result<Option<Packet>> {
         match self.rx.try_recv() {
-            Ok(bytes) => Packet::decode(&bytes).map(Some),
+            Ok(pkt) => Ok(Some(pkt)),
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(Error::Disconnected),
         }
@@ -305,7 +337,10 @@ mod tests {
         let a = lan.endpoint(HostId(0));
         let b = lan.endpoint(HostId(1));
         a.broadcast(&req(0)).unwrap();
-        assert!(matches!(b.recv_timeout(Duration::from_millis(50)), Err(Error::Timeout)));
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(50)),
+            Err(Error::Timeout)
+        ));
         // Give the wire thread a moment to account the loss.
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(lan.stats().lost, 1);
@@ -355,6 +390,9 @@ mod tests {
         let t0 = std::time::Instant::now();
         a.broadcast(&req(0)).unwrap();
         let _ = b.recv().unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(25), "latency enforced");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "latency enforced"
+        );
     }
 }

@@ -58,7 +58,10 @@ impl EtherConfig {
     ///
     /// Panics if `p` is not within `0.0..=1.0`.
     pub fn with_loss(mut self, p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.loss = p;
         self.seed = seed;
         self
@@ -94,7 +97,12 @@ impl EtherSim {
     /// A quiet medium with the given parameters.
     pub fn new(cfg: EtherConfig) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
-        EtherSim { cfg, medium_free_at: SimTime::ZERO, stats: NetStats::new(), rng }
+        EtherSim {
+            cfg,
+            medium_free_at: SimTime::ZERO,
+            stats: NetStats::new(),
+            rng,
+        }
     }
 
     /// The configuration in force.
@@ -109,7 +117,9 @@ impl EtherSim {
 
     /// Time the wire takes to clock out `bytes`.
     pub fn transmission_time(&self, bytes: usize) -> SimDuration {
-        SimDuration::from_nanos((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.cfg.bandwidth_bps)
+        SimDuration::from_nanos(
+            (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.cfg.bandwidth_bps,
+        )
     }
 
     /// Queues `pkt` for transmission at `now` and returns when it is
@@ -159,7 +169,11 @@ mod tests {
         Packet::PageData {
             from: HostId(1),
             page: PageId::new(0),
-            length: if len <= 32 { PageLength::Short } else { PageLength::Full },
+            length: if len <= 32 {
+                PageLength::Short
+            } else {
+                PageLength::Full
+            },
             generation: Generation(1),
             transfer_to: None,
             data: Bytes::from(vec![0u8; len]),

@@ -23,6 +23,10 @@ pub struct NetStats {
     pub payload_bytes: u64,
     /// Packets dropped by loss injection.
     pub lost: u64,
+    /// Frames that failed to decode and were dropped by the wire thread
+    /// (cannot happen for frames produced by `Packet::encode`; counted
+    /// defensively rather than crashing the segment).
+    pub decode_errors: u64,
 }
 
 impl NetStats {
@@ -49,6 +53,11 @@ impl NetStats {
         self.lost += 1;
     }
 
+    /// Records a frame dropped because it failed to decode.
+    pub fn record_decode_error(&mut self) {
+        self.decode_errors += 1;
+    }
+
     /// Average offered load in bytes/second over a window of `secs`.
     ///
     /// Returns zero for an empty window rather than dividing by zero.
@@ -70,6 +79,7 @@ impl NetStats {
             data_packets: self.data_packets - earlier.data_packets,
             payload_bytes: self.payload_bytes - earlier.payload_bytes,
             lost: self.lost - earlier.lost,
+            decode_errors: self.decode_errors - earlier.decode_errors,
         }
     }
 }
@@ -79,9 +89,17 @@ impl fmt::Display for NetStats {
         write!(
             f,
             "{} pkts ({} req, {} data), {} wire bytes, {} payload bytes, {} lost",
-            self.packets, self.requests, self.data_packets, self.bytes, self.payload_bytes,
+            self.packets,
+            self.requests,
+            self.data_packets,
+            self.bytes,
+            self.payload_bytes,
             self.lost
-        )
+        )?;
+        if self.decode_errors > 0 {
+            write!(f, ", {} decode errors", self.decode_errors)?;
+        }
+        Ok(())
     }
 }
 

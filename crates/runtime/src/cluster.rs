@@ -43,12 +43,20 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// `n` nodes on an unshaped LAN — protocol behaviour at full speed.
     pub fn fast(n: usize) -> Self {
-        ClusterConfig { nodes: n, lan: LanConfig::fast(), mether: MetherConfig::new() }
+        ClusterConfig {
+            nodes: n,
+            lan: LanConfig::fast(),
+            mether: MetherConfig::new(),
+        }
     }
 
     /// `n` nodes on a 10 Mbit/s-shaped LAN (timing-realistic demos).
     pub fn ten_megabit(n: usize) -> Self {
-        ClusterConfig { nodes: n, lan: LanConfig::ten_megabit(), mether: MetherConfig::new() }
+        ClusterConfig {
+            nodes: n,
+            lan: LanConfig::ten_megabit(),
+            mether: MetherConfig::new(),
+        }
     }
 }
 
@@ -61,7 +69,9 @@ impl Cluster {
     /// cluster.
     pub fn new(cfg: ClusterConfig) -> mether_core::Result<Cluster> {
         if cfg.nodes == 0 {
-            return Err(mether_core::Error::InvalidConfig("cluster needs at least one node".into()));
+            return Err(mether_core::Error::InvalidConfig(
+                "cluster needs at least one node".into(),
+            ));
         }
         let lan = Lan::new(cfg.lan);
         let nodes = (0..cfg.nodes)

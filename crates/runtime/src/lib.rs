@@ -47,9 +47,15 @@ mod tests {
         c.node(0).create_owned(page);
         let addr = VAddr::new(page, View::short_demand(), 4).unwrap();
         c.node(0).write_u32(addr, 99).unwrap();
-        let v = c.node(1).read_u32_timeout(addr, MapMode::ReadOnly, Duration::from_secs(5)).unwrap();
+        let v = c
+            .node(1)
+            .read_u32_timeout(addr, MapMode::ReadOnly, Duration::from_secs(5))
+            .unwrap();
         assert_eq!(v, 99);
-        assert!(c.node(0).is_consistent_holder(page), "read-only fetch does not move consistency");
+        assert!(
+            c.node(0).is_consistent_holder(page),
+            "read-only fetch does not move consistency"
+        );
     }
 
     #[test]
@@ -74,12 +80,15 @@ mod tests {
 
         let c2 = std::sync::Arc::clone(&c);
         let reader = std::thread::spawn(move || {
-            c2.node(1).read_u32_timeout(data_addr, MapMode::ReadOnly, Duration::from_secs(10))
+            c2.node(1)
+                .read_u32_timeout(data_addr, MapMode::ReadOnly, Duration::from_secs(10))
         });
         // Give the reader time to block, then publish.
         std::thread::sleep(Duration::from_millis(100));
         c.node(0).write_u32(demand_addr, 1234).unwrap();
-        c.node(0).purge(page, MapMode::Writeable, PageLength::Short).unwrap();
+        c.node(0)
+            .purge(page, MapMode::Writeable, PageLength::Short)
+            .unwrap();
         assert_eq!(reader.join().unwrap().unwrap(), 1234);
     }
 
@@ -106,7 +115,9 @@ mod tests {
         assert_eq!(c.node(1).read_u32(addr, MapMode::ReadOnly).unwrap(), 1);
         // Holder updates; node 1's inconsistent copy is stale until purged.
         c.node(0).write_u32(addr, 2).unwrap();
-        c.node(1).purge(page, MapMode::ReadOnly, PageLength::Short).unwrap();
+        c.node(1)
+            .purge(page, MapMode::ReadOnly, PageLength::Short)
+            .unwrap();
         assert_eq!(c.node(1).read_u32(addr, MapMode::ReadOnly).unwrap(), 2);
     }
 
@@ -121,7 +132,10 @@ mod tests {
         let c2 = std::sync::Arc::clone(&c);
         let writer = std::thread::spawn(move || c2.node(1).write_u32(addr, 9));
         std::thread::sleep(Duration::from_millis(100));
-        assert!(c.node(0).is_consistent_holder(page), "transfer deferred while locked");
+        assert!(
+            c.node(0).is_consistent_holder(page),
+            "transfer deferred while locked"
+        );
         c.node(0).unlock(page).unwrap();
         writer.join().unwrap().unwrap();
         assert!(c.node(1).is_consistent_holder(page));
@@ -168,7 +182,9 @@ mod tests {
                         last = v;
                         continue;
                     }
-                    c.node(me).purge(other_page, MapMode::ReadOnly, PageLength::Short).unwrap();
+                    c.node(me)
+                        .purge(other_page, MapMode::ReadOnly, PageLength::Short)
+                        .unwrap();
                     let v = c
                         .node(me)
                         .read_u32_timeout(other_data, MapMode::ReadOnly, Duration::from_secs(10))

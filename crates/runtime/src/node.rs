@@ -100,7 +100,10 @@ impl Node {
                 }
             })
             .expect("spawn node receiver thread");
-        Node { inner, receiver: Some(receiver) }
+        Node {
+            inner,
+            receiver: Some(receiver),
+        }
     }
 
     /// This node's host id.
@@ -267,8 +270,13 @@ impl Node {
         let mut driver = self.inner.driver.lock();
         loop {
             let mut effects = Vec::new();
-            let outcome =
-                driver.access(addr.page(), addr.view(), MapMode::Writeable, waiter, &mut effects)?;
+            let outcome = driver.access(
+                addr.page(),
+                addr.view(),
+                MapMode::Writeable,
+                waiter,
+                &mut effects,
+            )?;
             match outcome {
                 AccessOutcome::Ready => {
                     driver
@@ -351,7 +359,11 @@ impl Node {
     }
 
     /// Waits on the node's wakeup condition. Returns false on deadline.
-    fn wait(&self, driver: &mut parking_lot::MutexGuard<'_, PageTable>, deadline: Option<Instant>) -> bool {
+    fn wait(
+        &self,
+        driver: &mut parking_lot::MutexGuard<'_, PageTable>,
+        deadline: Option<Instant>,
+    ) -> bool {
         match deadline {
             None => {
                 self.inner.wakeups.wait(driver);

@@ -113,17 +113,13 @@ impl Calib {
     /// (lookup + datagram build + per-byte copy).
     pub fn reply_cost(&self, bytes: usize) -> SimDuration {
         self.server_handle_request
-            + SimDuration::from_nanos(
-                self.server_install_per_kb.as_nanos() * (bytes as u64) / 1024,
-            )
+            + SimDuration::from_nanos(self.server_install_per_kb.as_nanos() * (bytes as u64) / 1024)
     }
 
     /// Install cost for a transfer of `bytes`.
     pub fn install_cost(&self, bytes: usize) -> SimDuration {
         self.server_install_base
-            + SimDuration::from_nanos(
-                self.server_install_per_kb.as_nanos() * (bytes as u64) / 1024,
-            )
+            + SimDuration::from_nanos(self.server_install_per_kb.as_nanos() * (bytes as u64) / 1024)
     }
 }
 

@@ -23,13 +23,14 @@
 
 use crate::calib::Calib;
 use crate::process::{DsmOp, OpResult, Step, StepCtx, Workload, WorkloadCounters};
-use mether_core::{
-    AccessOutcome, Effect, FaultKind, MapMode, MetherConfig, PageId, PageLength, PageTable,
-    Packet, Want,
-};
 use mether_core::table::WaiterId;
+use mether_core::{
+    AccessOutcome, Effect, FaultKind, MapMode, MetherConfig, Packet, PageId, PageLength, PageTable,
+    Want,
+};
 use mether_net::{SimDuration, SimTime};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Scheduler state of a process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,16 +70,14 @@ struct Proc {
 /// Work items for the user-level Mether server.
 #[derive(Debug, Clone)]
 enum ServerWork {
-    /// A datagram arrived; snoop/handle it.
-    Packet(Packet),
+    /// A datagram arrived; snoop/handle it. Shared with every other host
+    /// that snooped the same broadcast — queued by reference, not copied.
+    Packet(Arc<Packet>),
     /// Transmit a datagram built by the kernel driver (fault requests).
     SendPacket(Packet),
     /// A writeable PURGE is pending: broadcast a read-only copy and issue
     /// DO-PURGE.
-    PurgeBroadcast {
-        page: PageId,
-        length: PageLength,
-    },
+    PurgeBroadcast { page: PageId, length: PageLength },
 }
 
 /// Who the CPU is running.
@@ -90,10 +89,23 @@ enum Slot {
 
 /// What the current burst is.
 enum Burst {
-    AppCompute { proc: usize, d: SimDuration },
-    AppOp { proc: usize, op: DsmOp, d: SimDuration, sys: bool },
-    ServerItem { work: ServerWork, d: SimDuration },
-    CtxSwitch { to: Slot },
+    AppCompute {
+        proc: usize,
+        d: SimDuration,
+    },
+    AppOp {
+        proc: usize,
+        op: DsmOp,
+        d: SimDuration,
+        sys: bool,
+    },
+    ServerItem {
+        work: ServerWork,
+        d: SimDuration,
+    },
+    CtxSwitch {
+        to: Slot,
+    },
 }
 
 /// Things the host asks the simulation to do after a burst.
@@ -205,7 +217,7 @@ impl HostSim {
     }
 
     /// A packet arrived from the network: queue it for the server.
-    pub fn deliver_packet(&mut self, now: SimTime, pkt: Packet) {
+    pub fn deliver_packet(&mut self, now: SimTime, pkt: Arc<Packet>) {
         self.push_server_work(now, ServerWork::Packet(pkt));
     }
 
@@ -240,12 +252,12 @@ impl HostSim {
         match work {
             ServerWork::SendPacket(_) => self.calib.server_send_request,
             ServerWork::PurgeBroadcast { .. } => self.calib.server_purge_broadcast,
-            ServerWork::Packet(pkt) => match pkt {
-                Packet::PageRequest { page, want, length, .. } => {
+            ServerWork::Packet(pkt) => match pkt.as_ref() {
+                Packet::PageRequest {
+                    page, want, length, ..
+                } => {
                     let answers = match want {
-                        Want::ReadOnly | Want::Consistent => {
-                            self.table.is_consistent_holder(*page)
-                        }
+                        Want::ReadOnly | Want::Consistent => self.table.is_consistent_holder(*page),
                         Want::Superset => {
                             !self.table.is_consistent_holder(*page)
                                 && self
@@ -264,9 +276,13 @@ impl HostSim {
                         self.calib.server_snoop
                     }
                 }
-                Packet::PageData { page, data, transfer_to, .. } => {
-                    let interested = transfer_to
-                        == &Some(mether_core::HostId(self.index as u16))
+                Packet::PageData {
+                    page,
+                    data,
+                    transfer_to,
+                    ..
+                } => {
+                    let interested = transfer_to == &Some(mether_core::HostId(self.index as u16))
                         || self.table.page_buf(*page).is_some()
                         || self.table.tracked_pages().any(|p| p == *page);
                     if interested {
@@ -337,17 +353,37 @@ impl HostSim {
         // Retry a faulted operation first.
         if let Some(op) = self.procs[i].pending_op.clone() {
             let (d, sys) = self.op_cost(&op);
-            return Some((Burst::AppOp { proc: i, op, d, sys }, d));
+            return Some((
+                Burst::AppOp {
+                    proc: i,
+                    op,
+                    d,
+                    sys,
+                },
+                d,
+            ));
         }
         let p = &mut self.procs[i];
-        let mut ctx = StepCtx { now, last: p.last, counters: &mut p.counters };
+        let mut ctx = StepCtx {
+            now,
+            last: p.last,
+            counters: &mut p.counters,
+        };
         let step = p.workload.step(&mut ctx);
         p.last = OpResult::None;
         match step {
             Step::Compute(d) => Some((Burst::AppCompute { proc: i, d }, d)),
             Step::Op(op) => {
                 let (d, sys) = self.op_cost(&op);
-                Some((Burst::AppOp { proc: i, op, d, sys }, d))
+                Some((
+                    Burst::AppOp {
+                        proc: i,
+                        op,
+                        d,
+                        sys,
+                    },
+                    d,
+                ))
             }
             Step::Sleep(d) => {
                 self.procs[i].state = ProcState::Sleeping;
@@ -363,7 +399,9 @@ impl HostSim {
 
     fn op_cost(&self, op: &DsmOp) -> (SimDuration, bool) {
         match op {
-            DsmOp::Read { page, view, mode, .. } => {
+            DsmOp::Read {
+                page, view, mode, ..
+            } => {
                 if self.would_hit(*page, view.length, *mode) {
                     (self.calib.mem_ref, false)
                 } else {
@@ -513,26 +551,37 @@ impl HostSim {
         let waiter = proc as WaiterId;
         let mut effects = Vec::new();
         let outcome = match &op {
-            DsmOp::Read { page, view, mode, offset } => {
-                match self.table.access(*page, *view, *mode, waiter, &mut effects) {
-                    Ok(AccessOutcome::Ready) => {
-                        let v = self
-                            .table
-                            .page_buf(*page)
-                            .expect("ready implies present")
-                            .read_u32(*offset as usize)
-                            .expect("offset validated by VAddr");
-                        Some(OpResult::Value(v))
-                    }
-                    Ok(AccessOutcome::Blocked(kind)) => {
-                        self.block(now, proc, op.clone(), kind);
-                        None
-                    }
-                    Err(e) => panic!("workload bug: {e}"),
+            DsmOp::Read {
+                page,
+                view,
+                mode,
+                offset,
+            } => match self.table.access(*page, *view, *mode, waiter, &mut effects) {
+                Ok(AccessOutcome::Ready) => {
+                    let v = self
+                        .table
+                        .page_buf(*page)
+                        .expect("ready implies present")
+                        .read_u32(*offset as usize)
+                        .expect("offset validated by VAddr");
+                    Some(OpResult::Value(v))
                 }
-            }
-            DsmOp::Write { page, view, offset, value } => {
-                match self.table.access(*page, *view, MapMode::Writeable, waiter, &mut effects) {
+                Ok(AccessOutcome::Blocked(kind)) => {
+                    self.block(now, proc, op.clone(), kind);
+                    None
+                }
+                Err(e) => panic!("workload bug: {e}"),
+            },
+            DsmOp::Write {
+                page,
+                view,
+                offset,
+                value,
+            } => {
+                match self
+                    .table
+                    .access(*page, *view, MapMode::Writeable, waiter, &mut effects)
+                {
                     Ok(AccessOutcome::Ready) => {
                         self.table
                             .page_buf_mut(*page)

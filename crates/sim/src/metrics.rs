@@ -75,14 +75,21 @@ impl fmt::Display for ProtocolMetrics {
             self.net_load_bps / 1000.0,
             self.bytes_per_addition
         )?;
-        writeln!(f, "  {:<24} {:.1} per addition", "Context Switches", self.ctx_per_addition)?;
+        writeln!(
+            f,
+            "  {:<24} {:.1} per addition",
+            "Context Switches", self.ctx_per_addition
+        )?;
         writeln!(f, "  {:<24} {} pages", "Space", self.space_pages)?;
         writeln!(f, "  {:<24} {}", "Average Latency", self.avg_latency)?;
         writeln!(f, "  {:<24} {:.1}", "Losses/Wins", self.loss_win_ratio())?;
         writeln!(
             f,
             "  {:<24} {} pkts ({} req / {} data), peak server queue {}",
-            "Packets", self.net.packets, self.net.requests, self.net.data_packets,
+            "Packets",
+            self.net.packets,
+            self.net.requests,
+            self.net.data_packets,
             self.max_server_queue
         )
     }

@@ -94,12 +94,22 @@ pub enum DsmOp {
 impl DsmOp {
     /// Convenience: read through an address (view bits decoded from it).
     pub fn read_addr(addr: VAddr, mode: MapMode) -> DsmOp {
-        DsmOp::Read { page: addr.page(), view: addr.view(), mode, offset: addr.offset() }
+        DsmOp::Read {
+            page: addr.page(),
+            view: addr.view(),
+            mode,
+            offset: addr.offset(),
+        }
     }
 
     /// Convenience: write through an address.
     pub fn write_addr(addr: VAddr, value: u32) -> DsmOp {
-        DsmOp::Write { page: addr.page(), view: addr.view(), offset: addr.offset(), value }
+        DsmOp::Write {
+            page: addr.page(),
+            view: addr.view(),
+            offset: addr.offset(),
+            value,
+        }
     }
 }
 
@@ -186,7 +196,12 @@ mod tests {
     fn op_from_addr_round_trip() {
         let addr = VAddr::new(PageId::new(3), View::short_data(), 8).unwrap();
         match DsmOp::read_addr(addr, MapMode::ReadOnly) {
-            DsmOp::Read { page, view, mode, offset } => {
+            DsmOp::Read {
+                page,
+                view,
+                mode,
+                offset,
+            } => {
                 assert_eq!(page, PageId::new(3));
                 assert_eq!(view.length, PageLength::Short);
                 assert_eq!(view.drive, DriveMode::Data);
@@ -209,7 +224,11 @@ mod tests {
     #[test]
     fn ctx_value_accessor() {
         let mut counters = WorkloadCounters::default();
-        let mut ctx = StepCtx { now: SimTime::ZERO, last: OpResult::Value(7), counters: &mut counters };
+        let mut ctx = StepCtx {
+            now: SimTime::ZERO,
+            last: OpResult::Value(7),
+            counters: &mut counters,
+        };
         assert_eq!(ctx.value(), 7);
         ctx.lose();
         ctx.win();
@@ -221,7 +240,11 @@ mod tests {
     #[should_panic(expected = "expected a read result")]
     fn ctx_value_panics_without_read() {
         let mut counters = WorkloadCounters::default();
-        let ctx = StepCtx { now: SimTime::ZERO, last: OpResult::Done, counters: &mut counters };
+        let ctx = StepCtx {
+            now: SimTime::ZERO,
+            last: OpResult::Done,
+            counters: &mut counters,
+        };
         let _ = ctx.value();
     }
 }

@@ -11,9 +11,10 @@ use crate::calib::Calib;
 use crate::host::{HostAction, HostSim};
 use crate::metrics::ProtocolMetrics;
 use crate::process::Workload;
-use mether_core::{MetherConfig, PageId, Packet};
+use mether_core::{MetherConfig, Packet, PageId};
 use mether_net::{EtherConfig, EtherSim, SimDuration, SimTime};
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Static description of a simulated deployment.
 #[derive(Debug, Clone)]
@@ -51,7 +52,10 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        RunLimits { max_sim_time: SimDuration::from_secs(600), max_events: 200_000_000 }
+        RunLimits {
+            max_sim_time: SimDuration::from_secs(600),
+            max_events: 200_000_000,
+        }
     }
 }
 
@@ -68,9 +72,20 @@ pub struct RunOutcome {
 
 #[derive(Debug)]
 enum EvKind {
-    BurstEnd { host: usize },
-    PacketArrive { host: usize, pkt: Packet },
-    Timer { host: usize, proc: usize },
+    BurstEnd {
+        host: usize,
+    },
+    /// One broadcast, delivered to every host as a shared reference: the
+    /// packet (and its page payload) is materialised once per transit,
+    /// not once per snooping host.
+    PacketArrive {
+        host: usize,
+        pkt: Arc<Packet>,
+    },
+    Timer {
+        host: usize,
+        proc: usize,
+    },
 }
 
 struct Ev {
@@ -174,9 +189,20 @@ impl Simulation {
                 HostAction::Transmit(pkt) => {
                     let tx = self.ether.transmit(self.now, &pkt);
                     if let Some(at) = tx.delivered_at {
+                        // Fan out one shared packet to the N−1 snooping
+                        // hosts: each arrival event costs a refcount bump,
+                        // never a payload copy.
+                        let from = pkt.from().0 as usize;
+                        let shared = Arc::new(pkt);
                         for h in 0..self.hosts.len() {
-                            if h != pkt.from().0 as usize {
-                                self.push(at, EvKind::PacketArrive { host: h, pkt: pkt.clone() });
+                            if h != from {
+                                self.push(
+                                    at,
+                                    EvKind::PacketArrive {
+                                        host: h,
+                                        pkt: Arc::clone(&shared),
+                                    },
+                                );
                             }
                         }
                     }
@@ -282,7 +308,11 @@ impl Simulation {
                 net.bytes as f64 / additions as f64
             },
             ctx_switches: ctx,
-            ctx_per_addition: if additions == 0 { f64::NAN } else { ctx as f64 / additions as f64 },
+            ctx_per_addition: if additions == 0 {
+                f64::NAN
+            } else {
+                ctx as f64 / additions as f64
+            },
             avg_latency: SimDuration::from_nanos(
                 lat_sum.as_nanos().checked_div(lat_n).unwrap_or(0),
             ),
@@ -297,6 +327,12 @@ impl Simulation {
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Simulation(hosts={}, now={}, queued={})", self.hosts.len(), self.now, self.events.len())
+        write!(
+            f,
+            "Simulation(hosts={}, now={}, queued={})",
+            self.hosts.len(),
+            self.now,
+            self.events.len()
+        )
     }
 }

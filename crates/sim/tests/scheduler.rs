@@ -76,7 +76,13 @@ impl Workload for OneRead {
 #[test]
 fn single_spinner_accumulates_pure_user_time() {
     let mut sim = Simulation::new(SimConfig::paper(1));
-    sim.add_process(0, Box::new(Spinner { n: 1000, slice: SimDuration::from_micros(50) }));
+    sim.add_process(
+        0,
+        Box::new(Spinner {
+            n: 1000,
+            slice: SimDuration::from_micros(50),
+        }),
+    );
     let out = sim.run(RunLimits::default());
     assert!(out.finished);
     assert_eq!(out.wall, SimDuration::from_micros(50_000));
@@ -91,8 +97,20 @@ fn two_spinners_share_the_cpu_via_quantum() {
     let mut sim = Simulation::new(SimConfig::paper(1));
     // Each needs 1 s of CPU; the quantum is 72 ms, so expect ~2 s of
     // combined wall plus ~28 rotations of context switching.
-    sim.add_process(0, Box::new(Spinner { n: 20_000, slice: SimDuration::from_micros(50) }));
-    sim.add_process(0, Box::new(Spinner { n: 20_000, slice: SimDuration::from_micros(50) }));
+    sim.add_process(
+        0,
+        Box::new(Spinner {
+            n: 20_000,
+            slice: SimDuration::from_micros(50),
+        }),
+    );
+    sim.add_process(
+        0,
+        Box::new(Spinner {
+            n: 20_000,
+            slice: SimDuration::from_micros(50),
+        }),
+    );
     let out = sim.run(RunLimits::default());
     assert!(out.finished);
     let wall = out.wall.as_secs_f64();
@@ -108,8 +126,20 @@ fn two_spinners_share_the_cpu_via_quantum() {
 #[test]
 fn sleeping_frees_the_cpu() {
     let mut sim = Simulation::new(SimConfig::paper(1));
-    sim.add_process(0, Box::new(Sleeper { d: SimDuration::from_secs(1), slept: false }));
-    sim.add_process(0, Box::new(Spinner { n: 1000, slice: SimDuration::from_micros(50) }));
+    sim.add_process(
+        0,
+        Box::new(Sleeper {
+            d: SimDuration::from_secs(1),
+            slept: false,
+        }),
+    );
+    sim.add_process(
+        0,
+        Box::new(Spinner {
+            n: 1000,
+            slice: SimDuration::from_micros(50),
+        }),
+    );
     let out = sim.run(RunLimits::default());
     assert!(out.finished);
     // The spinner's 50 ms happen during the sleeper's 1 s, not after
@@ -126,7 +156,13 @@ fn remote_fault_round_trip_latency_is_tens_of_ms() {
     // this is ~35-55 ms on the Sun-3 calibration.
     let mut sim = Simulation::new(SimConfig::paper(2));
     sim.create_owned(0, PageId::new(0));
-    sim.add_process(1, Box::new(OneRead { page: PageId::new(0), done: false }));
+    sim.add_process(
+        1,
+        Box::new(OneRead {
+            page: PageId::new(0),
+            done: false,
+        }),
+    );
     let out = sim.run(RunLimits::default());
     assert!(out.finished);
     let lat = &sim.host(1).fault_latencies;
@@ -144,14 +180,32 @@ fn server_patience_delays_service_under_a_spinning_client() {
     // request waits out the 22 ms patience before the server runs.
     let mut idle = Simulation::new(SimConfig::paper(2));
     idle.create_owned(0, PageId::new(0));
-    idle.add_process(1, Box::new(OneRead { page: PageId::new(0), done: false }));
+    idle.add_process(
+        1,
+        Box::new(OneRead {
+            page: PageId::new(0),
+            done: false,
+        }),
+    );
     idle.run(RunLimits::default());
     let idle_lat = idle.host(1).fault_latencies[0];
 
     let mut busy = Simulation::new(SimConfig::paper(2));
     busy.create_owned(0, PageId::new(0));
-    busy.add_process(0, Box::new(Spinner { n: 1_000_000, slice: SimDuration::from_micros(50) }));
-    busy.add_process(1, Box::new(OneRead { page: PageId::new(0), done: false }));
+    busy.add_process(
+        0,
+        Box::new(Spinner {
+            n: 1_000_000,
+            slice: SimDuration::from_micros(50),
+        }),
+    );
+    busy.add_process(
+        1,
+        Box::new(OneRead {
+            page: PageId::new(0),
+            done: false,
+        }),
+    );
     let out = busy.run(RunLimits {
         max_sim_time: SimDuration::from_secs(90),
         max_events: 100_000_000,
@@ -171,8 +225,20 @@ fn deterministic_across_runs() {
     let run = || {
         let mut sim = Simulation::new(SimConfig::paper(2));
         sim.create_owned(0, PageId::new(0));
-        sim.add_process(0, Box::new(Spinner { n: 5000, slice: SimDuration::from_micros(50) }));
-        sim.add_process(1, Box::new(OneRead { page: PageId::new(0), done: false }));
+        sim.add_process(
+            0,
+            Box::new(Spinner {
+                n: 5000,
+                slice: SimDuration::from_micros(50),
+            }),
+        );
+        sim.add_process(
+            1,
+            Box::new(OneRead {
+                page: PageId::new(0),
+                done: false,
+            }),
+        );
         let out = sim.run(RunLimits::default());
         (out.wall, out.events, sim.net_stats())
     };
@@ -182,7 +248,13 @@ fn deterministic_across_runs() {
 #[test]
 fn run_limits_cap_infinite_workloads() {
     let mut sim = Simulation::new(SimConfig::paper(1));
-    sim.add_process(0, Box::new(Spinner { n: u32::MAX, slice: SimDuration::from_micros(50) }));
+    sim.add_process(
+        0,
+        Box::new(Spinner {
+            n: u32::MAX,
+            slice: SimDuration::from_micros(50),
+        }),
+    );
     let out = sim.run(RunLimits {
         max_sim_time: SimDuration::from_millis(100),
         max_events: 1_000_000,

@@ -35,7 +35,11 @@ fn run_with(protocol: Protocol, sim_cfg: SimConfig, limits: RunLimits) -> Protoc
 /// structure with invalidate-and-refetch readers. Returns `(p5, p3h)`.
 pub fn run_purge_vs_invalidate() -> (ProtocolMetrics, ProtocolMetrics) {
     let p5 = run_with(Protocol::P5, SimConfig::paper(2), RunLimits::default());
-    let p3h = run_with(Protocol::P3Hysteresis(100), SimConfig::paper(2), RunLimits::default());
+    let p3h = run_with(
+        Protocol::P3Hysteresis(100),
+        SimConfig::paper(2),
+        RunLimits::default(),
+    );
     (p5, p3h)
 }
 
@@ -51,7 +55,11 @@ pub fn run_snoop_ablation(hysteresis: u64) -> (ProtocolMetrics, ProtocolMetrics)
     );
     let mut cfg = SimConfig::paper(2);
     cfg.mether = cfg.mether.without_snooping();
-    let without = run_with(Protocol::P3Hysteresis(hysteresis), cfg, RunLimits::default());
+    let without = run_with(
+        Protocol::P3Hysteresis(hysteresis),
+        cfg,
+        RunLimits::default(),
+    );
     (with, without)
 }
 

@@ -34,12 +34,20 @@ pub struct CountingConfig {
 impl CountingConfig {
     /// The paper's two-process count-to-1024.
     pub fn paper() -> Self {
-        CountingConfig { target: 1024, processes: 2, spin: SimDuration::from_micros(48) }
+        CountingConfig {
+            target: 1024,
+            processes: 2,
+            spin: SimDuration::from_micros(48),
+        }
     }
 
     /// Single-process variant (the 50 ms calibration baseline).
     pub fn single() -> Self {
-        CountingConfig { target: 1024, processes: 1, spin: SimDuration::from_micros(48) }
+        CountingConfig {
+            target: 1024,
+            processes: 1,
+            spin: SimDuration::from_micros(48),
+        }
     }
 }
 
@@ -288,7 +296,14 @@ enum DjRead {
 impl DisjointPageCounter {
     /// Protocol 3: spin on disjoint pages, one read-only, purge every loss.
     pub fn protocol3(cfg: CountingConfig, parity: u32, my: PageId, other: PageId) -> Self {
-        Self::new(cfg, parity, my, other, LossPolicy::PurgeEveryLoss, format!("p3-proc{parity}"))
+        Self::new(
+            cfg,
+            parity,
+            my,
+            other,
+            LossPolicy::PurgeEveryLoss,
+            format!("p3-proc{parity}"),
+        )
     }
 
     /// Protocol 3 with hysteresis `h` (the paper tried 100 and 10,000).
@@ -299,12 +314,26 @@ impl DisjointPageCounter {
         other: PageId,
         h: u64,
     ) -> Self {
-        Self::new(cfg, parity, my, other, LossPolicy::Hysteresis(h), format!("p3h-proc{parity}"))
+        Self::new(
+            cfg,
+            parity,
+            my,
+            other,
+            LossPolicy::Hysteresis(h),
+            format!("p3h-proc{parity}"),
+        )
     }
 
     /// The final protocol: spin on disjoint pages, one data-driven.
     pub fn protocol5(cfg: CountingConfig, parity: u32, my: PageId, other: PageId) -> Self {
-        Self::new(cfg, parity, my, other, LossPolicy::DataDriven, format!("p5-proc{parity}"))
+        Self::new(
+            cfg,
+            parity,
+            my,
+            other,
+            LossPolicy::DataDriven,
+            format!("p5-proc{parity}"),
+        )
     }
 
     fn new(
@@ -427,8 +456,11 @@ impl Workload for DisjointPageCounter {
                     }
                 }
                 DjPhase::PurgeOther { then_data } => {
-                    self.phase =
-                        if then_data { DjPhase::ReadData } else { DjPhase::ReadDemand };
+                    self.phase = if then_data {
+                        DjPhase::ReadData
+                    } else {
+                        DjPhase::ReadDemand
+                    };
                     return Step::Op(DsmOp::Purge {
                         page: self.other_page,
                         mode: MapMode::ReadOnly,
@@ -447,7 +479,11 @@ impl Workload for DisjointPageCounter {
                 }
                 DjPhase::PurgeOwn(v) => {
                     self.last_seen = v;
-                    self.phase = if v >= self.cfg.target { DjPhase::Exit } else { DjPhase::Decide };
+                    self.phase = if v >= self.cfg.target {
+                        DjPhase::Exit
+                    } else {
+                        DjPhase::Decide
+                    };
                     return Step::Op(DsmOp::Purge {
                         page: self.my_page,
                         mode: MapMode::Writeable,
@@ -467,16 +503,24 @@ impl Workload for DisjointPageCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mether_sim::{OpResult, WorkloadCounters};
     use mether_net::SimTime;
+    use mether_sim::{OpResult, WorkloadCounters};
 
     fn ctx<'a>(counters: &'a mut WorkloadCounters, last: OpResult) -> StepCtx<'a> {
-        StepCtx { now: SimTime::ZERO, last, counters }
+        StepCtx {
+            now: SimTime::ZERO,
+            last,
+            counters,
+        }
     }
 
     #[test]
     fn p1_first_mover_writes_immediately_after_read() {
-        let cfg = CountingConfig { target: 4, processes: 2, spin: SimDuration::from_micros(48) };
+        let cfg = CountingConfig {
+            target: 4,
+            processes: 2,
+            spin: SimDuration::from_micros(48),
+        };
         let mut w = SharedPageCounter::protocol1(cfg, 0, PageId::new(0));
         let mut c = WorkloadCounters::default();
         // First step: a read.
@@ -495,7 +539,11 @@ mod tests {
 
     #[test]
     fn p1_not_my_turn_spins() {
-        let cfg = CountingConfig { target: 4, processes: 2, spin: SimDuration::from_micros(48) };
+        let cfg = CountingConfig {
+            target: 4,
+            processes: 2,
+            spin: SimDuration::from_micros(48),
+        };
         let mut w = SharedPageCounter::protocol1(cfg, 1, PageId::new(0));
         let mut c = WorkloadCounters::default();
         let _ = w.step(&mut ctx(&mut c, OpResult::None));
@@ -512,7 +560,11 @@ mod tests {
 
     #[test]
     fn p1_terminates_at_target() {
-        let cfg = CountingConfig { target: 4, processes: 2, spin: SimDuration::from_micros(48) };
+        let cfg = CountingConfig {
+            target: 4,
+            processes: 2,
+            spin: SimDuration::from_micros(48),
+        };
         let mut w = SharedPageCounter::protocol1(cfg, 0, PageId::new(0));
         let mut c = WorkloadCounters::default();
         let _ = w.step(&mut ctx(&mut c, OpResult::None));
@@ -530,7 +582,10 @@ mod tests {
         let _ = w.step(&mut ctx(&mut c, OpResult::None));
         let _ = w.step(&mut ctx(&mut c, OpResult::Value(0))); // write 1
         match w.step(&mut ctx(&mut c, OpResult::Done)) {
-            Step::Op(DsmOp::Purge { mode: MapMode::Writeable, .. }) => {}
+            Step::Op(DsmOp::Purge {
+                mode: MapMode::Writeable,
+                ..
+            }) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -538,15 +593,18 @@ mod tests {
     #[test]
     fn p5_writer_opens_with_write_and_purge() {
         let cfg = CountingConfig::paper();
-        let mut w =
-            DisjointPageCounter::protocol5(cfg, 0, PageId::new(0), PageId::new(1));
+        let mut w = DisjointPageCounter::protocol5(cfg, 0, PageId::new(0), PageId::new(1));
         let mut c = WorkloadCounters::default();
         match w.step(&mut ctx(&mut c, OpResult::None)) {
             Step::Op(DsmOp::Write { value: 1, page, .. }) => assert_eq!(page, PageId::new(0)),
             other => panic!("{other:?}"),
         }
         match w.step(&mut ctx(&mut c, OpResult::Done)) {
-            Step::Op(DsmOp::Purge { mode: MapMode::Writeable, page, .. }) => {
+            Step::Op(DsmOp::Purge {
+                mode: MapMode::Writeable,
+                page,
+                ..
+            }) => {
                 assert_eq!(page, PageId::new(0));
             }
             other => panic!("{other:?}"),
@@ -561,8 +619,7 @@ mod tests {
     #[test]
     fn p5_reader_opens_with_demand_read_then_blocks_on_data_view() {
         let cfg = CountingConfig::paper();
-        let mut w =
-            DisjointPageCounter::protocol5(cfg, 1, PageId::new(1), PageId::new(0));
+        let mut w = DisjointPageCounter::protocol5(cfg, 1, PageId::new(1), PageId::new(0));
         let mut c = WorkloadCounters::default();
         // Not its turn at 0: demand-read the other's page first ("first
         // checks the inconsistent, short, demand-driven copy").
@@ -574,7 +631,10 @@ mod tests {
         }
         // Stale value: purge, then switch to the data-driven view.
         match w.step(&mut ctx(&mut c, OpResult::Value(0))) {
-            Step::Op(DsmOp::Purge { mode: MapMode::ReadOnly, .. }) => {}
+            Step::Op(DsmOp::Purge {
+                mode: MapMode::ReadOnly,
+                ..
+            }) => {}
             other => panic!("{other:?}"),
         }
         match w.step(&mut ctx(&mut c, OpResult::Done)) {
@@ -587,13 +647,15 @@ mod tests {
     #[test]
     fn p3_purges_on_every_loss() {
         let cfg = CountingConfig::paper();
-        let mut w =
-            DisjointPageCounter::protocol3(cfg, 1, PageId::new(1), PageId::new(0))
-                .with_full_pages();
+        let mut w = DisjointPageCounter::protocol3(cfg, 1, PageId::new(1), PageId::new(0))
+            .with_full_pages();
         let mut c = WorkloadCounters::default();
         let _ = w.step(&mut ctx(&mut c, OpResult::None)); // demand read
         match w.step(&mut ctx(&mut c, OpResult::Value(0))) {
-            Step::Op(DsmOp::Purge { mode: MapMode::ReadOnly, .. }) => {}
+            Step::Op(DsmOp::Purge {
+                mode: MapMode::ReadOnly,
+                ..
+            }) => {}
             other => panic!("{other:?}"),
         }
         // Immediately refetches (no spin delay) — the storm.
@@ -606,19 +668,20 @@ mod tests {
     #[test]
     fn p3h_spins_until_hysteresis_threshold() {
         let cfg = CountingConfig::paper();
-        let mut w = DisjointPageCounter::protocol3_hysteresis(
-            cfg,
-            1,
-            PageId::new(1),
-            PageId::new(0),
-            3,
-        );
+        let mut w =
+            DisjointPageCounter::protocol3_hysteresis(cfg, 1, PageId::new(1), PageId::new(0), 3);
         let mut c = WorkloadCounters::default();
         let _ = w.step(&mut ctx(&mut c, OpResult::None));
         // Losses 1 and 2: spin.
-        assert!(matches!(w.step(&mut ctx(&mut c, OpResult::Value(0))), Step::Compute(_)));
+        assert!(matches!(
+            w.step(&mut ctx(&mut c, OpResult::Value(0))),
+            Step::Compute(_)
+        ));
         let _ = w.step(&mut ctx(&mut c, OpResult::None));
-        assert!(matches!(w.step(&mut ctx(&mut c, OpResult::Value(0))), Step::Compute(_)));
+        assert!(matches!(
+            w.step(&mut ctx(&mut c, OpResult::Value(0))),
+            Step::Compute(_)
+        ));
         let _ = w.step(&mut ctx(&mut c, OpResult::None));
         // Loss 3: purge.
         assert!(matches!(
@@ -632,7 +695,11 @@ mod tests {
     fn disjoint_counter_alternates_turns() {
         // Drive both sides by hand to verify the turn logic: values
         // written alternate 1, 2, 3, ...
-        let cfg = CountingConfig { target: 3, processes: 2, spin: SimDuration::from_micros(48) };
+        let cfg = CountingConfig {
+            target: 3,
+            processes: 2,
+            spin: SimDuration::from_micros(48),
+        };
         let mut a = DisjointPageCounter::protocol5(cfg, 0, PageId::new(0), PageId::new(1));
         let mut ca = WorkloadCounters::default();
         match a.step(&mut ctx(&mut ca, OpResult::None)) {
@@ -641,13 +708,16 @@ mod tests {
         }
         let _ = a.step(&mut ctx(&mut ca, OpResult::Done)); // purge own
         let _ = a.step(&mut ctx(&mut ca, OpResult::Done)); // read other (demand first time)
-        // Sees the peer's 2: win, then writes 3.
+                                                           // Sees the peer's 2: win, then writes 3.
         match a.step(&mut ctx(&mut ca, OpResult::Value(2))) {
             Step::Op(DsmOp::Write { value: 3, .. }) => {}
             other => panic!("{other:?}"),
         }
         // 3 == target: after purging its own page it exits.
         let _ = a.step(&mut ctx(&mut ca, OpResult::Done)); // purge own
-        assert!(matches!(a.step(&mut ctx(&mut ca, OpResult::Done)), Step::Done));
+        assert!(matches!(
+            a.step(&mut ctx(&mut ca, OpResult::Done)),
+            Step::Done
+        ));
     }
 }

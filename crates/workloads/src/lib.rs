@@ -10,11 +10,11 @@ pub mod counting;
 pub mod protocols;
 pub mod solver;
 
-pub use counting::{CountingConfig, DisjointPageCounter, LossPolicy, SharedPageCounter};
-pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
 pub use ablations::{
     run_kernel_server, run_purge_vs_invalidate, run_short_size_sweep, run_snoop_ablation,
 };
+pub use counting::{CountingConfig, DisjointPageCounter, LossPolicy, SharedPageCounter};
+pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
 pub use solver::{
     jacobi_step, run_solver_speedup, SolverConfig, SolverWorker, SparseMatrix, SpeedupPoint,
 };

@@ -82,35 +82,53 @@ pub fn build_counting(protocol: Protocol, cfg: &CountingConfig, sim_cfg: SimConf
     let page1 = PageId::new(1);
     match protocol {
         Protocol::BaselineSingle => {
-            let mut sim = Simulation::new(SimConfig { hosts: 1, ..sim_cfg });
+            let mut sim = Simulation::new(SimConfig {
+                hosts: 1,
+                ..sim_cfg
+            });
             sim.create_owned(0, page0);
-            let single = CountingConfig { processes: 1, ..*cfg };
+            let single = CountingConfig {
+                processes: 1,
+                ..*cfg
+            };
             sim.add_process(0, Box::new(SharedPageCounter::baseline(single, 0, page0)));
             sim
         }
         Protocol::BaselineLocal => {
-            let mut sim = Simulation::new(SimConfig { hosts: 1, ..sim_cfg });
+            let mut sim = Simulation::new(SimConfig {
+                hosts: 1,
+                ..sim_cfg
+            });
             sim.create_owned(0, page0);
             sim.add_process(0, Box::new(SharedPageCounter::baseline(*cfg, 0, page0)));
             sim.add_process(0, Box::new(SharedPageCounter::baseline(*cfg, 1, page0)));
             sim
         }
         Protocol::P1 => {
-            let mut sim = Simulation::new(SimConfig { hosts: 2, ..sim_cfg });
+            let mut sim = Simulation::new(SimConfig {
+                hosts: 2,
+                ..sim_cfg
+            });
             sim.create_owned(0, page0);
             sim.add_process(0, Box::new(SharedPageCounter::protocol1(*cfg, 0, page0)));
             sim.add_process(1, Box::new(SharedPageCounter::protocol1(*cfg, 1, page0)));
             sim
         }
         Protocol::P2 => {
-            let mut sim = Simulation::new(SimConfig { hosts: 2, ..sim_cfg });
+            let mut sim = Simulation::new(SimConfig {
+                hosts: 2,
+                ..sim_cfg
+            });
             sim.create_owned(0, page0);
             sim.add_process(0, Box::new(SharedPageCounter::protocol2(*cfg, 0, page0)));
             sim.add_process(1, Box::new(SharedPageCounter::protocol2(*cfg, 1, page0)));
             sim
         }
         Protocol::P3 => {
-            let mut sim = Simulation::new(SimConfig { hosts: 2, ..sim_cfg });
+            let mut sim = Simulation::new(SimConfig {
+                hosts: 2,
+                ..sim_cfg
+            });
             sim.create_owned(0, page0);
             sim.create_owned(1, page1);
             // Protocol 3 predates the realisation that the whole loop must
@@ -126,28 +144,41 @@ pub fn build_counting(protocol: Protocol, cfg: &CountingConfig, sim_cfg: SimConf
             sim
         }
         Protocol::P3Hysteresis(h) => {
-            let mut sim = Simulation::new(SimConfig { hosts: 2, ..sim_cfg });
+            let mut sim = Simulation::new(SimConfig {
+                hosts: 2,
+                ..sim_cfg
+            });
             sim.create_owned(0, page0);
             sim.create_owned(1, page1);
             sim.add_process(
                 0,
-                Box::new(DisjointPageCounter::protocol3_hysteresis(*cfg, 0, page0, page1, h)),
+                Box::new(DisjointPageCounter::protocol3_hysteresis(
+                    *cfg, 0, page0, page1, h,
+                )),
             );
             sim.add_process(
                 1,
-                Box::new(DisjointPageCounter::protocol3_hysteresis(*cfg, 1, page1, page0, h)),
+                Box::new(DisjointPageCounter::protocol3_hysteresis(
+                    *cfg, 1, page1, page0, h,
+                )),
             );
             sim
         }
         Protocol::P4 => {
-            let mut sim = Simulation::new(SimConfig { hosts: 2, ..sim_cfg });
+            let mut sim = Simulation::new(SimConfig {
+                hosts: 2,
+                ..sim_cfg
+            });
             sim.create_owned(0, page0);
             sim.add_process(0, Box::new(SharedPageCounter::protocol4(*cfg, 0, page0)));
             sim.add_process(1, Box::new(SharedPageCounter::protocol4(*cfg, 1, page0)));
             sim
         }
         Protocol::P5 => {
-            let mut sim = Simulation::new(SimConfig { hosts: 2, ..sim_cfg });
+            let mut sim = Simulation::new(SimConfig {
+                hosts: 2,
+                ..sim_cfg
+            });
             sim.create_owned(0, page0);
             sim.create_owned(1, page1);
             sim.add_process(
@@ -222,7 +253,10 @@ mod tests {
         let m = run_paper_protocol(Protocol::BaselineSingle);
         assert!(m.finished);
         let ms = m.wall.as_millis_f64();
-        assert!((30.0..90.0).contains(&ms), "single-process baseline took {ms} ms");
+        assert!(
+            (30.0..90.0).contains(&ms),
+            "single-process baseline took {ms} ms"
+        );
         assert_eq!(m.additions, 1024);
     }
 
@@ -232,6 +266,10 @@ mod tests {
         assert!(m.finished, "{m}");
         assert_eq!(m.additions, 1024);
         // One data packet per addition, essentially no requests.
-        assert!(m.net.requests <= 8, "final protocol sends ~no requests: {}", m.net.requests);
+        assert!(
+            m.net.requests <= 8,
+            "final protocol sends ~no requests: {}",
+            m.net.requests
+        );
     }
 }

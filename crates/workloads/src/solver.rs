@@ -18,7 +18,9 @@
 use crate::counting::CountingConfig;
 use mether_core::{MapMode, PageId, PageLength, View};
 use mether_net::{SimDuration, SimTime};
-use mether_sim::{DsmOp, ProtocolMetrics, RunLimits, SimConfig, Simulation, Step, StepCtx, Workload};
+use mether_sim::{
+    DsmOp, ProtocolMetrics, RunLimits, SimConfig, Simulation, Step, StepCtx, Workload,
+};
 
 // ---------------------------------------------------------------------
 // The actual numerical kernel (used by the runtime example and to size
@@ -143,7 +145,10 @@ impl SolverConfig {
     /// floating point, which is what lets communication amortise into
     /// "linear speedup on up to four processors").
     pub fn paper() -> SolverConfig {
-        SolverConfig { iterations: 40, work_per_iteration: SimDuration::from_secs(2) }
+        SolverConfig {
+            iterations: 40,
+            work_per_iteration: SimDuration::from_secs(2),
+        }
     }
 }
 
@@ -231,7 +236,10 @@ impl Workload for SolverWorker {
                     });
                 }
                 SolverPhase::PublishPurge => {
-                    self.phase = SolverPhase::AwaitNeighbour { idx: 0, purged: false };
+                    self.phase = SolverPhase::AwaitNeighbour {
+                        idx: 0,
+                        purged: false,
+                    };
                     return Step::Op(DsmOp::Purge {
                         page: self.my_page,
                         mode: MapMode::Writeable,
@@ -247,7 +255,10 @@ impl Workload for SolverWorker {
                     if let mether_sim::OpResult::Value(v) = ctx.last {
                         if v >= self.iteration {
                             ctx.win();
-                            self.phase = SolverPhase::AwaitNeighbour { idx: idx + 1, purged: false };
+                            self.phase = SolverPhase::AwaitNeighbour {
+                                idx: idx + 1,
+                                purged: false,
+                            };
                             continue;
                         }
                         ctx.lose();
@@ -261,7 +272,11 @@ impl Workload for SolverWorker {
                             });
                         }
                     }
-                    let view = if purged { View::short_data() } else { View::short_demand() };
+                    let view = if purged {
+                        View::short_data()
+                    } else {
+                        View::short_demand()
+                    };
                     return Step::Op(DsmOp::Read {
                         page: self.neighbour_pages[idx],
                         view,
@@ -308,7 +323,10 @@ pub fn run_solver_speedup(cfg: SolverConfig, worker_counts: &[usize]) -> Vec<Spe
             sim.add_process(rank, Box::new(SolverWorker::new(cfg, rank, n)));
         }
         let outcome = sim.run(RunLimits::default());
-        assert!(outcome.finished, "solver run with {n} workers did not finish");
+        assert!(
+            outcome.finished,
+            "solver run with {n} workers did not finish"
+        );
         let metrics = sim.metrics(&format!("solver, {n} workers"), outcome.finished, n as u32);
         let wall = metrics.wall;
         let base = *baseline.get_or_insert(wall.as_secs_f64());
@@ -376,7 +394,10 @@ mod tests {
 
     #[test]
     fn solver_speedup_is_near_linear_to_four() {
-        let cfg = SolverConfig { iterations: 10, work_per_iteration: SimDuration::from_secs(2) };
+        let cfg = SolverConfig {
+            iterations: 10,
+            work_per_iteration: SimDuration::from_secs(2),
+        };
         let points = run_solver_speedup(cfg, &[1, 2, 4]);
         assert_eq!(points.len(), 3);
         assert!((points[0].speedup - 1.0).abs() < 1e-9);
@@ -387,7 +408,10 @@ mod tests {
 
     #[test]
     fn single_worker_does_no_communication() {
-        let cfg = SolverConfig { iterations: 5, work_per_iteration: SimDuration::from_millis(100) };
+        let cfg = SolverConfig {
+            iterations: 5,
+            work_per_iteration: SimDuration::from_millis(100),
+        };
         let points = run_solver_speedup(cfg, &[1]);
         assert_eq!(points[0].metrics.net.packets, 0);
     }

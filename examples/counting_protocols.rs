@@ -52,11 +52,20 @@ fn main() {
         .filter(|r| r.finished)
         .min_by(|a, b| a.messages_per_addition.total_cmp(&b.messages_per_addition))
         .expect("at least one finished protocol");
-    println!("Mether's best protocol (wall clock):        {}", mether_best.1.label);
-    println!("MemNet's best protocol (messages/addition): {}", memnet_best.protocol.label());
+    println!(
+        "Mether's best protocol (wall clock):        {}",
+        mether_best.1.label
+    );
+    println!(
+        "MemNet's best protocol (messages/addition): {}",
+        memnet_best.protocol.label()
+    );
     let both_one_way_passive = matches!(mether_best.0, Protocol::P5)
         && matches!(memnet_best.protocol, MemNetProtocol::OneWayUpdate);
-    assert!(both_one_way_passive, "the paper's §6 ranking equivalence should hold");
+    assert!(
+        both_one_way_passive,
+        "the paper's §6 ranking equivalence should hold"
+    );
     println!(
         "\n→ identical shape on both systems: one-way links, stationary write \
          capability, passive (data-driven / write-update) readers.\n\

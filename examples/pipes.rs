@@ -37,7 +37,11 @@ fn main() -> mether_core::Result<()> {
         let cluster = Arc::clone(&cluster);
         std::thread::spawn(move || -> mether_core::Result<()> {
             let node = cluster.node(0);
-            let store = [("host", "sun3-50"), ("os", "sunos4.0"), ("net", "10mbit-ethernet")];
+            let store = [
+                ("host", "sun3-50"),
+                ("os", "sunos4.0"),
+                ("net", "10mbit-ethernet"),
+            ];
             loop {
                 let req = server_read.read_vec(node)?;
                 let key = String::from_utf8_lossy(&req).to_string();

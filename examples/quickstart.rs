@@ -40,7 +40,9 @@ fn main() -> mether_core::Result<()> {
     println!("node 1 re-read without purging:    counter = {stale} (stale, as designed)");
 
     // 3. PURGE invalidates the local copy; the next access fetches fresh.
-    cluster.node(1).purge(page, MapMode::ReadOnly, PageLength::Short)?;
+    cluster
+        .node(1)
+        .purge(page, MapMode::ReadOnly, PageLength::Short)?;
     let fresh = cluster.node(1).read_u32(counter, MapMode::ReadOnly)?;
     println!("node 1 after PURGE + refetch:      counter = {fresh}");
 
@@ -49,13 +51,21 @@ fn main() -> mether_core::Result<()> {
     let watcher = {
         let cluster = Arc::clone(&cluster);
         std::thread::spawn(move || {
-            cluster.node(1).purge(page, MapMode::ReadOnly, PageLength::Short)?;
-            cluster.node(1).read_u32_timeout(counter_data, MapMode::ReadOnly, Duration::from_secs(5))
+            cluster
+                .node(1)
+                .purge(page, MapMode::ReadOnly, PageLength::Short)?;
+            cluster.node(1).read_u32_timeout(
+                counter_data,
+                MapMode::ReadOnly,
+                Duration::from_secs(5),
+            )
         })
     };
     std::thread::sleep(Duration::from_millis(100));
     cluster.node(0).write_u32(counter, 3)?;
-    cluster.node(0).purge(page, MapMode::Writeable, PageLength::Short)?;
+    cluster
+        .node(0)
+        .purge(page, MapMode::Writeable, PageLength::Short)?;
     let woken = watcher.join().expect("watcher thread")?;
     println!("node 1 woke on the purge broadcast: counter = {woken}");
 

@@ -20,7 +20,10 @@ const N: usize = 256;
 const ITERATIONS: usize = 120;
 
 fn main() -> mether_core::Result<()> {
-    let workers: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     assert!((1..=8).contains(&workers), "1..=8 workers");
 
     // The system: A·x = b with a known solution, so we can verify.
@@ -50,39 +53,45 @@ fn main() -> mether_core::Result<()> {
         let b = b.clone();
         let left = left_ends[rank].take();
         let right = right_ends[rank].take();
-        handles.push(std::thread::spawn(move || -> mether_core::Result<Vec<f64>> {
-            let node = cluster.node(rank);
-            let lo = rank * rows_per;
-            let hi = if rank == workers - 1 { N } else { lo + rows_per };
-            // Each worker keeps a full-length x vector but only its block
-            // is authoritative; halo rows are refreshed via crecv.
-            let mut x = vec![0.0f64; N];
-            for _ in 0..ITERATIONS {
-                let block = jacobi_step(&a, &b, &x, lo, hi);
-                x[lo..hi].copy_from_slice(&block);
+        handles.push(std::thread::spawn(
+            move || -> mether_core::Result<Vec<f64>> {
+                let node = cluster.node(rank);
+                let lo = rank * rows_per;
+                let hi = if rank == workers - 1 {
+                    N
+                } else {
+                    lo + rows_per
+                };
+                // Each worker keeps a full-length x vector but only its block
+                // is authoritative; halo rows are refreshed via crecv.
+                let mut x = vec![0.0f64; N];
+                for _ in 0..ITERATIONS {
+                    let block = jacobi_step(&a, &b, &x, lo, hi);
+                    x[lo..hi].copy_from_slice(&block);
 
-                // Halo exchange: send boundary row values to neighbours,
-                // receive theirs. Order (send right, recv left, send
-                // left, recv right) is deadlock-free for a chain.
-                if let Some(r) = &right {
-                    r.csend(node, &x[hi - 1].to_le_bytes())?;
+                    // Halo exchange: send boundary row values to neighbours,
+                    // receive theirs. Order (send right, recv left, send
+                    // left, recv right) is deadlock-free for a chain.
+                    if let Some(r) = &right {
+                        r.csend(node, &x[hi - 1].to_le_bytes())?;
+                    }
+                    if let Some(l) = &left {
+                        let mut buf = [0u8; 8];
+                        l.crecv(node, &mut buf)?;
+                        x[lo - 1] = f64::from_le_bytes(buf);
+                    }
+                    if let Some(l) = &left {
+                        l.csend(node, &x[lo].to_le_bytes())?;
+                    }
+                    if let Some(r) = &right {
+                        let mut buf = [0u8; 8];
+                        r.crecv(node, &mut buf)?;
+                        x[hi] = f64::from_le_bytes(buf);
+                    }
                 }
-                if let Some(l) = &left {
-                    let mut buf = [0u8; 8];
-                    l.crecv(node, &mut buf)?;
-                    x[lo - 1] = f64::from_le_bytes(buf);
-                }
-                if let Some(l) = &left {
-                    l.csend(node, &x[lo].to_le_bytes())?;
-                }
-                if let Some(r) = &right {
-                    let mut buf = [0u8; 8];
-                    r.crecv(node, &mut buf)?;
-                    x[hi] = f64::from_le_bytes(buf);
-                }
-            }
-            Ok(x[lo..hi].to_vec())
-        }));
+                Ok(x[lo..hi].to_vec())
+            },
+        ));
     }
 
     // Gather blocks and verify against the direct solution.
@@ -91,8 +100,11 @@ fn main() -> mether_core::Result<()> {
         x.extend(h.join().expect("worker thread")?);
     }
     let residual = a.residual(&x, &b);
-    let err: f64 =
-        x.iter().zip(&x_true).map(|(xi, ti)| (xi - ti).abs()).fold(0.0, f64::max);
+    let err: f64 = x
+        .iter()
+        .zip(&x_true)
+        .map(|(xi, ti)| (xi - ti).abs())
+        .fold(0.0, f64::max);
     println!("workers            {workers}");
     println!("matrix             {N}×{N} (1-D Laplacian-like, diagonally dominant)");
     println!("iterations         {ITERATIONS}");

@@ -1,0 +1,23 @@
+//! Facade for the Mether distributed-shared-memory reproduction
+//! (Minnich & Farber, ICDCS 1990).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream experiments can depend on a single package:
+//!
+//! * [`core`] — protocol logic: page table, wire codec, page buffers;
+//! * [`net`] — the simulated Ethernet and the threaded in-process LAN;
+//! * [`sim`] — the discrete-event workstation simulator;
+//! * [`runtime`] — the threaded runtime (real blocking nodes);
+//! * [`lib`] — the §5 convenience library (segments, pipes, channels);
+//! * [`workloads`] — the paper's counting protocols and solver;
+//! * [`memnet`] — the hardware-DSM comparator.
+
+#![forbid(unsafe_code)]
+
+pub use memnet;
+pub use mether_core as core;
+pub use mether_lib as lib;
+pub use mether_net as net;
+pub use mether_runtime as runtime;
+pub use mether_sim as sim;
+pub use mether_workloads as workloads;

@@ -15,35 +15,62 @@
 //!   holder.
 
 use mether_core::{
-    AccessOutcome, Effect, MapMode, MetherConfig, PageId, PageLength, PageTable, Packet, View,
+    AccessOutcome, Effect, MapMode, MetherConfig, Packet, PageId, PageLength, PageTable, View,
 };
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Access { host: usize, page: u32, short: bool, data_driven: bool, writeable: bool },
-    PurgeRo { host: usize, page: u32 },
-    PurgeRw { host: usize, page: u32, short: bool },
-    Lock { host: usize, page: u32 },
-    Unlock { host: usize, page: u32 },
+    Access {
+        host: usize,
+        page: u32,
+        short: bool,
+        data_driven: bool,
+        writeable: bool,
+    },
+    PurgeRo {
+        host: usize,
+        page: u32,
+    },
+    PurgeRw {
+        host: usize,
+        page: u32,
+        short: bool,
+    },
+    Lock {
+        host: usize,
+        page: u32,
+    },
+    Unlock {
+        host: usize,
+        page: u32,
+    },
 }
 
 fn op_strategy(hosts: usize, pages: u32) -> impl Strategy<Value = Op> {
     let h = 0..hosts;
     let p = 0..pages;
     prop_oneof![
-        (h.clone(), p.clone(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-            |(host, page, short, data_driven, writeable)| Op::Access {
+        (
+            h.clone(),
+            p.clone(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(host, page, short, data_driven, writeable)| Op::Access {
                 host,
                 page,
                 short,
                 data_driven,
                 writeable
-            }
-        ),
+            }),
         (h.clone(), p.clone()).prop_map(|(host, page)| Op::PurgeRo { host, page }),
-        (h.clone(), p.clone(), any::<bool>())
-            .prop_map(|(host, page, short)| Op::PurgeRw { host, page, short }),
+        (h.clone(), p.clone(), any::<bool>()).prop_map(|(host, page, short)| Op::PurgeRw {
+            host,
+            page,
+            short
+        }),
         (h.clone(), p.clone()).prop_map(|(host, page)| Op::Lock { host, page }),
         (h, p).prop_map(|(host, page)| Op::Unlock { host, page }),
     ]
@@ -66,7 +93,12 @@ impl World {
         for p in 0..pages {
             tables[0].create_owned(PageId::new(p));
         }
-        World { tables, pages, wire: Default::default(), waiter: 0 }
+        World {
+            tables,
+            pages,
+            wire: Default::default(),
+            waiter: 0,
+        }
     }
 
     fn absorb(&mut self, effects: Vec<Effect>, host: usize) {
@@ -130,7 +162,13 @@ impl World {
         self.waiter += 1;
         let w = self.waiter;
         match *op {
-            Op::Access { host, page, short, data_driven, writeable } => {
+            Op::Access {
+                host,
+                page,
+                short,
+                data_driven,
+                writeable,
+            } => {
                 let view = View::new(
                     if short {
                         mether_core::PageLength::Short
@@ -143,10 +181,15 @@ impl World {
                         mether_core::DriveMode::Demand
                     },
                 );
-                let mode = if writeable { MapMode::Writeable } else { MapMode::ReadOnly };
+                let mode = if writeable {
+                    MapMode::Writeable
+                } else {
+                    MapMode::ReadOnly
+                };
                 let mut fx = Vec::new();
-                let out =
-                    self.tables[host].access(PageId::new(page), view, mode, w, &mut fx).unwrap();
+                let out = self.tables[host]
+                    .access(PageId::new(page), view, mode, w, &mut fx)
+                    .unwrap();
                 if out == AccessOutcome::Ready && writeable {
                     assert!(
                         self.tables[host].is_consistent_holder(PageId::new(page)),
@@ -164,7 +207,11 @@ impl World {
             }
             Op::PurgeRw { host, page, short } => {
                 let mut fx = Vec::new();
-                let length = if short { PageLength::Short } else { PageLength::Full };
+                let length = if short {
+                    PageLength::Short
+                } else {
+                    PageLength::Full
+                };
                 match self.tables[host].purge(PageId::new(page), MapMode::Writeable, w, &mut fx) {
                     Ok(_) => {
                         // Route ServerPurge with the chosen length.
@@ -202,7 +249,9 @@ impl World {
     fn generations(&self) -> Vec<u64> {
         (0..self.pages)
             .flat_map(|p| {
-                self.tables.iter().map(move |t| t.generation(PageId::new(p)).0)
+                self.tables
+                    .iter()
+                    .map(move |t| t.generation(PageId::new(p)).0)
             })
             .collect()
     }

@@ -12,11 +12,16 @@ use mether_sim::{RunLimits, SimConfig};
 use mether_workloads::{run_counting, CountingConfig, Protocol};
 
 fn mether(p: Protocol) -> mether_sim::ProtocolMetrics {
-    let cfg = CountingConfig { target: 128, processes: 2, spin: SimDuration::from_micros(48) };
+    let cfg = CountingConfig {
+        target: 128,
+        processes: 2,
+        spin: SimDuration::from_micros(48),
+    };
     let limits = match p {
-        Protocol::P3 => {
-            RunLimits { max_sim_time: SimDuration::from_secs(19), max_events: 50_000_000 }
-        }
+        Protocol::P3 => RunLimits {
+            max_sim_time: SimDuration::from_secs(19),
+            max_events: 50_000_000,
+        },
         _ => RunLimits::default(),
     };
     run_counting(p, &cfg, SimConfig::paper(2), limits)
@@ -29,7 +34,10 @@ fn same_best_protocol_on_both_systems() {
     // benchmark is the composite. Rank finishers by it.
     let mether_runs = [
         (Protocol::P1, mether(Protocol::P1)),
-        (Protocol::P3Hysteresis(10_000), mether(Protocol::P3Hysteresis(10_000))),
+        (
+            Protocol::P3Hysteresis(10_000),
+            mether(Protocol::P3Hysteresis(10_000)),
+        ),
         (Protocol::P5, mether(Protocol::P5)),
     ];
     let mether_best = mether_runs
@@ -37,7 +45,11 @@ fn same_best_protocol_on_both_systems() {
         .filter(|(_, m)| m.finished)
         .min_by(|a, b| a.1.wall.cmp(&b.1.wall))
         .unwrap();
-    assert_eq!(mether_best.0, Protocol::P5, "Mether's best is the final protocol");
+    assert_eq!(
+        mether_best.0,
+        Protocol::P5,
+        "Mether's best is the final protocol"
+    );
 
     // MemNet side: rank by ring messages per addition.
     let params = CountingParams::paper();

@@ -8,17 +8,26 @@ use mether_workloads::{run_counting, CountingConfig, Protocol};
 
 fn run(p: Protocol) -> ProtocolMetrics {
     let cfg = match p {
-        Protocol::BaselineSingle => {
-            CountingConfig { target: 128, processes: 1, spin: SimDuration::from_micros(48) }
-        }
-        _ => CountingConfig { target: 128, processes: 2, spin: SimDuration::from_micros(48) },
+        Protocol::BaselineSingle => CountingConfig {
+            target: 128,
+            processes: 1,
+            spin: SimDuration::from_micros(48),
+        },
+        _ => CountingConfig {
+            target: 128,
+            processes: 2,
+            spin: SimDuration::from_micros(48),
+        },
     };
     let limits = match p {
         Protocol::P3 => RunLimits {
             max_sim_time: SimDuration::from_secs(19),
             max_events: 50_000_000,
         },
-        _ => RunLimits { max_sim_time: SimDuration::from_secs(120), max_events: 100_000_000 },
+        _ => RunLimits {
+            max_sim_time: SimDuration::from_secs(120),
+            max_events: 100_000_000,
+        },
     };
     let hosts = match p {
         Protocol::BaselineSingle | Protocol::BaselineLocal => 1,
@@ -29,8 +38,13 @@ fn run(p: Protocol) -> ProtocolMetrics {
 
 #[test]
 fn every_networked_protocol_except_p3_finishes() {
-    for p in [Protocol::P1, Protocol::P2, Protocol::P3Hysteresis(10_000), Protocol::P4, Protocol::P5]
-    {
+    for p in [
+        Protocol::P1,
+        Protocol::P2,
+        Protocol::P3Hysteresis(10_000),
+        Protocol::P4,
+        Protocol::P5,
+    ] {
         let m = run(p);
         assert!(m.finished, "{} did not finish:\n{m}", m.label);
         assert_eq!(m.additions, 128, "{}", m.label);
@@ -92,7 +106,11 @@ fn final_protocol_sends_one_packet_per_addition() {
         (0.9..1.2).contains(&per_addition),
         "{per_addition} packets/addition:\n{p5}"
     );
-    assert!(p5.net.requests <= 4, "essentially no request packets: {}", p5.net.requests);
+    assert!(
+        p5.net.requests <= 4,
+        "essentially no request packets: {}",
+        p5.net.requests
+    );
 }
 
 #[test]
@@ -116,8 +134,18 @@ fn latency_ordering_matches_paper() {
     let p1 = run(Protocol::P1);
     let p2 = run(Protocol::P2);
     let p5 = run(Protocol::P5);
-    assert!(p1.avg_latency > p2.avg_latency, "P1 {} vs P2 {}", p1.avg_latency, p2.avg_latency);
-    assert!(p2.avg_latency > p5.avg_latency, "P2 {} vs P5 {}", p2.avg_latency, p5.avg_latency);
+    assert!(
+        p1.avg_latency > p2.avg_latency,
+        "P1 {} vs P2 {}",
+        p1.avg_latency,
+        p2.avg_latency
+    );
+    assert!(
+        p2.avg_latency > p5.avg_latency,
+        "P2 {} vs P5 {}",
+        p2.avg_latency,
+        p5.avg_latency
+    );
 }
 
 #[test]

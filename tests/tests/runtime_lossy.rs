@@ -44,7 +44,10 @@ fn channel_survives_10_percent_loss() {
     }
     assert_eq!(receiver.join().unwrap(), (0..40).collect::<Vec<u32>>());
     let stats = c.net_stats();
-    assert!(stats.lost > 0, "the loss injection must actually have dropped frames");
+    assert!(
+        stats.lost > 0,
+        "the loss injection must actually have dropped frames"
+    );
 }
 
 #[test]
@@ -82,7 +85,11 @@ fn demand_read_retries_via_library_poll() {
             Err(e) => panic!("{e}"),
         }
     }
-    assert_eq!(got, Some(5), "demand fetch should succeed within 20 poll attempts");
+    assert_eq!(
+        got,
+        Some(5),
+        "demand fetch should succeed within 20 poll attempts"
+    );
 }
 
 #[test]

@@ -36,7 +36,9 @@ fn runtime_final_protocol(target: u32) -> (u64, u64, u64) {
                 }
                 if last % 2 == me as u32 {
                     c.node(me).write_u32(my_addr, last + 1).unwrap();
-                    c.node(me).purge(my_page, MapMode::Writeable, PageLength::Short).unwrap();
+                    c.node(me)
+                        .purge(my_page, MapMode::Writeable, PageLength::Short)
+                        .unwrap();
                     last += 1;
                     continue;
                 }
@@ -48,11 +50,14 @@ fn runtime_final_protocol(target: u32) -> (u64, u64, u64) {
                     last = v;
                     continue;
                 }
-                c.node(me).purge(other_page, MapMode::ReadOnly, PageLength::Short).unwrap();
-                if let Ok(v) = c
-                    .node(me)
-                    .read_u32_timeout(other_data, MapMode::ReadOnly, Duration::from_millis(500))
-                {
+                c.node(me)
+                    .purge(other_page, MapMode::ReadOnly, PageLength::Short)
+                    .unwrap();
+                if let Ok(v) = c.node(me).read_u32_timeout(
+                    other_data,
+                    MapMode::ReadOnly,
+                    Duration::from_millis(500),
+                ) {
                     if v > last {
                         last = v;
                     }
@@ -72,8 +77,17 @@ fn final_protocol_packet_economy_matches_across_substrates() {
     let target = 64;
 
     // Simulator.
-    let cfg = CountingConfig { target, processes: 2, spin: SimDuration::from_micros(48) };
-    let sim = run_counting(Protocol::P5, &cfg, SimConfig::paper(2), RunLimits::default());
+    let cfg = CountingConfig {
+        target,
+        processes: 2,
+        spin: SimDuration::from_micros(48),
+    };
+    let sim = run_counting(
+        Protocol::P5,
+        &cfg,
+        SimConfig::paper(2),
+        RunLimits::default(),
+    );
     assert!(sim.finished);
 
     // Threaded runtime.
@@ -83,11 +97,20 @@ fn final_protocol_packet_economy_matches_across_substrates() {
     // no requests. Thread scheduling adds a little jitter; allow 30%.
     let sim_per_add = sim.net.data_packets as f64 / f64::from(target);
     let rt_per_add = rt_data as f64 / f64::from(target);
-    assert!((0.9..1.3).contains(&sim_per_add), "sim: {sim_per_add} data pkts/add");
-    assert!((0.9..1.6).contains(&rt_per_add), "runtime: {rt_per_add} data pkts/add");
+    assert!(
+        (0.9..1.3).contains(&sim_per_add),
+        "sim: {sim_per_add} data pkts/add"
+    );
+    assert!(
+        (0.9..1.6).contains(&rt_per_add),
+        "runtime: {rt_per_add} data pkts/add"
+    );
     assert!(sim.net.requests <= 4, "sim requests: {}", sim.net.requests);
     assert!(rt_requests <= 8, "runtime requests: {rt_requests}");
-    assert!(rt_packets >= u64::from(target), "runtime total: {rt_packets}");
+    assert!(
+        rt_packets >= u64::from(target),
+        "runtime total: {rt_packets}"
+    );
 }
 
 #[test]

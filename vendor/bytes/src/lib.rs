@@ -1,0 +1,328 @@
+//! Vendored stand-in for the `bytes` crate (the build environment has no
+//! network access to crates.io).
+//!
+//! Only the surface the Mether workspace uses is provided, but the core
+//! property the workspace relies on is faithful to the real crate:
+//! [`Bytes`] is a cheaply cloneable, reference-counted view into shared
+//! storage, and [`Bytes::slice`] is **zero-copy** — it returns a new view
+//! into the same allocation. This is what makes the Mether page-data path
+//! allocation-free: one decoded datagram can hand its payload to N
+//! snooping hosts without any of them copying a byte.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable view into reference-counted storage.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation shared).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copies `src` into fresh owned storage.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from(src.to_vec())
+    }
+
+    /// Wraps a static slice. (Copies here — the shim has no vtable
+    /// machinery — but the call sites that use this are cold.)
+    pub fn from_static(src: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// Number of accessible bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of this buffer: the returned [`Bytes`] shares
+    /// the same underlying allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of range 0..{}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// The view as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// True if `self` and `other` are views into the same allocation.
+    /// Used by zero-copy tests to assert that no copy happened.
+    pub fn shares_storage_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Attempts to reclaim the underlying vector without copying.
+    /// Succeeds only when this view covers the whole allocation and no
+    /// other view shares it; otherwise returns `self` unchanged. (The
+    /// real crate's analogue is `Bytes::try_into_mut`.)
+    pub fn try_unique(self) -> Result<Vec<u8>, Bytes> {
+        if self.off != 0 || self.len != self.data.len() {
+            return Err(self);
+        }
+        let off = self.off;
+        let len = self.len;
+        Arc::try_unwrap(self.data).map_err(|data| Bytes { data, off, len })
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of `v` without copying.
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(16) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len > 16 {
+            write!(f, "..{} bytes", self.len)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer used to build datagrams, frozen into [`Bytes`]
+/// without copying.
+#[derive(Debug, Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty builder with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Cursor-style reads over a byte source. Implemented for `&[u8]`, where
+/// each `get_*` consumes from the front of the slice (as in the real
+/// crate). All multi-byte reads are big-endian.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Consumes a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consumes a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self[..2].try_into().unwrap());
+        *self = &self[2..];
+        v
+    }
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self[..4].try_into().unwrap());
+        *self = &self[4..];
+        v
+    }
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self[..8].try_into().unwrap());
+        *self = &self[8..];
+        v
+    }
+}
+
+/// Writes into a growable buffer. All multi-byte writes are big-endian.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_zero_copy_slice() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u16(0x4d45);
+        b.put_u8(2);
+        b.put_slice(&[1, 2, 3]);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 6);
+        let tail = frozen.slice(3..6);
+        assert_eq!(&tail[..], &[1, 2, 3]);
+        assert!(tail.shares_storage_with(&frozen), "slice must not copy");
+    }
+
+    #[test]
+    fn buf_reads_consume() {
+        let data = [0x4du8, 0x45, 7];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.remaining(), 3);
+        assert_eq!(cur.get_u16(), 0x4d45);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert!(!a.shares_storage_with(&b));
+    }
+}

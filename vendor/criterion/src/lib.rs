@@ -1,0 +1,208 @@
+//! Vendored micro-benchmark harness (offline stand-in for `criterion`).
+//!
+//! Implements the criterion API shape the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`,
+//! `Throughput`) with a simple but honest methodology: a warm-up pass, then
+//! timed batches until a wall-clock budget is spent, reporting the mean
+//! ns/iteration of the best half of the batches (trims scheduler noise).
+//!
+//! Results print as human-readable lines plus one machine-readable
+//! `[bench-json]` line each, which `BENCH_baseline.json` snapshots are
+//! collected from.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Declared throughput of a benchmark, echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; time work with [`Bencher::iter`].
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the mean cost of one call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call always; keep warming until ~20 ms has passed
+        // or a handful of calls have run.
+        let warm_budget = Duration::from_millis(20);
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u32;
+        while warm_calls == 0 || (warm_start.elapsed() < warm_budget && warm_calls < 1000) {
+            std::hint::black_box(f());
+            warm_calls += 1;
+        }
+        // Choose a batch size aiming for ~5 ms per batch.
+        let probe_start = Instant::now();
+        std::hint::black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let batch =
+            (Duration::from_millis(5).as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let budget = Duration::from_millis(200);
+        let run_start = Instant::now();
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        while run_start.elapsed() < budget && samples.len() < 200 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            samples.push(elapsed / batch as f64);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let keep = (samples.len() / 2).max(1);
+        self.ns_per_iter = samples[..keep].iter().sum::<f64>() / keep as f64;
+        self.iters = total_iters;
+    }
+}
+
+fn report(group: Option<&str>, name: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 / b.ns_per_iter * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+            format!(" ({:.0} elem/s)", n as f64 / b.ns_per_iter * 1e9)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{full:<44} {:>14.1} ns/iter{rate}  [{} iters]",
+        b.ns_per_iter, b.iters
+    );
+    println!(
+        "[bench-json] {{\"name\":\"{full}\",\"ns_per_iter\":{:.1},\"iters\":{}}}",
+        b.ns_per_iter, b.iters
+    );
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(None, name.as_ref(), None, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock
+    /// budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the throughput of subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(Some(&self.name), name.as_ref(), self.throughput, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Arguments (e.g. `--bench` from cargo) are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("push", |b| {
+            let mut v = Vec::new();
+            b.iter(|| {
+                v.push(1u8);
+                v.len()
+            })
+        });
+        g.finish();
+    }
+}

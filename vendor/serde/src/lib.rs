@@ -1,0 +1,10 @@
+//! Vendored facade for `serde` (offline stand-in).
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize};` + `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! No serialisation machinery is provided — nothing in this workspace
+//! serialises through serde at runtime.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

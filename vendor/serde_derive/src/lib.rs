@@ -1,0 +1,21 @@
+//! Vendored no-op `serde` derive macros.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! for forward compatibility, but nothing in the build actually
+//! serialises through serde (the offline environment has no crates.io
+//! access, and the repro binaries print their own table formats). These
+//! derives therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

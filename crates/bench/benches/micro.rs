@@ -1,12 +1,16 @@
 //! Microbenchmarks of the Mether building blocks: address encoding, the
-//! wire codec, page-buffer operations, and the page-table state machine.
+//! wire codec (contiguous and vectored), page-buffer operations, the
+//! page-table state machine, wake delivery, and the simulator's event
+//! queue under broadcast fan-out.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use mether_core::{
-    Generation, HostId, MapMode, MetherConfig, Packet, PageBuf, PageId, PageLength, PageTable,
-    VAddr, View, Want,
+    Effect, Generation, HostId, MapMode, MetherConfig, Packet, PageBuf, PageId, PageLength,
+    PageTable, VAddr, View, WakeSet, Want,
 };
+use mether_sim::{DeliveryMode, RunLimits};
+use mether_workloads::build_publisher_sim;
 use std::hint::black_box;
 
 fn bench_addr(c: &mut Criterion) {
@@ -55,6 +59,16 @@ fn bench_wire(c: &mut Criterion) {
     let enc = full_data.encode();
     g.bench_function("decode_full_data", |b| {
         b.iter(|| black_box(Packet::decode(&enc).unwrap()))
+    });
+    // The vectored transmit path: header bytes are built, the 8 KiB
+    // payload is shared (no contiguous-datagram copy). Compare against
+    // `encode_full_data` above, which is the same packet flattened.
+    g.bench_function("encode_vectored", |b| {
+        b.iter(|| black_box(full_data.encode_vectored()))
+    });
+    let frame = full_data.encode_vectored();
+    g.bench_function("decode_vectored", |b| {
+        b.iter(|| black_box(Packet::decode_frame(&frame).unwrap()))
     });
     g.finish();
 }
@@ -220,12 +234,159 @@ fn bench_table(c: &mut Criterion) {
     g.finish();
 }
 
+/// Wake delivery. `coalesced_vs_per_waiter` measures the production
+/// path end to end: one `PageData` transit unblocking 16 genuinely
+/// blocked data-driven waiters via a single `Effect::WakeAll` batch —
+/// each iteration purges the local copy first so the waiters re-arm
+/// (without the purge, the copy installed by the first `handle_packet`
+/// would satisfy every later access and no wake would ever happen
+/// again; the bench asserts woken == armed every iteration). The
+/// `emit_drain_*` pair then isolates the one thing the overhaul changed
+/// — the effect emission + drain shape — since the old per-waiter
+/// emission no longer exists inside `handle_packet` to measure
+/// end to end.
+fn bench_wake(c: &mut Criterion) {
+    const WAITERS: u64 = 16;
+    let mut g = c.benchmark_group("wake");
+    let pkt = Packet::PageData {
+        from: HostId(0),
+        page: PageId::new(0),
+        length: PageLength::Short,
+        generation: Generation(1),
+        transfer_to: None,
+        data: Bytes::from(vec![1u8; 32]),
+    };
+    // Drops the installed copy and blocks 16 data-driven waiters on the
+    // page, returning how many were queued (so the bench can assert the
+    // wakes are real work, not a hit path).
+    fn rearm(t: &mut PageTable, fx: &mut Vec<Effect>) -> u64 {
+        let _ = t.purge(PageId::new(0), MapMode::ReadOnly, u64::MAX, fx);
+        let mut armed = 0;
+        for w in 0..WAITERS {
+            if let Ok(mether_core::AccessOutcome::Blocked(_)) =
+                t.access(PageId::new(0), View::short_data(), MapMode::ReadOnly, w, fx)
+            {
+                armed += 1;
+            }
+        }
+        armed
+    }
+    g.bench_function("coalesced_vs_per_waiter", |b| {
+        let mut t = PageTable::new(HostId(1), MetherConfig::new());
+        let mut fx = Vec::new();
+        b.iter(|| {
+            fx.clear();
+            let armed = rearm(&mut t, &mut fx);
+            t.handle_packet(&pkt, &mut fx);
+            let mut sum = 0u64;
+            let mut woken = 0u64;
+            for e in &fx {
+                match e {
+                    Effect::Wake(w) => {
+                        sum += w;
+                        woken += 1;
+                    }
+                    Effect::WakeAll(set) => {
+                        sum += set.iter().sum::<u64>();
+                        woken += set.len() as u64;
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(woken, armed, "every armed waiter woke");
+            black_box(sum)
+        })
+    });
+    // The isolated construction + drain comparison. The old emission
+    // path (16 `Effect::Wake` pushes straight into the effects Vec) no
+    // longer exists inside `handle_packet`, so it cannot be measured end
+    // to end; these two benches reproduce exactly the two emission +
+    // drain shapes in isolation — the honest before/after for the part
+    // the coalescing overhaul changed.
+    g.bench_function("emit_drain_per_waiter_16", |b| {
+        let mut fx: Vec<Effect> = Vec::new();
+        b.iter(|| {
+            fx.clear();
+            for w in 0..WAITERS {
+                fx.push(Effect::Wake(w));
+            }
+            let mut sum = 0u64;
+            for e in &fx {
+                if let Effect::Wake(w) = e {
+                    sum += w;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("emit_drain_coalesced_16", |b| {
+        let mut fx: Vec<Effect> = Vec::new();
+        b.iter(|| {
+            fx.clear();
+            let mut set = WakeSet::new();
+            for w in 0..WAITERS {
+                set.insert(w);
+            }
+            fx.push(Effect::WakeAll(set));
+            let mut sum = 0u64;
+            for e in &fx {
+                if let Effect::WakeAll(s) = e {
+                    sum += s.iter().sum::<u64>();
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("wakeset_build_256", |b| {
+        // Worst-case batch construction, far beyond realistic per-page
+        // waiter counts — a canary for the dedup scan's quadratic tail.
+        b.iter(|| {
+            let mut set = WakeSet::new();
+            for w in 0..256u64 {
+                set.insert(w);
+            }
+            black_box(set.len())
+        })
+    });
+    g.finish();
+}
+
+fn broadcast_heavy(mode: DeliveryMode) -> u64 {
+    // The same 16-host, 64-broadcast publisher harness the acceptance
+    // test (`tests/tests/event_engine_regression.rs`) pins, so these
+    // numbers measure exactly the pinned workload.
+    let mut sim = build_publisher_sim(16, 64);
+    sim.set_delivery_mode(mode);
+    let outcome = sim.run(RunLimits::default());
+    assert!(outcome.finished);
+    sim.event_stats().heap_pushes
+}
+
+/// The event heap under broadcast fan-out: 16 hosts, one publisher, 64
+/// broadcasts end to end. `broadcast_heap_16` is the per-transit engine
+/// (one `Deliver` event per broadcast); `broadcast_heap_16_perhost` is
+/// the compat schedule (15 arrival events per broadcast) — the ratio of
+/// their heap pushes is the acceptance criterion pinned in
+/// `tests/tests/event_engine_regression.rs`.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("broadcast_heap_16", |b| {
+        b.iter(|| black_box(broadcast_heavy(DeliveryMode::PerTransit)))
+    });
+    g.bench_function("broadcast_heap_16_perhost", |b| {
+        b.iter(|| black_box(broadcast_heavy(DeliveryMode::PerHostCompat)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_addr,
     bench_wire,
     bench_pagebuf,
     bench_fanout,
-    bench_table
+    bench_table,
+    bench_wake,
+    bench_event_queue
 );
 criterion_main!(benches);

@@ -79,5 +79,5 @@ pub use config::{MetherConfig, PAGE_SIZE, SHORT_PAGE_SIZE};
 pub use error::{Error, Result};
 pub use generation::Generation;
 pub use page::PageBuf;
-pub use table::{AccessOutcome, Effect, FaultKind, PageTable};
-pub use wire::{HostId, Packet, Want};
+pub use table::{woken_waiters, AccessOutcome, Effect, FaultKind, PageTable, WakeSet};
+pub use wire::{HostId, Packet, Want, WireFrame};

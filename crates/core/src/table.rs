@@ -37,6 +37,113 @@ use std::fmt;
 /// embedding runtime maps it back to a process/thread.
 pub type WaiterId = u64;
 
+/// An ordered, duplicate-free batch of waiters to wake.
+///
+/// The paper's load argument is that a broadcast costs each host a
+/// *constant* amount of work: the network does the fan-out, the host just
+/// takes one interrupt. Emitting one `Effect::Wake` per blocked process
+/// re-introduced O(waiters) event churn on exactly the hot path the paper
+/// optimises — every `PageData` transit wakes every data-driven waiter on
+/// every snooping host. A `WakeSet` coalesces all waiters woken by one
+/// `handle_packet` call into a single [`Effect::WakeAll`], so the
+/// simulator schedules one wake batch per host per transit and the
+/// threaded runtime drains the whole set under one pass of its condvar.
+///
+/// Invariants (pinned by unit tests below):
+/// * order-preserving — waiters wake in the order the per-waiter
+///   `Effect::Wake` emission would have woken them (demand waiters in
+///   queue order, then data waiters in queue order);
+/// * duplicate-free — a waiter is woken at most once per batch, even if
+///   it was queued on several lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WakeSet {
+    /// Waiters in wake (insertion) order. Dedup on insert is a linear
+    /// scan: batch sizes are bounded by the processes blocked on one
+    /// page of one host (single digits in the paper's workloads, 16 in
+    /// the repo's own stress benches), where a scan over a short vector
+    /// beats any indexed structure's extra allocation and bookkeeping.
+    waiters: Vec<WaiterId>,
+}
+
+impl WakeSet {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `n` waiters (one allocation up
+    /// front instead of doubling growth during the per-transit build).
+    pub fn with_capacity(n: usize) -> Self {
+        WakeSet {
+            waiters: Vec::with_capacity(n),
+        }
+    }
+
+    /// Adds `w` to the batch, preserving insertion order. Returns false
+    /// (and does nothing) if `w` is already present.
+    pub fn insert(&mut self, w: WaiterId) -> bool {
+        if self.waiters.contains(&w) {
+            return false;
+        }
+        self.waiters.push(w);
+        true
+    }
+
+    /// True if no waiter is batched.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+
+    /// Number of distinct waiters batched.
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True if `w` is in the batch.
+    pub fn contains(&self, w: WaiterId) -> bool {
+        self.waiters.contains(&w)
+    }
+
+    /// The waiters in wake order.
+    pub fn iter(&self) -> impl Iterator<Item = WaiterId> + '_ {
+        self.waiters.iter().copied()
+    }
+}
+
+impl IntoIterator for WakeSet {
+    type Item = WaiterId;
+    type IntoIter = std::vec::IntoIter<WaiterId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.waiters.into_iter()
+    }
+}
+
+impl FromIterator<WaiterId> for WakeSet {
+    fn from_iter<I: IntoIterator<Item = WaiterId>>(iter: I) -> Self {
+        let mut set = WakeSet::new();
+        for w in iter {
+            set.insert(w);
+        }
+        set
+    }
+}
+
+/// All waiters an effect list wakes, in wake order, whether they were
+/// emitted as individual [`Effect::Wake`]s or coalesced into an
+/// [`Effect::WakeAll`] batch. Embedding runtimes and tests should use
+/// this instead of matching the two variants by hand.
+pub fn woken_waiters(effects: &[Effect]) -> Vec<WaiterId> {
+    let mut out = Vec::new();
+    for fx in effects {
+        match fx {
+            Effect::Wake(w) => out.push(*w),
+            Effect::WakeAll(set) => out.extend(set.iter()),
+            _ => {}
+        }
+    }
+    out
+}
+
 /// The kind of fault a blocked access is waiting on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -67,6 +174,9 @@ pub enum Effect {
     Send(Packet),
     /// Wake this blocked process; its access can be retried.
     Wake(WaiterId),
+    /// Wake every process in the batch (one coalesced wakeup per
+    /// `handle_packet` call; see [`WakeSet`]). The batch is never empty.
+    WakeAll(WakeSet),
     /// The purge-pending bit was set: the user-level server must broadcast
     /// a read-only copy of the page and then call
     /// [`PageTable::do_purge`]. (The paper's PURGE → server → DO-PURGE
@@ -712,8 +822,13 @@ impl PageTable {
             effects.push(Effect::ConsistentArrived(page));
         }
 
-        // Wake demand waiters whose needs are now met.
+        // Wake waiters whose needs are now met — demand waiters first (in
+        // queue order), then every data-driven waiter (the page transited
+        // the network). All wakes from this one transit are coalesced
+        // into a single `WakeAll` batch: the host does O(1) event work
+        // per broadcast, however many processes were blocked.
         let presence = e.presence(short_len);
+        let mut wakes = WakeSet::with_capacity(e.demand_waiters.len() + e.data_waiters.len());
         let mut still_waiting = Vec::new();
         for (w, len, want) in e.demand_waiters.drain(..) {
             let satisfied = match want {
@@ -721,7 +836,7 @@ impl PageTable {
                 Want::Consistent | Want::Superset => e.consistent && presence.satisfies_fault(len),
             };
             if satisfied {
-                effects.push(Effect::Wake(w));
+                wakes.insert(w);
             } else {
                 still_waiting.push((w, len, want));
             }
@@ -731,9 +846,11 @@ impl PageTable {
             e.requested = None;
         }
 
-        // Wake every data-driven waiter: the page transited the network.
         for w in e.data_waiters.drain(..) {
-            effects.push(Effect::Wake(w));
+            wakes.insert(w);
+        }
+        if !wakes.is_empty() {
+            effects.push(Effect::WakeAll(wakes));
         }
     }
 
@@ -993,7 +1110,7 @@ mod tests {
         t1.handle_packet(&data, &mut fx);
         assert!(t1.is_consistent_holder(p0()));
         assert!(fx.contains(&Effect::ConsistentArrived(p0())));
-        assert!(fx.contains(&Effect::Wake(9)));
+        assert!(woken_waiters(&fx).contains(&9));
         let mut fx2 = Vec::new();
         let out = t1
             .access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx2)
@@ -1103,7 +1220,7 @@ mod tests {
         };
         let mut fx4 = Vec::new();
         t1.handle_packet(&sup_data, &mut fx4);
-        assert!(fx4.contains(&Effect::Wake(2)), "superset waiter woken");
+        assert!(woken_waiters(&fx4).contains(&2), "superset waiter woken");
         assert_eq!(
             t1.access(p0(), View::full_demand(), MapMode::Writeable, 2, &mut fx4)
                 .unwrap(),
@@ -1238,8 +1355,16 @@ mod tests {
             },
             &mut fx,
         );
-        assert!(fx.contains(&Effect::Wake(11)));
-        assert!(fx.contains(&Effect::Wake(12)));
+        let woken = woken_waiters(&fx);
+        assert!(woken.contains(&11));
+        assert!(woken.contains(&12));
+        // Both waiters wake from ONE coalesced batch: one event's worth
+        // of host work, not one per waiter.
+        let batches = fx
+            .iter()
+            .filter(|e| matches!(e, Effect::WakeAll(_)))
+            .count();
+        assert_eq!(batches, 1, "one transit, one wake batch");
     }
 
     #[test]
@@ -1454,6 +1579,128 @@ mod tests {
             fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(),
             1,
             "fresh request after cancel"
+        );
+    }
+
+    #[test]
+    fn wakeset_preserves_order_and_dedupes() {
+        let mut set = WakeSet::new();
+        assert!(set.insert(5));
+        assert!(set.insert(3));
+        assert!(!set.insert(5), "duplicate rejected");
+        assert!(set.insert(9));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![5, 3, 9]);
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(3));
+        let from_iter: WakeSet = [1u64, 2, 1, 3].into_iter().collect();
+        assert_eq!(from_iter.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wakeall_never_drops_a_waiter_wake_would_have_woken() {
+        // Mixed demand + data waiters on one page: every waiter the old
+        // per-waiter Effect::Wake emission would have woken must be in
+        // the coalesced batch, exactly once, demand first then data.
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 1, &mut fx)
+            .unwrap();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 2, &mut fx)
+            .unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 3, &mut fx)
+            .unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 4, &mut fx)
+            .unwrap();
+        fx.clear();
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Short,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 32]),
+            },
+            &mut fx,
+        );
+        assert_eq!(
+            woken_waiters(&fx),
+            vec![1, 2, 3, 4],
+            "demand waiters in queue order, then data waiters in queue order"
+        );
+        assert_eq!(
+            fx.iter()
+                .filter(|e| matches!(e, Effect::Wake(_) | Effect::WakeAll(_)))
+                .count(),
+            1,
+            "all four wakes ride one batch"
+        );
+    }
+
+    #[test]
+    fn wakeall_never_wakes_twice() {
+        // The same waiter id queued as both a demand and a data waiter
+        // (a runtime reusing the token across views) wakes once.
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_demand(), MapMode::ReadOnly, 7, &mut fx)
+            .unwrap();
+        t.access(p0(), View::short_data(), MapMode::ReadOnly, 7, &mut fx)
+            .unwrap();
+        fx.clear();
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Short,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 32]),
+            },
+            &mut fx,
+        );
+        assert_eq!(woken_waiters(&fx), vec![7], "woken exactly once");
+    }
+
+    #[test]
+    fn wake_batch_ordered_before_retry_visible_effects() {
+        // Wake-before-retry: by the time the embedding runtime sees the
+        // wake batch, the page state that satisfies the retried access is
+        // already installed — and any ConsistentArrived notification for
+        // the same transit precedes the batch in the effect list, so a
+        // runtime draining effects in order arms the holder state before
+        // any woken process retries.
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        t.access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx)
+            .unwrap();
+        fx.clear();
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: p0(),
+                length: PageLength::Full,
+                generation: Generation(1),
+                transfer_to: Some(HostId(1)),
+                data: Bytes::from(vec![0u8; 8192]),
+            },
+            &mut fx,
+        );
+        let arrived_pos = fx
+            .iter()
+            .position(|e| matches!(e, Effect::ConsistentArrived(_)))
+            .expect("transfer emits ConsistentArrived");
+        let wake_pos = fx
+            .iter()
+            .position(|e| matches!(e, Effect::WakeAll(_)))
+            .expect("waiter woken");
+        assert!(arrived_pos < wake_pos, "state visible before wake");
+        // And the retried access succeeds immediately.
+        let mut fx2 = Vec::new();
+        assert_eq!(
+            t.access(p0(), View::full_demand(), MapMode::Writeable, 9, &mut fx2)
+                .unwrap(),
+            AccessOutcome::Ready
         );
     }
 

@@ -55,6 +55,59 @@ pub enum Want {
     Superset,
 }
 
+/// A two-segment scatter/gather view of an encoded [`Packet`].
+///
+/// `header` carries the fixed protocol fields (magic, type, addressing,
+/// generation, payload length); `payload` is the page bytes — a
+/// **zero-copy view of the packet's own `data` buffer**, shared rather
+/// than copied. Concatenating the two segments yields exactly the
+/// contiguous datagram [`Packet::encode`] produces, so either framing
+/// can cross a byte-oriented wire and [`Packet::decode`] /
+/// [`Packet::decode_frame`] accept both.
+///
+/// This closes the last per-transit copy in the paper's cost model: the
+/// receive path has been zero-copy since the COW page-buffer work, but
+/// `encode` still materialised one contiguous 8 KiB datagram per
+/// transmit. With the vectored frame, a full-page broadcast moves from
+/// sender page buffer to every snooping host's page buffer without any
+/// intermediate payload copy at all — the network does the fan-out, and
+/// no host (sender included) does O(page) byte-shuffling for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// Fixed-field segment (never empty).
+    pub header: Bytes,
+    /// Page-payload segment; empty for [`Packet::PageRequest`]s. Shares
+    /// storage with the encoded packet's `data`.
+    pub payload: Bytes,
+}
+
+impl WireFrame {
+    /// Total encoded length across both segments.
+    pub fn len(&self) -> usize {
+        self.header.len() + self.payload.len()
+    }
+
+    /// True if both segments are empty (never the case for a frame built
+    /// by [`Packet::encode_vectored`]).
+    pub fn is_empty(&self) -> bool {
+        self.header.is_empty() && self.payload.is_empty()
+    }
+
+    /// Flattens the two segments into one contiguous datagram — the
+    /// single payload copy a byte-stream transport needs. Wire formats
+    /// are identical: `decode(frame.to_contiguous())` equals
+    /// `decode_frame(&frame)`.
+    pub fn to_contiguous(&self) -> Bytes {
+        if self.payload.is_empty() {
+            return self.header.clone();
+        }
+        let mut b = BytesMut::with_capacity(self.len());
+        b.put_slice(&self.header);
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+}
+
 /// Ethernet (14) + IPv4 (20) + UDP (8) header bytes charged per datagram.
 pub const FRAME_OVERHEAD: usize = 42;
 
@@ -134,15 +187,23 @@ impl Packet {
         (self.encoded_len() + FRAME_OVERHEAD).max(MIN_FRAME)
     }
 
-    /// Encodes the packet into a byte buffer.
+    /// Encodes the packet into one contiguous byte buffer.
     ///
-    /// The buffer is built in one exact-capacity allocation; this is the
-    /// single copy of the payload on the transmit side (a contiguous
-    /// datagram has to be materialised somewhere). The receive side is
-    /// copy-free: see [`Packet::decode`].
+    /// Compatibility wrapper over [`Packet::encode_vectored`]: the
+    /// flattening is the single copy of the payload on the transmit side
+    /// (a contiguous datagram has to be materialised somewhere).
+    /// Transports that can scatter/gather — or that stay in-process —
+    /// should carry the [`WireFrame`] instead and skip that copy.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(self.encoded_len());
-        b.put_u16(MAGIC);
+        self.encode_vectored().to_contiguous()
+    }
+
+    /// Encodes the packet as a two-segment [`WireFrame`] without copying
+    /// the payload: the frame's `payload` segment is a zero-copy view of
+    /// this packet's `data` buffer (`Bytes::shares_storage_with` holds).
+    /// Byte-wise, `header ‖ payload` is exactly [`Packet::encode`]'s
+    /// output.
+    pub fn encode_vectored(&self) -> WireFrame {
         match self {
             Packet::PageRequest {
                 from,
@@ -150,6 +211,8 @@ impl Packet {
                 length,
                 want,
             } => {
+                let mut b = BytesMut::with_capacity(self.encoded_len());
+                b.put_u16(MAGIC);
                 b.put_u8(TYPE_REQUEST);
                 b.put_u16(from.0);
                 b.put_u32(page.index());
@@ -162,6 +225,10 @@ impl Packet {
                     Want::Consistent => 1,
                     Want::Superset => 2,
                 });
+                WireFrame {
+                    header: b.freeze(),
+                    payload: Bytes::new(),
+                }
             }
             Packet::PageData {
                 from,
@@ -171,6 +238,8 @@ impl Packet {
                 transfer_to,
                 data,
             } => {
+                let mut b = BytesMut::with_capacity(self.encoded_len() - data.len());
+                b.put_u16(MAGIC);
                 b.put_u8(TYPE_DATA);
                 b.put_u16(from.0);
                 b.put_u32(page.index());
@@ -190,10 +259,12 @@ impl Packet {
                     }
                 }
                 b.put_u32(data.len() as u32);
-                b.put_slice(data);
+                WireFrame {
+                    header: b.freeze(),
+                    payload: data.clone(),
+                }
             }
         }
-        b.freeze()
     }
 
     /// Decodes a packet from a datagram produced by [`Packet::encode`].
@@ -247,35 +318,126 @@ impl Packet {
                 })
             }
             TYPE_DATA => {
-                need(buf, 22)?;
-                let from = HostId(buf.get_u16());
-                let page =
-                    PageId::try_new(buf.get_u32()).map_err(|e| Error::Decode(e.to_string()))?;
-                let length = decode_length(buf.get_u8())?;
-                let generation = Generation(buf.get_u64());
-                let has_transfer = buf.get_u8();
-                let transfer_host = buf.get_u16();
-                let transfer_to = match has_transfer {
-                    0 => None,
-                    1 => Some(HostId(transfer_host)),
-                    t => return Err(Error::Decode(format!("bad transfer flag {t}"))),
-                };
-                let len = buf.get_u32() as usize;
-                need(buf, len)?;
+                let hdr = decode_data_header(&mut buf)?;
+                need(buf, hdr.payload_len)?;
                 let payload_start = datagram.len() - buf.remaining();
-                let data = datagram.slice(payload_start..payload_start + len);
-                Ok(Packet::PageData {
-                    from,
-                    page,
-                    length,
-                    generation,
-                    transfer_to,
-                    data,
-                })
+                let data = datagram.slice(payload_start..payload_start + hdr.payload_len);
+                Ok(hdr.into_packet(data))
             }
             t => Err(Error::Decode(format!("unknown packet type {t}"))),
         }
     }
+
+    /// Decodes a packet from a two-segment [`WireFrame`].
+    ///
+    /// Accepts both framings: a frame with an empty payload segment is
+    /// treated as a contiguous datagram (so request frames, and data
+    /// frames whose payload was flattened into the header segment, both
+    /// decode). For a genuinely vectored data frame the payload segment
+    /// is **adopted zero-copy** — the decoded packet's `data` shares the
+    /// segment's storage, so on an in-process wire the bytes the sender
+    /// published are the very bytes every receiver installs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Decode`] on truncation, bad magic, unknown type,
+    /// invalid field values, a non-empty payload segment on a request
+    /// frame, or a payload segment whose length disagrees with the
+    /// header's length field.
+    pub fn decode_frame(frame: &WireFrame) -> Result<Self> {
+        if frame.payload.is_empty() {
+            return Self::decode(&frame.header);
+        }
+        let mut buf: &[u8] = &frame.header;
+        if buf.remaining() < 3 {
+            return Err(Error::Decode(format!(
+                "header segment too short: {} bytes",
+                buf.remaining()
+            )));
+        }
+        let magic = buf.get_u16();
+        if magic != MAGIC {
+            return Err(Error::Decode(format!("bad magic {magic:#x}")));
+        }
+        let ty = buf.get_u8();
+        if ty != TYPE_DATA {
+            return Err(Error::Decode(format!(
+                "packet type {ty} cannot carry a payload segment"
+            )));
+        }
+        let hdr = decode_data_header(&mut buf)?;
+        if buf.remaining() != 0 {
+            return Err(Error::Decode(format!(
+                "payload split across segments: {} stray header bytes",
+                buf.remaining()
+            )));
+        }
+        if hdr.payload_len != frame.payload.len() {
+            return Err(Error::Decode(format!(
+                "length field {} != payload segment {}",
+                hdr.payload_len,
+                frame.payload.len()
+            )));
+        }
+        Ok(hdr.into_packet(frame.payload.clone()))
+    }
+}
+
+/// The fixed fields of a `TYPE_DATA` header, as parsed off the wire.
+/// Shared by [`Packet::decode`] and [`Packet::decode_frame`] so the two
+/// framings can never drift apart field-by-field; only the payload
+/// handling (contiguous slice vs. adopted segment) differs per caller.
+struct DataHeader {
+    from: HostId,
+    page: PageId,
+    length: PageLength,
+    generation: Generation,
+    transfer_to: Option<HostId>,
+    payload_len: usize,
+}
+
+impl DataHeader {
+    fn into_packet(self, data: Bytes) -> Packet {
+        Packet::PageData {
+            from: self.from,
+            page: self.page,
+            length: self.length,
+            generation: self.generation,
+            transfer_to: self.transfer_to,
+            data,
+        }
+    }
+}
+
+/// Parses the fixed `TYPE_DATA` fields (everything between the type tag
+/// and the payload bytes), advancing `buf` past the length field.
+fn decode_data_header(buf: &mut &[u8]) -> Result<DataHeader> {
+    if buf.remaining() < 22 {
+        return Err(Error::Decode(format!(
+            "data header needs 22 more bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    let from = HostId(buf.get_u16());
+    let page = PageId::try_new(buf.get_u32()).map_err(|e| Error::Decode(e.to_string()))?;
+    let length = decode_length(buf.get_u8())?;
+    let generation = Generation(buf.get_u64());
+    let has_transfer = buf.get_u8();
+    let transfer_host = buf.get_u16();
+    let transfer_to = match has_transfer {
+        0 => None,
+        1 => Some(HostId(transfer_host)),
+        t => return Err(Error::Decode(format!("bad transfer flag {t}"))),
+    };
+    let payload_len = buf.get_u32() as usize;
+    Ok(DataHeader {
+        from,
+        page,
+        length,
+        generation,
+        transfer_to,
+        payload_len,
+    })
 }
 
 fn decode_length(b: u8) -> Result<PageLength> {
@@ -409,6 +571,102 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn vectored_frame_concatenation_matches_contiguous_encode() {
+        for p in [
+            sample_request(),
+            sample_data(0),
+            sample_data(32),
+            sample_data(8192),
+        ] {
+            let frame = p.encode_vectored();
+            let mut cat = frame.header.to_vec();
+            cat.extend_from_slice(&frame.payload);
+            assert_eq!(&cat[..], &p.encode()[..], "identical wire bytes");
+            assert_eq!(frame.len(), p.encoded_len());
+        }
+    }
+
+    #[test]
+    fn encode_vectored_payload_is_zero_copy() {
+        let data = Bytes::from(vec![0x5au8; 8192]);
+        let p = Packet::PageData {
+            from: HostId(1),
+            page: PageId::new(4),
+            length: PageLength::Full,
+            generation: Generation(9),
+            transfer_to: None,
+            data: data.clone(),
+        };
+        let frame = p.encode_vectored();
+        assert!(
+            frame.payload.shares_storage_with(&data),
+            "the 8 KiB payload is shared, not copied"
+        );
+        // And decode_frame hands the same storage onward.
+        let decoded = Packet::decode_frame(&frame).unwrap();
+        match &decoded {
+            Packet::PageData { data: d, .. } => {
+                assert!(d.shares_storage_with(&data), "decode adopts the segment")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn decode_frame_accepts_both_framings() {
+        for p in [sample_request(), sample_data(32), sample_data(8192)] {
+            // Vectored framing.
+            assert_eq!(Packet::decode_frame(&p.encode_vectored()).unwrap(), p);
+            // Contiguous datagram presented as a frame with an empty
+            // payload segment.
+            let flat = WireFrame {
+                header: p.encode(),
+                payload: Bytes::new(),
+            };
+            assert_eq!(Packet::decode_frame(&flat).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn decode_frame_rejects_malformed_frames() {
+        let good = sample_data(32).encode_vectored();
+        // Request header with a payload segment.
+        assert!(Packet::decode_frame(&WireFrame {
+            header: sample_request().encode(),
+            payload: Bytes::from(vec![0u8; 4]),
+        })
+        .is_err());
+        // Length field disagreeing with the payload segment.
+        assert!(Packet::decode_frame(&WireFrame {
+            header: good.header.clone(),
+            payload: Bytes::from(vec![0u8; 31]),
+        })
+        .is_err());
+        // Truncated header segment.
+        for cut in [0, 2, 10, good.header.len() - 1] {
+            assert!(
+                Packet::decode_frame(&WireFrame {
+                    header: good.header.slice(..cut),
+                    payload: good.payload.clone(),
+                })
+                .is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Stray bytes between the length field and the payload segment.
+        let mut fat = good.header.to_vec();
+        fat.push(0xff);
+        assert!(Packet::decode_frame(&WireFrame {
+            header: Bytes::from(fat),
+            payload: good.payload.clone(),
+        })
+        .is_err());
+        // The intact frame still decodes (the rejects above were real).
+        assert!(Packet::decode_frame(&good).is_ok());
     }
 
     proptest! {

@@ -7,13 +7,16 @@
 //! except the sender (hosts do not hear their own transmissions; the
 //! Mether page table ignores them anyway).
 //!
-//! Frames cross the wire as encoded bytes ([`mether_core::Packet::encode`])
-//! so the runtime exercises the same codec the paper's UDP implementation
-//! would — but each broadcast is **decoded exactly once**, on the wire
-//! thread, and the decoded packet is fanned out to the N−1 receiving
-//! endpoints as cheap clones whose page payload is a shared, zero-copy
-//! view of the datagram. Host load for a broadcast no longer scales with
-//! `receivers × PAGE_SIZE`.
+//! Frames cross the wire as the two-segment vectored encoding
+//! ([`mether_core::Packet::encode_vectored`]) so the runtime exercises
+//! the same codec the paper's UDP implementation would — but the
+//! transmit side never flattens the frame (the page payload segment is a
+//! zero-copy view of the sender's buffer), and each broadcast is
+//! **decoded exactly once**, on the wire thread, the decoded packet
+//! fanning out to the N−1 receiving endpoints as cheap clones whose page
+//! payload shares that same storage. Host load for a broadcast no longer
+//! scales with `receivers × PAGE_SIZE`, and the sender does no
+//! O(PAGE_SIZE) work either.
 
 use crate::stats::NetStats;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -86,7 +89,12 @@ impl Default for LanConfig {
 
 struct Frame {
     from: HostId,
-    bytes: bytes::Bytes,
+    /// The encoded datagram as a two-segment scatter/gather frame: the
+    /// page payload segment is a zero-copy view of the sender's buffer,
+    /// so handing a frame to the wire costs header bytes only — the
+    /// 8 KiB contiguous-datagram copy `Packet::encode` would make is
+    /// gone from the transmit path.
+    frame: mether_core::WireFrame,
     wire_size: usize,
 }
 
@@ -135,10 +143,12 @@ impl Lan {
                     let Some(inner) = weak.upgrade() else { break };
                     // Decode once per broadcast; every receiver gets a
                     // cheap clone whose payload is a zero-copy view of
-                    // the datagram. (A frame that fails to decode cannot
-                    // be produced by `Packet::encode`; it is dropped and
-                    // counted rather than crashing the segment.)
-                    match Packet::decode(&frame.bytes) {
+                    // the sender's own buffer (vectored framing end to
+                    // end). (A frame that fails to decode cannot be
+                    // produced by `Packet::encode_vectored`; it is
+                    // dropped and counted rather than crashing the
+                    // segment.)
+                    match Packet::decode_frame(&frame.frame) {
                         Ok(pkt) => {
                             let endpoints = inner.endpoints.lock();
                             for (host, tx) in endpoints.iter() {
@@ -213,7 +223,7 @@ impl Endpoint {
             .wire_tx
             .send(Frame {
                 from: self.host,
-                bytes: pkt.encode(),
+                frame: pkt.encode_vectored(),
                 wire_size: pkt.wire_size(),
             })
             .map_err(|_| Error::Disconnected)
@@ -375,6 +385,40 @@ mod tests {
         // b is gone; broadcasting must not error or hang.
         a.broadcast(&req(0)).unwrap();
         let _c = lan.endpoint(HostId(1)); // id reusable after detach
+    }
+
+    #[test]
+    fn corrupt_frame_is_counted_and_dropped_not_fatal() {
+        // The real wire-thread policy, end to end: a frame that fails to
+        // decode increments `NetStats::decode_errors`, reaches no
+        // receiver, and leaves the segment alive for later traffic.
+        // (The public `Endpoint::broadcast` only accepts well-formed
+        // `Packet`s, so the corrupt frame is injected at the same
+        // channel the endpoints feed.)
+        let lan = Lan::new(LanConfig::fast());
+        let a = lan.endpoint(HostId(0));
+        let b = lan.endpoint(HostId(1));
+        let sent = lan.inner.wire_tx.send(Frame {
+            from: HostId(0),
+            frame: mether_core::WireFrame {
+                header: bytes::Bytes::from(vec![0xffu8; 10]),
+                payload: bytes::Bytes::from(vec![0u8; 4]),
+            },
+            wire_size: 64,
+        });
+        assert!(sent.is_ok(), "wire thread alive");
+        assert!(
+            matches!(
+                b.recv_timeout(Duration::from_millis(100)),
+                Err(Error::Timeout)
+            ),
+            "corrupt frame must reach no receiver"
+        );
+        assert_eq!(lan.stats().decode_errors, 1, "decode failure counted");
+        // The segment survives: a good broadcast still goes through.
+        a.broadcast(&req(0)).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), req(0));
+        assert_eq!(lan.stats().decode_errors, 1);
     }
 
     #[test]

@@ -39,10 +39,13 @@ impl NodeInner {
         for fx in effects {
             match fx {
                 Effect::Send(pkt) => self.endpoint.broadcast(&pkt)?,
-                Effect::Wake(_) | Effect::ConsistentArrived(_) => {
+                Effect::Wake(_) | Effect::WakeAll(_) | Effect::ConsistentArrived(_) => {
                     // Individual waiter identities are not tracked in the
                     // threaded runtime: every blocked accessor re-checks
-                    // its own condition on wakeup.
+                    // its own condition on wakeup. A coalesced `WakeAll`
+                    // batch drains in this single `notify_all` — one
+                    // condvar storm per transit, however many accessors
+                    // the packet unblocked (previously one per waiter).
                     self.wakeups.notify_all();
                 }
                 Effect::ServerPurge(_) => {

@@ -634,6 +634,32 @@ impl HostSim {
         self.current = None;
     }
 
+    /// Unblocks process `w` (if still blocked): latency accounting, run
+    /// queue, and the one-shot sleeper boost.
+    fn wake_one(&mut self, now: SimTime, w: WaiterId) {
+        let proc = w as usize;
+        let p = &mut self.procs[proc];
+        if p.state == ProcState::Blocked {
+            p.state = ProcState::Ready;
+            if matches!(
+                p.blocked_kind,
+                Some(FaultKind::DemandFetch)
+                    | Some(FaultKind::DataWait)
+                    | Some(FaultKind::ConsistentFetch)
+            ) {
+                self.fault_latencies.push(now.since(p.blocked_at));
+            }
+            if p.blocked_kind == Some(FaultKind::PurgeWait) {
+                // The purge completed; do not re-execute it.
+                p.pending_op = None;
+                p.last = OpResult::Done;
+            }
+            p.blocked_kind = None;
+            self.run_queue.push_back(proc);
+            self.wake_boost = true;
+        }
+    }
+
     fn exec_server(&mut self, now: SimTime, work: ServerWork, actions: &mut Vec<HostAction>) {
         match work {
             ServerWork::SendPacket(pkt) => actions.push(HostAction::Transmit(pkt)),
@@ -671,27 +697,15 @@ impl HostSim {
                         self.push_server_work(now, ServerWork::SendPacket(pkt));
                     }
                 }
-                Effect::Wake(w) => {
-                    let proc = w as usize;
-                    let p = &mut self.procs[proc];
-                    if p.state == ProcState::Blocked {
-                        p.state = ProcState::Ready;
-                        if matches!(
-                            p.blocked_kind,
-                            Some(FaultKind::DemandFetch)
-                                | Some(FaultKind::DataWait)
-                                | Some(FaultKind::ConsistentFetch)
-                        ) {
-                            self.fault_latencies.push(now.since(p.blocked_at));
-                        }
-                        if p.blocked_kind == Some(FaultKind::PurgeWait) {
-                            // The purge completed; do not re-execute it.
-                            p.pending_op = None;
-                            p.last = OpResult::Done;
-                        }
-                        p.blocked_kind = None;
-                        self.run_queue.push_back(proc);
-                        self.wake_boost = true;
+                Effect::Wake(w) => self.wake_one(now, w),
+                Effect::WakeAll(set) => {
+                    // One coalesced batch per transit: every waiter the
+                    // packet satisfied joins the run queue in wake order,
+                    // in a single pass — the host's event-handling work
+                    // for a broadcast no longer scales with the number of
+                    // blocked processes.
+                    for w in set {
+                        self.wake_one(now, w);
                     }
                 }
                 Effect::ServerPurge(page) => {

@@ -2,10 +2,27 @@
 //!
 //! A [`Simulation`] owns the hosts and the Ethernet, and advances virtual
 //! time through a single event heap. Three event kinds exist: a host CPU
-//! finishing its current burst, a packet arriving at a host, and a sleep
-//! timer firing. Determinism: events at equal times are ordered by
-//! insertion sequence, and all randomness (loss injection) flows from the
+//! finishing its current burst, a packet transit completing delivery, and
+//! a sleep timer firing. Determinism: events at equal times are ordered
+//! by a monotonic insertion sequence (same-tick pops are insertion-order,
+//! never arbitrary), and all randomness (loss injection) flows from the
 //! seed in [`mether_net::EtherConfig`].
+//!
+//! # Per-transit delivery
+//!
+//! The paper's central cost argument is that a broadcast DSM keeps host
+//! load constant because *the network does the fan-out*: one frame on the
+//! Ethernet updates every snooping host, and no machine performs
+//! per-recipient work to make that happen. The event engine mirrors this:
+//! one broadcast is **one** [`Deliver`](Recipients) event carrying one
+//! `Arc<Packet>` plus a [`Recipients`] set, fanned out to the snooping
+//! hosts at pop time. The heap holds O(transits) events rather than
+//! O(transits × hosts) — on a 16-host broadcast-heavy run the heap (and
+//! the push/sift work feeding it) shrinks ~15×, which is exactly the
+//! steady-state O(1)-per-broadcast behaviour the paper claims for its
+//! hosts. [`DeliveryMode::PerHostCompat`] preserves the old
+//! one-event-per-recipient schedule solely so regression tests can pin
+//! the two orderings to identical outcomes.
 
 use crate::calib::Calib;
 use crate::host::{HostAction, HostSim};
@@ -70,16 +87,49 @@ pub struct RunOutcome {
     pub events: u64,
 }
 
+/// The hosts one popped transit delivers to.
+///
+/// A broadcast Ethernet has no per-recipient state: every NIC on the
+/// segment hears every frame. `Recipients` keeps that O(1) on the event
+/// heap — the common case is [`Recipients::AllExcept`] (everyone snoops,
+/// the sender ignores its own frame), which costs two words however many
+/// hosts share the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recipients {
+    /// Every host on the segment except the sender — the broadcast case.
+    AllExcept(usize),
+    /// Exactly one host. Used by [`DeliveryMode::PerHostCompat`] (one
+    /// event per recipient, the pre-overhaul schedule) and available for
+    /// future unicast transports.
+    One(usize),
+}
+
+/// How packet transits become host deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// One `Deliver` event per transit; the recipient set fans out at pop
+    /// time. Heap growth per broadcast is O(1).
+    #[default]
+    PerTransit,
+    /// One `Deliver` event per recipient, reproducing the pre-overhaul
+    /// O(hosts)-events-per-broadcast schedule. Kept (and exercised by
+    /// the seed-regression tests) to pin the refactor to byte-identical
+    /// outcomes; delivery order is provably the same, so both modes must
+    /// produce identical page states and metrics for any seed.
+    PerHostCompat,
+}
+
 #[derive(Debug)]
 enum EvKind {
     BurstEnd {
         host: usize,
     },
-    /// One broadcast, delivered to every host as a shared reference: the
-    /// packet (and its page payload) is materialised once per transit,
-    /// not once per snooping host.
-    PacketArrive {
-        host: usize,
+    /// One transit finishing delivery: the packet (and its page payload)
+    /// is materialised once, shared by reference with every recipient,
+    /// and fanned out when the event pops — the heap never carries
+    /// per-recipient arrival events in [`DeliveryMode::PerTransit`].
+    Deliver {
+        to: Recipients,
         pkt: Arc<Packet>,
     },
     Timer {
@@ -112,6 +162,21 @@ impl Ord for Ev {
     }
 }
 
+/// Event-heap traffic counters (diagnostics; the broadcast-heap bench
+/// and the per-transit acceptance tests read these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Total events pushed onto the heap.
+    pub heap_pushes: u64,
+    /// Events pushed specifically to deliver packet transits (the
+    /// component the per-transit overhaul shrinks by ~hosts×).
+    pub delivery_pushes: u64,
+    /// Packet transits that reached at least one recipient.
+    pub transits: u64,
+    /// Peak heap depth observed.
+    pub max_heap_depth: usize,
+}
+
 /// A complete simulated deployment, ready to run.
 pub struct Simulation {
     hosts: Vec<HostSim>,
@@ -119,6 +184,8 @@ pub struct Simulation {
     events: BinaryHeap<Ev>,
     seq: u64,
     now: SimTime,
+    delivery: DeliveryMode,
+    ev_stats: EventStats,
 }
 
 impl Simulation {
@@ -138,7 +205,22 @@ impl Simulation {
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            delivery: DeliveryMode::default(),
+            ev_stats: EventStats::default(),
         }
+    }
+
+    /// Selects how transits are scheduled (see [`DeliveryMode`]). The
+    /// default, [`DeliveryMode::PerTransit`], is what production runs
+    /// use; [`DeliveryMode::PerHostCompat`] exists for the seed-pinned
+    /// regression tests. Call before [`Simulation::run`].
+    pub fn set_delivery_mode(&mut self, mode: DeliveryMode) {
+        self.delivery = mode;
+    }
+
+    /// Event-heap traffic counters so far.
+    pub fn event_stats(&self) -> EventStats {
+        self.ev_stats
     }
 
     /// Adds an application process to `host`; returns its process index.
@@ -169,7 +251,12 @@ impl Simulation {
     fn push(&mut self, at: SimTime, kind: EvKind) {
         let seq = self.seq;
         self.seq += 1;
+        self.ev_stats.heap_pushes += 1;
+        if matches!(kind, EvKind::Deliver { .. }) {
+            self.ev_stats.delivery_pushes += 1;
+        }
         self.events.push(Ev { at, seq, kind });
+        self.ev_stats.max_heap_depth = self.ev_stats.max_heap_depth.max(self.events.len());
     }
 
     /// Dispatches `host` if its CPU is idle, scheduling the burst end and
@@ -189,20 +276,43 @@ impl Simulation {
                 HostAction::Transmit(pkt) => {
                     let tx = self.ether.transmit(self.now, &pkt);
                     if let Some(at) = tx.delivered_at {
-                        // Fan out one shared packet to the N−1 snooping
-                        // hosts: each arrival event costs a refcount bump,
-                        // never a payload copy.
                         let from = pkt.from().0 as usize;
+                        if self.hosts.len() <= 1 {
+                            continue; // nobody on the segment to snoop
+                        }
+                        self.ev_stats.transits += 1;
                         let shared = Arc::new(pkt);
-                        for h in 0..self.hosts.len() {
-                            if h != from {
+                        match self.delivery {
+                            DeliveryMode::PerTransit => {
+                                // One heap event per transit, however
+                                // many hosts snoop it: the network does
+                                // the fan-out (at pop time), not the
+                                // event queue.
                                 self.push(
                                     at,
-                                    EvKind::PacketArrive {
-                                        host: h,
-                                        pkt: Arc::clone(&shared),
+                                    EvKind::Deliver {
+                                        to: Recipients::AllExcept(from),
+                                        pkt: shared,
                                     },
                                 );
+                            }
+                            DeliveryMode::PerHostCompat => {
+                                // Pre-overhaul schedule: N−1 arrival
+                                // events with consecutive sequence
+                                // numbers. They pop contiguously in host
+                                // order — exactly the order the
+                                // per-transit fan-out walks.
+                                for h in 0..self.hosts.len() {
+                                    if h != from {
+                                        self.push(
+                                            at,
+                                            EvKind::Deliver {
+                                                to: Recipients::One(h),
+                                                pkt: Arc::clone(&shared),
+                                            },
+                                        );
+                                    }
+                                }
                             }
                         }
                     }
@@ -235,10 +345,32 @@ impl Simulation {
                     self.apply(actions);
                     self.kick(host);
                 }
-                EvKind::PacketArrive { host, pkt } => {
-                    self.hosts[host].deliver_packet(self.now, pkt);
-                    self.kick(host);
-                }
+                EvKind::Deliver { to, pkt } => match to {
+                    Recipients::One(h) => {
+                        self.hosts[h].deliver_packet(self.now, pkt);
+                        self.kick(h);
+                    }
+                    Recipients::AllExcept(from) => {
+                        // Fan out at pop time, in host order — the same
+                        // order the per-host schedule pops its
+                        // consecutive-sequence arrival events in. The
+                        // early exit mirrors the compat schedule too: it
+                        // stops consuming events the moment every
+                        // process is done, abandoning undelivered
+                        // arrivals just as run() would abandon them on
+                        // the heap.
+                        for h in 0..self.hosts.len() {
+                            if h == from {
+                                continue;
+                            }
+                            self.hosts[h].deliver_packet(self.now, Arc::clone(&pkt));
+                            self.kick(h);
+                            if self.hosts.iter().all(HostSim::all_done) {
+                                break;
+                            }
+                        }
+                    }
+                },
                 EvKind::Timer { host, proc } => {
                     self.hosts[host].timer_fired(proc);
                     self.kick(host);
@@ -334,5 +466,58 @@ impl std::fmt::Debug for Simulation {
             self.now,
             self.events.len()
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_nanos: u64, seq: u64) -> Ev {
+        Ev {
+            at: SimTime::ZERO + SimDuration::from_nanos(at_nanos),
+            seq,
+            kind: EvKind::BurstEnd { host: 0 },
+        }
+    }
+
+    #[test]
+    fn same_timestamp_events_pop_in_insertion_order() {
+        // The regression this pins: with only `at` in the ordering, a
+        // max-heap's pop order for equal keys is unspecified — same-tick
+        // delivery order would depend on heap internals (and silently
+        // change with capacity, insertion history, or std's sift
+        // implementation). The monotonic `seq` tiebreaker makes equal
+        // times pop strictly in insertion order. Push in an adversarial
+        // (non-sorted, non-reverse) order to catch a heap that "usually"
+        // gets it right.
+        let mut heap = BinaryHeap::new();
+        for seq in [3u64, 0, 4, 1, 2] {
+            heap.push(ev(100, seq));
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.seq).collect();
+        assert_eq!(popped, vec![0, 1, 2, 3, 4], "insertion order at one tick");
+    }
+
+    #[test]
+    fn earlier_timestamp_beats_any_sequence() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(200, 0)); // inserted first, fires later
+        heap.push(ev(100, 1));
+        assert_eq!(heap.pop().unwrap().seq, 1, "time dominates the tiebreak");
+        assert_eq!(heap.pop().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_across_pushes() {
+        let mut sim = Simulation::new(SimConfig::paper(2));
+        sim.push(SimTime::ZERO, EvKind::BurstEnd { host: 0 });
+        sim.push(SimTime::ZERO, EvKind::BurstEnd { host: 1 });
+        sim.push(SimTime::ZERO, EvKind::Timer { host: 0, proc: 0 });
+        let seqs: Vec<u64> = std::iter::from_fn(|| sim.events.pop())
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(sim.event_stats().heap_pushes, 3);
     }
 }

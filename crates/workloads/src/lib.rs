@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod counting;
 pub mod protocols;
+pub mod publisher;
 pub mod solver;
 
 pub use ablations::{
@@ -15,6 +16,7 @@ pub use ablations::{
 };
 pub use counting::{CountingConfig, DisjointPageCounter, LossPolicy, SharedPageCounter};
 pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
+pub use publisher::{build_publisher_sim, Publisher};
 pub use solver::{
     jacobi_step, run_solver_speedup, SolverConfig, SolverWorker, SparseMatrix, SpeedupPoint,
 };

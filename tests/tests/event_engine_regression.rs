@@ -1,0 +1,230 @@
+//! Deterministic-seed regression tests pinning the per-transit event
+//! engine to the per-host schedule it replaced.
+//!
+//! The overhaul collapsed the N−1 per-host arrival events of a broadcast
+//! into one `Deliver` event that fans out at pop time
+//! ([`DeliveryMode::PerTransit`]). The old schedule survives as
+//! [`DeliveryMode::PerHostCompat`] precisely so these tests can assert
+//! the strongest possible property: for the paper's workloads, at fixed
+//! seeds (including lossy-network seeds), the two schedules produce
+//! **identical final page states and identical metrics** — same page
+//! bytes, generations and holders on every host, same virtual wall
+//! clock, CPU split, context switches, fault latencies, and traffic
+//! counters. Any divergence in same-tick delivery order, wake order, or
+//! loss-injection alignment would show up here as a fingerprint
+//! mismatch.
+//!
+//! The heap-shrink acceptance criterion rides along: on a 16-host
+//! broadcast-heavy run, per-transit delivery must push at least 4× fewer
+//! delivery events than the per-host schedule (it pushes hosts−1×
+//! fewer).
+
+use mether_core::PageId;
+use mether_net::SimDuration;
+use mether_sim::{DeliveryMode, ProtocolMetrics, RunLimits, SimConfig, Simulation};
+use mether_workloads::{
+    build_counting, build_publisher_sim, CountingConfig, Protocol, SolverConfig, SolverWorker,
+};
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+/// FNV-1a over a byte slice — cheap, deterministic content digest.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Everything observable about a finished simulation, flattened to a
+/// comparable string: per-host page-table state first, then the full
+/// metrics row (floats compared bit-exactly via `to_bits`, which also
+/// makes NaN-valued per-addition ratios comparable).
+fn fingerprint(sim: &Simulation, hosts: usize, m: &ProtocolMetrics) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for h in 0..hosts {
+        let host = sim.host(h);
+        writeln!(
+            out,
+            "host{h}: ctx={} server_ns={} latencies={} max_q={}",
+            host.ctx_switches,
+            host.server_time.as_nanos(),
+            host.fault_latencies.len(),
+            host.max_server_queue,
+        )
+        .unwrap();
+        writeln!(out, "  table_stats={:?}", host.table.stats()).unwrap();
+        for page in host.table.tracked_pages() {
+            let buf = host.table.page_buf(page);
+            writeln!(
+                out,
+                "  page{}: gen={:?} holder={} locked={} purge_pending={} valid={:?} digest={:016x}",
+                page.index(),
+                host.table.generation(page),
+                host.table.is_consistent_holder(page),
+                host.table.is_locked(page),
+                host.table.purge_pending(page),
+                buf.map(|b| b.valid_len()),
+                buf.map_or(0, |b| fnv(b.as_slice())),
+            )
+            .unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "metrics: finished={} wall={} user={} sys={} net={:?} load={:016x} bpa={:016x} ctx={} cpa={:016x} lat={} losses={} wins={} additions={} space={} max_q={}",
+        m.finished,
+        m.wall.as_nanos(),
+        m.user.as_nanos(),
+        m.sys.as_nanos(),
+        m.net,
+        m.net_load_bps.to_bits(),
+        m.bytes_per_addition.to_bits(),
+        m.ctx_switches,
+        m.ctx_per_addition.to_bits(),
+        m.avg_latency.as_nanos(),
+        m.losses,
+        m.wins,
+        m.additions,
+        m.space_pages,
+        m.max_server_queue,
+    )
+    .unwrap();
+    out
+}
+
+/// Runs `protocol` at `seed` (lossy 10 Mbit Ethernet) under `mode` and
+/// returns the full fingerprint.
+fn counting_fingerprint(protocol: Protocol, seed: u64, mode: DeliveryMode) -> String {
+    let cfg = CountingConfig {
+        target: 192,
+        processes: 2,
+        spin: SimDuration::from_micros(48),
+    };
+    let mut sim_cfg = SimConfig::paper(2);
+    sim_cfg.ether = sim_cfg.ether.with_loss(0.02, seed);
+    let mut sim = build_counting(protocol, &cfg, sim_cfg);
+    sim.set_delivery_mode(mode);
+    let limits = RunLimits {
+        max_sim_time: SimDuration::from_secs(120),
+        ..RunLimits::default()
+    };
+    let outcome = sim.run(limits);
+    let m = sim.metrics(&protocol.label(), outcome.finished, protocol.space_pages());
+    fingerprint(&sim, 2, &m)
+}
+
+/// Runs the distributed solver at `seed` under `mode`.
+fn solver_fingerprint(seed: u64, mode: DeliveryMode) -> String {
+    const WORKERS: usize = 3;
+    let cfg = SolverConfig {
+        iterations: 6,
+        work_per_iteration: SimDuration::from_millis(20),
+    };
+    let mut sim_cfg = SimConfig::paper(WORKERS);
+    sim_cfg.ether = sim_cfg.ether.with_loss(0.01, seed);
+    let mut sim = Simulation::new(sim_cfg);
+    sim.set_delivery_mode(mode);
+    for rank in 0..WORKERS {
+        sim.create_owned(rank, PageId::new(rank as u32));
+        sim.add_process(rank, Box::new(SolverWorker::new(cfg, rank, WORKERS)));
+    }
+    let outcome = sim.run(RunLimits::default());
+    let m = sim.metrics("solver", outcome.finished, WORKERS as u32);
+    fingerprint(&sim, WORKERS, &m)
+}
+
+#[test]
+fn counting_workloads_identical_across_delivery_modes_at_fixed_seeds() {
+    // P1 ping-pongs the consistent copy (request/transfer broadcasts);
+    // P5 is the paper's final protocol (purge broadcasts + data-driven
+    // waits) — together they cover every packet kind and wake path.
+    for protocol in [Protocol::P1, Protocol::P5] {
+        for seed in SEEDS {
+            let compat = counting_fingerprint(protocol, seed, DeliveryMode::PerHostCompat);
+            let transit = counting_fingerprint(protocol, seed, DeliveryMode::PerTransit);
+            assert_eq!(
+                compat, transit,
+                "{protocol:?} seed {seed}: per-transit delivery diverged from the per-host schedule"
+            );
+        }
+    }
+}
+
+#[test]
+fn counting_runs_are_reproducible_at_a_fixed_seed() {
+    // Belt and braces for the comparison above: the same mode twice at
+    // the same seed is bit-identical (no hidden nondeterminism that the
+    // cross-mode assertion could be accidentally insensitive to).
+    let a = counting_fingerprint(Protocol::P5, SEEDS[0], DeliveryMode::PerTransit);
+    let b = counting_fingerprint(Protocol::P5, SEEDS[0], DeliveryMode::PerTransit);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn solver_workload_identical_across_delivery_modes_at_fixed_seeds() {
+    for seed in SEEDS {
+        let compat = solver_fingerprint(seed, DeliveryMode::PerHostCompat);
+        let transit = solver_fingerprint(seed, DeliveryMode::PerTransit);
+        assert_eq!(
+            compat, transit,
+            "solver seed {seed}: per-transit delivery diverged from the per-host schedule"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heap-shrink acceptance: one writer broadcasting to 15 snooping hosts.
+// The workload is `mether_workloads::Publisher` — shared with the
+// `event_queue/broadcast_heap_16` microbench so the baseline numbers
+// measure exactly what this test pins.
+// ---------------------------------------------------------------------
+
+fn broadcast_heavy_run(mode: DeliveryMode) -> (Simulation, ProtocolMetrics) {
+    let mut sim = build_publisher_sim(16, 64);
+    sim.set_delivery_mode(mode);
+    let outcome = sim.run(RunLimits::default());
+    assert!(outcome.finished, "publisher must complete its 64 cycles");
+    let m = sim.metrics("broadcast-heavy", outcome.finished, 1);
+    (sim, m)
+}
+
+#[test]
+fn per_transit_delivery_shrinks_heap_pushes_at_least_4x_on_16_hosts() {
+    let (compat_sim, compat_m) = broadcast_heavy_run(DeliveryMode::PerHostCompat);
+    let (transit_sim, transit_m) = broadcast_heavy_run(DeliveryMode::PerTransit);
+    let compat = compat_sim.event_stats();
+    let transit = transit_sim.event_stats();
+
+    // Same traffic on the wire...
+    assert_eq!(compat.transits, transit.transits);
+    assert!(compat.transits >= 64, "every purge cycle broadcast");
+    // ...but the per-transit heap carries one delivery event per
+    // broadcast instead of hosts−1.
+    assert_eq!(compat.delivery_pushes, compat.transits * 15);
+    assert_eq!(transit.delivery_pushes, transit.transits);
+    let ratio = compat.delivery_pushes as f64 / transit.delivery_pushes as f64;
+    assert!(
+        ratio >= 4.0,
+        "delivery pushes per broadcast must shrink ≥4× (got {ratio:.1}×)"
+    );
+    assert!(
+        transit.heap_pushes < compat.heap_pushes,
+        "total heap traffic shrinks too ({} vs {})",
+        transit.heap_pushes,
+        compat.heap_pushes
+    );
+    assert!(
+        transit.max_heap_depth <= compat.max_heap_depth,
+        "peak heap depth never grows"
+    );
+
+    // And the outcome is still byte-identical.
+    assert_eq!(
+        fingerprint(&compat_sim, 16, &compat_m),
+        fingerprint(&transit_sim, 16, &transit_m)
+    );
+}

@@ -118,7 +118,7 @@ impl World {
                     // Wake effects need no action here: retries are
                     // driven by the op generator.
                 }
-                Effect::Wake(_) | Effect::ConsistentArrived(_) => {}
+                Effect::Wake(_) | Effect::WakeAll(_) | Effect::ConsistentArrived(_) => {}
             }
         }
     }

@@ -29,9 +29,25 @@ pub struct Bencher {
     iters: u64,
 }
 
+/// True when the binary was invoked with `--test` (cargo forwards
+/// everything after `--` to the bench binary): smoke mode, where each
+/// benchmark body runs exactly once with no warm-up or timing. CI uses
+/// this to catch bench rot (benches that no longer compile or panic)
+/// without paying for a measurement run.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 impl Bencher {
-    /// Times `f`, recording the mean cost of one call.
+    /// Times `f`, recording the mean cost of one call. In `--test` smoke
+    /// mode, runs `f` once and records nothing.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if smoke_mode() {
+            std::hint::black_box(f());
+            self.ns_per_iter = 0.0;
+            self.iters = 1;
+            return;
+        }
         // Warm-up: one call always; keep warming until ~20 ms has passed
         // or a handful of calls have run.
         let warm_budget = Duration::from_millis(20);
@@ -73,6 +89,10 @@ fn report(group: Option<&str>, name: &str, throughput: Option<Throughput>, b: &B
         Some(g) => format!("{g}/{name}"),
         None => name.to_string(),
     };
+    if smoke_mode() {
+        println!("{full:<44} smoke ok (1 iteration)");
+        return;
+    }
     let rate = match throughput {
         Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
             format!(

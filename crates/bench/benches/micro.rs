@@ -6,11 +6,12 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use mether_core::{
-    Effect, Generation, HostId, MapMode, MetherConfig, Packet, PageBuf, PageId, PageLength,
-    PageTable, VAddr, View, WakeSet, Want,
+    Effect, Generation, HostId, HostMask, MapMode, MetherConfig, Packet, PageBuf, PageHomePolicy,
+    PageId, PageLength, PageTable, SegmentLayout, VAddr, View, WakeSet, Want,
 };
+use mether_net::{Bridge, BridgeConfig, SimDuration, SimTime};
 use mether_sim::{DeliveryMode, RunLimits};
-use mether_workloads::build_publisher_sim;
+use mether_workloads::{build_publisher_sim, build_segmented_publisher};
 use std::hint::black_box;
 
 fn bench_addr(c: &mut Criterion) {
@@ -379,6 +380,64 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
+/// The multi-segment topology: the acceptance workload end to end (32
+/// hosts flat vs 4×8 bridged — same broadcasts, ~4× fewer snoops per
+/// host, see `tests/tests/segmented_topology.rs`), the bridge's
+/// per-frame forwarding decision, and the `HostMask` fan-out iteration
+/// behind `Recipients::Subset`.
+fn bench_segments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segments");
+    g.bench_function("publisher_flat_32", |b| {
+        b.iter(|| {
+            let mut sim = build_publisher_sim(32, 16);
+            sim.run(RunLimits::default());
+            black_box(sim.event_stats().heap_pushes)
+        })
+    });
+    g.bench_function("publisher_4x8", |b| {
+        b.iter(|| {
+            let mut sim = build_segmented_publisher(4, 8, 16);
+            sim.run(RunLimits::default());
+            black_box(sim.event_stats().heap_pushes)
+        })
+    });
+    g.bench_function("bridge_pickup_data", |b| {
+        // One forwarded data frame per pickup: route through the
+        // interest tables + schedule one egress copy (page 1 is homed
+        // off the source segment, so every pickup forwards).
+        let layout = SegmentLayout::new(32, 4).unwrap();
+        let mut bridge = Bridge::new(
+            layout,
+            PageHomePolicy::Striped,
+            BridgeConfig::typical().with_queue_frames(usize::MAX),
+        );
+        let pkt = Packet::PageData {
+            from: HostId(0),
+            page: PageId::new(1),
+            length: PageLength::Short,
+            generation: Generation(1),
+            transfer_to: None,
+            data: Bytes::from(vec![7u8; 32]),
+        };
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_millis(1);
+            black_box(bridge.pickup(&pkt, 0, now).len())
+        })
+    });
+    g.bench_function("hostmask_iter_8_of_128", |b| {
+        let mask = HostMask::range(56, 64);
+        b.iter(|| {
+            let mut sum = 0usize;
+            for h in mask {
+                sum += h;
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_addr,
@@ -387,6 +446,7 @@ criterion_group!(
     bench_fanout,
     bench_table,
     bench_wake,
-    bench_event_queue
+    bench_event_queue,
+    bench_segments
 );
 criterion_main!(benches);

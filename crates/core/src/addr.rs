@@ -302,6 +302,208 @@ impl fmt::Display for VAddr {
     }
 }
 
+/// A set of host indices as a `u128` bitmask.
+///
+/// The multi-segment network needs to say "this transit is snooped by
+/// exactly the hosts on segment 3" without putting a heap-allocated set
+/// on every delivery event. `HostMask` keeps that O(1)-sized and `Copy`:
+/// membership is a bit test, iteration visits set bits in ascending host
+/// order via `trailing_zeros` (O(set bits), not O(capacity)), and the
+/// whole set is two machine words. The same type doubles as a *segment*
+/// mask inside the bridge's forwarding tables — a segment index is just
+/// a smaller host-like index.
+///
+/// Capacity is [`HostMask::CAPACITY`] (128) indices; constructors panic
+/// beyond it, which is far above the paper's testbed and the simulator's
+/// practical host counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct HostMask(u128);
+
+impl HostMask {
+    /// Highest index (exclusive) a mask can hold.
+    pub const CAPACITY: usize = 128;
+
+    /// The empty set.
+    pub const EMPTY: HostMask = HostMask(0);
+
+    /// The set `{0, 1, …, n−1}` — every host of an `n`-host deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > CAPACITY`.
+    pub fn all_below(n: usize) -> HostMask {
+        assert!(
+            n <= Self::CAPACITY,
+            "host index range {n} > {}",
+            Self::CAPACITY
+        );
+        if n == Self::CAPACITY {
+            HostMask(u128::MAX)
+        } else {
+            HostMask((1u128 << n) - 1)
+        }
+    }
+
+    /// The broadcast set of an `n`-host segment: everyone except `sender`
+    /// (a NIC does not hear its own frame). Equivalent to what
+    /// `Recipients::AllExcept(sender)` denotes on a flat `n`-host segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > CAPACITY`.
+    pub fn all_except(n: usize, sender: usize) -> HostMask {
+        let mut m = Self::all_below(n);
+        if sender < Self::CAPACITY {
+            m.remove(sender);
+        }
+        m
+    }
+
+    /// The singleton set `{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= CAPACITY`.
+    pub fn single(i: usize) -> HostMask {
+        let mut m = HostMask::EMPTY;
+        m.insert(i);
+        m
+    }
+
+    /// The set `{lo, …, hi−1}` (contiguous segment membership).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi > CAPACITY` or `lo > hi`.
+    pub fn range(lo: usize, hi: usize) -> HostMask {
+        assert!(lo <= hi, "inverted range {lo}..{hi}");
+        HostMask(Self::all_below(hi).0 & !Self::all_below(lo).0)
+    }
+
+    /// Adds `i` to the set (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= CAPACITY`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < Self::CAPACITY, "host index {i} >= {}", Self::CAPACITY);
+        self.0 |= 1u128 << i;
+    }
+
+    /// Removes `i` from the set (idempotent; out-of-range is a no-op).
+    pub fn remove(&mut self, i: usize) {
+        if i < Self::CAPACITY {
+            self.0 &= !(1u128 << i);
+        }
+    }
+
+    /// `self` with `i` removed (builder form of [`HostMask::remove`]).
+    #[must_use]
+    pub fn without(mut self, i: usize) -> HostMask {
+        self.remove(i);
+        self
+    }
+
+    /// Is `i` in the set?
+    pub fn contains(self, i: usize) -> bool {
+        i < Self::CAPACITY && self.0 & (1u128 << i) != 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no host is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: HostMask) -> HostMask {
+        HostMask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: HostMask) -> HostMask {
+        HostMask(self.0 & other.0)
+    }
+
+    /// Members of `self` not in `other`.
+    #[must_use]
+    pub fn difference(self, other: HostMask) -> HostMask {
+        HostMask(self.0 & !other.0)
+    }
+
+    /// The raw bits (bit `i` set ⇔ host `i` in the set).
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Iterates the members in ascending index order, O(members) via
+    /// trailing-zero counts.
+    pub fn iter(self) -> HostMaskIter {
+        HostMaskIter(self.0)
+    }
+}
+
+impl FromIterator<usize> for HostMask {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut m = HostMask::EMPTY;
+        for i in iter {
+            m.insert(i);
+        }
+        m
+    }
+}
+
+impl IntoIterator for HostMask {
+    type Item = usize;
+    type IntoIter = HostMaskIter;
+    fn into_iter(self) -> HostMaskIter {
+        self.iter()
+    }
+}
+
+/// Ascending-order iterator over a [`HostMask`] (see [`HostMask::iter`]).
+#[derive(Debug, Clone)]
+pub struct HostMaskIter(u128);
+
+impl Iterator for HostMaskIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1; // clear lowest set bit
+        Some(i)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for HostMaskIter {}
+
+impl fmt::Display for HostMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +620,83 @@ mod tests {
             let va = VAddr::new(PageId::new(a), View::full_demand(), 0).unwrap();
             let vb = VAddr::new(PageId::new(b), View::full_demand(), 0).unwrap();
             prop_assert_ne!(va.raw(), vb.raw());
+        }
+    }
+
+    #[test]
+    fn hostmask_basic_set_operations() {
+        let mut m = HostMask::EMPTY;
+        assert!(m.is_empty());
+        m.insert(3);
+        m.insert(120);
+        m.insert(3); // idempotent
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(3) && m.contains(120));
+        assert!(!m.contains(4));
+        m.remove(3);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![120]);
+        m.remove(999); // out of range is a no-op
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn hostmask_constructors() {
+        assert_eq!(HostMask::all_below(0), HostMask::EMPTY);
+        assert_eq!(HostMask::all_below(128).len(), 128);
+        assert_eq!(
+            HostMask::all_except(4, 1).iter().collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        assert_eq!(
+            HostMask::range(8, 12).iter().collect::<Vec<_>>(),
+            vec![8, 9, 10, 11]
+        );
+        assert_eq!(HostMask::range(5, 5), HostMask::EMPTY);
+        assert_eq!(HostMask::single(7).iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn hostmask_algebra() {
+        let a = HostMask::from_iter([1usize, 2, 3]);
+        let b = HostMask::from_iter([3usize, 4]);
+        assert_eq!(a.union(b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(a.intersection(b).iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(a.without(2).iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn hostmask_iteration_is_ascending_and_exact() {
+        let m = HostMask::from_iter([127usize, 0, 64, 63, 1]);
+        let it = m.iter();
+        assert_eq!(it.len(), 5);
+        assert_eq!(it.collect::<Vec<_>>(), vec![0, 1, 63, 64, 127]);
+        assert_eq!(m.to_string(), "{0,1,63,64,127}");
+    }
+
+    #[test]
+    #[should_panic(expected = "host index")]
+    fn hostmask_rejects_out_of_range_insert() {
+        let mut m = HostMask::EMPTY;
+        m.insert(128);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hostmask_iter_is_sorted_dedup(xs in proptest::collection::vec(0usize..128, 0..40)) {
+            let m: HostMask = xs.iter().copied().collect();
+            let mut expect = xs.clone();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(m.iter().collect::<Vec<_>>(), expect.clone());
+            prop_assert_eq!(m.len(), expect.len());
+        }
+
+        #[test]
+        fn prop_hostmask_all_except_matches_filter(n in 1usize..128, sender in 0usize..128) {
+            let m = HostMask::all_except(n, sender);
+            let expect: Vec<usize> = (0..n).filter(|&h| h != sender).collect();
+            prop_assert_eq!(m.iter().collect::<Vec<_>>(), expect);
         }
     }
 }

@@ -104,6 +104,115 @@ impl Default for MetherConfig {
     }
 }
 
+/// How a deployment's hosts are divided into bridged Ethernet segments.
+///
+/// Hosts are assigned to segments in contiguous blocks (hosts `0..k` on
+/// segment 0, the next block on segment 1, …), with any remainder spread
+/// one-per-segment across the leading segments. The layout is pure
+/// arithmetic — both the discrete-event simulator and the threaded
+/// runtime derive their per-segment wiring from it, so "which segment
+/// does host 12 sit on" has exactly one answer across the codebase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentLayout {
+    hosts: usize,
+    segments: usize,
+}
+
+impl SegmentLayout {
+    /// A layout of `hosts` workstations over `segments` bridged segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidConfig`] if either count is zero,
+    /// there are more segments than hosts, or `hosts` exceeds
+    /// [`crate::HostMask::CAPACITY`] (the per-segment snoop sets are host
+    /// bitmasks).
+    pub fn new(hosts: usize, segments: usize) -> crate::Result<Self> {
+        if hosts == 0 || segments == 0 {
+            return Err(crate::Error::InvalidConfig(
+                "a layout needs at least one host and one segment".into(),
+            ));
+        }
+        if segments > hosts {
+            return Err(crate::Error::InvalidConfig(format!(
+                "{segments} segments but only {hosts} hosts"
+            )));
+        }
+        if hosts > crate::HostMask::CAPACITY {
+            return Err(crate::Error::InvalidConfig(format!(
+                "{hosts} hosts exceeds the {}-host mask capacity",
+                crate::HostMask::CAPACITY
+            )));
+        }
+        Ok(SegmentLayout { hosts, segments })
+    }
+
+    /// A single flat segment holding every host (the paper's testbed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidConfig`] under the same conditions
+    /// as [`SegmentLayout::new`].
+    pub fn flat(hosts: usize) -> crate::Result<Self> {
+        Self::new(hosts, 1)
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// First host index of segment `seg` (blocks are contiguous).
+    fn block_start(&self, seg: usize) -> usize {
+        let base = self.hosts / self.segments;
+        let rem = self.hosts % self.segments;
+        seg * base + seg.min(rem)
+    }
+
+    /// The segment host `host` sits on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn segment_of(&self, host: usize) -> usize {
+        assert!(host < self.hosts, "host {host} >= {}", self.hosts);
+        let base = self.hosts / self.segments;
+        let rem = self.hosts % self.segments;
+        // The first `rem` segments hold `base + 1` hosts each.
+        let fat = rem * (base + 1);
+        if host < fat {
+            host / (base + 1)
+        } else {
+            rem + (host - fat) / base
+        }
+    }
+
+    /// The hosts on segment `seg`, as a contiguous index range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn members_range(&self, seg: usize) -> std::ops::Range<usize> {
+        assert!(seg < self.segments, "segment {seg} >= {}", self.segments);
+        self.block_start(seg)..self.block_start(seg + 1)
+    }
+
+    /// The hosts on segment `seg`, as a snoop mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn members(&self, seg: usize) -> crate::HostMask {
+        let r = self.members_range(seg);
+        crate::HostMask::range(r.start, r.end)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +271,55 @@ mod tests {
     // through a tiny hand-rolled serializer shim instead.
     fn serde_json_like(c: &MetherConfig) -> String {
         format!("{c:?}")
+    }
+
+    #[test]
+    fn segment_layout_validation() {
+        assert!(SegmentLayout::new(8, 0).is_err());
+        assert!(SegmentLayout::new(0, 1).is_err());
+        assert!(
+            SegmentLayout::new(3, 4).is_err(),
+            "more segments than hosts"
+        );
+        assert!(SegmentLayout::new(129, 2).is_err(), "beyond mask capacity");
+        assert!(SegmentLayout::new(128, 4).is_ok());
+    }
+
+    #[test]
+    fn segment_layout_even_blocks() {
+        let l = SegmentLayout::new(32, 4).unwrap();
+        assert_eq!(l.members_range(0), 0..8);
+        assert_eq!(l.members_range(3), 24..32);
+        assert_eq!(l.segment_of(0), 0);
+        assert_eq!(l.segment_of(7), 0);
+        assert_eq!(l.segment_of(8), 1);
+        assert_eq!(l.segment_of(31), 3);
+        assert_eq!(
+            l.members(1).iter().collect::<Vec<_>>(),
+            (8..16).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn segment_layout_remainder_spreads_over_leading_segments() {
+        // 10 hosts over 3 segments: 4 + 3 + 3.
+        let l = SegmentLayout::new(10, 3).unwrap();
+        assert_eq!(l.members_range(0), 0..4);
+        assert_eq!(l.members_range(1), 4..7);
+        assert_eq!(l.members_range(2), 7..10);
+        // segment_of agrees with the ranges for every host.
+        for seg in 0..3 {
+            for h in l.members_range(seg) {
+                assert_eq!(l.segment_of(h), seg, "host {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_layout_flat_is_one_block() {
+        let l = SegmentLayout::flat(16).unwrap();
+        assert_eq!(l.segments(), 1);
+        assert_eq!(l.members_range(0), 0..16);
+        assert_eq!(l.members(0).len(), 16);
     }
 }

@@ -74,10 +74,11 @@ pub mod rules;
 pub mod table;
 pub mod wire;
 
-pub use addr::{DriveMode, MapMode, PageId, PageLength, VAddr, View};
-pub use config::{MetherConfig, PAGE_SIZE, SHORT_PAGE_SIZE};
+pub use addr::{DriveMode, HostMask, HostMaskIter, MapMode, PageId, PageLength, VAddr, View};
+pub use config::{MetherConfig, SegmentLayout, PAGE_SIZE, SHORT_PAGE_SIZE};
 pub use error::{Error, Result};
 pub use generation::Generation;
 pub use page::PageBuf;
+pub use rules::PageHomePolicy;
 pub use table::{woken_waiters, AccessOutcome, Effect, FaultKind, PageTable, WakeSet};
 pub use wire::{HostId, Packet, Want, WireFrame};

@@ -172,6 +172,51 @@ impl Presence {
     }
 }
 
+/// Which bridged segment a page is *homed* to.
+///
+/// The paper's protocols assume one broadcast domain; scaling past it
+/// means most pages should live — and keep their broadcast traffic —
+/// on one segment. The home segment is where a page's consistent copy
+/// is seeded and the segment a bridge always keeps subscribed to the
+/// page's transits, so "local" sharing never crosses the bridge while a
+/// cross-segment miss can always find fresh data at the home. The
+/// consistent copy itself still migrates freely (the bridge learns
+/// moves by snooping `transfer_to`); the home is a *routing default*,
+/// not an ownership restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PageHomePolicy {
+    /// Page `p` is homed to segment `p mod segments` — spreads a shared
+    /// working set evenly.
+    #[default]
+    Striped,
+    /// Pages are homed in contiguous blocks of `pages_per_segment`
+    /// (block `p / pages_per_segment`, wrapped over the segments) — keeps
+    /// a workload's adjacent pages together.
+    Blocked {
+        /// Pages per home block. Must be non-zero.
+        pages_per_segment: u32,
+    },
+}
+
+impl PageHomePolicy {
+    /// The home segment of `page` in a `segments`-segment deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero or a `Blocked` policy has a zero
+    /// block size.
+    pub fn home_of(&self, page: crate::PageId, segments: usize) -> usize {
+        assert!(segments > 0, "a deployment has at least one segment");
+        match self {
+            PageHomePolicy::Striped => page.index() as usize % segments,
+            PageHomePolicy::Blocked { pages_per_segment } => {
+                assert!(*pages_per_segment > 0, "block size must be non-zero");
+                (page.index() / pages_per_segment) as usize % segments
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +317,32 @@ mod tests {
                 assert_eq!(p.satisfies_lock(l), p.satisfies_fault(l));
             }
         }
+    }
+
+    #[test]
+    fn striped_homes_cycle_over_segments() {
+        use crate::PageId;
+        let p = PageHomePolicy::Striped;
+        assert_eq!(p.home_of(PageId::new(0), 4), 0);
+        assert_eq!(p.home_of(PageId::new(5), 4), 1);
+        assert_eq!(p.home_of(PageId::new(7), 4), 3);
+        // One segment: everything is local.
+        assert_eq!(p.home_of(PageId::new(63), 1), 0);
+    }
+
+    #[test]
+    fn blocked_homes_keep_adjacent_pages_together() {
+        use crate::PageId;
+        let p = PageHomePolicy::Blocked {
+            pages_per_segment: 16,
+        };
+        assert_eq!(p.home_of(PageId::new(0), 4), 0);
+        assert_eq!(p.home_of(PageId::new(15), 4), 0);
+        assert_eq!(p.home_of(PageId::new(16), 4), 1);
+        assert_eq!(
+            p.home_of(PageId::new(65), 4),
+            0,
+            "wraps past the last segment"
+        );
     }
 }

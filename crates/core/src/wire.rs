@@ -187,23 +187,11 @@ impl Packet {
         (self.encoded_len() + FRAME_OVERHEAD).max(MIN_FRAME)
     }
 
-    /// Encodes the packet into one contiguous byte buffer.
-    ///
-    /// Compatibility wrapper over [`Packet::encode_vectored`]: the
-    /// flattening is the single copy of the payload on the transmit side
-    /// (a contiguous datagram has to be materialised somewhere).
-    /// Transports that can scatter/gather — or that stay in-process —
-    /// should carry the [`WireFrame`] instead and skip that copy.
-    pub fn encode(&self) -> Bytes {
-        self.encode_vectored().to_contiguous()
-    }
-
-    /// Encodes the packet as a two-segment [`WireFrame`] without copying
-    /// the payload: the frame's `payload` segment is a zero-copy view of
-    /// this packet's `data` buffer (`Bytes::shares_storage_with` holds).
-    /// Byte-wise, `header ‖ payload` is exactly [`Packet::encode`]'s
-    /// output.
-    pub fn encode_vectored(&self) -> WireFrame {
+    /// Writes the fixed-field header bytes (everything up to, but not
+    /// including, the page payload) into `b`. Shared by [`Packet::encode`]
+    /// and [`Packet::encode_vectored`] so the two framings stay
+    /// byte-identical by construction.
+    fn put_header(&self, b: &mut BytesMut) {
         match self {
             Packet::PageRequest {
                 from,
@@ -211,7 +199,6 @@ impl Packet {
                 length,
                 want,
             } => {
-                let mut b = BytesMut::with_capacity(self.encoded_len());
                 b.put_u16(MAGIC);
                 b.put_u8(TYPE_REQUEST);
                 b.put_u16(from.0);
@@ -225,10 +212,6 @@ impl Packet {
                     Want::Consistent => 1,
                     Want::Superset => 2,
                 });
-                WireFrame {
-                    header: b.freeze(),
-                    payload: Bytes::new(),
-                }
             }
             Packet::PageData {
                 from,
@@ -238,7 +221,6 @@ impl Packet {
                 transfer_to,
                 data,
             } => {
-                let mut b = BytesMut::with_capacity(self.encoded_len() - data.len());
                 b.put_u16(MAGIC);
                 b.put_u8(TYPE_DATA);
                 b.put_u16(from.0);
@@ -259,11 +241,46 @@ impl Packet {
                     }
                 }
                 b.put_u32(data.len() as u32);
-                WireFrame {
-                    header: b.freeze(),
-                    payload: data.clone(),
-                }
             }
+        }
+    }
+
+    /// Encodes the packet into one contiguous byte buffer.
+    ///
+    /// The compatibility framing for byte-stream transports: header and
+    /// payload are built into a single buffer sized up front — one
+    /// allocation and one payload copy, never an intermediate frame.
+    /// (The payload copy is inherent to a contiguous datagram; transports
+    /// that can scatter/gather — or that stay in-process — should carry
+    /// [`Packet::encode_vectored`]'s [`WireFrame`] instead and skip it.)
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.put_header(&mut b);
+        if let Packet::PageData { data, .. } = self {
+            b.put_slice(data);
+        }
+        b.freeze()
+    }
+
+    /// Encodes the packet as a two-segment [`WireFrame`] without copying
+    /// the payload: the frame's `payload` segment is a zero-copy view of
+    /// this packet's `data` buffer (`Bytes::shares_storage_with` holds).
+    /// Byte-wise, `header ‖ payload` is exactly [`Packet::encode`]'s
+    /// output.
+    pub fn encode_vectored(&self) -> WireFrame {
+        let header_len = match self {
+            Packet::PageRequest { .. } => self.encoded_len(),
+            Packet::PageData { data, .. } => self.encoded_len() - data.len(),
+        };
+        let mut b = BytesMut::with_capacity(header_len);
+        self.put_header(&mut b);
+        let payload = match self {
+            Packet::PageRequest { .. } => Bytes::new(),
+            Packet::PageData { data, .. } => data.clone(),
+        };
+        WireFrame {
+            header: b.freeze(),
+            payload,
         }
     }
 

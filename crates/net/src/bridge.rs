@@ -1,0 +1,663 @@
+//! The multi-port bridge joining several Ethernet segments.
+//!
+//! Mether's protocols assume one broadcast domain: every server snoops
+//! every frame, and the network does the fan-out. One shared segment is
+//! also the scaling ceiling — every transit burdens every host. Scaling
+//! past it means splitting the cluster into several segments joined by a
+//! *filtering* bridge, and the whole win rests on the filter: a transit
+//! that matters only to its own segment must never cross the bridge.
+//!
+//! This module supplies the two halves of that device:
+//!
+//! * [`BridgePolicy`] — the forwarding filter, shared by the
+//!   discrete-event simulator and the threaded runtime. It is a snoopy
+//!   learning table in the spirit of the protocols it carries:
+//!   - **page homes** ([`mether_core::PageHomePolicy`]): every page's
+//!     home segment is permanently subscribed to its transits, so the
+//!     home always holds fresh copies for cross-segment misses to find;
+//!   - **requests flood**: a `PageRequest` is forwarded to every other
+//!     segment (the consistent copy migrates, so the holder may be
+//!     anywhere) and *registers the requesting segment's interest* in
+//!     the page;
+//!   - **data follows interest**: a `PageData` transit is forwarded only
+//!     to segments that are subscribed — the page's home, segments that
+//!     have requested it, segments a consistent copy transferred to
+//!     (learned by snooping `transfer_to`), and explicit
+//!     [`BridgePolicy::subscribe`] entries (for purely data-driven
+//!     readers, which by design never transmit anything a bridge could
+//!     learn from). Interest is sticky: a segment holding copies keeps
+//!     receiving the snoopy refreshes those copies depend on.
+//!
+//! * [`Bridge`] — the simulator's store-and-forward engine wrapped
+//!   around the policy: a forwarding delay, a bounded frame queue that
+//!   tail-drops under overload, and drop/duplicate fault-injection knobs
+//!   ([`BridgeConfig`]), all accounted in [`BridgeStats`]. Egress timing
+//!   is the *exit* time from the bridge; the destination segment's own
+//!   medium model then queues the frame like any other transmission.
+
+use crate::time::{SimDuration, SimTime};
+use mether_core::{HostMask, Packet, PageHomePolicy, PageId, SegmentLayout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Parameters of the store-and-forward bridge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BridgeConfig {
+    /// Store-and-forward latency per frame; also the bridge's service
+    /// time, so back-to-back pickups serialise behind one another.
+    pub forward_delay: SimDuration,
+    /// Frames the bridge can hold; a pickup arriving with the queue full
+    /// is tail-dropped (and counted in [`BridgeStats::queue_drops`]).
+    pub queue_frames: usize,
+    /// Probability a picked-up frame is discarded entirely (bridge-side
+    /// corruption/overrun injection).
+    pub drop: f64,
+    /// Probability a forwarded frame is emitted twice (bridges may
+    /// duplicate during topology flaps; Mether's generation counters
+    /// make duplicates harmless, which this knob exercises).
+    pub duplicate: f64,
+    /// Seed for the drop/duplicate injection RNG.
+    pub seed: u64,
+}
+
+impl BridgeConfig {
+    /// A late-80s two-port Ethernet bridge: ~50 µs store-and-forward
+    /// latency, a 32-frame queue, no fault injection.
+    pub fn typical() -> Self {
+        BridgeConfig {
+            forward_delay: SimDuration::from_micros(50),
+            queue_frames: 32,
+            drop: 0.0,
+            duplicate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the forwarding delay.
+    #[must_use]
+    pub fn with_forward_delay(mut self, d: SimDuration) -> Self {
+        self.forward_delay = d;
+        self
+    }
+
+    /// Overrides the queue capacity.
+    #[must_use]
+    pub fn with_queue_frames(mut self, n: usize) -> Self {
+        self.queue_frames = n;
+        self
+    }
+
+    /// Adds uniform forwarding loss with probability `p`. The drop and
+    /// duplicate knobs share one injection RNG; seed it with
+    /// [`BridgeConfig::with_seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
+        self.drop = p;
+        self
+    }
+
+    /// Adds frame duplication with probability `p`. The drop and
+    /// duplicate knobs share one injection RNG; seed it with
+    /// [`BridgeConfig::with_seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplicate probability must be in [0,1]"
+        );
+        self.duplicate = p;
+        self
+    }
+
+    /// Seeds the fault-injection RNG shared by the drop and duplicate
+    /// knobs.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for BridgeConfig {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// Cumulative bridge traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BridgeStats {
+    /// Frames the bridge heard (one per delivered transit on any segment).
+    pub heard: u64,
+    /// Egress emissions (one per frame per destination segment).
+    pub forwarded: u64,
+    /// Wire bytes of those egress emissions — the cross-segment traffic.
+    pub bytes_forwarded: u64,
+    /// Frames with no remote interest, kept local to their segment. The
+    /// filter's win: each of these spared every off-segment host a snoop.
+    pub filtered: u64,
+    /// Frames discarded by the drop knob.
+    pub dropped: u64,
+    /// Frames tail-dropped at a full queue.
+    pub queue_drops: u64,
+    /// Extra emissions produced by the duplicate knob.
+    pub duplicated: u64,
+}
+
+/// The forwarding filter: which segments must hear a frame.
+///
+/// Time-free and transport-free, so the simulator's [`Bridge`] and the
+/// threaded runtime's bridge threads share the exact same routing logic
+/// (see the module docs for the rules).
+#[derive(Debug, Clone)]
+pub struct BridgePolicy {
+    layout: SegmentLayout,
+    homes: PageHomePolicy,
+    /// Per-page interest masks (bit = segment index), grown lazily and
+    /// initialised to the page's home bit.
+    interest: Vec<HostMask>,
+}
+
+impl BridgePolicy {
+    /// A fresh filter over `layout` with pages homed by `homes`.
+    pub fn new(layout: SegmentLayout, homes: PageHomePolicy) -> Self {
+        BridgePolicy {
+            layout,
+            homes,
+            interest: Vec::new(),
+        }
+    }
+
+    /// The host layout the filter routes over.
+    pub fn layout(&self) -> &SegmentLayout {
+        &self.layout
+    }
+
+    /// The home segment of `page`.
+    pub fn home_of(&self, page: PageId) -> usize {
+        self.homes.home_of(page, self.layout.segments())
+    }
+
+    fn interest_mut(&mut self, page: PageId) -> &mut HostMask {
+        let idx = page.index() as usize;
+        while self.interest.len() <= idx {
+            let p = PageId::new(self.interest.len() as u32);
+            let home = self.homes.home_of(p, self.layout.segments());
+            self.interest.push(HostMask::single(home));
+        }
+        &mut self.interest[idx]
+    }
+
+    /// The current interest mask of `page` (home bit always set).
+    pub fn interest(&self, page: PageId) -> HostMask {
+        let idx = page.index() as usize;
+        self.interest
+            .get(idx)
+            .copied()
+            .unwrap_or_else(|| HostMask::single(self.home_of(page)))
+    }
+
+    /// Statically subscribes segment `seg` to `page`'s transits.
+    ///
+    /// Needed when a segment's only consumers of a page are *data-driven*
+    /// readers: a data-driven fault "does not send out a request" (the
+    /// paper's completely passive fault), so there is no frame for the
+    /// bridge to learn that segment's interest from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn subscribe(&mut self, page: PageId, seg: usize) {
+        assert!(
+            seg < self.layout.segments(),
+            "segment {seg} >= {}",
+            self.layout.segments()
+        );
+        self.interest_mut(page).insert(seg);
+    }
+
+    /// The segment a transfer target host sits on, if the host id is in
+    /// range (wire-decoded frames can carry garbage ids).
+    fn transfer_segment(&self, transfer_to: &Option<mether_core::HostId>) -> Option<usize> {
+        transfer_to.as_ref().and_then(|h| {
+            ((h.0 as usize) < self.layout.hosts()).then(|| self.layout.segment_of(h.0 as usize))
+        })
+    }
+
+    /// Updates the learning tables for one frame heard on `src_seg`.
+    fn learn(&mut self, pkt: &Packet, src_seg: usize) {
+        match pkt {
+            Packet::PageRequest { page, .. } => {
+                // The requester's segment now wants this page's transits.
+                self.interest_mut(*page).insert(src_seg);
+            }
+            Packet::PageData {
+                page, transfer_to, ..
+            } => {
+                // The sender's segment holds copies (at least the
+                // sender's own); keep it refreshed once consistency
+                // moves elsewhere.
+                self.interest_mut(*page).insert(src_seg);
+                // A consistency transfer must reach the new holder, and
+                // that segment stays interested from then on.
+                if let Some(dst) = self.transfer_segment(transfer_to) {
+                    self.interest_mut(*page).insert(dst);
+                }
+            }
+        }
+    }
+
+    /// Routes one frame heard on `src_seg`: updates the learning tables
+    /// and returns the mask of segments the frame must be forwarded to
+    /// (never including `src_seg`). Definitionally learn-then-
+    /// [`BridgePolicy::targets`], so the diagnostic mask can never drift
+    /// from what the bridge actually forwards.
+    pub fn route(&mut self, pkt: &Packet, src_seg: usize) -> HostMask {
+        self.learn(pkt, src_seg);
+        self.targets(pkt, src_seg)
+    }
+
+    /// The forwarding mask of one frame heard on `src_seg`, with no
+    /// learning side effects (diagnostics and tests; the `transfer_to`
+    /// segment is included even before learning records it).
+    pub fn targets(&self, pkt: &Packet, src_seg: usize) -> HostMask {
+        match pkt {
+            Packet::PageRequest { .. } => {
+                // The consistent copy migrates freely, so the holder may
+                // be on any segment: flood the (minimum-size) request.
+                HostMask::all_below(self.layout.segments()).without(src_seg)
+            }
+            Packet::PageData {
+                page, transfer_to, ..
+            } => {
+                let mut m = self.interest(*page);
+                if let Some(dst) = self.transfer_segment(transfer_to) {
+                    m.insert(dst);
+                }
+                m.without(src_seg)
+            }
+        }
+    }
+}
+
+/// The simulator's store-and-forward bridge engine.
+#[derive(Debug)]
+pub struct Bridge {
+    cfg: BridgeConfig,
+    policy: BridgePolicy,
+    /// When the forwarding engine next falls idle.
+    free_at: SimTime,
+    /// Exit times of frames currently queued in the bridge.
+    backlog: VecDeque<SimTime>,
+    rng: StdRng,
+    stats: BridgeStats,
+}
+
+impl Bridge {
+    /// A quiet bridge over `layout` with pages homed by `homes`.
+    pub fn new(layout: SegmentLayout, homes: PageHomePolicy, cfg: BridgeConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Bridge {
+            cfg,
+            policy: BridgePolicy::new(layout, homes),
+            free_at: SimTime::ZERO,
+            backlog: VecDeque::new(),
+            rng,
+            stats: BridgeStats::default(),
+        }
+    }
+
+    /// The forwarding filter (interest tables, homes).
+    pub fn policy(&self) -> &BridgePolicy {
+        &self.policy
+    }
+
+    /// Statically subscribes segment `seg` to `page` (see
+    /// [`BridgePolicy::subscribe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn subscribe(&mut self, page: PageId, seg: usize) {
+        self.policy.subscribe(page, seg);
+    }
+
+    /// Cumulative traffic counters.
+    pub fn stats(&self) -> BridgeStats {
+        self.stats
+    }
+
+    /// The bridge port on `src_seg` finished receiving `pkt` at
+    /// `arrival`. Returns the egress schedule: one `(destination
+    /// segment, exit time)` pair per frame copy per destination. The
+    /// caller transmits each copy on the destination segment's medium at
+    /// its exit time (where it queues like any locally-sent frame).
+    pub fn pickup(
+        &mut self,
+        pkt: &Packet,
+        src_seg: usize,
+        arrival: SimTime,
+    ) -> Vec<(usize, SimTime)> {
+        self.stats.heard += 1;
+        let targets = self.policy.route(pkt, src_seg);
+        if targets.is_empty() {
+            self.stats.filtered += 1;
+            return Vec::new();
+        }
+        // Store-and-forward queue: retire frames that have exited, then
+        // tail-drop if the buffer is still full.
+        while self.backlog.front().is_some_and(|&t| t <= arrival) {
+            self.backlog.pop_front();
+        }
+        if self.backlog.len() >= self.cfg.queue_frames {
+            self.stats.queue_drops += 1;
+            return Vec::new();
+        }
+        if self.cfg.drop > 0.0 && self.rng.gen::<f64>() < self.cfg.drop {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let copies = if self.cfg.duplicate > 0.0 && self.rng.gen::<f64>() < self.cfg.duplicate {
+            2
+        } else {
+            1
+        };
+        let mut out = Vec::with_capacity(targets.len() * copies);
+        for copy in 0..copies {
+            // Each copy occupies its own queue slot; a duplicated
+            // frame's second copy is tail-dropped like any other frame
+            // when the buffer is full (the first copy's slot was
+            // guaranteed by the check above).
+            if self.backlog.len() >= self.cfg.queue_frames {
+                self.stats.queue_drops += 1;
+                break;
+            }
+            let exit = arrival.max(self.free_at) + self.cfg.forward_delay;
+            self.free_at = exit;
+            self.backlog.push_back(exit);
+            for dst in targets {
+                out.push((dst, exit));
+                self.stats.forwarded += 1;
+                self.stats.bytes_forwarded += pkt.wire_size() as u64;
+                if copy > 0 {
+                    self.stats.duplicated += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mether_core::{Generation, HostId, PageLength, Want};
+
+    fn layout_4x2() -> SegmentLayout {
+        // 8 hosts, 4 segments of 2.
+        SegmentLayout::new(8, 4).unwrap()
+    }
+
+    fn req(from: u16, page: u32) -> Packet {
+        Packet::PageRequest {
+            from: HostId(from),
+            page: PageId::new(page),
+            length: PageLength::Short,
+            want: Want::ReadOnly,
+        }
+    }
+
+    fn data(from: u16, page: u32, transfer_to: Option<u16>) -> Packet {
+        Packet::PageData {
+            from: HostId(from),
+            page: PageId::new(page),
+            length: PageLength::Short,
+            generation: Generation(1),
+            transfer_to: transfer_to.map(HostId),
+            data: Bytes::from(vec![0u8; 32]),
+        }
+    }
+
+    #[test]
+    fn requests_flood_and_register_interest() {
+        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        // Host 6 (segment 3) requests page 0 (homed on segment 0).
+        let t = p.route(&req(6, 0), 3);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 1, 2], "flooded");
+        // Page 0's interest now holds home (0) and the requester (3).
+        assert_eq!(
+            p.interest(PageId::new(0)).iter().collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+    }
+
+    #[test]
+    fn data_follows_interest_only() {
+        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        // Page 0 homed on segment 0; its holder on segment 0 broadcasts.
+        // Nobody else asked: nothing crosses the bridge.
+        assert!(p.route(&data(0, 0, None), 0).is_empty());
+        // Segment 2 requests it; from then on data transits follow.
+        let _ = p.route(&req(4, 0), 2);
+        assert_eq!(
+            p.route(&data(0, 0, None), 0).iter().collect::<Vec<_>>(),
+            vec![2]
+        );
+        // Interest is sticky: a second transit still reaches segment 2.
+        assert_eq!(
+            p.route(&data(0, 0, None), 0).iter().collect::<Vec<_>>(),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn data_homed_elsewhere_always_reaches_home() {
+        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        // Page 1 is homed on segment 1, but its holder sits on segment 3.
+        let t = p.route(&data(6, 1, None), 3);
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            vec![1],
+            "home stays subscribed"
+        );
+    }
+
+    #[test]
+    fn transfer_to_reaches_and_subscribes_the_new_holder() {
+        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        // Consistency of page 0 moves from host 0 (segment 0) to host 5
+        // (segment 2).
+        let t = p.route(&data(0, 0, Some(5)), 0);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![2]);
+        // The sender's segment stays interested: when the new holder
+        // broadcasts, segment 0 (home + old copies) hears it.
+        let t = p.route(&data(5, 0, None), 2);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn out_of_range_transfer_target_is_ignored() {
+        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        let t = p.route(&data(0, 0, Some(9999)), 0);
+        assert!(t.is_empty(), "garbage transfer target routes nowhere");
+    }
+
+    #[test]
+    fn explicit_subscription_covers_silent_data_readers() {
+        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        p.subscribe(PageId::new(0), 3);
+        assert_eq!(
+            p.route(&data(0, 0, None), 0).iter().collect::<Vec<_>>(),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn targets_is_route_without_learning() {
+        let p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        let t = p.targets(&data(0, 2, Some(7)), 1);
+        // Home of page 2 is segment 2; transfer target host 7 is segment 3.
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![2, 3]);
+        // No learning happened: interest still just the home bit.
+        assert_eq!(
+            p.interest(PageId::new(2)).iter().collect::<Vec<_>>(),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn bridge_serialises_back_to_back_pickups() {
+        let cfg = BridgeConfig::typical();
+        let delay = cfg.forward_delay;
+        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let at = SimTime::ZERO + SimDuration::from_millis(1);
+        // Two simultaneous pickups of frames that must cross (page 1 is
+        // homed on segment 1, heard on segment 0).
+        let first = b.pickup(&data(0, 1, None), 0, at);
+        let second = b.pickup(&data(1, 1, None), 0, at);
+        assert_eq!(first, vec![(1, at + delay)]);
+        assert_eq!(
+            second,
+            vec![(1, at + delay + delay)],
+            "queued behind the first"
+        );
+        assert_eq!(b.stats().forwarded, 2);
+        assert_eq!(
+            b.stats().bytes_forwarded,
+            2 * data(0, 1, None).wire_size() as u64
+        );
+    }
+
+    #[test]
+    fn bridge_filters_local_traffic() {
+        let mut b = Bridge::new(
+            layout_4x2(),
+            PageHomePolicy::Striped,
+            BridgeConfig::typical(),
+        );
+        let out = b.pickup(&data(0, 0, None), 0, SimTime::ZERO);
+        assert!(out.is_empty());
+        assert_eq!(b.stats().filtered, 1);
+        assert_eq!(b.stats().heard, 1);
+        assert_eq!(b.stats().forwarded, 0);
+    }
+
+    #[test]
+    fn full_queue_tail_drops() {
+        let cfg = BridgeConfig::typical().with_queue_frames(2);
+        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let at = SimTime::ZERO;
+        assert!(!b.pickup(&data(0, 1, None), 0, at).is_empty());
+        assert!(!b.pickup(&data(0, 1, None), 0, at).is_empty());
+        // Third simultaneous pickup: both slots still occupied.
+        assert!(b.pickup(&data(0, 1, None), 0, at).is_empty());
+        assert_eq!(b.stats().queue_drops, 1);
+        // Once the backlog has drained, pickups flow again.
+        let later = at + SimDuration::from_secs(1);
+        assert!(!b.pickup(&data(0, 1, None), 0, later).is_empty());
+    }
+
+    #[test]
+    fn drop_knob_discards_roughly_p() {
+        let cfg = BridgeConfig::typical()
+            .with_queue_frames(usize::MAX)
+            .with_drop(0.3)
+            .with_seed(42);
+        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let n = 2000;
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            now += SimDuration::from_millis(1);
+            let _ = b.pickup(&data(0, 1, None), 0, now);
+        }
+        let rate = b.stats().dropped as f64 / n as f64;
+        assert!((0.25..0.35).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn duplicate_knob_emits_extra_copies() {
+        let cfg = BridgeConfig::typical()
+            .with_queue_frames(usize::MAX)
+            .with_duplicate(1.0)
+            .with_seed(7);
+        let delay = cfg.forward_delay;
+        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let out = b.pickup(&data(0, 1, None), 0, SimTime::ZERO);
+        assert_eq!(
+            out,
+            vec![
+                (1, SimTime::ZERO + delay),
+                (1, SimTime::ZERO + delay + delay)
+            ],
+            "two copies, serialised through the engine"
+        );
+        assert_eq!(b.stats().duplicated, 1);
+        assert_eq!(b.stats().forwarded, 2);
+    }
+
+    #[test]
+    fn duplicated_copy_respects_the_queue_bound() {
+        // A full-but-for-one-slot queue admits the first copy of a
+        // duplicated frame and tail-drops the second: the backlog never
+        // exceeds queue_frames.
+        let cfg = BridgeConfig::typical()
+            .with_queue_frames(1)
+            .with_duplicate(1.0)
+            .with_seed(7);
+        let delay = cfg.forward_delay;
+        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let out = b.pickup(&data(0, 1, None), 0, SimTime::ZERO);
+        assert_eq!(
+            out,
+            vec![(1, SimTime::ZERO + delay)],
+            "only the first copy fits the 1-frame queue"
+        );
+        assert_eq!(b.stats().queue_drops, 1, "the second copy tail-dropped");
+        assert_eq!(b.stats().duplicated, 0, "no duplicate emission happened");
+        assert_eq!(b.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn knob_builders_share_one_seed_field_explicitly() {
+        let cfg = BridgeConfig::typical()
+            .with_drop(0.1)
+            .with_duplicate(0.2)
+            .with_seed(5);
+        assert_eq!(cfg.drop, 0.1);
+        assert_eq!(cfg.duplicate, 0.2);
+        assert_eq!(cfg.seed, 5);
+    }
+
+    #[test]
+    fn route_equals_targets_after_learning() {
+        // route() is definitionally learn-then-targets: for any frame,
+        // the mask route() returns equals what targets() reports right
+        // after, so diagnostics can never drift from forwarding.
+        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        for (pkt, src) in [
+            (req(6, 0), 3usize),
+            (data(0, 0, Some(5)), 0),
+            (data(5, 0, None), 2),
+            (req(2, 7), 1),
+            (data(2, 7, Some(9999)), 1),
+        ] {
+            let routed = p.route(&pkt, src);
+            assert_eq!(routed, p.targets(&pkt, src), "{pkt:?} from segment {src}");
+        }
+    }
+}

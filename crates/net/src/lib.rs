@@ -13,18 +13,29 @@
 //!   like a shared segment would, with configurable latency, bandwidth and
 //!   loss.
 //!
-//! Both charge traffic using [`mether_core::Packet::wire_size`], so the
-//! network-load numbers produced by the simulator and the runtime are
+//! Deployments larger than one broadcast domain instantiate *several* of
+//! either substrate — one per segment — joined by the filtering bridge
+//! in [`bridge`]: [`bridge::BridgePolicy`] decides which segments must
+//! hear a frame (page homes, learned interest, flooded requests) and is
+//! shared by both substrates; [`bridge::Bridge`] adds the simulator's
+//! store-and-forward timing, queueing, and fault-injection knobs.
+//!
+//! All of them charge traffic using [`mether_core::Packet::wire_size`], so
+//! the network-load numbers produced by the simulator and the runtime are
 //! directly comparable to the paper's (e.g. Figure 4's 66 kbytes/second).
+//! On a segmented network the counters are kept per segment; sum them
+//! with [`NetStats::sum`] for the whole-network view.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bridge;
 pub mod rt;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use bridge::{Bridge, BridgeConfig, BridgePolicy, BridgeStats};
 pub use sim::{EtherConfig, EtherSim};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};

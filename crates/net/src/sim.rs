@@ -15,6 +15,22 @@
 //! The simulator calls [`EtherSim::transmit`] when a host's server hands a
 //! frame to its NIC, and schedules packet-arrival events at every other
 //! host at the returned delivery time.
+//!
+//! # One instance per segment
+//!
+//! `EtherSim` is deliberately *one segment*, not "the network". A
+//! multi-segment deployment instantiates one `EtherSim` per bridged
+//! segment — each with its own `medium_free_at` carrier state, loss RNG
+//! (seeded per segment via [`EtherConfig::for_segment`]), and
+//! [`NetStats`] — so segments carry frames concurrently in simulated
+//! time instead of serialising on one shared medium, and every traffic
+//! counter is attributable to the wire it happened on. Frames cross
+//! between instances through the store-and-forward
+//! [`crate::bridge::Bridge`]: the bridge decides *which* segments must
+//! hear a frame (its filtering is where the multi-segment scaling win
+//! comes from) and *when* the frame exits its queue; the destination
+//! `EtherSim` then serialises the forwarded frame onto its own medium
+//! exactly like a locally-transmitted one.
 
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
@@ -50,6 +66,17 @@ impl EtherConfig {
             loss: 0.0,
             seed: 0,
         }
+    }
+
+    /// The configuration for segment `seg` of a multi-segment deployment:
+    /// identical parameters, but a per-segment loss seed so the segments'
+    /// loss processes are independent. Segment 0 keeps the base seed, so
+    /// a one-segment "segmented" network reproduces the flat network's
+    /// loss pattern bit for bit.
+    #[must_use]
+    pub fn for_segment(mut self, seg: usize) -> Self {
+        self.seed = self.seed.wrapping_add(seg as u64);
+        self
     }
 
     /// Same network with uniform frame loss probability `p`.

@@ -82,6 +82,25 @@ impl NetStats {
             decode_errors: self.decode_errors - earlier.decode_errors,
         }
     }
+
+    /// Sums counters across segments — the flat-network view of a
+    /// segmented deployment. On a multi-segment network every counter
+    /// (`decode_errors` included) is kept *per segment* so faults are
+    /// attributable to the wire they happened on; callers that want the
+    /// old whole-network totals sum the segments through here.
+    pub fn sum<'a, I: IntoIterator<Item = &'a NetStats>>(segments: I) -> NetStats {
+        let mut total = NetStats::new();
+        for s in segments {
+            total.packets += s.packets;
+            total.bytes += s.bytes;
+            total.requests += s.requests;
+            total.data_packets += s.data_packets;
+            total.payload_bytes += s.payload_bytes;
+            total.lost += s.lost;
+            total.decode_errors += s.decode_errors;
+        }
+        total
+    }
 }
 
 impl fmt::Display for NetStats {
@@ -162,5 +181,24 @@ mod tests {
         assert_eq!(d.packets, 1);
         assert_eq!(d.requests, 0);
         assert_eq!(d.data_packets, 1);
+    }
+
+    #[test]
+    fn sum_totals_per_segment_counters() {
+        let mut a = NetStats::new();
+        a.record(&req());
+        a.record_decode_error();
+        let mut b = NetStats::new();
+        b.record(&data(32));
+        b.record_loss();
+        let total = NetStats::sum([&a, &b]);
+        assert_eq!(total.packets, 2);
+        assert_eq!(total.requests, 1);
+        assert_eq!(total.data_packets, 1);
+        assert_eq!(total.payload_bytes, 32);
+        assert_eq!(total.lost, 1);
+        assert_eq!(total.decode_errors, 1);
+        assert_eq!(total.bytes, a.bytes + b.bytes);
+        assert_eq!(NetStats::sum([]), NetStats::new());
     }
 }

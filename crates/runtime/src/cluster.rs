@@ -1,11 +1,39 @@
-//! A cluster: several Mether nodes on one in-process broadcast LAN.
+//! A cluster: several Mether nodes on one or more in-process LANs.
+//!
+//! With `segments: 1` (the default of every named constructor) the
+//! cluster is the paper's testbed — all nodes on one broadcast [`Lan`].
+//! With more segments the nodes are split into contiguous blocks
+//! ([`SegmentLayout`]), one `Lan` per block, joined by *bridge threads*:
+//! each segment has a bridge endpoint whose thread snoops that segment
+//! and re-broadcasts each frame onto exactly the segments the shared
+//! [`BridgePolicy`] filter says must hear it (page homes, learned
+//! interest, flooded requests — the same policy the discrete-event
+//! simulator's bridge runs, so the two network models filter
+//! identically). A forwarded frame is emitted *from the destination
+//! segment's own bridge endpoint*, so the destination's bridge thread
+//! never hears it back — forwarding cannot loop.
+//!
+//! Traffic counters stay per segment ([`Cluster::segment_stats`]), so
+//! losses and decode errors are attributable to the wire they happened
+//! on; [`Cluster::net_stats`] sums them for the old whole-network view.
 
 use crate::node::Node;
-use mether_core::{HostId, MetherConfig};
-use mether_net::rt::{Lan, LanConfig};
+use mether_core::{HostId, MetherConfig, PageHomePolicy, PageId, SegmentLayout};
+use mether_net::bridge::BridgePolicy;
+use mether_net::rt::{Endpoint, Lan, LanConfig};
 use mether_net::NetStats;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
-/// A set of Mether nodes sharing a broadcast segment.
+/// Host-id base for bridge endpoints (far above any node id, which the
+/// segment layout caps at 127).
+const BRIDGE_HOST_BASE: u16 = 0xFF00;
+
+/// A set of Mether nodes sharing a broadcast segment (or several bridged
+/// ones).
 ///
 /// # Example
 ///
@@ -25,8 +53,10 @@ use mether_net::NetStats;
 /// # Ok::<(), mether_core::Error>(())
 /// ```
 pub struct Cluster {
-    lan: Lan,
+    lans: Vec<Lan>,
     nodes: Vec<Node>,
+    layout: Option<SegmentLayout>,
+    bridge: Option<BridgeThreads>,
 }
 
 /// Configuration of a [`Cluster`].
@@ -34,10 +64,16 @@ pub struct Cluster {
 pub struct ClusterConfig {
     /// Number of nodes.
     pub nodes: usize,
-    /// LAN shaping (latency, bandwidth, loss).
+    /// LAN shaping (latency, bandwidth, loss), applied to every segment;
+    /// loss seeds are derived per segment.
     pub lan: LanConfig,
     /// Mether page parameters.
     pub mether: MetherConfig,
+    /// Number of bridged segments the nodes are split over (1 = flat).
+    pub segments: usize,
+    /// Page-home policy for the bridge filter (unused when `segments`
+    /// is 1).
+    pub homes: PageHomePolicy,
 }
 
 impl ClusterConfig {
@@ -47,6 +83,8 @@ impl ClusterConfig {
             nodes: n,
             lan: LanConfig::fast(),
             mether: MetherConfig::new(),
+            segments: 1,
+            homes: PageHomePolicy::Striped,
         }
     }
 
@@ -56,31 +94,139 @@ impl ClusterConfig {
             nodes: n,
             lan: LanConfig::ten_megabit(),
             mether: MetherConfig::new(),
+            segments: 1,
+            homes: PageHomePolicy::Striped,
+        }
+    }
+
+    /// `n` nodes split over `segments` bridged fast LANs.
+    pub fn segmented(n: usize, segments: usize) -> Self {
+        ClusterConfig {
+            segments,
+            ..Self::fast(n)
         }
     }
 }
 
+/// The bridge's per-segment forwarding threads and their shared filter.
+struct BridgeThreads {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    policy: Arc<Mutex<BridgePolicy>>,
+}
+
+impl BridgeThreads {
+    fn start(lans: &[Lan], layout: SegmentLayout, homes: PageHomePolicy) -> BridgeThreads {
+        let stop = Arc::new(AtomicBool::new(false));
+        let policy = Arc::new(Mutex::new(BridgePolicy::new(layout, homes)));
+        // One endpoint per segment; forwarding to segment `d` transmits
+        // *from* endpoint `d`, so `d`'s own bridge thread (excluded as
+        // the sender) never re-forwards the frame.
+        let endpoints: Arc<Vec<Endpoint>> = Arc::new(
+            lans.iter()
+                .enumerate()
+                .map(|(s, lan)| lan.endpoint(HostId(BRIDGE_HOST_BASE + s as u16)))
+                .collect(),
+        );
+        let threads = (0..lans.len())
+            .map(|src| {
+                let stop = Arc::clone(&stop);
+                let policy = Arc::clone(&policy);
+                let endpoints = Arc::clone(&endpoints);
+                thread::Builder::new()
+                    .name(format!("mether-bridge-{src}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            match endpoints[src].recv_timeout(Duration::from_millis(20)) {
+                                Ok(pkt) => {
+                                    let targets = policy.lock().route(&pkt, src);
+                                    for dst in targets {
+                                        // A vanished destination LAN is a
+                                        // shutdown race, not an error.
+                                        let _ = endpoints[dst].broadcast(&pkt);
+                                    }
+                                }
+                                Err(mether_core::Error::Timeout) => {}
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn bridge thread")
+            })
+            .collect();
+        BridgeThreads {
+            stop,
+            threads,
+            policy,
+        }
+    }
+
+    fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BridgeThreads {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
 impl Cluster {
-    /// Brings up the LAN and all nodes.
+    /// Brings up the LAN(s), the bridge (if segmented), and all nodes.
     ///
     /// # Errors
     ///
     /// Returns [`mether_core::Error::InvalidConfig`] for a zero-node
-    /// cluster.
+    /// cluster or an invalid segment layout (zero segments, more
+    /// segments than nodes, or more nodes than the 128-host mask
+    /// capacity when segmented).
     pub fn new(cfg: ClusterConfig) -> mether_core::Result<Cluster> {
         if cfg.nodes == 0 {
             return Err(mether_core::Error::InvalidConfig(
                 "cluster needs at least one node".into(),
             ));
         }
-        let lan = Lan::new(cfg.lan);
+        if cfg.segments == 1 {
+            let lan = Lan::new(cfg.lan);
+            let nodes = (0..cfg.nodes)
+                .map(|i| {
+                    let host = HostId(i as u16);
+                    Node::start(host, lan.endpoint(host), cfg.mether.clone())
+                })
+                .collect();
+            return Ok(Cluster {
+                lans: vec![lan],
+                nodes,
+                layout: None,
+                bridge: None,
+            });
+        }
+        let layout = SegmentLayout::new(cfg.nodes, cfg.segments)?;
+        let lans: Vec<Lan> = (0..cfg.segments)
+            .map(|s| {
+                let mut lan_cfg = cfg.lan.clone();
+                lan_cfg.seed = lan_cfg.seed.wrapping_add(s as u64);
+                Lan::new(lan_cfg)
+            })
+            .collect();
+        let bridge = BridgeThreads::start(&lans, layout, cfg.homes);
         let nodes = (0..cfg.nodes)
             .map(|i| {
                 let host = HostId(i as u16);
+                let lan = &lans[layout.segment_of(i)];
                 Node::start(host, lan.endpoint(host), cfg.mether.clone())
             })
             .collect();
-        Ok(Cluster { lan, nodes })
+        Ok(Cluster {
+            lans,
+            nodes,
+            layout: Some(layout),
+            bridge: Some(bridge),
+        })
     }
 
     /// The `i`-th node.
@@ -102,13 +248,56 @@ impl Cluster {
         self.nodes.is_empty()
     }
 
-    /// LAN traffic counters.
-    pub fn net_stats(&self) -> NetStats {
-        self.lan.stats()
+    /// Number of bridged segments (1 for a flat cluster).
+    pub fn segment_count(&self) -> usize {
+        self.lans.len()
     }
 
-    /// Stops every node's receiver thread.
+    /// The segment node `i` sits on (0 for every node of a flat cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range on a segmented cluster.
+    pub fn segment_of(&self, i: usize) -> usize {
+        self.layout.map_or(0, |l| l.segment_of(i))
+    }
+
+    /// Whole-network traffic counters: the per-segment counters summed
+    /// (the view existing flat-cluster callers expect).
+    pub fn net_stats(&self) -> NetStats {
+        NetStats::sum(&self.lans.iter().map(Lan::stats).collect::<Vec<_>>())
+    }
+
+    /// Traffic counters of segment `seg` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn segment_stats(&self, seg: usize) -> NetStats {
+        self.lans[seg].stats()
+    }
+
+    /// Statically subscribes segment `seg` to `page`'s transits (see
+    /// [`BridgePolicy::subscribe`]); needed for segments whose only
+    /// consumers of the page are data-driven readers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flat cluster or an out-of-range segment.
+    pub fn subscribe_segment(&self, page: PageId, seg: usize) {
+        self.bridge
+            .as_ref()
+            .expect("subscribe_segment needs a segmented cluster")
+            .policy
+            .lock()
+            .subscribe(page, seg);
+    }
+
+    /// Stops the bridge threads and every node's receiver thread.
     pub fn shutdown(&mut self) {
+        if let Some(b) = self.bridge.as_mut() {
+            b.stop();
+        }
         for n in &mut self.nodes {
             n.shutdown();
         }
@@ -117,6 +306,114 @@ impl Cluster {
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Cluster(nodes={})", self.nodes.len())
+        write!(
+            f,
+            "Cluster(nodes={}, segments={})",
+            self.nodes.len(),
+            self.lans.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mether_core::{MapMode, PageLength, VAddr, View};
+
+    #[test]
+    fn flat_cluster_has_one_segment() {
+        let mut c = Cluster::new(ClusterConfig::fast(2)).unwrap();
+        assert_eq!(c.segment_count(), 1);
+        assert_eq!(c.segment_of(1), 0);
+        c.shutdown();
+    }
+
+    #[test]
+    fn segmented_layout_is_rejected_when_invalid() {
+        assert!(Cluster::new(ClusterConfig::segmented(2, 3)).is_err());
+        assert!(Cluster::new(ClusterConfig::segmented(0, 1)).is_err());
+    }
+
+    #[test]
+    fn cross_segment_demand_fetch_routes_via_bridge() {
+        // 4 nodes, 2 segments: {0,1} and {2,3}.
+        let mut c = Cluster::new(ClusterConfig::segmented(4, 2)).unwrap();
+        assert_eq!(c.segment_count(), 2);
+        assert_eq!(c.segment_of(1), 0);
+        assert_eq!(c.segment_of(2), 1);
+        let page = PageId::new(0);
+        c.node(0).create_owned(page);
+        let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+        c.node(0).write_u32(addr, 7).unwrap();
+        // Node 2 sits on the other segment: its request floods across
+        // the bridge, the reply follows the learned interest back.
+        let v = c.node(2).read_u32(addr, MapMode::ReadOnly).unwrap();
+        assert_eq!(v, 7);
+        assert!(c.segment_stats(0).packets >= 1, "reply on segment 0");
+        assert!(c.segment_stats(1).packets >= 1, "request on segment 1");
+        assert_eq!(
+            c.net_stats().packets,
+            c.segment_stats(0).packets + c.segment_stats(1).packets,
+            "summed view equals per-segment counters"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn local_purge_traffic_stays_on_its_segment() {
+        // Page 0 is homed on segment 0 (Striped) and only segment-0
+        // nodes touch it: its purge broadcasts must never appear on
+        // segment 1's wire.
+        let mut c = Cluster::new(ClusterConfig::segmented(4, 2)).unwrap();
+        let page = PageId::new(0);
+        c.node(0).create_owned(page);
+        let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+        for i in 1..=8u32 {
+            c.node(0).write_u32(addr, i).unwrap();
+            c.node(0)
+                .purge(page, MapMode::Writeable, PageLength::Short)
+                .unwrap();
+        }
+        // Wait for segment 0's wire thread to clock the frames out, so a
+        // hypothetical misrouted forward would have had time to appear.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while c.segment_stats(0).packets < 8 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            c.segment_stats(0).packets >= 8,
+            "local broadcasts on segment 0"
+        );
+        assert_eq!(
+            c.segment_stats(1).packets,
+            0,
+            "no remote interest: nothing crossed the bridge"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn subscription_feeds_silent_segments() {
+        let mut c = Cluster::new(ClusterConfig::segmented(4, 2)).unwrap();
+        let page = PageId::new(0);
+        c.subscribe_segment(page, 1);
+        c.node(0).create_owned(page);
+        let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+        c.node(0).write_u32(addr, 3).unwrap();
+        c.node(0)
+            .purge(page, MapMode::Writeable, PageLength::Short)
+            .unwrap();
+        // Nobody on segment 1 ever transmitted a thing, yet the purge
+        // broadcast crosses the bridge purely because of the static
+        // subscription — the hook purely-data-driven readers rely on.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while c.segment_stats(1).data_packets == 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            c.segment_stats(1).data_packets >= 1,
+            "subscribed segment hears the data transit"
+        );
+        c.shutdown();
     }
 }

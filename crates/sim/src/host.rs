@@ -136,6 +136,9 @@ pub struct HostSim {
     pub fault_latencies: Vec<SimDuration>,
     /// CPU time consumed by the server (reported as system time).
     pub server_time: SimDuration,
+    /// Frames this host's NIC snooped off its segment — the per-host
+    /// share of network load that segment filtering is meant to shrink.
+    pub frames_heard: u64,
     /// Peak depth of the server work queue (degeneration diagnostic).
     pub max_server_queue: usize,
     /// Sleeps requested during dispatch (drained by `finish_burst`).
@@ -165,6 +168,7 @@ impl HostSim {
             ctx_switches: 0,
             fault_latencies: Vec::new(),
             server_time: SimDuration::ZERO,
+            frames_heard: 0,
             max_server_queue: 0,
             pending_sleeps: Vec::new(),
             purge_lengths: Vec::new(),
@@ -218,6 +222,7 @@ impl HostSim {
 
     /// A packet arrived from the network: queue it for the server.
     pub fn deliver_packet(&mut self, now: SimTime, pkt: Arc<Packet>) {
+        self.frames_heard += 1;
         self.push_server_work(now, ServerWork::Packet(pkt));
     }
 

@@ -44,4 +44,6 @@ pub use calib::Calib;
 pub use host::{HostSim, ProcState, ProcTimes};
 pub use metrics::ProtocolMetrics;
 pub use process::{DsmOp, OpResult, Step, StepCtx, Workload, WorkloadCounters};
-pub use sim::{DeliveryMode, EventStats, Recipients, RunLimits, RunOutcome, SimConfig, Simulation};
+pub use sim::{
+    DeliveryMode, EventStats, Recipients, RunLimits, RunOutcome, SimConfig, Simulation, Topology,
+};

@@ -5,7 +5,7 @@
 //! (operation → cost), plus reproduction-specific extras (bytes per
 //! addition, server queue depth).
 
-use mether_net::{NetStats, SimDuration};
+use mether_net::{BridgeStats, NetStats, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -24,8 +24,21 @@ pub struct ProtocolMetrics {
     /// Mean per-host system time (application traps + the user-level
     /// server's work, which is mostly syscalls on this platform).
     pub sys: SimDuration,
-    /// Network traffic counters for the whole run.
+    /// Network traffic counters for the whole run (all segments summed —
+    /// the flat-network view existing consumers expect).
     pub net: NetStats,
+    /// Per-segment traffic counters (one entry on a flat topology;
+    /// `net` is their sum). Losses and decode errors stay attributable
+    /// to the wire they happened on.
+    pub net_segments: Vec<NetStats>,
+    /// Bridge counters: cross-segment traffic, filtered (kept-local)
+    /// frames, queue drops. All zero on a flat topology.
+    pub bridge: BridgeStats,
+    /// Mean frames snooped per host — the paper's per-host network load
+    /// in frame terms; the number segment filtering shrinks.
+    pub frames_heard_mean: f64,
+    /// Frames snooped by the busiest host.
+    pub frames_heard_max: u64,
     /// Offered network load in bytes/second (wire bytes ÷ wall).
     pub net_load_bps: f64,
     /// Wire bytes per completed addition.
@@ -91,7 +104,27 @@ impl fmt::Display for ProtocolMetrics {
             self.net.requests,
             self.net.data_packets,
             self.max_server_queue
-        )
+        )?;
+        writeln!(
+            f,
+            "  {:<24} {:.1} mean / {} max per host",
+            "Frames Snooped", self.frames_heard_mean, self.frames_heard_max
+        )?;
+        if self.net_segments.len() > 1 {
+            for (i, s) in self.net_segments.iter().enumerate() {
+                writeln!(f, "  {:<24} {}", format!("Segment {i}"), s)?;
+            }
+            writeln!(
+                f,
+                "  {:<24} {} frames / {} bytes forwarded, {} kept local, {} queue drops",
+                "Bridge",
+                self.bridge.forwarded,
+                self.bridge.bytes_forwarded,
+                self.bridge.filtered,
+                self.bridge.queue_drops
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -107,6 +140,10 @@ mod tests {
             user: SimDuration::from_secs(1),
             sys: SimDuration::from_secs(2),
             net: NetStats::new(),
+            net_segments: vec![NetStats::new()],
+            bridge: BridgeStats::default(),
+            frames_heard_mean: 12.0,
+            frames_heard_max: 16,
             net_load_bps: 2200.0,
             bytes_per_addition: 148.0,
             ctx_switches: 4096,

@@ -23,27 +23,89 @@
 //! hosts. [`DeliveryMode::PerHostCompat`] preserves the old
 //! one-event-per-recipient schedule solely so regression tests can pin
 //! the two orderings to identical outcomes.
+//!
+//! # Multi-segment topologies
+//!
+//! A [`Topology::Segmented`] deployment splits the hosts into contiguous
+//! blocks ([`mether_core::SegmentLayout`]), one bridged Ethernet segment
+//! per block. The event engine gives each segment its own *delivery
+//! lane*: an independent [`EtherSim`] instance per segment (own carrier
+//! state, own loss RNG, own [`mether_net::NetStats`]) feeding the one
+//! shared time heap — so two segments clock frames out concurrently in
+//! simulated time instead of serialising on a single medium, while
+//! event ordering stays globally deterministic.
+//!
+//! A transit on segment *s* becomes one `Deliver` event whose
+//! [`Recipients::Subset`] is *s*'s member bitmask (minus the sender):
+//! exactly one segment's snoopers hear it, never the whole cluster. The
+//! frame is simultaneously picked up by the store-and-forward
+//! [`mether_net::Bridge`], whose filter (page homes, learned interest,
+//! flooded requests — see [`mether_net::bridge`]) decides which other
+//! segments must hear it. Each forwarded copy is a `BridgeForward`
+//! event: at its bridge-exit time it is transmitted on the destination
+//! segment's own medium (queueing there like any local frame) and fans
+//! out to that segment's members. Forwarded frames are never picked up
+//! again — the star bridge reaches every destination segment directly,
+//! so no forwarding path revisits the bridge and no loop is possible.
 
 use crate::calib::Calib;
 use crate::host::{HostAction, HostSim};
 use crate::metrics::ProtocolMetrics;
 use crate::process::Workload;
-use mether_core::{MetherConfig, Packet, PageId};
-use mether_net::{EtherConfig, EtherSim, SimDuration, SimTime};
+use mether_core::{HostMask, MetherConfig, Packet, PageHomePolicy, PageId, SegmentLayout};
+use mether_net::{Bridge, BridgeConfig, BridgeStats, EtherConfig, EtherSim, SimDuration, SimTime};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+/// How the deployment's hosts are wired together.
+#[derive(Debug, Clone, Default)]
+pub enum Topology {
+    /// Every host on one shared broadcast segment — the paper's testbed.
+    #[default]
+    Flat,
+    /// The hosts split over several bridged Ethernet segments (contiguous
+    /// blocks, per [`mether_core::SegmentLayout`]), joined by a filtering
+    /// store-and-forward bridge.
+    Segmented {
+        /// Number of segments (`1..=hosts`; a 1-segment topology is
+        /// behaviourally identical to [`Topology::Flat`] but exercises
+        /// the masked delivery path — the equivalence is regression-
+        /// pinned).
+        segments: usize,
+        /// Bridge timing, queueing, and fault-injection knobs.
+        bridge: BridgeConfig,
+        /// Which segment each page is homed to (seeded there, and the
+        /// bridge keeps the home subscribed to the page's transits).
+        homes: PageHomePolicy,
+    },
+}
+
+impl Topology {
+    /// A segmented topology with default bridge parameters and striped
+    /// page homes.
+    pub fn segmented(segments: usize) -> Topology {
+        Topology::Segmented {
+            segments,
+            bridge: BridgeConfig::typical(),
+            homes: PageHomePolicy::Striped,
+        }
+    }
+}
 
 /// Static description of a simulated deployment.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Number of workstations on the segment.
+    /// Number of workstations on the network.
     pub hosts: usize,
     /// Host-side cost model.
     pub calib: Calib,
-    /// Network model parameters.
+    /// Network model parameters (applied to every segment; loss seeds
+    /// are derived per segment).
     pub ether: EtherConfig,
     /// Mether page configuration.
     pub mether: MetherConfig,
+    /// Segment wiring: one flat broadcast domain, or bridged segments.
+    pub topology: Topology,
 }
 
 impl SimConfig {
@@ -54,6 +116,17 @@ impl SimConfig {
             calib: Calib::sun3_sunos4(),
             ether: EtherConfig::ten_megabit(),
             mether: MetherConfig::new(),
+            topology: Topology::Flat,
+        }
+    }
+
+    /// The paper's testbed scaled out: `segments` bridged 10 Mbit/s
+    /// segments of `hosts_per_segment` Sun-3/50s each, default bridge,
+    /// striped page homes.
+    pub fn paper_segmented(segments: usize, hosts_per_segment: usize) -> Self {
+        SimConfig {
+            topology: Topology::segmented(segments),
+            ..Self::paper(segments * hosts_per_segment)
         }
     }
 }
@@ -90,18 +163,46 @@ pub struct RunOutcome {
 /// The hosts one popped transit delivers to.
 ///
 /// A broadcast Ethernet has no per-recipient state: every NIC on the
-/// segment hears every frame. `Recipients` keeps that O(1) on the event
-/// heap — the common case is [`Recipients::AllExcept`] (everyone snoops,
-/// the sender ignores its own frame), which costs two words however many
-/// hosts share the segment.
+/// segment hears every frame. `Recipients` keeps that O(1)-sized on the
+/// event heap — [`Recipients::AllExcept`] (flat networks: everyone
+/// snoops, the sender ignores its own frame) costs two words however
+/// many hosts share the segment, and [`Recipients::Subset`] (segmented
+/// networks: exactly one segment's members) is a u128 bitmask iterated
+/// in O(set bits). Fan-out order is ascending host index for every
+/// variant, which is what lets the delivery-mode and topology
+/// regression tests pin them to identical outcomes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Recipients {
-    /// Every host on the segment except the sender — the broadcast case.
+    /// Every host on the (flat) network except the sender.
     AllExcept(usize),
     /// Exactly one host. Used by [`DeliveryMode::PerHostCompat`] (one
     /// event per recipient, the pre-overhaul schedule) and available for
     /// future unicast transports.
     One(usize),
+    /// Exactly the masked hosts — one bridged segment's snoopers, the
+    /// sender (if a member) already excluded by the scheduler.
+    Subset(HostMask),
+}
+
+impl Recipients {
+    /// The recipient set as a bitmask, for an `n`-host deployment.
+    ///
+    /// This is definitional for delivery: all three variants fan out in
+    /// the mask's ascending order, so `Subset(AllExcept's mask)` and
+    /// `AllExcept` are interchangeable (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`HostMask::CAPACITY`] (the run loop fans
+    /// `AllExcept` out without materialising a mask, so flat deployments
+    /// beyond the mask capacity only hit this in diagnostics).
+    pub fn to_mask(self, n: usize) -> HostMask {
+        match self {
+            Recipients::AllExcept(sender) => HostMask::all_except(n, sender),
+            Recipients::One(h) => HostMask::single(h).intersection(HostMask::all_below(n)),
+            Recipients::Subset(m) => m.intersection(HostMask::all_below(n)),
+        }
+    }
 }
 
 /// How packet transits become host deliveries.
@@ -130,6 +231,14 @@ enum EvKind {
     /// per-recipient arrival events in [`DeliveryMode::PerTransit`].
     Deliver {
         to: Recipients,
+        pkt: Arc<Packet>,
+    },
+    /// A forwarded frame exits the bridge toward segment `dst`: transmit
+    /// it on `dst`'s own medium (where it queues like a local frame) and
+    /// schedule the resulting segment-masked delivery. Never re-enters
+    /// the bridge.
+    BridgeForward {
+        dst: usize,
         pkt: Arc<Packet>,
     },
     Timer {
@@ -171,6 +280,9 @@ pub struct EventStats {
     /// Events pushed specifically to deliver packet transits (the
     /// component the per-transit overhaul shrinks by ~hosts×).
     pub delivery_pushes: u64,
+    /// Events pushed to carry frames across the bridge (one per frame
+    /// copy per destination segment; zero on flat topologies).
+    pub bridge_pushes: u64,
     /// Packet transits that reached at least one recipient.
     pub transits: u64,
     /// Peak heap depth observed.
@@ -180,7 +292,14 @@ pub struct EventStats {
 /// A complete simulated deployment, ready to run.
 pub struct Simulation {
     hosts: Vec<HostSim>,
-    ether: EtherSim,
+    /// One delivery lane per segment: independent carrier state, loss
+    /// RNG, and traffic counters. Flat deployments have exactly one.
+    segments: Vec<EtherSim>,
+    /// Host→segment blocks; `None` on [`Topology::Flat`] (which also
+    /// lifts the 128-host mask capacity limit).
+    layout: Option<SegmentLayout>,
+    /// The filtering store-and-forward bridge; `None` on flat networks.
+    bridge: Option<Bridge>,
     events: BinaryHeap<Ev>,
     seq: u64,
     now: SimTime,
@@ -193,15 +312,40 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.hosts` is zero.
+    /// Panics if `cfg.hosts` is zero, or if a [`Topology::Segmented`]
+    /// layout is invalid (zero segments, more segments than hosts, or
+    /// more hosts than [`HostMask::CAPACITY`]).
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.hosts > 0, "a simulation needs at least one host");
-        let hosts = (0..cfg.hosts)
+        let hosts: Vec<HostSim> = (0..cfg.hosts)
             .map(|i| HostSim::new(i, cfg.calib.clone(), cfg.mether.clone()))
             .collect();
+        let (segments, layout, bridge) = match cfg.topology {
+            Topology::Flat => (vec![EtherSim::new(cfg.ether)], None, None),
+            Topology::Segmented {
+                segments,
+                bridge,
+                homes,
+            } => {
+                let layout = match SegmentLayout::new(cfg.hosts, segments) {
+                    Ok(l) => l,
+                    Err(e) => panic!("invalid segmented topology: {e}"),
+                };
+                let ethers = (0..segments)
+                    .map(|s| EtherSim::new(cfg.ether.clone().for_segment(s)))
+                    .collect();
+                (
+                    ethers,
+                    Some(layout),
+                    Some(Bridge::new(layout, homes, bridge)),
+                )
+            }
+        };
         Simulation {
             hosts,
-            ether: EtherSim::new(cfg.ether),
+            segments,
+            layout,
+            bridge,
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -238,14 +382,65 @@ impl Simulation {
         &self.hosts[i]
     }
 
+    /// Number of hosts in the deployment.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Network traffic so far.
+    /// Whole-network traffic so far: the per-segment counters summed
+    /// (the view existing flat-network callers expect).
     pub fn net_stats(&self) -> mether_net::NetStats {
-        *self.ether.stats()
+        mether_net::NetStats::sum(self.segments.iter().map(EtherSim::stats))
+    }
+
+    /// Number of Ethernet segments (1 on a flat topology).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Traffic counters of segment `seg` alone — losses, decode errors
+    /// and the rest stay attributable to the wire they happened on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn segment_stats(&self, seg: usize) -> &mether_net::NetStats {
+        self.segments[seg].stats()
+    }
+
+    /// The segment host `host` sits on (0 for every host of a flat
+    /// deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range on a segmented topology.
+    pub fn segment_of(&self, host: usize) -> usize {
+        self.layout.map_or(0, |l| l.segment_of(host))
+    }
+
+    /// Bridge traffic counters; `None` on a flat topology.
+    pub fn bridge_stats(&self) -> Option<BridgeStats> {
+        self.bridge.as_ref().map(Bridge::stats)
+    }
+
+    /// Statically subscribes segment `seg` to `page`'s transits (see
+    /// [`mether_net::BridgePolicy::subscribe`]) — required when a
+    /// segment's only consumers of the page are data-driven readers,
+    /// which never transmit anything the bridge could learn from.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flat topology or an out-of-range segment.
+    pub fn subscribe_segment(&mut self, page: PageId, seg: usize) {
+        self.bridge
+            .as_mut()
+            .expect("subscribe_segment needs a segmented topology")
+            .subscribe(page, seg);
     }
 
     fn push(&mut self, at: SimTime, kind: EvKind) {
@@ -270,49 +465,107 @@ impl Simulation {
         }
     }
 
+    /// Schedules the delivery of one completed transit to `recipients`
+    /// (a segment's members, or the whole flat network) at `at`,
+    /// honouring the delivery mode: one fanned-out event per transit, or
+    /// the compat one-event-per-recipient schedule in the same ascending
+    /// host order.
+    fn schedule_delivery(&mut self, at: SimTime, recipients: Recipients, pkt: &Arc<Packet>) {
+        match self.delivery {
+            DeliveryMode::PerTransit => {
+                // One heap event per transit, however many hosts snoop
+                // it: the network does the fan-out (at pop time), not
+                // the event queue.
+                self.push(
+                    at,
+                    EvKind::Deliver {
+                        to: recipients,
+                        pkt: Arc::clone(pkt),
+                    },
+                );
+            }
+            DeliveryMode::PerHostCompat => {
+                // Pre-overhaul schedule: one arrival event per recipient
+                // with consecutive sequence numbers. They pop
+                // contiguously in host order — exactly the order the
+                // per-transit fan-out walks.
+                match recipients {
+                    Recipients::AllExcept(from) => {
+                        for h in 0..self.hosts.len() {
+                            if h != from {
+                                self.push(
+                                    at,
+                                    EvKind::Deliver {
+                                        to: Recipients::One(h),
+                                        pkt: Arc::clone(pkt),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Recipients::Subset(mask) => {
+                        for h in mask {
+                            self.push(
+                                at,
+                                EvKind::Deliver {
+                                    to: Recipients::One(h),
+                                    pkt: Arc::clone(pkt),
+                                },
+                            );
+                        }
+                    }
+                    Recipients::One(_) => self.push(
+                        at,
+                        EvKind::Deliver {
+                            to: recipients,
+                            pkt: Arc::clone(pkt),
+                        },
+                    ),
+                }
+            }
+        }
+    }
+
     fn apply(&mut self, actions: Vec<HostAction>) {
         for a in actions {
             match a {
                 HostAction::Transmit(pkt) => {
-                    let tx = self.ether.transmit(self.now, &pkt);
+                    let from = pkt.from().0 as usize;
+                    let seg = self.layout.map_or(0, |l| l.segment_of(from));
+                    let tx = self.segments[seg].transmit(self.now, &pkt);
                     if let Some(at) = tx.delivered_at {
-                        let from = pkt.from().0 as usize;
                         if self.hosts.len() <= 1 {
-                            continue; // nobody on the segment to snoop
+                            continue; // nobody anywhere to snoop
                         }
                         self.ev_stats.transits += 1;
                         let shared = Arc::new(pkt);
-                        match self.delivery {
-                            DeliveryMode::PerTransit => {
-                                // One heap event per transit, however
-                                // many hosts snoop it: the network does
-                                // the fan-out (at pop time), not the
-                                // event queue.
+                        let recipients = match self.layout {
+                            // Flat: the whole network snoops.
+                            None => Some(Recipients::AllExcept(from)),
+                            // Segmented: exactly this segment's members
+                            // (the sender alone on its segment has no
+                            // local snoopers, but the bridge below may
+                            // still carry the frame out).
+                            Some(l) => {
+                                let mask = l.members(seg).without(from);
+                                (!mask.is_empty()).then_some(Recipients::Subset(mask))
+                            }
+                        };
+                        if let Some(r) = recipients {
+                            self.schedule_delivery(at, r, &shared);
+                        }
+                        // The bridge port on this segment heard the frame
+                        // too; schedule each forwarded copy's bridge exit.
+                        if let Some(bridge) = self.bridge.as_mut() {
+                            for (dst, exit) in bridge.pickup(&shared, seg, at) {
+                                self.ev_stats.bridge_pushes += 1;
                                 self.push(
-                                    at,
-                                    EvKind::Deliver {
-                                        to: Recipients::AllExcept(from),
-                                        pkt: shared,
+                                    exit,
+                                    EvKind::BridgeForward {
+                                        dst,
+                                        pkt: Arc::clone(&shared),
                                     },
                                 );
-                            }
-                            DeliveryMode::PerHostCompat => {
-                                // Pre-overhaul schedule: N−1 arrival
-                                // events with consecutive sequence
-                                // numbers. They pop contiguously in host
-                                // order — exactly the order the
-                                // per-transit fan-out walks.
-                                for h in 0..self.hosts.len() {
-                                    if h != from {
-                                        self.push(
-                                            at,
-                                            EvKind::Deliver {
-                                                to: Recipients::One(h),
-                                                pkt: Arc::clone(&shared),
-                                            },
-                                        );
-                                    }
-                                }
                             }
                         }
                     }
@@ -370,7 +623,35 @@ impl Simulation {
                             }
                         }
                     }
+                    Recipients::Subset(mask) => {
+                        // The segment-masked fan-out: ascending host
+                        // order and the same early exit as the flat
+                        // broadcast above.
+                        for h in mask {
+                            self.hosts[h].deliver_packet(self.now, Arc::clone(&pkt));
+                            self.kick(h);
+                            if self.hosts.iter().all(HostSim::all_done) {
+                                break;
+                            }
+                        }
+                    }
                 },
+                EvKind::BridgeForward { dst, pkt } => {
+                    // The forwarded copy exits the bridge now: clock it
+                    // out on the destination segment's own medium (it
+                    // queues there behind local traffic) and fan it out
+                    // to that segment's members. The original sender is
+                    // not on `dst`, so nobody is excluded; the frame is
+                    // not offered back to the bridge, so it cannot loop.
+                    let tx = self.segments[dst].transmit(self.now, &pkt);
+                    if let Some(at) = tx.delivered_at {
+                        let mask = self
+                            .layout
+                            .expect("bridge events only exist on segmented topologies")
+                            .members(dst);
+                        self.schedule_delivery(at, Recipients::Subset(mask), &pkt);
+                    }
+                }
                 EvKind::Timer { host, proc } => {
                     self.hosts[host].timer_fired(proc);
                     self.kick(host);
@@ -426,10 +707,17 @@ impl Simulation {
         }
         let net = self.net_stats();
         let wall_secs = wall.as_secs_f64();
+        let frames_heard_max = self.hosts.iter().map(|h| h.frames_heard).max().unwrap_or(0);
+        let frames_heard_mean =
+            self.hosts.iter().map(|h| h.frames_heard).sum::<u64>() as f64 / nhosts as f64;
         ProtocolMetrics {
             label: label.to_string(),
             finished,
             wall,
+            net_segments: self.segments.iter().map(|e| *e.stats()).collect(),
+            bridge: self.bridge_stats().unwrap_or_default(),
+            frames_heard_mean,
+            frames_heard_max,
             user: SimDuration::from_nanos(user.as_nanos() / nhosts),
             sys: SimDuration::from_nanos(sys.as_nanos() / nhosts),
             net,
@@ -461,8 +749,9 @@ impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Simulation(hosts={}, now={}, queued={})",
+            "Simulation(hosts={}, segments={}, now={}, queued={})",
             self.hosts.len(),
+            self.segments.len(),
             self.now,
             self.events.len()
         )

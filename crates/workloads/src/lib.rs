@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod counting;
 pub mod protocols;
 pub mod publisher;
+pub mod segments;
 pub mod solver;
 
 pub use ablations::{
@@ -17,6 +18,10 @@ pub use ablations::{
 pub use counting::{CountingConfig, DisjointPageCounter, LossPolicy, SharedPageCounter};
 pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
 pub use publisher::{build_publisher_sim, Publisher};
+pub use segments::{
+    build_cross_segment_counting, build_segmented_counting_pairs, build_segmented_publisher,
+    build_segmented_solver, run_segmented, SegmentedReport,
+};
 pub use solver::{
     jacobi_step, run_solver_speedup, SolverConfig, SolverWorker, SparseMatrix, SpeedupPoint,
 };

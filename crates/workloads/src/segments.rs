@@ -1,0 +1,297 @@
+//! Multi-segment scenarios: the paper's workloads scaled past one
+//! broadcast domain.
+//!
+//! One shared Ethernet makes every transit everyone's problem — per-host
+//! frames-snooped grows with cluster-wide traffic, and the broadcast
+//! domain is the scaling ceiling. These builders place the §4 counting
+//! pairs, the §3 solver, and the broadcast-heavy publisher onto bridged
+//! [`Topology::Segmented`] deployments where page homes follow the
+//! hosts that use them, so the bridge's filter keeps local sharing
+//! local. [`run_segmented`] wraps a run with the cross-segment
+//! accounting (bridge bytes per request-bearing fault, per-host frames
+//! snooped) that makes the isolation measurable; the headline numbers —
+//! per-host frames heard on 4×8 segments vs 1×32 flat — are pinned by
+//! `tests/tests/segmented_topology.rs` and recorded in
+//! `BENCH_baseline.json`.
+
+use crate::counting::CountingConfig;
+use crate::publisher::Publisher;
+use crate::solver::{SolverConfig, SolverWorker};
+use crate::{build_counting, DisjointPageCounter, Protocol};
+use mether_core::PageId;
+use mether_sim::{ProtocolMetrics, RunLimits, RunOutcome, SimConfig, Simulation, Topology};
+
+/// First host index of segment `seg` when every segment holds
+/// `hosts_per_segment` hosts (the even layouts these builders produce).
+fn first_host(seg: usize, hosts_per_segment: usize) -> usize {
+    seg * hosts_per_segment
+}
+
+/// The broadcast-heavy publisher on a segmented deployment: one
+/// publisher on host 0 writes-and-purges page 0 (homed to segment 0),
+/// `segments × hosts_per_segment` hosts in total. Nobody off segment 0
+/// ever touches the page, so a correct bridge filter keeps every one of
+/// those broadcasts local — the flat-vs-segmented frames-snooped ratio
+/// this produces is the PR's acceptance criterion.
+///
+/// # Panics
+///
+/// Panics on a zero-sized layout.
+pub fn build_segmented_publisher(
+    segments: usize,
+    hosts_per_segment: usize,
+    cycles: u32,
+) -> Simulation {
+    let mut sim = Simulation::new(SimConfig::paper_segmented(segments, hosts_per_segment));
+    let page = PageId::new(0);
+    sim.create_owned(0, page);
+    sim.add_process(0, Box::new(Publisher::new(page, cycles)));
+    sim
+}
+
+/// The final counting protocol (P5) run as *pairs across segment
+/// boundaries*: pair `p` has one party on the first host of segment
+/// `2p` and the other on the first host of segment `2p+1`, on its own
+/// disjoint page pair homed to those segments. With an odd segment
+/// count the leftover segment runs a purely local pair (both parties on
+/// it), which doubles as the control: its traffic must never cross the
+/// bridge.
+///
+/// Each pair's pages are `PageId(seg)` (and `PageId(seg + segments)`
+/// for a local pair's second page), so the striped home policy lands
+/// every page on the segment of the host that seeds it.
+///
+/// # Panics
+///
+/// Panics if `segments < 2`, or if an odd layout's leftover segment has
+/// fewer than two hosts to carry the local pair.
+pub fn build_segmented_counting_pairs(
+    segments: usize,
+    hosts_per_segment: usize,
+    cfg: &CountingConfig,
+) -> Simulation {
+    assert!(segments >= 2, "cross-segment counting needs two segments");
+    assert!(
+        segments.is_multiple_of(2) || hosts_per_segment >= 2,
+        "an odd layout's local pair needs two hosts on the leftover segment"
+    );
+    let mut sim = Simulation::new(SimConfig::paper_segmented(segments, hosts_per_segment));
+    for p in 0..segments / 2 {
+        let (seg_a, seg_b) = (2 * p, 2 * p + 1);
+        let (host_a, host_b) = (
+            first_host(seg_a, hosts_per_segment),
+            first_host(seg_b, hosts_per_segment),
+        );
+        let (page_a, page_b) = (PageId::new(seg_a as u32), PageId::new(seg_b as u32));
+        sim.create_owned(host_a, page_a);
+        sim.create_owned(host_b, page_b);
+        sim.add_process(
+            host_a,
+            Box::new(DisjointPageCounter::protocol5(*cfg, 0, page_a, page_b)),
+        );
+        sim.add_process(
+            host_b,
+            Box::new(DisjointPageCounter::protocol5(*cfg, 1, page_b, page_a)),
+        );
+    }
+    if !segments.is_multiple_of(2) {
+        let seg = segments - 1;
+        let h = first_host(seg, hosts_per_segment);
+        let (page_a, page_b) = (
+            PageId::new(seg as u32),
+            PageId::new((seg + segments) as u32),
+        );
+        sim.create_owned(h, page_a);
+        sim.create_owned(h + 1, page_b);
+        sim.add_process(
+            h,
+            Box::new(DisjointPageCounter::protocol5(*cfg, 0, page_a, page_b)),
+        );
+        sim.add_process(
+            h + 1,
+            Box::new(DisjointPageCounter::protocol5(*cfg, 1, page_b, page_a)),
+        );
+    }
+    sim
+}
+
+/// The §3 solver with one worker per segment: rank `r` sits on the
+/// first host of segment `r` and publishes its halo page `PageId(r)`
+/// (striped home = its own segment). Halo exchange with the neighbour
+/// ranks is exactly the cross-segment miss path: the demand check
+/// floods a request over the bridge, the reply and every later purge
+/// broadcast follow the learned interest back.
+///
+/// # Panics
+///
+/// Panics on a zero-sized layout.
+pub fn build_segmented_solver(
+    segments: usize,
+    hosts_per_segment: usize,
+    cfg: SolverConfig,
+) -> Simulation {
+    let mut sim = Simulation::new(SimConfig::paper_segmented(segments, hosts_per_segment));
+    for rank in 0..segments {
+        let host = first_host(rank, hosts_per_segment);
+        sim.create_owned(host, PageId::new(rank as u32));
+        sim.add_process(host, Box::new(SolverWorker::new(cfg, rank, segments)));
+    }
+    sim
+}
+
+/// A single §4 two-host counting protocol stretched across a segment
+/// boundary: the standard deployment of `protocol`, but with each party
+/// on its own bridged segment. Drives every packet kind and wake path
+/// through the bridge; the topology-equivalence regressions and the
+/// segmented experiments both use it.
+pub fn build_cross_segment_counting(protocol: Protocol, cfg: &CountingConfig) -> Simulation {
+    let sim_cfg = SimConfig {
+        topology: Topology::segmented(2),
+        ..SimConfig::paper(2)
+    };
+    build_counting(protocol, cfg, sim_cfg)
+}
+
+/// What a segmented run measured, beyond the flat-network metrics.
+#[derive(Debug, Clone)]
+pub struct SegmentedReport {
+    /// The paper-shaped metrics table (includes per-segment
+    /// [`mether_net::NetStats`] and the bridge counters).
+    pub metrics: ProtocolMetrics,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Wire bytes the bridge carried between segments.
+    pub cross_segment_bytes: u64,
+    /// Cross-segment bytes per request-bearing page fault (demand +
+    /// consistent faults; data-driven faults are passive and send
+    /// nothing). `NaN` when the run took no such faults.
+    pub cross_bytes_per_fault: f64,
+    /// Request-bearing page faults across all hosts.
+    pub faults: u64,
+}
+
+/// Runs a segmented simulation to completion (or its limits) and
+/// assembles the cross-segment accounting.
+pub fn run_segmented(
+    sim: &mut Simulation,
+    label: &str,
+    space_pages: u32,
+    limits: RunLimits,
+) -> SegmentedReport {
+    let outcome = sim.run(limits);
+    let metrics = sim.metrics(label, outcome.finished, space_pages);
+    let cross_segment_bytes = metrics.bridge.bytes_forwarded;
+    let faults: u64 = (0..sim.host_count())
+        .map(|h| {
+            let s = sim.host(h).table.stats();
+            s.demand_faults + s.consistent_faults
+        })
+        .sum();
+    let cross_bytes_per_fault = if faults == 0 {
+        f64::NAN
+    } else {
+        cross_segment_bytes as f64 / faults as f64
+    };
+    SegmentedReport {
+        metrics,
+        outcome,
+        cross_segment_bytes,
+        cross_bytes_per_fault,
+        faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mether_net::SimDuration;
+
+    #[test]
+    fn publisher_broadcasts_stay_on_their_segment() {
+        let mut sim = build_segmented_publisher(2, 2, 8);
+        let report = run_segmented(&mut sim, "publisher 2x2", 1, RunLimits::default());
+        assert!(report.outcome.finished);
+        // Page 0 is homed on segment 0 and nobody else wants it: the
+        // bridge filtered every transit.
+        assert_eq!(report.cross_segment_bytes, 0);
+        assert_eq!(
+            sim.segment_stats(1).packets,
+            0,
+            "segment 1's wire is silent"
+        );
+        assert_eq!(sim.host(2).frames_heard, 0);
+        assert_eq!(sim.host(3).frames_heard, 0);
+        // Host 1 shares the publisher's segment and snooped everything.
+        assert!(sim.host(1).frames_heard >= 8);
+        let bridge = sim.bridge_stats().unwrap();
+        assert!(bridge.filtered >= 8, "every broadcast was kept local");
+        assert_eq!(bridge.forwarded, 0);
+    }
+
+    #[test]
+    fn counting_pairs_finish_across_segments() {
+        let cfg = CountingConfig {
+            target: 64,
+            processes: 2,
+            spin: SimDuration::from_micros(48),
+        };
+        let mut sim = build_segmented_counting_pairs(4, 2, &cfg);
+        let report = run_segmented(&mut sim, "counting 4x2 pairs", 4, RunLimits::default());
+        assert!(report.outcome.finished, "{:?}", report.outcome);
+        assert_eq!(
+            report.metrics.additions,
+            2 * 64,
+            "both pairs counted to target"
+        );
+        // Pairs straddle segments, so their traffic crossed the bridge…
+        assert!(report.cross_segment_bytes > 0);
+        assert!(report.faults > 0);
+        assert!(report.cross_bytes_per_fault.is_finite());
+        // …but pair A (segments 0/1) and pair B (segments 2/3) stay
+        // isolated from each other: hosts of pair B never heard pair A's
+        // pages and vice versa — frames heard per host are bounded by
+        // one pair's traffic, not the cluster's.
+        let total: u64 = report.metrics.net.packets;
+        for h in 0..8 {
+            assert!(
+                sim.host(h).frames_heard < total,
+                "host {h} heard {} of {} frames — no cluster-wide flooding",
+                sim.host(h).frames_heard,
+                total
+            );
+        }
+    }
+
+    #[test]
+    fn odd_layout_runs_a_local_control_pair() {
+        let cfg = CountingConfig {
+            target: 32,
+            processes: 2,
+            spin: SimDuration::from_micros(48),
+        };
+        let mut sim = build_segmented_counting_pairs(3, 2, &cfg);
+        let report = run_segmented(&mut sim, "counting 3x2", 4, RunLimits::default());
+        assert!(report.outcome.finished);
+        assert_eq!(report.metrics.additions, 2 * 32);
+        // The leftover segment's local pair used pages homed to itself:
+        // its wire carried traffic, but none of it was forwarded out.
+        assert!(sim.segment_stats(2).packets > 0);
+    }
+
+    #[test]
+    fn solver_ranks_exchange_halos_across_the_bridge() {
+        let cfg = SolverConfig {
+            iterations: 5,
+            work_per_iteration: SimDuration::from_millis(20),
+        };
+        let mut sim = build_segmented_solver(3, 2, cfg);
+        let report = run_segmented(&mut sim, "solver 3x2", 3, RunLimits::default());
+        assert!(report.outcome.finished, "{:?}", report.outcome);
+        // Halo exchange is inherently cross-segment here.
+        assert!(report.cross_segment_bytes > 0);
+        // Every segment's wire carried something.
+        for seg in 0..3 {
+            assert!(sim.segment_stats(seg).packets > 0, "segment {seg}");
+        }
+    }
+}

@@ -11,4 +11,12 @@
 //! * `sim_runtime_agreement` — the simulator and the threaded runtime
 //!   agree on protocol-level facts;
 //! * `invariants` — property-based soup testing of the single-
-//!   consistent-holder invariant.
+//!   consistent-holder invariant;
+//! * `event_engine_regression` — per-transit delivery and 1-segment
+//!   bridged topologies pinned byte-identical to their predecessors at
+//!   fixed seeds;
+//! * `segmented_topology` — the multi-segment scaling claim (≥3× fewer
+//!   frames snooped per host on 4×8 segments vs 1×32 flat), bridge
+//!   fault knobs, and the `HostMask`/`Recipients::Subset` properties;
+//! * `wire_roundtrip` / `zero_copy_fanout` — codec framing equivalence
+//!   and the zero-copy page-data path.

@@ -21,7 +21,7 @@
 
 use mether_core::PageId;
 use mether_net::SimDuration;
-use mether_sim::{DeliveryMode, ProtocolMetrics, RunLimits, SimConfig, Simulation};
+use mether_sim::{DeliveryMode, ProtocolMetrics, RunLimits, SimConfig, Simulation, Topology};
 use mether_workloads::{
     build_counting, build_publisher_sim, CountingConfig, Protocol, SolverConfig, SolverWorker,
 };
@@ -49,10 +49,11 @@ fn fingerprint(sim: &Simulation, hosts: usize, m: &ProtocolMetrics) -> String {
         let host = sim.host(h);
         writeln!(
             out,
-            "host{h}: ctx={} server_ns={} latencies={} max_q={}",
+            "host{h}: ctx={} server_ns={} latencies={} heard={} max_q={}",
             host.ctx_switches,
             host.server_time.as_nanos(),
             host.fault_latencies.len(),
+            host.frames_heard,
             host.max_server_queue,
         )
         .unwrap();
@@ -97,8 +98,13 @@ fn fingerprint(sim: &Simulation, hosts: usize, m: &ProtocolMetrics) -> String {
 }
 
 /// Runs `protocol` at `seed` (lossy 10 Mbit Ethernet) under `mode` and
-/// returns the full fingerprint.
-fn counting_fingerprint(protocol: Protocol, seed: u64, mode: DeliveryMode) -> String {
+/// `topology`, and returns the full fingerprint.
+fn counting_fingerprint_on(
+    protocol: Protocol,
+    seed: u64,
+    mode: DeliveryMode,
+    topology: Topology,
+) -> String {
     let cfg = CountingConfig {
         target: 192,
         processes: 2,
@@ -106,6 +112,7 @@ fn counting_fingerprint(protocol: Protocol, seed: u64, mode: DeliveryMode) -> St
     };
     let mut sim_cfg = SimConfig::paper(2);
     sim_cfg.ether = sim_cfg.ether.with_loss(0.02, seed);
+    sim_cfg.topology = topology;
     let mut sim = build_counting(protocol, &cfg, sim_cfg);
     sim.set_delivery_mode(mode);
     let limits = RunLimits {
@@ -117,8 +124,12 @@ fn counting_fingerprint(protocol: Protocol, seed: u64, mode: DeliveryMode) -> St
     fingerprint(&sim, 2, &m)
 }
 
-/// Runs the distributed solver at `seed` under `mode`.
-fn solver_fingerprint(seed: u64, mode: DeliveryMode) -> String {
+fn counting_fingerprint(protocol: Protocol, seed: u64, mode: DeliveryMode) -> String {
+    counting_fingerprint_on(protocol, seed, mode, Topology::Flat)
+}
+
+/// Runs the distributed solver at `seed` under `mode` and `topology`.
+fn solver_fingerprint_on(seed: u64, mode: DeliveryMode, topology: Topology) -> String {
     const WORKERS: usize = 3;
     let cfg = SolverConfig {
         iterations: 6,
@@ -126,6 +137,7 @@ fn solver_fingerprint(seed: u64, mode: DeliveryMode) -> String {
     };
     let mut sim_cfg = SimConfig::paper(WORKERS);
     sim_cfg.ether = sim_cfg.ether.with_loss(0.01, seed);
+    sim_cfg.topology = topology;
     let mut sim = Simulation::new(sim_cfg);
     sim.set_delivery_mode(mode);
     for rank in 0..WORKERS {
@@ -135,6 +147,10 @@ fn solver_fingerprint(seed: u64, mode: DeliveryMode) -> String {
     let outcome = sim.run(RunLimits::default());
     let m = sim.metrics("solver", outcome.finished, WORKERS as u32);
     fingerprint(&sim, WORKERS, &m)
+}
+
+fn solver_fingerprint(seed: u64, mode: DeliveryMode) -> String {
+    solver_fingerprint_on(seed, mode, Topology::Flat)
 }
 
 #[test]
@@ -172,6 +188,47 @@ fn solver_workload_identical_across_delivery_modes_at_fixed_seeds() {
         assert_eq!(
             compat, transit,
             "solver seed {seed}: per-transit delivery diverged from the per-host schedule"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Topology equivalence: a 1-segment *bridged* deployment runs the
+// masked `Recipients::Subset` delivery path with a live (never-
+// forwarding) bridge, where the flat deployment runs `AllExcept` with
+// no bridge at all. For any workload and seed the two must produce
+// byte-identical page states and metrics — the masked path is the flat
+// path, just spelled as a bitmask.
+// ---------------------------------------------------------------------
+
+#[test]
+fn one_segment_bridged_topology_identical_to_flat_counting_at_fixed_seeds() {
+    for protocol in [Protocol::P1, Protocol::P5] {
+        for seed in SEEDS {
+            let flat =
+                counting_fingerprint_on(protocol, seed, DeliveryMode::PerTransit, Topology::Flat);
+            let bridged = counting_fingerprint_on(
+                protocol,
+                seed,
+                DeliveryMode::PerTransit,
+                Topology::segmented(1),
+            );
+            assert_eq!(
+                flat, bridged,
+                "{protocol:?} seed {seed}: 1-segment bridged topology diverged from flat"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_segment_bridged_topology_identical_to_flat_solver_at_fixed_seeds() {
+    for seed in SEEDS {
+        let flat = solver_fingerprint_on(seed, DeliveryMode::PerTransit, Topology::Flat);
+        let bridged = solver_fingerprint_on(seed, DeliveryMode::PerTransit, Topology::segmented(1));
+        assert_eq!(
+            flat, bridged,
+            "solver seed {seed}: 1-segment bridged topology diverged from flat"
         );
     }
 }

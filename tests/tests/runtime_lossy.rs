@@ -16,9 +16,8 @@ use std::time::Duration;
 
 fn lossy_cluster(loss: f64, seed: u64) -> Arc<Cluster> {
     let cfg = ClusterConfig {
-        nodes: 2,
         lan: LanConfig::fast().with_loss(loss, seed),
-        mether: mether_core::MetherConfig::new(),
+        ..ClusterConfig::fast(2)
     };
     Arc::new(Cluster::new(cfg).unwrap())
 }

@@ -9,9 +9,9 @@ use mether_core::{
     Effect, Generation, HostId, HostMask, MapMode, MetherConfig, Packet, PageBuf, PageHomePolicy,
     PageId, PageLength, PageTable, SegmentLayout, VAddr, View, WakeSet, Want,
 };
-use mether_net::{Bridge, BridgeConfig, SimDuration, SimTime};
+use mether_net::{Bridge, BridgeConfig, FabricConfig, RequestRouting, SimDuration, SimTime};
 use mether_sim::{DeliveryMode, RunLimits};
-use mether_workloads::{build_publisher_sim, build_segmented_publisher};
+use mether_workloads::{build_fabric_readers, build_publisher_sim, build_segmented_publisher};
 use std::hint::black_box;
 
 fn bench_addr(c: &mut Criterion) {
@@ -406,7 +406,7 @@ fn bench_segments(c: &mut Criterion) {
         // interest tables + schedule one egress copy (page 1 is homed
         // off the source segment, so every pickup forwards).
         let layout = SegmentLayout::new(32, 4).unwrap();
-        let mut bridge = Bridge::new(
+        let mut bridge = Bridge::star(
             layout,
             PageHomePolicy::Striped,
             BridgeConfig::typical().with_queue_frames(usize::MAX),
@@ -435,6 +435,44 @@ fn bench_segments(c: &mut Criterion) {
             black_box(sum)
         })
     });
+    g.bench_function("tree_4x8", |b| {
+        // The star publisher above on a 2-device balanced tree: same
+        // broadcasts, filtered hop by hop instead of at one device.
+        b.iter(|| {
+            let mut sim = mether_sim::Simulation::new(mether_sim::SimConfig {
+                topology: mether_sim::Topology::fabric(FabricConfig::tree(4, 2)),
+                ..mether_sim::SimConfig::paper(32)
+            });
+            let page = PageId::new(0);
+            sim.create_owned(0, page);
+            sim.add_process(0, Box::new(mether_workloads::Publisher::new(page, 16)));
+            sim.run(RunLimits::default());
+            black_box(sim.event_stats().heap_pushes)
+        })
+    });
+    g.finish();
+}
+
+/// Holder-directed request routing vs PR 3's flooding, end to end: the
+/// holder-stable polling-reader workload on the 4×8 balanced tree (the
+/// acceptance workload of `tests/tests/segmented_topology.rs`). The
+/// structural number is fabric-crossing request frames — the ≥2× drop
+/// pinned there and recorded in `BENCH_baseline.json` — with these wall
+/// numbers showing the run itself does not pay for the routing tables.
+fn bench_bridge_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bridge");
+    let run = |routing: RequestRouting| {
+        let fabric = FabricConfig::tree(4, 2).with_routing(routing);
+        let mut sim = build_fabric_readers(fabric, 8, 12);
+        sim.run(RunLimits::default());
+        sim.bridge_stats().expect("segmented").req_forwarded
+    };
+    g.bench_function("flood_readers_4x8_tree", |b| {
+        b.iter(|| black_box(run(RequestRouting::Flood)))
+    });
+    g.bench_function("route_readers_4x8_tree", |b| {
+        b.iter(|| black_box(run(RequestRouting::HolderDirected)))
+    });
     g.finish();
 }
 
@@ -447,6 +485,7 @@ criterion_group!(
     bench_table,
     bench_wake,
     bench_event_queue,
-    bench_segments
+    bench_segments,
+    bench_bridge_routing
 );
 criterion_main!(benches);

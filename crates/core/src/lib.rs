@@ -72,6 +72,7 @@ pub mod generation;
 pub mod page;
 pub mod rules;
 pub mod table;
+pub mod topology;
 pub mod wire;
 
 pub use addr::{DriveMode, HostMask, HostMaskIter, MapMode, PageId, PageLength, VAddr, View};
@@ -81,4 +82,5 @@ pub use generation::Generation;
 pub use page::PageBuf;
 pub use rules::PageHomePolicy;
 pub use table::{woken_waiters, AccessOutcome, Effect, FaultKind, PageTable, WakeSet};
+pub use topology::BridgeTopology;
 pub use wire::{HostId, Packet, Want, WireFrame};

@@ -183,7 +183,7 @@ impl Presence {
 /// consistent copy itself still migrates freely (the bridge learns
 /// moves by snooping `transfer_to`); the home is a *routing default*,
 /// not an ownership restriction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum PageHomePolicy {
     /// Page `p` is homed to segment `p mod segments` — spreads a shared
     /// working set evenly.
@@ -196,9 +196,63 @@ pub enum PageHomePolicy {
         /// Pages per home block. Must be non-zero.
         pages_per_segment: u32,
     },
+    /// Homes computed from a workload's write graph: each page is homed
+    /// where its dominant writer sits, so the traffic a page generates
+    /// starts (and, for single-writer pages, stays) on the writer's own
+    /// segment. Build with [`PageHomePolicy::from_writes`]. Pages the
+    /// graph never saw fall back to striping.
+    FromWorkload {
+        /// `homes[p]` = home segment of page `p`; [`NO_HOME`] (and any
+        /// page past the end) falls back to [`PageHomePolicy::Striped`].
+        homes: std::sync::Arc<[u16]>,
+    },
 }
 
+/// Sentinel in a [`PageHomePolicy::FromWorkload`] table for pages the
+/// write graph never saw; they fall back to striped homing.
+pub const NO_HOME: u16 = u16::MAX;
+
 impl PageHomePolicy {
+    /// Derives a [`PageHomePolicy::FromWorkload`] from a workload's write
+    /// graph: `(page, writer host, weight)` edges, with each page homed
+    /// to the segment whose hosts carry the greatest total write weight
+    /// (ties break toward the lower segment index, so the result is
+    /// deterministic under edge reordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge names a host outside `layout`.
+    pub fn from_writes(
+        writes: impl IntoIterator<Item = (crate::PageId, usize, u64)>,
+        layout: &crate::SegmentLayout,
+    ) -> Self {
+        // weight[page][segment], grown lazily to the highest page seen.
+        let segs = layout.segments();
+        let mut weight: Vec<Vec<u64>> = Vec::new();
+        for (page, host, w) in writes {
+            let seg = layout.segment_of(host);
+            let idx = page.index() as usize;
+            if weight.len() <= idx {
+                weight.resize_with(idx + 1, || vec![0; segs]);
+            }
+            weight[idx][seg] = weight[idx][seg].saturating_add(w);
+        }
+        let homes: Vec<u16> = weight
+            .iter()
+            .map(|per_seg| {
+                let best = per_seg.iter().copied().max().unwrap_or(0);
+                if best == 0 {
+                    NO_HOME
+                } else {
+                    per_seg.iter().position(|&w| w == best).expect("max exists") as u16
+                }
+            })
+            .collect();
+        PageHomePolicy::FromWorkload {
+            homes: homes.into(),
+        }
+    }
+
     /// The home segment of `page` in a `segments`-segment deployment.
     ///
     /// # Panics
@@ -207,11 +261,21 @@ impl PageHomePolicy {
     /// block size.
     pub fn home_of(&self, page: crate::PageId, segments: usize) -> usize {
         assert!(segments > 0, "a deployment has at least one segment");
+        let striped = page.index() as usize % segments;
         match self {
-            PageHomePolicy::Striped => page.index() as usize % segments,
+            PageHomePolicy::Striped => striped,
             PageHomePolicy::Blocked { pages_per_segment } => {
                 assert!(*pages_per_segment > 0, "block size must be non-zero");
                 (page.index() / pages_per_segment) as usize % segments
+            }
+            PageHomePolicy::FromWorkload { homes } => {
+                // An assigned home from a wider sweep still lands in
+                // range (mod), so one derived table can serve narrower
+                // ablation points; unseen pages stripe.
+                match homes.get(page.index() as usize) {
+                    Some(&h) if h != NO_HOME => h as usize % segments,
+                    _ => striped,
+                }
             }
         }
     }
@@ -328,6 +392,32 @@ mod tests {
         assert_eq!(p.home_of(PageId::new(7), 4), 3);
         // One segment: everything is local.
         assert_eq!(p.home_of(PageId::new(63), 1), 0);
+    }
+
+    #[test]
+    fn from_workload_homes_follow_the_dominant_writer() {
+        use crate::{PageId, SegmentLayout};
+        let layout = SegmentLayout::new(8, 4).unwrap(); // 2 hosts/segment
+        let writes = [
+            // Page 0: host 6 (segment 3) writes most.
+            (PageId::new(0), 0usize, 2u64),
+            (PageId::new(0), 6, 10),
+            // Page 1: tie between segments 1 (host 2) and 2 (host 4):
+            // the lower segment wins.
+            (PageId::new(1), 2, 5),
+            (PageId::new(1), 4, 5),
+            // Page 3: single writer on segment 0.
+            (PageId::new(3), 1, 1),
+        ];
+        let p = PageHomePolicy::from_writes(writes, &layout);
+        assert_eq!(p.home_of(PageId::new(0), 4), 3);
+        assert_eq!(p.home_of(PageId::new(1), 4), 1, "tie breaks low");
+        assert_eq!(p.home_of(PageId::new(3), 4), 0);
+        // Page 2 never written, page 9 beyond the table: striped fallback.
+        assert_eq!(p.home_of(PageId::new(2), 4), 2);
+        assert_eq!(p.home_of(PageId::new(9), 4), 1);
+        // A table derived at 4 segments still answers at 2 (mod).
+        assert_eq!(p.home_of(PageId::new(0), 2), 1);
     }
 
     #[test]

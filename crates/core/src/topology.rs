@@ -1,0 +1,401 @@
+//! How bridged segments are wired together: a *tree of bridges*.
+//!
+//! One filtering bridge joining every segment (PR 3's star) is itself a
+//! scaling ceiling — every cross-segment frame serialises through one
+//! device, and a real building-scale Ethernet of the era was a tree of
+//! two- and multi-port bridges. [`BridgeTopology`] describes that tree:
+//! which bridge devices exist and which segments each one attaches to
+//! (its *ports*). The star survives as the 1-bridge special case.
+//!
+//! The incidence graph (segments ∪ bridges, one edge per port) is
+//! required to be a **tree**, which buys two structural guarantees the
+//! routing layer leans on:
+//!
+//! * **loop freedom by construction** — a frame is never forwarded back
+//!   out its incoming port, and a non-backtracking walk in a tree cannot
+//!   revisit a vertex, so no forwarding rule (however buggy its filter)
+//!   can loop a frame;
+//! * **unique paths** — between any two segments there is exactly one
+//!   bridge path, so the per-device next-hop tables derived here
+//!   ([`BridgeTopology::next_hop`]) are canonical: hop-by-hop forwarding
+//!   along them *is* the unique tree path (property-pinned by
+//!   `tests/tests/bridge_fabric.rs`).
+//!
+//! The topology is pure arithmetic over segment indices; the
+//! discrete-event simulator and the threaded runtime both derive their
+//! bridge wiring from it, so "which device carries a frame from segment
+//! 2 toward segment 5" has exactly one answer across the codebase.
+
+use serde::{Deserialize, Serialize};
+
+/// A tree of bridge devices joining Ethernet segments.
+///
+/// Construct with [`BridgeTopology::star`], [`BridgeTopology::chain`],
+/// [`BridgeTopology::balanced_tree`], or [`BridgeTopology::from_links`];
+/// every constructor validates the tree property.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BridgeTopology {
+    segments: usize,
+    /// `links[b]` = the segments bridge `b` attaches to (its ports),
+    /// sorted ascending.
+    links: Vec<Vec<usize>>,
+    /// `incident[s]` = the bridges attached to segment `s`, ascending.
+    incident: Vec<Vec<usize>>,
+    /// `next[b][dst]` = the port of bridge `b` on the unique tree path
+    /// toward segment `dst` (the segment itself when incident).
+    next: Vec<Vec<u16>>,
+}
+
+impl BridgeTopology {
+    /// One bridge attached to every segment — PR 3's star, and the
+    /// degenerate 1-segment case (a single-port bridge that hears its
+    /// segment and forwards nothing, kept so a "segmented" 1-segment
+    /// deployment still reports bridge counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn star(segments: usize) -> Self {
+        assert!(segments > 0, "a topology needs at least one segment");
+        Self::from_links(segments, vec![(0..segments).collect()])
+            .expect("a star over 1.. segments is always a tree")
+    }
+
+    /// `segments − 1` two-port bridges in a line: bridge `i` joins
+    /// segments `i` and `i + 1`. The deepest topology — worst-case hop
+    /// count, best-case per-device fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 2` (a 1-segment chain has no bridge to
+    /// build; use [`BridgeTopology::star`]).
+    pub fn chain(segments: usize) -> Self {
+        assert!(segments >= 2, "a chain needs at least two segments");
+        Self::from_links(
+            segments,
+            (0..segments - 1).map(|i| vec![i, i + 1]).collect(),
+        )
+        .expect("a chain is always a tree")
+    }
+
+    /// A balanced tree of segments: segment `k`'s parent is segment
+    /// `(k − 1) / fanout` (heap order), one bridge per internal segment
+    /// joining it to its children. `fanout ≥ segments − 1` reproduces
+    /// the star; `fanout = 1` reproduces the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero or `fanout` is zero.
+    pub fn balanced_tree(segments: usize, fanout: usize) -> Self {
+        assert!(segments > 0, "a topology needs at least one segment");
+        assert!(fanout > 0, "a tree needs a non-zero fanout");
+        if segments == 1 {
+            return Self::star(1);
+        }
+        let mut links: Vec<Vec<usize>> = Vec::new();
+        for parent in 0..segments {
+            let first_child = parent * fanout + 1;
+            if first_child >= segments {
+                break;
+            }
+            let mut ports = vec![parent];
+            ports.extend(first_child..(first_child + fanout).min(segments));
+            links.push(ports);
+        }
+        Self::from_links(segments, links).expect("heap-parent wiring is always a tree")
+    }
+
+    /// A topology from explicit bridge→segments attachment lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidConfig`] unless the incidence graph
+    /// is a tree covering every segment: every port in range and listed
+    /// once per bridge, every bridge with ≥ 2 ports (≥ 1 when
+    /// `segments == 1`), every segment reachable, and exactly
+    /// `segments + bridges − 1` edges.
+    pub fn from_links(segments: usize, links: Vec<Vec<usize>>) -> crate::Result<Self> {
+        if segments == 0 {
+            return Err(crate::Error::InvalidConfig(
+                "a topology needs at least one segment".into(),
+            ));
+        }
+        if segments > 1 && links.is_empty() {
+            return Err(crate::Error::InvalidConfig(
+                "multiple segments need at least one bridge".into(),
+            ));
+        }
+        let min_ports = if segments == 1 { 1 } else { 2 };
+        let mut links: Vec<Vec<usize>> = links
+            .into_iter()
+            .map(|mut ports| {
+                ports.sort_unstable();
+                ports
+            })
+            .collect();
+        let mut edges = 0usize;
+        let mut incident: Vec<Vec<usize>> = vec![Vec::new(); segments];
+        for (b, ports) in links.iter().enumerate() {
+            if ports.len() < min_ports {
+                return Err(crate::Error::InvalidConfig(format!(
+                    "bridge {b} has {} port(s); needs at least {min_ports}",
+                    ports.len()
+                )));
+            }
+            for w in ports.windows(2) {
+                if w[0] == w[1] {
+                    return Err(crate::Error::InvalidConfig(format!(
+                        "bridge {b} lists segment {} twice",
+                        w[0]
+                    )));
+                }
+            }
+            for &s in ports {
+                if s >= segments {
+                    return Err(crate::Error::InvalidConfig(format!(
+                        "bridge {b} attaches to segment {s} >= {segments}"
+                    )));
+                }
+                incident[s].push(b);
+                edges += 1;
+            }
+        }
+        // Tree check over the bipartite incidence graph: connected (BFS
+        // from segment 0 reaches every segment and bridge) with exactly
+        // |vertices| − 1 edges.
+        let bridges = links.len();
+        if edges != segments + bridges - 1 {
+            return Err(crate::Error::InvalidConfig(format!(
+                "{edges} ports over {segments} segments + {bridges} bridges is not a tree \
+                 (needs {})",
+                segments + bridges - 1
+            )));
+        }
+        let mut seg_seen = vec![false; segments];
+        let mut br_seen = vec![false; bridges];
+        let mut queue = vec![0usize]; // segment indices
+        seg_seen[0] = true;
+        while let Some(s) = queue.pop() {
+            for &b in &incident[s] {
+                if !br_seen[b] {
+                    br_seen[b] = true;
+                    for &t in &links[b] {
+                        if !seg_seen[t] {
+                            seg_seen[t] = true;
+                            queue.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        if seg_seen.iter().any(|s| !s) || br_seen.iter().any(|b| !b) {
+            return Err(crate::Error::InvalidConfig(
+                "bridge topology is not connected".into(),
+            ));
+        }
+        // Next-hop tables: for each destination segment, walk the tree
+        // outward from it; the port a bridge was first reached through is
+        // its (unique) port toward that destination.
+        let mut next: Vec<Vec<u16>> = vec![vec![0; segments]; bridges];
+        for dst in 0..segments {
+            let mut seg_done = vec![false; segments];
+            let mut br_done = vec![false; bridges];
+            seg_done[dst] = true;
+            let mut frontier = vec![dst];
+            while let Some(s) = frontier.pop() {
+                for &b in &incident[s] {
+                    if br_done[b] {
+                        continue;
+                    }
+                    br_done[b] = true;
+                    next[b][dst] = s as u16;
+                    for &t in &links[b] {
+                        if !seg_done[t] {
+                            seg_done[t] = true;
+                            frontier.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        links.iter_mut().for_each(|p| p.shrink_to_fit());
+        Ok(BridgeTopology {
+            segments,
+            links,
+            incident,
+            next,
+        })
+    }
+
+    /// Number of segments the topology wires together.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Number of bridge devices.
+    pub fn bridges(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The segments bridge `b` attaches to (its ports), ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn ports(&self, b: usize) -> &[usize] {
+        &self.links[b]
+    }
+
+    /// The bridges attached to segment `seg`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn bridges_on(&self, seg: usize) -> &[usize] {
+        &self.incident[seg]
+    }
+
+    /// The port of bridge `b` on the unique tree path toward segment
+    /// `dst` (the segment itself when `dst` is incident to `b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `dst` is out of range.
+    pub fn next_hop(&self, b: usize, dst: usize) -> usize {
+        assert!(dst < self.segments, "segment {dst} >= {}", self.segments);
+        self.next[b][dst] as usize
+    }
+
+    /// True for a single-device topology (every segment on one bridge).
+    pub fn is_star(&self) -> bool {
+        self.links.len() == 1
+    }
+
+    /// The unique bridge path from segment `src` to segment `dst`, as
+    /// `(bridge, egress segment)` hops. Empty when `src == dst`.
+    /// Simulates hop-by-hop next-hop forwarding, so tests can pin that
+    /// the derived tables walk exactly the tree path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either segment is out of range.
+    pub fn path(&self, src: usize, dst: usize) -> Vec<(usize, usize)> {
+        assert!(src < self.segments, "segment {src} >= {}", self.segments);
+        assert!(dst < self.segments, "segment {dst} >= {}", self.segments);
+        let mut hops = Vec::new();
+        let mut here = src;
+        while here != dst {
+            // The bridge incident to `here` whose next hop toward dst is
+            // not `here` itself carries the frame onward; the tree
+            // property makes it unique.
+            let (b, out) = self.incident[here]
+                .iter()
+                .filter_map(|&b| {
+                    let out = self.next_hop(b, dst);
+                    (out != here).then_some((b, out))
+                })
+                .next()
+                .expect("tree is connected, so some incident bridge leads onward");
+            hops.push((b, out));
+            here = out;
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_is_one_bridge_over_all_segments() {
+        let t = BridgeTopology::star(4);
+        assert_eq!(t.bridges(), 1);
+        assert!(t.is_star());
+        assert_eq!(t.ports(0), &[0, 1, 2, 3]);
+        assert_eq!(t.bridges_on(2), &[0]);
+        for dst in 0..4 {
+            assert_eq!(t.next_hop(0, dst), dst, "every port is one hop away");
+        }
+    }
+
+    #[test]
+    fn one_segment_star_is_a_listening_stub() {
+        let t = BridgeTopology::star(1);
+        assert_eq!(t.bridges(), 1);
+        assert_eq!(t.ports(0), &[0]);
+        assert_eq!(t.next_hop(0, 0), 0);
+    }
+
+    #[test]
+    fn chain_hops_segment_by_segment() {
+        let t = BridgeTopology::chain(4);
+        assert_eq!(t.bridges(), 3);
+        assert_eq!(t.ports(1), &[1, 2]);
+        // From bridge 0 (segments 0|1), everything rightward exits port 1.
+        assert_eq!(t.next_hop(0, 3), 1);
+        assert_eq!(t.next_hop(0, 0), 0);
+        // The 0→3 path crosses all three bridges in order.
+        assert_eq!(t.path(0, 3), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.path(3, 0), vec![(2, 2), (1, 1), (0, 0)]);
+    }
+
+    #[test]
+    fn balanced_tree_groups_children_under_parents() {
+        // 4 segments, fanout 2: bridge 0 = {0,1,2}, bridge 1 = {1,3}.
+        let t = BridgeTopology::balanced_tree(4, 2);
+        assert_eq!(t.bridges(), 2);
+        assert_eq!(t.ports(0), &[0, 1, 2]);
+        assert_eq!(t.ports(1), &[1, 3]);
+        assert_eq!(t.next_hop(0, 3), 1, "toward 3 via the subtree at 1");
+        assert_eq!(t.next_hop(1, 0), 1, "toward the root via the parent");
+        assert_eq!(t.path(2, 3), vec![(0, 1), (1, 3)]);
+    }
+
+    #[test]
+    fn balanced_tree_extremes_match_star_and_chain() {
+        assert_eq!(BridgeTopology::balanced_tree(5, 4), BridgeTopology::star(5));
+        assert_eq!(
+            BridgeTopology::balanced_tree(4, 1),
+            BridgeTopology::chain(4)
+        );
+    }
+
+    #[test]
+    fn from_links_rejects_non_trees() {
+        // A cycle: two bridges joining the same two segments.
+        assert!(BridgeTopology::from_links(2, vec![vec![0, 1], vec![0, 1]]).is_err());
+        // Disconnected: segment 2 unreachable.
+        assert!(BridgeTopology::from_links(3, vec![vec![0, 1]]).is_err());
+        // Out-of-range port.
+        assert!(BridgeTopology::from_links(2, vec![vec![0, 2]]).is_err());
+        // Duplicate port on one bridge.
+        assert!(BridgeTopology::from_links(2, vec![vec![0, 0, 1]]).is_err());
+        // One-port bridge on a multi-segment topology.
+        assert!(BridgeTopology::from_links(2, vec![vec![0, 1], vec![0]]).is_err());
+        // No bridge at all over two segments.
+        assert!(BridgeTopology::from_links(2, vec![]).is_err());
+        assert!(BridgeTopology::from_links(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn path_endpoints_and_uniqueness() {
+        let t = BridgeTopology::balanced_tree(7, 2);
+        for src in 0..7 {
+            for dst in 0..7 {
+                let p = t.path(src, dst);
+                if src == dst {
+                    assert!(p.is_empty());
+                } else {
+                    assert_eq!(p.last().unwrap().1, dst, "path ends at dst");
+                    // No segment revisited: tree paths are simple.
+                    let mut seen = vec![src];
+                    for (_, s) in &p {
+                        assert!(!seen.contains(s), "{src}->{dst} revisits {s}");
+                        seen.push(*s);
+                    }
+                }
+            }
+        }
+    }
+}

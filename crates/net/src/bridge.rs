@@ -1,54 +1,103 @@
-//! The multi-port bridge joining several Ethernet segments.
+//! The routed bridge *fabric* joining Ethernet segments.
 //!
 //! Mether's protocols assume one broadcast domain: every server snoops
 //! every frame, and the network does the fan-out. One shared segment is
 //! also the scaling ceiling — every transit burdens every host. Scaling
-//! past it means splitting the cluster into several segments joined by a
-//! *filtering* bridge, and the whole win rests on the filter: a transit
-//! that matters only to its own segment must never cross the bridge.
+//! past it means splitting the cluster into segments joined by
+//! *filtering* bridges, and — once one filtering device is itself the
+//! bottleneck — arranging those bridges as a tree, the way real
+//! segmented Ethernets of the era scaled. This module is that fabric:
 //!
-//! This module supplies the two halves of that device:
+//! # Topology
 //!
-//! * [`BridgePolicy`] — the forwarding filter, shared by the
-//!   discrete-event simulator and the threaded runtime. It is a snoopy
-//!   learning table in the spirit of the protocols it carries:
-//!   - **page homes** ([`mether_core::PageHomePolicy`]): every page's
-//!     home segment is permanently subscribed to its transits, so the
-//!     home always holds fresh copies for cross-segment misses to find;
-//!   - **requests flood**: a `PageRequest` is forwarded to every other
-//!     segment (the consistent copy migrates, so the holder may be
-//!     anywhere) and *registers the requesting segment's interest* in
-//!     the page;
-//!   - **data follows interest**: a `PageData` transit is forwarded only
-//!     to segments that are subscribed — the page's home, segments that
-//!     have requested it, segments a consistent copy transferred to
-//!     (learned by snooping `transfer_to`), and explicit
-//!     [`BridgePolicy::subscribe`] entries (for purely data-driven
-//!     readers, which by design never transmit anything a bridge could
-//!     learn from). Interest is sticky: a segment holding copies keeps
-//!     receiving the snoopy refreshes those copies depend on.
+//! A [`mether_core::BridgeTopology`] describes the tree: each bridge
+//! device attaches to a subset of segments (its *ports*) and only ever
+//! sees traffic on those segments. Frames travel **hop by hop**: a
+//! bridge forwards a frame onto one of its segments, where the other
+//! bridges attached to that segment pick it up and forward it onward.
+//! The star (one device on every segment) is the 1-bridge special case;
+//! chains and balanced trees trade per-device fan-out against hop
+//! count. Loop freedom is by construction — the topology is a tree and
+//! no device forwards a frame back out its incoming port.
 //!
-//! * [`Bridge`] — the simulator's store-and-forward engine wrapped
-//!   around the policy: a forwarding delay, a bounded frame queue that
-//!   tail-drops under overload, and drop/duplicate fault-injection knobs
-//!   ([`BridgeConfig`]), all accounted in [`BridgeStats`]. Egress timing
-//!   is the *exit* time from the bridge; the destination segment's own
-//!   medium model then queues the frame like any other transmission.
+//! # Filtering and routing
+//!
+//! [`BridgePolicy`] is one device's forwarding filter — time-free and
+//! transport-free, shared verbatim by the discrete-event simulator and
+//! the threaded runtime. Per page it keeps, per port:
+//!
+//! * **learned interest** — a port is interested when a `PageRequest`
+//!   arrived on it, a `PageData` transit arrived on it (that side holds
+//!   copies the snoopy protocol must keep refreshed), or a
+//!   `transfer_to` moved the consistent copy toward it. Data transits
+//!   are forwarded to interested ports only.
+//! * the **home port** — the port toward the page's home segment
+//!   ([`mether_core::PageHomePolicy`]), permanently interested so the
+//!   home always holds fresh copies for cross-segment misses to find.
+//!   Never aged out.
+//! * **pins** ([`BridgePolicy::subscribe`]) — explicit subscriptions for
+//!   purely data-driven readers, which by design never transmit
+//!   anything a bridge could learn from. Never aged out.
+//! * the **believed holder port** — learned from the direction
+//!   `PageData` transits arrive from (only when they *advance* the
+//!   page's generation, so a non-holder's stale `Want::Superset` reply
+//!   cannot repoint the belief away from the live holder) and from
+//!   snooped `transfer_to` moves (authoritative — they name the new
+//!   holder). Under [`RequestRouting::HolderDirected`] a `PageRequest`
+//!   is forwarded toward the believed holder, *anchored at the home
+//!   port* (the union of the two, usually one port since placement
+//!   homes pages with their writers), instead of flooding the whole
+//!   fabric; with no belief the request falls back to scoped flooding,
+//!   and the reply repairs the table at every hop it crosses. When
+//!   belief and home both point back out the incoming port the device
+//!   forwards nothing: the frame is already travelling in the holder's
+//!   direction and the next device on that segment continues the
+//!   chase. (`Want::Superset` requests always flood — any host still
+//!   holding a full copy may answer those, not just the consistent
+//!   holder.) One hazard is accepted knowingly: if a `transfer_to`
+//!   frame is lost in flight, the beliefs behind the loss go stale —
+//!   but that frame *was* the consistent copy, so the protocol has
+//!   already lost consistency and wedges identically under flooding;
+//!   routing staleness is bounded by the same failure.
+//!
+//! # Interest aging
+//!
+//! Learned interest carries a last-use stamp; an [`AgeHorizon`] (in
+//! device-forwarded transits, or in sim time) evicts entries whose port
+//! has shown no demand for that long, so a reader segment that stops
+//! touching a page stops receiving its transits. Re-use reinstates the
+//! entry via the ordinary learning path; home ports and pins never age.
+//! The default, [`AgeHorizon::Sticky`], never evicts — PR 3's
+//! behaviour, and the right choice for snoopy workloads whose readers
+//! rely on refreshes between faults.
+//!
+//! # Engine
+//!
+//! [`Bridge`] wraps one device's policy in the simulator's
+//! store-and-forward timing: a forwarding delay, a bounded frame queue
+//! that tail-drops under overload, and drop/duplicate fault-injection
+//! knobs ([`BridgeConfig`]), accounted per device in [`BridgeStats`].
+//! [`Fabric`] owns every device of a topology and fans pickups out to
+//! the devices attached to the transmitting segment. Egress timing is
+//! the *exit* time from a device; the destination segment's own medium
+//! model then queues the frame like any other transmission, and the
+//! remaining devices on that segment hear it there.
 
 use crate::time::{SimDuration, SimTime};
-use mether_core::{HostMask, Packet, PageHomePolicy, PageId, SegmentLayout};
+use mether_core::{BridgeTopology, HostMask, Packet, PageHomePolicy, PageId, SegmentLayout, Want};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// Parameters of the store-and-forward bridge.
+/// Parameters of one store-and-forward bridge device.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BridgeConfig {
-    /// Store-and-forward latency per frame; also the bridge's service
+    /// Store-and-forward latency per frame; also the device's service
     /// time, so back-to-back pickups serialise behind one another.
     pub forward_delay: SimDuration,
-    /// Frames the bridge can hold; a pickup arriving with the queue full
+    /// Frames the device can hold; a pickup arriving with the queue full
     /// is tail-dropped (and counted in [`BridgeStats::queue_drops`]).
     pub queue_frames: usize,
     /// Probability a picked-up frame is discarded entirely (bridge-side
@@ -58,7 +107,9 @@ pub struct BridgeConfig {
     /// duplicate during topology flaps; Mether's generation counters
     /// make duplicates harmless, which this knob exercises).
     pub duplicate: f64,
-    /// Seed for the drop/duplicate injection RNG.
+    /// Seed for the drop/duplicate injection RNG. In a [`Fabric`],
+    /// device `b` runs on `seed + b`, so device 0 of a star reproduces
+    /// the single-bridge stream bit for bit.
     pub seed: u64,
 }
 
@@ -138,15 +189,20 @@ impl Default for BridgeConfig {
     }
 }
 
-/// Cumulative bridge traffic counters.
+/// Cumulative traffic counters of one bridge device (or, summed with
+/// [`BridgeStats::sum`], of a whole fabric).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BridgeStats {
-    /// Frames the bridge heard (one per delivered transit on any segment).
+    /// Frames the device heard (one per delivered transit on any of its
+    /// ports).
     pub heard: u64,
     /// Egress emissions (one per frame per destination segment).
     pub forwarded: u64,
     /// Wire bytes of those egress emissions — the cross-segment traffic.
     pub bytes_forwarded: u64,
+    /// Egress emissions that carried a `PageRequest` — the component
+    /// holder-directed routing shrinks relative to flooding.
+    pub req_forwarded: u64,
     /// Frames with no remote interest, kept local to their segment. The
     /// filter's win: each of these spared every off-segment host a snoop.
     pub filtered: u64,
@@ -158,28 +214,243 @@ pub struct BridgeStats {
     pub duplicated: u64,
 }
 
-/// The forwarding filter: which segments must hear a frame.
+impl BridgeStats {
+    /// Sums per-device counters into a fabric-wide view. Note `heard`
+    /// counts device-pickups, so a frame heard by two devices on one
+    /// segment counts twice — it is per-device work, not wire traffic.
+    pub fn sum<I: IntoIterator<Item = BridgeStats>>(devices: I) -> BridgeStats {
+        devices
+            .into_iter()
+            .fold(BridgeStats::default(), |mut acc, s| {
+                acc.heard += s.heard;
+                acc.forwarded += s.forwarded;
+                acc.bytes_forwarded += s.bytes_forwarded;
+                acc.req_forwarded += s.req_forwarded;
+                acc.filtered += s.filtered;
+                acc.dropped += s.dropped;
+                acc.queue_drops += s.queue_drops;
+                acc.duplicated += s.duplicated;
+                acc
+            })
+    }
+}
+
+/// How a device forwards `PageRequest` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RequestRouting {
+    /// Forward every request out every other port (PR 3's behaviour —
+    /// the consistent copy migrates, so the holder may be anywhere).
+    /// Request traffic grows with the segment count.
+    #[default]
+    Flood,
+    /// Forward a request toward the *believed holder* only, learned from
+    /// the direction data transits arrive from and from snooped
+    /// `transfer_to` moves; fall back to scoped flooding while no belief
+    /// exists, and let replies repair the tables. Request traffic grows
+    /// with tree depth, not segment count.
+    HolderDirected,
+}
+
+/// How long learned interest survives without fresh demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AgeHorizon {
+    /// Interest never expires (PR 3's behaviour): a segment that once
+    /// requested a page receives its transits forever.
+    #[default]
+    Sticky,
+    /// An entry expires after the device has forwarded this many
+    /// transits since the port last showed demand for the page. The
+    /// count is per device and transport-free, so the threaded runtime
+    /// ages exactly like the simulator.
+    Transits(u64),
+    /// An entry expires this long (in sim time) after the port last
+    /// showed demand. Simulator-only: the threaded runtime has no sim
+    /// clock and treats this as [`AgeHorizon::Sticky`].
+    SimTime(SimDuration),
+}
+
+/// Everything needed to instantiate the bridge fabric of a segmented
+/// deployment — shared between [`Fabric`] (the simulator's engine) and
+/// the threaded runtime's bridge threads, so both network models filter
+/// and route identically.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// The tree of bridge devices over the segments.
+    pub topology: BridgeTopology,
+    /// Per-device engine knobs (timing, queueing, fault injection);
+    /// device `b` derives its injection seed as `bridge.seed + b`.
+    pub bridge: BridgeConfig,
+    /// Which segment each page is homed to.
+    pub homes: PageHomePolicy,
+    /// Request forwarding: flood, or holder-directed.
+    pub routing: RequestRouting,
+    /// Learned-interest lifetime.
+    pub aging: AgeHorizon,
+}
+
+impl FabricConfig {
+    /// A fabric over an explicit topology, with default engine knobs,
+    /// striped homes, flooding requests, and sticky interest — the PR 3
+    /// filter on any tree.
+    pub fn new(topology: BridgeTopology) -> Self {
+        FabricConfig {
+            topology,
+            bridge: BridgeConfig::typical(),
+            homes: PageHomePolicy::Striped,
+            routing: RequestRouting::Flood,
+            aging: AgeHorizon::Sticky,
+        }
+    }
+
+    /// The 1-bridge star over `segments` — PR 3's topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn star(segments: usize) -> Self {
+        Self::new(BridgeTopology::star(segments))
+    }
+
+    /// A chain of two-port bridges over `segments`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 2`.
+    pub fn chain(segments: usize) -> Self {
+        Self::new(BridgeTopology::chain(segments))
+    }
+
+    /// A balanced tree over `segments` with the given bridge fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` or `fanout` is zero.
+    pub fn tree(segments: usize, fanout: usize) -> Self {
+        Self::new(BridgeTopology::balanced_tree(segments, fanout))
+    }
+
+    /// Overrides the per-device engine knobs.
+    #[must_use]
+    pub fn with_bridge(mut self, bridge: BridgeConfig) -> Self {
+        self.bridge = bridge;
+        self
+    }
+
+    /// Overrides the page-home policy.
+    #[must_use]
+    pub fn with_homes(mut self, homes: PageHomePolicy) -> Self {
+        self.homes = homes;
+        self
+    }
+
+    /// Overrides the request-routing mode.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RequestRouting) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Overrides the interest-aging horizon.
+    #[must_use]
+    pub fn with_aging(mut self, aging: AgeHorizon) -> Self {
+        self.aging = aging;
+        self
+    }
+}
+
+/// Per-page filter state of one device: which ports must hear the
+/// page's transits, when each last showed demand, and where the
+/// consistent holder is believed to be.
+#[derive(Debug, Clone, Default)]
+struct PageFilter {
+    /// Learned interest (bit = segment id of a port).
+    learned: HostMask,
+    /// Explicit subscriptions (never aged).
+    pinned: HostMask,
+    /// Last demand evidence per port, parallel to the device's port
+    /// list: (device forwarded-transit clock, sim time).
+    stamps: Vec<(u64, SimTime)>,
+    /// Port (segment id) toward the believed consistent holder.
+    holder: Option<u16>,
+    /// Newest generation seen in any data transit for the page. Holder
+    /// beliefs only follow data that *advances* it: `Want::Superset`
+    /// replies come from non-holders by definition (`table.rs`: "never
+    /// the holder itself") and echo a stale generation, so without this
+    /// gate one superset reply would repoint every device on its path
+    /// at a segment that cannot answer ordinary requests.
+    newest_gen: Option<mether_core::Generation>,
+}
+
+/// One device's forwarding filter: which of its ports must hear a frame.
 ///
-/// Time-free and transport-free, so the simulator's [`Bridge`] and the
-/// threaded runtime's bridge threads share the exact same routing logic
-/// (see the module docs for the rules).
+/// Time-free and transport-free, so the simulator's [`Bridge`] engine
+/// and the threaded runtime's bridge threads share the exact same
+/// routing logic (see the module docs for the rules).
 #[derive(Debug, Clone)]
 pub struct BridgePolicy {
     layout: SegmentLayout,
+    topology: Arc<BridgeTopology>,
+    device: usize,
+    /// The device's ports as a segment-id bitmask.
+    ports_mask: HostMask,
     homes: PageHomePolicy,
-    /// Per-page interest masks (bit = segment index), grown lazily and
-    /// initialised to the page's home bit.
-    interest: Vec<HostMask>,
+    routing: RequestRouting,
+    aging: AgeHorizon,
+    /// Per-page filters, grown lazily.
+    pages: Vec<PageFilter>,
+    /// Transits this device has forwarded — the aging clock.
+    clock: u64,
 }
 
 impl BridgePolicy {
-    /// A fresh filter over `layout` with pages homed by `homes`.
-    pub fn new(layout: SegmentLayout, homes: PageHomePolicy) -> Self {
+    /// The filter of device `device` of `topology`, over `layout`, with
+    /// pages homed by `homes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or the topology's segment
+    /// count differs from the layout's.
+    pub fn new(
+        layout: SegmentLayout,
+        topology: Arc<BridgeTopology>,
+        device: usize,
+        homes: PageHomePolicy,
+        routing: RequestRouting,
+        aging: AgeHorizon,
+    ) -> Self {
+        assert_eq!(
+            topology.segments(),
+            layout.segments(),
+            "topology and layout disagree on the segment count"
+        );
+        assert!(device < topology.bridges(), "device {device} out of range");
+        let ports_mask = topology.ports(device).iter().copied().collect();
         BridgePolicy {
             layout,
+            topology,
+            device,
+            ports_mask,
             homes,
-            interest: Vec::new(),
+            routing,
+            aging,
+            pages: Vec::new(),
+            clock: 0,
         }
+    }
+
+    /// The single device of a 1-bridge star with PR 3 semantics
+    /// (flooded requests, sticky interest) — the drop-in equivalent of
+    /// PR 3's `BridgePolicy`.
+    pub fn star(layout: SegmentLayout, homes: PageHomePolicy) -> Self {
+        let topology = Arc::new(BridgeTopology::star(layout.segments()));
+        Self::new(
+            layout,
+            topology,
+            0,
+            homes,
+            RequestRouting::Flood,
+            AgeHorizon::Sticky,
+        )
     }
 
     /// The host layout the filter routes over.
@@ -187,36 +458,86 @@ impl BridgePolicy {
         &self.layout
     }
 
+    /// Which device of the topology this filter belongs to.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
     /// The home segment of `page`.
     pub fn home_of(&self, page: PageId) -> usize {
         self.homes.home_of(page, self.layout.segments())
     }
 
-    fn interest_mut(&mut self, page: PageId) -> &mut HostMask {
+    /// The port of this device toward `page`'s home segment — always
+    /// interested, never aged.
+    pub fn home_port(&self, page: PageId) -> usize {
+        self.topology.next_hop(self.device, self.home_of(page))
+    }
+
+    fn port_index(&self, port: usize) -> usize {
+        self.topology
+            .ports(self.device)
+            .iter()
+            .position(|&p| p == port)
+            .unwrap_or_else(|| panic!("segment {port} is not a port of device {}", self.device))
+    }
+
+    fn filter_mut(&mut self, page: PageId) -> &mut PageFilter {
         let idx = page.index() as usize;
-        while self.interest.len() <= idx {
-            let p = PageId::new(self.interest.len() as u32);
-            let home = self.homes.home_of(p, self.layout.segments());
-            self.interest.push(HostMask::single(home));
+        let nports = self.topology.ports(self.device).len();
+        while self.pages.len() <= idx {
+            self.pages.push(PageFilter {
+                stamps: vec![(0, SimTime::ZERO); nports],
+                ..PageFilter::default()
+            });
         }
-        &mut self.interest[idx]
+        &mut self.pages[idx]
     }
 
-    /// The current interest mask of `page` (home bit always set).
-    pub fn interest(&self, page: PageId) -> HostMask {
-        let idx = page.index() as usize;
-        self.interest
-            .get(idx)
-            .copied()
-            .unwrap_or_else(|| HostMask::single(self.home_of(page)))
+    /// Is the last demand evidence `(stamp_clock, stamp_time)` still
+    /// within the aging horizon at `now`?
+    fn fresh(&self, stamp: (u64, SimTime), now: SimTime) -> bool {
+        match self.aging {
+            AgeHorizon::Sticky => true,
+            AgeHorizon::Transits(h) => self.clock.saturating_sub(stamp.0) <= h,
+            AgeHorizon::SimTime(d) => now.since(stamp.1) <= d,
+        }
     }
 
-    /// Statically subscribes segment `seg` to `page`'s transits.
+    /// The effective interest mask of `page` at `now`: fresh learned
+    /// ports, pins, and the home port. (The believed-holder port is
+    /// request routing state, not interest — data is not forwarded
+    /// toward a holder nobody asked from.)
+    pub fn interest(&self, page: PageId, now: SimTime) -> HostMask {
+        let mut m = HostMask::single(self.home_port(page));
+        let Some(f) = self.pages.get(page.index() as usize) else {
+            return m;
+        };
+        m = m.union(f.pinned);
+        let ports = self.topology.ports(self.device);
+        for (i, &port) in ports.iter().enumerate() {
+            if f.learned.contains(port) && self.fresh(f.stamps[i], now) {
+                m.insert(port);
+            }
+        }
+        m
+    }
+
+    /// The port toward the believed consistent holder of `page`, if any
+    /// data transit or `transfer_to` has taught this device one.
+    pub fn holder_port(&self, page: PageId) -> Option<usize> {
+        self.pages
+            .get(page.index() as usize)
+            .and_then(|f| f.holder.map(usize::from))
+    }
+
+    /// Statically subscribes segment `seg` to `page`'s transits: this
+    /// device pins its port toward `seg`. Pins never age out.
     ///
     /// Needed when a segment's only consumers of a page are *data-driven*
     /// readers: a data-driven fault "does not send out a request" (the
     /// paper's completely passive fault), so there is no frame for the
-    /// bridge to learn that segment's interest from.
+    /// fabric to learn that segment's interest from.
     ///
     /// # Panics
     ///
@@ -227,7 +548,8 @@ impl BridgePolicy {
             "segment {seg} >= {}",
             self.layout.segments()
         );
-        self.interest_mut(page).insert(seg);
+        let port = self.topology.next_hop(self.device, seg);
+        self.filter_mut(page).pinned.insert(port);
     }
 
     /// The segment a transfer target host sits on, if the host id is in
@@ -238,82 +560,157 @@ impl BridgePolicy {
         })
     }
 
-    /// Updates the learning tables for one frame heard on `src_seg`.
-    fn learn(&mut self, pkt: &Packet, src_seg: usize) {
+    /// This device's port toward the segment of a transfer target, if
+    /// the target is valid.
+    fn transfer_port(&self, transfer_to: &Option<mether_core::HostId>) -> Option<usize> {
+        self.transfer_segment(transfer_to)
+            .map(|seg| self.topology.next_hop(self.device, seg))
+    }
+
+    /// Stamps fresh demand evidence for `page` on `port` and marks the
+    /// port's learned interest.
+    fn stamp(&mut self, page: PageId, port: usize, now: SimTime) {
+        let clock = self.clock;
+        let i = self.port_index(port);
+        let f = self.filter_mut(page);
+        f.learned.insert(port);
+        f.stamps[i] = (clock, now);
+    }
+
+    /// Updates the learning tables for one frame heard on `in_port` at
+    /// `now`.
+    fn learn(&mut self, pkt: &Packet, in_port: usize, now: SimTime) {
         match pkt {
             Packet::PageRequest { page, .. } => {
-                // The requester's segment now wants this page's transits.
-                self.interest_mut(*page).insert(src_seg);
+                // The requester's side now wants this page's transits —
+                // the reply (and later snoopy refreshes) must route back
+                // out this port.
+                self.stamp(*page, in_port, now);
             }
             Packet::PageData {
-                page, transfer_to, ..
+                page,
+                transfer_to,
+                generation,
+                ..
             } => {
-                // The sender's segment holds copies (at least the
-                // sender's own); keep it refreshed once consistency
-                // moves elsewhere.
-                self.interest_mut(*page).insert(src_seg);
-                // A consistency transfer must reach the new holder, and
-                // that segment stays interested from then on.
-                if let Some(dst) = self.transfer_segment(transfer_to) {
-                    self.interest_mut(*page).insert(dst);
+                // The sending side holds copies (at least the sender's
+                // own); keep it refreshed once consistency moves on.
+                self.stamp(*page, in_port, now);
+                // The data also came *from* the holder's direction —
+                // the belief request routing follows — but only when it
+                // advances the page's generation: the holder's replies
+                // and purge broadcasts always do, while a stale echo (a
+                // non-holder's `Want::Superset` reply) must not repoint
+                // the belief away from the live holder.
+                let f = self.filter_mut(*page);
+                if f.newest_gen.is_none_or(|g| generation.newer_than(g)) {
+                    f.newest_gen = Some(*generation);
+                    f.holder = Some(in_port as u16);
+                }
+                // A consistency transfer must reach the new holder, that
+                // side stays interested from then on, and the belief
+                // follows the move unconditionally — `transfer_to`
+                // names the new holder explicitly.
+                if let Some(port) = self.transfer_port(transfer_to) {
+                    self.stamp(*page, port, now);
+                    self.filter_mut(*page).holder = Some(port as u16);
                 }
             }
         }
     }
 
-    /// Routes one frame heard on `src_seg`: updates the learning tables
-    /// and returns the mask of segments the frame must be forwarded to
-    /// (never including `src_seg`). Definitionally learn-then-
+    /// Routes one frame heard on `in_port` at `now`: updates the
+    /// learning tables, returns the mask of ports the frame must be
+    /// forwarded to (never including `in_port`), and ticks the aging
+    /// clock when the frame is forwarded. Definitionally learn-then-
     /// [`BridgePolicy::targets`], so the diagnostic mask can never drift
-    /// from what the bridge actually forwards.
-    pub fn route(&mut self, pkt: &Packet, src_seg: usize) -> HostMask {
-        self.learn(pkt, src_seg);
-        self.targets(pkt, src_seg)
+    /// from what the device actually forwards.
+    pub fn route(&mut self, pkt: &Packet, in_port: usize, now: SimTime) -> HostMask {
+        debug_assert!(
+            self.ports_mask.contains(in_port),
+            "device {} has no port on segment {in_port}",
+            self.device
+        );
+        self.learn(pkt, in_port, now);
+        let targets = self.targets(pkt, in_port, now);
+        if !targets.is_empty() {
+            self.clock += 1;
+        }
+        targets
     }
 
-    /// The forwarding mask of one frame heard on `src_seg`, with no
-    /// learning side effects (diagnostics and tests; the `transfer_to`
-    /// segment is included even before learning records it).
-    pub fn targets(&self, pkt: &Packet, src_seg: usize) -> HostMask {
+    /// The forwarding mask of one frame heard on `in_port` at `now`,
+    /// with no learning side effects (diagnostics and tests; the
+    /// `transfer_to` port is included even before learning records it).
+    pub fn targets(&self, pkt: &Packet, in_port: usize, now: SimTime) -> HostMask {
         match pkt {
-            Packet::PageRequest { .. } => {
-                // The consistent copy migrates freely, so the holder may
-                // be on any segment: flood the (minimum-size) request.
-                HostMask::all_below(self.layout.segments()).without(src_seg)
+            Packet::PageRequest { page, want, .. } => {
+                let flood = self.ports_mask.without(in_port);
+                if self.routing == RequestRouting::Flood || *want == Want::Superset {
+                    // Flood mode, and Superset requests always: any host
+                    // still holding a full copy may answer a Superset
+                    // request, so no single holder direction covers it.
+                    return flood;
+                }
+                match self.holder_port(*page) {
+                    Some(hp) => {
+                        // Toward the believed holder, *anchored at the
+                        // home port*: the home is where the consistent
+                        // copy is seeded (and, under workload-derived
+                        // placement, where the dominant writer keeps
+                        // it), so a belief that has gone bad — taught
+                        // by a frame the live holder's traffic never
+                        // corrected — still lands the request where a
+                        // holder is most likely to answer, and the
+                        // reply repairs the belief. When the belief
+                        // (and home) point back where the frame came
+                        // from, the request is already travelling in
+                        // the right direction and another device on
+                        // that segment continues the chase — forwarding
+                        // elsewhere cannot reach the holder sooner.
+                        let mut m = HostMask::single(hp);
+                        m.insert(self.home_port(*page));
+                        m.without(in_port)
+                    }
+                    // No belief yet: scoped flooding; the reply repairs
+                    // the table.
+                    None => flood,
+                }
             }
             Packet::PageData {
                 page, transfer_to, ..
             } => {
-                let mut m = self.interest(*page);
-                if let Some(dst) = self.transfer_segment(transfer_to) {
-                    m.insert(dst);
+                let mut m = self.interest(*page, now);
+                if let Some(port) = self.transfer_port(transfer_to) {
+                    m.insert(port);
                 }
-                m.without(src_seg)
+                m.intersection(self.ports_mask).without(in_port)
             }
         }
     }
 }
 
-/// The simulator's store-and-forward bridge engine.
+/// One store-and-forward bridge device: a [`BridgePolicy`] wrapped in
+/// the simulator's timing, queueing, and fault-injection engine.
 #[derive(Debug)]
 pub struct Bridge {
     cfg: BridgeConfig,
     policy: BridgePolicy,
     /// When the forwarding engine next falls idle.
     free_at: SimTime,
-    /// Exit times of frames currently queued in the bridge.
+    /// Exit times of frames currently queued in the device.
     backlog: VecDeque<SimTime>,
     rng: StdRng,
     stats: BridgeStats,
 }
 
 impl Bridge {
-    /// A quiet bridge over `layout` with pages homed by `homes`.
-    pub fn new(layout: SegmentLayout, homes: PageHomePolicy, cfg: BridgeConfig) -> Self {
+    /// A quiet device running `policy` with engine knobs `cfg`.
+    pub fn new(policy: BridgePolicy, cfg: BridgeConfig) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
         Bridge {
             cfg,
-            policy: BridgePolicy::new(layout, homes),
+            policy,
             free_at: SimTime::ZERO,
             backlog: VecDeque::new(),
             rng,
@@ -321,7 +718,13 @@ impl Bridge {
         }
     }
 
-    /// The forwarding filter (interest tables, homes).
+    /// The single device of a 1-bridge star over `layout` — PR 3's
+    /// bridge.
+    pub fn star(layout: SegmentLayout, homes: PageHomePolicy, cfg: BridgeConfig) -> Self {
+        Self::new(BridgePolicy::star(layout, homes), cfg)
+    }
+
+    /// The forwarding filter (interest tables, homes, holder beliefs).
     pub fn policy(&self) -> &BridgePolicy {
         &self.policy
     }
@@ -336,24 +739,26 @@ impl Bridge {
         self.policy.subscribe(page, seg);
     }
 
-    /// Cumulative traffic counters.
+    /// Cumulative traffic counters of this device.
     pub fn stats(&self) -> BridgeStats {
         self.stats
     }
 
-    /// The bridge port on `src_seg` finished receiving `pkt` at
+    /// The device's port on `in_port` finished receiving `pkt` at
     /// `arrival`. Returns the egress schedule: one `(destination
     /// segment, exit time)` pair per frame copy per destination. The
     /// caller transmits each copy on the destination segment's medium at
-    /// its exit time (where it queues like any locally-sent frame).
+    /// its exit time (where it queues like a locally-sent frame, and
+    /// where the *other* devices on that segment pick it up to forward
+    /// it further along the tree).
     pub fn pickup(
         &mut self,
         pkt: &Packet,
-        src_seg: usize,
+        in_port: usize,
         arrival: SimTime,
     ) -> Vec<(usize, SimTime)> {
         self.stats.heard += 1;
-        let targets = self.policy.route(pkt, src_seg);
+        let targets = self.policy.route(pkt, in_port, arrival);
         if targets.is_empty() {
             self.stats.filtered += 1;
             return Vec::new();
@@ -376,6 +781,7 @@ impl Bridge {
         } else {
             1
         };
+        let is_request = matches!(pkt, Packet::PageRequest { .. });
         let mut out = Vec::with_capacity(targets.len() * copies);
         for copy in 0..copies {
             // Each copy occupies its own queue slot; a duplicated
@@ -393,6 +799,9 @@ impl Bridge {
                 out.push((dst, exit));
                 self.stats.forwarded += 1;
                 self.stats.bytes_forwarded += pkt.wire_size() as u64;
+                if is_request {
+                    self.stats.req_forwarded += 1;
+                }
                 if copy > 0 {
                     self.stats.duplicated += 1;
                 }
@@ -402,11 +811,146 @@ impl Bridge {
     }
 }
 
+/// One forwarded frame copy leaving a device of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Forward {
+    /// The device that forwarded the frame (excluded from pickup when
+    /// the copy lands on the destination segment).
+    pub device: usize,
+    /// The segment the copy is transmitted on.
+    pub dst: usize,
+    /// When the copy exits the device (transmission on `dst` starts
+    /// then, queueing behind that segment's own traffic).
+    pub exit: SimTime,
+}
+
+/// Every bridge device of a segmented deployment, wired per the
+/// topology: the simulator's fabric engine.
+#[derive(Debug)]
+pub struct Fabric {
+    topology: Arc<BridgeTopology>,
+    devices: Vec<Bridge>,
+}
+
+impl Fabric {
+    /// Builds the fabric over `layout` from `cfg`: one [`Bridge`] per
+    /// device of the topology, each with its own filter, backlog, and
+    /// fault-injection RNG (seeded `cfg.bridge.seed + device`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's segment count differs from the layout's.
+    pub fn new(layout: SegmentLayout, cfg: FabricConfig) -> Self {
+        let topology = Arc::new(cfg.topology);
+        let devices = (0..topology.bridges())
+            .map(|device| {
+                let policy = BridgePolicy::new(
+                    layout,
+                    Arc::clone(&topology),
+                    device,
+                    cfg.homes.clone(),
+                    cfg.routing,
+                    cfg.aging,
+                );
+                let mut dev_cfg = cfg.bridge.clone();
+                dev_cfg.seed = dev_cfg.seed.wrapping_add(device as u64);
+                Bridge::new(policy, dev_cfg)
+            })
+            .collect();
+        Fabric { topology, devices }
+    }
+
+    /// The tree the fabric is wired as.
+    pub fn topology(&self) -> &BridgeTopology {
+        &self.topology
+    }
+
+    /// Number of bridge devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device `b` (its policy and counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn device(&self, b: usize) -> &Bridge {
+        &self.devices[b]
+    }
+
+    /// A locally-transmitted frame was delivered on `seg` at `arrival`:
+    /// every device attached to `seg` picks it up. Returns the combined
+    /// egress schedule.
+    pub fn pickup(&mut self, pkt: &Packet, seg: usize, arrival: SimTime) -> Vec<Forward> {
+        self.pickup_except(pkt, seg, arrival, None)
+    }
+
+    /// A frame forwarded by `from_device` was delivered on `seg` at
+    /// `arrival`: every *other* device attached to `seg` picks it up and
+    /// carries it onward (hop-by-hop forwarding; the tree makes the walk
+    /// loop-free).
+    pub fn pickup_forwarded(
+        &mut self,
+        pkt: &Packet,
+        seg: usize,
+        arrival: SimTime,
+        from_device: usize,
+    ) -> Vec<Forward> {
+        self.pickup_except(pkt, seg, arrival, Some(from_device))
+    }
+
+    fn pickup_except(
+        &mut self,
+        pkt: &Packet,
+        seg: usize,
+        arrival: SimTime,
+        exclude: Option<usize>,
+    ) -> Vec<Forward> {
+        let mut out = Vec::new();
+        // Incident-device order is ascending, so the event schedule is
+        // deterministic.
+        for i in 0..self.topology.bridges_on(seg).len() {
+            let device = self.topology.bridges_on(seg)[i];
+            if Some(device) == exclude {
+                continue;
+            }
+            for (dst, exit) in self.devices[device].pickup(pkt, seg, arrival) {
+                out.push(Forward { device, dst, exit });
+            }
+        }
+        out
+    }
+
+    /// Statically subscribes segment `seg` to `page`'s transits at every
+    /// device (each pins its port toward `seg`), so the page's data
+    /// reaches `seg` from anywhere in the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn subscribe(&mut self, page: PageId, seg: usize) {
+        for d in &mut self.devices {
+            d.subscribe(page, seg);
+        }
+    }
+
+    /// Fabric-wide traffic counters (per-device counters summed).
+    pub fn stats(&self) -> BridgeStats {
+        BridgeStats::sum(self.devices.iter().map(Bridge::stats))
+    }
+
+    /// Per-device traffic counters, indexed by device.
+    pub fn device_stats(&self) -> Vec<BridgeStats> {
+        self.devices.iter().map(Bridge::stats).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use mether_core::{Generation, HostId, PageLength, Want};
+    use mether_core::{Generation, HostId, PageLength};
 
     fn layout_4x2() -> SegmentLayout {
         // 8 hosts, 4 segments of 2.
@@ -422,6 +966,15 @@ mod tests {
         }
     }
 
+    fn superset_req(from: u16, page: u32) -> Packet {
+        Packet::PageRequest {
+            from: HostId(from),
+            page: PageId::new(page),
+            length: PageLength::Full,
+            want: Want::Superset,
+        }
+    }
+
     fn data(from: u16, page: u32, transfer_to: Option<u16>) -> Packet {
         Packet::PageData {
             from: HostId(from),
@@ -433,98 +986,395 @@ mod tests {
         }
     }
 
+    fn star_policy() -> BridgePolicy {
+        BridgePolicy::star(layout_4x2(), PageHomePolicy::Striped)
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn set(m: HostMask) -> Vec<usize> {
+        m.iter().collect()
+    }
+
+    // -----------------------------------------------------------------
+    // PR 3 semantics, preserved on the star with flooding + sticky.
+    // -----------------------------------------------------------------
+
     #[test]
     fn requests_flood_and_register_interest() {
-        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        let mut p = star_policy();
         // Host 6 (segment 3) requests page 0 (homed on segment 0).
-        let t = p.route(&req(6, 0), 3);
-        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 1, 2], "flooded");
+        let t = p.route(&req(6, 0), 3, T0);
+        assert_eq!(set(t), vec![0, 1, 2], "flooded");
         // Page 0's interest now holds home (0) and the requester (3).
-        assert_eq!(
-            p.interest(PageId::new(0)).iter().collect::<Vec<_>>(),
-            vec![0, 3]
-        );
+        assert_eq!(set(p.interest(PageId::new(0), T0)), vec![0, 3]);
     }
 
     #[test]
     fn data_follows_interest_only() {
-        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        let mut p = star_policy();
         // Page 0 homed on segment 0; its holder on segment 0 broadcasts.
         // Nobody else asked: nothing crosses the bridge.
-        assert!(p.route(&data(0, 0, None), 0).is_empty());
+        assert!(p.route(&data(0, 0, None), 0, T0).is_empty());
         // Segment 2 requests it; from then on data transits follow.
-        let _ = p.route(&req(4, 0), 2);
-        assert_eq!(
-            p.route(&data(0, 0, None), 0).iter().collect::<Vec<_>>(),
-            vec![2]
-        );
+        let _ = p.route(&req(4, 0), 2, T0);
+        assert_eq!(set(p.route(&data(0, 0, None), 0, T0)), vec![2]);
         // Interest is sticky: a second transit still reaches segment 2.
-        assert_eq!(
-            p.route(&data(0, 0, None), 0).iter().collect::<Vec<_>>(),
-            vec![2]
-        );
+        assert_eq!(set(p.route(&data(0, 0, None), 0, T0)), vec![2]);
     }
 
     #[test]
     fn data_homed_elsewhere_always_reaches_home() {
-        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        let mut p = star_policy();
         // Page 1 is homed on segment 1, but its holder sits on segment 3.
-        let t = p.route(&data(6, 1, None), 3);
-        assert_eq!(
-            t.iter().collect::<Vec<_>>(),
-            vec![1],
-            "home stays subscribed"
-        );
+        let t = p.route(&data(6, 1, None), 3, T0);
+        assert_eq!(set(t), vec![1], "home stays subscribed");
     }
 
     #[test]
     fn transfer_to_reaches_and_subscribes_the_new_holder() {
-        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        let mut p = star_policy();
         // Consistency of page 0 moves from host 0 (segment 0) to host 5
         // (segment 2).
-        let t = p.route(&data(0, 0, Some(5)), 0);
-        assert_eq!(t.iter().collect::<Vec<_>>(), vec![2]);
+        let t = p.route(&data(0, 0, Some(5)), 0, T0);
+        assert_eq!(set(t), vec![2]);
         // The sender's segment stays interested: when the new holder
         // broadcasts, segment 0 (home + old copies) hears it.
-        let t = p.route(&data(5, 0, None), 2);
-        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0]);
+        let t = p.route(&data(5, 0, None), 2, T0);
+        assert_eq!(set(t), vec![0]);
     }
 
     #[test]
     fn out_of_range_transfer_target_is_ignored() {
-        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
-        let t = p.route(&data(0, 0, Some(9999)), 0);
+        let mut p = star_policy();
+        let t = p.route(&data(0, 0, Some(9999)), 0, T0);
         assert!(t.is_empty(), "garbage transfer target routes nowhere");
     }
 
     #[test]
     fn explicit_subscription_covers_silent_data_readers() {
-        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
+        let mut p = star_policy();
         p.subscribe(PageId::new(0), 3);
-        assert_eq!(
-            p.route(&data(0, 0, None), 0).iter().collect::<Vec<_>>(),
-            vec![3]
-        );
+        assert_eq!(set(p.route(&data(0, 0, None), 0, T0)), vec![3]);
     }
 
     #[test]
     fn targets_is_route_without_learning() {
-        let p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
-        let t = p.targets(&data(0, 2, Some(7)), 1);
+        let p = star_policy();
+        let t = p.targets(&data(0, 2, Some(7)), 1, T0);
         // Home of page 2 is segment 2; transfer target host 7 is segment 3.
-        assert_eq!(t.iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(set(t), vec![2, 3]);
         // No learning happened: interest still just the home bit.
+        assert_eq!(set(p.interest(PageId::new(2), T0)), vec![2]);
+    }
+
+    #[test]
+    fn route_equals_targets_after_learning() {
+        // route() is definitionally learn-then-targets: for any frame,
+        // the mask route() returns equals what targets() reports right
+        // after, so diagnostics can never drift from forwarding.
+        let mut p = star_policy();
+        for (pkt, src) in [
+            (req(6, 0), 3usize),
+            (data(0, 0, Some(5)), 0),
+            (data(5, 0, None), 2),
+            (req(2, 7), 1),
+            (data(2, 7, Some(9999)), 1),
+        ] {
+            let routed = p.route(&pkt, src, T0);
+            assert_eq!(routed, p.targets(&pkt, src, T0), "{pkt:?} from {src}");
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Holder-directed request routing.
+    // -----------------------------------------------------------------
+
+    fn routed_star() -> BridgePolicy {
+        BridgePolicy::new(
+            layout_4x2(),
+            Arc::new(BridgeTopology::star(4)),
+            0,
+            PageHomePolicy::Striped,
+            RequestRouting::HolderDirected,
+            AgeHorizon::Sticky,
+        )
+    }
+
+    #[test]
+    fn unknown_holder_falls_back_to_scoped_flooding() {
+        let mut p = routed_star();
+        // No data seen for page 0: the request floods like PR 3.
+        assert_eq!(set(p.route(&req(6, 0), 3, T0)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn learned_holder_directs_requests_with_a_home_anchor() {
+        let mut p = routed_star();
+        // Data from segment 1 teaches the holder direction for page 0
+        // (homed on segment 0).
+        let _ = p.route(&data(2, 0, None), 1, T0);
+        assert_eq!(p.holder_port(PageId::new(0)), Some(1));
+        // A request from segment 3 goes to the believed holder plus the
+        // home anchor — never the full flood.
+        assert_eq!(set(p.route(&req(6, 0), 3, T0)), vec![0, 1]);
+        // When the belief sits on the home segment the anchor is free:
+        // one port.
+        let _ = p.route(&data(5, 2, None), 2, T0); // page 2 homed on 2
+        assert_eq!(set(p.route(&req(6, 2), 3, T0)), vec![2]);
+    }
+
+    #[test]
+    fn transfer_to_repoints_the_holder_belief() {
+        let mut p = routed_star();
+        let _ = p.route(&data(2, 0, None), 1, T0);
+        // Consistency moves to host 7 (segment 3); requests from the
+        // home segment itself need no anchor.
+        let _ = p.route(&data(2, 0, Some(7)), 1, T0);
+        assert_eq!(p.holder_port(PageId::new(0)), Some(3));
+        assert_eq!(set(p.route(&req(0, 0), 0, T0)), vec![3]);
+    }
+
+    #[test]
+    fn request_from_the_holder_direction_is_not_bounced() {
+        let mut p = routed_star();
+        // Page 0 is homed on segment 0 and its holder broadcasts from
+        // there: belief and home coincide.
+        let _ = p.route(&data(0, 0, None), 0, T0);
+        // A request arriving *from* that very direction: the holder (or
+        // the next device toward it) already heard the frame on that
+        // segment; bouncing it elsewhere is pure waste.
+        assert!(p.route(&req(1, 0), 0, T0).is_empty());
+    }
+
+    #[test]
+    fn superset_requests_always_flood() {
+        let mut p = routed_star();
+        let _ = p.route(&data(2, 0, None), 1, T0);
+        // Any host with a full copy may answer a Superset request, so
+        // the holder belief must not narrow it.
+        assert_eq!(set(p.route(&superset_req(6, 0), 3, T0)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stale_generation_replies_do_not_poison_the_holder_belief() {
+        // The Superset hazard: a non-holder with a full copy answers a
+        // Superset request, echoing a generation the holder has long
+        // advanced past. That reply must not repoint the belief — the
+        // next ordinary request still routes toward the live holder.
+        let mut p = routed_star();
+        let fresh = |from: u16, gen: u64, seg: usize, p: &mut BridgePolicy| {
+            let pkt = Packet::PageData {
+                from: HostId(from),
+                page: PageId::new(0),
+                length: PageLength::Short,
+                generation: Generation(gen),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 32]),
+            };
+            p.route(&pkt, seg, T0)
+        };
+        // The holder on segment 1 has published up to generation 5.
+        let _ = fresh(2, 5, 1, &mut p);
+        assert_eq!(p.holder_port(PageId::new(0)), Some(1));
+        // A stale full-copy echo from segment 2 (generation 3).
+        let _ = fresh(4, 3, 2, &mut p);
         assert_eq!(
-            p.interest(PageId::new(2)).iter().collect::<Vec<_>>(),
-            vec![2]
+            p.holder_port(PageId::new(0)),
+            Some(1),
+            "stale data must not repoint the belief"
         );
+        // But it still registered segment 2's interest (it holds copies).
+        assert!(p.interest(PageId::new(0), T0).contains(2));
+        // A genuinely newer broadcast does move the belief.
+        let _ = fresh(5, 6, 3, &mut p);
+        assert_eq!(p.holder_port(PageId::new(0)), Some(3));
+    }
+
+    #[test]
+    fn home_anchor_rescues_a_cold_poisoned_belief() {
+        // Even when a stale echo is the *first* data a device ever sees
+        // (nothing to gate against), the home anchor keeps requests
+        // reaching the segment where the consistent copy is seeded.
+        let mut p = routed_star();
+        let _ = p.route(&data(4, 0, None), 2, T0); // first evidence: segment 2
+        assert_eq!(p.holder_port(PageId::new(0)), Some(2));
+        // Requests still reach home (segment 0) alongside the belief.
+        assert_eq!(set(p.route(&req(6, 0), 3, T0)), vec![0, 2]);
+    }
+
+    // -----------------------------------------------------------------
+    // Interest aging.
+    // -----------------------------------------------------------------
+
+    fn aging_star(horizon: AgeHorizon) -> BridgePolicy {
+        BridgePolicy::new(
+            layout_4x2(),
+            Arc::new(BridgeTopology::star(4)),
+            0,
+            PageHomePolicy::Striped,
+            RequestRouting::Flood,
+            horizon,
+        )
+    }
+
+    #[test]
+    fn idle_interest_ages_out_after_the_transit_horizon() {
+        let mut p = aging_star(AgeHorizon::Transits(2));
+        let _ = p.route(&req(4, 0), 2, T0); // segment 2 wants page 0
+        assert_eq!(set(p.route(&data(0, 0, None), 0, T0)), vec![2]);
+        assert_eq!(set(p.route(&data(0, 0, None), 0, T0)), vec![2]);
+        // Two forwarded transits with no fresh demand from segment 2:
+        // the horizon expires and the next transit stays home.
+        assert!(p.route(&data(0, 0, None), 0, T0).is_empty());
+    }
+
+    #[test]
+    fn reuse_reinstates_aged_interest() {
+        let mut p = aging_star(AgeHorizon::Transits(1));
+        let _ = p.route(&req(4, 0), 2, T0);
+        let _ = p.route(&data(0, 0, None), 0, T0);
+        let _ = p.route(&data(0, 0, None), 0, T0);
+        assert!(
+            p.route(&data(0, 0, None), 0, T0).is_empty(),
+            "aged out after the horizon"
+        );
+        // A fresh request reinstates the entry through ordinary learning.
+        let _ = p.route(&req(4, 0), 2, T0);
+        assert_eq!(set(p.route(&data(0, 0, None), 0, T0)), vec![2]);
+    }
+
+    #[test]
+    fn home_and_pins_never_age() {
+        let mut p = aging_star(AgeHorizon::Transits(0));
+        p.subscribe(PageId::new(1), 3);
+        // Horizon 0: learned interest dies after every forwarded
+        // transit; the home port (segment 1) and the pin (segment 3)
+        // survive any number of them.
+        for _ in 0..8 {
+            assert_eq!(set(p.route(&data(0, 1, None), 0, T0)), vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn sim_time_horizon_ages_by_the_clock() {
+        let mut p = aging_star(AgeHorizon::SimTime(SimDuration::from_millis(5)));
+        let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+        let _ = p.route(&req(4, 0), 2, t(0));
+        assert_eq!(set(p.route(&data(0, 0, None), 0, t(4))), vec![2]);
+        assert!(
+            p.route(&data(0, 0, None), 0, t(10)).is_empty(),
+            "5 ms horizon expired"
+        );
+        let _ = p.route(&req(4, 0), 2, t(11));
+        assert_eq!(set(p.route(&data(0, 0, None), 0, t(12))), vec![2]);
+    }
+
+    // -----------------------------------------------------------------
+    // Multi-device trees: scoped ports, hop-by-hop interest.
+    // -----------------------------------------------------------------
+
+    fn tree_4_policies(routing: RequestRouting) -> Vec<BridgePolicy> {
+        // 4 segments, fanout 2: device 0 = {0,1,2}, device 1 = {1,3}.
+        let topology = Arc::new(BridgeTopology::balanced_tree(4, 2));
+        (0..topology.bridges())
+            .map(|d| {
+                BridgePolicy::new(
+                    layout_4x2(),
+                    Arc::clone(&topology),
+                    d,
+                    PageHomePolicy::Striped,
+                    routing,
+                    AgeHorizon::Sticky,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tree_devices_flood_only_their_own_ports() {
+        let mut ps = tree_4_policies(RequestRouting::Flood);
+        // A request heard on segment 1 by device 0 ({0,1,2}) floods to
+        // {0,2}; the same frame heard by device 1 ({1,3}) floods to {3}.
+        assert_eq!(set(ps[0].route(&req(2, 0), 1, T0)), vec![0, 2]);
+        assert_eq!(set(ps[1].route(&req(2, 0), 1, T0)), vec![3]);
+    }
+
+    #[test]
+    fn tree_home_port_points_along_the_path() {
+        let ps = tree_4_policies(RequestRouting::Flood);
+        // Page 3 is homed on segment 3. Device 0 reaches it via port 1;
+        // device 1 is adjacent.
+        assert_eq!(ps[0].home_port(PageId::new(3)), 1);
+        assert_eq!(ps[1].home_port(PageId::new(3)), 3);
+        // Data for page 3 heard on segment 0 hops toward home.
+        assert_eq!(set(ps[0].targets(&data(0, 3, None), 0, T0)), vec![1]);
+    }
+
+    #[test]
+    fn tree_subscription_pins_the_port_toward_the_segment() {
+        let mut ps = tree_4_policies(RequestRouting::Flood);
+        // Subscribe segment 3 to page 0 (homed on 0): device 0 pins its
+        // port 1 (toward 3), device 1 pins port 3.
+        for p in &mut ps {
+            p.subscribe(PageId::new(0), 3);
+        }
+        assert_eq!(set(ps[0].targets(&data(0, 0, None), 0, T0)), vec![1]);
+        assert_eq!(set(ps[1].targets(&data(0, 0, None), 1, T0)), vec![3]);
+    }
+
+    #[test]
+    fn tree_holder_chase_turns_at_fresher_beliefs() {
+        // Chain 0-1-2-3. Holder starts on segment 3; data flowed to
+        // segment 0, so every device believes "holder toward 3". Then
+        // the holder moves 3 → 2; only devices on that path (device 2)
+        // hear the transfer. A request from segment 0 must still arrive:
+        // devices 0 and 1 forward on their stale beliefs, device 2 turns
+        // nothing — segment 2 *is* where the frame lands.
+        let topology = Arc::new(BridgeTopology::chain(4));
+        let mut ps: Vec<BridgePolicy> = (0..3)
+            .map(|d| {
+                BridgePolicy::new(
+                    layout_4x2(),
+                    Arc::clone(&topology),
+                    d,
+                    PageHomePolicy::Striped,
+                    RequestRouting::HolderDirected,
+                    AgeHorizon::Sticky,
+                )
+            })
+            .collect();
+        // Reply data 3 → 0 teaches every device holder-toward-3.
+        let _ = ps[2].route(&data(6, 0, None), 3, T0);
+        let _ = ps[1].route(&data(6, 0, None), 2, T0);
+        let _ = ps[0].route(&data(6, 0, None), 1, T0);
+        // Holder transfer 3 → 2 (host 6 → host 4): seen on segment 3 by
+        // device 2 only (it forwards to segment 2, where the move ends).
+        assert_eq!(set(ps[2].route(&data(6, 0, Some(4)), 3, T0)), vec![2]);
+        assert_eq!(ps[2].holder_port(PageId::new(0)), Some(2));
+        // Request from segment 0 chases: device 0 → port 1 (stale but
+        // correct direction), device 1 → port 2, device 2 hears it on
+        // port 2 where its belief now points — the chase ends there, on
+        // the holder's own segment.
+        assert_eq!(set(ps[0].route(&req(0, 0), 0, T0)), vec![1]);
+        assert_eq!(set(ps[1].route(&req(0, 0), 1, T0)), vec![2]);
+        assert!(ps[2].route(&req(0, 0), 2, T0).is_empty());
+    }
+
+    // -----------------------------------------------------------------
+    // The engine: timing, queueing, fault injection (unchanged from
+    // PR 3, now per device).
+    // -----------------------------------------------------------------
+
+    fn star_bridge(cfg: BridgeConfig) -> Bridge {
+        Bridge::star(layout_4x2(), PageHomePolicy::Striped, cfg)
     }
 
     #[test]
     fn bridge_serialises_back_to_back_pickups() {
         let cfg = BridgeConfig::typical();
         let delay = cfg.forward_delay;
-        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let mut b = star_bridge(cfg);
         let at = SimTime::ZERO + SimDuration::from_millis(1);
         // Two simultaneous pickups of frames that must cross (page 1 is
         // homed on segment 1, heard on segment 0).
@@ -541,15 +1391,12 @@ mod tests {
             b.stats().bytes_forwarded,
             2 * data(0, 1, None).wire_size() as u64
         );
+        assert_eq!(b.stats().req_forwarded, 0, "no requests crossed");
     }
 
     #[test]
     fn bridge_filters_local_traffic() {
-        let mut b = Bridge::new(
-            layout_4x2(),
-            PageHomePolicy::Striped,
-            BridgeConfig::typical(),
-        );
+        let mut b = star_bridge(BridgeConfig::typical());
         let out = b.pickup(&data(0, 0, None), 0, SimTime::ZERO);
         assert!(out.is_empty());
         assert_eq!(b.stats().filtered, 1);
@@ -560,7 +1407,7 @@ mod tests {
     #[test]
     fn full_queue_tail_drops() {
         let cfg = BridgeConfig::typical().with_queue_frames(2);
-        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let mut b = star_bridge(cfg);
         let at = SimTime::ZERO;
         assert!(!b.pickup(&data(0, 1, None), 0, at).is_empty());
         assert!(!b.pickup(&data(0, 1, None), 0, at).is_empty());
@@ -578,7 +1425,7 @@ mod tests {
             .with_queue_frames(usize::MAX)
             .with_drop(0.3)
             .with_seed(42);
-        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let mut b = star_bridge(cfg);
         let n = 2000;
         let mut now = SimTime::ZERO;
         for _ in 0..n {
@@ -596,7 +1443,7 @@ mod tests {
             .with_duplicate(1.0)
             .with_seed(7);
         let delay = cfg.forward_delay;
-        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let mut b = star_bridge(cfg);
         let out = b.pickup(&data(0, 1, None), 0, SimTime::ZERO);
         assert_eq!(
             out,
@@ -620,7 +1467,7 @@ mod tests {
             .with_duplicate(1.0)
             .with_seed(7);
         let delay = cfg.forward_delay;
-        let mut b = Bridge::new(layout_4x2(), PageHomePolicy::Striped, cfg);
+        let mut b = star_bridge(cfg);
         let out = b.pickup(&data(0, 1, None), 0, SimTime::ZERO);
         assert_eq!(
             out,
@@ -643,21 +1490,85 @@ mod tests {
         assert_eq!(cfg.seed, 5);
     }
 
+    // -----------------------------------------------------------------
+    // The fabric: multi-device pickup and hop-by-hop forwarding.
+    // -----------------------------------------------------------------
+
     #[test]
-    fn route_equals_targets_after_learning() {
-        // route() is definitionally learn-then-targets: for any frame,
-        // the mask route() returns equals what targets() reports right
-        // after, so diagnostics can never drift from forwarding.
-        let mut p = BridgePolicy::new(layout_4x2(), PageHomePolicy::Striped);
-        for (pkt, src) in [
+    fn fabric_offers_pickup_to_every_incident_device() {
+        // Chain over 3 segments: devices {0,1} and {1,2}. A frame on
+        // segment 1 is heard by both; page 2 is homed on segment 2, so
+        // only device 1 forwards it.
+        let layout = SegmentLayout::new(6, 3).unwrap();
+        let mut f = Fabric::new(layout, FabricConfig::chain(3));
+        let out = f.pickup(&data(2, 2, None), 1, SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].device, out[0].dst), (1, 2));
+        assert_eq!(f.device_stats()[0].filtered, 1, "device 0 kept it local");
+        assert_eq!(f.device_stats()[1].forwarded, 1);
+        assert_eq!(f.stats().heard, 2, "both devices heard the frame");
+    }
+
+    #[test]
+    fn forwarded_frames_hop_onward_but_never_back() {
+        // Chain 0-1-2: a request from segment 0 crosses device 0 onto
+        // segment 1; the forwarded copy is offered to the *other*
+        // devices on segment 1 (device 1) and hops on to segment 2.
+        let layout = SegmentLayout::new(6, 3).unwrap();
+        let mut f = Fabric::new(layout, FabricConfig::chain(3));
+        let hop1 = f.pickup(&req(0, 5), 0, SimTime::ZERO);
+        assert_eq!(hop1.len(), 1);
+        assert_eq!((hop1[0].device, hop1[0].dst), (0, 1));
+        let hop2 = f.pickup_forwarded(&req(0, 5), 1, hop1[0].exit, hop1[0].device);
+        assert_eq!(hop2.len(), 1, "device 0 excluded, device 1 carries on");
+        assert_eq!((hop2[0].device, hop2[0].dst), (1, 2));
+        let hop3 = f.pickup_forwarded(&req(0, 5), 2, hop2[0].exit, hop2[0].device);
+        assert!(hop3.is_empty(), "segment 2 is a leaf: the walk ends");
+    }
+
+    #[test]
+    fn fabric_subscribe_pins_every_device_toward_the_segment() {
+        let layout = SegmentLayout::new(8, 4).unwrap();
+        let mut f = Fabric::new(layout, FabricConfig::tree(4, 2));
+        f.subscribe(PageId::new(0), 3);
+        // Data on segment 0 (the home) now crosses device 0 toward
+        // segment 1 (the direction of 3)...
+        let out = f.pickup(&data(0, 0, None), 0, SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].device, out[0].dst), (0, 1));
+        // ...and hops across device 1 to segment 3 itself.
+        let out2 = f.pickup_forwarded(&data(0, 0, None), 1, out[0].exit, 0);
+        assert_eq!(out2.len(), 1);
+        assert_eq!((out2[0].device, out2[0].dst), (1, 3));
+    }
+
+    #[test]
+    fn fabric_star_matches_single_bridge_byte_for_byte() {
+        // The 1-device fabric must reproduce PR 3's single bridge
+        // exactly: same egress schedule, same counters.
+        let layout = layout_4x2();
+        let mut f = Fabric::new(layout, FabricConfig::star(4));
+        let mut b = star_bridge(BridgeConfig::typical());
+        let frames = [
             (req(6, 0), 3usize),
+            (data(0, 0, None), 0),
             (data(0, 0, Some(5)), 0),
             (data(5, 0, None), 2),
             (req(2, 7), 1),
-            (data(2, 7, Some(9999)), 1),
-        ] {
-            let routed = p.route(&pkt, src);
-            assert_eq!(routed, p.targets(&pkt, src), "{pkt:?} from segment {src}");
+        ];
+        let mut now = SimTime::ZERO;
+        for (pkt, seg) in frames {
+            now += SimDuration::from_micros(200);
+            let fab: Vec<(usize, SimTime)> = f
+                .pickup(&pkt, seg, now)
+                .into_iter()
+                .map(|fw| {
+                    assert_eq!(fw.device, 0);
+                    (fw.dst, fw.exit)
+                })
+                .collect();
+            assert_eq!(fab, b.pickup(&pkt, seg, now));
         }
+        assert_eq!(f.stats(), b.stats());
     }
 }

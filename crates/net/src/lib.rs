@@ -14,11 +14,14 @@
 //!   loss.
 //!
 //! Deployments larger than one broadcast domain instantiate *several* of
-//! either substrate — one per segment — joined by the filtering bridge
-//! in [`bridge`]: [`bridge::BridgePolicy`] decides which segments must
-//! hear a frame (page homes, learned interest, flooded requests) and is
-//! shared by both substrates; [`bridge::Bridge`] adds the simulator's
-//! store-and-forward timing, queueing, and fault-injection knobs.
+//! either substrate — one per segment — joined by the routed bridge
+//! fabric in [`bridge`]: a tree of bridge devices
+//! ([`mether_core::BridgeTopology`]) forwarding hop by hop, each running
+//! a [`bridge::BridgePolicy`] filter (page homes, learned interest with
+//! optional aging, flooded or holder-directed requests) shared by both
+//! substrates; [`bridge::Bridge`] adds the simulator's per-device
+//! store-and-forward timing, queueing, and fault-injection knobs, and
+//! [`bridge::Fabric`] wires every device of a topology together.
 //!
 //! All of them charge traffic using [`mether_core::Packet::wire_size`], so
 //! the network-load numbers produced by the simulator and the runtime are
@@ -35,7 +38,10 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
-pub use bridge::{Bridge, BridgeConfig, BridgePolicy, BridgeStats};
+pub use bridge::{
+    AgeHorizon, Bridge, BridgeConfig, BridgePolicy, BridgeStats, Fabric, FabricConfig, Forward,
+    RequestRouting,
+};
 pub use sim::{EtherConfig, EtherSim};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};

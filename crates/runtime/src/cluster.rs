@@ -1,27 +1,35 @@
 //! A cluster: several Mether nodes on one or more in-process LANs.
 //!
-//! With `segments: 1` (the default of every named constructor) the
-//! cluster is the paper's testbed — all nodes on one broadcast [`Lan`].
-//! With more segments the nodes are split into contiguous blocks
+//! With no fabric (the default of every named constructor) the cluster
+//! is the paper's testbed — all nodes on one broadcast [`Lan`]. With a
+//! [`FabricConfig`] the nodes are split into contiguous blocks
 //! ([`SegmentLayout`]), one `Lan` per block, joined by *bridge threads*:
-//! each segment has a bridge endpoint whose thread snoops that segment
-//! and re-broadcasts each frame onto exactly the segments the shared
+//! one thread per bridge device of the fabric's
+//! [`mether_core::BridgeTopology`], each snooping the device's ports and
+//! re-broadcasting each frame onto exactly the ports the device's
 //! [`BridgePolicy`] filter says must hear it (page homes, learned
-//! interest, flooded requests — the same policy the discrete-event
-//! simulator's bridge runs, so the two network models filter
-//! identically). A forwarded frame is emitted *from the destination
-//! segment's own bridge endpoint*, so the destination's bridge thread
-//! never hears it back — forwarding cannot loop.
+//! interest with optional aging, flooded or holder-directed requests —
+//! the same per-device policy the discrete-event simulator's fabric
+//! runs, so the two network models filter and route identically). A
+//! forwarded frame is emitted *from the forwarding device's own
+//! endpoint on the destination segment*, so that device never hears it
+//! back, while the *other* devices on the segment do — hop-by-hop
+//! forwarding along the tree, loop-free by construction.
+//!
+//! The fabric's engine knobs ([`mether_net::BridgeConfig`] — forward
+//! delay, queue bound, fault injection) model the simulator's
+//! store-and-forward device and are not applied here: a bridge thread
+//! forwards as fast as it runs, like PR 3's.
 //!
 //! Traffic counters stay per segment ([`Cluster::segment_stats`]), so
 //! losses and decode errors are attributable to the wire they happened
 //! on; [`Cluster::net_stats`] sums them for the old whole-network view.
 
 use crate::node::Node;
-use mether_core::{HostId, MetherConfig, PageHomePolicy, PageId, SegmentLayout};
-use mether_net::bridge::BridgePolicy;
+use mether_core::{HostId, MetherConfig, PageId, SegmentLayout};
+use mether_net::bridge::{BridgePolicy, FabricConfig};
 use mether_net::rt::{Endpoint, Lan, LanConfig};
-use mether_net::NetStats;
+use mether_net::{NetStats, SimTime};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -29,7 +37,8 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 /// Host-id base for bridge endpoints (far above any node id, which the
-/// segment layout caps at 127).
+/// segment layout caps at 127). Device `d` attaches to each of its port
+/// LANs as `BRIDGE_HOST_BASE + d`.
 const BRIDGE_HOST_BASE: u16 = 0xFF00;
 
 /// A set of Mether nodes sharing a broadcast segment (or several bridged
@@ -69,11 +78,9 @@ pub struct ClusterConfig {
     pub lan: LanConfig,
     /// Mether page parameters.
     pub mether: MetherConfig,
-    /// Number of bridged segments the nodes are split over (1 = flat).
-    pub segments: usize,
-    /// Page-home policy for the bridge filter (unused when `segments`
-    /// is 1).
-    pub homes: PageHomePolicy,
+    /// The bridge fabric joining the segments; `None` runs every node on
+    /// one flat LAN. The segment count is `fabric.topology.segments()`.
+    pub fabric: Option<FabricConfig>,
 }
 
 impl ClusterConfig {
@@ -83,8 +90,7 @@ impl ClusterConfig {
             nodes: n,
             lan: LanConfig::fast(),
             mether: MetherConfig::new(),
-            segments: 1,
-            homes: PageHomePolicy::Striped,
+            fabric: None,
         }
     }
 
@@ -94,60 +100,110 @@ impl ClusterConfig {
             nodes: n,
             lan: LanConfig::ten_megabit(),
             mether: MetherConfig::new(),
-            segments: 1,
-            homes: PageHomePolicy::Striped,
+            fabric: None,
         }
     }
 
-    /// `n` nodes split over `segments` bridged fast LANs.
+    /// `n` nodes split over `segments` bridged fast LANs joined by a
+    /// 1-bridge star (PR 3's wiring: flooded requests, sticky interest,
+    /// striped homes). `segments == 1` builds a flat cluster — no
+    /// bridge thread, no 128-node mask cap — exactly as it always has.
     pub fn segmented(n: usize, segments: usize) -> Self {
         ClusterConfig {
-            segments,
+            fabric: (segments > 1).then(|| FabricConfig::star(segments)),
+            ..Self::fast(n)
+        }
+    }
+
+    /// `n` nodes on fast LANs joined by an explicit fabric.
+    pub fn fabric(n: usize, fabric: FabricConfig) -> Self {
+        ClusterConfig {
+            fabric: Some(fabric),
             ..Self::fast(n)
         }
     }
 }
 
-/// The bridge's per-segment forwarding threads and their shared filter.
+/// The fabric's bridge threads — one per device — and their filters.
 struct BridgeThreads {
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
-    policy: Arc<Mutex<BridgePolicy>>,
+    /// Per-device policies, indexed by device (for subscriptions and
+    /// diagnostics).
+    policies: Vec<Arc<Mutex<BridgePolicy>>>,
 }
 
 impl BridgeThreads {
-    fn start(lans: &[Lan], layout: SegmentLayout, homes: PageHomePolicy) -> BridgeThreads {
+    fn start(lans: &[Lan], layout: SegmentLayout, fabric: &FabricConfig) -> BridgeThreads {
         let stop = Arc::new(AtomicBool::new(false));
-        let policy = Arc::new(Mutex::new(BridgePolicy::new(layout, homes)));
-        // One endpoint per segment; forwarding to segment `d` transmits
-        // *from* endpoint `d`, so `d`'s own bridge thread (excluded as
-        // the sender) never re-forwards the frame.
-        let endpoints: Arc<Vec<Endpoint>> = Arc::new(
-            lans.iter()
-                .enumerate()
-                .map(|(s, lan)| lan.endpoint(HostId(BRIDGE_HOST_BASE + s as u16)))
-                .collect(),
-        );
-        let threads = (0..lans.len())
-            .map(|src| {
+        let topology = Arc::new(fabric.topology.clone());
+        let policies: Vec<Arc<Mutex<BridgePolicy>>> = (0..topology.bridges())
+            .map(|device| {
+                Arc::new(Mutex::new(BridgePolicy::new(
+                    layout,
+                    Arc::clone(&topology),
+                    device,
+                    fabric.homes.clone(),
+                    fabric.routing,
+                    fabric.aging,
+                )))
+            })
+            .collect();
+        let threads = (0..topology.bridges())
+            .map(|device| {
                 let stop = Arc::clone(&stop);
-                let policy = Arc::clone(&policy);
-                let endpoints = Arc::clone(&endpoints);
+                let policy = Arc::clone(&policies[device]);
+                let ports: Vec<usize> = topology.ports(device).to_vec();
+                // The device's endpoint on each of its port segments.
+                // Forwarding to port `p` transmits *from* this device's
+                // endpoint on `p`, so the device never hears its own
+                // forwards, while the other devices on `p` (distinct
+                // host ids) do — and carry the frame onward.
+                let endpoints: Vec<Endpoint> = ports
+                    .iter()
+                    .map(|&seg| lans[seg].endpoint(HostId(BRIDGE_HOST_BASE + device as u16)))
+                    .collect();
                 thread::Builder::new()
-                    .name(format!("mether-bridge-{src}"))
+                    .name(format!("mether-bridge-{device}"))
                     .spawn(move || {
-                        while !stop.load(Ordering::Relaxed) {
-                            match endpoints[src].recv_timeout(Duration::from_millis(20)) {
-                                Ok(pkt) => {
-                                    let targets = policy.lock().route(&pkt, src);
-                                    for dst in targets {
-                                        // A vanished destination LAN is a
-                                        // shutdown race, not an error.
-                                        let _ = endpoints[dst].broadcast(&pkt);
+                        // The threaded fabric has no sim clock, so
+                        // route() gets SimTime::ZERO (SimTime aging
+                        // horizons degrade to sticky here; transit
+                        // horizons work identically to the simulator's).
+                        let forward = |port_idx: usize, pkt: &mether_core::Packet| {
+                            let targets = policy.lock().route(pkt, ports[port_idx], SimTime::ZERO);
+                            for dst in targets {
+                                let j = ports
+                                    .iter()
+                                    .position(|&p| p == dst)
+                                    .expect("targets are scoped to the ports");
+                                // A vanished destination LAN is a
+                                // shutdown race, not an error.
+                                let _ = endpoints[j].broadcast(pkt);
+                            }
+                        };
+                        // Block on one port (rotating) so an idle device
+                        // sleeps in the kernel instead of spinning, then
+                        // drain every port — a frame on any port is
+                        // picked up at most one timeout after arrival,
+                        // and under load the drain keeps all ports
+                        // flowing with no sleeps at all.
+                        let mut rot = 0usize;
+                        'run: while !stop.load(Ordering::Relaxed) {
+                            match endpoints[rot].recv_timeout(Duration::from_millis(5)) {
+                                Ok(pkt) => forward(rot, &pkt),
+                                Err(mether_core::Error::Timeout) => {}
+                                Err(_) => break 'run,
+                            }
+                            rot = (rot + 1) % endpoints.len();
+                            for (i, ep) in endpoints.iter().enumerate() {
+                                loop {
+                                    match ep.try_recv() {
+                                        Ok(Some(pkt)) => forward(i, &pkt),
+                                        Ok(None) => break,
+                                        Err(_) => break 'run,
                                     }
                                 }
-                                Err(mether_core::Error::Timeout) => {}
-                                Err(_) => break,
                             }
                         }
                     })
@@ -157,7 +213,7 @@ impl BridgeThreads {
         BridgeThreads {
             stop,
             threads,
-            policy,
+            policies,
         }
     }
 
@@ -176,21 +232,25 @@ impl Drop for BridgeThreads {
 }
 
 impl Cluster {
-    /// Brings up the LAN(s), the bridge (if segmented), and all nodes.
+    /// Brings up the LAN(s), the bridge fabric (if any), and all nodes.
     ///
     /// # Errors
     ///
     /// Returns [`mether_core::Error::InvalidConfig`] for a zero-node
-    /// cluster or an invalid segment layout (zero segments, more
-    /// segments than nodes, or more nodes than the 128-host mask
-    /// capacity when segmented).
+    /// cluster or an invalid segment layout (more segments than nodes,
+    /// or more nodes than the 128-host mask capacity when segmented).
+    ///
+    /// A 1-segment fabric is normalised to the flat wiring: one LAN, no
+    /// bridge thread (a single-port device could only ever filter), and
+    /// no mask-capacity cap — so `segmented(n, 1)` keeps meaning what it
+    /// always has.
     pub fn new(cfg: ClusterConfig) -> mether_core::Result<Cluster> {
         if cfg.nodes == 0 {
             return Err(mether_core::Error::InvalidConfig(
                 "cluster needs at least one node".into(),
             ));
         }
-        if cfg.segments == 1 {
+        let Some(fabric) = cfg.fabric.filter(|f| f.topology.segments() > 1) else {
             let lan = Lan::new(cfg.lan);
             let nodes = (0..cfg.nodes)
                 .map(|i| {
@@ -204,16 +264,17 @@ impl Cluster {
                 layout: None,
                 bridge: None,
             });
-        }
-        let layout = SegmentLayout::new(cfg.nodes, cfg.segments)?;
-        let lans: Vec<Lan> = (0..cfg.segments)
+        };
+        let segments = fabric.topology.segments();
+        let layout = SegmentLayout::new(cfg.nodes, segments)?;
+        let lans: Vec<Lan> = (0..segments)
             .map(|s| {
                 let mut lan_cfg = cfg.lan.clone();
                 lan_cfg.seed = lan_cfg.seed.wrapping_add(s as u64);
                 Lan::new(lan_cfg)
             })
             .collect();
-        let bridge = BridgeThreads::start(&lans, layout, cfg.homes);
+        let bridge = BridgeThreads::start(&lans, layout, &fabric);
         let nodes = (0..cfg.nodes)
             .map(|i| {
                 let host = HostId(i as u16);
@@ -253,6 +314,11 @@ impl Cluster {
         self.lans.len()
     }
 
+    /// Number of bridge devices in the fabric (0 for a flat cluster).
+    pub fn bridge_count(&self) -> usize {
+        self.bridge.as_ref().map_or(0, |b| b.policies.len())
+    }
+
     /// The segment node `i` sits on (0 for every node of a flat cluster).
     ///
     /// # Panics
@@ -277,20 +343,21 @@ impl Cluster {
         self.lans[seg].stats()
     }
 
-    /// Statically subscribes segment `seg` to `page`'s transits (see
-    /// [`BridgePolicy::subscribe`]); needed for segments whose only
-    /// consumers of the page are data-driven readers.
+    /// Statically subscribes segment `seg` to `page`'s transits at every
+    /// bridge device (see [`BridgePolicy::subscribe`]); needed for
+    /// segments whose only consumers of the page are data-driven readers.
     ///
     /// # Panics
     ///
     /// Panics on a flat cluster or an out-of-range segment.
     pub fn subscribe_segment(&self, page: PageId, seg: usize) {
-        self.bridge
+        let bridge = self
+            .bridge
             .as_ref()
-            .expect("subscribe_segment needs a segmented cluster")
-            .policy
-            .lock()
-            .subscribe(page, seg);
+            .expect("subscribe_segment needs a segmented cluster");
+        for policy in &bridge.policies {
+            policy.lock().subscribe(page, seg);
+        }
     }
 
     /// Stops the bridge threads and every node's receiver thread.
@@ -308,9 +375,10 @@ impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Cluster(nodes={}, segments={})",
+            "Cluster(nodes={}, segments={}, bridges={})",
             self.nodes.len(),
-            self.lans.len()
+            self.lans.len(),
+            self.bridge_count(),
         )
     }
 }
@@ -319,19 +387,35 @@ impl std::fmt::Debug for Cluster {
 mod tests {
     use super::*;
     use mether_core::{MapMode, PageLength, VAddr, View};
+    use mether_net::RequestRouting;
 
     #[test]
     fn flat_cluster_has_one_segment() {
         let mut c = Cluster::new(ClusterConfig::fast(2)).unwrap();
         assert_eq!(c.segment_count(), 1);
         assert_eq!(c.segment_of(1), 0);
+        assert_eq!(c.bridge_count(), 0);
         c.shutdown();
     }
 
     #[test]
     fn segmented_layout_is_rejected_when_invalid() {
         assert!(Cluster::new(ClusterConfig::segmented(2, 3)).is_err());
-        assert!(Cluster::new(ClusterConfig::segmented(0, 1)).is_err());
+        assert!(Cluster::new(ClusterConfig::fast(0)).is_err());
+    }
+
+    #[test]
+    fn one_segment_cluster_is_flat() {
+        // segmented(n, 1) has always meant the flat wiring: no bridge
+        // thread, no mask-capacity cap. A 1-segment fabric passed
+        // explicitly normalises the same way.
+        let mut c = Cluster::new(ClusterConfig::segmented(2, 1)).unwrap();
+        assert_eq!(c.segment_count(), 1);
+        assert_eq!(c.bridge_count(), 0, "no bridge device on one segment");
+        c.shutdown();
+        let mut c = Cluster::new(ClusterConfig::fabric(2, FabricConfig::star(1))).unwrap();
+        assert_eq!(c.bridge_count(), 0);
+        c.shutdown();
     }
 
     #[test]
@@ -339,6 +423,7 @@ mod tests {
         // 4 nodes, 2 segments: {0,1} and {2,3}.
         let mut c = Cluster::new(ClusterConfig::segmented(4, 2)).unwrap();
         assert_eq!(c.segment_count(), 2);
+        assert_eq!(c.bridge_count(), 1);
         assert_eq!(c.segment_of(1), 0);
         assert_eq!(c.segment_of(2), 1);
         let page = PageId::new(0);
@@ -356,6 +441,27 @@ mod tests {
             c.segment_stats(0).packets + c.segment_stats(1).packets,
             "summed view equals per-segment counters"
         );
+        c.shutdown();
+    }
+
+    #[test]
+    fn cross_segment_fetch_works_on_a_routed_chain() {
+        // 6 nodes over 3 chained segments ({0,1} {2,3} {4,5}), with
+        // holder-directed request routing: node 4's demand fetch of a
+        // page held on segment 0 crosses two devices hop by hop, and
+        // the reply retraces the learned interest.
+        let fabric = FabricConfig::chain(3).with_routing(RequestRouting::HolderDirected);
+        let mut c = Cluster::new(ClusterConfig::fabric(6, fabric)).unwrap();
+        assert_eq!(c.segment_count(), 3);
+        assert_eq!(c.bridge_count(), 2);
+        let page = PageId::new(0);
+        c.node(0).create_owned(page);
+        let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+        c.node(0).write_u32(addr, 41).unwrap();
+        let v = c.node(4).read_u32(addr, MapMode::ReadOnly).unwrap();
+        assert_eq!(v, 41);
+        // The middle segment carried both the request and the reply.
+        assert!(c.segment_stats(1).packets >= 2, "chain hops via segment 1");
         c.shutdown();
     }
 
@@ -414,6 +520,33 @@ mod tests {
             c.segment_stats(1).data_packets >= 1,
             "subscribed segment hears the data transit"
         );
+        c.shutdown();
+    }
+
+    #[test]
+    fn subscription_crosses_a_tree_hop_by_hop() {
+        // 8 nodes over a 4-segment fanout-2 tree (devices {0,1,2} and
+        // {1,3}): a subscription for segment 3 must carry segment 0's
+        // purge broadcasts across *two* devices.
+        let mut c = Cluster::new(ClusterConfig::fabric(8, FabricConfig::tree(4, 2))).unwrap();
+        let page = PageId::new(0);
+        c.subscribe_segment(page, 3);
+        c.node(0).create_owned(page);
+        let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+        c.node(0).write_u32(addr, 9).unwrap();
+        c.node(0)
+            .purge(page, MapMode::Writeable, PageLength::Short)
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while c.segment_stats(3).data_packets == 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            c.segment_stats(3).data_packets >= 1,
+            "leaf segment hears the transit through two devices"
+        );
+        // Segment 2 never asked and is off the path to 3: silent.
+        assert_eq!(c.segment_stats(2).packets, 0, "segment 2 stays silent");
         c.shutdown();
     }
 }

@@ -31,9 +31,14 @@ pub struct ProtocolMetrics {
     /// `net` is their sum). Losses and decode errors stay attributable
     /// to the wire they happened on.
     pub net_segments: Vec<NetStats>,
-    /// Bridge counters: cross-segment traffic, filtered (kept-local)
-    /// frames, queue drops. All zero on a flat topology.
+    /// Fabric-wide bridge counters (per-device counters summed):
+    /// cross-segment traffic, forwarded requests, filtered (kept-local)
+    /// frames, drops and queue tail-drops. All zero on a flat topology.
     pub bridge: BridgeStats,
+    /// Per-device bridge counters, indexed by device of the
+    /// [`mether_core::BridgeTopology`] (`bridge` is their sum). Empty on
+    /// a flat topology; one entry for PR 3's star.
+    pub bridge_devices: Vec<BridgeStats>,
     /// Mean frames snooped per host — the paper's per-host network load
     /// in frame terms; the number segment filtering shrinks.
     pub frames_heard_mean: f64,
@@ -116,13 +121,29 @@ impl fmt::Display for ProtocolMetrics {
             }
             writeln!(
                 f,
-                "  {:<24} {} frames / {} bytes forwarded, {} kept local, {} queue drops",
+                "  {:<24} {} frames / {} bytes forwarded ({} requests), {} kept local, {} dropped, {} queue drops",
                 "Bridge",
                 self.bridge.forwarded,
                 self.bridge.bytes_forwarded,
+                self.bridge.req_forwarded,
                 self.bridge.filtered,
+                self.bridge.dropped,
                 self.bridge.queue_drops
             )?;
+            if self.bridge_devices.len() > 1 {
+                for (i, d) in self.bridge_devices.iter().enumerate() {
+                    writeln!(
+                        f,
+                        "  {:<24} heard {}, forwarded {} ({} requests), filtered {}, {} queue drops",
+                        format!("Bridge device {i}"),
+                        d.heard,
+                        d.forwarded,
+                        d.req_forwarded,
+                        d.filtered,
+                        d.queue_drops
+                    )?;
+                }
+            }
         }
         Ok(())
     }
@@ -142,6 +163,7 @@ mod tests {
             net: NetStats::new(),
             net_segments: vec![NetStats::new()],
             bridge: BridgeStats::default(),
+            bridge_devices: Vec::new(),
             frames_heard_mean: 12.0,
             frames_heard_max: 16,
             net_load_bps: 2200.0,

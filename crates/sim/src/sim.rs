@@ -38,22 +38,27 @@
 //! A transit on segment *s* becomes one `Deliver` event whose
 //! [`Recipients::Subset`] is *s*'s member bitmask (minus the sender):
 //! exactly one segment's snoopers hear it, never the whole cluster. The
-//! frame is simultaneously picked up by the store-and-forward
-//! [`mether_net::Bridge`], whose filter (page homes, learned interest,
-//! flooded requests — see [`mether_net::bridge`]) decides which other
-//! segments must hear it. Each forwarded copy is a `BridgeForward`
-//! event: at its bridge-exit time it is transmitted on the destination
-//! segment's own medium (queueing there like any local frame) and fans
-//! out to that segment's members. Forwarded frames are never picked up
-//! again — the star bridge reaches every destination segment directly,
-//! so no forwarding path revisits the bridge and no loop is possible.
+//! frame is simultaneously picked up by every bridge device attached to
+//! *s* — the routed fabric of [`mether_net::bridge`], a tree of
+//! store-and-forward devices whose per-device filters (page homes,
+//! learned interest with optional aging, flooded or holder-directed
+//! requests) decide which of their ports must hear it. Each forwarded
+//! copy is a `BridgeForward` event carrying its device: at the device's
+//! exit time the copy is transmitted on the destination segment's own
+//! medium (queueing there like any local frame), fans out to that
+//! segment's members, and is offered to the *other* devices on that
+//! segment, which carry it further along the tree — each device gets
+//! its own event lane (engine state, backlog, [`BridgeStats`]). The
+//! forwarding device itself is excluded from that pickup, and the
+//! topology is a tree, so no forwarding walk can revisit a segment: no
+//! loop is possible by construction.
 
 use crate::calib::Calib;
 use crate::host::{HostAction, HostSim};
 use crate::metrics::ProtocolMetrics;
 use crate::process::Workload;
-use mether_core::{HostMask, MetherConfig, Packet, PageHomePolicy, PageId, SegmentLayout};
-use mether_net::{Bridge, BridgeConfig, BridgeStats, EtherConfig, EtherSim, SimDuration, SimTime};
+use mether_core::{HostMask, MetherConfig, Packet, PageId, SegmentLayout};
+use mether_net::{BridgeStats, EtherConfig, EtherSim, Fabric, FabricConfig, SimDuration, SimTime};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -64,31 +69,32 @@ pub enum Topology {
     #[default]
     Flat,
     /// The hosts split over several bridged Ethernet segments (contiguous
-    /// blocks, per [`mether_core::SegmentLayout`]), joined by a filtering
-    /// store-and-forward bridge.
+    /// blocks, per [`mether_core::SegmentLayout`]), joined by a routed
+    /// tree of filtering store-and-forward bridge devices.
     Segmented {
-        /// Number of segments (`1..=hosts`; a 1-segment topology is
-        /// behaviourally identical to [`Topology::Flat`] but exercises
-        /// the masked delivery path — the equivalence is regression-
-        /// pinned).
-        segments: usize,
-        /// Bridge timing, queueing, and fault-injection knobs.
-        bridge: BridgeConfig,
-        /// Which segment each page is homed to (seeded there, and the
-        /// bridge keeps the home subscribed to the page's transits).
-        homes: PageHomePolicy,
+        /// The bridge fabric: topology (star/chain/tree), per-device
+        /// engine knobs, page homes, request routing, interest aging.
+        /// The segment count is `fabric.topology.segments()`
+        /// (`1..=hosts`; a 1-segment topology is behaviourally identical
+        /// to [`Topology::Flat`] but exercises the masked delivery path
+        /// — the equivalence is regression-pinned).
+        fabric: FabricConfig,
     },
 }
 
 impl Topology {
-    /// A segmented topology with default bridge parameters and striped
-    /// page homes.
+    /// PR 3's topology: a 1-bridge star over `segments` with default
+    /// engine knobs, striped page homes, flooded requests, and sticky
+    /// interest.
     pub fn segmented(segments: usize) -> Topology {
         Topology::Segmented {
-            segments,
-            bridge: BridgeConfig::typical(),
-            homes: PageHomePolicy::Striped,
+            fabric: FabricConfig::star(segments),
         }
+    }
+
+    /// A segmented topology over an explicit fabric.
+    pub fn fabric(fabric: FabricConfig) -> Topology {
+        Topology::Segmented { fabric }
     }
 }
 
@@ -233,11 +239,13 @@ enum EvKind {
         to: Recipients,
         pkt: Arc<Packet>,
     },
-    /// A forwarded frame exits the bridge toward segment `dst`: transmit
-    /// it on `dst`'s own medium (where it queues like a local frame) and
-    /// schedule the resulting segment-masked delivery. Never re-enters
-    /// the bridge.
+    /// A forwarded frame copy exits bridge device `from` toward segment
+    /// `dst`: transmit it on `dst`'s own medium (where it queues like a
+    /// local frame), schedule the resulting segment-masked delivery, and
+    /// offer the delivered copy to the *other* devices on `dst` so it
+    /// hops onward along the tree.
     BridgeForward {
+        from: usize,
         dst: usize,
         pkt: Arc<Packet>,
     },
@@ -298,8 +306,8 @@ pub struct Simulation {
     /// Host→segment blocks; `None` on [`Topology::Flat`] (which also
     /// lifts the 128-host mask capacity limit).
     layout: Option<SegmentLayout>,
-    /// The filtering store-and-forward bridge; `None` on flat networks.
-    bridge: Option<Bridge>,
+    /// The routed bridge fabric; `None` on flat networks.
+    fabric: Option<Fabric>,
     events: BinaryHeap<Ev>,
     seq: u64,
     now: SimTime,
@@ -320,13 +328,10 @@ impl Simulation {
         let hosts: Vec<HostSim> = (0..cfg.hosts)
             .map(|i| HostSim::new(i, cfg.calib.clone(), cfg.mether.clone()))
             .collect();
-        let (segments, layout, bridge) = match cfg.topology {
+        let (segments, layout, fabric) = match cfg.topology {
             Topology::Flat => (vec![EtherSim::new(cfg.ether)], None, None),
-            Topology::Segmented {
-                segments,
-                bridge,
-                homes,
-            } => {
+            Topology::Segmented { fabric } => {
+                let segments = fabric.topology.segments();
                 let layout = match SegmentLayout::new(cfg.hosts, segments) {
                     Ok(l) => l,
                     Err(e) => panic!("invalid segmented topology: {e}"),
@@ -334,18 +339,14 @@ impl Simulation {
                 let ethers = (0..segments)
                     .map(|s| EtherSim::new(cfg.ether.clone().for_segment(s)))
                     .collect();
-                (
-                    ethers,
-                    Some(layout),
-                    Some(Bridge::new(layout, homes, bridge)),
-                )
+                (ethers, Some(layout), Some(Fabric::new(layout, fabric)))
             }
         };
         Simulation {
             hosts,
             segments,
             layout,
-            bridge,
+            fabric,
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -423,21 +424,32 @@ impl Simulation {
         self.layout.map_or(0, |l| l.segment_of(host))
     }
 
-    /// Bridge traffic counters; `None` on a flat topology.
+    /// Fabric-wide bridge traffic counters (per-device counters summed);
+    /// `None` on a flat topology.
     pub fn bridge_stats(&self) -> Option<BridgeStats> {
-        self.bridge.as_ref().map(Bridge::stats)
+        self.fabric.as_ref().map(Fabric::stats)
     }
 
-    /// Statically subscribes segment `seg` to `page`'s transits (see
-    /// [`mether_net::BridgePolicy::subscribe`]) — required when a
-    /// segment's only consumers of the page are data-driven readers,
-    /// which never transmit anything the bridge could learn from.
+    /// Per-device bridge traffic counters, indexed by device; empty on a
+    /// flat topology.
+    pub fn bridge_device_stats(&self) -> Vec<BridgeStats> {
+        self.fabric
+            .as_ref()
+            .map(Fabric::device_stats)
+            .unwrap_or_default()
+    }
+
+    /// Statically subscribes segment `seg` to `page`'s transits at every
+    /// bridge device (see [`mether_net::BridgePolicy::subscribe`]) —
+    /// required when a segment's only consumers of the page are
+    /// data-driven readers, which never transmit anything the fabric
+    /// could learn from.
     ///
     /// # Panics
     ///
     /// Panics on a flat topology or an out-of-range segment.
     pub fn subscribe_segment(&mut self, page: PageId, seg: usize) {
-        self.bridge
+        self.fabric
             .as_mut()
             .expect("subscribe_segment needs a segmented topology")
             .subscribe(page, seg);
@@ -554,15 +566,17 @@ impl Simulation {
                         if let Some(r) = recipients {
                             self.schedule_delivery(at, r, &shared);
                         }
-                        // The bridge port on this segment heard the frame
-                        // too; schedule each forwarded copy's bridge exit.
-                        if let Some(bridge) = self.bridge.as_mut() {
-                            for (dst, exit) in bridge.pickup(&shared, seg, at) {
+                        // Every bridge device on this segment heard the
+                        // frame too; schedule each forwarded copy's exit
+                        // from its device.
+                        if let Some(fabric) = self.fabric.as_mut() {
+                            for fw in fabric.pickup(&shared, seg, at) {
                                 self.ev_stats.bridge_pushes += 1;
                                 self.push(
-                                    exit,
+                                    fw.exit,
                                     EvKind::BridgeForward {
-                                        dst,
+                                        from: fw.device,
+                                        dst: fw.dst,
                                         pkt: Arc::clone(&shared),
                                     },
                                 );
@@ -636,13 +650,16 @@ impl Simulation {
                         }
                     }
                 },
-                EvKind::BridgeForward { dst, pkt } => {
-                    // The forwarded copy exits the bridge now: clock it
+                EvKind::BridgeForward { from, dst, pkt } => {
+                    // The forwarded copy exits its device now: clock it
                     // out on the destination segment's own medium (it
                     // queues there behind local traffic) and fan it out
                     // to that segment's members. The original sender is
-                    // not on `dst`, so nobody is excluded; the frame is
-                    // not offered back to the bridge, so it cannot loop.
+                    // not on `dst`, so nobody is excluded. The *other*
+                    // devices on `dst` pick the copy up and carry it
+                    // further along the tree; the forwarding device is
+                    // excluded, and the topology is a tree, so the walk
+                    // cannot loop.
                     let tx = self.segments[dst].transmit(self.now, &pkt);
                     if let Some(at) = tx.delivered_at {
                         let mask = self
@@ -650,6 +667,19 @@ impl Simulation {
                             .expect("bridge events only exist on segmented topologies")
                             .members(dst);
                         self.schedule_delivery(at, Recipients::Subset(mask), &pkt);
+                        if let Some(fabric) = self.fabric.as_mut() {
+                            for fw in fabric.pickup_forwarded(&pkt, dst, at, from) {
+                                self.ev_stats.bridge_pushes += 1;
+                                self.push(
+                                    fw.exit,
+                                    EvKind::BridgeForward {
+                                        from: fw.device,
+                                        dst: fw.dst,
+                                        pkt: Arc::clone(&pkt),
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
                 EvKind::Timer { host, proc } => {
@@ -716,6 +746,7 @@ impl Simulation {
             wall,
             net_segments: self.segments.iter().map(|e| *e.stats()).collect(),
             bridge: self.bridge_stats().unwrap_or_default(),
+            bridge_devices: self.bridge_device_stats(),
             frames_heard_mean,
             frames_heard_max,
             user: SimDuration::from_nanos(user.as_nanos() / nhosts),

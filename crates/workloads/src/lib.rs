@@ -1,6 +1,17 @@
 //! Workloads from the Mether paper: the §4 counting protocols (Figures
 //! 4–9), the sparse-solver send/receive application (§3), and the
 //! experiment harness that regenerates each figure.
+//!
+//! The [`segments`] module scales those workloads past one broadcast
+//! domain, onto the routed bridge fabric of `mether_net::bridge`. Worker
+//! placement there is automatic where it can be: a
+//! [`WriteGraph`] records which host writes which page and derives
+//! [`mether_core::PageHomePolicy::FromWorkload`] — each page homed on
+//! its dominant writer's segment — so the ablation harness
+//! ([`sweep_segmented_solver`]) varies segment count × bridge topology
+//! (star / chain / balanced tree) without hand-aligning pages and
+//! striping. [`PollingReader`] supplies the holder-stable request
+//! workload the fabric's holder-directed routing is measured with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,8 +30,9 @@ pub use counting::{CountingConfig, DisjointPageCounter, LossPolicy, SharedPageCo
 pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
 pub use publisher::{build_publisher_sim, Publisher};
 pub use segments::{
-    build_cross_segment_counting, build_segmented_counting_pairs, build_segmented_publisher,
-    build_segmented_solver, run_segmented, SegmentedReport,
+    build_cross_segment_counting, build_fabric_readers, build_segmented_counting_pairs,
+    build_segmented_publisher, build_segmented_solver, build_segmented_solver_on, run_segmented,
+    sweep_segmented_solver, PollingReader, SegmentedReport, SweepPoint, WriteGraph,
 };
 pub use solver::{
     jacobi_step, run_solver_speedup, SolverConfig, SolverWorker, SparseMatrix, SpeedupPoint,

@@ -4,13 +4,28 @@
 //! One shared Ethernet makes every transit everyone's problem — per-host
 //! frames-snooped grows with cluster-wide traffic, and the broadcast
 //! domain is the scaling ceiling. These builders place the §4 counting
-//! pairs, the §3 solver, and the broadcast-heavy publisher onto bridged
-//! [`Topology::Segmented`] deployments where page homes follow the
-//! hosts that use them, so the bridge's filter keeps local sharing
-//! local. [`run_segmented`] wraps a run with the cross-segment
-//! accounting (bridge bytes per request-bearing fault, per-host frames
-//! snooped) that makes the isolation measurable; the headline numbers —
-//! per-host frames heard on 4×8 segments vs 1×32 flat — are pinned by
+//! pairs, the §3 solver, the broadcast-heavy publisher, and the
+//! request-heavy [`PollingReader`] onto bridged [`Topology::Segmented`]
+//! deployments where page homes follow the hosts that use them, so the
+//! fabric's filter keeps local sharing local. Placement comes in two
+//! flavours:
+//!
+//! * **hand placement** — the original builders place workers on
+//!   hand-picked hosts and rely on striped homes lining up;
+//! * **automatic placement** — a [`WriteGraph`] records which host
+//!   writes which page how often, and
+//!   [`mether_core::PageHomePolicy::FromWorkload`] homes every page
+//!   where its dominant writer sits. [`build_segmented_solver_on`] uses
+//!   it for any fabric, and [`sweep_segmented_solver`] varies segment
+//!   count × bridge topology (star / chain / balanced tree) without any
+//!   hand-placing — the ablation harness the routed fabric is measured
+//!   with.
+//!
+//! [`run_segmented`] wraps a run with the cross-segment accounting
+//! (bridge bytes per request-bearing fault, forwarded request frames,
+//! per-host frames snooped) that makes the isolation measurable; the
+//! headline numbers — per-host frames heard on 4×8 segments vs 1×32
+//! flat, and fabric-crossing requests routed vs flooded — are pinned by
 //! `tests/tests/segmented_topology.rs` and recorded in
 //! `BENCH_baseline.json`.
 
@@ -18,8 +33,12 @@ use crate::counting::CountingConfig;
 use crate::publisher::Publisher;
 use crate::solver::{SolverConfig, SolverWorker};
 use crate::{build_counting, DisjointPageCounter, Protocol};
-use mether_core::PageId;
-use mether_sim::{ProtocolMetrics, RunLimits, RunOutcome, SimConfig, Simulation, Topology};
+use mether_core::{MapMode, PageHomePolicy, PageId, PageLength, SegmentLayout, View};
+use mether_net::{FabricConfig, SimDuration};
+use mether_sim::{
+    DsmOp, ProtocolMetrics, RunLimits, RunOutcome, SimConfig, Simulation, Step, StepCtx, Topology,
+    Workload,
+};
 
 /// First host index of segment `seg` when every segment holds
 /// `hosts_per_segment` hosts (the even layouts these builders produce).
@@ -152,6 +171,246 @@ pub fn build_cross_segment_counting(protocol: Protocol, cfg: &CountingConfig) ->
     build_counting(protocol, cfg, sim_cfg)
 }
 
+/// A demand-polling reader: each round waits out `spacing`, purges its
+/// inconsistent copy, and demand-reads the page — so every round puts
+/// exactly one `PageRequest` on the wire while the consistent holder
+/// stays put. This is the *holder-stable* request workload: under a
+/// flooding fabric each of those requests sprays the whole tree; under
+/// holder-directed routing it walks the unique path to the holder's
+/// segment. The ≥2× request-traffic acceptance bound in
+/// `tests/tests/segmented_topology.rs` is measured with it.
+pub struct PollingReader {
+    page: PageId,
+    left: u32,
+    spacing: SimDuration,
+    offset: SimDuration,
+    state: ReaderState,
+}
+
+enum ReaderState {
+    Pace,
+    Purge,
+    Read,
+}
+
+impl PollingReader {
+    /// A reader polling `page` for `rounds` rounds, `spacing` apart,
+    /// after an initial `offset`. Keep the spacing above the fabric's
+    /// round-trip so rounds do not overlap, and stagger concurrent
+    /// readers' offsets so each fault runs its own request/reply cycle —
+    /// synchronized readers piggyback on each other's replies (the
+    /// page-table request dedup), which is realistic but hides the
+    /// request traffic a routing ablation wants to measure.
+    pub fn new(page: PageId, rounds: u32, spacing: SimDuration, offset: SimDuration) -> Self {
+        PollingReader {
+            page,
+            left: rounds,
+            spacing,
+            offset,
+            state: ReaderState::Pace,
+        }
+    }
+}
+
+impl Workload for PollingReader {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        match self.state {
+            ReaderState::Pace => {
+                if self.left == 0 {
+                    return Step::Done;
+                }
+                self.state = ReaderState::Purge;
+                let pace = self.spacing + std::mem::take(&mut self.offset);
+                Step::Compute(pace)
+            }
+            ReaderState::Purge => {
+                self.state = ReaderState::Read;
+                // Read-only purge: drop the local inconsistent copy, so
+                // the next read demand-faults however fresh the last
+                // snooped refresh was.
+                Step::Op(DsmOp::Purge {
+                    page: self.page,
+                    mode: MapMode::ReadOnly,
+                    length: PageLength::Short,
+                })
+            }
+            ReaderState::Read => {
+                self.state = ReaderState::Pace;
+                self.left -= 1;
+                ctx.counters.operations += 1;
+                Step::Op(DsmOp::Read {
+                    page: self.page,
+                    view: View::short_demand(),
+                    mode: MapMode::ReadOnly,
+                    offset: 0,
+                })
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "polling-reader"
+    }
+}
+
+/// The holder-stable request workload over an arbitrary fabric: page 0
+/// lives (consistent, never moving) on host 0 of segment 0, and the
+/// first host of every *other* segment runs a [`PollingReader`] of
+/// `rounds` rounds. Every round, every reader's demand fault crosses
+/// the fabric to the holder and the reply retraces it — request traffic
+/// is the knob [`mether_net::RequestRouting`] changes, and nothing else
+/// about the run differs between the modes.
+///
+/// # Panics
+///
+/// Panics on a zero-sized layout or a 1-segment fabric (no reader has
+/// anywhere remote to sit).
+pub fn build_fabric_readers(
+    fabric: FabricConfig,
+    hosts_per_segment: usize,
+    rounds: u32,
+) -> Simulation {
+    let segments = fabric.topology.segments();
+    assert!(segments >= 2, "readers need a remote segment to sit on");
+    let mut sim = Simulation::new(SimConfig {
+        topology: Topology::fabric(fabric),
+        ..SimConfig::paper(segments * hosts_per_segment)
+    });
+    let page = PageId::new(0);
+    sim.create_owned(0, page);
+    // Spacing well above the worst-case fabric round-trip (a few store-
+    // and-forward hops plus frame times) so rounds never overlap, and
+    // *distinct* per-reader spacings so the readers keep drifting apart:
+    // with identical pacing they resynchronise on shared reply
+    // broadcasts and piggyback on each other's requests (the page-table
+    // request dedup), which hides the request traffic the routing
+    // ablation measures.
+    let base = SimDuration::from_millis(4);
+    for seg in 1..segments {
+        let spacing = base + SimDuration::from_nanos(base.as_nanos() * (seg as u64 - 1) / 4);
+        let offset = SimDuration::from_nanos(base.as_nanos() * (seg as u64 - 1) / 3);
+        sim.add_process(
+            first_host(seg, hosts_per_segment),
+            Box::new(PollingReader::new(page, rounds, spacing, offset)),
+        );
+    }
+    sim
+}
+
+/// A workload's write graph: which host writes which page, how often.
+/// The recorder behind [`mether_core::PageHomePolicy::FromWorkload`] —
+/// builders log their planned writers here and derive homes instead of
+/// hand-aligning pages with the striping.
+#[derive(Debug, Clone, Default)]
+pub struct WriteGraph {
+    edges: Vec<(PageId, usize, u64)>,
+}
+
+impl WriteGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `host` writes `page` with the given weight (any
+    /// monotone proxy for write volume works — iterations, bytes,
+    /// expected purges).
+    pub fn record(&mut self, page: PageId, host: usize, weight: u64) {
+        self.edges.push((page, host, weight));
+    }
+
+    /// Derives the placement policy: every recorded page homed where its
+    /// dominant writer sits (see [`PageHomePolicy::from_writes`]).
+    pub fn homes(&self, layout: &SegmentLayout) -> PageHomePolicy {
+        PageHomePolicy::from_writes(self.edges.iter().copied(), layout)
+    }
+}
+
+/// The §3 solver on an arbitrary fabric with **automatic placement**:
+/// rank `r` sits on the first host of segment `r` and publishes halo
+/// page `PageId(r)`; the page homes are *derived* from the write graph
+/// ([`PageHomePolicy::FromWorkload`]) rather than hand-aligned with the
+/// striping, so the same builder serves any segment count or bridge
+/// topology the ablation sweep asks for.
+///
+/// # Panics
+///
+/// Panics on a zero-sized layout.
+pub fn build_segmented_solver_on(
+    fabric: FabricConfig,
+    hosts_per_segment: usize,
+    cfg: SolverConfig,
+) -> Simulation {
+    let segments = fabric.topology.segments();
+    let hosts = segments * hosts_per_segment;
+    let layout = SegmentLayout::new(hosts, segments).expect("builder layouts are valid");
+    let mut graph = WriteGraph::new();
+    for rank in 0..segments {
+        graph.record(
+            PageId::new(rank as u32),
+            first_host(rank, hosts_per_segment),
+            cfg.iterations as u64,
+        );
+    }
+    let fabric = fabric.with_homes(graph.homes(&layout));
+    let mut sim = Simulation::new(SimConfig {
+        topology: Topology::fabric(fabric),
+        ..SimConfig::paper(hosts)
+    });
+    for rank in 0..segments {
+        let host = first_host(rank, hosts_per_segment);
+        sim.create_owned(host, PageId::new(rank as u32));
+        sim.add_process(host, Box::new(SolverWorker::new(cfg, rank, segments)));
+    }
+    sim
+}
+
+/// One point of the segment-count × topology ablation sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Human-readable point label, e.g. `"solver 4 segments, chain"`.
+    pub label: String,
+    /// Segment count of the point.
+    pub segments: usize,
+    /// The cross-segment accounting of the run.
+    pub report: SegmentedReport,
+}
+
+/// Runs the auto-placed solver over every `segment count × topology`
+/// combination (star, chain, and fanout-2 balanced tree per count) and
+/// collects the cross-segment accounting — the ablation harness that
+/// needed hand-placement before [`WriteGraph`] existed. Segment counts
+/// below 2 are skipped (nothing to bridge).
+pub fn sweep_segmented_solver(
+    segment_counts: &[usize],
+    hosts_per_segment: usize,
+    cfg: SolverConfig,
+    limits: RunLimits,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &segments in segment_counts {
+        if segments < 2 {
+            continue;
+        }
+        let topologies = [
+            ("star", FabricConfig::star(segments)),
+            ("chain", FabricConfig::chain(segments)),
+            ("tree2", FabricConfig::tree(segments, 2)),
+        ];
+        for (kind, fabric) in topologies {
+            let label = format!("solver {segments} segments, {kind}");
+            let mut sim = build_segmented_solver_on(fabric, hosts_per_segment, cfg);
+            let report = run_segmented(&mut sim, &label, segments as u32, limits);
+            points.push(SweepPoint {
+                label,
+                segments,
+                report,
+            });
+        }
+    }
+    points
+}
+
 /// What a segmented run measured, beyond the flat-network metrics.
 #[derive(Debug, Clone)]
 pub struct SegmentedReport {
@@ -276,6 +535,67 @@ mod tests {
         // The leftover segment's local pair used pages homed to itself:
         // its wire carried traffic, but none of it was forwarded out.
         assert!(sim.segment_stats(2).packets > 0);
+    }
+
+    #[test]
+    fn polling_readers_put_one_request_per_round_on_the_wire() {
+        let rounds = 6;
+        let mut sim = build_fabric_readers(FabricConfig::star(3), 2, rounds);
+        let report = run_segmented(&mut sim, "readers 3x2", 1, RunLimits::default());
+        assert!(report.outcome.finished, "{:?}", report.outcome);
+        // Two readers, exactly one request-bearing fault each per round
+        // (the paced purge guarantees the read never hits locally); the
+        // holder-stable page never moves off segment 0.
+        assert_eq!(report.faults, 2 * u64::from(rounds));
+        assert_eq!(report.metrics.additions, 2 * u64::from(rounds));
+        // Every one of those requests crossed the fabric toward the
+        // holder (the wire total also counts the bridge's egress
+        // retransmissions, so it exceeds the original count).
+        assert!(report.metrics.net.requests >= 2 * u64::from(rounds));
+        assert!(report.metrics.bridge.req_forwarded >= 2 * u64::from(rounds));
+        assert!(report.cross_segment_bytes > 0);
+    }
+
+    #[test]
+    fn write_graph_homes_follow_the_recorded_writers() {
+        let layout = SegmentLayout::new(6, 3).unwrap();
+        let mut g = WriteGraph::new();
+        g.record(PageId::new(0), 4, 10); // segment 2
+        g.record(PageId::new(1), 0, 10); // segment 0
+        let homes = g.homes(&layout);
+        assert_eq!(homes.home_of(PageId::new(0), 3), 2);
+        assert_eq!(homes.home_of(PageId::new(1), 3), 0);
+    }
+
+    #[test]
+    fn auto_placed_solver_finishes_on_a_chain() {
+        let cfg = SolverConfig {
+            iterations: 4,
+            work_per_iteration: SimDuration::from_millis(20),
+        };
+        let mut sim = build_segmented_solver_on(FabricConfig::chain(3), 2, cfg);
+        let report = run_segmented(&mut sim, "solver chain 3x2", 3, RunLimits::default());
+        assert!(report.outcome.finished, "{:?}", report.outcome);
+        assert!(report.cross_segment_bytes > 0, "halo exchange crossed");
+    }
+
+    #[test]
+    fn sweep_covers_counts_times_topologies_without_hand_placement() {
+        let cfg = SolverConfig {
+            iterations: 3,
+            work_per_iteration: SimDuration::from_millis(10),
+        };
+        let points = sweep_segmented_solver(&[1, 2, 3], 2, cfg, RunLimits::default());
+        // Count 1 skipped; counts 2 and 3 each run star/chain/tree2.
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!(
+                p.report.outcome.finished,
+                "{}: {:?}",
+                p.label, p.report.outcome
+            );
+            assert!(p.report.metrics.additions > 0, "{}", p.label);
+        }
     }
 
     #[test]

@@ -13,11 +13,11 @@
 //! equivalence of the masked fan-out path.
 
 use mether_core::HostMask;
-use mether_net::SimDuration;
+use mether_net::{FabricConfig, RequestRouting, SimDuration};
 use mether_sim::{DeliveryMode, Recipients, RunLimits, SimConfig, Simulation, Topology};
 use mether_workloads::{
-    build_cross_segment_counting, build_publisher_sim, build_segmented_publisher, run_segmented,
-    CountingConfig, Protocol,
+    build_cross_segment_counting, build_fabric_readers, build_publisher_sim,
+    build_segmented_publisher, run_segmented, CountingConfig, Protocol,
 };
 use proptest::prelude::*;
 
@@ -87,6 +87,51 @@ fn four_by_eight_segments_snoop_at_least_3x_fewer_frames_than_flat_32() {
 }
 
 // ---------------------------------------------------------------------
+// The PR 4 acceptance criterion: on a holder-stable request workload
+// (one publisher-side holder at 32 hosts, readers polling from every
+// other segment of a 4×8 balanced tree), holder-directed routing must
+// cut the request frames crossing the fabric at least 2× relative to
+// PR 3's flooding — while changing nothing about the protocol outcome.
+// ---------------------------------------------------------------------
+
+#[test]
+fn routed_fabric_crosses_at_least_2x_fewer_request_frames_than_flooding() {
+    const ROUNDS: u32 = 48;
+    let run = |routing: RequestRouting| {
+        let fabric = FabricConfig::tree(4, 2).with_routing(routing);
+        let mut sim = build_fabric_readers(fabric, 8, ROUNDS);
+        let report = run_segmented(&mut sim, "readers 4x8 tree", 1, RunLimits::default());
+        assert!(report.outcome.finished, "{:?}", report.outcome);
+        report
+    };
+    let flood = run(RequestRouting::Flood);
+    let routed = run(RequestRouting::HolderDirected);
+
+    // Identical protocol work: every reader took the same faults and
+    // completed the same rounds in both modes.
+    assert_eq!(flood.faults, routed.faults, "same request-bearing faults");
+    assert_eq!(flood.metrics.additions, routed.metrics.additions);
+    assert_eq!(flood.faults, 3 * u64::from(ROUNDS), "one fault per round");
+
+    // The wire difference: request frames crossing the fabric.
+    let (f, r) = (
+        flood.metrics.bridge.req_forwarded,
+        routed.metrics.bridge.req_forwarded,
+    );
+    let ratio = f as f64 / r as f64;
+    eprintln!(
+        "readers x{ROUNDS} on 4x8 tree: fabric-crossing requests flood = {f}, holder-directed = {r}, ratio {ratio:.2}x"
+    );
+    assert!(
+        ratio >= 2.0,
+        "holder-directed routing must cut fabric-crossing requests ≥2× (flood {f}, routed {r}, ratio {ratio:.2}×)"
+    );
+    // Data traffic is interest-driven in both modes — routing requests
+    // must not inflate it.
+    assert!(routed.metrics.bridge.bytes_forwarded <= flood.metrics.bridge.bytes_forwarded);
+}
+
+// ---------------------------------------------------------------------
 // Cross-segment protocol correctness under bridge faults.
 // ---------------------------------------------------------------------
 
@@ -113,8 +158,7 @@ fn cross_segment_counting_finishes_and_crosses_the_bridge() {
 }
 
 fn faulty_bridge_sim(drop: f64, duplicate: f64, target: u32) -> Simulation {
-    use mether_core::PageHomePolicy;
-    use mether_net::BridgeConfig;
+    use mether_net::{BridgeConfig, FabricConfig};
     use mether_workloads::build_counting;
 
     let cfg = CountingConfig {
@@ -130,11 +174,7 @@ fn faulty_bridge_sim(drop: f64, duplicate: f64, target: u32) -> Simulation {
         bridge = bridge.with_duplicate(duplicate);
     }
     let sim_cfg = SimConfig {
-        topology: Topology::Segmented {
-            segments: 2,
-            bridge,
-            homes: PageHomePolicy::Striped,
-        },
+        topology: Topology::fabric(FabricConfig::star(2).with_bridge(bridge)),
         ..SimConfig::paper(2)
     };
     build_counting(Protocol::P5, &cfg, sim_cfg)
@@ -183,6 +223,60 @@ fn dropping_bridge_degrades_deterministically_not_catastrophically() {
     // The run terminated — either the protocol powered through or the
     // cap tripped; both are legal, wedging the event loop is not.
     assert!(outcome.events > 0);
+}
+
+#[test]
+fn bridge_queue_tail_drops_surface_in_protocol_metrics() {
+    // A slow, 1-frame bridge device between a broadcast-happy publisher
+    // and a subscribed remote segment: purge broadcasts arrive every
+    // ~15 ms while the store-and-forward service takes 100 ms, so the
+    // queue tail-drops most of them — and those drops must surface in
+    // `ProtocolMetrics.bridge` (the fabric-wide sum), not sit invisible
+    // in the per-device counters.
+    use mether_core::PageId;
+    use mether_net::{BridgeConfig, BridgeStats};
+    use mether_workloads::Publisher;
+
+    let bridge = BridgeConfig::typical()
+        .with_forward_delay(SimDuration::from_millis(100))
+        .with_queue_frames(1);
+    let mut sim = Simulation::new(SimConfig {
+        topology: Topology::fabric(FabricConfig::star(2).with_bridge(bridge)),
+        ..SimConfig::paper(4)
+    });
+    let page = PageId::new(0);
+    sim.create_owned(0, page);
+    sim.subscribe_segment(page, 1);
+    sim.add_process(0, Box::new(Publisher::new(page, 64)));
+    let outcome = sim.run(RunLimits::default());
+    assert!(outcome.finished);
+    let m = sim.metrics("slow 1-frame bridge", outcome.finished, 1);
+    assert!(
+        m.bridge.queue_drops > 0,
+        "the 1-frame queue tail-dropped: {:?}",
+        m.bridge
+    );
+    assert_eq!(
+        m.bridge,
+        sim.bridge_stats().unwrap(),
+        "metrics surface the fabric counters"
+    );
+    assert_eq!(
+        m.bridge,
+        BridgeStats::sum(m.bridge_devices.iter().copied()),
+        "the fabric-wide row is the per-device sum"
+    );
+    // The drops are real: the subscribed segment heard fewer transits
+    // than the publisher broadcast.
+    assert!(
+        sim.segment_stats(1).packets < sim.segment_stats(0).packets,
+        "tail-dropped frames never reached segment 1"
+    );
+    assert!(
+        sim.segment_stats(0).packets - sim.segment_stats(1).packets >= m.bridge.queue_drops,
+        "every accounted tail-drop is a transit segment 1 never heard \
+         (the remainder is the copy still in flight when the run ended)"
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -324,6 +324,17 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{} ({:?} vs {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
 }
 
 /// Fails the current case unless `left != right`.
@@ -336,6 +347,16 @@ macro_rules! prop_assert_ne {
                 "assertion failed: {} != {} (both {:?})",
                 stringify!($left),
                 stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{} (both {:?})",
+                format!($($fmt)+),
                 l
             )));
         }

@@ -476,6 +476,42 @@ fn bench_bridge_routing(c: &mut Criterion) {
     g.finish();
 }
 
+/// The resilient fabric: the raw spanning-tree election compute on a
+/// 16-device ring (what every device re-runs per belief change), and
+/// the ring-failover scenario end to end — kill the elected root of a
+/// 4×8 ring mid-run, hello-timeout + gossip + re-elect + hold-down,
+/// readers ride through on fault retries. The structural number is the
+/// reconvergence stall recorded in `BENCH_baseline.json` `_meta_pr5`
+/// (measured by `tests/tests/bridge_fabric.rs`); these wall numbers
+/// show what the control plane costs.
+fn bench_fabric(c: &mut Criterion) {
+    use mether_core::BridgeTopology;
+    use mether_workloads::{run_ring_failover, FailoverConfig};
+
+    let mut g = c.benchmark_group("fabric");
+    g.bench_function("stp_election_16dev", |b| {
+        let t = BridgeTopology::ring(16);
+        let views = t.fresh_views();
+        b.iter(|| black_box(t.elect(&[], &views, 0)))
+    });
+    g.bench_function("reconverge_ring_4x8", |b| {
+        // A shortened failover run (8 writes, root killed 40 ms in) so
+        // the bench iterates in reasonable wall time; the full
+        // acceptance shape runs in the test suite.
+        let cfg = FailoverConfig {
+            writes: 8,
+            kill_at: SimDuration::from_millis(40),
+            ..FailoverConfig::ring_4x8()
+        };
+        b.iter(|| {
+            let (_sim, report) = run_ring_failover(&cfg, RunLimits::default());
+            assert!(report.outcome.finished && report.readers_saw_final);
+            black_box(report.stall.expect("stall measured").as_nanos())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_addr,
@@ -486,6 +522,7 @@ criterion_group!(
     bench_wake,
     bench_event_queue,
     bench_segments,
-    bench_bridge_routing
+    bench_bridge_routing,
+    bench_fabric
 );
 criterion_main!(benches);

@@ -442,6 +442,12 @@ impl HostMask {
         self.0
     }
 
+    /// A mask from raw bits — the inverse of [`HostMask::bits`], used by
+    /// the wire codec to round-trip port masks through control frames.
+    pub fn from_bits(bits: u128) -> HostMask {
+        HostMask(bits)
+    }
+
     /// Iterates the members in ascending index order, O(members) via
     /// trailing-zero counts.
     pub fn iter(self) -> HostMaskIter {

@@ -82,5 +82,5 @@ pub use generation::Generation;
 pub use page::PageBuf;
 pub use rules::PageHomePolicy;
 pub use table::{woken_waiters, AccessOutcome, Effect, FaultKind, PageTable, WakeSet};
-pub use topology::BridgeTopology;
+pub use topology::{ActiveTree, BridgeTopology, DeviceView, PortState};
 pub use wire::{HostId, Packet, Want, WireFrame};

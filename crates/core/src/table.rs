@@ -623,6 +623,10 @@ impl PageTable {
                 }
                 self.handle_data(*page, *length, *generation, *transfer_to, data, effects);
             }
+            // Bridge-to-bridge spanning-tree control traffic: no Mether
+            // server consumes it (a real NIC would filter the BPDU
+            // multicast address before the driver ever saw the frame).
+            Packet::BridgePdu { .. } => {}
         }
     }
 

@@ -21,7 +21,8 @@
 //! framing so the simulator's network-load numbers are comparable to the
 //! paper's.
 
-use crate::{Error, Generation, PageId, PageLength, Result};
+use crate::topology::DeviceView;
+use crate::{Error, Generation, HostMask, PageId, PageLength, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -117,6 +118,13 @@ pub const MIN_FRAME: usize = 64;
 const MAGIC: u16 = 0x4D45; // "ME"
 const TYPE_REQUEST: u8 = 1;
 const TYPE_DATA: u8 = 2;
+const TYPE_BRIDGE_PDU: u8 = 3;
+
+/// Upper bound on the per-device view entries a [`Packet::BridgePdu`]
+/// may carry — matches the largest fabric a `HostMask`-segmented
+/// deployment can express, and caps what a garbage length field can make
+/// the decoder allocate.
+pub const MAX_PDU_VIEWS: usize = 1024;
 
 /// A Mether datagram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,20 +158,41 @@ pub enum Packet {
         /// The page bytes (a full page or a short-page prefix).
         data: Bytes,
     },
+    /// A bridge-to-bridge spanning-tree control frame (hello/TC): one
+    /// bridge device's gossiped liveness beliefs about every device of
+    /// the fabric, broadcast on each of its ports at the hello cadence
+    /// and immediately on change. Mether servers never consume these —
+    /// a host NIC filters them the way real NICs filter BPDU multicasts
+    /// — but they ride the same wire, occupy the same medium, and cross
+    /// the same codec as page traffic.
+    BridgePdu {
+        /// The emitting device's fabric endpoint id
+        /// (`BRIDGE_HOST_BASE + device` in the runtime).
+        from: HostId,
+        /// The emitting bridge device's index in the topology.
+        device: u16,
+        /// The sender's current belief about every device, indexed by
+        /// device id ([`crate::DeviceView`] versioned-gossip entries).
+        views: Vec<DeviceView>,
+    },
 }
 
 impl Packet {
-    /// The page this packet concerns.
+    /// The page this packet concerns. Control frames
+    /// ([`Packet::BridgePdu`]) carry no page and report page 0.
     pub fn page(&self) -> PageId {
         match self {
             Packet::PageRequest { page, .. } | Packet::PageData { page, .. } => *page,
+            Packet::BridgePdu { .. } => PageId::new(0),
         }
     }
 
     /// The sending host.
     pub fn from(&self) -> HostId {
         match self {
-            Packet::PageRequest { from, .. } | Packet::PageData { from, .. } => *from,
+            Packet::PageRequest { from, .. }
+            | Packet::PageData { from, .. }
+            | Packet::BridgePdu { from, .. } => *from,
         }
     }
 
@@ -172,11 +201,18 @@ impl Packet {
         matches!(self, Packet::PageData { .. })
     }
 
+    /// True for bridge-to-bridge control frames, which no Mether server
+    /// consumes.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Packet::BridgePdu { .. })
+    }
+
     /// Serialized payload length in bytes (without link-layer framing).
     pub fn encoded_len(&self) -> usize {
         match self {
             Packet::PageRequest { .. } => 2 + 1 + 2 + 4 + 1 + 1,
             Packet::PageData { data, .. } => 2 + 1 + 2 + 4 + 1 + 8 + 3 + 4 + data.len(),
+            Packet::BridgePdu { views, .. } => 2 + 1 + 2 + 2 + 2 + views.len() * (8 + 1 + 16),
         }
     }
 
@@ -242,6 +278,25 @@ impl Packet {
                 }
                 b.put_u32(data.len() as u32);
             }
+            Packet::BridgePdu {
+                from,
+                device,
+                views,
+            } => {
+                b.put_u16(MAGIC);
+                b.put_u8(TYPE_BRIDGE_PDU);
+                b.put_u16(from.0);
+                b.put_u16(*device);
+                b.put_u16(views.len() as u16);
+                for v in views {
+                    b.put_u64(v.version);
+                    b.put_u8(u8::from(v.alive));
+                    // The 128-bit port mask crosses as two big-endian
+                    // u64 halves (high first).
+                    b.put_u64((v.ports.bits() >> 64) as u64);
+                    b.put_u64(v.ports.bits() as u64);
+                }
+            }
         }
     }
 
@@ -269,14 +324,14 @@ impl Packet {
     /// output.
     pub fn encode_vectored(&self) -> WireFrame {
         let header_len = match self {
-            Packet::PageRequest { .. } => self.encoded_len(),
             Packet::PageData { data, .. } => self.encoded_len() - data.len(),
+            _ => self.encoded_len(),
         };
         let mut b = BytesMut::with_capacity(header_len);
         self.put_header(&mut b);
         let payload = match self {
-            Packet::PageRequest { .. } => Bytes::new(),
             Packet::PageData { data, .. } => data.clone(),
+            _ => Bytes::new(),
         };
         WireFrame {
             header: b.freeze(),
@@ -340,6 +395,38 @@ impl Packet {
                 let payload_start = datagram.len() - buf.remaining();
                 let data = datagram.slice(payload_start..payload_start + hdr.payload_len);
                 Ok(hdr.into_packet(data))
+            }
+            TYPE_BRIDGE_PDU => {
+                need(buf, 6)?;
+                let from = HostId(buf.get_u16());
+                let device = buf.get_u16();
+                let count = buf.get_u16() as usize;
+                if count > MAX_PDU_VIEWS {
+                    return Err(Error::Decode(format!("pdu claims {count} views")));
+                }
+                need(buf, count * (8 + 1 + 16))?;
+                let mut views = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let version = buf.get_u64();
+                    let alive = match buf.get_u8() {
+                        0 => false,
+                        1 => true,
+                        a => return Err(Error::Decode(format!("bad alive flag {a}"))),
+                    };
+                    let hi = buf.get_u64();
+                    let lo = buf.get_u64();
+                    let ports = HostMask::from_bits((u128::from(hi) << 64) | u128::from(lo));
+                    views.push(DeviceView {
+                        version,
+                        alive,
+                        ports,
+                    });
+                }
+                Ok(Packet::BridgePdu {
+                    from,
+                    device,
+                    views,
+                })
             }
             t => Err(Error::Decode(format!("unknown packet type {t}"))),
         }
@@ -536,6 +623,61 @@ mod tests {
         let p = sample_data(8192);
         assert!(p.wire_size() > 8192);
         assert!(p.wire_size() < 8192 + 128);
+    }
+
+    fn sample_pdu(n: usize) -> Packet {
+        Packet::BridgePdu {
+            from: HostId(0xFF02),
+            device: 2,
+            views: (0..n)
+                .map(|d| crate::DeviceView {
+                    version: d as u64 * 3,
+                    alive: d % 2 == 0,
+                    ports: crate::HostMask::range(d, d + 3),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bridge_pdu_round_trip() {
+        for n in [0, 1, 4, 64] {
+            let p = sample_pdu(n);
+            assert_eq!(p.encode().len(), p.encoded_len());
+            assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+            // Vectored framing carries control frames too (empty payload
+            // segment).
+            let frame = p.encode_vectored();
+            assert!(frame.payload.is_empty());
+            assert_eq!(Packet::decode_frame(&frame).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn bridge_pdu_is_control_not_data() {
+        let p = sample_pdu(2);
+        assert!(p.is_control());
+        assert!(!p.is_data());
+        assert_eq!(p.from(), HostId(0xFF02));
+        assert!(p.wire_size() >= MIN_FRAME);
+    }
+
+    #[test]
+    fn bridge_pdu_decode_rejects_malformed() {
+        let enc = sample_pdu(3).encode();
+        // Truncations anywhere in the view list.
+        for cut in [3, 7, 9, enc.len() - 1] {
+            assert!(Packet::decode(&enc.slice(..cut)).is_err(), "cut {cut}");
+        }
+        // A corrupt alive flag.
+        let mut bad = enc.to_vec();
+        bad[9 + 8] = 7; // first view's alive byte
+        assert!(Packet::decode(&Bytes::from(bad)).is_err());
+        // An absurd view count must not allocate gigabytes.
+        let mut huge = enc.to_vec();
+        huge[7] = 0xff;
+        huge[8] = 0xff;
+        assert!(Packet::decode(&Bytes::from(huge)).is_err());
     }
 
     #[test]

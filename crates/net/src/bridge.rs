@@ -1,24 +1,64 @@
-//! The routed bridge *fabric* joining Ethernet segments.
+//! The resilient routed bridge *fabric* joining Ethernet segments.
 //!
 //! Mether's protocols assume one broadcast domain: every server snoops
 //! every frame, and the network does the fan-out. One shared segment is
 //! also the scaling ceiling — every transit burdens every host. Scaling
 //! past it means splitting the cluster into segments joined by
-//! *filtering* bridges, and — once one filtering device is itself the
-//! bottleneck — arranging those bridges as a tree, the way real
-//! segmented Ethernets of the era scaled. This module is that fabric:
+//! *filtering* bridges, arranged — once one filtering device is itself
+//! the bottleneck — as a fabric of multi-port devices, the way real
+//! segmented Ethernets of the era scaled. This module is that fabric.
 //!
-//! # Topology
+//! # Physical links vs. the active forwarding tree
 //!
-//! A [`mether_core::BridgeTopology`] describes the tree: each bridge
-//! device attaches to a subset of segments (its *ports*) and only ever
-//! sees traffic on those segments. Frames travel **hop by hop**: a
-//! bridge forwards a frame onto one of its segments, where the other
-//! bridges attached to that segment pick it up and forward it onward.
-//! The star (one device on every segment) is the 1-bridge special case;
-//! chains and balanced trees trade per-device fan-out against hop
-//! count. Loop freedom is by construction — the topology is a tree and
-//! no device forwards a frame back out its incoming port.
+//! A [`mether_core::BridgeTopology`] describes the **physical wiring**:
+//! each bridge device attaches to a subset of segments (its *ports*) and
+//! only ever sees traffic on those segments. The wiring is a validated
+//! *connected graph* — redundant links (rings, meshes, tie bridges) are
+//! welcome, because loop freedom does not come from the wiring. It comes
+//! from a **spanning-tree election** in the style of Perlman's 802.1D:
+//! each device holds gossiped liveness beliefs about its peers
+//! ([`mether_core::DeviceView`], carried in
+//! [`mether_core::Packet::BridgePdu`] hello frames on the ordinary
+//! wire), and deterministically elects an active tree from them
+//! ([`mether_core::BridgeTopology::elect`]) — a root bridge
+//! (configurable priorities, device-id tie-break), per-port
+//! [`mether_core::PortState::Forwarding`] /
+//! [`mether_core::PortState::Blocked`] states, and next-hop tables
+//! *derived from the forwarding ports at election time* rather than
+//! precomputed from the wiring. Frames travel **hop by hop** along
+//! forwarding ports only; blocked ports neither forward nor learn, so
+//! the redundancy stays dormant until a failure needs it.
+//!
+//! Two election modes ([`ElectionMode`]):
+//!
+//! * [`ElectionMode::Static`] — elect once at construction assuming
+//!   everything alive, then never again: no hello traffic, no timers.
+//!   On a tree topology this reproduces the PR 4 tree fabric *exactly*
+//!   (every port forwards, identical next hops — regression-pinned
+//!   byte-identical), and on a graph it simply freezes one spanning
+//!   tree.
+//! * [`ElectionMode::Live`] — each device emits a hello on every live
+//!   port at the hello cadence (and immediately when its beliefs
+//!   change), times out silent neighbours, gossips deaths and
+//!   revivals, and re-elects on every belief change. Ports that turn
+//!   from Blocked to Forwarding hold down for a listening delay before
+//!   carrying data, so a transient disagreement between devices cannot
+//!   close a forwarding loop the way real STP's listening state
+//!   prevents. Reconvergence **flushes learned interest and holder
+//!   beliefs on every port whose role changed** — the cached directions
+//!   are meaningless on the new tree — and the DSM layer rides through
+//!   on its request-retry path while the fabric heals.
+//!
+//! Failures are injected as [`FabricEvent`]s ([`FabricEvent::BridgeDown`],
+//! [`FabricEvent::BridgeUp`], [`FabricEvent::LinkDown`]): a dead device
+//! stops emitting hellos and stops forwarding, its neighbours notice the
+//! silence, declare it dead (versioned gossip: a neighbour's obituary is
+//! `version + 1`; self-assertions advance by 2 so a live device always
+//! out-versions its own obituary), and the fabric reconverges around the
+//! redundancy. [`Fabric`] measures the **reconvergence stall**: the sim
+//! time from a `BridgeDown` to the first `PageData` forwarded by a
+//! re-elected device — the window during which cross-fabric pages were
+//! unreachable.
 //!
 //! # Filtering and routing
 //!
@@ -32,12 +72,13 @@
 //!   `transfer_to` moved the consistent copy toward it. Data transits
 //!   are forwarded to interested ports only.
 //! * the **home port** — the port toward the page's home segment
-//!   ([`mether_core::PageHomePolicy`]), permanently interested so the
-//!   home always holds fresh copies for cross-segment misses to find.
-//!   Never aged out.
+//!   ([`mether_core::PageHomePolicy`]) *on the active tree*, permanently
+//!   interested so the home always holds fresh copies for cross-segment
+//!   misses to find. Never aged out; re-derived automatically when the
+//!   tree changes; absent while the home segment is partitioned away.
 //! * **pins** ([`BridgePolicy::subscribe`]) — explicit subscriptions for
-//!   purely data-driven readers, which by design never transmit
-//!   anything a bridge could learn from. Never aged out.
+//!   purely data-driven readers, stored as *segments* and resolved to
+//!   ports through the active tree, so they survive reconvergence.
 //! * the **believed holder port** — learned from the direction
 //!   `PageData` transits arrive from (only when they *advance* the
 //!   page's generation, so a non-holder's stale `Want::Superset` reply
@@ -45,20 +86,13 @@
 //!   snooped `transfer_to` moves (authoritative — they name the new
 //!   holder). Under [`RequestRouting::HolderDirected`] a `PageRequest`
 //!   is forwarded toward the believed holder, *anchored at the home
-//!   port* (the union of the two, usually one port since placement
-//!   homes pages with their writers), instead of flooding the whole
-//!   fabric; with no belief the request falls back to scoped flooding,
-//!   and the reply repairs the table at every hop it crosses. When
-//!   belief and home both point back out the incoming port the device
-//!   forwards nothing: the frame is already travelling in the holder's
-//!   direction and the next device on that segment continues the
-//!   chase. (`Want::Superset` requests always flood — any host still
-//!   holding a full copy may answer those, not just the consistent
-//!   holder.) One hazard is accepted knowingly: if a `transfer_to`
-//!   frame is lost in flight, the beliefs behind the loss go stale —
-//!   but that frame *was* the consistent copy, so the protocol has
-//!   already lost consistency and wedges identically under flooding;
-//!   routing staleness is bounded by the same failure.
+//!   port*, instead of flooding the whole fabric; with no belief the
+//!   request falls back to scoped flooding, and the reply repairs the
+//!   table at every hop it crosses. Belief quality is accounted per
+//!   device in [`BridgeStats`]: `belief_hits` (requests routed on a
+//!   belief), `belief_fallback_floods` (no belief — scoped flood), and
+//!   `belief_repairs` (an existing belief repointed by fresher
+//!   evidence).
 //!
 //! # Interest aging
 //!
@@ -67,9 +101,7 @@
 //! has shown no demand for that long, so a reader segment that stops
 //! touching a page stops receiving its transits. Re-use reinstates the
 //! entry via the ordinary learning path; home ports and pins never age.
-//! The default, [`AgeHorizon::Sticky`], never evicts — PR 3's
-//! behaviour, and the right choice for snoopy workloads whose readers
-//! rely on refreshes between faults.
+//! The default, [`AgeHorizon::Sticky`], never evicts.
 //!
 //! # Engine
 //!
@@ -77,19 +109,29 @@
 //! store-and-forward timing: a forwarding delay, a bounded frame queue
 //! that tail-drops under overload, and drop/duplicate fault-injection
 //! knobs ([`BridgeConfig`]), accounted per device in [`BridgeStats`].
-//! [`Fabric`] owns every device of a topology and fans pickups out to
-//! the devices attached to the transmitting segment. Egress timing is
-//! the *exit* time from a device; the destination segment's own medium
-//! model then queues the frame like any other transmission, and the
-//! remaining devices on that segment hear it there.
+//! [`Fabric`] owns every device of a topology, fans pickups out to the
+//! live devices attached to the transmitting segment, runs the control
+//! plane (hello ticks, control-frame gossip, failure events), and
+//! tracks reconvergence. Egress timing is the *exit* time from a
+//! device; the destination segment's own medium model then queues the
+//! frame like any other transmission, and the remaining devices on that
+//! segment hear it there.
 
 use crate::time::{SimDuration, SimTime};
-use mether_core::{BridgeTopology, HostMask, Packet, PageHomePolicy, PageId, SegmentLayout, Want};
+use mether_core::{
+    ActiveTree, BridgeTopology, DeviceView, HostId, HostMask, Packet, PageHomePolicy, PageId,
+    SegmentLayout, Want,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Host-id base for bridge endpoints on the threaded runtime's LANs and
+/// in control frames (far above any node id, which the segment layout
+/// caps at 127). Device `d` speaks as `HostId(BRIDGE_HOST_BASE + d)`.
+pub const BRIDGE_HOST_BASE: u16 = 0xFF00;
 
 /// Parameters of one store-and-forward bridge device.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -212,6 +254,18 @@ pub struct BridgeStats {
     pub queue_drops: u64,
     /// Extra emissions produced by the duplicate knob.
     pub duplicated: u64,
+    /// Holder-directed requests routed on a known belief (the routing
+    /// win; zero under [`RequestRouting::Flood`]).
+    pub belief_hits: u64,
+    /// Holder-directed requests that fell back to scoped flooding
+    /// because no belief existed yet (cold pages, post-flush repair
+    /// traffic).
+    pub belief_fallback_floods: u64,
+    /// Times an *existing* holder belief was repointed by fresher
+    /// evidence (a newer-generation transit from another direction, or
+    /// a snooped `transfer_to`) — how fast beliefs chase a migrating
+    /// holder.
+    pub belief_repairs: u64,
 }
 
 impl BridgeStats {
@@ -230,6 +284,9 @@ impl BridgeStats {
                 acc.dropped += s.dropped;
                 acc.queue_drops += s.queue_drops;
                 acc.duplicated += s.duplicated;
+                acc.belief_hits += s.belief_hits;
+                acc.belief_fallback_floods += s.belief_fallback_floods;
+                acc.belief_repairs += s.belief_repairs;
                 acc
             })
     }
@@ -238,9 +295,9 @@ impl BridgeStats {
 /// How a device forwards `PageRequest` frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum RequestRouting {
-    /// Forward every request out every other port (PR 3's behaviour —
-    /// the consistent copy migrates, so the holder may be anywhere).
-    /// Request traffic grows with the segment count.
+    /// Forward every request out every other forwarding port (PR 3's
+    /// behaviour — the consistent copy migrates, so the holder may be
+    /// anywhere). Request traffic grows with the segment count.
     #[default]
     Flood,
     /// Forward a request toward the *believed holder* only, learned from
@@ -269,13 +326,89 @@ pub enum AgeHorizon {
     SimTime(SimDuration),
 }
 
+/// How the fabric decides its active forwarding tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ElectionMode {
+    /// Elect once at construction assuming every device alive, then
+    /// freeze: no hello traffic, no timers, no failure handling. On a
+    /// tree topology this is byte-identical to the PR 4 tree-only
+    /// fabric (regression-pinned); on a graph it freezes one spanning
+    /// tree and a failure partitions the fabric permanently.
+    #[default]
+    Static,
+    /// Run the distributed election live: hellos at `hello_interval` on
+    /// every live port, a neighbour silent for `hello_timeout` is
+    /// declared dead (gossiped fabric-wide), and every belief change
+    /// re-elects. A port turning Blocked→Forwarding holds down for
+    /// `hold_down` before carrying data (the listening delay that keeps
+    /// transient disagreement from closing a loop).
+    Live {
+        /// Hello cadence per device.
+        hello_interval: SimDuration,
+        /// Neighbour silence threshold; keep it several intervals wide
+        /// so one lost hello is not a funeral.
+        hello_timeout: SimDuration,
+        /// Listening delay before a newly-forwarding port carries data.
+        hold_down: SimDuration,
+    },
+}
+
+impl ElectionMode {
+    /// Live election with defaults sized for the simulated 10 Mbit/s
+    /// fabric: 1 ms hellos, 4 ms neighbour timeout, 2 ms hold-down —
+    /// reconvergence in single-digit milliseconds, hello overhead well
+    /// under the page-traffic noise floor.
+    pub fn live() -> Self {
+        ElectionMode::Live {
+            hello_interval: SimDuration::from_millis(1),
+            hello_timeout: SimDuration::from_millis(4),
+            hold_down: SimDuration::from_millis(2),
+        }
+    }
+
+    /// True for [`ElectionMode::Live`].
+    pub fn is_live(&self) -> bool {
+        matches!(self, ElectionMode::Live { .. })
+    }
+
+    /// The hello cadence, when live.
+    pub fn hello_interval(&self) -> Option<SimDuration> {
+        match self {
+            ElectionMode::Static => None,
+            ElectionMode::Live { hello_interval, .. } => Some(*hello_interval),
+        }
+    }
+}
+
+/// A failure (or recovery) injected into the fabric in sim time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FabricEvent {
+    /// Bridge device dies: stops forwarding, stops emitting hellos,
+    /// loses its queue and all learned state. Neighbours detect the
+    /// silence and the fabric re-elects around it (live election only —
+    /// under `Static` the failure partitions the fabric).
+    BridgeDown(usize),
+    /// The device restarts cold: fresh filter tables, fresh optimistic
+    /// views, a self-version above any obituary in circulation.
+    BridgeUp(usize),
+    /// One (device, segment) attachment fails; the device keeps
+    /// forwarding on its surviving ports and gossips the reduced port
+    /// set.
+    LinkDown {
+        /// The device losing the port.
+        device: usize,
+        /// The segment the port attached to.
+        segment: usize,
+    },
+}
+
 /// Everything needed to instantiate the bridge fabric of a segmented
 /// deployment — shared between [`Fabric`] (the simulator's engine) and
 /// the threaded runtime's bridge threads, so both network models filter
 /// and route identically.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
-    /// The tree of bridge devices over the segments.
+    /// The graph of bridge devices over the segments.
     pub topology: BridgeTopology,
     /// Per-device engine knobs (timing, queueing, fault injection);
     /// device `b` derives its injection seed as `bridge.seed + b`.
@@ -286,12 +419,17 @@ pub struct FabricConfig {
     pub routing: RequestRouting,
     /// Learned-interest lifetime.
     pub aging: AgeHorizon,
+    /// Static snapshot or live spanning-tree election.
+    pub election: ElectionMode,
+    /// Per-device bridge priorities (lower wins the root election;
+    /// missing entries default to 0, ties break on device id).
+    pub priorities: Vec<u64>,
 }
 
 impl FabricConfig {
     /// A fabric over an explicit topology, with default engine knobs,
-    /// striped homes, flooding requests, and sticky interest — the PR 3
-    /// filter on any tree.
+    /// striped homes, flooding requests, sticky interest, and static
+    /// election — the PR 3 filter on any tree.
     pub fn new(topology: BridgeTopology) -> Self {
         FabricConfig {
             topology,
@@ -299,6 +437,8 @@ impl FabricConfig {
             homes: PageHomePolicy::Striped,
             routing: RequestRouting::Flood,
             aging: AgeHorizon::Sticky,
+            election: ElectionMode::Static,
+            priorities: Vec::new(),
         }
     }
 
@@ -329,6 +469,16 @@ impl FabricConfig {
         Self::new(BridgeTopology::balanced_tree(segments, fanout))
     }
 
+    /// A ring of two-port bridges over `segments` — the chain plus one
+    /// redundant link, the smallest single-failure-tolerant fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 2`.
+    pub fn ring(segments: usize) -> Self {
+        Self::new(BridgeTopology::ring(segments))
+    }
+
     /// Overrides the per-device engine knobs.
     #[must_use]
     pub fn with_bridge(mut self, bridge: BridgeConfig) -> Self {
@@ -356,6 +506,20 @@ impl FabricConfig {
         self.aging = aging;
         self
     }
+
+    /// Overrides the election mode.
+    #[must_use]
+    pub fn with_election(mut self, election: ElectionMode) -> Self {
+        self.election = election;
+        self
+    }
+
+    /// Overrides the per-device bridge priorities (lower wins).
+    #[must_use]
+    pub fn with_priorities(mut self, priorities: Vec<u64>) -> Self {
+        self.priorities = priorities;
+        self
+    }
 }
 
 /// Per-page filter state of one device: which ports must hear the
@@ -365,8 +529,10 @@ impl FabricConfig {
 struct PageFilter {
     /// Learned interest (bit = segment id of a port).
     learned: HostMask,
-    /// Explicit subscriptions (never aged).
-    pinned: HostMask,
+    /// Explicitly subscribed *segments* (bit = segment id anywhere in
+    /// the fabric, resolved to a port through the active tree at use
+    /// time so pins survive reconvergence). Never aged.
+    pinned_segs: HostMask,
     /// Last demand evidence per port, parallel to the device's port
     /// list: (device forwarded-transit clock, sim time).
     stamps: Vec<(u64, SimTime)>,
@@ -381,21 +547,53 @@ struct PageFilter {
     newest_gen: Option<mether_core::Generation>,
 }
 
+/// What one control-plane step changed at a device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PduOutcome {
+    /// The device's gossiped beliefs changed (propagate: emit a
+    /// triggered hello).
+    pub view_changed: bool,
+    /// The re-election actually changed the active tree (count a
+    /// reconvergence; interest/beliefs on changed ports were flushed).
+    pub active_changed: bool,
+}
+
 /// One device's forwarding filter: which of its ports must hear a frame.
 ///
 /// Time-free and transport-free, so the simulator's [`Bridge`] engine
 /// and the threaded runtime's bridge threads share the exact same
-/// routing logic (see the module docs for the rules).
+/// routing logic (see the module docs for the rules). The policy also
+/// holds the device's slice of the election state: its gossiped views,
+/// neighbour liveness stamps, and the [`ActiveTree`] it currently
+/// forwards on.
 #[derive(Debug, Clone)]
 pub struct BridgePolicy {
     layout: SegmentLayout,
     topology: Arc<BridgeTopology>,
     device: usize,
-    /// The device's ports as a segment-id bitmask.
+    /// The device's physical ports as a segment-id bitmask.
     ports_mask: HostMask,
     homes: PageHomePolicy,
     routing: RequestRouting,
     aging: AgeHorizon,
+    election: ElectionMode,
+    priorities: Arc<Vec<u64>>,
+    /// This device's beliefs about every device (itself included).
+    views: Vec<DeviceView>,
+    /// When each *neighbour* device (sharing ≥ 1 segment) was last
+    /// heard from; the hello-timeout input.
+    last_heard: Vec<SimTime>,
+    /// Per own-port-index: data embargo until this time (the listening
+    /// hold-down after a Blocked→Forwarding transition).
+    hold_until: Vec<SimTime>,
+    /// The active forwarding tree this device currently routes on.
+    active: ActiveTree,
+    /// Election generation: bumped every time the active tree changes.
+    epoch: u64,
+    /// Belief-quality counters (merged into [`BridgeStats`]).
+    belief_hits: u64,
+    belief_fallback_floods: u64,
+    belief_repairs: u64,
     /// Per-page filters, grown lazily.
     pages: Vec<PageFilter>,
     /// Transits this device has forwarded — the aging clock.
@@ -404,7 +602,8 @@ pub struct BridgePolicy {
 
 impl BridgePolicy {
     /// The filter of device `device` of `topology`, over `layout`, with
-    /// pages homed by `homes`.
+    /// pages homed by `homes` — static election, the PR 4-compatible
+    /// default. Fabric construction paths use [`BridgePolicy::for_device`].
     ///
     /// # Panics
     ///
@@ -425,6 +624,10 @@ impl BridgePolicy {
         );
         assert!(device < topology.bridges(), "device {device} out of range");
         let ports_mask = topology.ports(device).iter().copied().collect();
+        let nports = topology.ports(device).len();
+        let views = topology.fresh_views();
+        let priorities = Arc::new(Vec::new());
+        let active = topology.elect(&priorities, &views, device);
         BridgePolicy {
             layout,
             topology,
@@ -433,8 +636,88 @@ impl BridgePolicy {
             homes,
             routing,
             aging,
+            election: ElectionMode::Static,
+            priorities,
+            views,
+            last_heard: vec![SimTime::ZERO; 0],
+            hold_until: vec![SimTime::ZERO; nports],
+            active,
+            epoch: 0,
+            belief_hits: 0,
+            belief_fallback_floods: 0,
+            belief_repairs: 0,
             pages: Vec::new(),
             clock: 0,
+        }
+    }
+
+    /// The filter of one device of a [`FabricConfig`]'s fabric: like
+    /// [`BridgePolicy::new`] but with the config's election mode and
+    /// the fabric's shared priorities, electing the initial active tree
+    /// exactly once. The constructor [`Fabric`] and the runtime's
+    /// bridge threads use.
+    ///
+    /// # Panics
+    ///
+    /// As [`BridgePolicy::new`].
+    pub fn for_device(
+        layout: SegmentLayout,
+        topology: Arc<BridgeTopology>,
+        device: usize,
+        cfg: &FabricConfig,
+        priorities: Arc<Vec<u64>>,
+    ) -> Self {
+        assert_eq!(
+            topology.segments(),
+            layout.segments(),
+            "topology and layout disagree on the segment count"
+        );
+        assert!(device < topology.bridges(), "device {device} out of range");
+        let ports_mask = topology.ports(device).iter().copied().collect();
+        let nports = topology.ports(device).len();
+        let views = topology.fresh_views();
+        let active = topology.elect(&priorities, &views, device);
+        BridgePolicy {
+            layout,
+            topology: Arc::clone(&topology),
+            device,
+            ports_mask,
+            homes: cfg.homes.clone(),
+            routing: cfg.routing,
+            aging: cfg.aging,
+            election: cfg.election,
+            priorities,
+            views,
+            last_heard: vec![SimTime::ZERO; topology.bridges()],
+            hold_until: vec![SimTime::ZERO; nports],
+            active,
+            epoch: 0,
+            belief_hits: 0,
+            belief_fallback_floods: 0,
+            belief_repairs: 0,
+            pages: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Marks this device as (re)joining an already-running fabric at
+    /// `now`: every neighbour's liveness stamp is reset to `now` (a
+    /// freshly-booted device has heard nobody *yet* — without this, a
+    /// revival at `now ≫ hello_timeout` would declare every neighbour
+    /// dead on its first tick), and, under live election, **every port
+    /// boots in its hold-down** the way 802.1D boots ports in
+    /// Listening: the device's optimistic construction-time tree may
+    /// disagree with the converged fabric around it, and forwarding on
+    /// it before the first hello exchange could close a transient loop
+    /// on a redundant wiring.
+    pub fn rejoin(&mut self, now: SimTime) {
+        for t in &mut self.last_heard {
+            *t = now;
+        }
+        if let ElectionMode::Live { hold_down, .. } = self.election {
+            for h in &mut self.hold_until {
+                *h = now + hold_down;
+            }
         }
     }
 
@@ -463,15 +746,46 @@ impl BridgePolicy {
         self.device
     }
 
+    /// The election mode this policy runs.
+    pub fn election(&self) -> ElectionMode {
+        self.election
+    }
+
+    /// The active forwarding tree currently routed on.
+    pub fn active(&self) -> &ActiveTree {
+        &self.active
+    }
+
+    /// How many times the active tree has changed since construction.
+    pub fn election_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Belief-quality counters: (hits, fallback floods, repairs).
+    pub fn belief_counters(&self) -> (u64, u64, u64) {
+        (
+            self.belief_hits,
+            self.belief_fallback_floods,
+            self.belief_repairs,
+        )
+    }
+
+    /// The device's live ports: physical ports minus failed links (per
+    /// its own self-view).
+    pub fn self_live_ports(&self) -> HostMask {
+        self.ports_mask.intersection(self.views[self.device].ports)
+    }
+
     /// The home segment of `page`.
     pub fn home_of(&self, page: PageId) -> usize {
         self.homes.home_of(page, self.layout.segments())
     }
 
-    /// The port of this device toward `page`'s home segment — always
-    /// interested, never aged.
-    pub fn home_port(&self, page: PageId) -> usize {
-        self.topology.next_hop(self.device, self.home_of(page))
+    /// The port of this device toward `page`'s home segment on the
+    /// active tree — always interested, never aged. `None` while the
+    /// home segment is partitioned away (no forwarding path exists).
+    pub fn home_port(&self, page: PageId) -> Option<usize> {
+        self.active.next_hop(self.device, self.home_of(page))
     }
 
     fn port_index(&self, port: usize) -> usize {
@@ -504,16 +818,39 @@ impl BridgePolicy {
         }
     }
 
+    /// The ports this device may carry data on right now: the active
+    /// tree's Forwarding ports minus any still in their post-election
+    /// hold-down.
+    fn effective_forwarding(&self, now: SimTime) -> HostMask {
+        let mut m = self.active.forwarding(self.device);
+        if self.election.is_live() {
+            for (i, &port) in self.topology.ports(self.device).iter().enumerate() {
+                if self.hold_until[i] > now {
+                    m.remove(port);
+                }
+            }
+        }
+        m
+    }
+
     /// The effective interest mask of `page` at `now`: fresh learned
-    /// ports, pins, and the home port. (The believed-holder port is
-    /// request routing state, not interest — data is not forwarded
-    /// toward a holder nobody asked from.)
+    /// ports, pins (resolved through the active tree), and the home
+    /// port. (The believed-holder port is request routing state, not
+    /// interest — data is not forwarded toward a holder nobody asked
+    /// from.)
     pub fn interest(&self, page: PageId, now: SimTime) -> HostMask {
-        let mut m = HostMask::single(self.home_port(page));
+        let mut m = HostMask::EMPTY;
+        if let Some(h) = self.home_port(page) {
+            m.insert(h);
+        }
         let Some(f) = self.pages.get(page.index() as usize) else {
             return m;
         };
-        m = m.union(f.pinned);
+        for seg in f.pinned_segs {
+            if let Some(p) = self.active.next_hop(self.device, seg) {
+                m.insert(p);
+            }
+        }
         let ports = self.topology.ports(self.device);
         for (i, &port) in ports.iter().enumerate() {
             if f.learned.contains(port) && self.fresh(f.stamps[i], now) {
@@ -532,7 +869,9 @@ impl BridgePolicy {
     }
 
     /// Statically subscribes segment `seg` to `page`'s transits: this
-    /// device pins its port toward `seg`. Pins never age out.
+    /// device pins `seg`, resolved to its port toward `seg` through
+    /// whatever active tree is current. Pins never age out and survive
+    /// reconvergence.
     ///
     /// Needed when a segment's only consumers of a page are *data-driven*
     /// readers: a data-driven fault "does not send out a request" (the
@@ -548,23 +887,22 @@ impl BridgePolicy {
             "segment {seg} >= {}",
             self.layout.segments()
         );
-        let port = self.topology.next_hop(self.device, seg);
-        self.filter_mut(page).pinned.insert(port);
+        self.filter_mut(page).pinned_segs.insert(seg);
     }
 
     /// The segment a transfer target host sits on, if the host id is in
     /// range (wire-decoded frames can carry garbage ids).
-    fn transfer_segment(&self, transfer_to: &Option<mether_core::HostId>) -> Option<usize> {
+    fn transfer_segment(&self, transfer_to: &Option<HostId>) -> Option<usize> {
         transfer_to.as_ref().and_then(|h| {
             ((h.0 as usize) < self.layout.hosts()).then(|| self.layout.segment_of(h.0 as usize))
         })
     }
 
     /// This device's port toward the segment of a transfer target, if
-    /// the target is valid.
-    fn transfer_port(&self, transfer_to: &Option<mether_core::HostId>) -> Option<usize> {
+    /// the target is valid and its segment reachable.
+    fn transfer_port(&self, transfer_to: &Option<HostId>) -> Option<usize> {
         self.transfer_segment(transfer_to)
-            .map(|seg| self.topology.next_hop(self.device, seg))
+            .and_then(|seg| self.active.next_hop(self.device, seg))
     }
 
     /// Stamps fresh demand evidence for `page` on `port` and marks the
@@ -575,6 +913,17 @@ impl BridgePolicy {
         let f = self.filter_mut(page);
         f.learned.insert(port);
         f.stamps[i] = (clock, now);
+    }
+
+    /// Repoints the holder belief of `page` to `port`, counting a
+    /// repair when an existing, different belief is overwritten.
+    fn point_holder(&mut self, page: PageId, port: usize) {
+        let f = self.filter_mut(page);
+        let before = f.holder;
+        f.holder = Some(port as u16);
+        if matches!(before, Some(old) if usize::from(old) != port) {
+            self.belief_repairs += 1;
+        }
     }
 
     /// Updates the learning tables for one frame heard on `in_port` at
@@ -605,7 +954,7 @@ impl BridgePolicy {
                 let f = self.filter_mut(*page);
                 if f.newest_gen.is_none_or(|g| generation.newer_than(g)) {
                     f.newest_gen = Some(*generation);
-                    f.holder = Some(in_port as u16);
+                    self.point_holder(*page, in_port);
                 }
                 // A consistency transfer must reach the new holder, that
                 // side stays interested from then on, and the belief
@@ -613,25 +962,44 @@ impl BridgePolicy {
                 // names the new holder explicitly.
                 if let Some(port) = self.transfer_port(transfer_to) {
                     self.stamp(*page, port, now);
-                    self.filter_mut(*page).holder = Some(port as u16);
+                    self.point_holder(*page, port);
                 }
             }
+            Packet::BridgePdu { .. } => {}
         }
     }
 
     /// Routes one frame heard on `in_port` at `now`: updates the
     /// learning tables, returns the mask of ports the frame must be
     /// forwarded to (never including `in_port`), and ticks the aging
-    /// clock when the frame is forwarded. Definitionally learn-then-
-    /// [`BridgePolicy::targets`], so the diagnostic mask can never drift
-    /// from what the device actually forwards.
+    /// clock when the frame is forwarded. A frame heard on a Blocked
+    /// (or held-down) port is neither learned from nor forwarded — the
+    /// dormant redundancy stays invisible to the data plane.
+    /// Definitionally learn-then-[`BridgePolicy::targets`], so the
+    /// diagnostic mask can never drift from what the device actually
+    /// forwards.
     pub fn route(&mut self, pkt: &Packet, in_port: usize, now: SimTime) -> HostMask {
         debug_assert!(
             self.ports_mask.contains(in_port),
             "device {} has no port on segment {in_port}",
             self.device
         );
+        if pkt.is_control() {
+            return HostMask::EMPTY; // control plane goes via hear_pdu
+        }
+        if !self.effective_forwarding(now).contains(in_port) {
+            return HostMask::EMPTY;
+        }
         self.learn(pkt, in_port, now);
+        if let Packet::PageRequest { page, want, .. } = pkt {
+            if self.routing == RequestRouting::HolderDirected && *want != Want::Superset {
+                if self.holder_port(*page).is_some() {
+                    self.belief_hits += 1;
+                } else {
+                    self.belief_fallback_floods += 1;
+                }
+            }
+        }
         let targets = self.targets(pkt, in_port, now);
         if !targets.is_empty() {
             self.clock += 1;
@@ -643,9 +1011,13 @@ impl BridgePolicy {
     /// with no learning side effects (diagnostics and tests; the
     /// `transfer_to` port is included even before learning records it).
     pub fn targets(&self, pkt: &Packet, in_port: usize, now: SimTime) -> HostMask {
+        let fwd = self.effective_forwarding(now);
+        if !fwd.contains(in_port) {
+            return HostMask::EMPTY;
+        }
         match pkt {
             Packet::PageRequest { page, want, .. } => {
-                let flood = self.ports_mask.without(in_port);
+                let flood = fwd.without(in_port);
                 if self.routing == RequestRouting::Flood || *want == Want::Superset {
                     // Flood mode, and Superset requests always: any host
                     // still holding a full copy may answer a Superset
@@ -669,8 +1041,10 @@ impl BridgePolicy {
                         // that segment continues the chase — forwarding
                         // elsewhere cannot reach the holder sooner.
                         let mut m = HostMask::single(hp);
-                        m.insert(self.home_port(*page));
-                        m.without(in_port)
+                        if let Some(home) = self.home_port(*page) {
+                            m.insert(home);
+                        }
+                        m.intersection(fwd).without(in_port)
                     }
                     // No belief yet: scoped flooding; the reply repairs
                     // the table.
@@ -684,7 +1058,180 @@ impl BridgePolicy {
                 if let Some(port) = self.transfer_port(transfer_to) {
                     m.insert(port);
                 }
-                m.intersection(self.ports_mask).without(in_port)
+                m.intersection(fwd).without(in_port)
+            }
+            Packet::BridgePdu { .. } => HostMask::EMPTY,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The control plane: gossip, timeouts, re-election.
+    // -----------------------------------------------------------------
+
+    /// This device's hello frame: its current beliefs about every
+    /// device, spoken as its fabric endpoint id.
+    pub fn pdu(&self) -> Packet {
+        Packet::BridgePdu {
+            from: HostId(BRIDGE_HOST_BASE + self.device as u16),
+            device: self.device as u16,
+            views: self.views.clone(),
+        }
+    }
+
+    /// Ingests a hello heard on `in_port` at `now`: refreshes the
+    /// sender's liveness stamp, merges its gossiped views (higher
+    /// version wins, dead wins ties), rebuts any obituary of *this*
+    /// device, and re-elects when anything changed.
+    pub fn hear_pdu(
+        &mut self,
+        from_device: usize,
+        views: &[DeviceView],
+        _in_port: usize,
+        now: SimTime,
+    ) -> PduOutcome {
+        let mut out = PduOutcome::default();
+        if from_device < self.last_heard.len() {
+            self.last_heard[from_device] = now;
+        }
+        for (d, theirs) in views.iter().enumerate() {
+            if d >= self.views.len() {
+                break;
+            }
+            if d == self.device {
+                // Self-defence: a circulating obituary (or stale port
+                // set) about us is rebutted with a higher version — a
+                // live device always out-versions its own death.
+                let mine = &mut self.views[d];
+                if theirs.version >= mine.version && (!theirs.alive || theirs.ports != mine.ports) {
+                    mine.version = theirs.version + 1;
+                    out.view_changed = true;
+                }
+                continue;
+            }
+            // The sender vouches for itself at least as strongly as its
+            // own entry says; ordinary merge covers that too.
+            if self.views[d].merge(theirs) {
+                out.view_changed = true;
+            }
+        }
+        if out.view_changed {
+            out.active_changed = self.recompute(now);
+        }
+        out
+    }
+
+    /// One hello-cadence tick at `now`: declares any neighbour silent
+    /// past the hello timeout dead (versioned obituary, gossiped from
+    /// here on), and re-elects if that changed anything. No-op under
+    /// static election.
+    pub fn on_tick(&mut self, now: SimTime) -> PduOutcome {
+        let mut out = PduOutcome::default();
+        let ElectionMode::Live { hello_timeout, .. } = self.election else {
+            return out;
+        };
+        let my_live = self.self_live_ports();
+        for d in 0..self.topology.bridges() {
+            if d == self.device || !self.views[d].alive {
+                continue;
+            }
+            // Only neighbours — devices we'd hear hellos from directly —
+            // are subject to *our* timeout; everyone else's liveness is
+            // gossip.
+            let shares: HostMask = self.topology.ports(d).iter().copied().collect();
+            if shares
+                .intersection(self.views[d].ports)
+                .intersection(my_live)
+                .is_empty()
+            {
+                continue;
+            }
+            if now.since(self.last_heard[d]) > hello_timeout {
+                let v = &mut self.views[d];
+                v.version += 1; // the odd obituary version
+                v.alive = false;
+                out.view_changed = true;
+            }
+        }
+        if out.view_changed {
+            out.active_changed = self.recompute(now);
+        }
+        out
+    }
+
+    /// Fails this device's attachment to `segment`: the port drops out
+    /// of its live set (self-version advances by 2, staying even), and
+    /// the device re-elects over its surviving ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is not a physical port of this device.
+    pub fn kill_port(&mut self, segment: usize, now: SimTime) -> PduOutcome {
+        assert!(
+            self.ports_mask.contains(segment),
+            "device {} has no port on segment {segment}",
+            self.device
+        );
+        let v = &mut self.views[self.device];
+        v.ports.remove(segment);
+        v.version += 2;
+        PduOutcome {
+            view_changed: true,
+            active_changed: self.recompute(now),
+        }
+    }
+
+    /// Sets this device's self-assertion version — used when a device
+    /// restarts, to start above any obituary still in circulation
+    /// (`2 × restarts` keeps it even and strictly above the odd
+    /// obituary of every previous life).
+    pub fn set_self_version(&mut self, version: u64) {
+        self.views[self.device].version = version;
+    }
+
+    /// Re-runs the election over the current views; on an active-tree
+    /// change, flushes learned interest and holder beliefs on every own
+    /// port whose role changed and arms the hold-down on ports that
+    /// just started forwarding. Returns whether the tree changed.
+    fn recompute(&mut self, now: SimTime) -> bool {
+        let new = self
+            .topology
+            .elect(&self.priorities, &self.views, self.device);
+        if new == self.active {
+            return false;
+        }
+        let old_fwd = self.active.forwarding(self.device);
+        let new_fwd = new.forwarding(self.device);
+        let changed_roles = HostMask::from_bits(old_fwd.bits() ^ new_fwd.bits());
+        for port in changed_roles {
+            self.flush_port(port);
+            if new_fwd.contains(port) {
+                if let ElectionMode::Live { hold_down, .. } = self.election {
+                    let i = self.port_index(port);
+                    self.hold_until[i] = now + hold_down;
+                }
+            }
+        }
+        self.active = new;
+        self.epoch += 1;
+        true
+    }
+
+    /// Forgets everything learned through `port`: its learned-interest
+    /// bits, demand stamps, and any holder belief pointing out of it.
+    /// Called when the port's role changed — on the new tree those
+    /// directions are meaningless, and a stale belief would bounce
+    /// requests into the dead part of the fabric.
+    fn flush_port(&mut self, port: usize) {
+        let i = self.port_index(port);
+        for f in &mut self.pages {
+            f.learned.remove(port);
+            f.stamps[i] = (0, SimTime::ZERO);
+            if f.holder == Some(port as u16) {
+                f.holder = None;
+                // Let the next reply re-teach the belief from scratch:
+                // post-reconvergence data may legitimately arrive with a
+                // generation the old path already reported.
+                f.newest_gen = None;
             }
         }
     }
@@ -702,6 +1249,9 @@ pub struct Bridge {
     backlog: VecDeque<SimTime>,
     rng: StdRng,
     stats: BridgeStats,
+    /// Counters inherited from this device's previous life (a revival
+    /// cold-resets the filter, not the run's accounting).
+    carryover: BridgeStats,
 }
 
 impl Bridge {
@@ -715,7 +1265,17 @@ impl Bridge {
             backlog: VecDeque::new(),
             rng,
             stats: BridgeStats::default(),
+            carryover: BridgeStats::default(),
         }
+    }
+
+    /// Seeds the device's counters with `base` — the accounting of its
+    /// previous life across a kill/revive cycle, so end-of-run metrics
+    /// never under-count (or appear to run backwards over) a revival.
+    #[must_use]
+    pub fn with_stats_base(mut self, base: BridgeStats) -> Self {
+        self.carryover = base;
+        self
     }
 
     /// The single device of a 1-bridge star over `layout` — PR 3's
@@ -724,9 +1284,16 @@ impl Bridge {
         Self::new(BridgePolicy::star(layout, homes), cfg)
     }
 
-    /// The forwarding filter (interest tables, homes, holder beliefs).
+    /// The forwarding filter (interest tables, homes, holder beliefs,
+    /// election state).
     pub fn policy(&self) -> &BridgePolicy {
         &self.policy
+    }
+
+    /// Mutable access to the filter — the control plane (hello ticks,
+    /// gossip, failure injection) goes through here.
+    pub fn policy_mut(&mut self) -> &mut BridgePolicy {
+        &mut self.policy
     }
 
     /// Statically subscribes segment `seg` to `page` (see
@@ -739,9 +1306,16 @@ impl Bridge {
         self.policy.subscribe(page, seg);
     }
 
-    /// Cumulative traffic counters of this device.
+    /// Cumulative traffic counters of this device: engine counters,
+    /// the policy's belief-quality counters, and anything carried over
+    /// from a previous life.
     pub fn stats(&self) -> BridgeStats {
-        self.stats
+        let mut s = self.stats;
+        let (hits, floods, repairs) = self.policy.belief_counters();
+        s.belief_hits = hits;
+        s.belief_fallback_floods = floods;
+        s.belief_repairs = repairs;
+        BridgeStats::sum([self.carryover, s])
     }
 
     /// The device's port on `in_port` finished receiving `pkt` at
@@ -750,13 +1324,17 @@ impl Bridge {
     /// caller transmits each copy on the destination segment's medium at
     /// its exit time (where it queues like a locally-sent frame, and
     /// where the *other* devices on that segment pick it up to forward
-    /// it further along the tree).
+    /// it further along the tree). Control frames never enter the data
+    /// engine; they are consumed by [`BridgePolicy::hear_pdu`].
     pub fn pickup(
         &mut self,
         pkt: &Packet,
         in_port: usize,
         arrival: SimTime,
     ) -> Vec<(usize, SimTime)> {
+        if pkt.is_control() {
+            return Vec::new();
+        }
         self.stats.heard += 1;
         let targets = self.policy.route(pkt, in_port, arrival);
         if targets.is_empty() {
@@ -824,12 +1402,53 @@ pub struct Forward {
     pub exit: SimTime,
 }
 
+/// One control frame a device wants transmitted on one of its segments
+/// (a hello, periodic or triggered). The caller clocks it out on the
+/// segment's medium; bridge devices — not hosts — pick it up there.
+#[derive(Debug, Clone)]
+pub struct ControlOut {
+    /// The emitting device.
+    pub device: usize,
+    /// The segment to transmit on.
+    pub seg: usize,
+    /// The hello frame itself.
+    pub pkt: Packet,
+}
+
 /// Every bridge device of a segmented deployment, wired per the
-/// topology: the simulator's fabric engine.
+/// topology: the simulator's fabric engine, data plane and control
+/// plane both.
 #[derive(Debug)]
 pub struct Fabric {
+    layout: SegmentLayout,
     topology: Arc<BridgeTopology>,
+    /// The construction config, kept whole so revivals rebuild devices
+    /// from exactly what the fabric was built from. (Its `topology`
+    /// and `priorities` are also shared out through the `Arc`s below —
+    /// those are the copies the per-device policies hold.)
+    cfg: FabricConfig,
+    priorities: Arc<Vec<u64>>,
     devices: Vec<Bridge>,
+    /// Injected liveness, indexed by device. A dead device neither
+    /// forwards nor speaks.
+    dead: Vec<bool>,
+    /// How many times each device has been revived (versions the
+    /// restart's self-assertions above old obituaries).
+    restarts: Vec<u64>,
+    /// Injected link failures per device, re-applied if the device is
+    /// revived (a revival does not magically repair its cables).
+    lost_ports: Vec<HostMask>,
+    /// Reconvergence-stall probe: armed at a `BridgeDown`, resolved at
+    /// the first `PageData` forwarded by a device that has re-elected
+    /// since.
+    down_at: Option<SimTime>,
+    epochs_at_down: Vec<u64>,
+    stall: Option<SimDuration>,
+    /// Active-tree changes across all devices (0 under static election
+    /// or an undisturbed fabric).
+    reconvergences: u64,
+    /// Every injected fabric event, in injection order.
+    timeline: Vec<(SimTime, FabricEvent)>,
 }
 
 impl Fabric {
@@ -841,28 +1460,58 @@ impl Fabric {
     ///
     /// Panics if the topology's segment count differs from the layout's.
     pub fn new(layout: SegmentLayout, cfg: FabricConfig) -> Self {
-        let topology = Arc::new(cfg.topology);
-        let devices = (0..topology.bridges())
-            .map(|device| {
-                let policy = BridgePolicy::new(
-                    layout,
-                    Arc::clone(&topology),
-                    device,
-                    cfg.homes.clone(),
-                    cfg.routing,
-                    cfg.aging,
-                );
-                let mut dev_cfg = cfg.bridge.clone();
-                dev_cfg.seed = dev_cfg.seed.wrapping_add(device as u64);
-                Bridge::new(policy, dev_cfg)
-            })
+        let topology = Arc::new(cfg.topology.clone());
+        let priorities = Arc::new(cfg.priorities.clone());
+        let n = topology.bridges();
+        let mut fabric = Fabric {
+            layout,
+            topology,
+            cfg,
+            priorities,
+            devices: Vec::with_capacity(n),
+            dead: vec![false; n],
+            restarts: vec![0; n],
+            lost_ports: vec![HostMask::EMPTY; n],
+            down_at: None,
+            epochs_at_down: vec![0; n],
+            stall: None,
+            reconvergences: 0,
+            timeline: Vec::new(),
+        };
+        fabric.devices = (0..n)
+            .map(|device| fabric.build_device(device, 0, HostMask::EMPTY))
             .collect();
-        Fabric { topology, devices }
+        fabric
     }
 
-    /// The tree the fabric is wired as.
+    /// One device built from the fabric's config: `self_version` seeds
+    /// its self-assertion (0 at first boot, `2 × restarts` on a
+    /// revival), `lost_ports` re-applies injected link failures.
+    fn build_device(&self, device: usize, self_version: u64, lost_ports: HostMask) -> Bridge {
+        let mut policy = BridgePolicy::for_device(
+            self.layout,
+            Arc::clone(&self.topology),
+            device,
+            &self.cfg,
+            Arc::clone(&self.priorities),
+        );
+        policy.set_self_version(self_version);
+        for seg in lost_ports {
+            let _ = policy.kill_port(seg, SimTime::ZERO);
+        }
+        let mut dev_cfg = self.cfg.bridge.clone();
+        dev_cfg.seed = dev_cfg.seed.wrapping_add(device as u64);
+        Bridge::new(policy, dev_cfg)
+    }
+
+    /// The graph the fabric is wired as.
     pub fn topology(&self) -> &BridgeTopology {
         &self.topology
+    }
+
+    /// The election mode the fabric runs.
+    pub fn election(&self) -> ElectionMode {
+        self.cfg.election
     }
 
     /// Number of bridge devices.
@@ -879,17 +1528,40 @@ impl Fabric {
         &self.devices[b]
     }
 
+    /// True while device `b` is down (a [`FabricEvent::BridgeDown`]
+    /// without a matching [`FabricEvent::BridgeUp`] yet).
+    pub fn is_dead(&self, b: usize) -> bool {
+        self.dead[b]
+    }
+
+    /// Active-tree changes across all devices since construction.
+    pub fn reconvergences(&self) -> u64 {
+        self.reconvergences
+    }
+
+    /// The measured reconvergence stall: sim time from the most recent
+    /// [`FabricEvent::BridgeDown`] to the first `PageData` forwarded by
+    /// a device that re-elected after it. `None` until measured.
+    pub fn stall(&self) -> Option<SimDuration> {
+        self.stall
+    }
+
+    /// Every injected fabric event so far, in order.
+    pub fn timeline(&self) -> &[(SimTime, FabricEvent)] {
+        &self.timeline
+    }
+
     /// A locally-transmitted frame was delivered on `seg` at `arrival`:
-    /// every device attached to `seg` picks it up. Returns the combined
-    /// egress schedule.
+    /// every live device attached to `seg` picks it up. Returns the
+    /// combined egress schedule.
     pub fn pickup(&mut self, pkt: &Packet, seg: usize, arrival: SimTime) -> Vec<Forward> {
         self.pickup_except(pkt, seg, arrival, None)
     }
 
     /// A frame forwarded by `from_device` was delivered on `seg` at
-    /// `arrival`: every *other* device attached to `seg` picks it up and
-    /// carries it onward (hop-by-hop forwarding; the tree makes the walk
-    /// loop-free).
+    /// `arrival`: every *other* live device attached to `seg` picks it
+    /// up and carries it onward (hop-by-hop forwarding; the elected
+    /// tree makes the walk loop-free).
     pub fn pickup_forwarded(
         &mut self,
         pkt: &Packet,
@@ -912,19 +1584,163 @@ impl Fabric {
         // deterministic.
         for i in 0..self.topology.bridges_on(seg).len() {
             let device = self.topology.bridges_on(seg)[i];
-            if Some(device) == exclude {
+            if Some(device) == exclude || self.dead[device] {
                 continue;
+            }
+            if !self.devices[device]
+                .policy()
+                .self_live_ports()
+                .contains(seg)
+            {
+                continue; // the attachment itself failed (LinkDown)
             }
             for (dst, exit) in self.devices[device].pickup(pkt, seg, arrival) {
                 out.push(Forward { device, dst, exit });
             }
         }
+        // The stall probe: the first data frame forwarded by a device
+        // that has re-elected since the BridgeDown marks the fabric
+        // carrying pages across again.
+        if pkt.is_data() && !out.is_empty() {
+            if let Some(t0) = self.down_at {
+                if out.iter().any(|fw| {
+                    self.devices[fw.device].policy().election_epoch()
+                        > self.epochs_at_down[fw.device]
+                }) {
+                    self.stall = Some(arrival.since(t0));
+                    self.down_at = None;
+                }
+            }
+        }
         out
     }
 
+    /// One hello-cadence tick of `device` at `now`: timeout checks plus
+    /// this cadence's hello on every live port. Empty for dead devices
+    /// and under static election.
+    pub fn tick(&mut self, device: usize, now: SimTime) -> Vec<ControlOut> {
+        if self.dead[device] || !self.cfg.election.is_live() {
+            return Vec::new();
+        }
+        let outcome = self.devices[device].policy_mut().on_tick(now);
+        if outcome.active_changed {
+            self.reconvergences += 1;
+        }
+        self.emissions(device)
+    }
+
+    /// A control frame from `from_device` was delivered on `seg` at
+    /// `arrival`: every other live device attached to `seg` ingests it,
+    /// and any device whose beliefs changed emits a triggered hello on
+    /// all its live ports (the TC-style fast propagation).
+    pub fn hear_control(
+        &mut self,
+        pkt: &Packet,
+        seg: usize,
+        arrival: SimTime,
+        from_device: usize,
+    ) -> Vec<ControlOut> {
+        let Packet::BridgePdu { device, views, .. } = pkt else {
+            return Vec::new();
+        };
+        debug_assert_eq!(*device as usize, from_device);
+        let mut out = Vec::new();
+        for i in 0..self.topology.bridges_on(seg).len() {
+            let d = self.topology.bridges_on(seg)[i];
+            if d == from_device || self.dead[d] {
+                continue;
+            }
+            if !self.devices[d].policy().self_live_ports().contains(seg) {
+                continue;
+            }
+            let r = self.devices[d]
+                .policy_mut()
+                .hear_pdu(from_device, views, seg, arrival);
+            if r.active_changed {
+                self.reconvergences += 1;
+            }
+            if r.view_changed {
+                out.extend(self.emissions(d));
+            }
+        }
+        out
+    }
+
+    /// The hellos device `device` would emit right now: one per live
+    /// port.
+    fn emissions(&self, device: usize) -> Vec<ControlOut> {
+        let policy = self.devices[device].policy();
+        let pkt = policy.pdu();
+        policy
+            .self_live_ports()
+            .iter()
+            .map(|seg| ControlOut {
+                device,
+                seg,
+                pkt: pkt.clone(),
+            })
+            .collect()
+    }
+
+    /// Injects one failure/recovery event at `now`. The caller (the
+    /// simulator's event loop, or a test driving the fabric directly)
+    /// decides *when*; the fabric records the timeline and adjusts its
+    /// liveness.
+    pub fn apply_event(&mut self, ev: FabricEvent, now: SimTime) {
+        self.timeline.push((now, ev));
+        match ev {
+            FabricEvent::BridgeDown(d) => {
+                if !self.dead[d] {
+                    self.dead[d] = true;
+                    // Arm the stall probe against the pre-failure
+                    // election epochs.
+                    self.down_at = Some(now);
+                    self.stall = None;
+                    self.epochs_at_down = self
+                        .devices
+                        .iter()
+                        .map(|b| b.policy().election_epoch())
+                        .collect();
+                }
+            }
+            FabricEvent::BridgeUp(d) => {
+                if self.dead[d] {
+                    self.dead[d] = false;
+                    self.restarts[d] += 1;
+                    // A cold restart: fresh filter tables, fresh
+                    // engine, optimistic views, and a self-version
+                    // above every obituary from its previous lives —
+                    // but the run's traffic accounting carries over,
+                    // and the device *rejoins* the fabric: neighbour
+                    // stamps start at `now` (so it does not declare
+                    // everyone dead on its first tick) and every port
+                    // boots in its hold-down (its optimistic tree may
+                    // disagree with the converged fabric; forwarding
+                    // before the first hello exchange could close a
+                    // transient loop on a redundant wiring).
+                    let prior = self.devices[d].stats();
+                    let mut bridge = self
+                        .build_device(d, 2 * self.restarts[d], self.lost_ports[d])
+                        .with_stats_base(prior);
+                    bridge.policy_mut().rejoin(now);
+                    self.devices[d] = bridge;
+                }
+            }
+            FabricEvent::LinkDown { device, segment } => {
+                self.lost_ports[device].insert(segment);
+                if !self.dead[device] {
+                    let r = self.devices[device].policy_mut().kill_port(segment, now);
+                    if r.active_changed {
+                        self.reconvergences += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Statically subscribes segment `seg` to `page`'s transits at every
-    /// device (each pins its port toward `seg`), so the page's data
-    /// reaches `seg` from anywhere in the fabric.
+    /// device (each pins `seg`, resolved through its active tree), so
+    /// the page's data reaches `seg` from anywhere in the fabric.
     ///
     /// # Panics
     ///
@@ -1106,6 +1922,8 @@ mod tests {
         let mut p = routed_star();
         // No data seen for page 0: the request floods like PR 3.
         assert_eq!(set(p.route(&req(6, 0), 3, T0)), vec![0, 1, 2]);
+        let (hits, floods, repairs) = p.belief_counters();
+        assert_eq!((hits, floods, repairs), (0, 1, 0), "one fallback flood");
     }
 
     #[test]
@@ -1122,6 +1940,8 @@ mod tests {
         // one port.
         let _ = p.route(&data(5, 2, None), 2, T0); // page 2 homed on 2
         assert_eq!(set(p.route(&req(6, 2), 3, T0)), vec![2]);
+        let (hits, floods, _) = p.belief_counters();
+        assert_eq!((hits, floods), (2, 0), "both requests routed on belief");
     }
 
     #[test]
@@ -1133,6 +1953,8 @@ mod tests {
         let _ = p.route(&data(2, 0, Some(7)), 1, T0);
         assert_eq!(p.holder_port(PageId::new(0)), Some(3));
         assert_eq!(set(p.route(&req(0, 0), 0, T0)), vec![3]);
+        let (_, _, repairs) = p.belief_counters();
+        assert_eq!(repairs, 1, "the transfer repointed an existing belief");
     }
 
     #[test]
@@ -1154,6 +1976,12 @@ mod tests {
         // Any host with a full copy may answer a Superset request, so
         // the holder belief must not narrow it.
         assert_eq!(set(p.route(&superset_req(6, 0), 3, T0)), vec![0, 1, 2]);
+        let (hits, floods, _) = p.belief_counters();
+        assert_eq!(
+            (hits, floods),
+            (0, 0),
+            "superset floods are not belief events"
+        );
     }
 
     #[test]
@@ -1305,8 +2133,8 @@ mod tests {
         let ps = tree_4_policies(RequestRouting::Flood);
         // Page 3 is homed on segment 3. Device 0 reaches it via port 1;
         // device 1 is adjacent.
-        assert_eq!(ps[0].home_port(PageId::new(3)), 1);
-        assert_eq!(ps[1].home_port(PageId::new(3)), 3);
+        assert_eq!(ps[0].home_port(PageId::new(3)), Some(1));
+        assert_eq!(ps[1].home_port(PageId::new(3)), Some(3));
         // Data for page 3 heard on segment 0 hops toward home.
         assert_eq!(set(ps[0].targets(&data(0, 3, None), 0, T0)), vec![1]);
     }
@@ -1362,8 +2190,7 @@ mod tests {
     }
 
     // -----------------------------------------------------------------
-    // The engine: timing, queueing, fault injection (unchanged from
-    // PR 3, now per device).
+    // The engine: timing, queueing, fault injection.
     // -----------------------------------------------------------------
 
     fn star_bridge(cfg: BridgeConfig) -> Bridge {
@@ -1402,6 +2229,15 @@ mod tests {
         assert_eq!(b.stats().filtered, 1);
         assert_eq!(b.stats().heard, 1);
         assert_eq!(b.stats().forwarded, 0);
+    }
+
+    #[test]
+    fn control_frames_never_enter_the_data_engine() {
+        let mut b = star_bridge(BridgeConfig::typical());
+        let pdu = b.policy().pdu();
+        let out = b.pickup(&pdu, 0, SimTime::ZERO);
+        assert!(out.is_empty());
+        assert_eq!(b.stats().heard, 0, "not even counted as heard");
     }
 
     #[test]
@@ -1570,5 +2406,267 @@ mod tests {
             assert_eq!(fab, b.pickup(&pkt, seg, now));
         }
         assert_eq!(f.stats(), b.stats());
+    }
+
+    // -----------------------------------------------------------------
+    // The election, wired through policy and fabric.
+    // -----------------------------------------------------------------
+
+    fn live_ring_fabric(segments: usize, hosts: usize) -> Fabric {
+        let layout = SegmentLayout::new(hosts, segments).unwrap();
+        Fabric::new(
+            layout,
+            FabricConfig::ring(segments).with_election(ElectionMode::live()),
+        )
+    }
+
+    #[test]
+    fn live_election_on_a_tree_is_the_static_tree() {
+        // On a tree, the live election with optimistic views must
+        // produce exactly the static forwarding state: every port
+        // forwarding, identical next hops — the base case the PR 4
+        // byte-identical pins ride on.
+        let layout = SegmentLayout::new(8, 4).unwrap();
+        let topo = BridgeTopology::balanced_tree(4, 2);
+        let static_f = Fabric::new(layout, FabricConfig::new(topo.clone()));
+        let live_f = Fabric::new(
+            layout,
+            FabricConfig::new(topo.clone()).with_election(ElectionMode::live()),
+        );
+        for d in 0..topo.bridges() {
+            let s = static_f.device(d).policy().active();
+            let l = live_f.device(d).policy().active();
+            assert_eq!(s, l, "device {d} active tree");
+            let all: HostMask = topo.ports(d).iter().copied().collect();
+            assert_eq!(l.forwarding(d), all);
+        }
+    }
+
+    #[test]
+    fn ring_blocks_its_redundant_port_and_routes_around_it() {
+        let mut f = live_ring_fabric(4, 8);
+        // Healthy ring: the elected tree blocks exactly one port
+        // (device 2's port on segment 3 for uniform priorities).
+        let blocked: usize = (0..4)
+            .map(|d| {
+                let p = f.device(d).policy();
+                2 - p.active().forwarding(d).len()
+            })
+            .sum();
+        assert_eq!(blocked, 1, "one dormant redundant port");
+        // Data for page 0 (homed segment 0) transmitted on segment 0
+        // reaches nobody (no interest) — but a request from segment 2
+        // crosses toward the holder without looping.
+        let out = f.pickup(&req(4, 0), 2, SimTime::ZERO);
+        assert!(!out.is_empty());
+        for fw in &out {
+            assert_ne!(fw.dst, 2, "never forwarded back out the incoming port");
+        }
+    }
+
+    #[test]
+    fn hello_timeout_declares_a_dead_neighbour_and_reconverges() {
+        let mut f = live_ring_fabric(4, 8);
+        let ElectionMode::Live {
+            hello_interval,
+            hello_timeout,
+            ..
+        } = f.election()
+        else {
+            panic!("live fabric")
+        };
+        // Warm-up: everyone hellos at t = interval, hearing each other.
+        let t1 = SimTime::ZERO + hello_interval;
+        let mut frames: Vec<ControlOut> = Vec::new();
+        for d in 0..4 {
+            frames.extend(f.tick(d, t1));
+        }
+        assert!(!frames.is_empty(), "live devices emit hellos");
+        for c in &frames {
+            let more = f.hear_control(&c.pkt, c.seg, t1, c.device);
+            for m in more {
+                let _ = f.hear_control(&m.pkt, m.seg, t1, m.device);
+            }
+        }
+        assert_eq!(f.reconvergences(), 0, "a healthy fabric never re-elects");
+        // Device 0 dies; its neighbours stop hearing it.
+        f.apply_event(FabricEvent::BridgeDown(0), t1);
+        assert!(f.is_dead(0));
+        let t_dead = t1 + hello_timeout + hello_interval + hello_interval;
+        let mut changed = Vec::new();
+        for d in 1..4 {
+            changed.extend(f.tick(d, t_dead));
+        }
+        // Gossip the obituaries until quiet.
+        let mut guard = 0;
+        while !changed.is_empty() && guard < 64 {
+            let c = changed.remove(0);
+            changed.extend(f.hear_control(&c.pkt, c.seg, t_dead, c.device));
+            guard += 1;
+        }
+        assert!(f.reconvergences() >= 1, "the survivors re-elected");
+        // The surviving devices all agree device 0 is gone and route
+        // around it: a request from segment 1 still reaches segment 0
+        // the long way (1 → 2 → 3 → 0).
+        for d in 1..4 {
+            assert!(f.device(d).policy().active().fully_connected_from(d));
+        }
+    }
+
+    #[test]
+    fn reconvergence_flushes_learned_state_on_changed_ports() {
+        let mut f = live_ring_fabric(4, 8);
+        let ElectionMode::Live {
+            hello_interval,
+            hello_timeout,
+            hold_down,
+        } = f.election()
+        else {
+            panic!("live fabric")
+        };
+        // Teach device 2 a holder belief for page 0 toward segment 2
+        // (in from its forwarding port): data arriving on segment 2.
+        let _ = f.pickup(&data(4, 0, None), 2, SimTime::ZERO);
+        assert_eq!(f.device(2).policy().holder_port(PageId::new(0)), Some(2));
+        // Kill device 0; survivors reconverge — device 2's blocked port
+        // (segment 3) turns Forwarding, and flushes.
+        let t1 = SimTime::ZERO + hello_interval;
+        f.apply_event(FabricEvent::BridgeDown(0), t1);
+        let t_dead = t1 + hello_timeout + hello_interval + hello_interval;
+        let mut frames = Vec::new();
+        for d in 1..4 {
+            frames.extend(f.tick(d, t_dead));
+        }
+        let mut guard = 0;
+        while !frames.is_empty() && guard < 64 {
+            let c = frames.remove(0);
+            frames.extend(f.hear_control(&c.pkt, c.seg, t_dead, c.device));
+            guard += 1;
+        }
+        let p2 = f.device(2).policy();
+        assert!(p2.election_epoch() >= 1);
+        // Port 3 of device 2 changed role (Blocked → Forwarding): any
+        // belief through an unchanged port survives, the changed port's
+        // state is clean, and the port holds down before carrying data.
+        assert!(p2.active().forwarding(2).contains(3));
+        let held = p2.targets(&data(0, 1, None), 3, t_dead);
+        assert!(held.is_empty(), "held-down ingress carries nothing");
+        let after_hold = t_dead + hold_down + SimDuration::from_micros(1);
+        let flowing = p2.targets(&data(0, 1, None), 3, after_hold);
+        assert!(
+            flowing.contains(2),
+            "after the hold-down the new tree carries data toward home"
+        );
+    }
+
+    #[test]
+    fn bridge_up_revives_with_a_version_above_its_obituary() {
+        let mut f = live_ring_fabric(4, 8);
+        let t = SimTime::ZERO + SimDuration::from_millis(10);
+        f.apply_event(FabricEvent::BridgeDown(1), t);
+        assert!(f.is_dead(1));
+        let t2 = t + SimDuration::from_millis(10);
+        f.apply_event(FabricEvent::BridgeUp(1), t2);
+        assert!(!f.is_dead(1));
+        // The revived device asserts itself at version 2 — above the
+        // version-1 obituary any neighbour may still be gossiping.
+        let pdu = f.device(1).policy().pdu();
+        let Packet::BridgePdu { views, .. } = &pdu else {
+            panic!()
+        };
+        assert_eq!(views[1].version, 2);
+        assert!(views[1].alive);
+        assert_eq!(f.timeline().len(), 2, "both events on the timeline");
+    }
+
+    #[test]
+    fn revival_rejoins_held_down_stamped_and_with_its_history() {
+        // The three revival transients, pinned: (a) a revived device's
+        // ports boot in their hold-down — its optimistic construction
+        // tree must not forward before the first hello exchange, or a
+        // transient loop could close on the redundant wiring; (b) its
+        // neighbour stamps start at the revival time, so its first tick
+        // does NOT declare every neighbour dead off a zeroed clock;
+        // (c) the run's traffic accounting survives the cold restart.
+        let mut f = live_ring_fabric(4, 8);
+        let ElectionMode::Live {
+            hello_interval,
+            hold_down,
+            ..
+        } = f.election()
+        else {
+            panic!("live fabric")
+        };
+        // Pre-kill traffic: device 1 forwards a request (segment 1 →
+        // holder direction).
+        let _ = f.pickup(&req(2, 0), 1, SimTime::ZERO);
+        let pre = f.device(1).stats();
+        assert!(pre.forwarded > 0, "device 1 carried pre-kill traffic");
+        // Kill late enough that a zeroed clock would look timed out.
+        let t_down = SimTime::ZERO + SimDuration::from_millis(50);
+        f.apply_event(FabricEvent::BridgeDown(1), t_down);
+        let t_up = t_down + SimDuration::from_millis(100);
+        f.apply_event(FabricEvent::BridgeUp(1), t_up);
+        // (a) Every port held down: no data in or out until it expires.
+        let during_hold = t_up + SimDuration::from_micros(10);
+        assert!(
+            f.device(1)
+                .policy()
+                .targets(&req(2, 0), 1, during_hold)
+                .is_empty(),
+            "held-down ports must not forward"
+        );
+        let after_hold = t_up + hold_down + SimDuration::from_micros(1);
+        assert!(
+            !f.device(1)
+                .policy()
+                .targets(&req(2, 0), 1, after_hold)
+                .is_empty(),
+            "forwarding resumes once the hold-down expires"
+        );
+        // (b) The first tick after revival raises no obituaries: the
+        // neighbour stamps were reset to the revival time.
+        let outs = f.tick(1, t_up + hello_interval);
+        assert!(!outs.is_empty(), "the revived device hellos");
+        let Packet::BridgePdu { views, .. } = &outs[0].pkt else {
+            panic!()
+        };
+        for (d, v) in views.iter().enumerate() {
+            assert!(v.alive, "device {d} wrongly declared dead at revival");
+        }
+        // (c) The pre-kill counters carried over into the new life.
+        let post = f.device(1).stats();
+        assert!(post.forwarded >= pre.forwarded);
+        assert!(post.heard >= pre.heard);
+    }
+
+    #[test]
+    fn link_down_survives_a_revival() {
+        let mut f = live_ring_fabric(4, 8);
+        let t = SimTime::ZERO;
+        f.apply_event(
+            FabricEvent::LinkDown {
+                device: 1,
+                segment: 2,
+            },
+            t,
+        );
+        assert_eq!(set(f.device(1).policy().self_live_ports()), vec![1]);
+        // Frames on the severed segment are no longer picked up by 1.
+        let out = f.pickup(&req(4, 0), 2, t);
+        assert!(out.iter().all(|fw| fw.device != 1));
+        // Death and revival do not repair the cable.
+        f.apply_event(FabricEvent::BridgeDown(1), t + SimDuration::from_millis(1));
+        f.apply_event(FabricEvent::BridgeUp(1), t + SimDuration::from_millis(2));
+        assert_eq!(set(f.device(1).policy().self_live_ports()), vec![1]);
+    }
+
+    #[test]
+    fn static_election_ignores_the_control_plane() {
+        let layout = SegmentLayout::new(8, 4).unwrap();
+        let mut f = Fabric::new(layout, FabricConfig::tree(4, 2));
+        assert!(f.tick(0, SimTime::ZERO).is_empty(), "no hellos");
+        assert_eq!(f.election().hello_interval(), None);
+        assert_eq!(f.reconvergences(), 0);
     }
 }

@@ -27,6 +27,9 @@ pub struct NetStats {
     /// (cannot happen for frames produced by `Packet::encode`; counted
     /// defensively rather than crashing the segment).
     pub decode_errors: u64,
+    /// Bridge-to-bridge control frames (spanning-tree hellos): wire
+    /// overhead of the live election, zero under `Static` election.
+    pub control_packets: u64,
 }
 
 impl NetStats {
@@ -45,6 +48,7 @@ impl NetStats {
                 self.data_packets += 1;
                 self.payload_bytes += data.len() as u64;
             }
+            Packet::BridgePdu { .. } => self.control_packets += 1,
         }
     }
 
@@ -80,6 +84,7 @@ impl NetStats {
             payload_bytes: self.payload_bytes - earlier.payload_bytes,
             lost: self.lost - earlier.lost,
             decode_errors: self.decode_errors - earlier.decode_errors,
+            control_packets: self.control_packets - earlier.control_packets,
         }
     }
 
@@ -98,6 +103,7 @@ impl NetStats {
             total.payload_bytes += s.payload_bytes;
             total.lost += s.lost;
             total.decode_errors += s.decode_errors;
+            total.control_packets += s.control_packets;
         }
         total
     }
@@ -117,6 +123,9 @@ impl fmt::Display for NetStats {
         )?;
         if self.decode_errors > 0 {
             write!(f, ", {} decode errors", self.decode_errors)?;
+        }
+        if self.control_packets > 0 {
+            write!(f, ", {} control", self.control_packets)?;
         }
         Ok(())
     }

@@ -14,7 +14,22 @@
 //! forwarded frame is emitted *from the forwarding device's own
 //! endpoint on the destination segment*, so that device never hears it
 //! back, while the *other* devices on the segment do — hop-by-hop
-//! forwarding along the tree, loop-free by construction.
+//! forwarding along the fabric's **active tree**.
+//!
+//! Under [`mether_net::ElectionMode::Live`] the bridge threads also run
+//! the spanning-tree control plane in real time: each thread emits
+//! [`mether_core::Packet::BridgePdu`] hellos on its ports at the hello
+//! cadence (1 sim-ms ≙ 1 wall-ms here), ingests its peers' hellos,
+//! times out silent neighbours, and re-elects — so a redundant wiring
+//! (ring, mesh) stays loop-free and **recovers from a killed bridge
+//! thread**. [`Cluster::stop_bridge`] kills one device's thread (and
+//! joins it — failure injection must not leak threads; shutdown used to
+//! be join-on-drop only), [`Cluster::restart_bridge`] revives it cold:
+//! fresh filter tables, fresh optimistic views, a self-version above
+//! any obituary its neighbours still gossip — exactly the simulator's
+//! `BridgeUp` semantics. Nodes never see control frames' content: the
+//! Mether page table ignores [`mether_core::Packet::BridgePdu`] the way
+//! a real NIC filters BPDU multicasts.
 //!
 //! The fabric's engine knobs ([`mether_net::BridgeConfig`] — forward
 //! delay, queue bound, fault injection) model the simulator's
@@ -26,20 +41,15 @@
 //! on; [`Cluster::net_stats`] sums them for the old whole-network view.
 
 use crate::node::Node;
-use mether_core::{HostId, MetherConfig, PageId, SegmentLayout};
-use mether_net::bridge::{BridgePolicy, FabricConfig};
+use mether_core::{HostId, MetherConfig, Packet, PageId, SegmentLayout};
+use mether_net::bridge::{BridgePolicy, FabricConfig, BRIDGE_HOST_BASE};
 use mether_net::rt::{Endpoint, Lan, LanConfig};
-use mether_net::{NetStats, SimTime};
+use mether_net::{NetStats, SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
-
-/// Host-id base for bridge endpoints (far above any node id, which the
-/// segment layout caps at 127). Device `d` attaches to each of its port
-/// LANs as `BRIDGE_HOST_BASE + d`.
-const BRIDGE_HOST_BASE: u16 = 0xFF00;
+use std::time::{Duration, Instant};
 
 /// A set of Mether nodes sharing a broadcast segment (or several bridged
 /// ones).
@@ -124,103 +134,209 @@ impl ClusterConfig {
     }
 }
 
-/// The fabric's bridge threads — one per device — and their filters.
-struct BridgeThreads {
+/// One bridge device's thread slot: its stop flag, join handle (taken
+/// when stopped), filter, and restart count.
+struct DeviceSlot {
     stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
-    /// Per-device policies, indexed by device (for subscriptions and
-    /// diagnostics).
-    policies: Vec<Arc<Mutex<BridgePolicy>>>,
+    handle: Option<JoinHandle<()>>,
+    policy: Arc<Mutex<BridgePolicy>>,
+    restarts: u64,
+}
+
+/// The fabric's bridge threads — one per device — plus everything
+/// needed to respawn one (the kill/restart failure-injection path).
+struct BridgeThreads {
+    lans: Vec<Lan>,
+    layout: SegmentLayout,
+    fabric: FabricConfig,
+    priorities: Arc<Vec<u64>>,
+    /// Wall-clock epoch of the cluster: bridge threads translate
+    /// `Instant` elapsed into `SimTime` for the shared, transport-free
+    /// policy (1 wall-ns ≙ 1 sim-ns).
+    start: Instant,
+    devices: Vec<DeviceSlot>,
 }
 
 impl BridgeThreads {
     fn start(lans: &[Lan], layout: SegmentLayout, fabric: &FabricConfig) -> BridgeThreads {
+        let mut this = BridgeThreads {
+            lans: lans.to_vec(),
+            layout,
+            fabric: fabric.clone(),
+            priorities: Arc::new(fabric.priorities.clone()),
+            start: Instant::now(),
+            devices: Vec::new(),
+        };
+        for device in 0..fabric.topology.bridges() {
+            let slot = this.spawn_device(device, 0);
+            this.devices.push(slot);
+        }
+        this
+    }
+
+    /// Builds a fresh policy and spawns the device's thread. A non-zero
+    /// `restarts` makes this a cold revival: empty filter tables,
+    /// optimistic views, a self-version (`2 × restarts`) above the
+    /// obituary of every previous life, and a *rejoin* at the current
+    /// wall clock — neighbour stamps start now (no spurious obituaries
+    /// from a zeroed clock) and every port boots in its hold-down so
+    /// the optimistic construction tree cannot close a transient loop
+    /// against the converged fabric around it.
+    fn spawn_device(&self, device: usize, restarts: u64) -> DeviceSlot {
+        let topology = Arc::new(self.fabric.topology.clone());
+        let mut p = BridgePolicy::for_device(
+            self.layout,
+            Arc::clone(&topology),
+            device,
+            &self.fabric,
+            Arc::clone(&self.priorities),
+        );
+        p.set_self_version(2 * restarts);
+        if restarts > 0 {
+            let elapsed = SimDuration::from_nanos(self.start.elapsed().as_nanos() as u64);
+            p.rejoin(SimTime::ZERO + elapsed);
+        }
+        let policy = Arc::new(Mutex::new(p));
         let stop = Arc::new(AtomicBool::new(false));
-        let topology = Arc::new(fabric.topology.clone());
-        let policies: Vec<Arc<Mutex<BridgePolicy>>> = (0..topology.bridges())
-            .map(|device| {
-                Arc::new(Mutex::new(BridgePolicy::new(
-                    layout,
-                    Arc::clone(&topology),
-                    device,
-                    fabric.homes.clone(),
-                    fabric.routing,
-                    fabric.aging,
-                )))
-            })
+        let ports: Vec<usize> = self.fabric.topology.ports(device).to_vec();
+        // The device's endpoint on each of its port segments.
+        // Forwarding to port `p` transmits *from* this device's
+        // endpoint on `p`, so the device never hears its own forwards,
+        // while the other devices on `p` (distinct host ids) do — and
+        // carry the frame onward.
+        let endpoints: Vec<Endpoint> = ports
+            .iter()
+            .map(|&seg| self.lans[seg].endpoint(HostId(BRIDGE_HOST_BASE + device as u16)))
             .collect();
-        let threads = (0..topology.bridges())
-            .map(|device| {
-                let stop = Arc::clone(&stop);
-                let policy = Arc::clone(&policies[device]);
-                let ports: Vec<usize> = topology.ports(device).to_vec();
-                // The device's endpoint on each of its port segments.
-                // Forwarding to port `p` transmits *from* this device's
-                // endpoint on `p`, so the device never hears its own
-                // forwards, while the other devices on `p` (distinct
-                // host ids) do — and carry the frame onward.
-                let endpoints: Vec<Endpoint> = ports
-                    .iter()
-                    .map(|&seg| lans[seg].endpoint(HostId(BRIDGE_HOST_BASE + device as u16)))
-                    .collect();
-                thread::Builder::new()
-                    .name(format!("mether-bridge-{device}"))
-                    .spawn(move || {
-                        // The threaded fabric has no sim clock, so
-                        // route() gets SimTime::ZERO (SimTime aging
-                        // horizons degrade to sticky here; transit
-                        // horizons work identically to the simulator's).
-                        let forward = |port_idx: usize, pkt: &mether_core::Packet| {
-                            let targets = policy.lock().route(pkt, ports[port_idx], SimTime::ZERO);
-                            for dst in targets {
-                                let j = ports
-                                    .iter()
-                                    .position(|&p| p == dst)
-                                    .expect("targets are scoped to the ports");
-                                // A vanished destination LAN is a
-                                // shutdown race, not an error.
-                                let _ = endpoints[j].broadcast(pkt);
-                            }
-                        };
-                        // Block on one port (rotating) so an idle device
-                        // sleeps in the kernel instead of spinning, then
-                        // drain every port — a frame on any port is
-                        // picked up at most one timeout after arrival,
-                        // and under load the drain keeps all ports
-                        // flowing with no sleeps at all.
-                        let mut rot = 0usize;
-                        'run: while !stop.load(Ordering::Relaxed) {
-                            match endpoints[rot].recv_timeout(Duration::from_millis(5)) {
-                                Ok(pkt) => forward(rot, &pkt),
-                                Err(mether_core::Error::Timeout) => {}
+        let hello_every = self
+            .fabric
+            .election
+            .hello_interval()
+            .map(|d| Duration::from_nanos(d.as_nanos()));
+        let epoch = self.start;
+        let thread_policy = Arc::clone(&policy);
+        let thread_stop = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name(format!("mether-bridge-{device}"))
+            .spawn(move || {
+                let policy = thread_policy;
+                let stop = thread_stop;
+                // The threaded fabric's clock: wall time since cluster
+                // start, as SimTime — so the shared policy's hello
+                // timeouts and SimTime aging horizons tick in real
+                // milliseconds here and simulated ones in mether-sim.
+                let now =
+                    || SimTime::ZERO + SimDuration::from_nanos(epoch.elapsed().as_nanos() as u64);
+                let broadcast_hello = |p: &BridgePolicy| {
+                    let pdu = p.pdu();
+                    for seg in p.self_live_ports() {
+                        if let Some(j) = ports.iter().position(|&q| q == seg) {
+                            let _ = endpoints[j].broadcast(&pdu);
+                        }
+                    }
+                };
+                let dispatch = |port_idx: usize, pkt: &Packet| {
+                    if let Packet::BridgePdu {
+                        device: from,
+                        views,
+                        ..
+                    } = pkt
+                    {
+                        let mut p = policy.lock();
+                        let r = p.hear_pdu(*from as usize, views, ports[port_idx], now());
+                        if r.view_changed {
+                            // Triggered hello: propagate the news now,
+                            // not a cadence later.
+                            broadcast_hello(&p);
+                        }
+                        return;
+                    }
+                    let targets = policy.lock().route(pkt, ports[port_idx], now());
+                    for dst in targets {
+                        let j = ports
+                            .iter()
+                            .position(|&p| p == dst)
+                            .expect("targets are scoped to the ports");
+                        // A vanished destination LAN is a shutdown
+                        // race, not an error.
+                        let _ = endpoints[j].broadcast(pkt);
+                    }
+                };
+                // Block on one port (rotating) so an idle device sleeps
+                // in the kernel instead of spinning, then drain every
+                // port — a frame on any port is picked up at most one
+                // timeout after arrival, and under load the drain keeps
+                // all ports flowing with no sleeps at all. The block is
+                // capped at half the hello interval so the control
+                // plane keeps its cadence under silence.
+                let idle = hello_every
+                    .map(|h| (h / 2).max(Duration::from_micros(250)))
+                    .unwrap_or(Duration::from_millis(5))
+                    .min(Duration::from_millis(5));
+                let mut last_hello = Instant::now();
+                let mut rot = 0usize;
+                'run: while !stop.load(Ordering::Relaxed) {
+                    match endpoints[rot].recv_timeout(idle) {
+                        Ok(pkt) => dispatch(rot, &pkt),
+                        Err(mether_core::Error::Timeout) => {}
+                        Err(_) => break 'run,
+                    }
+                    rot = (rot + 1) % endpoints.len();
+                    for (i, ep) in endpoints.iter().enumerate() {
+                        loop {
+                            match ep.try_recv() {
+                                Ok(Some(pkt)) => dispatch(i, &pkt),
+                                Ok(None) => break,
                                 Err(_) => break 'run,
                             }
-                            rot = (rot + 1) % endpoints.len();
-                            for (i, ep) in endpoints.iter().enumerate() {
-                                loop {
-                                    match ep.try_recv() {
-                                        Ok(Some(pkt)) => forward(i, &pkt),
-                                        Ok(None) => break,
-                                        Err(_) => break 'run,
-                                    }
-                                }
-                            }
                         }
-                    })
-                    .expect("spawn bridge thread")
+                    }
+                    if let Some(every) = hello_every {
+                        if last_hello.elapsed() >= every {
+                            last_hello = Instant::now();
+                            let mut p = policy.lock();
+                            let r = p.on_tick(now());
+                            let _ = r;
+                            broadcast_hello(&p);
+                        }
+                    }
+                }
             })
-            .collect();
-        BridgeThreads {
+            .expect("spawn bridge thread");
+        DeviceSlot {
             stop,
-            threads,
-            policies,
+            handle: Some(handle),
+            policy,
+            restarts,
         }
     }
 
+    /// Signals device `d`'s thread to stop and joins it. Returns true
+    /// if a running thread was stopped.
+    fn stop_device(&mut self, d: usize) -> bool {
+        let slot = &mut self.devices[d];
+        let Some(handle) = slot.handle.take() else {
+            return false;
+        };
+        slot.stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+        true
+    }
+
+    /// Respawns device `d` cold (its thread must be stopped). Returns
+    /// true if a stopped device was revived.
+    fn restart_device(&mut self, d: usize) -> bool {
+        if self.devices[d].handle.is_some() {
+            return false;
+        }
+        let restarts = self.devices[d].restarts + 1;
+        self.devices[d] = self.spawn_device(d, restarts);
+        true
+    }
+
     fn stop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        for d in 0..self.devices.len() {
+            let _ = self.stop_device(d);
         }
     }
 }
@@ -316,7 +432,38 @@ impl Cluster {
 
     /// Number of bridge devices in the fabric (0 for a flat cluster).
     pub fn bridge_count(&self) -> usize {
-        self.bridge.as_ref().map_or(0, |b| b.policies.len())
+        self.bridge.as_ref().map_or(0, |b| b.devices.len())
+    }
+
+    /// Kills bridge device `device`'s thread — the fabric-failure
+    /// injection path. The thread is signalled **and joined** (not
+    /// leaked to a join-on-drop); under live election its neighbours
+    /// hello-timeout the silence, gossip the obituary, and re-elect
+    /// around the hole. Returns true if a running device was stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range on a bridged cluster; returns
+    /// false on a flat cluster.
+    pub fn stop_bridge(&mut self, device: usize) -> bool {
+        self.bridge.as_mut().is_some_and(|b| b.stop_device(device))
+    }
+
+    /// Revives a stopped bridge device cold: fresh filter tables (pins
+    /// and learned interest are gone, like a power-cycled bridge),
+    /// fresh optimistic views, and a self-assertion version above any
+    /// obituary its neighbours still gossip — the threaded counterpart
+    /// of the simulator's `BridgeUp`. Returns true if a stopped device
+    /// was revived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range on a bridged cluster; returns
+    /// false on a flat cluster.
+    pub fn restart_bridge(&mut self, device: usize) -> bool {
+        self.bridge
+            .as_mut()
+            .is_some_and(|b| b.restart_device(device))
     }
 
     /// The segment node `i` sits on (0 for every node of a flat cluster).
@@ -355,8 +502,8 @@ impl Cluster {
             .bridge
             .as_ref()
             .expect("subscribe_segment needs a segmented cluster");
-        for policy in &bridge.policies {
-            policy.lock().subscribe(page, seg);
+        for slot in &bridge.devices {
+            slot.policy.lock().subscribe(page, seg);
         }
     }
 
@@ -520,6 +667,105 @@ mod tests {
             c.segment_stats(1).data_packets >= 1,
             "subscribed segment hears the data transit"
         );
+        c.shutdown();
+    }
+
+    #[test]
+    fn stop_bridge_partitions_and_restart_heals_static_fabrics() {
+        // Static election on the 2-segment star: killing the one bridge
+        // thread partitions the cluster (no election to save it); a
+        // restart resumes forwarding. stop_bridge joins the thread —
+        // failure injection must not leak it to join-on-drop.
+        let mut c = Cluster::new(ClusterConfig::segmented(4, 2)).unwrap();
+        let page = PageId::new(0);
+        c.node(0).create_owned(page);
+        let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+        c.node(0).write_u32(addr, 5).unwrap();
+        assert_eq!(c.node(2).read_u32(addr, MapMode::ReadOnly).unwrap(), 5);
+        assert!(c.stop_bridge(0), "running device stopped and joined");
+        assert!(!c.stop_bridge(0), "second stop is a no-op");
+        // The fabric is down: a cross-segment fetch times out (the
+        // reader purges first so the read must fault).
+        c.node(2)
+            .purge(page, MapMode::ReadOnly, PageLength::Short)
+            .unwrap();
+        assert!(matches!(
+            c.node(2)
+                .read_u32_timeout(addr, MapMode::ReadOnly, Duration::from_millis(200)),
+            Err(mether_core::Error::Timeout)
+        ));
+        // Revive: the retried fetch crosses again (the fresh policy
+        // re-learns interest from the retransmitted request).
+        assert!(c.restart_bridge(0));
+        assert!(!c.restart_bridge(0), "second restart is a no-op");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match c
+                .node(2)
+                .read_u32_timeout(addr, MapMode::ReadOnly, Duration::from_millis(200))
+            {
+                Ok(v) => {
+                    assert_eq!(v, 5);
+                    break;
+                }
+                Err(_) => assert!(
+                    std::time::Instant::now() < deadline,
+                    "restarted bridge never resumed forwarding"
+                ),
+            }
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn live_ring_survives_killing_the_root_bridge() {
+        use mether_net::ElectionMode;
+
+        // 8 nodes over a 4-segment ring under live election. Killing
+        // device 0 (the elected root at uniform priorities) leaves the
+        // redundant link to carry traffic once the survivors
+        // hello-timeout the corpse and re-elect: reads from every
+        // segment keep succeeding, they just stall through the
+        // reconvergence window.
+        let fabric = FabricConfig::ring(4).with_election(ElectionMode::live());
+        let mut c = Cluster::new(ClusterConfig::fabric(8, fabric)).unwrap();
+        let page = PageId::new(0);
+        c.node(0).create_owned(page);
+        let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+        c.node(0).write_u32(addr, 11).unwrap();
+        // Warm path: a reader on segment 1 (node 2) fetches fine.
+        let read_fresh = |c: &Cluster, node: usize, want: u32| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(20);
+            loop {
+                c.node(node)
+                    .purge(page, MapMode::ReadOnly, PageLength::Short)
+                    .unwrap();
+                match c.node(node).read_u32_timeout(
+                    addr,
+                    MapMode::ReadOnly,
+                    Duration::from_millis(250),
+                ) {
+                    Ok(v) if v == want => return,
+                    Ok(_) | Err(_) => assert!(
+                        std::time::Instant::now() < deadline,
+                        "node {node} never saw {want}"
+                    ),
+                }
+            }
+        };
+        read_fresh(&c, 2, 11);
+        // Kill the root. The ring's dormant link must take over.
+        assert!(c.stop_bridge(0));
+        c.node(0).write_u32(addr, 12).unwrap();
+        // Node 2 sits on segment 1, whose path to segment 0 went
+        // through the dead device; after reconvergence it goes the
+        // long way round (1 → 2 → 3 → 0).
+        read_fresh(&c, 2, 12);
+        // And a revival heals the short path again without loops.
+        assert!(c.restart_bridge(0));
+        c.node(0).write_u32(addr, 13).unwrap();
+        read_fresh(&c, 2, 13);
+        read_fresh(&c, 4, 13);
         c.shutdown();
     }
 

@@ -72,6 +72,15 @@ pub struct Calib {
     /// Server cost to inspect and discard a snooped packet it does not
     /// care about.
     pub server_snoop: SimDuration,
+    /// Demand-fault retry interval: a process blocked on a
+    /// request-bearing fault (demand or consistent fetch) for this long
+    /// abandons the wait (`PageTable::cancel_wait`) and re-issues the
+    /// faulting access, which retransmits the request — the recovery
+    /// path that lets a workload ride through a lost reply or a
+    /// partitioned fabric. `None` (the default, and the paper's
+    /// behaviour: the raw protocols have no retransmit timer) blocks
+    /// forever; the fault-tolerance experiments enable it.
+    pub fault_retry: Option<SimDuration>,
 }
 
 impl Calib {
@@ -90,7 +99,15 @@ impl Calib {
             server_install_per_kb: SimDuration::from_micros(4200),
             server_purge_broadcast: SimDuration::from_millis(10),
             server_snoop: SimDuration::from_millis(2),
+            fault_retry: None,
         }
+    }
+
+    /// Enables the demand-fault retry timer (see [`Calib::fault_retry`]).
+    #[must_use]
+    pub fn with_fault_retry(mut self, every: SimDuration) -> Self {
+        self.fault_retry = Some(every);
+        self
     }
 
     /// An idealised kernel-resident server (the paper's proposed future

@@ -64,6 +64,10 @@ struct Proc {
     pending_op: Option<DsmOp>,
     blocked_at: SimTime,
     blocked_kind: Option<FaultKind>,
+    /// Bumped every time the process blocks; retry timers carry the
+    /// epoch they were armed at, so a timer from an earlier block never
+    /// fires against a later one.
+    block_epoch: u64,
     label: String,
 }
 
@@ -143,6 +147,11 @@ pub struct HostSim {
     pub max_server_queue: usize,
     /// Sleeps requested during dispatch (drained by `finish_burst`).
     pending_sleeps: Vec<(usize, SimTime)>,
+    /// Fault-retry timers armed when a process blocked on a
+    /// request-bearing fault: `(proc, fire_at, block_epoch)`. Drained
+    /// by the simulation into retry events; only armed when
+    /// [`Calib::fault_retry`] is set.
+    pending_retries: Vec<(usize, SimTime, u64)>,
     /// Pending writeable-purge broadcast lengths, page → view length.
     purge_lengths: Vec<(PageId, PageLength)>,
     /// A process was just woken: it outranks the server once (SunOS
@@ -171,6 +180,7 @@ impl HostSim {
             frames_heard: 0,
             max_server_queue: 0,
             pending_sleeps: Vec::new(),
+            pending_retries: Vec::new(),
             purge_lengths: Vec::new(),
             wake_boost: false,
         }
@@ -189,6 +199,7 @@ impl HostSim {
             pending_op: None,
             blocked_at: SimTime::ZERO,
             blocked_kind: None,
+            block_epoch: 0,
             label,
         });
         self.run_queue.push_back(idx);
@@ -245,6 +256,42 @@ impl HostSim {
         std::mem::take(&mut self.pending_sleeps)
     }
 
+    /// Drains fault-retry timers armed while blocking; the simulation
+    /// turns them into retry events.
+    pub fn take_retries(&mut self) -> Vec<(usize, SimTime, u64)> {
+        std::mem::take(&mut self.pending_retries)
+    }
+
+    /// A fault-retry timer fired for process `proc` (armed at
+    /// `epoch`). If the process is still blocked on that same
+    /// request-bearing fault, the wait is abandoned
+    /// ([`mether_core::PageTable::cancel_wait`], clearing the
+    /// request-dedup latch) and the process re-issues the faulting
+    /// access, which retransmits the request — the recovery path for a
+    /// reply lost to a dead bridge or a partitioned fabric. Returns
+    /// true if the process was unblocked for the retry.
+    pub fn retry_fired(&mut self, proc: usize, epoch: u64) -> bool {
+        let p = &mut self.procs[proc];
+        if p.state != ProcState::Blocked
+            || p.block_epoch != epoch
+            || !matches!(
+                p.blocked_kind,
+                Some(FaultKind::DemandFetch) | Some(FaultKind::ConsistentFetch)
+            )
+        {
+            return false;
+        }
+        let page = match &p.pending_op {
+            Some(DsmOp::Read { page, .. }) | Some(DsmOp::Write { page, .. }) => *page,
+            _ => return false,
+        };
+        p.state = ProcState::Ready;
+        p.blocked_kind = None;
+        self.table.cancel_wait(page, proc as WaiterId);
+        self.run_queue.push_back(proc);
+        true
+    }
+
     fn push_server_work(&mut self, now: SimTime, work: ServerWork) {
         if self.server_queue.is_empty() {
             self.server_ready_since = Some(now);
@@ -296,6 +343,10 @@ impl HostSim {
                         self.calib.server_snoop
                     }
                 }
+                // Control frames are NIC-filtered before the server ever
+                // sees them; the simulator never delivers them to hosts,
+                // so this arm only keeps the cost model total.
+                Packet::BridgePdu { .. } => self.calib.server_snoop,
             },
         }
     }
@@ -636,6 +687,16 @@ impl HostSim {
         p.pending_op = Some(op);
         p.blocked_at = now;
         p.blocked_kind = Some(kind);
+        p.block_epoch += 1;
+        // Request-bearing faults arm the retry timer (when enabled):
+        // their reply can be lost to the network or a failed bridge, and
+        // nothing else would ever wake the waiter.
+        if matches!(kind, FaultKind::DemandFetch | FaultKind::ConsistentFetch) {
+            if let Some(every) = self.calib.fault_retry {
+                self.pending_retries
+                    .push((proc, now + every, p.block_epoch));
+            }
+        }
         self.current = None;
     }
 

@@ -5,7 +5,7 @@
 //! (operation → cost), plus reproduction-specific extras (bytes per
 //! addition, server queue depth).
 
-use mether_net::{BridgeStats, NetStats, SimDuration};
+use mether_net::{BridgeStats, FabricEvent, NetStats, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -39,6 +39,19 @@ pub struct ProtocolMetrics {
     /// [`mether_core::BridgeTopology`] (`bridge` is their sum). Empty on
     /// a flat topology; one entry for PR 3's star.
     pub bridge_devices: Vec<BridgeStats>,
+    /// Fabric failures/recoveries injected during the run, with the sim
+    /// time (from run start) each fired at. Empty on flat topologies
+    /// and undisturbed fabrics.
+    pub fabric_events: Vec<(SimDuration, FabricEvent)>,
+    /// Spanning-tree reconvergences: active-tree changes summed across
+    /// all bridge devices (0 under static election).
+    pub fabric_reconvergences: u64,
+    /// The measured reconvergence stall: sim time from the most recent
+    /// `BridgeDown` to the first `PageData` forwarded by a re-elected
+    /// device — the window during which cross-fabric pages were
+    /// unreachable. `None` when nothing was killed (or nothing crossed
+    /// afterwards).
+    pub reconvergence_stall: Option<SimDuration>,
     /// Mean frames snooped per host — the paper's per-host network load
     /// in frame terms; the number segment filtering shrinks.
     pub frames_heard_mean: f64,
@@ -144,6 +157,31 @@ impl fmt::Display for ProtocolMetrics {
                     )?;
                 }
             }
+            if self.bridge.belief_hits + self.bridge.belief_fallback_floods > 0 {
+                writeln!(
+                    f,
+                    "  {:<24} {} hits / {} fallback floods / {} repairs",
+                    "Holder beliefs",
+                    self.bridge.belief_hits,
+                    self.bridge.belief_fallback_floods,
+                    self.bridge.belief_repairs
+                )?;
+            }
+            if !self.fabric_events.is_empty() {
+                for (at, ev) in &self.fabric_events {
+                    writeln!(f, "  {:<24} {ev:?} at {at}", "Fabric event")?;
+                }
+                writeln!(
+                    f,
+                    "  {:<24} {} reconvergences, stall {}",
+                    "Fabric",
+                    self.fabric_reconvergences,
+                    match self.reconvergence_stall {
+                        Some(s) => s.to_string(),
+                        None => "unmeasured".into(),
+                    }
+                )?;
+            }
         }
         Ok(())
     }
@@ -164,6 +202,9 @@ mod tests {
             net_segments: vec![NetStats::new()],
             bridge: BridgeStats::default(),
             bridge_devices: Vec::new(),
+            fabric_events: Vec::new(),
+            fabric_reconvergences: 0,
+            reconvergence_stall: None,
             frames_heard_mean: 12.0,
             frames_heard_max: 16,
             net_load_bps: 2200.0,

@@ -58,7 +58,10 @@ use crate::host::{HostAction, HostSim};
 use crate::metrics::ProtocolMetrics;
 use crate::process::Workload;
 use mether_core::{HostMask, MetherConfig, Packet, PageId, SegmentLayout};
-use mether_net::{BridgeStats, EtherConfig, EtherSim, Fabric, FabricConfig, SimDuration, SimTime};
+use mether_net::{
+    BridgeStats, ControlOut, EtherConfig, EtherSim, Fabric, FabricConfig, FabricEvent, SimDuration,
+    SimTime,
+};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -72,13 +75,15 @@ pub enum Topology {
     /// blocks, per [`mether_core::SegmentLayout`]), joined by a routed
     /// tree of filtering store-and-forward bridge devices.
     Segmented {
-        /// The bridge fabric: topology (star/chain/tree), per-device
-        /// engine knobs, page homes, request routing, interest aging.
-        /// The segment count is `fabric.topology.segments()`
-        /// (`1..=hosts`; a 1-segment topology is behaviourally identical
-        /// to [`Topology::Flat`] but exercises the masked delivery path
-        /// — the equivalence is regression-pinned).
-        fabric: FabricConfig,
+        /// The bridge fabric: topology (star/chain/tree/ring/mesh),
+        /// per-device engine knobs, page homes, request routing,
+        /// interest aging, election mode. The segment count is
+        /// `fabric.topology.segments()` (`1..=hosts`; a 1-segment
+        /// topology is behaviourally identical to [`Topology::Flat`]
+        /// but exercises the masked delivery path — the equivalence is
+        /// regression-pinned). Boxed: the config is cold construction
+        /// state, and the hot `Topology` enum should stay small.
+        fabric: Box<FabricConfig>,
     },
 }
 
@@ -88,13 +93,15 @@ impl Topology {
     /// interest.
     pub fn segmented(segments: usize) -> Topology {
         Topology::Segmented {
-            fabric: FabricConfig::star(segments),
+            fabric: Box::new(FabricConfig::star(segments)),
         }
     }
 
     /// A segmented topology over an explicit fabric.
     pub fn fabric(fabric: FabricConfig) -> Topology {
-        Topology::Segmented { fabric }
+        Topology::Segmented {
+            fabric: Box::new(fabric),
+        }
     }
 }
 
@@ -253,6 +260,34 @@ enum EvKind {
         host: usize,
         proc: usize,
     },
+    /// A fault-retry timer: if the process is still blocked on the same
+    /// fault (matching epoch), abandon the wait and re-issue the access
+    /// — retransmitting the request a failed fabric swallowed.
+    Retry {
+        host: usize,
+        proc: usize,
+        epoch: u64,
+    },
+    /// One hello-cadence tick of a live-election bridge device: timeout
+    /// checks plus this cadence's hellos. Self-rescheduling while the
+    /// device lives; `epoch` guards against duplicate chains — a
+    /// BridgeDown/BridgeUp cycle cancels the old chain (by bumping the
+    /// device's tick epoch) and seeds exactly one new one, so a tick
+    /// carrying a stale epoch is dropped unprocessed.
+    BridgeTick {
+        device: usize,
+        epoch: u64,
+    },
+    /// A bridge control frame (hello/TC) finished transmitting on `seg`:
+    /// the *other* live devices attached to the segment ingest it.
+    /// Hosts never see these — their NICs filter the BPDU address.
+    ControlDeliver {
+        seg: usize,
+        from: usize,
+        pkt: Arc<Packet>,
+    },
+    /// An injected fabric failure or recovery fires.
+    Fabric(FabricEvent),
 }
 
 struct Ev {
@@ -291,6 +326,9 @@ pub struct EventStats {
     /// Events pushed to carry frames across the bridge (one per frame
     /// copy per destination segment; zero on flat topologies).
     pub bridge_pushes: u64,
+    /// Events pushed for the fabric control plane (hello ticks and
+    /// control-frame deliveries; zero under static election).
+    pub control_pushes: u64,
     /// Packet transits that reached at least one recipient.
     pub transits: u64,
     /// Peak heap depth observed.
@@ -313,6 +351,15 @@ pub struct Simulation {
     now: SimTime,
     delivery: DeliveryMode,
     ev_stats: EventStats,
+    /// Whether the per-device hello ticks have been seeded into the
+    /// heap (once, at the first `run`; live election only).
+    ticks_started: bool,
+    /// Per-device tick-chain epochs: a `BridgeDown` bumps the device's
+    /// epoch (orphaning its pending tick), a `BridgeUp` bumps it again
+    /// and seeds one fresh chain — so a device never ticks twice per
+    /// hello interval however failure and revival interleave with the
+    /// pending events.
+    tick_epochs: Vec<u64>,
 }
 
 impl Simulation {
@@ -339,9 +386,10 @@ impl Simulation {
                 let ethers = (0..segments)
                     .map(|s| EtherSim::new(cfg.ether.clone().for_segment(s)))
                     .collect();
-                (ethers, Some(layout), Some(Fabric::new(layout, fabric)))
+                (ethers, Some(layout), Some(Fabric::new(layout, *fabric)))
             }
         };
+        let tick_epochs = vec![0; fabric.as_ref().map_or(0, Fabric::device_count)];
         Simulation {
             hosts,
             segments,
@@ -352,7 +400,25 @@ impl Simulation {
             now: SimTime::ZERO,
             delivery: DeliveryMode::default(),
             ev_stats: EventStats::default(),
+            ticks_started: false,
+            tick_epochs,
         }
+    }
+
+    /// Schedules a fabric failure/recovery event `at` sim time after the
+    /// start of the run ([`mether_net::FabricEvent`]): bridge devices
+    /// dying and restarting, links failing. Call before
+    /// [`Simulation::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flat topology (there is no fabric to fail).
+    pub fn schedule_fabric_event(&mut self, at: SimDuration, ev: FabricEvent) {
+        assert!(
+            self.fabric.is_some(),
+            "fabric events need a segmented topology"
+        );
+        self.push(SimTime::ZERO + at, EvKind::Fabric(ev));
     }
 
     /// Selects how transits are scheduled (see [`DeliveryMode`]). The
@@ -439,6 +505,19 @@ impl Simulation {
             .unwrap_or_default()
     }
 
+    /// Active-tree changes across all bridge devices so far (0 on flat
+    /// topologies, under static election, or on an undisturbed fabric).
+    pub fn fabric_reconvergences(&self) -> u64 {
+        self.fabric.as_ref().map_or(0, Fabric::reconvergences)
+    }
+
+    /// The measured reconvergence stall: sim time from the most recent
+    /// injected `BridgeDown` to the first `PageData` forwarded by a
+    /// re-elected device. `None` until measured (or on flat topologies).
+    pub fn fabric_stall(&self) -> Option<SimDuration> {
+        self.fabric.as_ref().and_then(Fabric::stall)
+    }
+
     /// Statically subscribes segment `seg` to `page`'s transits at every
     /// bridge device (see [`mether_net::BridgePolicy::subscribe`]) —
     /// required when a segment's only consumers of the page are
@@ -466,14 +545,39 @@ impl Simulation {
         self.ev_stats.max_heap_depth = self.ev_stats.max_heap_depth.max(self.events.len());
     }
 
-    /// Dispatches `host` if its CPU is idle, scheduling the burst end and
-    /// any sleep timers it requested.
+    /// Dispatches `host` if its CPU is idle, scheduling the burst end,
+    /// any sleep timers it requested, and any fault-retry timers armed
+    /// while blocking.
     fn kick(&mut self, host: usize) {
         if let Some(end) = self.hosts[host].dispatch(self.now) {
             self.push(end, EvKind::BurstEnd { host });
         }
         for (proc, wake_at) in self.hosts[host].take_sleeps() {
             self.push(wake_at, EvKind::Timer { host, proc });
+        }
+        for (proc, fire_at, epoch) in self.hosts[host].take_retries() {
+            self.push(fire_at, EvKind::Retry { host, proc, epoch });
+        }
+    }
+
+    /// Transmits one bridge control frame on its segment's medium and
+    /// schedules its delivery to the other devices there. Hosts never
+    /// receive control frames (their NICs filter the bridge multicast
+    /// address), but the frame occupies the wire like any other and is
+    /// subject to the segment's loss process.
+    fn transmit_control(&mut self, out: ControlOut) {
+        let pkt = Arc::new(out.pkt);
+        let tx = self.segments[out.seg].transmit(self.now, &pkt);
+        if let Some(at) = tx.delivered_at {
+            self.ev_stats.control_pushes += 1;
+            self.push(
+                at,
+                EvKind::ControlDeliver {
+                    seg: out.seg,
+                    from: out.device,
+                    pkt,
+                },
+            );
         }
     }
 
@@ -592,6 +696,20 @@ impl Simulation {
     pub fn run(&mut self, limits: RunLimits) -> RunOutcome {
         let deadline = SimTime::ZERO + limits.max_sim_time;
         let mut processed: u64 = 0;
+        // Seed the per-device hello ticks once, at the first run: one
+        // self-rescheduling tick event per live-election bridge device.
+        if !self.ticks_started {
+            self.ticks_started = true;
+            if let Some(fabric) = self.fabric.as_ref() {
+                if let Some(interval) = fabric.election().hello_interval() {
+                    for device in 0..fabric.device_count() {
+                        let epoch = self.tick_epochs[device];
+                        self.ev_stats.control_pushes += 1;
+                        self.push(self.now + interval, EvKind::BridgeTick { device, epoch });
+                    }
+                }
+            }
+        }
         for h in 0..self.hosts.len() {
             self.kick(h);
         }
@@ -686,6 +804,86 @@ impl Simulation {
                     self.hosts[host].timer_fired(proc);
                     self.kick(host);
                 }
+                EvKind::Retry { host, proc, epoch } => {
+                    if self.hosts[host].retry_fired(proc, epoch) {
+                        self.kick(host);
+                    }
+                }
+                EvKind::BridgeTick { device, epoch } => {
+                    if self.tick_epochs[device] != epoch {
+                        continue; // an orphaned chain (the device died)
+                    }
+                    let Some(fabric) = self.fabric.as_mut() else {
+                        continue;
+                    };
+                    if fabric.is_dead(device) {
+                        // A dead device stops ticking; BridgeUp reseeds.
+                        continue;
+                    }
+                    let outs = fabric.tick(device, self.now);
+                    for out in outs {
+                        self.transmit_control(out);
+                    }
+                    if let Some(interval) = self
+                        .fabric
+                        .as_ref()
+                        .and_then(|f| f.election().hello_interval())
+                    {
+                        self.ev_stats.control_pushes += 1;
+                        self.push(self.now + interval, EvKind::BridgeTick { device, epoch });
+                    }
+                }
+                EvKind::ControlDeliver { seg, from, pkt } => {
+                    let outs = self
+                        .fabric
+                        .as_mut()
+                        .map(|f| f.hear_control(&pkt, seg, self.now, from))
+                        .unwrap_or_default();
+                    // Triggered hellos (belief changes) go straight back
+                    // onto the wire — the TC-style fast propagation.
+                    for out in outs {
+                        self.transmit_control(out);
+                    }
+                }
+                EvKind::Fabric(ev) => {
+                    if let Some(fabric) = self.fabric.as_mut() {
+                        let was_dead = match ev {
+                            FabricEvent::BridgeDown(d) | FabricEvent::BridgeUp(d) => {
+                                fabric.is_dead(d)
+                            }
+                            FabricEvent::LinkDown { .. } => false,
+                        };
+                        fabric.apply_event(ev, self.now);
+                        match ev {
+                            // A death orphans the device's pending tick
+                            // chain (belt and braces with the dead
+                            // check at tick time).
+                            FabricEvent::BridgeDown(d) if !was_dead => {
+                                self.tick_epochs[d] += 1;
+                            }
+                            // A genuine revival resumes the hello
+                            // cadence with exactly one fresh chain;
+                            // a BridgeUp for a device that was never
+                            // down stays a no-op.
+                            FabricEvent::BridgeUp(device) if was_dead => {
+                                self.tick_epochs[device] += 1;
+                                let epoch = self.tick_epochs[device];
+                                if let Some(interval) = self
+                                    .fabric
+                                    .as_ref()
+                                    .and_then(|f| f.election().hello_interval())
+                                {
+                                    self.ev_stats.control_pushes += 1;
+                                    self.push(
+                                        self.now + interval,
+                                        EvKind::BridgeTick { device, epoch },
+                                    );
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
             }
             if self.hosts.iter().all(HostSim::all_done) {
                 return RunOutcome {
@@ -747,6 +945,18 @@ impl Simulation {
             net_segments: self.segments.iter().map(|e| *e.stats()).collect(),
             bridge: self.bridge_stats().unwrap_or_default(),
             bridge_devices: self.bridge_device_stats(),
+            fabric_events: self
+                .fabric
+                .as_ref()
+                .map(|f| {
+                    f.timeline()
+                        .iter()
+                        .map(|&(at, ev)| (at - SimTime::ZERO, ev))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            fabric_reconvergences: self.fabric_reconvergences(),
+            reconvergence_stall: self.fabric_stall(),
             frames_heard_mean,
             frames_heard_max,
             user: SimDuration::from_nanos(user.as_nanos() / nhosts),

@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod counting;
+pub mod fabric;
 pub mod protocols;
 pub mod publisher;
 pub mod segments;
@@ -27,6 +28,10 @@ pub use ablations::{
     run_kernel_server, run_purge_vs_invalidate, run_short_size_sweep, run_snoop_ablation,
 };
 pub use counting::{CountingConfig, DisjointPageCounter, LossPolicy, SharedPageCounter};
+pub use fabric::{
+    build_ring_failover, run_ring_failover, sweep_age_horizons, AgePoint, FailoverConfig,
+    FailoverReport, PollUntilReader, ReturningReader,
+};
 pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
 pub use publisher::{build_publisher_sim, Publisher};
 pub use segments::{

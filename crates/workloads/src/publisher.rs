@@ -10,31 +10,52 @@
 //! exactly what the test pins.
 
 use mether_core::{MapMode, PageId, PageLength, View};
+use mether_net::SimDuration;
 use mether_sim::{DsmOp, SimConfig, Simulation, Step, StepCtx, Workload};
 
 /// Writes its page then PURGEs it (one broadcast per cycle), `cycles`
-/// times, then exits.
+/// times, then exits. [`Publisher::paced`] adds a kernel sleep between
+/// cycles, for scenarios that need the publisher alive across a window
+/// of sim time (the fabric-failover experiments) rather than blasting
+/// as fast as the scheduler allows.
 pub struct Publisher {
     page: PageId,
     left: u32,
     value: u32,
     write_next: bool,
+    pace: SimDuration,
+    rest_next: bool,
 }
 
 impl Publisher {
-    /// A publisher of `page`, broadcasting `cycles` times.
+    /// A publisher of `page`, broadcasting `cycles` times as fast as it
+    /// is scheduled (the PR 2/PR 3 acceptance workload — byte-identical
+    /// to always: no sleep steps are ever emitted at zero pace).
     pub fn new(page: PageId, cycles: u32) -> Self {
+        Self::paced(page, cycles, SimDuration::ZERO)
+    }
+
+    /// A publisher sleeping `pace` between broadcast cycles. The final
+    /// value written is `cycles` — scenario code can wait for readers
+    /// to observe it.
+    pub fn paced(page: PageId, cycles: u32, pace: SimDuration) -> Self {
         Publisher {
             page,
             left: cycles,
             value: 0,
             write_next: true,
+            pace,
+            rest_next: false,
         }
     }
 }
 
 impl Workload for Publisher {
     fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+        if self.rest_next {
+            self.rest_next = false;
+            return Step::Sleep(self.pace);
+        }
         if self.left == 0 {
             return Step::Done;
         }
@@ -50,6 +71,9 @@ impl Workload for Publisher {
         } else {
             self.write_next = true;
             self.left -= 1;
+            // Pace between cycles (never after the last: the run ends
+            // when the last purge lands, not a sleep later).
+            self.rest_next = self.pace > SimDuration::ZERO && self.left > 0;
             Step::Op(DsmOp::Purge {
                 page: self.page,
                 mode: MapMode::Writeable,

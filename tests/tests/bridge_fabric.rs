@@ -526,3 +526,344 @@ fn write_graph_placement_reproduces_the_hand_placed_solver() {
         "derived homes must reproduce the hand placement exactly"
     );
 }
+
+// ---------------------------------------------------------------------
+// The spanning-tree election on random connected graphs (PR 5).
+// ---------------------------------------------------------------------
+
+/// A random connected graph: a random tree (parents) plus `extra`
+/// random two-port tie bridges — every wiring this produces is
+/// connected, and most have cycles.
+fn graph_from(parents: &[usize], extra: &[(usize, usize)]) -> BridgeTopology {
+    let tree = tree_from_parents(parents);
+    let n = tree.segments();
+    let ties: Vec<Vec<usize>> = extra
+        .iter()
+        .map(|&(a, b)| (a % n, b % n))
+        .filter(|&(a, b)| a != b)
+        .map(|(a, b)| vec![a, b])
+        .collect();
+    tree.add_redundant_links(ties).expect("ties stay connected")
+}
+
+/// Forwarding edges of an elected tree, as (bridge, segment) pairs.
+fn forwarding_edges(t: &BridgeTopology, a: &mether_core::ActiveTree) -> Vec<(usize, usize)> {
+    (0..t.bridges())
+        .flat_map(|b| a.forwarding(b).iter().map(move |s| (b, s)))
+        .collect()
+}
+
+/// Is every segment reachable from segment `start` over `edges`?
+fn segments_connected(t: &BridgeTopology, edges: &[(usize, usize)], start: usize) -> bool {
+    let mut seg_seen = vec![false; t.segments()];
+    let mut br_seen = vec![false; t.bridges()];
+    seg_seen[start] = true;
+    let mut frontier = vec![start];
+    while let Some(s) = frontier.pop() {
+        for &(b, es) in edges {
+            if es == s && !br_seen[b] {
+                br_seen[b] = true;
+                for &(b2, es2) in edges {
+                    if b2 == b && !seg_seen[es2] {
+                        seg_seen[es2] = true;
+                        frontier.push(es2);
+                    }
+                }
+            }
+        }
+    }
+    seg_seen.iter().all(|&x| x)
+}
+
+proptest! {
+    /// On any connected graph with everything alive, the election
+    /// yields a spanning tree: the Forwarding edges connect every
+    /// segment, count exactly |vertices| − 1 (no cycles), and every
+    /// observer derives the same tree with full next-hop coverage.
+    #[test]
+    fn prop_election_yields_a_spanning_tree_on_connected_graphs(
+        parents in proptest::collection::vec(0usize..64, 1..10),
+        extra in proptest::collection::vec((0usize..16, 0usize..16), 0..5),
+    ) {
+        let t = graph_from(&parents, &extra);
+        let views = t.fresh_views();
+        let reference = t.elect(&[], &views, 0);
+        let edges = forwarding_edges(&t, &reference);
+        // Tree arithmetic: segments + bridges − 1 edges, connected.
+        prop_assert_eq!(edges.len(), t.segments() + t.bridges() - 1);
+        prop_assert!(segments_connected(&t, &edges, 0));
+        for observer in 0..t.bridges() {
+            let a = t.elect(&[], &views, observer);
+            prop_assert_eq!(&a, &reference, "observer {} disagrees", observer);
+            for b in 0..t.bridges() {
+                for dst in 0..t.segments() {
+                    prop_assert!(a.next_hop(b, dst).is_some(), "unreachable {}->{}", b, dst);
+                }
+            }
+        }
+    }
+
+    /// Killing any non-articulation bridge of a redundant graph leaves
+    /// the fabric connected after re-election: the survivors' tree
+    /// still spans every segment.
+    #[test]
+    fn prop_killing_non_articulation_bridges_keeps_the_fabric_connected(
+        parents in proptest::collection::vec(0usize..64, 1..8),
+        extra in proptest::collection::vec((0usize..16, 0usize..16), 1..5),
+        victim_raw in 0usize..32,
+    ) {
+        let t = graph_from(&parents, &extra);
+        let victim = victim_raw % t.bridges();
+        // Physical connectivity without the victim (all ports of every
+        // other bridge): skip articulation bridges — losing one *should*
+        // partition the fabric.
+        let phys: Vec<(usize, usize)> = (0..t.bridges())
+            .filter(|&b| b != victim)
+            .flat_map(|b| t.ports(b).iter().map(move |&s| (b, s)))
+            .collect();
+        prop_assume!(segments_connected(&t, &phys, 0));
+        let mut views = t.fresh_views();
+        views[victim].version += 1;
+        views[victim].alive = false;
+        // Any surviving observer elects a tree spanning all segments.
+        let observer = (0..t.bridges()).find(|&b| b != victim).unwrap();
+        let a = t.elect(&[], &views, observer);
+        let edges = forwarding_edges(&t, &a);
+        prop_assert!(a.forwarding(victim).is_empty(), "the dead forward nothing");
+        prop_assert!(segments_connected(&t, &edges, 0),
+            "survivors must span every segment");
+        for dst in 0..t.segments() {
+            prop_assert!(a.next_hop(observer, dst).is_some());
+        }
+    }
+
+    /// On trees with uniform priorities the election reproduces the
+    /// wiring: every port Forwarding, next hops equal to the tree-only
+    /// tables — the base case that keeps `Static` election
+    /// byte-identical to the PR 4 fabric.
+    #[test]
+    fn prop_tree_election_matches_static_tables(
+        parents in proptest::collection::vec(0usize..64, 1..10),
+    ) {
+        let t = tree_from_parents(&parents);
+        let a = t.elect(&[], &t.fresh_views(), 0);
+        for b in 0..t.bridges() {
+            let all: HostMask = t.ports(b).iter().copied().collect();
+            prop_assert_eq!(a.forwarding(b), all);
+            for dst in 0..t.segments() {
+                prop_assert_eq!(a.next_hop(b, dst), Some(t.next_hop(b, dst)));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR 4's acceptance workload under LIVE election: same active tree,
+// same ≥2× routed-vs-flooding request shrink (PR 5 acceptance).
+// ---------------------------------------------------------------------
+
+#[test]
+fn live_election_reproduces_the_tree_and_keeps_the_routing_win() {
+    use mether_net::ElectionMode;
+    use mether_workloads::build_fabric_readers;
+
+    const ROUNDS: u32 = 48;
+    let run = |routing: RequestRouting| {
+        let fabric = FabricConfig::tree(4, 2)
+            .with_routing(routing)
+            .with_election(ElectionMode::live());
+        let mut sim = build_fabric_readers(fabric, 8, ROUNDS);
+        let outcome = sim.run(RunLimits::default());
+        assert!(outcome.finished, "{outcome:?}");
+        let m = sim.metrics("readers 4x8 live", outcome.finished, 1);
+        assert_eq!(
+            m.fabric_reconvergences, 0,
+            "an undisturbed live fabric never re-elects"
+        );
+        m
+    };
+    let flood = run(RequestRouting::Flood);
+    let routed = run(RequestRouting::HolderDirected);
+    // Identical protocol work across modes, even with hello traffic on
+    // the wires.
+    assert_eq!(flood.additions, routed.additions);
+    assert!(flood.net.control_packets > 0, "hellos rode the wire");
+    let (f, r) = (flood.bridge.req_forwarded, routed.bridge.req_forwarded);
+    let ratio = f as f64 / r as f64;
+    eprintln!(
+        "live election, readers x{ROUNDS} on 4x8 tree: fabric-crossing requests \
+         flood = {f}, holder-directed = {r}, ratio {ratio:.2}x"
+    );
+    assert!(
+        ratio >= 2.0,
+        "the PR 4 routing pin must survive live election (flood {f}, routed {r})"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Holder-belief quality counters (PR 5 satellite).
+// ---------------------------------------------------------------------
+
+#[test]
+fn belief_counters_surface_through_protocol_metrics() {
+    use mether_workloads::build_fabric_readers;
+
+    let fabric = FabricConfig::tree(4, 2).with_routing(RequestRouting::HolderDirected);
+    let mut sim = build_fabric_readers(fabric, 8, 24);
+    let outcome = sim.run(RunLimits::default());
+    assert!(outcome.finished);
+    let m = sim.metrics("readers", outcome.finished, 1);
+    // The first request of each reader finds no belief (fallback
+    // flood); the replies teach the holder direction and later rounds
+    // route on it.
+    assert!(
+        m.bridge.belief_fallback_floods >= 1,
+        "cold start floods: {:?}",
+        m.bridge
+    );
+    assert!(
+        m.bridge.belief_hits > m.bridge.belief_fallback_floods,
+        "a holder-stable workload routes mostly on beliefs: {:?}",
+        m.bridge
+    );
+    // The fabric-wide row is the per-device sum, belief counters
+    // included.
+    let summed = mether_net::BridgeStats::sum(m.bridge_devices.iter().copied());
+    assert_eq!(m.bridge, summed);
+    assert!(
+        m.bridge_devices.iter().any(|d| d.belief_hits > 0),
+        "per-device rows carry the counters"
+    );
+    // Flood mode never counts belief events.
+    let fabric = FabricConfig::tree(4, 2).with_routing(RequestRouting::Flood);
+    let mut flood_sim = build_fabric_readers(fabric, 8, 8);
+    let fo = flood_sim.run(RunLimits::default());
+    let fm = flood_sim.metrics("readers flood", fo.finished, 1);
+    assert_eq!(fm.bridge.belief_hits, 0);
+    assert_eq!(fm.bridge.belief_fallback_floods, 0);
+}
+
+// ---------------------------------------------------------------------
+// Ring failover: kill the root, measure the stall (PR 5 acceptance).
+// ---------------------------------------------------------------------
+
+#[test]
+fn ring_failover_reconverges_and_every_reader_sees_the_final_value() {
+    use mether_workloads::{run_ring_failover, FailoverConfig};
+
+    let cfg = FailoverConfig::ring_4x8();
+    let (sim, report) = run_ring_failover(&cfg, RunLimits::default());
+    eprintln!(
+        "ring failover 4x8: finished={} wall={} reconvergences={} stall={:?} events={:?}",
+        report.outcome.finished,
+        report.metrics.wall,
+        report.reconvergences,
+        report.stall,
+        report.metrics.fabric_events,
+    );
+    assert!(
+        report.outcome.finished,
+        "the workload must ride through the failure: {:?}",
+        report.outcome
+    );
+    assert!(
+        report.readers_saw_final,
+        "every reader observes the final generation"
+    );
+    assert!(
+        report.reconvergences >= 1,
+        "the survivors re-elected around the dead root"
+    );
+    // The acceptance number: the reconvergence stall is measured and
+    // finite — from the BridgeDown to the first cross-fabric PageData
+    // forwarded by a re-elected device.
+    let stall = report.stall.expect("stall measured");
+    assert!(
+        stall > SimDuration::ZERO && stall < SimDuration::from_secs(2),
+        "stall {stall} out of range"
+    );
+    // The dead device forwarded nothing after its death: its counters
+    // are frozen while the survivors kept forwarding.
+    assert_eq!(report.metrics.fabric_events.len(), 1);
+    assert!(sim.fabric_stall().is_some());
+}
+
+#[test]
+fn ring_failover_with_revival_heals_the_short_path() {
+    use mether_workloads::{run_ring_failover, FailoverConfig};
+
+    let cfg = FailoverConfig {
+        writes: 30,
+        revive_at: Some(SimDuration::from_millis(220)),
+        ..FailoverConfig::ring_4x8()
+    };
+    let (_sim, report) = run_ring_failover(&cfg, RunLimits::default());
+    assert!(report.outcome.finished, "{:?}", report.outcome);
+    assert!(report.readers_saw_final);
+    assert_eq!(report.metrics.fabric_events.len(), 2, "down + up recorded");
+    // The revival triggers a second wave of re-elections (the root
+    // reclaims its tree).
+    assert!(
+        report.reconvergences >= 2,
+        "reconvergences: {}",
+        report.reconvergences
+    );
+}
+
+// ---------------------------------------------------------------------
+// The aging-policy sweep (PR 5 satellite).
+// ---------------------------------------------------------------------
+
+#[test]
+fn age_horizon_sweep_locates_the_refetch_vs_filter_knee() {
+    use mether_workloads::sweep_age_horizons;
+
+    let gap = SimDuration::from_millis(600);
+    let points = sweep_age_horizons(
+        &[gap],
+        &[
+            AgeHorizon::Sticky,
+            AgeHorizon::Transits(2),
+            AgeHorizon::SimTime(SimDuration::from_millis(50)),
+        ],
+        RunLimits::default(),
+    );
+    assert_eq!(points.len(), 3);
+    let sticky = &points[0];
+    let transits = &points[1];
+    let simtime = &points[2];
+    for p in &points {
+        eprintln!(
+            "{}: idle_frames={} return_lag={} fresh={} requests={}",
+            p.label, p.idle_frames, p.return_lag, p.fresh_return, p.requests_crossed
+        );
+    }
+    // Sticky: the idle segment is fed through the whole gap — the copy
+    // comes back fresh, at the price of snooping every broadcast.
+    assert!(sticky.fresh_return, "sticky keeps the idle copy fresh");
+    assert!(sticky.return_lag <= 1);
+    // Aged out (both horizon kinds, far shorter than the gap): the
+    // refreshes stop early — the reader returns stale and pays a
+    // catch-up fetch, but its segment snooped far less.
+    for aged in [transits, simtime] {
+        assert!(
+            !aged.fresh_return,
+            "{}: a horizon far below the gap must go stale",
+            aged.label
+        );
+        assert!(
+            aged.return_lag >= 3,
+            "{}: lag {} too small for a 600ms gap",
+            aged.label,
+            aged.return_lag
+        );
+        assert!(
+            aged.idle_frames * 2 < sticky.idle_frames,
+            "{}: aging must at least halve the idle segment's snoops \
+             ({} vs sticky {})",
+            aged.label,
+            aged.idle_frames,
+            sticky.idle_frames
+        );
+    }
+}

@@ -429,7 +429,7 @@ fn bench_segments(c: &mut Criterion) {
         let mask = HostMask::range(56, 64);
         b.iter(|| {
             let mut sum = 0usize;
-            for h in mask {
+            for h in &mask {
                 sum += h;
             }
             black_box(sum)
@@ -512,6 +512,67 @@ fn bench_fabric(c: &mut Criterion) {
     g.finish();
 }
 
+/// The past-the-wall deployment end to end: 1024 hosts (16 segments ×
+/// 64, every host a counting party) under the serial oracle and the
+/// lane-parallel engine. The wall numbers compare the schedules on
+/// whatever cores the measuring host has; `lane_balance` is the
+/// machine-independent number — events on the busiest lane over the
+/// total, whose inverse is the parallelism the deployment exposes to
+/// the worker pool (recorded in `BENCH_baseline.json` `_meta_pr6`).
+fn bench_scale(c: &mut Criterion) {
+    use mether_sim::ParallelMode;
+    use mether_workloads::{build_scaled_fabric, ScaleConfig};
+
+    let mut g = c.benchmark_group("scale");
+    let cfg = ScaleConfig::fabric_16x64();
+    let run = |mode: ParallelMode| {
+        let mut sim = build_scaled_fabric(&cfg);
+        sim.set_parallel_mode(mode);
+        let outcome = sim.run(RunLimits::default());
+        assert!(outcome.finished, "16x64 must run to completion");
+        (outcome.events, sim.lane_event_counts().to_vec())
+    };
+    g.bench_function("16x64_serial", |b| {
+        b.iter(|| black_box(run(ParallelMode::Serial).0))
+    });
+    g.bench_function("16x64_workers4", |b| {
+        b.iter(|| black_box(run(ParallelMode::Workers(4)).0))
+    });
+    g.bench_function("16x64_workers16", |b| {
+        b.iter(|| black_box(run(ParallelMode::Workers(16)).0))
+    });
+    // Not a timing: expose the lane balance as ns/iter-shaped output so
+    // the baseline collector picks it up (busiest-lane share, in 1/1000
+    // of the total — 63 on a perfectly balanced 16-lane deployment).
+    g.bench_function("16x64_busiest_lane_permille", |b| {
+        let (total, lanes) = run(ParallelMode::Workers(4));
+        let max = lanes.iter().copied().max().unwrap_or(0);
+        b.iter(|| black_box(max * 1000 / total.max(1)))
+    });
+    g.finish();
+}
+
+/// The spanning-tree election on the 256-segment, 480-device 16×16
+/// mesh: the full per-destination recompute every belief change used to
+/// pay, against the incremental `elect_from` fast path that recognises
+/// an unchanged (root, forwarding) pair — the hello-chatter steady
+/// state — and skips straight to the previous tree.
+fn bench_election(c: &mut Criterion) {
+    use mether_core::BridgeTopology;
+
+    let mut g = c.benchmark_group("election");
+    let t = BridgeTopology::mesh2d(16, 16);
+    let views = t.fresh_views();
+    let prev = t.elect(&[], &views, 0);
+    g.bench_function("full_recompute_mesh16x16", |b| {
+        b.iter(|| black_box(t.elect(&[], &views, 0)))
+    });
+    g.bench_function("incremental_recompute_mesh16x16", |b| {
+        b.iter(|| black_box(t.elect_from(&[], &views, 0, Some(&prev))))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_addr,
@@ -523,6 +584,8 @@ criterion_group!(
     bench_event_queue,
     bench_segments,
     bench_bridge_routing,
-    bench_fabric
+    bench_fabric,
+    bench_scale,
+    bench_election
 );
 criterion_main!(benches);

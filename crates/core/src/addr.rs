@@ -29,6 +29,7 @@ use crate::config::{MAX_PAGES, PAGE_BITS, PAGE_SHIFT, PAGE_SIZE, SHORT_PAGE_SIZE
 use crate::{Error, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 const SHORT_BIT: u32 = 1 << (PAGE_SHIFT + PAGE_BITS);
 const DATA_BIT: u32 = 1 << (PAGE_SHIFT + PAGE_BITS + 1);
@@ -302,68 +303,103 @@ impl fmt::Display for VAddr {
     }
 }
 
-/// A set of host indices as a `u128` bitmask.
+/// A set of host indices: a variable-length bitmask of `u64` words.
 ///
 /// The multi-segment network needs to say "this transit is snooped by
-/// exactly the hosts on segment 3" without putting a heap-allocated set
-/// on every delivery event. `HostMask` keeps that O(1)-sized and `Copy`:
-/// membership is a bit test, iteration visits set bits in ascending host
-/// order via `trailing_zeros` (O(set bits), not O(capacity)), and the
-/// whole set is two machine words. The same type doubles as a *segment*
-/// mask inside the bridge's forwarding tables — a segment index is just
-/// a smaller host-like index.
+/// exactly the hosts on segment 3" without putting an expensive set on
+/// every delivery event. `HostMask` keeps that cheap at any scale with a
+/// two-tier representation:
 ///
-/// Capacity is [`HostMask::CAPACITY`] (128) indices; constructors panic
-/// beyond it, which is far above the paper's testbed and the simulator's
-/// practical host counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub struct HostMask(u128);
+/// * **Inline** — every member below [`HostMask::INLINE_CAPACITY`]
+///   (128): two machine words, no allocation, clones are a 16-byte
+///   memcpy. This is the paper's testbed and every deployment the
+///   simulator ran before the 1024-host fabrics; the old `u128`
+///   semantics are preserved bit for bit here (property-tested).
+/// * **Spilled** — any member at 128 or above: a shared
+///   (`Arc`-backed) word vector, copy-on-write on mutation, so cloning
+///   stays as cheap as the old `Copy` mask (a reference-count bump)
+///   while capacity becomes unbounded.
+///
+/// Membership is a bit test, iteration visits set bits in ascending
+/// host order via per-word trailing-zero counts (O(set bits + words)),
+/// and inserts *grow* the set instead of panicking — the 128-host wall
+/// is gone. The same type doubles as a *segment* mask inside the
+/// bridge's forwarding tables — a segment index is just a smaller
+/// host-like index.
+///
+/// The representation is canonical — a spilled mask always has a
+/// non-zero word beyond the inline two (mutations that shrink the set
+/// demote back to inline) — so derived equality and hashing agree with
+/// set equality whichever constructors built the operands.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HostMask(Repr);
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Members < 128 only: two words inline, never allocates.
+    Inline([u64; 2]),
+    /// At least one member >= 128: shared trimmed word vector (last
+    /// word non-zero, length > 2), copy-on-write via `Arc::make_mut`.
+    Spilled(Arc<Vec<u64>>),
+}
+
+const WORD_BITS: usize = 64;
 
 impl HostMask {
-    /// Highest index (exclusive) a mask can hold.
-    pub const CAPACITY: usize = 128;
+    /// Highest index (exclusive) the allocation-free inline
+    /// representation can hold. Not a capacity limit: larger indices
+    /// spill to the heap-backed representation transparently.
+    pub const INLINE_CAPACITY: usize = 128;
 
     /// The empty set.
-    pub const EMPTY: HostMask = HostMask(0);
+    pub const EMPTY: HostMask = HostMask(Repr::Inline([0, 0]));
+
+    /// Canonicalises `words`: trims trailing zero words, demotes to the
+    /// inline representation when everything fits in two words.
+    fn from_words_vec(mut words: Vec<u64>) -> HostMask {
+        while words.len() > 2 && words.last() == Some(&0) {
+            words.pop();
+        }
+        if words.len() <= 2 {
+            let mut inline = [0u64; 2];
+            for (i, w) in words.into_iter().enumerate() {
+                inline[i] = w;
+            }
+            HostMask(Repr::Inline(inline))
+        } else {
+            HostMask(Repr::Spilled(Arc::new(words)))
+        }
+    }
+
+    /// Word `w` of the mask (0 beyond the backing storage).
+    fn word(&self, w: usize) -> u64 {
+        self.words().get(w).copied().unwrap_or(0)
+    }
+
+    /// Number of backing words (2 inline, the trimmed length spilled).
+    fn word_count(&self) -> usize {
+        self.words().len()
+    }
 
     /// The set `{0, 1, …, n−1}` — every host of an `n`-host deployment.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n > CAPACITY`.
     pub fn all_below(n: usize) -> HostMask {
-        assert!(
-            n <= Self::CAPACITY,
-            "host index range {n} > {}",
-            Self::CAPACITY
-        );
-        if n == Self::CAPACITY {
-            HostMask(u128::MAX)
-        } else {
-            HostMask((1u128 << n) - 1)
+        let mut words = vec![u64::MAX; n / WORD_BITS];
+        if !n.is_multiple_of(WORD_BITS) {
+            words.push((1u64 << (n % WORD_BITS)) - 1);
         }
+        Self::from_words_vec(words)
     }
 
     /// The broadcast set of an `n`-host segment: everyone except `sender`
     /// (a NIC does not hear its own frame). Equivalent to what
     /// `Recipients::AllExcept(sender)` denotes on a flat `n`-host segment.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n > CAPACITY`.
     pub fn all_except(n: usize, sender: usize) -> HostMask {
         let mut m = Self::all_below(n);
-        if sender < Self::CAPACITY {
-            m.remove(sender);
-        }
+        m.remove(sender);
         m
     }
 
     /// The singleton set `{i}`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= CAPACITY`.
     pub fn single(i: usize) -> HostMask {
         let mut m = HostMask::EMPTY;
         m.insert(i);
@@ -374,26 +410,55 @@ impl HostMask {
     ///
     /// # Panics
     ///
-    /// Panics if `hi > CAPACITY` or `lo > hi`.
+    /// Panics if `lo > hi`.
     pub fn range(lo: usize, hi: usize) -> HostMask {
         assert!(lo <= hi, "inverted range {lo}..{hi}");
-        HostMask(Self::all_below(hi).0 & !Self::all_below(lo).0)
+        Self::all_below(hi).difference(&Self::all_below(lo))
     }
 
-    /// Adds `i` to the set (idempotent).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= CAPACITY`.
+    /// Adds `i` to the set (idempotent), growing the representation as
+    /// needed — indices at or beyond [`HostMask::INLINE_CAPACITY`] spill
+    /// to the word vector.
     pub fn insert(&mut self, i: usize) {
-        assert!(i < Self::CAPACITY, "host index {i} >= {}", Self::CAPACITY);
-        self.0 |= 1u128 << i;
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        match &mut self.0 {
+            Repr::Inline(ws) if w < 2 => ws[w] |= 1 << b,
+            Repr::Inline(ws) => {
+                let mut words = vec![0u64; w + 1];
+                words[0] = ws[0];
+                words[1] = ws[1];
+                words[w] |= 1 << b;
+                self.0 = Repr::Spilled(Arc::new(words));
+            }
+            Repr::Spilled(ws) => {
+                let v = Arc::make_mut(ws);
+                if v.len() <= w {
+                    v.resize(w + 1, 0);
+                }
+                v[w] |= 1 << b;
+            }
+        }
     }
 
-    /// Removes `i` from the set (idempotent; out-of-range is a no-op).
+    /// Removes `i` from the set (idempotent; absent is a no-op).
     pub fn remove(&mut self, i: usize) {
-        if i < Self::CAPACITY {
-            self.0 &= !(1u128 << i);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        match &mut self.0 {
+            Repr::Inline(ws) => {
+                if w < 2 {
+                    ws[w] &= !(1 << b);
+                }
+            }
+            Repr::Spilled(ws) => {
+                if w < ws.len() {
+                    let v = Arc::make_mut(ws);
+                    v[w] &= !(1 << b);
+                    if v.last() == Some(&0) {
+                        let words = std::mem::take(v);
+                        *self = Self::from_words_vec(words);
+                    }
+                }
+            }
         }
     }
 
@@ -405,53 +470,107 @@ impl HostMask {
     }
 
     /// Is `i` in the set?
-    pub fn contains(self, i: usize) -> bool {
-        i < Self::CAPACITY && self.0 & (1u128 << i) != 0
+    pub fn contains(&self, i: usize) -> bool {
+        self.word(i / WORD_BITS) & (1u64 << (i % WORD_BITS)) != 0
     }
 
     /// Number of members.
-    pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+    pub fn len(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True when no host is in the set.
-    pub fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(&self) -> bool {
+        // Canonical form: a spilled mask always has a set bit.
+        matches!(&self.0, Repr::Inline([0, 0]))
+    }
+
+    /// Applies `f` word-wise over both masks (zero-padded to the longer
+    /// one), staying allocation-free when both sides are inline.
+    fn zip_words(&self, other: &HostMask, f: impl Fn(u64, u64) -> u64) -> HostMask {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.0, &other.0) {
+            return HostMask(Repr::Inline([f(a[0], b[0]), f(a[1], b[1])]));
+        }
+        let n = self.word_count().max(other.word_count());
+        Self::from_words_vec((0..n).map(|w| f(self.word(w), other.word(w))).collect())
     }
 
     /// Set union.
     #[must_use]
-    pub fn union(self, other: HostMask) -> HostMask {
-        HostMask(self.0 | other.0)
+    pub fn union(&self, other: &HostMask) -> HostMask {
+        self.zip_words(other, |a, b| a | b)
     }
 
     /// Set intersection.
     #[must_use]
-    pub fn intersection(self, other: HostMask) -> HostMask {
-        HostMask(self.0 & other.0)
+    pub fn intersection(&self, other: &HostMask) -> HostMask {
+        self.zip_words(other, |a, b| a & b)
     }
 
     /// Members of `self` not in `other`.
     #[must_use]
-    pub fn difference(self, other: HostMask) -> HostMask {
-        HostMask(self.0 & !other.0)
+    pub fn difference(&self, other: &HostMask) -> HostMask {
+        self.zip_words(other, |a, b| a & !b)
     }
 
-    /// The raw bits (bit `i` set ⇔ host `i` in the set).
-    pub fn bits(self) -> u128 {
-        self.0
+    /// Members in exactly one of the two sets — the "what changed"
+    /// operation (the bridge diffs old and new forwarding port sets with
+    /// it when an election lands).
+    #[must_use]
+    pub fn symmetric_difference(&self, other: &HostMask) -> HostMask {
+        self.zip_words(other, |a, b| a ^ b)
     }
 
-    /// A mask from raw bits — the inverse of [`HostMask::bits`], used by
-    /// the wire codec to round-trip port masks through control frames.
+    /// The low 128 bits as the legacy `u128` mask value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is at or beyond
+    /// [`HostMask::INLINE_CAPACITY`] — callers that may see wide masks
+    /// should use [`HostMask::words`] instead.
+    pub fn bits(&self) -> u128 {
+        match &self.0 {
+            Repr::Inline(ws) => (u128::from(ws[1]) << 64) | u128::from(ws[0]),
+            Repr::Spilled(_) => panic!("HostMask::bits on a mask wider than 128 indices"),
+        }
+    }
+
+    /// A mask from raw `u128` bits — the inverse of [`HostMask::bits`].
     pub fn from_bits(bits: u128) -> HostMask {
-        HostMask(bits)
+        HostMask(Repr::Inline([bits as u64, (bits >> 64) as u64]))
     }
 
-    /// Iterates the members in ascending index order, O(members) via
-    /// trailing-zero counts.
-    pub fn iter(self) -> HostMaskIter {
-        HostMaskIter(self.0)
+    /// The backing words, little-endian: word `w` holds indices
+    /// `64w..64w+63`, bit `b` of it index `64w+b`. Inline masks always
+    /// expose exactly two words; spilled masks their trimmed vector.
+    /// The wire codec serialises masks through this view.
+    pub fn words(&self) -> &[u64] {
+        match &self.0 {
+            Repr::Inline(ws) => ws,
+            Repr::Spilled(ws) => ws,
+        }
+    }
+
+    /// Rebuilds a mask from its [`HostMask::words`] view (trailing zero
+    /// words are tolerated and canonicalised away).
+    pub fn from_words(words: &[u64]) -> HostMask {
+        Self::from_words_vec(words.to_vec())
+    }
+
+    /// Iterates the members in ascending index order, O(members + words)
+    /// via per-word trailing-zero counts.
+    pub fn iter(&self) -> HostMaskIter {
+        HostMaskIter {
+            bits: self.word(0),
+            word: 0,
+            mask: self.clone(),
+        }
+    }
+}
+
+impl Default for HostMask {
+    fn default() -> Self {
+        HostMask::EMPTY
     }
 }
 
@@ -473,24 +592,48 @@ impl IntoIterator for HostMask {
     }
 }
 
+impl IntoIterator for &HostMask {
+    type Item = usize;
+    type IntoIter = HostMaskIter;
+    fn into_iter(self) -> HostMaskIter {
+        self.iter()
+    }
+}
+
 /// Ascending-order iterator over a [`HostMask`] (see [`HostMask::iter`]).
 #[derive(Debug, Clone)]
-pub struct HostMaskIter(u128);
+pub struct HostMaskIter {
+    /// Unvisited bits of the current word.
+    bits: u64,
+    /// Index of the current word.
+    word: usize,
+    /// The mask being walked (a cheap clone — inline copy or refcount).
+    mask: HostMask,
+}
 
 impl Iterator for HostMaskIter {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
-        if self.0 == 0 {
-            return None;
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1; // clear lowest set bit
+                return Some(self.word * WORD_BITS + b);
+            }
+            if self.word + 1 >= self.mask.word_count() {
+                return None;
+            }
+            self.word += 1;
+            self.bits = self.mask.word(self.word);
         }
-        let i = self.0.trailing_zeros() as usize;
-        self.0 &= self.0 - 1; // clear lowest set bit
-        Some(i)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n = self.bits.count_ones() as usize
+            + (self.word + 1..self.mask.word_count())
+                .map(|w| self.mask.word(w).count_ones() as usize)
+                .sum::<usize>();
         (n, Some(n))
     }
 }
@@ -507,6 +650,12 @@ impl fmt::Display for HostMask {
             write!(f, "{i}")?;
         }
         write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for HostMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostMask{self}")
     }
 }
 
@@ -665,9 +814,13 @@ mod tests {
     fn hostmask_algebra() {
         let a = HostMask::from_iter([1usize, 2, 3]);
         let b = HostMask::from_iter([3usize, 4]);
-        assert_eq!(a.union(b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
-        assert_eq!(a.intersection(b).iter().collect::<Vec<_>>(), vec![3]);
-        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            a.symmetric_difference(&b).iter().collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
         assert_eq!(a.without(2).iter().collect::<Vec<_>>(), vec![1, 3]);
     }
 
@@ -681,10 +834,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "host index")]
-    fn hostmask_rejects_out_of_range_insert() {
-        let mut m = HostMask::EMPTY;
-        m.insert(128);
+    fn hostmask_spills_past_inline_capacity_and_demotes_back() {
+        let mut m = HostMask::single(5);
+        m.insert(128); // first index past the inline fast path
+        m.insert(1000);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![5, 128, 1000]);
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(1000) && !m.contains(999));
+        // Removing every spilled member demotes to the inline form, so
+        // equality with an inline-built mask is structural again.
+        m.remove(1000);
+        m.remove(128);
+        assert_eq!(m, HostMask::single(5));
+        assert_eq!(m.bits(), 1 << 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 128")]
+    fn hostmask_bits_rejects_spilled_masks() {
+        let _ = HostMask::single(200).bits();
+    }
+
+    #[test]
+    fn hostmask_words_round_trip_any_width() {
+        for width in [1usize, 64, 127, 128, 129, 512, 1024] {
+            let m = HostMask::all_below(width).without(width / 2);
+            let back = HostMask::from_words(m.words());
+            assert_eq!(m, back, "width {width}");
+            assert_eq!(back.len(), width - 1);
+        }
+        // Untrimmed input canonicalises.
+        assert_eq!(HostMask::from_words(&[1, 0, 0, 0]), HostMask::single(0));
     }
 
     proptest! {

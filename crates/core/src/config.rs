@@ -123,10 +123,10 @@ impl SegmentLayout {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::Error::InvalidConfig`] if either count is zero,
-    /// there are more segments than hosts, or `hosts` exceeds
-    /// [`crate::HostMask::CAPACITY`] (the per-segment snoop sets are host
-    /// bitmasks).
+    /// Returns [`crate::Error::InvalidConfig`] if either count is zero
+    /// or there are more segments than hosts. There is no host-count
+    /// cap: the per-segment snoop sets are variable-length
+    /// [`crate::HostMask`]s, so 1024-host fabrics lay out fine.
     pub fn new(hosts: usize, segments: usize) -> crate::Result<Self> {
         if hosts == 0 || segments == 0 {
             return Err(crate::Error::InvalidConfig(
@@ -136,12 +136,6 @@ impl SegmentLayout {
         if segments > hosts {
             return Err(crate::Error::InvalidConfig(format!(
                 "{segments} segments but only {hosts} hosts"
-            )));
-        }
-        if hosts > crate::HostMask::CAPACITY {
-            return Err(crate::Error::InvalidConfig(format!(
-                "{hosts} hosts exceeds the {}-host mask capacity",
-                crate::HostMask::CAPACITY
             )));
         }
         Ok(SegmentLayout { hosts, segments })
@@ -281,8 +275,14 @@ mod tests {
             SegmentLayout::new(3, 4).is_err(),
             "more segments than hosts"
         );
-        assert!(SegmentLayout::new(129, 2).is_err(), "beyond mask capacity");
+        assert!(
+            SegmentLayout::new(129, 2).is_ok(),
+            "no mask capacity cap any more"
+        );
         assert!(SegmentLayout::new(128, 4).is_ok());
+        let wide = SegmentLayout::new(1024, 16).unwrap();
+        assert_eq!(wide.members(15).len(), 64);
+        assert!(wide.members(15).contains(1023));
     }
 
     #[test]

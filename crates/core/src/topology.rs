@@ -445,6 +445,34 @@ impl BridgeTopology {
     /// Panics if `observer` is out of range or `views` has the wrong
     /// length.
     pub fn elect(&self, priorities: &[u64], views: &[DeviceView], observer: usize) -> ActiveTree {
+        self.elect_from(priorities, views, observer, None)
+    }
+
+    /// [`BridgeTopology::elect`] with an incremental fast path: when the
+    /// election over `views` produces the same root and the same
+    /// per-device forwarding masks as `prev`, the expensive next-hop
+    /// derivation (one tree walk per destination segment) is skipped and
+    /// `prev` is returned as-is — the tables are a pure function of the
+    /// forwarding ports, so an unchanged port map means unchanged
+    /// tables.
+    ///
+    /// This is the common case by a wide margin: every hello merge that
+    /// bumps a version (without changing anyone's liveness or ports)
+    /// triggers a re-election, and on a 256-device mesh nearly all of
+    /// them re-elect the identical tree. The fast path turns those from
+    /// `O(segments × graph)` into `O(graph)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observer` is out of range or `views` has the wrong
+    /// length.
+    pub fn elect_from(
+        &self,
+        priorities: &[u64],
+        views: &[DeviceView],
+        observer: usize,
+        prev: Option<&ActiveTree>,
+    ) -> ActiveTree {
         let nb = self.bridges();
         let ns = self.segments;
         assert!(observer < nb, "observer {observer} out of range");
@@ -455,27 +483,37 @@ impl BridgeTopology {
         let live: Vec<HostMask> = (0..nb)
             .map(|d| {
                 let physical: HostMask = self.links[d].iter().copied().collect();
-                physical.intersection(views[d].ports)
+                physical.intersection(&views[d].ports)
             })
             .collect();
         let alive: Vec<bool> = (0..nb)
             .map(|d| views[d].alive && !live[d].is_empty())
             .collect();
+        if !alive[observer] {
+            // A dead observer forwards nothing.
+            if let Some(prev) = prev {
+                if prev.root.is_none() && prev.forwarding.iter().all(HostMask::is_empty) {
+                    return prev.clone();
+                }
+            }
+            return ActiveTree {
+                root: None,
+                forwarding: vec![HostMask::EMPTY; nb],
+                next: vec![vec![NO_HOP; ns]; nb],
+            };
+        }
         let mut tree = ActiveTree {
             root: None,
             forwarding: vec![HostMask::EMPTY; nb],
-            next: vec![vec![NO_HOP; ns]; nb],
+            next: Vec::new(),
         };
-        if !alive[observer] {
-            return tree; // a dead observer forwards nothing
-        }
         // The observer's component over alive devices and live links.
         let mut comp_b = vec![false; nb];
         let mut comp_s = vec![false; ns];
         comp_b[observer] = true;
         let mut queue: Vec<usize> = vec![observer]; // bridge indices
         while let Some(b) = queue.pop() {
-            for s in live[b] {
+            for s in &live[b] {
                 if comp_s[s] {
                     continue;
                 }
@@ -512,7 +550,7 @@ impl BridgeTopology {
                 }
             } else {
                 let d = dist_b[v].unwrap();
-                for s in live[v] {
+                for s in &live[v] {
                     if dist_s[s].is_none() {
                         dist_s[s] = Some(d + 1);
                         bfs.push_back((true, s));
@@ -545,11 +583,19 @@ impl BridgeTopology {
                 .expect("a reached bridge has a closer port");
             tree.forwarding[b].insert(root_port);
         }
+        // The incremental fast path: same root, same forwarding ports —
+        // the next-hop tables cannot differ, so skip their derivation.
+        if let Some(prev) = prev {
+            if prev.root == tree.root && prev.forwarding == tree.forwarding {
+                return prev.clone();
+            }
+        }
         // Next-hop tables, derived from the forwarding ports alone: for
         // each destination, walk the active tree outward from it; the
         // forwarding port a bridge is first reached through is its port
         // toward that destination. (On the active tree the walk order
         // is irrelevant — paths are unique.)
+        tree.next = vec![vec![NO_HOP; ns]; nb];
         for dst in 0..ns {
             if dist_s[dst].is_none() {
                 continue;
@@ -565,7 +611,7 @@ impl BridgeTopology {
                     }
                     br_done[b] = true;
                     tree.next[b][dst] = s as u16;
-                    for t in tree.forwarding[b] {
+                    for t in &tree.forwarding[b] {
                         if !seg_done[t] {
                             seg_done[t] = true;
                             frontier.push(t);
@@ -598,7 +644,7 @@ pub enum PortState {
 /// asserts `version + 1` (odd). At equal versions, dead wins. A device
 /// that hears itself declared dead re-asserts with `that version + 1`,
 /// so a live device always out-versions its obituary within one hello.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceView {
     /// Monotonic per-device version; higher wins, dead wins ties.
     pub version: u64,
@@ -617,7 +663,7 @@ impl DeviceView {
         if theirs.version > self.version
             || (theirs.version == self.version && self.alive && !theirs.alive)
         {
-            *self = *theirs;
+            self.clone_from(theirs);
             true
         } else {
             false
@@ -655,7 +701,7 @@ impl ActiveTree {
     ///
     /// Panics if `b` is out of range.
     pub fn forwarding(&self, b: usize) -> HostMask {
-        self.forwarding[b]
+        self.forwarding[b].clone()
     }
 
     /// The state of device `b`'s port on segment `s`.
@@ -883,7 +929,7 @@ mod tests {
         views[0] = DeviceView {
             version: 1,
             alive: false,
-            ports: views[0].ports,
+            ports: views[0].ports.clone(),
         };
         let a = t.elect(&[], &views, 1);
         assert_eq!(a.root(), Some(1));
@@ -937,6 +983,45 @@ mod tests {
             Some(0),
             "device 0 reaches segment 1 back through its surviving port"
         );
+    }
+
+    #[test]
+    fn incremental_election_matches_full_on_every_transition() {
+        // elect_from must agree with elect() bit-for-bit across a
+        // failure / partial-recovery / full-recovery cycle, wherever the
+        // previous tree comes from in that history.
+        let t = BridgeTopology::mesh2d(3, 3);
+        let healthy = t.fresh_views();
+        let mut broken = healthy.clone();
+        broken[4].version = 1;
+        broken[4].alive = false;
+        let mut degraded = healthy.clone();
+        degraded[2] = DeviceView {
+            version: 2,
+            alive: true,
+            ports: HostMask::single(*t.ports(2).first().unwrap()),
+        };
+        let states = [healthy, broken, degraded];
+        for observer in [0, 3, 7] {
+            let full: Vec<ActiveTree> = states.iter().map(|v| t.elect(&[], v, observer)).collect();
+            for (i, views) in states.iter().enumerate() {
+                // No previous tree: identical to the full election.
+                assert_eq!(t.elect_from(&[], views, observer, None), full[i]);
+                for prev in &full {
+                    assert_eq!(
+                        t.elect_from(&[], views, observer, Some(prev)),
+                        full[i],
+                        "observer {observer}, state {i}: incremental diverged"
+                    );
+                }
+            }
+        }
+        // A version-only change (hello chatter) re-elects the same tree
+        // through the fast path.
+        let mut chatter = states[0].clone();
+        chatter[1].version += 2;
+        let prev = t.elect(&[], &states[0], 0);
+        assert_eq!(t.elect_from(&[], &chatter, 0, Some(&prev)), prev);
     }
 
     #[test]

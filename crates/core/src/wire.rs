@@ -126,6 +126,20 @@ const TYPE_BRIDGE_PDU: u8 = 3;
 /// the decoder allocate.
 pub const MAX_PDU_VIEWS: usize = 1024;
 
+/// Upper bound on the mask words one encoded [`HostMask`] may claim
+/// (65 536 indices) — like [`MAX_PDU_VIEWS`], a decoder allocation cap
+/// against corrupt or hostile frames, far above any simulated fabric.
+pub const MAX_MASK_WORDS: usize = 1024;
+
+/// The words of `m` as they cross the wire: trailing zero words
+/// trimmed (an inline mask always carries two words in memory, but a
+/// sparse one need not pay for both on the wire).
+fn mask_wire_words(m: &crate::HostMask) -> &[u64] {
+    let ws = m.words();
+    let n = ws.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+    &ws[..n]
+}
+
 /// A Mether datagram.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Packet {
@@ -212,7 +226,16 @@ impl Packet {
         match self {
             Packet::PageRequest { .. } => 2 + 1 + 2 + 4 + 1 + 1,
             Packet::PageData { data, .. } => 2 + 1 + 2 + 4 + 1 + 8 + 3 + 4 + data.len(),
-            Packet::BridgePdu { views, .. } => 2 + 1 + 2 + 2 + 2 + views.len() * (8 + 1 + 16),
+            Packet::BridgePdu { views, .. } => {
+                2 + 1
+                    + 2
+                    + 2
+                    + 2
+                    + views
+                        .iter()
+                        .map(|v| 8 + 1 + 2 + mask_wire_words(&v.ports).len() * 8)
+                        .sum::<usize>()
+            }
         }
     }
 
@@ -291,10 +314,16 @@ impl Packet {
                 for v in views {
                     b.put_u64(v.version);
                     b.put_u8(u8::from(v.alive));
-                    // The 128-bit port mask crosses as two big-endian
-                    // u64 halves (high first).
-                    b.put_u64((v.ports.bits() >> 64) as u64);
-                    b.put_u64(v.ports.bits() as u64);
+                    // The variable-length port mask crosses as a word
+                    // count followed by that many big-endian u64 words,
+                    // lowest-indexed word first, trailing zero words
+                    // trimmed — a 16-segment device costs one word
+                    // where the old format always paid for 128 bits.
+                    let words = mask_wire_words(&v.ports);
+                    b.put_u16(words.len() as u16);
+                    for w in words {
+                        b.put_u64(*w);
+                    }
                 }
             }
         }
@@ -404,18 +433,22 @@ impl Packet {
                 if count > MAX_PDU_VIEWS {
                     return Err(Error::Decode(format!("pdu claims {count} views")));
                 }
-                need(buf, count * (8 + 1 + 16))?;
                 let mut views = Vec::with_capacity(count);
                 for _ in 0..count {
+                    need(buf, 8 + 1 + 2)?;
                     let version = buf.get_u64();
                     let alive = match buf.get_u8() {
                         0 => false,
                         1 => true,
                         a => return Err(Error::Decode(format!("bad alive flag {a}"))),
                     };
-                    let hi = buf.get_u64();
-                    let lo = buf.get_u64();
-                    let ports = HostMask::from_bits((u128::from(hi) << 64) | u128::from(lo));
+                    let nwords = buf.get_u16() as usize;
+                    if nwords > MAX_MASK_WORDS {
+                        return Err(Error::Decode(format!("port mask claims {nwords} words")));
+                    }
+                    need(buf, nwords * 8)?;
+                    let words: Vec<u64> = (0..nwords).map(|_| buf.get_u64()).collect();
+                    let ports = HostMask::from_words(&words);
                     views.push(DeviceView {
                         version,
                         alive,

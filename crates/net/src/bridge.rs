@@ -773,7 +773,7 @@ impl BridgePolicy {
     /// The device's live ports: physical ports minus failed links (per
     /// its own self-view).
     pub fn self_live_ports(&self) -> HostMask {
-        self.ports_mask.intersection(self.views[self.device].ports)
+        self.ports_mask.intersection(&self.views[self.device].ports)
     }
 
     /// The home segment of `page`.
@@ -846,7 +846,7 @@ impl BridgePolicy {
         let Some(f) = self.pages.get(page.index() as usize) else {
             return m;
         };
-        for seg in f.pinned_segs {
+        for seg in &f.pinned_segs {
             if let Some(p) = self.active.next_hop(self.device, seg) {
                 m.insert(p);
             }
@@ -1017,7 +1017,7 @@ impl BridgePolicy {
         }
         match pkt {
             Packet::PageRequest { page, want, .. } => {
-                let flood = fwd.without(in_port);
+                let flood = fwd.clone().without(in_port);
                 if self.routing == RequestRouting::Flood || *want == Want::Superset {
                     // Flood mode, and Superset requests always: any host
                     // still holding a full copy may answer a Superset
@@ -1044,7 +1044,7 @@ impl BridgePolicy {
                         if let Some(home) = self.home_port(*page) {
                             m.insert(home);
                         }
-                        m.intersection(fwd).without(in_port)
+                        m.intersection(&fwd).without(in_port)
                     }
                     // No belief yet: scoped flooding; the reply repairs
                     // the table.
@@ -1058,7 +1058,7 @@ impl BridgePolicy {
                 if let Some(port) = self.transfer_port(transfer_to) {
                     m.insert(port);
                 }
-                m.intersection(fwd).without(in_port)
+                m.intersection(&fwd).without(in_port)
             }
             Packet::BridgePdu { .. } => HostMask::EMPTY,
         }
@@ -1139,8 +1139,8 @@ impl BridgePolicy {
             // gossip.
             let shares: HostMask = self.topology.ports(d).iter().copied().collect();
             if shares
-                .intersection(self.views[d].ports)
-                .intersection(my_live)
+                .intersection(&self.views[d].ports)
+                .intersection(&my_live)
                 .is_empty()
             {
                 continue;
@@ -1193,15 +1193,22 @@ impl BridgePolicy {
     /// port whose role changed and arms the hold-down on ports that
     /// just started forwarding. Returns whether the tree changed.
     fn recompute(&mut self, now: SimTime) -> bool {
-        let new = self
-            .topology
-            .elect(&self.priorities, &self.views, self.device);
+        // Incremental: hello chatter re-elects constantly, and almost
+        // always lands on the identical tree — elect_from skips the
+        // per-destination table derivation whenever the forwarding
+        // ports match the active tree's.
+        let new = self.topology.elect_from(
+            &self.priorities,
+            &self.views,
+            self.device,
+            Some(&self.active),
+        );
         if new == self.active {
             return false;
         }
         let old_fwd = self.active.forwarding(self.device);
         let new_fwd = new.forwarding(self.device);
-        let changed_roles = HostMask::from_bits(old_fwd.bits() ^ new_fwd.bits());
+        let changed_roles = old_fwd.symmetric_difference(&new_fwd);
         for port in changed_roles {
             self.flush_port(port);
             if new_fwd.contains(port) {
@@ -1373,7 +1380,7 @@ impl Bridge {
             let exit = arrival.max(self.free_at) + self.cfg.forward_delay;
             self.free_at = exit;
             self.backlog.push_back(exit);
-            for dst in targets {
+            for dst in &targets {
                 out.push((dst, exit));
                 self.stats.forwarded += 1;
                 self.stats.bytes_forwarded += pkt.wire_size() as u64;
@@ -1517,6 +1524,14 @@ impl Fabric {
     /// Number of bridge devices.
     pub fn device_count(&self) -> usize {
         self.devices.len()
+    }
+
+    /// The per-device store-and-forward delay — every forwarded copy
+    /// exits its device at least this long after it arrived, which is
+    /// exactly the lookahead a conservative parallel event engine gets
+    /// to run the segments ahead independently.
+    pub fn forward_delay(&self) -> SimDuration {
+        self.cfg.bridge.forward_delay
     }
 
     /// Device `b` (its policy and counters).
@@ -1720,7 +1735,7 @@ impl Fabric {
                     // transient loop on a redundant wiring).
                     let prior = self.devices[d].stats();
                     let mut bridge = self
-                        .build_device(d, 2 * self.restarts[d], self.lost_ports[d])
+                        .build_device(d, 2 * self.restarts[d], self.lost_ports[d].clone())
                         .with_stats_base(prior);
                     bridge.policy_mut().rejoin(now);
                     self.devices[d] = bridge;

@@ -117,7 +117,7 @@ impl ClusterConfig {
     /// `n` nodes split over `segments` bridged fast LANs joined by a
     /// 1-bridge star (PR 3's wiring: flooded requests, sticky interest,
     /// striped homes). `segments == 1` builds a flat cluster — no
-    /// bridge thread, no 128-node mask cap — exactly as it always has.
+    /// bridge thread — exactly as it always has.
     pub fn segmented(n: usize, segments: usize) -> Self {
         ClusterConfig {
             fabric: (segments > 1).then(|| FabricConfig::star(segments)),
@@ -353,13 +353,13 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`mether_core::Error::InvalidConfig`] for a zero-node
-    /// cluster or an invalid segment layout (more segments than nodes,
-    /// or more nodes than the 128-host mask capacity when segmented).
+    /// cluster or an invalid segment layout (more segments than nodes).
+    /// There is no node-count cap: the snoop sets are variable-length
+    /// masks, so 1024-node fabrics lay out fine.
     ///
     /// A 1-segment fabric is normalised to the flat wiring: one LAN, no
-    /// bridge thread (a single-port device could only ever filter), and
-    /// no mask-capacity cap — so `segmented(n, 1)` keeps meaning what it
-    /// always has.
+    /// bridge thread (a single-port device could only ever filter) — so
+    /// `segmented(n, 1)` keeps meaning what it always has.
     pub fn new(cfg: ClusterConfig) -> mether_core::Result<Cluster> {
         if cfg.nodes == 0 {
             return Err(mether_core::Error::InvalidConfig(

@@ -65,6 +65,10 @@ use mether_net::{
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+mod par;
+
+pub use par::ParallelMode;
+
 /// How the deployment's hosts are wired together.
 #[derive(Debug, Clone, Default)]
 pub enum Topology {
@@ -180,11 +184,13 @@ pub struct RunOutcome {
 /// event heap — [`Recipients::AllExcept`] (flat networks: everyone
 /// snoops, the sender ignores its own frame) costs two words however
 /// many hosts share the segment, and [`Recipients::Subset`] (segmented
-/// networks: exactly one segment's members) is a u128 bitmask iterated
-/// in O(set bits). Fan-out order is ascending host index for every
-/// variant, which is what lets the delivery-mode and topology
-/// regression tests pin them to identical outcomes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// networks: exactly one segment's members) is a variable-length
+/// [`HostMask`] iterated in O(set bits) — clone-cheap inline up to 128
+/// hosts, a shared-buffer refcount bump beyond. Fan-out order is
+/// ascending host index for every variant, which is what lets the
+/// delivery-mode and topology regression tests pin them to identical
+/// outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Recipients {
     /// Every host on the (flat) network except the sender.
     AllExcept(usize),
@@ -204,16 +210,11 @@ impl Recipients {
     /// the mask's ascending order, so `Subset(AllExcept's mask)` and
     /// `AllExcept` are interchangeable (property-tested).
     ///
-    /// # Panics
-    ///
-    /// Panics if `n` exceeds [`HostMask::CAPACITY`] (the run loop fans
-    /// `AllExcept` out without materialising a mask, so flat deployments
-    /// beyond the mask capacity only hit this in diagnostics).
-    pub fn to_mask(self, n: usize) -> HostMask {
+    pub fn to_mask(&self, n: usize) -> HostMask {
         match self {
-            Recipients::AllExcept(sender) => HostMask::all_except(n, sender),
-            Recipients::One(h) => HostMask::single(h).intersection(HostMask::all_below(n)),
-            Recipients::Subset(m) => m.intersection(HostMask::all_below(n)),
+            Recipients::AllExcept(sender) => HostMask::all_except(n, *sender),
+            Recipients::One(h) => HostMask::single(*h).intersection(&HostMask::all_below(n)),
+            Recipients::Subset(m) => m.intersection(&HostMask::all_below(n)),
         }
     }
 }
@@ -292,13 +293,22 @@ enum EvKind {
 
 struct Ev {
     at: SimTime,
+    /// Cross-queue tie class at one instant: control-plane events are
+    /// tier 0, segment-local events tier `1 + segment`. On a flat
+    /// topology every event is tier 1, so the order stays pure
+    /// `(time, sequence)`. On a segmented one this is the rule a
+    /// lane-parallel execution realizes *by construction* (the control
+    /// plane runs between windows; pickups replay in segment order), so
+    /// the serial oracle adopts it too — exact-instant cross-lane ties
+    /// then resolve identically under both schedules.
+    tier: u16,
     seq: u64,
     kind: EvKind,
 }
 
 impl PartialEq for Ev {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.tier == other.tier && self.seq == other.seq
     }
 }
 impl Eq for Ev {}
@@ -310,7 +320,11 @@ impl PartialOrd for Ev {
 impl Ord for Ev {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then(other.tier.cmp(&self.tier))
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -341,8 +355,7 @@ pub struct Simulation {
     /// One delivery lane per segment: independent carrier state, loss
     /// RNG, and traffic counters. Flat deployments have exactly one.
     segments: Vec<EtherSim>,
-    /// Host→segment blocks; `None` on [`Topology::Flat`] (which also
-    /// lifts the 128-host mask capacity limit).
+    /// Host→segment blocks; `None` on [`Topology::Flat`].
     layout: Option<SegmentLayout>,
     /// The routed bridge fabric; `None` on flat networks.
     fabric: Option<Fabric>,
@@ -351,6 +364,9 @@ pub struct Simulation {
     now: SimTime,
     delivery: DeliveryMode,
     ev_stats: EventStats,
+    /// Events each lane executed during the last parallel run (empty
+    /// after a serial run) — the lane-balance diagnostic.
+    lane_events: Vec<u64>,
     /// Whether the per-device hello ticks have been seeded into the
     /// heap (once, at the first `run`; live election only).
     ticks_started: bool,
@@ -360,6 +376,9 @@ pub struct Simulation {
     /// hello interval however failure and revival interleave with the
     /// pending events.
     tick_epochs: Vec<u64>,
+    /// Serial oracle schedule or conservative lane-parallel execution
+    /// (see [`ParallelMode`]).
+    parallel: ParallelMode,
 }
 
 impl Simulation {
@@ -368,8 +387,7 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if `cfg.hosts` is zero, or if a [`Topology::Segmented`]
-    /// layout is invalid (zero segments, more segments than hosts, or
-    /// more hosts than [`HostMask::CAPACITY`]).
+    /// layout is invalid (zero segments, or more segments than hosts).
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.hosts > 0, "a simulation needs at least one host");
         let hosts: Vec<HostSim> = (0..cfg.hosts)
@@ -400,9 +418,19 @@ impl Simulation {
             now: SimTime::ZERO,
             delivery: DeliveryMode::default(),
             ev_stats: EventStats::default(),
+            lane_events: Vec::new(),
             ticks_started: false,
             tick_epochs,
+            parallel: ParallelMode::from_env(),
         }
+    }
+
+    /// Selects serial or lane-parallel execution (see [`ParallelMode`]).
+    /// Call before [`Simulation::run`]. Deployments the parallel engine
+    /// cannot partition (flat, single-segment, compat delivery, or a
+    /// zero forward-delay fabric) silently run the serial schedule.
+    pub fn set_parallel_mode(&mut self, mode: ParallelMode) {
+        self.parallel = mode;
     }
 
     /// Schedules a fabric failure/recovery event `at` sim time after the
@@ -432,6 +460,16 @@ impl Simulation {
     /// Event-heap traffic counters so far.
     pub fn event_stats(&self) -> EventStats {
         self.ev_stats
+    }
+
+    /// Events each per-segment lane executed during the last
+    /// [`ParallelMode::Workers`] run, indexed by segment; empty after a
+    /// serial run. `sum / max` over this slice is the parallelism the
+    /// deployment exposes to the worker pool (the critical-path bound a
+    /// multi-core host can approach), independent of how many cores the
+    /// measuring machine happens to have.
+    pub fn lane_event_counts(&self) -> &[u64] {
+        &self.lane_events
     }
 
     /// Adds an application process to `host`; returns its process index.
@@ -534,14 +572,54 @@ impl Simulation {
             .subscribe(page, seg);
     }
 
+    /// The event's tie class at one instant (see [`Ev::tier`]): 0 for
+    /// control-plane kinds, `1 + segment` for segment-local kinds, and
+    /// a single tier 1 on a flat topology (pure sequence order there).
+    fn tier_of(&self, kind: &EvKind) -> u16 {
+        let Some(layout) = self.layout else {
+            return match kind {
+                // Flat deployments have no fabric, but injected fabric
+                // events still sort ahead of host events for symmetry.
+                EvKind::BridgeTick { .. } | EvKind::ControlDeliver { .. } | EvKind::Fabric(_) => 0,
+                _ => 1,
+            };
+        };
+        let seg = match kind {
+            EvKind::BridgeTick { .. } | EvKind::ControlDeliver { .. } | EvKind::Fabric(_) => {
+                return 0;
+            }
+            EvKind::BurstEnd { host } | EvKind::Timer { host, .. } | EvKind::Retry { host, .. } => {
+                layout.segment_of(*host)
+            }
+            EvKind::BridgeForward { dst, .. } => *dst,
+            EvKind::Deliver { to, .. } => match to {
+                Recipients::One(h) => layout.segment_of(*h),
+                Recipients::Subset(mask) => {
+                    mask.into_iter().next().map_or(0, |h| layout.segment_of(h))
+                }
+                // The compat schedule's flat broadcast spans segments;
+                // it only exists on per-recipient mode, which the
+                // parallel engine refuses anyway.
+                Recipients::AllExcept(_) => 0,
+            },
+        };
+        1 + seg as u16
+    }
+
     fn push(&mut self, at: SimTime, kind: EvKind) {
+        let tier = self.tier_of(&kind);
         let seq = self.seq;
         self.seq += 1;
         self.ev_stats.heap_pushes += 1;
         if matches!(kind, EvKind::Deliver { .. }) {
             self.ev_stats.delivery_pushes += 1;
         }
-        self.events.push(Ev { at, seq, kind });
+        self.events.push(Ev {
+            at,
+            tier,
+            seq,
+            kind,
+        });
         self.ev_stats.max_heap_depth = self.ev_stats.max_heap_depth.max(self.events.len());
     }
 
@@ -693,7 +771,25 @@ impl Simulation {
     }
 
     /// Runs until every process is done or a limit trips.
+    ///
+    /// Under [`ParallelMode::Workers`] on an eligible segmented
+    /// deployment, the per-segment event lanes advance concurrently on
+    /// a worker pool (see [`ParallelMode`] for the synchronization
+    /// protocol and its divergence caveats); otherwise this is the
+    /// serial oracle schedule.
     pub fn run(&mut self, limits: RunLimits) -> RunOutcome {
+        match self.parallel {
+            ParallelMode::Workers(n) if n >= 2 && self.parallel_eligible() => {
+                self.run_parallel(limits, n)
+            }
+            _ => self.run_serial(limits),
+        }
+    }
+
+    /// The serial schedule: one global heap, events strictly in
+    /// `(time, tier, insertion sequence)` order — the determinism
+    /// oracle the parallel engine is validated against.
+    fn run_serial(&mut self, limits: RunLimits) -> RunOutcome {
         let deadline = SimTime::ZERO + limits.max_sim_time;
         let mut processed: u64 = 0;
         // Seed the per-device hello ticks once, at the first run: one
@@ -1006,6 +1102,7 @@ mod tests {
     fn ev(at_nanos: u64, seq: u64) -> Ev {
         Ev {
             at: SimTime::ZERO + SimDuration::from_nanos(at_nanos),
+            tier: 1,
             seq,
             kind: EvKind::BurstEnd { host: 0 },
         }

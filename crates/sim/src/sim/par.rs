@@ -1,0 +1,928 @@
+//! Conservative lane-parallel execution of the segmented event engine.
+//!
+//! # Why this is safe: the lookahead argument
+//!
+//! PR 3 gave every bridged segment an independent *delivery lane*: its
+//! own medium state, loss RNG, and traffic counters. The only way one
+//! segment's events influence another segment is through the bridge
+//! fabric, and every forwarded frame copy exits its store-and-forward
+//! device at `arrival.max(free_at) + forward_delay` — never less than
+//! `forward_delay` after the transmit that caused it. That bound is the
+//! *lookahead* of classic conservative parallel discrete-event
+//! simulation: all events in the window `[T, T + forward_delay)` can be
+//! processed lane-by-lane in parallel, because any cross-lane
+//! consequence of an event in the window lands at or after the
+//! window's end.
+//!
+//! # The protocol
+//!
+//! The coordinator repeatedly:
+//!
+//! 1. finds the globally earliest pending event time `T` and opens the
+//!    window `[T, min(T + forward_delay, next control event))`;
+//! 2. dispatches each lane with pending events to a worker pool; lanes
+//!    process their local heaps (burst ends, deliveries, timers,
+//!    retries, and bridge-forward arrivals) strictly in `(time, lane
+//!    sequence)` order, *deferring* every bridge interaction as a
+//!    recorded pickup;
+//! 3. at the barrier, replays the recorded pickups against the shared
+//!    fabric in global `(time, lane)` order — reproducing the serial
+//!    engine's interleaving of interest learning, store-and-forward
+//!    queueing, and fault RNG draws — and schedules the resulting
+//!    forwarded copies into their destination lanes (always at or
+//!    beyond the window end, per the lookahead bound);
+//! 4. runs the fabric control plane (hello ticks, control-frame
+//!    deliveries, injected failures) inline between windows, at its
+//!    exact event times.
+//!
+//! # Completion
+//!
+//! The serial engine stops the instant every application process is
+//! done — mid fan-out if need be — and abandons the rest of the heap.
+//! A lane cannot see the other lanes' processes, so it *pauses* at the
+//! first point where its own processes are all done (re-queueing an
+//! interrupted fan-out's remainder at its original heap position). At
+//! the barrier: if some lane is still unfinished, the run cannot have
+//! completed anywhere inside this window, so paused and already-done
+//! lanes simply catch up to the window end. If every lane is done, the
+//! completion moment is the *latest* pause `T*`; every other lane
+//! re-runs its remaining events strictly before `T*` (the events the
+//! serial schedule would still have processed) and the run finishes at
+//! `T*` exactly.
+//!
+//! # Tie-breaking and the shared oracle order
+//!
+//! A parallel execution cannot reconstruct a global insertion sequence
+//! across lanes, so cross-queue ties at one instant follow a *fixed*
+//! rule instead: control-plane events first, then lane events in
+//! ascending segment order (each lane internally by its own insertion
+//! sequence). The serial oracle sorts its one heap by the same
+//! `(time, tier, sequence)` key — see [`Ev::tier`](super::Ev) — so
+//! exact-instant cross-lane collisions (mirror-image workloads, ticks
+//! landing on transmits) resolve identically under both schedules and
+//! the determinism suite pins them byte-for-byte.
+//!
+//! Residual caveats: a forwarded copy is pushed into its destination
+//! lane at the window barrier rather than at its serial push point, so
+//! its *intra-lane* sequence can differ — observable only if the copy's
+//! exit collides with another event of the same lane at the exact same
+//! nanosecond. The `max_events` backstop is checked per window rather
+//! than per event, and [`EventStats`] (diagnostic only) reflects
+//! per-lane accounting.
+
+use super::{DeliveryMode, Ev, EvKind, EventStats, Recipients, RunLimits, RunOutcome, Simulation};
+use crate::host::{HostAction, HostSim};
+use mether_core::{HostMask, Packet, SegmentLayout};
+use mether_net::{ControlOut, EtherSim, Fabric, FabricEvent, SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// How [`Simulation::run`] schedules its event processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelMode {
+    /// One global event heap, one thread, events strictly in
+    /// `(time, tier, insertion sequence)` order — the determinism
+    /// oracle.
+    #[default]
+    Serial,
+    /// Per-segment event lanes advance concurrently on a pool of this
+    /// many worker threads, synchronized conservatively with lookahead
+    /// equal to the bridge forward delay (see the module docs).
+    /// Requires an eligible deployment (segmented, ≥ 2 segments,
+    /// non-zero forward delay, per-transit delivery); anything else
+    /// falls back to the serial schedule. `Workers(0)` and `Workers(1)`
+    /// are the serial schedule by definition.
+    Workers(usize),
+}
+
+impl ParallelMode {
+    /// The *default* mode for freshly built simulations: `Serial`
+    /// unless the `METHER_WORKERS` environment variable names a worker
+    /// count ≥ 2 — the hook CI uses to sweep the whole test suite
+    /// through the lane-parallel engine (every eligible deployment goes
+    /// parallel; byte-identity with the serial oracle makes that
+    /// invisible). An explicit [`Simulation::set_parallel_mode`] always
+    /// wins over the environment.
+    pub(crate) fn from_env() -> ParallelMode {
+        match std::env::var("METHER_WORKERS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 2 => ParallelMode::Workers(n),
+                _ => ParallelMode::Serial,
+            },
+            Err(_) => ParallelMode::Serial,
+        }
+    }
+}
+
+/// Immutable facts every lane needs while processing a window.
+#[derive(Clone, Copy)]
+struct Env {
+    layout: SegmentLayout,
+    total_hosts: usize,
+    has_fabric: bool,
+}
+
+/// A deferred bridge interaction: the fabric hears this frame at the
+/// barrier, in global time order, exactly as the serial engine would
+/// have fed it at event-pop time.
+struct Pickup {
+    /// The event-pop time the serial engine would have called the
+    /// fabric at (the replay sort key).
+    t: SimTime,
+    /// The segment the frame was transmitted on.
+    seg: usize,
+    /// When the frame lands on the wire (`delivered_at`).
+    arrival: SimTime,
+    pkt: Arc<Packet>,
+    kind: PickupKind,
+}
+
+enum PickupKind {
+    /// A host transmit the segment's bridge devices snoop.
+    Fresh,
+    /// A forwarded copy offered onward to the other devices, excluding
+    /// the device that forwarded it.
+    Forwarded { from: usize },
+}
+
+/// A lane-local event; mirrors the serial [`EvKind`] variants that are
+/// local to one segment.
+enum LKind {
+    BurstEnd {
+        host: usize,
+    },
+    Deliver {
+        mask: HostMask,
+        pkt: Arc<Packet>,
+    },
+    /// A forwarded copy exits its device toward this lane's segment.
+    BridgeForward {
+        from: usize,
+        pkt: Arc<Packet>,
+    },
+    Timer {
+        host: usize,
+        proc: usize,
+    },
+    Retry {
+        host: usize,
+        proc: usize,
+        epoch: u64,
+    },
+}
+
+struct LEv {
+    at: SimTime,
+    seq: u64,
+    kind: LKind,
+}
+
+impl PartialEq for LEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for LEv {}
+impl PartialOrd for LEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: earliest-first out of std's max-heap.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// How a lane left its last dispatched window.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WindowExit {
+    /// Processed everything below the window end.
+    Ran,
+    /// Paused at the instant its own processes all finished.
+    Paused(SimTime),
+}
+
+/// One segment's share of the deployment: its hosts, its medium, and
+/// its event heap.
+struct Lane {
+    seg: usize,
+    /// Global index of the lane's first host (the layout's blocks are
+    /// contiguous).
+    lo: usize,
+    hosts: Vec<HostSim>,
+    ether: EtherSim,
+    heap: BinaryHeap<LEv>,
+    seq: u64,
+    now: SimTime,
+    processed: u64,
+    stats: EventStats,
+    /// Bridge interactions recorded this window, in processing order
+    /// (time-nondecreasing within the lane).
+    pickups: Vec<Pickup>,
+    exit: WindowExit,
+}
+
+impl Lane {
+    fn push(&mut self, at: SimTime, kind: LKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.heap_pushes += 1;
+        if matches!(kind, LKind::Deliver { .. }) {
+            self.stats.delivery_pushes += 1;
+        }
+        self.heap.push(LEv { at, seq, kind });
+        self.stats.max_heap_depth = self.stats.max_heap_depth.max(self.heap.len());
+    }
+
+    fn all_done(&self) -> bool {
+        self.hosts.iter().all(HostSim::all_done)
+    }
+
+    fn next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn kick(&mut self, host: usize) {
+        let i = host - self.lo;
+        if let Some(end) = self.hosts[i].dispatch(self.now) {
+            self.push(end, LKind::BurstEnd { host });
+        }
+        for (proc, wake_at) in self.hosts[i].take_sleeps() {
+            self.push(wake_at, LKind::Timer { host, proc });
+        }
+        for (proc, fire_at, epoch) in self.hosts[i].take_retries() {
+            self.push(fire_at, LKind::Retry { host, proc, epoch });
+        }
+    }
+
+    /// Mirrors [`Simulation::apply`] for this lane's segment: clock the
+    /// frame out on the lane's own medium, schedule the segment-masked
+    /// delivery, and record (not apply) the bridge pickup.
+    fn apply(&mut self, actions: Vec<HostAction>, env: &Env) {
+        for a in actions {
+            match a {
+                HostAction::Transmit(pkt) => {
+                    let from = pkt.from().0 as usize;
+                    let tx = self.ether.transmit(self.now, &pkt);
+                    if let Some(at) = tx.delivered_at {
+                        if env.total_hosts <= 1 {
+                            continue; // nobody anywhere to snoop
+                        }
+                        self.stats.transits += 1;
+                        let shared = Arc::new(pkt);
+                        let mask = env.layout.members(self.seg).without(from);
+                        if !mask.is_empty() {
+                            self.push(
+                                at,
+                                LKind::Deliver {
+                                    mask,
+                                    pkt: Arc::clone(&shared),
+                                },
+                            );
+                        }
+                        if env.has_fabric {
+                            self.pickups.push(Pickup {
+                                t: self.now,
+                                seg: self.seg,
+                                arrival: at,
+                                pkt: shared,
+                                kind: PickupKind::Fresh,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes this lane's events strictly before `until`.
+    ///
+    /// With `pausing` set (phase 1: the lane's own processes are not
+    /// yet all done), the lane stops at its own completion transition —
+    /// mid fan-out if that is where it happens, re-queueing the
+    /// remainder at the interrupted event's original heap position so a
+    /// later resume continues exactly there.
+    fn run_window(&mut self, until: SimTime, pausing: bool, env: &Env) {
+        self.exit = WindowExit::Ran;
+        while self.heap.peek().is_some_and(|e| e.at < until) {
+            let ev = self.heap.pop().expect("peeked");
+            self.now = ev.at;
+            self.processed += 1;
+            match ev.kind {
+                LKind::BurstEnd { host } => {
+                    let actions = self.hosts[host - self.lo].finish_burst(self.now);
+                    self.apply(actions, env);
+                    self.kick(host);
+                }
+                LKind::Deliver { mask, pkt } => {
+                    // Ascending host order, pausing at the lane's own
+                    // completion just as the serial fan-out breaks at
+                    // the global one.
+                    let mut remaining = mask.clone();
+                    for h in &mask {
+                        remaining.remove(h);
+                        self.hosts[h - self.lo].deliver_packet(self.now, Arc::clone(&pkt));
+                        self.kick(h);
+                        if pausing && self.all_done() {
+                            if !remaining.is_empty() {
+                                self.heap.push(LEv {
+                                    at: ev.at,
+                                    seq: ev.seq,
+                                    kind: LKind::Deliver {
+                                        mask: remaining,
+                                        pkt,
+                                    },
+                                });
+                            }
+                            self.exit = WindowExit::Paused(ev.at);
+                            return;
+                        }
+                    }
+                    continue; // completion already checked per recipient
+                }
+                LKind::BridgeForward { from, pkt } => {
+                    let tx = self.ether.transmit(self.now, &pkt);
+                    if let Some(at) = tx.delivered_at {
+                        let mask = env.layout.members(self.seg);
+                        self.push(
+                            at,
+                            LKind::Deliver {
+                                mask,
+                                pkt: Arc::clone(&pkt),
+                            },
+                        );
+                        if env.has_fabric {
+                            self.pickups.push(Pickup {
+                                t: self.now,
+                                seg: self.seg,
+                                arrival: at,
+                                pkt,
+                                kind: PickupKind::Forwarded { from },
+                            });
+                        }
+                    }
+                }
+                LKind::Timer { host, proc } => {
+                    self.hosts[host - self.lo].timer_fired(proc);
+                    self.kick(host);
+                }
+                LKind::Retry { host, proc, epoch } => {
+                    if self.hosts[host - self.lo].retry_fired(proc, epoch) {
+                        self.kick(host);
+                    }
+                }
+            }
+            if pausing && self.all_done() {
+                self.exit = WindowExit::Paused(self.now);
+                return;
+            }
+        }
+    }
+}
+
+/// One unit of worker-pool work: run `lane`'s window up to `until`.
+struct Task {
+    lane: usize,
+    until: SimTime,
+    pausing: bool,
+}
+
+/// The control plane the coordinator runs between windows.
+struct Ctrl<'a> {
+    heap: BinaryHeap<Ev>,
+    seq: u64,
+    stats: EventStats,
+    processed: u64,
+    fabric: Option<&'a mut Fabric>,
+    tick_epochs: &'a mut [u64],
+}
+
+impl Ctrl<'_> {
+    fn push(&mut self, at: SimTime, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.heap_pushes += 1;
+        // Control events are tier 0 by definition (see [`Ev::tier`]).
+        self.heap.push(Ev {
+            at,
+            tier: 0,
+            seq,
+            kind,
+        });
+        self.stats.max_heap_depth = self.stats.max_heap_depth.max(self.heap.len());
+    }
+
+    fn transmit_control(&mut self, now: SimTime, out: ControlOut, lanes: &[Mutex<Lane>]) {
+        let pkt = Arc::new(out.pkt);
+        let tx = lanes[out.seg].lock().ether.transmit(now, &pkt);
+        if let Some(at) = tx.delivered_at {
+            self.stats.control_pushes += 1;
+            self.push(
+                at,
+                EvKind::ControlDeliver {
+                    seg: out.seg,
+                    from: out.device,
+                    pkt,
+                },
+            );
+        }
+    }
+
+    /// Processes every control event queued at exactly `now`; mirrors
+    /// the corresponding arms of the serial run loop.
+    fn run_instant(&mut self, now: SimTime, lanes: &[Mutex<Lane>]) {
+        while self.heap.peek().is_some_and(|e| e.at == now) {
+            let ev = self.heap.pop().expect("peeked");
+            self.processed += 1;
+            match ev.kind {
+                EvKind::BridgeTick { device, epoch } => {
+                    if self.tick_epochs[device] != epoch {
+                        continue; // an orphaned chain (the device died)
+                    }
+                    let Some(fabric) = self.fabric.as_deref_mut() else {
+                        continue;
+                    };
+                    if fabric.is_dead(device) {
+                        continue; // BridgeUp reseeds
+                    }
+                    let outs = fabric.tick(device, now);
+                    let interval = fabric.election().hello_interval();
+                    for out in outs {
+                        self.transmit_control(now, out, lanes);
+                    }
+                    if let Some(interval) = interval {
+                        self.stats.control_pushes += 1;
+                        self.push(now + interval, EvKind::BridgeTick { device, epoch });
+                    }
+                }
+                EvKind::ControlDeliver { seg, from, pkt } => {
+                    let outs = self
+                        .fabric
+                        .as_deref_mut()
+                        .map(|f| f.hear_control(&pkt, seg, now, from))
+                        .unwrap_or_default();
+                    for out in outs {
+                        self.transmit_control(now, out, lanes);
+                    }
+                }
+                EvKind::Fabric(fev) => {
+                    if let Some(fabric) = self.fabric.as_deref_mut() {
+                        let was_dead = match fev {
+                            FabricEvent::BridgeDown(d) | FabricEvent::BridgeUp(d) => {
+                                fabric.is_dead(d)
+                            }
+                            FabricEvent::LinkDown { .. } => false,
+                        };
+                        fabric.apply_event(fev, now);
+                        match fev {
+                            FabricEvent::BridgeDown(d) if !was_dead => {
+                                self.tick_epochs[d] += 1;
+                            }
+                            FabricEvent::BridgeUp(device) if was_dead => {
+                                self.tick_epochs[device] += 1;
+                                let epoch = self.tick_epochs[device];
+                                if let Some(interval) = fabric.election().hello_interval() {
+                                    self.stats.control_pushes += 1;
+                                    self.push(now + interval, EvKind::BridgeTick { device, epoch });
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                // Lane-local kinds never enter the control heap.
+                _ => unreachable!("lane event in the control heap"),
+            }
+        }
+    }
+
+    /// Replays every bridge interaction the lanes recorded this window
+    /// against the shared fabric, in global `(time, lane)` order, and
+    /// schedules the resulting forwarded copies into their destination
+    /// lanes. The lookahead bound guarantees every scheduled exit lands
+    /// at or beyond the window end.
+    fn replay_pickups(&mut self, lanes: &[Mutex<Lane>]) {
+        let mut all: Vec<(usize, Pickup)> = Vec::new();
+        for (i, lane) in lanes.iter().enumerate() {
+            let mut lane = lane.lock();
+            all.extend(lane.pickups.drain(..).map(|p| (i, p)));
+        }
+        if all.is_empty() {
+            return;
+        }
+        // Stable: within a lane the recorded order is the processing
+        // (time) order, so (t, lane) reproduces the serial interleaving
+        // up to exact-instant cross-lane ties.
+        all.sort_by_key(|(lane, p)| (p.t, *lane));
+        let Some(fabric) = self.fabric.as_deref_mut() else {
+            return;
+        };
+        for (_, p) in all {
+            let fws = match p.kind {
+                PickupKind::Fresh => fabric.pickup(&p.pkt, p.seg, p.arrival),
+                PickupKind::Forwarded { from } => {
+                    fabric.pickup_forwarded(&p.pkt, p.seg, p.arrival, from)
+                }
+            };
+            for fw in fws {
+                self.stats.bridge_pushes += 1;
+                lanes[fw.dst].lock().push(
+                    fw.exit,
+                    LKind::BridgeForward {
+                        from: fw.device,
+                        pkt: Arc::clone(&p.pkt),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Sends `batch` to the pool and waits for every task to complete; a
+/// single-task batch runs inline on the coordinator instead (the window
+/// has no parallelism to exploit, so skip the channel round-trip).
+fn run_batch(
+    lanes: &[Mutex<Lane>],
+    env: &Env,
+    task_tx: &crossbeam::channel::Sender<Task>,
+    done_rx: &crossbeam::channel::Receiver<()>,
+    batch: Vec<Task>,
+) {
+    if batch.len() == 1 {
+        let t = &batch[0];
+        lanes[t.lane].lock().run_window(t.until, t.pausing, env);
+        return;
+    }
+    let n = batch.len();
+    for t in batch {
+        let _ = task_tx.send(t);
+    }
+    for _ in 0..n {
+        let _ = done_rx.recv();
+    }
+}
+
+impl Simulation {
+    /// Whether this deployment can run the lane-parallel schedule: it
+    /// needs at least two segments (otherwise there is nothing to
+    /// partition), a fabric with non-zero forward delay (the lookahead),
+    /// per-transit delivery (the compat schedule exists only to pin the
+    /// serial oracle), and at least one unfinished process (the serial
+    /// loop's degenerate start-up semantics are not worth replicating).
+    pub(super) fn parallel_eligible(&self) -> bool {
+        self.layout.is_some()
+            && self.segments.len() >= 2
+            && self.delivery == DeliveryMode::PerTransit
+            && self
+                .fabric
+                .as_ref()
+                .is_some_and(|f| f.forward_delay() > SimDuration::ZERO)
+            && !self.hosts.iter().all(HostSim::all_done)
+    }
+
+    /// The conservative lane-parallel run loop (see the module docs for
+    /// the protocol). Only called on an eligible deployment.
+    pub(super) fn run_parallel(&mut self, limits: RunLimits, workers: usize) -> RunOutcome {
+        let layout = self.layout.expect("eligibility checked");
+        let env = Env {
+            layout,
+            total_hosts: self.hosts.len(),
+            has_fabric: self.fabric.is_some(),
+        };
+        let lookahead = self
+            .fabric
+            .as_ref()
+            .map(Fabric::forward_delay)
+            .expect("eligibility checked");
+        let deadline = SimTime::ZERO + limits.max_sim_time;
+
+        // Seed the per-device hello ticks exactly as the serial engine
+        // would, then partition the queued events.
+        if !self.ticks_started {
+            self.ticks_started = true;
+            if let Some(fabric) = self.fabric.as_ref() {
+                if let Some(interval) = fabric.election().hello_interval() {
+                    for device in 0..fabric.device_count() {
+                        let epoch = self.tick_epochs[device];
+                        self.ev_stats.control_pushes += 1;
+                        self.push(self.now + interval, EvKind::BridgeTick { device, epoch });
+                    }
+                }
+            }
+        }
+
+        // Partition hosts (contiguous layout blocks) and media into
+        // lanes.
+        let nseg = self.segments.len();
+        let mut host_pool = std::mem::take(&mut self.hosts);
+        let mut blocks: Vec<Vec<HostSim>> = Vec::with_capacity(nseg);
+        for seg in (0..nseg).rev() {
+            blocks.push(host_pool.split_off(layout.members_range(seg).start));
+        }
+        blocks.reverse();
+        let ethers = std::mem::take(&mut self.segments);
+        let lanes: Vec<Mutex<Lane>> = ethers
+            .into_iter()
+            .zip(blocks)
+            .enumerate()
+            .map(|(seg, (ether, hosts))| {
+                Mutex::new(Lane {
+                    seg,
+                    lo: layout.members_range(seg).start,
+                    hosts,
+                    ether,
+                    heap: BinaryHeap::new(),
+                    seq: 0,
+                    now: self.now,
+                    processed: 0,
+                    stats: EventStats::default(),
+                    pickups: Vec::new(),
+                    exit: WindowExit::Ran,
+                })
+            })
+            .collect();
+
+        // Route queued events (fabric injections; a previous run's
+        // leftovers) to their owning queue, preserving order.
+        let mut fabric = self.fabric.take();
+        let mut tick_epochs = std::mem::take(&mut self.tick_epochs);
+        let mut ctrl = Ctrl {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            stats: EventStats::default(),
+            processed: 0,
+            fabric: fabric.as_mut(),
+            tick_epochs: &mut tick_epochs,
+        };
+        let mut queued: Vec<Ev> = std::mem::take(&mut self.events).drain().collect();
+        queued.sort_by_key(|e| (e.at, e.tier, e.seq));
+        for ev in queued {
+            match ev.kind {
+                EvKind::BurstEnd { host } => {
+                    lanes[layout.segment_of(host)]
+                        .lock()
+                        .push(ev.at, LKind::BurstEnd { host });
+                }
+                EvKind::Timer { host, proc } => {
+                    lanes[layout.segment_of(host)]
+                        .lock()
+                        .push(ev.at, LKind::Timer { host, proc });
+                }
+                EvKind::Retry { host, proc, epoch } => {
+                    lanes[layout.segment_of(host)]
+                        .lock()
+                        .push(ev.at, LKind::Retry { host, proc, epoch });
+                }
+                EvKind::Deliver { to, pkt } => {
+                    // Leftover deliveries land as segment-local masks;
+                    // a mask from the serial engine is always one
+                    // segment's members.
+                    let mask = to.to_mask(env.total_hosts);
+                    for (seg, lane) in lanes.iter().enumerate().take(nseg) {
+                        let local = mask.intersection(&layout.members(seg));
+                        if !local.is_empty() {
+                            lane.lock().push(
+                                ev.at,
+                                LKind::Deliver {
+                                    mask: local,
+                                    pkt: Arc::clone(&pkt),
+                                },
+                            );
+                        }
+                    }
+                }
+                EvKind::BridgeForward { from, dst, pkt } => {
+                    lanes[dst]
+                        .lock()
+                        .push(ev.at, LKind::BridgeForward { from, pkt });
+                }
+                EvKind::BridgeTick { .. } | EvKind::ControlDeliver { .. } | EvKind::Fabric(_) => {
+                    ctrl.push(ev.at, ev.kind);
+                }
+            }
+        }
+
+        // Initial dispatch, same order as the serial loop: ascending
+        // host index (lanes are contiguous ascending blocks).
+        for lane in &lanes {
+            let mut lane = lane.lock();
+            for host in lane.lo..lane.lo + lane.hosts.len() {
+                lane.kick(host);
+            }
+        }
+
+        let mut finished = false;
+        let mut final_now = self.now;
+        let pool_size = workers.min(nseg).max(1);
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<Task>();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<()>();
+        let lanes_ref = &lanes;
+        let env_ref = &env;
+        std::thread::scope(|s| {
+            for _ in 0..pool_size {
+                let task_rx = &task_rx;
+                let done_tx = &done_tx;
+                s.spawn(move || {
+                    while let Ok(t) = task_rx.recv() {
+                        lanes_ref[t.lane]
+                            .lock()
+                            .run_window(t.until, t.pausing, env_ref);
+                        if done_tx.send(()).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            let task_tx = task_tx; // moved in: dropped on loop exit, stopping the pool
+            loop {
+                // The globally earliest pending event.
+                let mut next_lane: Option<SimTime> = None;
+                for lane in lanes_ref {
+                    if let Some(t) = lane.lock().next_at() {
+                        next_lane = Some(next_lane.map_or(t, |m| m.min(t)));
+                    }
+                }
+                let next_ctrl = ctrl.heap.peek().map(|e| e.at);
+                let Some(next) = [next_lane, next_ctrl].into_iter().flatten().min() else {
+                    break; // both queues drained
+                };
+                if next > deadline {
+                    final_now = final_now.max(next);
+                    break;
+                }
+                let mut processed_total = ctrl.processed;
+                for lane in lanes_ref {
+                    processed_total += lane.lock().processed;
+                }
+                if processed_total >= limits.max_events {
+                    final_now = final_now.max(next);
+                    break;
+                }
+                // Control plane first at an equal instant (serial ties
+                // resolve by sequence; see the module docs).
+                if next_ctrl.is_some_and(|c| c <= next_lane.unwrap_or(c)) {
+                    let c = next_ctrl.expect("checked");
+                    ctrl.run_instant(c, lanes_ref);
+                    final_now = final_now.max(c);
+                    continue;
+                }
+                // Open the window.
+                let mut t_end = next + lookahead;
+                if let Some(c) = next_ctrl {
+                    t_end = t_end.min(c);
+                }
+                t_end = t_end.min(deadline + SimDuration::from_nanos(1));
+                // Phase 1: lanes with unfinished processes run ahead,
+                // pausing at their own completion transition.
+                let mut batch = Vec::new();
+                for (i, lane) in lanes_ref.iter().enumerate() {
+                    let lane = lane.lock();
+                    if !lane.all_done() && lane.next_at().is_some_and(|t| t < t_end) {
+                        batch.push(Task {
+                            lane: i,
+                            until: t_end,
+                            pausing: true,
+                        });
+                    }
+                }
+                run_batch(lanes_ref, env_ref, &task_tx, &done_rx, batch);
+                let mut all_done = true;
+                let mut paused: Vec<(usize, SimTime)> = Vec::new();
+                for (i, lane) in lanes_ref.iter().enumerate() {
+                    let mut lane = lane.lock();
+                    if let WindowExit::Paused(at) = lane.exit {
+                        paused.push((i, at));
+                        lane.exit = WindowExit::Ran;
+                    }
+                    if !lane.all_done() {
+                        all_done = false;
+                    }
+                    final_now = final_now.max(lane.now);
+                }
+                if all_done {
+                    // The run completed inside this window, at the last
+                    // lane's transition. Other lanes re-run the events
+                    // the serial schedule would still have processed
+                    // (strictly before T*), then everything stops.
+                    let (completer, t_star) = paused
+                        .iter()
+                        .copied()
+                        .max_by_key(|&(i, at)| (at, i))
+                        .expect("an all-done barrier follows a completion transition");
+                    let mut batch = Vec::new();
+                    for (i, lane) in lanes_ref.iter().enumerate() {
+                        if i == completer {
+                            continue;
+                        }
+                        if lane.lock().next_at().is_some_and(|t| t < t_star) {
+                            batch.push(Task {
+                                lane: i,
+                                until: t_star,
+                                pausing: false,
+                            });
+                        }
+                    }
+                    run_batch(lanes_ref, env_ref, &task_tx, &done_rx, batch);
+                    ctrl.replay_pickups(lanes_ref);
+                    final_now = t_star;
+                    finished = true;
+                    break;
+                }
+                // Phase 2: some lane is still unfinished, so nothing
+                // stops inside this window — paused and already-done
+                // lanes catch up to the window end.
+                let mut batch = Vec::new();
+                for (i, lane) in lanes_ref.iter().enumerate() {
+                    let lane = lane.lock();
+                    if lane.all_done() && lane.next_at().is_some_and(|t| t < t_end) {
+                        batch.push(Task {
+                            lane: i,
+                            until: t_end,
+                            pausing: false,
+                        });
+                    }
+                }
+                if !batch.is_empty() {
+                    run_batch(lanes_ref, env_ref, &task_tx, &done_rx, batch);
+                    for lane in lanes_ref {
+                        final_now = final_now.max(lane.lock().now);
+                    }
+                }
+                ctrl.replay_pickups(lanes_ref);
+            }
+        });
+
+        // Reassemble the deployment: hosts and media back in place,
+        // remaining events re-merged in `(time, tier, sequence)` order —
+        // the engine's cross-queue tie rule.
+        let mut processed_total = ctrl.processed;
+        let mut leftovers: Vec<(SimTime, u16, u64, usize, LKind)> = Vec::new();
+        self.lane_events.clear();
+        for (i, lane) in lanes.into_iter().enumerate() {
+            let mut lane = lane.into_inner();
+            processed_total += lane.processed;
+            self.lane_events.push(lane.processed);
+            self.ev_stats.heap_pushes += lane.stats.heap_pushes;
+            self.ev_stats.delivery_pushes += lane.stats.delivery_pushes;
+            self.ev_stats.bridge_pushes += lane.stats.bridge_pushes;
+            self.ev_stats.control_pushes += lane.stats.control_pushes;
+            self.ev_stats.transits += lane.stats.transits;
+            self.ev_stats.max_heap_depth =
+                self.ev_stats.max_heap_depth.max(lane.stats.max_heap_depth);
+            for ev in lane.heap.drain() {
+                leftovers.push((ev.at, 1 + i as u16, ev.seq, lane.seg, ev.kind));
+            }
+            self.hosts.append(&mut lane.hosts);
+            self.segments.push(lane.ether);
+        }
+        self.ev_stats.heap_pushes += ctrl.stats.heap_pushes;
+        self.ev_stats.bridge_pushes += ctrl.stats.bridge_pushes;
+        self.ev_stats.control_pushes += ctrl.stats.control_pushes;
+        self.ev_stats.max_heap_depth = self.ev_stats.max_heap_depth.max(ctrl.stats.max_heap_depth);
+        let mut merged: Vec<(SimTime, u16, u64, EvKind)> = Vec::new();
+        for ev in ctrl.heap.drain() {
+            merged.push((ev.at, 0, ev.seq, ev.kind));
+        }
+        for (at, tier, seq, seg, kind) in leftovers {
+            let kind = match kind {
+                LKind::BurstEnd { host } => EvKind::BurstEnd { host },
+                LKind::Deliver { mask, pkt } => EvKind::Deliver {
+                    to: Recipients::Subset(mask),
+                    pkt,
+                },
+                LKind::BridgeForward { from, pkt } => EvKind::BridgeForward {
+                    from,
+                    dst: seg,
+                    pkt,
+                },
+                LKind::Timer { host, proc } => EvKind::Timer { host, proc },
+                LKind::Retry { host, proc, epoch } => EvKind::Retry { host, proc, epoch },
+            };
+            merged.push((at, tier, seq, kind));
+        }
+        merged.sort_by_key(|&(at, tier, seq, _)| (at, tier, seq));
+        for (at, _, _, kind) in merged {
+            let tier = self.tier_of(&kind);
+            let seq = self.seq;
+            self.seq += 1;
+            self.events.push(Ev {
+                at,
+                tier,
+                seq,
+                kind,
+            });
+        }
+        drop(ctrl);
+        self.fabric = fabric;
+        self.tick_epochs = tick_epochs;
+        self.now = final_now;
+        RunOutcome {
+            finished,
+            wall: final_now - SimTime::ZERO,
+            events: processed_total,
+        }
+    }
+}

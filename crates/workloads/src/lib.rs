@@ -21,6 +21,7 @@ pub mod counting;
 pub mod fabric;
 pub mod protocols;
 pub mod publisher;
+pub mod scale;
 pub mod segments;
 pub mod solver;
 
@@ -34,6 +35,10 @@ pub use fabric::{
 };
 pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
 pub use publisher::{build_publisher_sim, Publisher};
+pub use scale::{
+    build_migration_storm, build_scaled_fabric, run_migration_storm, ScaleConfig, StormConfig,
+    StormPoint,
+};
 pub use segments::{
     build_cross_segment_counting, build_fabric_readers, build_segmented_counting_pairs,
     build_segmented_publisher, build_segmented_solver, build_segmented_solver_on, run_segmented,

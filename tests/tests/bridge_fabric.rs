@@ -153,7 +153,7 @@ proptest! {
                 let ports: HostMask = t.ports(d).iter().copied().collect();
                 let targets = policy.route(&pkt, seg, now);
                 prop_assert!(!targets.contains(seg), "never out the incoming port");
-                prop_assert!(targets.intersection(ports) == targets, "only real ports");
+                prop_assert!(targets.intersection(&ports) == targets, "only real ports");
             }
         }
     }

@@ -1,0 +1,301 @@
+//! Parallel-vs-serial determinism: the lane-parallel engine must be a
+//! drop-in replacement for the serial oracle schedule.
+//!
+//! For every segmented protocol workload here — counting P1/P5
+//! stretched across a segment boundary, mirror-image counting pairs
+//! (the harshest tie workload: both pairs hit the bridge at identical
+//! nanoseconds), the distributed solver with one rank per segment (dry
+//! and lossy), and the ring-failover experiment (live election, an
+//! injected root death, fault retries) — [`ParallelMode::Workers`]`(4)`
+//! must produce **byte-identical final page states and metrics** to
+//! [`ParallelMode::Serial`]: same page bytes, generations and holders
+//! on every host, same virtual wall clock, CPU split, context switches,
+//! fault latencies, traffic and bridge counters. The fingerprint is the
+//! same flattening the delivery-mode regression suite uses, extended
+//! with the per-segment and bridge counters the parallel engine
+//! partitions.
+//!
+//! Schedule diversity comes from varied compute-spin lengths (which
+//! shift every burst boundary) and lossy-ether seeds where the workload
+//! tolerates loss; the cross-bridge counting workloads run lossless
+//! because a lost transfer wedges them under the *serial* engine too —
+//! a protocol property, not an engine one.
+
+use mether_core::PageId;
+use mether_net::SimDuration;
+use mether_sim::{
+    ParallelMode, ProtocolMetrics, RunLimits, RunOutcome, SimConfig, Simulation, Topology,
+};
+use mether_workloads::{
+    build_counting, build_ring_failover, build_segmented_counting_pairs, build_segmented_solver,
+    CountingConfig, FailoverConfig, Protocol, SolverConfig, SolverWorker,
+};
+
+/// FNV-1a over a byte slice — cheap, deterministic content digest.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Everything observable about a finished simulation, flattened to a
+/// comparable string (floats via `to_bits` so NaN ratios compare).
+fn fingerprint(sim: &Simulation, m: &ProtocolMetrics, outcome: RunOutcome) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for h in 0..sim.host_count() {
+        let host = sim.host(h);
+        writeln!(
+            out,
+            "host{h}: ctx={} server_ns={} latencies={:?} heard={} max_q={}",
+            host.ctx_switches,
+            host.server_time.as_nanos(),
+            host.fault_latencies
+                .iter()
+                .map(|d| d.as_nanos())
+                .collect::<Vec<_>>(),
+            host.frames_heard,
+            host.max_server_queue,
+        )
+        .unwrap();
+        writeln!(out, "  table_stats={:?}", host.table.stats()).unwrap();
+        for page in host.table.tracked_pages() {
+            let buf = host.table.page_buf(page);
+            writeln!(
+                out,
+                "  page{}: gen={:?} holder={} locked={} valid={:?} digest={:016x}",
+                page.index(),
+                host.table.generation(page),
+                host.table.is_consistent_holder(page),
+                host.table.is_locked(page),
+                buf.map(|b| b.valid_len()),
+                buf.map_or(0, |b| fnv(b.as_slice())),
+            )
+            .unwrap();
+        }
+    }
+    for seg in 0..sim.segment_count() {
+        writeln!(out, "seg{seg}: {:?}", sim.segment_stats(seg)).unwrap();
+    }
+    writeln!(
+        out,
+        "bridge: {:?} devices={:?} reconv={} stall={:?}",
+        sim.bridge_stats(),
+        sim.bridge_device_stats(),
+        sim.fabric_reconvergences(),
+        sim.fabric_stall(),
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "outcome: finished={} wall={} events={}",
+        outcome.finished,
+        outcome.wall.as_nanos(),
+        outcome.events,
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "metrics: finished={} wall={} user={} sys={} net={:?} load={:016x} bpa={:016x} ctx={} cpa={:016x} lat={} heard=({:016x},{}) losses={} wins={} additions={} max_q={}",
+        m.finished,
+        m.wall.as_nanos(),
+        m.user.as_nanos(),
+        m.sys.as_nanos(),
+        m.net,
+        m.net_load_bps.to_bits(),
+        m.bytes_per_addition.to_bits(),
+        m.ctx_switches,
+        m.ctx_per_addition.to_bits(),
+        m.avg_latency.as_nanos(),
+        m.frames_heard_mean.to_bits(),
+        m.frames_heard_max,
+        m.losses,
+        m.wins,
+        m.additions,
+        m.max_server_queue,
+    )
+    .unwrap();
+    out
+}
+
+fn run_and_print(mut sim: Simulation, mode: ParallelMode, limits: RunLimits) -> String {
+    sim.set_parallel_mode(mode);
+    let outcome = sim.run(limits);
+    let m = sim.metrics("det", outcome.finished, 1);
+    fingerprint(&sim, &m, outcome)
+}
+
+/// Counting P1/P5 with the two parties on their own bridged segment.
+/// Lossless: the cross-bridge transfer has no retransmission for a lost
+/// data frame, so loss wedges the run under either engine. The spin
+/// length varies the schedule instead — every burst boundary moves.
+fn counting_pair(protocol: Protocol, spin_us: u64) -> Simulation {
+    let cfg = CountingConfig {
+        target: 192,
+        processes: 2,
+        spin: SimDuration::from_micros(spin_us),
+    };
+    let mut sim_cfg = SimConfig::paper(2);
+    sim_cfg.topology = Topology::segmented(2);
+    build_counting(protocol, &cfg, sim_cfg)
+}
+
+#[test]
+fn counting_protocols_identical_under_serial_and_workers() {
+    let limits = RunLimits {
+        max_sim_time: SimDuration::from_secs(120),
+        ..RunLimits::default()
+    };
+    for protocol in [Protocol::P1, Protocol::P5] {
+        for spin_us in [48, 53, 61] {
+            let serial = run_and_print(
+                counting_pair(protocol, spin_us),
+                ParallelMode::Serial,
+                limits,
+            );
+            assert!(
+                serial.contains("finished=true"),
+                "{protocol:?} spin {spin_us}µs: the serial oracle must finish"
+            );
+            let par = run_and_print(
+                counting_pair(protocol, spin_us),
+                ParallelMode::Workers(4),
+                limits,
+            );
+            assert_eq!(
+                serial, par,
+                "{protocol:?} spin {spin_us}µs: Workers(4) diverged from the serial oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn mirror_counting_pairs_identical_under_serial_and_workers() {
+    // Pair A (segments 0/1) and pair B (segments 2/3) are exact mirror
+    // images: every frame of pair B hits the shared bridge at the same
+    // nanosecond as pair A's twin. Ties like these are where a naive
+    // parallel schedule diverges first — the (time, tier, sequence)
+    // order must pin them.
+    let cfg = CountingConfig {
+        target: 96,
+        processes: 2,
+        spin: SimDuration::from_micros(48),
+    };
+    let limits = RunLimits {
+        max_sim_time: SimDuration::from_secs(120),
+        ..RunLimits::default()
+    };
+    let serial = run_and_print(
+        build_segmented_counting_pairs(4, 2, &cfg),
+        ParallelMode::Serial,
+        limits,
+    );
+    assert!(serial.contains("finished=true"));
+    let par = run_and_print(
+        build_segmented_counting_pairs(4, 2, &cfg),
+        ParallelMode::Workers(4),
+        limits,
+    );
+    assert_eq!(serial, par, "4×2 mirror pairs diverged under Workers(4)");
+}
+
+#[test]
+fn segmented_solver_identical_under_serial_and_workers() {
+    let cfg = SolverConfig {
+        iterations: 6,
+        work_per_iteration: SimDuration::from_millis(20),
+    };
+    for ranks in [3, 4] {
+        let build = || build_segmented_solver(ranks, 2, cfg);
+        let serial = run_and_print(build(), ParallelMode::Serial, RunLimits::default());
+        assert!(serial.contains("finished=true"));
+        let par = run_and_print(build(), ParallelMode::Workers(4), RunLimits::default());
+        assert_eq!(serial, par, "{ranks}-rank solver diverged under Workers(4)");
+    }
+}
+
+#[test]
+fn lossy_segmented_solver_identical_under_serial_and_workers() {
+    // The solver's data-driven halo waits re-request after a loss, so a
+    // lossy ether exercises every per-lane RNG draw without wedging.
+    let cfg = SolverConfig {
+        iterations: 6,
+        work_per_iteration: SimDuration::from_millis(20),
+    };
+    const RANKS: usize = 3;
+    let build = |seed: u64| {
+        let mut sim_cfg = SimConfig::paper(RANKS);
+        sim_cfg.ether = sim_cfg.ether.with_loss(0.01, seed);
+        sim_cfg.topology = Topology::segmented(RANKS);
+        let mut sim = Simulation::new(sim_cfg);
+        for rank in 0..RANKS {
+            sim.create_owned(rank, PageId::new(rank as u32));
+            sim.add_process(rank, Box::new(SolverWorker::new(cfg, rank, RANKS)));
+        }
+        sim
+    };
+    for seed in [1, 7, 42] {
+        let serial = run_and_print(build(seed), ParallelMode::Serial, RunLimits::default());
+        let par = run_and_print(build(seed), ParallelMode::Workers(4), RunLimits::default());
+        assert_eq!(
+            serial, par,
+            "lossy solver seed {seed} diverged under Workers(4)"
+        );
+    }
+}
+
+#[test]
+fn ring_failover_identical_under_serial_and_workers() {
+    // The hard case: live election hellos on every segment, an injected
+    // root death mid-run, fault retries, holder-directed routing.
+    let cfg = FailoverConfig::ring_4x8();
+    let limits = RunLimits {
+        max_sim_time: SimDuration::from_secs(10),
+        ..RunLimits::default()
+    };
+    let serial = run_and_print(build_ring_failover(&cfg), ParallelMode::Serial, limits);
+    let par = run_and_print(build_ring_failover(&cfg), ParallelMode::Workers(4), limits);
+    assert_eq!(serial, par, "ring failover diverged under Workers(4)");
+}
+
+#[test]
+fn ineligible_deployments_fall_back_to_serial() {
+    // Flat topology: Workers(4) must be exactly the serial schedule.
+    let cfg = CountingConfig {
+        target: 64,
+        processes: 2,
+        spin: SimDuration::from_micros(48),
+    };
+    let mut sim_cfg = SimConfig::paper(2);
+    sim_cfg.ether = sim_cfg.ether.with_loss(0.02, 7);
+    let limits = RunLimits {
+        max_sim_time: SimDuration::from_secs(120),
+        ..RunLimits::default()
+    };
+    let build = || build_counting(Protocol::P1, &cfg, sim_cfg.clone());
+    let serial = run_and_print(build(), ParallelMode::Serial, limits);
+    let par = run_and_print(build(), ParallelMode::Workers(4), limits);
+    assert_eq!(serial, par, "flat fallback must be the serial schedule");
+}
+
+#[test]
+fn parallel_run_completes_a_page_migration() {
+    // Belt-and-braces liveness check independent of the fingerprints: a
+    // two-segment pair actually moves the page and finishes.
+    let mut sim = counting_pair(Protocol::P1, 48);
+    sim.set_parallel_mode(ParallelMode::Workers(2));
+    let outcome = sim.run(RunLimits {
+        max_sim_time: SimDuration::from_secs(120),
+        ..RunLimits::default()
+    });
+    assert!(outcome.finished, "P1 pair must finish under Workers(2)");
+    let page = PageId::new(0);
+    assert!(
+        (0..2).any(|h| sim.host(h).table.is_consistent_holder(page)),
+        "someone must hold the counted page"
+    );
+}

@@ -25,6 +25,11 @@ pub enum Error {
     },
     /// A wire packet failed to decode.
     Decode(String),
+    /// A packet could not be encoded because a field exceeds what the
+    /// wire format can carry (e.g. more views or mask words than their
+    /// u16 length prefixes can count). Encoding it anyway would silently
+    /// truncate the length field and emit a corrupt frame.
+    Encode(String),
     /// A configuration value was rejected.
     InvalidConfig(String),
     /// A page lock could not be granted because a subset was absent
@@ -64,6 +69,7 @@ impl fmt::Display for Error {
                 write!(f, "offset {offset} outside view of {view_len} bytes")
             }
             Error::Decode(msg) => write!(f, "packet decode failed: {msg}"),
+            Error::Encode(msg) => write!(f, "packet encode failed: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::LockFailed { page } => write!(f, "lock failed on page {page}"),
             Error::NotConsistentHolder { page } => {
@@ -98,6 +104,7 @@ mod tests {
                 view_len: 32,
             },
             Error::Decode("truncated".into()),
+            Error::Encode("too many views".into()),
             Error::InvalidConfig("bad".into()),
             Error::LockFailed {
                 page: PageId::new(3),

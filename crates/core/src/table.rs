@@ -875,6 +875,24 @@ impl PageTable {
         }
     }
 
+    /// Drops a non-consistent (cached read-only) copy of `page`, if one
+    /// is present. Always safe: such a copy is only a cache of some
+    /// holder's data and can be re-fetched on demand.
+    ///
+    /// This is the fault-retry path for a *data wait*: a data-view read
+    /// over a stale-but-present copy blocks without transmitting
+    /// anything, so merely re-executing it blocks again. Dropping the
+    /// copy first turns the re-execution into a demand fetch whose
+    /// request both fetches fresh data and re-stamps the fabric's
+    /// learned interest in this segment.
+    pub fn drop_stale_copy(&mut self, page: PageId) {
+        if let Some(e) = self.pages.get_mut(page) {
+            if !e.consistent {
+                e.buf = None;
+            }
+        }
+    }
+
     /// Pages this table currently tracks (for diagnostics).
     pub fn tracked_pages(&self) -> impl Iterator<Item = PageId> + '_ {
         self.pages.ids()

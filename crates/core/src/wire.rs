@@ -329,6 +329,75 @@ impl Packet {
         }
     }
 
+    /// Checks that every variable-length field fits its wire-format
+    /// length prefix. The u16/u32 length fields would otherwise wrap
+    /// silently (`views.len() as u16` past 65 535) and emit a frame
+    /// whose advertised counts disagree with its contents — corrupt on
+    /// the wire, not an error at the source.
+    ///
+    /// The limits enforced are the decoder's own allocation caps
+    /// ([`MAX_PDU_VIEWS`], [`MAX_MASK_WORDS`]) — anything larger could
+    /// not be decoded by a peer even if the prefix could count it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Encode`] naming the offending field and its limit.
+    pub fn check_encodable(&self) -> Result<()> {
+        match self {
+            Packet::PageRequest { .. } => Ok(()),
+            Packet::PageData { data, .. } => {
+                if data.len() > u32::MAX as usize {
+                    return Err(Error::Encode(format!(
+                        "payload of {} bytes exceeds the u32 length field",
+                        data.len()
+                    )));
+                }
+                Ok(())
+            }
+            Packet::BridgePdu { views, .. } => {
+                if views.len() > MAX_PDU_VIEWS {
+                    return Err(Error::Encode(format!(
+                        "{} device views exceed the {MAX_PDU_VIEWS}-view limit",
+                        views.len()
+                    )));
+                }
+                for (d, v) in views.iter().enumerate() {
+                    let words = mask_wire_words(&v.ports).len();
+                    if words > MAX_MASK_WORDS {
+                        return Err(Error::Encode(format!(
+                            "device {d} port mask of {words} words exceeds \
+                             the {MAX_MASK_WORDS}-word limit"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// [`Packet::encode`] behind the [`Packet::check_encodable`] guard.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Encode`] if a field exceeds its wire length prefix; no
+    /// bytes are produced.
+    pub fn try_encode(&self) -> Result<Bytes> {
+        self.check_encodable()?;
+        Ok(self.encode_unchecked())
+    }
+
+    /// [`Packet::encode_vectored`] behind the [`Packet::check_encodable`]
+    /// guard.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Encode`] if a field exceeds its wire length prefix; no
+    /// frame is produced.
+    pub fn try_encode_vectored(&self) -> Result<WireFrame> {
+        self.check_encodable()?;
+        Ok(self.encode_vectored_unchecked())
+    }
+
     /// Encodes the packet into one contiguous byte buffer.
     ///
     /// The compatibility framing for byte-stream transports: header and
@@ -337,7 +406,21 @@ impl Packet {
     /// (The payload copy is inherent to a contiguous datagram; transports
     /// that can scatter/gather — or that stay in-process — should carry
     /// [`Packet::encode_vectored`]'s [`WireFrame`] instead and skip it.)
+    ///
+    /// # Panics
+    ///
+    /// If a field exceeds its wire length prefix (see
+    /// [`Packet::check_encodable`]) — a silent `as u16` wrap here used to
+    /// emit a corrupt frame instead. Fallible callers (anything encoding
+    /// frames it did not construct from in-range protocol state) should
+    /// use [`Packet::try_encode`] and count the error.
     pub fn encode(&self) -> Bytes {
+        self.check_encodable()
+            .expect("packet exceeds wire-format limits");
+        self.encode_unchecked()
+    }
+
+    fn encode_unchecked(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(self.encoded_len());
         self.put_header(&mut b);
         if let Packet::PageData { data, .. } = self {
@@ -351,7 +434,18 @@ impl Packet {
     /// this packet's `data` buffer (`Bytes::shares_storage_with` holds).
     /// Byte-wise, `header ‖ payload` is exactly [`Packet::encode`]'s
     /// output.
+    ///
+    /// # Panics
+    ///
+    /// If a field exceeds its wire length prefix, like [`Packet::encode`];
+    /// fallible callers should use [`Packet::try_encode_vectored`].
     pub fn encode_vectored(&self) -> WireFrame {
+        self.check_encodable()
+            .expect("packet exceeds wire-format limits");
+        self.encode_vectored_unchecked()
+    }
+
+    fn encode_vectored_unchecked(&self) -> WireFrame {
         let header_len = match self {
             Packet::PageData { data, .. } => self.encoded_len() - data.len(),
             _ => self.encoded_len(),
@@ -684,6 +778,43 @@ mod tests {
             assert!(frame.payload.is_empty());
             assert_eq!(Packet::decode_frame(&frame).unwrap(), p);
         }
+    }
+
+    #[test]
+    fn oversize_pdu_is_refused_not_truncated() {
+        // views.len() used to cross the wire as a silent `as u16`; a
+        // PDU past the decoder cap must now fail loudly at the encoder.
+        let at_cap = sample_pdu(MAX_PDU_VIEWS);
+        assert!(at_cap.check_encodable().is_ok());
+        assert_eq!(
+            Packet::decode(&at_cap.try_encode().unwrap()).unwrap(),
+            at_cap
+        );
+        let over = sample_pdu(MAX_PDU_VIEWS + 1);
+        assert!(matches!(over.try_encode(), Err(Error::Encode(_))));
+        assert!(matches!(over.try_encode_vectored(), Err(Error::Encode(_))));
+    }
+
+    #[test]
+    fn oversize_mask_is_refused_not_truncated() {
+        // One view whose port mask needs more words than the u16 word
+        // count (and the decoder's MAX_MASK_WORDS cap) can carry.
+        let p = Packet::BridgePdu {
+            from: HostId(0xFF00),
+            device: 0,
+            views: vec![crate::DeviceView {
+                version: 1,
+                alive: true,
+                ports: crate::HostMask::single(MAX_MASK_WORDS * 64),
+            }],
+        };
+        assert!(matches!(p.try_encode(), Err(Error::Encode(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds wire-format limits")]
+    fn infallible_encode_panics_on_oversize_instead_of_corrupting() {
+        let _ = sample_pdu(MAX_PDU_VIEWS + 1).encode();
     }
 
     #[test]

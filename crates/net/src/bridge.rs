@@ -266,6 +266,10 @@ pub struct BridgeStats {
     /// a snooped `transfer_to`) — how fast beliefs chase a migrating
     /// holder.
     pub belief_repairs: u64,
+    /// Control frames whose wire-decoded `device` field contradicted the
+    /// frame's actual emitter or named no device of the fabric — ignored
+    /// rather than ingested (decoded fields are untrusted input).
+    pub malformed_pdus: u64,
 }
 
 impl BridgeStats {
@@ -287,6 +291,7 @@ impl BridgeStats {
                 acc.belief_hits += s.belief_hits;
                 acc.belief_fallback_floods += s.belief_fallback_floods;
                 acc.belief_repairs += s.belief_repairs;
+                acc.malformed_pdus += s.malformed_pdus;
                 acc
             })
     }
@@ -309,6 +314,17 @@ pub enum RequestRouting {
 }
 
 /// How long learned interest survives without fresh demand.
+///
+/// Deployment floor: the horizon must comfortably exceed the fabric's
+/// worst-case request → reply latency (at the paper's calibration,
+/// ~13 ms of server time per request, plus bridge hops). The interest
+/// a forwarded `PageRequest` stamps exists precisely to let the reply
+/// back through; a horizon shorter than the reply latency expires it
+/// first and filters the reply itself, deterministically, on every
+/// retry — the requester livelocks. The same applies to data-driven
+/// consumers, which transmit nothing at all: pin their segments with
+/// static subscriptions ([`BridgePolicy::subscribe`]) instead of
+/// relying on learned interest under any finite horizon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum AgeHorizon {
     /// Interest never expires (PR 3's behaviour): a segment that once
@@ -866,6 +882,96 @@ impl BridgePolicy {
         self.pages
             .get(page.index() as usize)
             .and_then(|f| f.holder.map(usize::from))
+    }
+
+    // -----------------------------------------------------------------
+    // Introspection: the read-only surface the invariant observer
+    // (`mether_sim::Simulation::check_invariants`) cross-checks device
+    // state through. Everything here reads existing fields; none of it
+    // is on the forwarding path.
+    // -----------------------------------------------------------------
+
+    /// The device's *physical* ports as a segment-id bitmask — failed
+    /// links included (see [`BridgePolicy::self_live_ports`] for the
+    /// live subset).
+    pub fn ports_mask(&self) -> &HostMask {
+        &self.ports_mask
+    }
+
+    /// The interest-aging horizon this policy runs.
+    pub fn aging(&self) -> AgeHorizon {
+        self.aging
+    }
+
+    /// Transits this device has forwarded so far — the clock
+    /// [`AgeHorizon::Transits`] freshness is measured against. Every
+    /// per-port demand stamp was taken at or below this value.
+    pub fn aging_clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Page ids with materialised filter state on this device (learned
+    /// interest, pins, demand stamps, or a holder belief), in ascending
+    /// id order.
+    pub fn tracked_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        (0..self.pages.len()).map(|i| PageId::new(i as u32))
+    }
+
+    /// The raw learned-interest port mask of `page` — unaged; the
+    /// effective, freshness-filtered view is [`BridgePolicy::interest`].
+    pub fn learned(&self, page: PageId) -> HostMask {
+        self.pages
+            .get(page.index() as usize)
+            .map(|f| f.learned.clone())
+            .unwrap_or(HostMask::EMPTY)
+    }
+
+    /// The segments explicitly pinned to `page` via
+    /// [`BridgePolicy::subscribe`]. Pins name segments, not ports; they
+    /// resolve through the active tree at use time.
+    pub fn pinned_segs(&self, page: PageId) -> HostMask {
+        self.pages
+            .get(page.index() as usize)
+            .map(|f| f.pinned_segs.clone())
+            .unwrap_or(HostMask::EMPTY)
+    }
+
+    /// Last demand evidence of `page` per port of this device, parallel
+    /// to `topology.ports(device)`: `(aging-clock stamp, sim-time
+    /// stamp)`. `None` while the page has no materialised filter.
+    pub fn stamps(&self, page: PageId) -> Option<&[(u64, SimTime)]> {
+        self.pages
+            .get(page.index() as usize)
+            .map(|f| f.stamps.as_slice())
+    }
+
+    /// The newest data generation any transit has shown this device for
+    /// `page` — the gate that keeps stale `Want::Superset` echoes from
+    /// repointing the holder belief.
+    pub fn newest_gen(&self, page: PageId) -> Option<mether_core::Generation> {
+        self.pages
+            .get(page.index() as usize)
+            .and_then(|f| f.newest_gen)
+    }
+
+    /// This device's gossiped liveness beliefs, indexed by device (its
+    /// own entry included).
+    pub fn views(&self) -> &[DeviceView] {
+        &self.views
+    }
+
+    /// The ports still inside their post-election listening hold-down
+    /// at `now` — forwarding-role ports the data plane must not use yet.
+    pub fn held_ports(&self, now: SimTime) -> HostMask {
+        let mut m = HostMask::EMPTY;
+        if self.election.is_live() {
+            for (i, &port) in self.topology.ports(self.device).iter().enumerate() {
+                if self.hold_until[i] > now {
+                    m.insert(port);
+                }
+            }
+        }
+        m
     }
 
     /// Statically subscribes segment `seg` to `page`'s transits: this
@@ -1454,6 +1560,9 @@ pub struct Fabric {
     /// Active-tree changes across all devices (0 under static election
     /// or an undisturbed fabric).
     reconvergences: u64,
+    /// Control frames rejected for a contradictory or out-of-range
+    /// wire-decoded `device` field (merged into [`Fabric::stats`]).
+    malformed_pdus: u64,
     /// Every injected fabric event, in injection order.
     timeline: Vec<(SimTime, FabricEvent)>,
 }
@@ -1483,6 +1592,7 @@ impl Fabric {
             epochs_at_down: vec![0; n],
             stall: None,
             reconvergences: 0,
+            malformed_pdus: 0,
             timeline: Vec::new(),
         };
         fabric.devices = (0..n)
@@ -1547,6 +1657,18 @@ impl Fabric {
     /// without a matching [`FabricEvent::BridgeUp`] yet).
     pub fn is_dead(&self, b: usize) -> bool {
         self.dead[b]
+    }
+
+    /// How many times device `b` has been revived by a
+    /// [`FabricEvent::BridgeUp`] — each revival rebuilds the device from
+    /// scratch, resetting its election epoch (the invariant observer
+    /// keys its per-device watermarks on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn restarts(&self, b: usize) -> u64 {
+        self.restarts[b]
     }
 
     /// Active-tree changes across all devices since construction.
@@ -1658,7 +1780,15 @@ impl Fabric {
         let Packet::BridgePdu { device, views, .. } = pkt else {
             return Vec::new();
         };
-        debug_assert_eq!(*device as usize, from_device);
+        // `device` is a wire-decoded field, so on a real transport it is
+        // untrusted input: a frame whose embedded id contradicts the
+        // segment's actual emitter (or names no device of this fabric)
+        // is counted and ignored, never asserted on — ingesting it
+        // would refresh the wrong neighbour's liveness stamp.
+        if *device as usize != from_device || *device as usize >= self.devices.len() {
+            self.malformed_pdus += 1;
+            return Vec::new();
+        }
         let mut out = Vec::new();
         for i in 0..self.topology.bridges_on(seg).len() {
             let d = self.topology.bridges_on(seg)[i];
@@ -1766,9 +1896,12 @@ impl Fabric {
         }
     }
 
-    /// Fabric-wide traffic counters (per-device counters summed).
+    /// Fabric-wide traffic counters (per-device counters summed, plus
+    /// fabric-level malformed-control accounting).
     pub fn stats(&self) -> BridgeStats {
-        BridgeStats::sum(self.devices.iter().map(Bridge::stats))
+        let mut s = BridgeStats::sum(self.devices.iter().map(Bridge::stats));
+        s.malformed_pdus += self.malformed_pdus;
+        s
     }
 
     /// Per-device traffic counters, indexed by device.
@@ -2526,6 +2659,41 @@ mod tests {
         for d in 1..4 {
             assert!(f.device(d).policy().active().fully_connected_from(d));
         }
+    }
+
+    #[test]
+    fn contradictory_pdu_device_id_is_counted_and_ignored() {
+        let mut f = live_ring_fabric(4, 8);
+        let ElectionMode::Live { hello_interval, .. } = f.election() else {
+            panic!("live fabric")
+        };
+        let t1 = SimTime::ZERO + hello_interval;
+        let frames = f.tick(0, t1);
+        let c = &frames[0];
+        let Packet::BridgePdu { from, views, .. } = c.pkt.clone() else {
+            panic!("hellos are bridge PDUs")
+        };
+        // A genuine hello from device 0, but the wire claims device 1
+        // emitted it: the embedded id contradicts the actual emitter.
+        let lying = Packet::BridgePdu {
+            from,
+            device: 1,
+            views: views.clone(),
+        };
+        assert!(f.hear_control(&lying, c.seg, t1, c.device).is_empty());
+        assert_eq!(f.stats().malformed_pdus, 1);
+        // An id naming no device of this fabric is rejected the same
+        // way, even when it matches the claimed emitter.
+        let alien = Packet::BridgePdu {
+            from,
+            device: 99,
+            views,
+        };
+        assert!(f.hear_control(&alien, c.seg, t1, 99).is_empty());
+        assert_eq!(f.stats().malformed_pdus, 2);
+        // Neither frame refreshed a neighbour's liveness stamp, so the
+        // healthy fabric still has nothing to re-elect over.
+        assert_eq!(f.reconvergences(), 0);
     }
 
     #[test]

@@ -216,14 +216,24 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Disconnected`] if the LAN has shut down.
+    /// Returns [`Error::Encode`] — and counts it in
+    /// [`NetStats::encode_errors`] without transmitting anything — if a
+    /// field of `pkt` exceeds its wire length prefix, and
+    /// [`Error::Disconnected`] if the LAN has shut down.
     pub fn broadcast(&self, pkt: &Packet) -> Result<()> {
+        let frame = match pkt.try_encode_vectored() {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.inner.stats.lock().record_encode_error();
+                return Err(e);
+            }
+        };
         self.inner.stats.lock().record(pkt);
         self.inner
             .wire_tx
             .send(Frame {
                 from: self.host,
-                frame: pkt.encode_vectored(),
+                frame,
                 wire_size: pkt.wire_size(),
             })
             .map_err(|_| Error::Disconnected)
@@ -419,6 +429,41 @@ mod tests {
         a.broadcast(&req(0)).unwrap();
         assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), req(0));
         assert_eq!(lan.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn unencodable_packet_is_refused_and_counted() {
+        // A packet whose length fields cannot be encoded without
+        // wrapping is refused at the sender: counted, never on the
+        // wire, segment unharmed.
+        let lan = Lan::new(LanConfig::fast());
+        let a = lan.endpoint(HostId(0));
+        let b = lan.endpoint(HostId(1));
+        let over = Packet::BridgePdu {
+            from: HostId(0xFF00),
+            device: 0,
+            views: vec![
+                mether_core::DeviceView {
+                    version: 1,
+                    alive: true,
+                    ports: mether_core::HostMask::single(0),
+                };
+                mether_core::wire::MAX_PDU_VIEWS + 1
+            ],
+        };
+        assert!(matches!(a.broadcast(&over), Err(Error::Encode(_))));
+        assert_eq!(lan.stats().encode_errors, 1, "refusal counted");
+        assert_eq!(lan.stats().packets, 0, "nothing reached the wire");
+        assert!(
+            matches!(
+                b.recv_timeout(Duration::from_millis(50)),
+                Err(Error::Timeout)
+            ),
+            "no frame delivered"
+        );
+        // The segment survives: a good broadcast still goes through.
+        a.broadcast(&req(0)).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), req(0));
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub struct NetStats {
     /// (cannot happen for frames produced by `Packet::encode`; counted
     /// defensively rather than crashing the segment).
     pub decode_errors: u64,
+    /// Packets refused at the sender because a field exceeded its wire
+    /// length prefix (`Packet::try_encode` failed). Such a packet never
+    /// reaches the wire — encoding it would have emitted a corrupt
+    /// frame — and is not counted in `packets`.
+    pub encode_errors: u64,
     /// Bridge-to-bridge control frames (spanning-tree hellos): wire
     /// overhead of the live election, zero under `Static` election.
     pub control_packets: u64,
@@ -62,6 +67,12 @@ impl NetStats {
         self.decode_errors += 1;
     }
 
+    /// Records a packet refused at the sender because it could not be
+    /// encoded without corrupting a length field.
+    pub fn record_encode_error(&mut self) {
+        self.encode_errors += 1;
+    }
+
     /// Average offered load in bytes/second over a window of `secs`.
     ///
     /// Returns zero for an empty window rather than dividing by zero.
@@ -84,6 +95,7 @@ impl NetStats {
             payload_bytes: self.payload_bytes - earlier.payload_bytes,
             lost: self.lost - earlier.lost,
             decode_errors: self.decode_errors - earlier.decode_errors,
+            encode_errors: self.encode_errors - earlier.encode_errors,
             control_packets: self.control_packets - earlier.control_packets,
         }
     }
@@ -103,6 +115,7 @@ impl NetStats {
             total.payload_bytes += s.payload_bytes;
             total.lost += s.lost;
             total.decode_errors += s.decode_errors;
+            total.encode_errors += s.encode_errors;
             total.control_packets += s.control_packets;
         }
         total
@@ -123,6 +136,9 @@ impl fmt::Display for NetStats {
         )?;
         if self.decode_errors > 0 {
             write!(f, ", {} decode errors", self.decode_errors)?;
+        }
+        if self.encode_errors > 0 {
+            write!(f, ", {} encode errors", self.encode_errors)?;
         }
         if self.control_packets > 0 {
             write!(f, ", {} control", self.control_packets)?;
@@ -197,10 +213,12 @@ mod tests {
         let mut a = NetStats::new();
         a.record(&req());
         a.record_decode_error();
+        a.record_encode_error();
         let mut b = NetStats::new();
         b.record(&data(32));
         b.record_loss();
         let total = NetStats::sum([&a, &b]);
+        assert_eq!(total.encode_errors, 1);
         assert_eq!(total.packets, 2);
         assert_eq!(total.requests, 1);
         assert_eq!(total.data_packets, 1);

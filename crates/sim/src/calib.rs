@@ -81,6 +81,18 @@ pub struct Calib {
     /// behaviour: the raw protocols have no retransmit timer) blocks
     /// forever; the fault-tolerance experiments enable it.
     pub fault_retry: Option<SimDuration>,
+    /// NIC-level request coalescing: an arriving `PageRequest` identical
+    /// to one already queued for the server is dropped and counted,
+    /// since the queued request's broadcast reply satisfies every
+    /// snooper a duplicate could (consistency transfers are directed,
+    /// so those coalesce per requesting host only). `false` is the
+    /// paper's behaviour — its servers process every datagram
+    /// individually, and protocol 3's measured divergence on the
+    /// counting benchmark depends on that duplicated server load.
+    /// Deployments with retry timers enable it: clients retrying faster
+    /// than the ~13 ms per-request serve cost otherwise grow the server
+    /// queue without bound.
+    pub coalesce_requests: bool,
 }
 
 impl Calib {
@@ -100,6 +112,7 @@ impl Calib {
             server_purge_broadcast: SimDuration::from_millis(10),
             server_snoop: SimDuration::from_millis(2),
             fault_retry: None,
+            coalesce_requests: false,
         }
     }
 
@@ -107,6 +120,14 @@ impl Calib {
     #[must_use]
     pub fn with_fault_retry(mut self, every: SimDuration) -> Self {
         self.fault_retry = Some(every);
+        self
+    }
+
+    /// Enables NIC-level request coalescing (see
+    /// [`Calib::coalesce_requests`]).
+    #[must_use]
+    pub fn with_request_coalescing(mut self) -> Self {
+        self.coalesce_requests = true;
         self
     }
 

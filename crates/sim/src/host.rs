@@ -25,8 +25,8 @@ use crate::calib::Calib;
 use crate::process::{DsmOp, OpResult, Step, StepCtx, Workload, WorkloadCounters};
 use mether_core::table::WaiterId;
 use mether_core::{
-    AccessOutcome, Effect, FaultKind, MapMode, MetherConfig, Packet, PageId, PageLength, PageTable,
-    Want,
+    AccessOutcome, DriveMode, Effect, FaultKind, MapMode, MetherConfig, Packet, PageId, PageLength,
+    PageTable, Want,
 };
 use mether_net::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -145,6 +145,9 @@ pub struct HostSim {
     pub frames_heard: u64,
     /// Peak depth of the server work queue (degeneration diagnostic).
     pub max_server_queue: usize,
+    /// Page requests dropped at the NIC because an identical request
+    /// was already queued (its broadcast reply satisfies both).
+    pub requests_coalesced: u64,
     /// Sleeps requested during dispatch (drained by `finish_burst`).
     pending_sleeps: Vec<(usize, SimTime)>,
     /// Fault-retry timers armed when a process blocked on a
@@ -179,6 +182,7 @@ impl HostSim {
             server_time: SimDuration::ZERO,
             frames_heard: 0,
             max_server_queue: 0,
+            requests_coalesced: 0,
             pending_sleeps: Vec::new(),
             pending_retries: Vec::new(),
             purge_lengths: Vec::new(),
@@ -232,16 +236,73 @@ impl HostSim {
     }
 
     /// A packet arrived from the network: queue it for the server.
+    ///
+    /// Under [`Calib::coalesce_requests`], page requests coalesce
+    /// against the queue: every reply is a broadcast the whole wire
+    /// snoops, so one queued request per distinct (page, length, want)
+    /// already satisfies every waiter a duplicate could. Without this,
+    /// blocked clients retrying faster than the server's per-request
+    /// cost (13 ms at paper pace) grow the queue without bound and
+    /// starve the server's own purge broadcasts behind hundreds of
+    /// identical replies. Consistency transfers are directed at one
+    /// requester, so those only coalesce with a retry from the same
+    /// host. Off by default: the paper's servers processed every
+    /// datagram individually, and its measured protocol rankings
+    /// (notably P3's divergence) include that duplicated load.
     pub fn deliver_packet(&mut self, now: SimTime, pkt: Arc<Packet>) {
         self.frames_heard += 1;
+        if self.calib.coalesce_requests && self.is_duplicate_request(pkt.as_ref()) {
+            self.requests_coalesced += 1;
+            return;
+        }
         self.push_server_work(now, ServerWork::Packet(pkt));
     }
 
+    /// Is `pkt` a page request identical (same page, length, and want —
+    /// plus same requester for directed consistency transfers) to one
+    /// already sitting in the server queue?
+    fn is_duplicate_request(&self, pkt: &Packet) -> bool {
+        let Packet::PageRequest {
+            from,
+            page,
+            length,
+            want,
+        } = pkt
+        else {
+            return false;
+        };
+        self.server_queue.iter().any(|w| {
+            let ServerWork::Packet(q) = w else {
+                return false;
+            };
+            let Packet::PageRequest {
+                from: qfrom,
+                page: qpage,
+                length: qlength,
+                want: qwant,
+            } = q.as_ref()
+            else {
+                return false;
+            };
+            qpage == page
+                && qlength == length
+                && qwant == want
+                && (*want != Want::Consistent || qfrom == from)
+        })
+    }
+
     /// A sleep timer fired for process `proc`.
+    ///
+    /// The woken sleeper takes the one-shot boost (see `choose`), just
+    /// like a fault wakeup: without it, a host whose server queue never
+    /// drains — e.g. a page's home segment under a steady request load —
+    /// starves the ready process indefinitely, because the idle branch
+    /// of the scheduler always prefers pending server work.
     pub fn timer_fired(&mut self, proc: usize) {
         if self.procs[proc].state == ProcState::Sleeping {
             self.procs[proc].state = ProcState::Ready;
             self.run_queue.push_back(proc);
+            self.wake_boost = true;
         }
     }
 
@@ -263,20 +324,30 @@ impl HostSim {
     }
 
     /// A fault-retry timer fired for process `proc` (armed at
-    /// `epoch`). If the process is still blocked on that same
-    /// request-bearing fault, the wait is abandoned
-    /// ([`mether_core::PageTable::cancel_wait`], clearing the
-    /// request-dedup latch) and the process re-issues the faulting
-    /// access, which retransmits the request — the recovery path for a
-    /// reply lost to a dead bridge or a partitioned fabric. Returns
-    /// true if the process was unblocked for the retry.
+    /// `epoch`). If the process is still blocked on that same fault,
+    /// the wait is abandoned ([`mether_core::PageTable::cancel_wait`],
+    /// clearing the request-dedup latch) and the process re-issues the
+    /// faulting access, which retransmits the request — the recovery
+    /// path for a reply lost to a dead bridge or a partitioned fabric.
+    ///
+    /// A data wait needs one extra step: the process blocked over a
+    /// stale-but-present copy without transmitting anything, so
+    /// re-executing the read would just block again. The retry drops
+    /// the stale copy ([`mether_core::PageTable::drop_stale_copy`]),
+    /// turning the re-execution into a demand fetch whose request also
+    /// re-stamps the fabric's learned interest — the recovery path for
+    /// a waking broadcast filtered by an aged-out bridge.
+    ///
+    /// Returns true if the process was unblocked for the retry.
     pub fn retry_fired(&mut self, proc: usize, epoch: u64) -> bool {
         let p = &mut self.procs[proc];
         if p.state != ProcState::Blocked
             || p.block_epoch != epoch
             || !matches!(
                 p.blocked_kind,
-                Some(FaultKind::DemandFetch) | Some(FaultKind::ConsistentFetch)
+                Some(FaultKind::DemandFetch)
+                    | Some(FaultKind::ConsistentFetch)
+                    | Some(FaultKind::DataWait)
             )
         {
             return false;
@@ -285,9 +356,23 @@ impl HostSim {
             Some(DsmOp::Read { page, .. }) | Some(DsmOp::Write { page, .. }) => *page,
             _ => return false,
         };
+        let was_data_wait = p.blocked_kind == Some(FaultKind::DataWait);
         p.state = ProcState::Ready;
         p.blocked_kind = None;
         self.table.cancel_wait(page, proc as WaiterId);
+        if was_data_wait {
+            // A re-executed data-view read transmits nothing — with the
+            // copy still absent (or stale) it blocks exactly as before.
+            // Escalate this one execution to demand drive: the request
+            // it sends re-stamps learned interest and fetches whatever
+            // the holder has now. If that is still the old value the
+            // workload's own check loop purges and re-waits, with the
+            // next retry escalating again — a slow poll, but live.
+            self.table.drop_stale_copy(page);
+            if let Some(DsmOp::Read { view, .. }) = &mut self.procs[proc].pending_op {
+                view.drive = DriveMode::Demand;
+            }
+        }
         self.run_queue.push_back(proc);
         true
     }
@@ -690,8 +775,14 @@ impl HostSim {
         p.block_epoch += 1;
         // Request-bearing faults arm the retry timer (when enabled):
         // their reply can be lost to the network or a failed bridge, and
-        // nothing else would ever wake the waiter.
-        if matches!(kind, FaultKind::DemandFetch | FaultKind::ConsistentFetch) {
+        // nothing else would ever wake the waiter. Data waits arm it
+        // too: they transmit nothing, so the only wakeup is the fresh
+        // holder's broadcast — which a bridge whose learned interest has
+        // aged out under unrelated traffic filters forever.
+        if matches!(
+            kind,
+            FaultKind::DemandFetch | FaultKind::ConsistentFetch | FaultKind::DataWait
+        ) {
             if let Some(every) = self.calib.fault_retry {
                 self.pending_retries
                     .push((proc, now + every, p.block_epoch));
@@ -788,5 +879,132 @@ impl HostSim {
                 Effect::ConsistentArrived(_) => {}
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mether_core::HostId;
+
+    /// Sleeps once, then exits.
+    struct SleepOnce {
+        slept: bool,
+        d: SimDuration,
+    }
+
+    impl Workload for SleepOnce {
+        fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+            if self.slept {
+                Step::Done
+            } else {
+                self.slept = true;
+                Step::Sleep(self.d)
+            }
+        }
+    }
+
+    fn host() -> HostSim {
+        HostSim::new(0, Calib::sun3_sunos4(), MetherConfig::default())
+    }
+
+    fn coalescing_host() -> HostSim {
+        HostSim::new(
+            0,
+            Calib::sun3_sunos4().with_request_coalescing(),
+            MetherConfig::default(),
+        )
+    }
+
+    fn request(from: u16, page: u32) -> Arc<Packet> {
+        Arc::new(Packet::PageRequest {
+            from: HostId(from),
+            page: PageId::new(page),
+            length: PageLength::Short,
+            want: Want::ReadOnly,
+        })
+    }
+
+    /// Regression: a process returning from a kernel sleep takes the
+    /// one-shot sleeper boost, exactly like a fault wakeup. Without it,
+    /// a host whose server queue never drains (a page's home segment
+    /// under steady request load) starves the ready process forever —
+    /// the idle branch of `choose` always prefers pending server work.
+    /// Flushed by soak seed 24: the publisher woke from its final
+    /// pacing sleep behind a saturated server and never ran again.
+    #[test]
+    fn sleeper_boost_preempts_saturated_server() {
+        let mut h = host();
+        h.add_process(Box::new(SleepOnce {
+            slept: false,
+            d: SimDuration::from_millis(1),
+        }));
+        // First dispatch: the process requests its sleep and yields.
+        assert!(h.dispatch(SimTime::ZERO).is_none());
+        let sleeps = h.take_sleeps();
+        assert_eq!(sleeps.len(), 1);
+        // Saturate the server queue with distinct foreign requests.
+        let now = sleeps[0].1;
+        for p in 0..8 {
+            h.deliver_packet(now, request(1, p));
+        }
+        // The timer fires; the woken sleeper must get the CPU ahead of
+        // the backlog, discover it is done, and exit.
+        h.timer_fired(0);
+        h.dispatch(now);
+        assert!(
+            h.all_done(),
+            "woken sleeper starved behind the server queue"
+        );
+    }
+
+    /// Identical queued page requests coalesce at the NIC (when
+    /// [`Calib::coalesce_requests`] is on): the one broadcast reply
+    /// satisfies every requester on the wire. Flushed by soak seed 24:
+    /// five readers retrying a 13 ms-per-reply server every 20 ms
+    /// backlogged its queue without bound.
+    #[test]
+    fn identical_requests_coalesce_in_server_queue() {
+        let mut h = coalescing_host();
+        h.deliver_packet(SimTime::ZERO, request(1, 7));
+        h.deliver_packet(SimTime::ZERO, request(1, 7));
+        h.deliver_packet(SimTime::ZERO, request(2, 7)); // other host, same ask
+        h.deliver_packet(SimTime::ZERO, request(1, 8)); // different page
+        assert_eq!(h.requests_coalesced, 2);
+        assert_eq!(h.frames_heard, 4);
+    }
+
+    /// Consistency transfers are directed at one requester: requests
+    /// from different hosts must both be served, only a same-host retry
+    /// coalesces.
+    #[test]
+    fn consistent_requests_coalesce_per_host_only() {
+        let mut h = coalescing_host();
+        let consistent = |from: u16| {
+            Arc::new(Packet::PageRequest {
+                from: HostId(from),
+                page: PageId::new(3),
+                length: PageLength::Short,
+                want: Want::Consistent,
+            })
+        };
+        h.deliver_packet(SimTime::ZERO, consistent(1));
+        h.deliver_packet(SimTime::ZERO, consistent(2));
+        assert_eq!(h.requests_coalesced, 0);
+        h.deliver_packet(SimTime::ZERO, consistent(1));
+        assert_eq!(h.requests_coalesced, 1);
+    }
+
+    /// The default calibration is the paper's: every datagram reaches
+    /// the server individually, duplicates included — P3's measured
+    /// divergence on the counting benchmark depends on that load.
+    #[test]
+    fn paper_calibration_serves_every_duplicate() {
+        let mut h = host();
+        h.deliver_packet(SimTime::ZERO, request(1, 7));
+        h.deliver_packet(SimTime::ZERO, request(1, 7));
+        h.deliver_packet(SimTime::ZERO, request(2, 7));
+        assert_eq!(h.requests_coalesced, 0);
+        assert_eq!(h.frames_heard, 3);
     }
 }

@@ -65,6 +65,7 @@ use mether_net::{
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+mod observe;
 mod par;
 
 pub use par::ParallelMode;
@@ -379,6 +380,10 @@ pub struct Simulation {
     /// Serial oracle schedule or conservative lane-parallel execution
     /// (see [`ParallelMode`]).
     parallel: ParallelMode,
+    /// The cross-layer invariant checker (see [`observe`]): sweeps the
+    /// deployment for contradictions after sampled event pops, under
+    /// `debug_assertions` or `METHER_OBSERVE=1`.
+    observer: observe::Observer,
 }
 
 impl Simulation {
@@ -422,7 +427,24 @@ impl Simulation {
             ticks_started: false,
             tick_epochs,
             parallel: ParallelMode::from_env(),
+            observer: observe::Observer::from_env(cfg.hosts),
         }
+    }
+
+    /// Runs one full invariant sweep over the deployment right now,
+    /// regardless of the observer's gating — cross-checking page-table
+    /// holder agreement, bridge belief sanity, interest/age-stamp
+    /// coherence, and elected-tree consistency (the catalogue in
+    /// [`observe`]). The soak harness calls this in release builds; in
+    /// debug builds the same sweep also runs automatically on sampled
+    /// event pops during [`Simulation::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic on the first contradiction found.
+    pub fn check_invariants(&mut self) {
+        let hosts: Vec<&HostSim> = self.hosts.iter().collect();
+        self.observer.sweep(&hosts, self.fabric.as_ref(), self.now);
     }
 
     /// Selects serial or lane-parallel execution (see [`ParallelMode`]).
@@ -809,14 +831,28 @@ impl Simulation {
         for h in 0..self.hosts.len() {
             self.kick(h);
         }
+        let observing = self.observer.enabled();
         while let Some(ev) = self.events.pop() {
             if ev.at > deadline || processed >= limits.max_events {
                 self.now = self.now.max(ev.at.max(deadline));
+                if observing {
+                    self.check_invariants();
+                }
                 return RunOutcome {
                     finished: false,
                     wall: self.now - SimTime::ZERO,
                     events: processed,
                 };
+            }
+            // Invariant (e), serial side: the heap's `(time, tier, seq)`
+            // order means popped times never regress.
+            if observing {
+                assert!(
+                    ev.at >= self.now,
+                    "event popped at {} after time already advanced to {}",
+                    ev.at,
+                    self.now
+                );
             }
             processed += 1;
             self.now = ev.at;
@@ -981,13 +1017,23 @@ impl Simulation {
                     }
                 }
             }
+            if self.observer.on_event() {
+                let hosts: Vec<&HostSim> = self.hosts.iter().collect();
+                self.observer.sweep(&hosts, self.fabric.as_ref(), self.now);
+            }
             if self.hosts.iter().all(HostSim::all_done) {
+                if observing {
+                    self.check_invariants();
+                }
                 return RunOutcome {
                     finished: true,
                     wall: self.now - SimTime::ZERO,
                     events: processed,
                 };
             }
+        }
+        if observing {
+            self.check_invariants();
         }
         RunOutcome {
             finished: self.hosts.iter().all(HostSim::all_done),

@@ -1,0 +1,420 @@
+//! The always-on DSM invariant observer.
+//!
+//! After PRs 3–6 the protocol state is spread over three layers — host
+//! page tables, per-device bridge filters, and the elected fabric —
+//! and a contradiction between them (two consistent holders, a belief
+//! pointing off the device's own ports, a stamp from the future) can
+//! stay latent for thousands of events before it surfaces as a wrong
+//! answer. The observer cross-checks the full deployment for such
+//! contradictions after event pops, the way scx_model's `Observer`
+//! sweeps its kernel state every step.
+//!
+//! # The invariant catalogue
+//!
+//! **(a) Page-table / holder agreement** — across all hosts, every page
+//! has *at most one* consistent (writable) holder. Not "exactly one":
+//! during a consistency transfer the granting side clears its
+//! `consistent` bit before the `transfer_to` frame lands, so a page
+//! legitimately has zero holders mid-flight (and permanently, if a
+//! lossy wire ate the transfer — that is livelock, not corruption).
+//! A holder must actually hold a buffer, and each host's generation for
+//! a page never moves backwards.
+//!
+//! **(b) Bridge belief sanity** — a device's believed-holder port, its
+//! learned-interest bits, and its post-election hold-downs all name
+//! physical ports of that device; pinned segments name segments of the
+//! layout. (The belief may legitimately be *stale* — pointing where the
+//! holder used to be until the next data transit repairs it — so the
+//! structural check is the invariant; chasing accuracy is the belief
+//! counters' job.) Per device life and election epoch, the
+//! newest-generation gate only moves forward.
+//!
+//! **(c) Interest-table / age-stamp coherence** — demand stamps never
+//! run ahead of the device's forwarded-transit clock or of sim time,
+//! and the page's home port is always in the effective interest mask,
+//! however old (home ports never age out).
+//!
+//! **(d) Port-state symmetry and elected-tree consistency** — a
+//! device's forwarding ports are a subset of its live ports (dead links
+//! never forward), every active-tree next hop leaves through a
+//! forwarding port, election epochs only advance within one device
+//! life, and two live devices whose gossiped `DeviceView`s agree
+//! exactly *and* sit in the same view-induced component have elected
+//! identical active trees (the election is a deterministic function of
+//! the views, restricted to the electing device's partition — islands
+//! of a cut fabric each elect their own tree).
+//!
+//! **(e) Lane/window invariants** — the serial engine never pops time
+//! backwards, and under [`ParallelMode::Workers`](super::ParallelMode)
+//! no lane pops an event at or past its window horizon (the lookahead
+//! contract); those checks live inline in `sim.rs` / `par.rs`, gated on
+//! the same switch as the sweeps here.
+//!
+//! # Gating and cost
+//!
+//! The observer is on under `debug_assertions` (so the whole test suite
+//! runs swept), forced on/off by `METHER_OBSERVE=1` / `METHER_OBSERVE=0`,
+//! and samples every [`Observer::stride`] events. The stride self-tunes:
+//! each sweep counts the state it scanned and spaces the next sweep so
+//! the amortised cost stays at a few checks per event, whatever the
+//! deployment size (`METHER_OBSERVE_EVERY=n` pins it instead; `1`
+//! sweeps after every event). A
+//! final sweep always runs when a `run` returns, and
+//! [`Simulation::check_invariants`](super::Simulation::check_invariants)
+//! forces a full sweep regardless of gating — the soak harness calls it
+//! in release builds.
+
+use crate::host::HostSim;
+use mether_core::{BridgeTopology, DeviceView, Generation, HostMask};
+use mether_net::{Fabric, SimTime};
+use std::collections::HashMap;
+
+/// True when devices `a` and `b` sit in the same connected component of
+/// the fabric graph induced by `views` — alive devices joined through
+/// their live ports (physical ∩ view port set).
+///
+/// The election computes the spanning tree of the *electing device's*
+/// component, so two view-identical devices must agree on the tree only
+/// when they share a component: after a partition, devices on opposite
+/// sides may hold byte-identical views (the same obituaries and port
+/// sets, gossiped before the cut or derived independently) yet each
+/// correctly elects the tree of its own island.
+fn same_component(topology: &BridgeTopology, views: &[DeviceView], a: usize, b: usize) -> bool {
+    let nb = topology.bridges();
+    let live: Vec<HostMask> = (0..nb)
+        .map(|d| {
+            let physical: HostMask = topology.ports(d).iter().copied().collect();
+            physical.intersection(&views[d].ports)
+        })
+        .collect();
+    let alive: Vec<bool> = (0..nb)
+        .map(|d| views[d].alive && !live[d].is_empty())
+        .collect();
+    if !alive[a] || !alive[b] {
+        return false;
+    }
+    let mut seen_b = vec![false; nb];
+    let mut seen_s = vec![false; topology.segments()];
+    seen_b[a] = true;
+    let mut queue = vec![a];
+    while let Some(x) = queue.pop() {
+        for s in &live[x] {
+            if seen_s[s] {
+                continue;
+            }
+            seen_s[s] = true;
+            for (y, seen) in seen_b.iter_mut().enumerate() {
+                if !*seen && alive[y] && live[y].contains(s) {
+                    *seen = true;
+                    queue.push(y);
+                }
+            }
+        }
+    }
+    seen_b[b]
+}
+
+/// Cross-layer invariant checker with monotonicity watermarks.
+///
+/// The watermarks make the sweeps *temporal*: a generation or election
+/// epoch that moves backwards between two sweeps is caught even though
+/// each individual snapshot looks self-consistent.
+pub(super) struct Observer {
+    enabled: bool,
+    /// Sweep every `stride` popped events (1 = every event). Unless
+    /// pinned by `METHER_OBSERVE_EVERY`, each sweep retunes this from
+    /// its own measured size, so the amortised overhead per event stays
+    /// bounded whether the deployment is 2 hosts or 1024.
+    stride: u64,
+    /// A fixed stride from `METHER_OBSERVE_EVERY`, disabling retuning.
+    fixed_stride: Option<u64>,
+    counter: u64,
+    /// Per-(host, page) newest generation seen by any sweep.
+    host_gens: HashMap<(usize, u32), Generation>,
+    /// Per-(device, page): the device life (restart count), election
+    /// epoch, and newest-generation gate at the last sweep. The gate is
+    /// only monotone within one (life, epoch) — `flush_port` resets it
+    /// so post-reconvergence data may re-teach an older generation, and
+    /// every flush bumps the epoch.
+    device_gens: HashMap<(usize, u32), (u64, u64, Generation)>,
+    /// Per-device (life, election epoch) at the last sweep.
+    device_epochs: HashMap<usize, (u64, u64)>,
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Observer {
+            enabled: false,
+            stride: 1,
+            fixed_stride: None,
+            counter: 0,
+            host_gens: HashMap::new(),
+            device_gens: HashMap::new(),
+            device_epochs: HashMap::new(),
+        }
+    }
+}
+
+impl Observer {
+    /// The observer for an `hosts`-host deployment, gated by
+    /// `METHER_OBSERVE` / `debug_assertions`; `METHER_OBSERVE_EVERY`
+    /// pins the sampling stride (1 = sweep after every event),
+    /// otherwise sweeps self-tune their frequency to their measured
+    /// cost.
+    pub(super) fn from_env(hosts: usize) -> Observer {
+        let _ = hosts;
+        let enabled = match std::env::var("METHER_OBSERVE") {
+            Ok(v) => {
+                let v = v.trim();
+                !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
+            }
+            Err(_) => cfg!(debug_assertions),
+        };
+        let fixed_stride = std::env::var("METHER_OBSERVE_EVERY")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0);
+        Observer {
+            enabled,
+            stride: fixed_stride.unwrap_or(1),
+            fixed_stride,
+            ..Observer::default()
+        }
+    }
+
+    /// Whether per-event checks and sweeps are active.
+    pub(super) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Counts one popped event; true when a sampled sweep is due.
+    pub(super) fn on_event(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.counter += 1;
+        self.counter.is_multiple_of(self.stride)
+    }
+
+    /// One full sweep of invariants (a)–(d) over the deployment.
+    /// Panics with a diagnostic on the first contradiction found.
+    pub(super) fn sweep(&mut self, hosts: &[&HostSim], fabric: Option<&Fabric>, now: SimTime) {
+        let mut cost = self.sweep_hosts(hosts, now);
+        if let Some(fabric) = fabric {
+            cost += self.sweep_fabric(fabric, now);
+        }
+        if self.fixed_stride.is_none() {
+            // Space sweeps so their amortised cost lands around a
+            // handful of checks per popped event. The floor matters as
+            // much as the scaling: even a tiny sweep pays fixed setup
+            // (collecting host refs, hash traffic), so sweeping a
+            // 2-host spin loop every event would cost 10x the events
+            // themselves. A spin-heavy run still gets thousands of
+            // sweeps at the floor.
+            self.stride = (cost / 8).max(256);
+        }
+    }
+
+    /// Invariant (a): at most one consistent holder per page across the
+    /// deployment, holders have buffers, generations never regress.
+    /// Returns the number of (host, page) states scanned.
+    fn sweep_hosts(&mut self, hosts: &[&HostSim], now: SimTime) -> u64 {
+        let mut cost = hosts.len() as u64;
+        // page -> the first holder seen this sweep.
+        let mut holder_of: HashMap<u32, usize> = HashMap::new();
+        for h in hosts {
+            for page in h.table.tracked_pages() {
+                cost += 1;
+                let idx = page.index();
+                if h.table.is_consistent_holder(page) {
+                    assert!(
+                        h.table.page_buf(page).is_some(),
+                        "invariant (a): host {} holds page {page} consistent \
+                         without a buffer at {now}",
+                        h.index,
+                    );
+                    if let Some(&other) = holder_of.get(&idx) {
+                        panic!(
+                            "invariant (a): page {page} has two consistent holders \
+                             (hosts {other} and {}) at {now}",
+                            h.index,
+                        );
+                    }
+                    holder_of.insert(idx, h.index);
+                }
+                let gen = h.table.generation(page);
+                let key = (h.index, idx);
+                if let Some(&seen) = self.host_gens.get(&key) {
+                    assert!(
+                        !seen.newer_than(gen),
+                        "invariant (a): host {} page {page} generation went \
+                         backwards ({seen} -> {gen}) at {now}",
+                        h.index,
+                    );
+                }
+                self.host_gens.insert(key, gen);
+            }
+        }
+        cost
+    }
+
+    /// Invariants (b)–(d) over every live bridge device. Returns the
+    /// number of device/page/route states scanned.
+    fn sweep_fabric(&mut self, fabric: &Fabric, now: SimTime) -> u64 {
+        let topology = fabric.topology();
+        let segments = topology.segments();
+        let mut cost = 0u64;
+        // (views, tree) representatives for the determinism check (d).
+        let mut rep: Vec<usize> = Vec::new();
+        for d in 0..fabric.device_count() {
+            if fabric.is_dead(d) {
+                continue;
+            }
+            let policy = fabric.device(d).policy();
+            cost += 1 + segments as u64;
+            let ports_mask = policy.ports_mask();
+            let live = policy.self_live_ports();
+            let fwd = policy.active().forwarding(d);
+            // (d) structural: live ⊆ physical, forwarding ⊆ live.
+            assert!(
+                live.intersection(ports_mask) == live,
+                "invariant (d): device {d} live ports {live:?} exceed its \
+                 physical ports at {now}"
+            );
+            assert!(
+                fwd.intersection(&live) == fwd,
+                "invariant (d): device {d} forwards on {fwd:?} beyond its \
+                 live ports {live:?} at {now}"
+            );
+            // (d) next hops leave through forwarding ports.
+            for dst in 0..segments {
+                if let Some(hop) = policy.active().next_hop(d, dst) {
+                    assert!(
+                        fwd.contains(hop),
+                        "invariant (d): device {d} routes toward segment {dst} \
+                         out port {hop}, which is not forwarding, at {now}"
+                    );
+                }
+            }
+            // (d) election epochs only advance within one device life.
+            let life = fabric.restarts(d);
+            let epoch = policy.election_epoch();
+            if let Some(&(seen_life, seen_epoch)) = self.device_epochs.get(&d) {
+                assert!(
+                    life != seen_life || epoch >= seen_epoch,
+                    "invariant (d): device {d} election epoch went backwards \
+                     ({seen_epoch} -> {epoch}) within one life at {now}"
+                );
+            }
+            self.device_epochs.insert(d, (life, epoch));
+            // (b) hold-downs only cover physical ports.
+            let held = policy.held_ports(now);
+            assert!(
+                held.intersection(ports_mask) == held,
+                "invariant (b): device {d} holds down {held:?} beyond its \
+                 physical ports at {now}"
+            );
+            // (b)+(c) per tracked page.
+            let nports = topology.ports(d).len();
+            let clock = policy.aging_clock();
+            for page in policy.tracked_pages() {
+                cost += 1 + nports as u64;
+                let learned = policy.learned(page);
+                assert!(
+                    learned.intersection(ports_mask) == learned,
+                    "invariant (b): device {d} learned interest for page \
+                     {page} on {learned:?}, beyond its physical ports, at {now}"
+                );
+                if let Some(hp) = policy.holder_port(page) {
+                    assert!(
+                        ports_mask.contains(hp),
+                        "invariant (b): device {d} believes page {page}'s \
+                         holder is out port {hp}, which it does not have, at {now}"
+                    );
+                }
+                for seg in &policy.pinned_segs(page) {
+                    assert!(
+                        seg < segments,
+                        "invariant (b): device {d} pins page {page} to \
+                         nonexistent segment {seg} at {now}"
+                    );
+                }
+                let stamps = policy.stamps(page).unwrap_or(&[]);
+                assert_eq!(
+                    stamps.len(),
+                    nports,
+                    "invariant (c): device {d} page {page} stamp table does \
+                     not cover its ports at {now}"
+                );
+                // (The stamps' *sim-time* component may legitimately sit
+                // a frame-flight ahead of the sweep instant — the policy
+                // learns at arrival time when the pickup is scheduled —
+                // so only the device-local clock is comparable here.)
+                for (i, &(sc, _st)) in stamps.iter().enumerate() {
+                    assert!(
+                        sc <= clock,
+                        "invariant (c): device {d} page {page} port-index {i} \
+                         demand stamp (clock {sc}) is ahead of the device \
+                         clock {clock} at {now}"
+                    );
+                }
+                // (c) the home port never ages out of the interest mask.
+                if let Some(home) = policy.home_port(page) {
+                    assert!(
+                        policy.interest(page, now).contains(home),
+                        "invariant (c): device {d} aged page {page}'s home \
+                         port {home} out of its interest mask at {now}"
+                    );
+                }
+                // (b) the newest-generation gate is monotone within one
+                // (life, election epoch); a flush resets it and always
+                // bumps the epoch, a revival resets the life.
+                if let Some(gen) = policy.newest_gen(page) {
+                    let key = (d, page.index());
+                    if let Some(&(sl, se, sg)) = self.device_gens.get(&key) {
+                        assert!(
+                            sl != life || se != epoch || !sg.newer_than(gen),
+                            "invariant (b): device {d} page {page} newest-gen \
+                             gate went backwards ({sg} -> {gen}) within one \
+                             election epoch at {now}"
+                        );
+                    }
+                    self.device_gens.insert(key, (life, epoch, gen));
+                } else {
+                    self.device_gens.remove(&(d, page.index()));
+                }
+            }
+            rep.push(d);
+        }
+        // (d) determinism: live devices with identical gossiped views
+        // *in the same component* must have elected identical trees.
+        // Compare each device against one representative per distinct
+        // (views, component) class — view-identical devices separated
+        // by a partition legitimately elect their own islands' trees.
+        let mut groups: Vec<usize> = Vec::new();
+        for &d in &rep {
+            let policy = fabric.device(d).policy();
+            if !policy.views()[d].alive {
+                continue; // a device dead in its own view elects nothing
+            }
+            let mut matched = false;
+            for &g in &groups {
+                let gp = fabric.device(g).policy();
+                if gp.views() == policy.views() && same_component(topology, policy.views(), g, d) {
+                    assert!(
+                        gp.active() == policy.active(),
+                        "invariant (d): devices {g} and {d} share identical \
+                         views and a component but elected different active \
+                         trees at {now}"
+                    );
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                groups.push(d);
+            }
+        }
+        cost + (rep.len() * groups.len().max(1) * fabric.device_count()) as u64
+    }
+}

@@ -121,6 +121,9 @@ struct Env {
     layout: SegmentLayout,
     total_hosts: usize,
     has_fabric: bool,
+    /// Whether the invariant observer is on: lanes then assert the
+    /// lookahead contract on every pop (invariant (e)).
+    observe: bool,
 }
 
 /// A deferred bridge interaction: the fabric hears this frame at the
@@ -309,6 +312,25 @@ impl Lane {
         self.exit = WindowExit::Ran;
         while self.heap.peek().is_some_and(|e| e.at < until) {
             let ev = self.heap.pop().expect("peeked");
+            // Invariant (e): no lane event is processed at or past the
+            // window horizon (the lookahead contract), and a lane's own
+            // time never regresses — a cross-lane push that violated
+            // the forward-delay bound would trip one of these.
+            if env.observe {
+                assert!(
+                    ev.at < until,
+                    "lane {} popped an event at {} past its window horizon {until}",
+                    self.seg,
+                    ev.at
+                );
+                assert!(
+                    ev.at >= self.now,
+                    "lane {} popped an event at {} after advancing to {}",
+                    self.seg,
+                    ev.at,
+                    self.now
+                );
+            }
             self.now = ev.at;
             self.processed += 1;
             match ev.kind {
@@ -587,10 +609,12 @@ impl Simulation {
     /// the protocol). Only called on an eligible deployment.
     pub(super) fn run_parallel(&mut self, limits: RunLimits, workers: usize) -> RunOutcome {
         let layout = self.layout.expect("eligibility checked");
+        let mut observer = std::mem::take(&mut self.observer);
         let env = Env {
             layout,
             total_hosts: self.hosts.len(),
             has_fabric: self.fabric.is_some(),
+            observe: observer.enabled(),
         };
         let lookahead = self
             .fabric
@@ -852,6 +876,16 @@ impl Simulation {
                     }
                 }
                 ctrl.replay_pickups(lanes_ref);
+                // The window barrier is the one point where no lane is
+                // mid-flight, so the cross-layer state is globally
+                // consistent: run the sampled invariant sweep here
+                // (invariants (a)–(d); a full sweep also runs after the
+                // lanes reassemble at the end of the run).
+                if observer.on_event() {
+                    let guards: Vec<_> = lanes_ref.iter().map(|l| l.lock()).collect();
+                    let hosts: Vec<&HostSim> = guards.iter().flat_map(|g| g.hosts.iter()).collect();
+                    observer.sweep(&hosts, ctrl.fabric.as_deref(), final_now);
+                }
             }
         });
 
@@ -919,6 +953,10 @@ impl Simulation {
         self.fabric = fabric;
         self.tick_epochs = tick_epochs;
         self.now = final_now;
+        self.observer = observer;
+        if self.observer.enabled() {
+            self.check_invariants();
+        }
         RunOutcome {
             finished,
             wall: final_now - SimTime::ZERO,

@@ -23,6 +23,7 @@ pub mod protocols;
 pub mod publisher;
 pub mod scale;
 pub mod segments;
+pub mod soak;
 pub mod solver;
 
 pub use ablations::{
@@ -43,6 +44,10 @@ pub use segments::{
     build_cross_segment_counting, build_fabric_readers, build_segmented_counting_pairs,
     build_segmented_publisher, build_segmented_solver, build_segmented_solver_on, run_segmented,
     sweep_segmented_solver, PollingReader, SegmentedReport, SweepPoint, WriteGraph,
+};
+pub use soak::{
+    base_seed_from_env, run_soak, scenario_count_from_env, state_digest, SoakMix, SoakReport,
+    SoakScenario, SoakShape,
 };
 pub use solver::{
     jacobi_step, run_solver_speedup, SolverConfig, SolverWorker, SparseMatrix, SpeedupPoint,

@@ -542,6 +542,44 @@ impl PageTable {
         })
     }
 
+    /// Builds a *holder re-broadcast* of `page`: the same `PageData`
+    /// broadcast a purge would send, but at the page's **current**
+    /// generation and with no consistency state change — a pure
+    /// retransmission for loss recovery (see
+    /// `Calib::holder_rebroadcast` in `mether-sim`). Snoopers holding
+    /// an older generation refresh and wake their data-waiters; bridges
+    /// ignore it for holder beliefs (equal generations never repoint a
+    /// belief); everyone already current discards it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotConsistentHolder`] if the page is not held
+    /// consistent here with its copy present, or a purge is pending (the
+    /// purge broadcast itself — at the next generation — is already
+    /// queued and supersedes any retransmission).
+    pub fn holder_rebroadcast(&mut self, page: PageId, length: PageLength) -> Result<Packet> {
+        let short_len = self.cfg.short_len;
+        let host = self.host;
+        let e = self.pages.slot(page);
+        if !e.consistent || e.purge_pending {
+            return Err(Error::NotConsistentHolder { page });
+        }
+        let generation = e.generation;
+        let buf = e.buf.as_mut().ok_or(Error::NotConsistentHolder { page })?;
+        let transfer_len = match length {
+            PageLength::Full => crate::PAGE_SIZE,
+            PageLength::Short => short_len,
+        };
+        Ok(Packet::PageData {
+            from: host,
+            page,
+            length,
+            generation,
+            transfer_to: None,
+            data: buf.payload(transfer_len),
+        })
+    }
+
     /// DO-PURGE: the server acknowledges that the purge broadcast went
     /// out. Clears purge-pending and wakes the blocked purger.
     pub fn do_purge(&mut self, page: PageId, effects: &mut Vec<Effect>) {

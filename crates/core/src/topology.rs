@@ -183,6 +183,38 @@ impl BridgeTopology {
         Self::from_links(rows * cols, links).expect("a grid is connected")
     }
 
+    /// A random-tree family from a parent vector: segment `k` (k ≥ 1)
+    /// attaches under parent `parents[k-1] % k` (the modulo makes *any*
+    /// integer vector a valid wiring), and the children of each parent
+    /// are grouped into one multi-port bridge. Every such wiring is a
+    /// connected tree, and the family covers stars (all parents 0),
+    /// chains (parent k−1 each), and everything between — the generator
+    /// the fabric property tests draw from, promoted here so soak
+    /// harnesses reuse it instead of duplicating it. Thread redundancy
+    /// through the result with [`BridgeTopology::add_redundant_links`].
+    ///
+    /// An empty `parents` builds the 1-segment topology (a single
+    /// 1-port device — normalised to the flat wiring by consumers).
+    pub fn from_parents(parents: &[usize]) -> Self {
+        let segments = parents.len() + 1;
+        if segments == 1 {
+            return Self::star(1);
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); segments];
+        for (k, &p) in parents.iter().enumerate() {
+            children[p % (k + 1)].push(k + 1);
+        }
+        let links: Vec<Vec<usize>> = (0..segments)
+            .filter(|&p| !children[p].is_empty())
+            .map(|p| {
+                let mut ports = vec![p];
+                ports.extend(children[p].iter().copied());
+                ports
+            })
+            .collect();
+        Self::from_links(segments, links).expect("parent wiring is always a tree")
+    }
+
     /// This topology with extra bridge devices appended — the way to
     /// thread **redundant links** through an existing tree (e.g. a
     /// balanced tree plus one leaf-to-leaf tie bridge). Each entry is

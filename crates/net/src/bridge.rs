@@ -50,7 +50,8 @@
 //!   on its request-retry path while the fabric heals.
 //!
 //! Failures are injected as [`FabricEvent`]s ([`FabricEvent::BridgeDown`],
-//! [`FabricEvent::BridgeUp`], [`FabricEvent::LinkDown`]): a dead device
+//! [`FabricEvent::BridgeUp`], [`FabricEvent::LinkDown`],
+//! [`FabricEvent::LinkUp`]): a dead device
 //! stops emitting hellos and stops forwarding, its neighbours notice the
 //! silence, declare it dead (versioned gossip: a neighbour's obituary is
 //! `version + 1`; self-assertions advance by 2 so a live device always
@@ -315,16 +316,20 @@ pub enum RequestRouting {
 
 /// How long learned interest survives without fresh demand.
 ///
-/// Deployment floor: the horizon must comfortably exceed the fabric's
-/// worst-case request → reply latency (at the paper's calibration,
-/// ~13 ms of server time per request, plus bridge hops). The interest
-/// a forwarded `PageRequest` stamps exists precisely to let the reply
-/// back through; a horizon shorter than the reply latency expires it
-/// first and filters the reply itself, deterministically, on every
-/// retry — the requester livelocks. The same applies to data-driven
-/// consumers, which transmit nothing at all: pin their segments with
-/// static subscriptions ([`BridgePolicy::subscribe`]) instead of
-/// relying on learned interest under any finite horizon.
+/// Reply-grace semantics: the interest a forwarded `PageRequest` stamps
+/// exists precisely to let the reply back through, so a fabric built
+/// with [`FabricConfig::with_reply_grace`] holds *request-stamped*
+/// interest for at least that grace regardless of how short the
+/// configured horizon is — a sub-round-trip horizon ages background
+/// interest aggressively without filtering the very replies the
+/// requests asked for. Without a grace configured, the horizon must
+/// comfortably exceed the fabric's worst-case request → reply latency
+/// (at the paper's calibration, ~13 ms of server time per request,
+/// plus bridge hops), or the reply is filtered deterministically on
+/// every retry and the requester livelocks. Data-driven consumers
+/// transmit nothing at all — no request, no grace — so pin their
+/// segments with static subscriptions ([`BridgePolicy::subscribe`])
+/// instead of relying on learned interest under any finite horizon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum AgeHorizon {
     /// Interest never expires (PR 3's behaviour): a segment that once
@@ -337,8 +342,9 @@ pub enum AgeHorizon {
     /// ages exactly like the simulator.
     Transits(u64),
     /// An entry expires this long (in sim time) after the port last
-    /// showed demand. Simulator-only: the threaded runtime has no sim
-    /// clock and treats this as [`AgeHorizon::Sticky`].
+    /// showed demand. The threaded runtime's bridge threads derive a
+    /// monotonic [`SimTime`] from the wall clock (1 ns ≙ 1 ns), so this
+    /// ages there too, on wall time.
     SimTime(SimDuration),
 }
 
@@ -416,6 +422,15 @@ pub enum FabricEvent {
         /// The segment the port attached to.
         segment: usize,
     },
+    /// A previously-failed (device, segment) attachment comes back: the
+    /// device re-adds the port to its gossiped view and the fabric may
+    /// re-elect over the restored wiring. A no-op if the link is up.
+    LinkUp {
+        /// The device regaining the port.
+        device: usize,
+        /// The segment the port attaches to.
+        segment: usize,
+    },
 }
 
 /// Everything needed to instantiate the bridge fabric of a segmented
@@ -435,6 +450,11 @@ pub struct FabricConfig {
     pub routing: RequestRouting,
     /// Learned-interest lifetime.
     pub aging: AgeHorizon,
+    /// Reply-grace floor: request-stamped interest survives at least
+    /// this long (in sim time) regardless of `aging`, so a horizon
+    /// below the request→reply round trip no longer filters the reply
+    /// itself. `None` (the default) preserves pre-grace behaviour.
+    pub reply_grace: Option<SimDuration>,
     /// Static snapshot or live spanning-tree election.
     pub election: ElectionMode,
     /// Per-device bridge priorities (lower wins the root election;
@@ -453,6 +473,7 @@ impl FabricConfig {
             homes: PageHomePolicy::Striped,
             routing: RequestRouting::Flood,
             aging: AgeHorizon::Sticky,
+            reply_grace: None,
             election: ElectionMode::Static,
             priorities: Vec::new(),
         }
@@ -523,6 +544,14 @@ impl FabricConfig {
         self
     }
 
+    /// Sets the reply-grace floor: request-stamped interest survives at
+    /// least `grace` regardless of the aging horizon.
+    #[must_use]
+    pub fn with_reply_grace(mut self, grace: SimDuration) -> Self {
+        self.reply_grace = Some(grace);
+        self
+    }
+
     /// Overrides the election mode.
     #[must_use]
     pub fn with_election(mut self, election: ElectionMode) -> Self {
@@ -552,6 +581,11 @@ struct PageFilter {
     /// Last demand evidence per port, parallel to the device's port
     /// list: (device forwarded-transit clock, sim time).
     stamps: Vec<(u64, SimTime)>,
+    /// When each port last showed *request* demand (a forwarded
+    /// `PageRequest`), parallel to the port list; `SimTime::ZERO` means
+    /// never. The reply-grace floor keys off these so a reply can get
+    /// back through even when the aging horizon has expired the stamp.
+    req_stamps: Vec<SimTime>,
     /// Port (segment id) toward the believed consistent holder.
     holder: Option<u16>,
     /// Newest generation seen in any data transit for the page. Holder
@@ -592,6 +626,9 @@ pub struct BridgePolicy {
     homes: PageHomePolicy,
     routing: RequestRouting,
     aging: AgeHorizon,
+    /// Minimum survival of request-stamped interest, independent of
+    /// `aging` (see [`FabricConfig::with_reply_grace`]).
+    reply_grace: Option<SimDuration>,
     election: ElectionMode,
     priorities: Arc<Vec<u64>>,
     /// This device's beliefs about every device (itself included).
@@ -652,6 +689,7 @@ impl BridgePolicy {
             homes,
             routing,
             aging,
+            reply_grace: None,
             election: ElectionMode::Static,
             priorities,
             views,
@@ -701,6 +739,7 @@ impl BridgePolicy {
             homes: cfg.homes.clone(),
             routing: cfg.routing,
             aging: cfg.aging,
+            reply_grace: cfg.reply_grace,
             election: cfg.election,
             priorities,
             views,
@@ -818,6 +857,7 @@ impl BridgePolicy {
         while self.pages.len() <= idx {
             self.pages.push(PageFilter {
                 stamps: vec![(0, SimTime::ZERO); nports],
+                req_stamps: vec![SimTime::ZERO; nports],
                 ..PageFilter::default()
             });
         }
@@ -832,6 +872,14 @@ impl BridgePolicy {
             AgeHorizon::Transits(h) => self.clock.saturating_sub(stamp.0) <= h,
             AgeHorizon::SimTime(d) => now.since(stamp.1) <= d,
         }
+    }
+
+    /// Is a request stamp taken at `t` still inside the reply-grace
+    /// floor at `now`? `SimTime::ZERO` is the never-requested sentinel
+    /// (real arrivals are strictly later than the epoch).
+    fn within_grace(&self, t: SimTime, now: SimTime) -> bool {
+        self.reply_grace
+            .is_some_and(|g| t != SimTime::ZERO && now.since(t) <= g)
     }
 
     /// The ports this device may carry data on right now: the active
@@ -869,7 +917,9 @@ impl BridgePolicy {
         }
         let ports = self.topology.ports(self.device);
         for (i, &port) in ports.iter().enumerate() {
-            if f.learned.contains(port) && self.fresh(f.stamps[i], now) {
+            if f.learned.contains(port)
+                && (self.fresh(f.stamps[i], now) || self.within_grace(f.req_stamps[i], now))
+            {
                 m.insert(port);
             }
         }
@@ -1039,8 +1089,12 @@ impl BridgePolicy {
             Packet::PageRequest { page, .. } => {
                 // The requester's side now wants this page's transits —
                 // the reply (and later snoopy refreshes) must route back
-                // out this port.
+                // out this port. The request stamp additionally anchors
+                // the reply-grace floor: this is the one kind of demand
+                // whose answer must survive any aging horizon.
                 self.stamp(*page, in_port, now);
+                let i = self.port_index(in_port);
+                self.filter_mut(*page).req_stamps[i] = now;
             }
             Packet::PageData {
                 page,
@@ -1286,6 +1340,31 @@ impl BridgePolicy {
         }
     }
 
+    /// Restores this device's attachment to `segment` after a
+    /// [`BridgePolicy::kill_port`]: the port rejoins its live set
+    /// (self-version advances by 2, staying even) and the device
+    /// re-elects over the restored wiring — any port whose role changes
+    /// arms its hold-down exactly as after a hello-driven re-election.
+    /// A no-op (beyond the version bump) if the port was already live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is not a physical port of this device.
+    pub fn revive_port(&mut self, segment: usize, now: SimTime) -> PduOutcome {
+        assert!(
+            self.ports_mask.contains(segment),
+            "device {} has no port on segment {segment}",
+            self.device
+        );
+        let v = &mut self.views[self.device];
+        v.ports.insert(segment);
+        v.version += 2;
+        PduOutcome {
+            view_changed: true,
+            active_changed: self.recompute(now),
+        }
+    }
+
     /// Sets this device's self-assertion version — used when a device
     /// restarts, to start above any obituary still in circulation
     /// (`2 × restarts` keeps it even and strictly above the odd
@@ -1339,6 +1418,7 @@ impl BridgePolicy {
         for f in &mut self.pages {
             f.learned.remove(port);
             f.stamps[i] = (0, SimTime::ZERO);
+            f.req_stamps[i] = SimTime::ZERO;
             if f.holder == Some(port as u16) {
                 f.holder = None;
                 // Let the next reply re-teach the belief from scratch:
@@ -1877,6 +1957,17 @@ impl Fabric {
                     let r = self.devices[device].policy_mut().kill_port(segment, now);
                     if r.active_changed {
                         self.reconvergences += 1;
+                    }
+                }
+            }
+            FabricEvent::LinkUp { device, segment } => {
+                if self.lost_ports[device].contains(segment) {
+                    self.lost_ports[device].remove(segment);
+                    if !self.dead[device] {
+                        let r = self.devices[device].policy_mut().revive_port(segment, now);
+                        if r.active_changed {
+                            self.reconvergences += 1;
+                        }
                     }
                 }
             }

@@ -24,6 +24,7 @@ use mether_core::{Error, HostId, Packet, Result};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -102,6 +103,11 @@ struct Inner {
     wire_tx: Sender<Frame>,
     endpoints: Mutex<Vec<(HostId, Sender<Packet>)>>,
     stats: Mutex<NetStats>,
+    /// Frame-loss probability as `f64` bits — atomically reconfigurable
+    /// at runtime ([`Lan::set_loss`]) so fault plans can turn loss on
+    /// and off against a live segment. The wire thread loads it per
+    /// frame.
+    loss_bits: AtomicU64,
 }
 
 /// An in-process broadcast LAN. Cloning shares the same segment.
@@ -118,6 +124,7 @@ impl Lan {
             wire_tx,
             endpoints: Mutex::new(Vec::new()),
             stats: Mutex::new(NetStats::new()),
+            loss_bits: AtomicU64::new(cfg.loss.to_bits()),
         });
         let weak = Arc::downgrade(&inner);
         thread::Builder::new()
@@ -134,13 +141,12 @@ impl Lan {
                     if !dwell.is_zero() {
                         thread::sleep(dwell);
                     }
-                    if cfg.loss > 0.0 && rng.gen::<f64>() < cfg.loss {
-                        if let Some(inner) = weak.upgrade() {
-                            inner.stats.lock().record_loss();
-                        }
+                    let Some(inner) = weak.upgrade() else { break };
+                    let loss = f64::from_bits(inner.loss_bits.load(Ordering::Relaxed));
+                    if loss > 0.0 && rng.gen::<f64>() < loss {
+                        inner.stats.lock().record_loss();
                         continue;
                     }
-                    let Some(inner) = weak.upgrade() else { break };
                     // Decode once per broadcast; every receiver gets a
                     // cheap clone whose payload is a zero-copy view of
                     // the sender's own buffer (vectored framing end to
@@ -190,6 +196,26 @@ impl Lan {
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> NetStats {
         *self.inner.stats.lock()
+    }
+
+    /// Reconfigures the frame-loss probability on the live segment.
+    /// Frames already queued at the wire thread see the new value —
+    /// loss is sampled at forwarding time, not at broadcast time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn set_loss(&self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
+        self.inner.loss_bits.store(p.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current frame-loss probability.
+    pub fn loss(&self) -> f64 {
+        f64::from_bits(self.inner.loss_bits.load(Ordering::Relaxed))
     }
 }
 

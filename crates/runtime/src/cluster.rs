@@ -31,6 +31,42 @@
 //! Mether page table ignores [`mether_core::Packet::BridgePdu`] the way
 //! a real NIC filters BPDU multicasts.
 //!
+//! # The runtime fault plane
+//!
+//! Every fault the simulator's fabric can inject is injectable here, on
+//! live threads, through the same [`FabricEvent`] vocabulary
+//! ([`Cluster::apply_fabric_event`], or scripted via
+//! `mether_runtime::FaultPlan`):
+//!
+//! - **`BridgeDown` / `BridgeUp`** — [`Cluster::stop_bridge`] /
+//!   [`Cluster::restart_bridge`]. Stopping a device also arms the
+//!   *reconvergence stall probe*: the wall-clock window from the kill
+//!   to the first `PageData` frame forwarded by a device whose election
+//!   epoch has advanced past its pre-failure snapshot — the period
+//!   during which cross-fabric pages were unreachable
+//!   ([`Cluster::fabric_stall`], the threaded twin of the simulator's
+//!   probe).
+//! - **`LinkDown` / `LinkUp`** — [`Cluster::link_down`] /
+//!   [`Cluster::link_up`]: one (device, segment) attachment fails while
+//!   the device keeps forwarding on its surviving ports. The lost port
+//!   is gated at the *endpoint level* in the device's thread (frames
+//!   arriving on it are discarded, nothing is emitted onto it) and the
+//!   policy gossips the reduced port set exactly as the simulator's
+//!   `kill_port` does. Lost links are cluster state, not thread state:
+//!   they **survive [`Cluster::restart_bridge`]** — a revived device
+//!   re-severs its dead attachments before it says hello, matching the
+//!   sim's "LinkDowns survive revival" semantics.
+//! - **Frame loss** — [`Cluster::set_loss`] retargets a segment's
+//!   Bernoulli loss rate at runtime (the `LanConfig::loss` knob made
+//!   live), so a soak can run phases of clean and lossy wire.
+//!
+//! Telemetry that previously existed only inside the policy is
+//! surfaced: [`Cluster::bridge_stats`] (per-device [`BridgeStats`]
+//! persisting across restarts), [`Cluster::fabric_reconvergences`]
+//! (active-tree changes summed over all devices), and
+//! [`Cluster::fabric_timeline`] (every injected event with its
+//! wall-clock offset).
+//!
 //! The fabric's engine knobs ([`mether_net::BridgeConfig`] — forward
 //! delay, queue bound, fault injection) model the simulator's
 //! store-and-forward device and are not applied here: a bridge thread
@@ -44,9 +80,9 @@ use crate::node::Node;
 use mether_core::{HostId, MetherConfig, Packet, PageId, SegmentLayout};
 use mether_net::bridge::{BridgePolicy, FabricConfig, BRIDGE_HOST_BASE};
 use mether_net::rt::{Endpoint, Lan, LanConfig};
-use mether_net::{NetStats, SimDuration, SimTime};
+use mether_net::{BridgeStats, FabricEvent, NetStats, SimDuration, SimTime};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -143,6 +179,26 @@ struct DeviceSlot {
     restarts: u64,
 }
 
+/// Fault-injection state shared by the cluster API and every bridge
+/// thread: the stall probe, the reconvergence counter, and the injected
+/// timeline. Lock order is slot → policy → stats → fault; no code path
+/// takes a policy (or slot) lock while holding this one.
+struct FaultState {
+    /// Armed by [`Cluster::stop_bridge`]: when the kill happened, until
+    /// a data frame forwarded by an epoch-advanced device resolves it.
+    down_at: Option<Instant>,
+    /// Per-device election epochs snapshotted at the kill.
+    epochs_at_down: Vec<u64>,
+    /// The measured reconvergence stall of the most recent kill.
+    stall: Option<Duration>,
+    /// Active-tree changes summed across devices (0 under static
+    /// election or an undisturbed fabric).
+    reconvergences: u64,
+    /// Every injected fault, with its wall-clock offset from cluster
+    /// start.
+    timeline: Vec<(Duration, FabricEvent)>,
+}
+
 /// The fabric's bridge threads — one per device — plus everything
 /// needed to respawn one (the kill/restart failure-injection path).
 struct BridgeThreads {
@@ -154,11 +210,23 @@ struct BridgeThreads {
     /// `Instant` elapsed into `SimTime` for the shared, transport-free
     /// policy (1 wall-ns ≙ 1 sim-ns).
     start: Instant,
-    devices: Vec<DeviceSlot>,
+    devices: Vec<Mutex<DeviceSlot>>,
+    /// Per-device forwarding counters, **persisting across restarts**
+    /// (a revival cold-resets the filter, not the run's accounting —
+    /// the same carryover the simulator's engine keeps).
+    stats: Vec<Arc<Mutex<BridgeStats>>>,
+    /// Per-device lost-port bitmask (bit = segment id). Cluster state,
+    /// not thread state: `spawn_device` re-severs these on revival, and
+    /// the thread gates its endpoints against the current mask on every
+    /// frame. Fault injection caps segments at 64 (the fabric itself
+    /// has no such cap).
+    lost: Vec<Arc<AtomicU64>>,
+    fault: Arc<Mutex<FaultState>>,
 }
 
 impl BridgeThreads {
     fn start(lans: &[Lan], layout: SegmentLayout, fabric: &FabricConfig) -> BridgeThreads {
+        let n = fabric.topology.bridges();
         let mut this = BridgeThreads {
             lans: lans.to_vec(),
             layout,
@@ -166,12 +234,28 @@ impl BridgeThreads {
             priorities: Arc::new(fabric.priorities.clone()),
             start: Instant::now(),
             devices: Vec::new(),
+            stats: (0..n)
+                .map(|_| Arc::new(Mutex::new(BridgeStats::default())))
+                .collect(),
+            lost: (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect(),
+            fault: Arc::new(Mutex::new(FaultState {
+                down_at: None,
+                epochs_at_down: vec![0; n],
+                stall: None,
+                reconvergences: 0,
+                timeline: Vec::new(),
+            })),
         };
-        for device in 0..fabric.topology.bridges() {
+        for device in 0..n {
             let slot = this.spawn_device(device, 0);
-            this.devices.push(slot);
+            this.devices.push(Mutex::new(slot));
         }
         this
+    }
+
+    /// The cluster's wall clock as the policies' SimTime.
+    fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(self.start.elapsed().as_nanos() as u64)
     }
 
     /// Builds a fresh policy and spawns the device's thread. A non-zero
@@ -181,7 +265,9 @@ impl BridgeThreads {
     /// wall clock — neighbour stamps start now (no spurious obituaries
     /// from a zeroed clock) and every port boots in its hold-down so
     /// the optimistic construction tree cannot close a transient loop
-    /// against the converged fabric around it.
+    /// against the converged fabric around it. Links lost before the
+    /// revival stay lost: the fresh policy re-severs them before the
+    /// first hello.
     fn spawn_device(&self, device: usize, restarts: u64) -> DeviceSlot {
         let topology = Arc::new(self.fabric.topology.clone());
         let mut p = BridgePolicy::for_device(
@@ -193,12 +279,19 @@ impl BridgeThreads {
         );
         p.set_self_version(2 * restarts);
         if restarts > 0 {
-            let elapsed = SimDuration::from_nanos(self.start.elapsed().as_nanos() as u64);
-            p.rejoin(SimTime::ZERO + elapsed);
+            p.rejoin(self.now());
+        }
+        let ports: Vec<usize> = self.fabric.topology.ports(device).to_vec();
+        // Re-sever attachments lost in a previous life (LinkDown is
+        // cluster state, surviving restart_bridge like the sim's).
+        let lost0 = self.lost[device].load(Ordering::Relaxed);
+        for &seg in &ports {
+            if seg < 64 && lost0 & (1u64 << seg) != 0 {
+                let _ = p.kill_port(seg, self.now());
+            }
         }
         let policy = Arc::new(Mutex::new(p));
         let stop = Arc::new(AtomicBool::new(false));
-        let ports: Vec<usize> = self.fabric.topology.ports(device).to_vec();
         // The device's endpoint on each of its port segments.
         // Forwarding to port `p` transmits *from* this device's
         // endpoint on `p`, so the device never hears its own forwards,
@@ -216,26 +309,42 @@ impl BridgeThreads {
         let epoch = self.start;
         let thread_policy = Arc::clone(&policy);
         let thread_stop = Arc::clone(&stop);
+        let thread_stats = Arc::clone(&self.stats[device]);
+        let thread_lost = Arc::clone(&self.lost[device]);
+        let thread_fault = Arc::clone(&self.fault);
         let handle = thread::Builder::new()
             .name(format!("mether-bridge-{device}"))
             .spawn(move || {
                 let policy = thread_policy;
                 let stop = thread_stop;
+                let stats = thread_stats;
+                let lost = thread_lost;
+                let fault = thread_fault;
                 // The threaded fabric's clock: wall time since cluster
                 // start, as SimTime — so the shared policy's hello
                 // timeouts and SimTime aging horizons tick in real
                 // milliseconds here and simulated ones in mether-sim.
                 let now =
                     || SimTime::ZERO + SimDuration::from_nanos(epoch.elapsed().as_nanos() as u64);
-                let broadcast_hello = |p: &BridgePolicy| {
+                let gated = |mask: u64, seg: usize| seg < 64 && mask & (1u64 << seg) != 0;
+                let broadcast_hello = |p: &BridgePolicy, lost_now: u64| {
                     let pdu = p.pdu();
                     for seg in p.self_live_ports() {
+                        if gated(lost_now, seg) {
+                            continue;
+                        }
                         if let Some(j) = ports.iter().position(|&q| q == seg) {
                             let _ = endpoints[j].broadcast(&pdu);
                         }
                     }
                 };
                 let dispatch = |port_idx: usize, pkt: &Packet| {
+                    let lost_now = lost.load(Ordering::Relaxed);
+                    if gated(lost_now, ports[port_idx]) {
+                        // The link is down: frames still draining out of
+                        // the endpoint queue fell on a dead wire.
+                        return;
+                    }
                     if let Packet::BridgePdu {
                         device: from,
                         views,
@@ -244,22 +353,65 @@ impl BridgeThreads {
                     {
                         let mut p = policy.lock();
                         let r = p.hear_pdu(*from as usize, views, ports[port_idx], now());
+                        if r.active_changed {
+                            fault.lock().reconvergences += 1;
+                        }
                         if r.view_changed {
                             // Triggered hello: propagate the news now,
                             // not a cadence later.
-                            broadcast_hello(&p);
+                            broadcast_hello(&p, lost_now);
                         }
                         return;
                     }
-                    let targets = policy.lock().route(pkt, ports[port_idx], now());
-                    for dst in targets {
-                        let j = ports
-                            .iter()
-                            .position(|&p| p == dst)
-                            .expect("targets are scoped to the ports");
+                    let (targets, election_epoch) = {
+                        let mut p = policy.lock();
+                        let t = p.route(pkt, ports[port_idx], now());
+                        (t, p.election_epoch())
+                    };
+                    let out: Vec<usize> = targets
+                        .into_iter()
+                        .filter(|&dst| !gated(lost_now, dst))
+                        .map(|dst| {
+                            ports
+                                .iter()
+                                .position(|&p| p == dst)
+                                .expect("targets are scoped to the ports")
+                        })
+                        .collect();
+                    let forwarded = out.len() as u64;
+                    // Count before transmitting: a receiver woken by the
+                    // forwarded frame may inspect `bridge_stats`
+                    // immediately, and must see this crossing.
+                    {
+                        let mut s = stats.lock();
+                        s.heard += 1;
+                        if forwarded == 0 {
+                            s.filtered += 1;
+                        } else {
+                            s.forwarded += forwarded;
+                            s.bytes_forwarded += forwarded * pkt.wire_size() as u64;
+                            if matches!(pkt, Packet::PageRequest { .. }) {
+                                s.req_forwarded += forwarded;
+                            }
+                        }
+                    }
+                    for j in out {
                         // A vanished destination LAN is a shutdown
                         // race, not an error.
                         let _ = endpoints[j].broadcast(pkt);
+                    }
+                    if forwarded > 0 && pkt.is_data() {
+                        // Resolve the reconvergence stall probe: the
+                        // first data frame carried cross-fabric by a
+                        // device whose election moved past its pre-kill
+                        // snapshot ends the unreachable window.
+                        let mut f = fault.lock();
+                        if let Some(t0) = f.down_at {
+                            if election_epoch > f.epochs_at_down[device] {
+                                f.stall = Some(t0.elapsed());
+                                f.down_at = None;
+                            }
+                        }
                     }
                 };
                 // Block on one port (rotating) so an idle device sleeps
@@ -282,8 +434,13 @@ impl BridgeThreads {
                         Err(_) => break 'run,
                     }
                     rot = (rot + 1) % endpoints.len();
+                    // The drain is capped per sweep: under a frame storm
+                    // (e.g. a transient forwarding loop on a redundant
+                    // fabric) the queues never go quiet, and an unbounded
+                    // drain would keep this thread from ever re-checking
+                    // `stop` or sending hellos again.
                     for (i, ep) in endpoints.iter().enumerate() {
-                        loop {
+                        for _ in 0..1024 {
                             match ep.try_recv() {
                                 Ok(Some(pkt)) => dispatch(i, &pkt),
                                 Ok(None) => break,
@@ -296,8 +453,10 @@ impl BridgeThreads {
                             last_hello = Instant::now();
                             let mut p = policy.lock();
                             let r = p.on_tick(now());
-                            let _ = r;
-                            broadcast_hello(&p);
+                            if r.active_changed {
+                                fault.lock().reconvergences += 1;
+                            }
+                            broadcast_hello(&p, lost.load(Ordering::Relaxed));
                         }
                     }
                 }
@@ -313,8 +472,10 @@ impl BridgeThreads {
 
     /// Signals device `d`'s thread to stop and joins it. Returns true
     /// if a running thread was stopped.
-    fn stop_device(&mut self, d: usize) -> bool {
-        let slot = &mut self.devices[d];
+    fn stop_device(&self, d: usize) -> bool {
+        // Holding the slot lock across the join is safe: bridge threads
+        // never take slot locks (only policy/stats/fault).
+        let mut slot = self.devices[d].lock();
         let Some(handle) = slot.handle.take() else {
             return false;
         };
@@ -325,19 +486,25 @@ impl BridgeThreads {
 
     /// Respawns device `d` cold (its thread must be stopped). Returns
     /// true if a stopped device was revived.
-    fn restart_device(&mut self, d: usize) -> bool {
-        if self.devices[d].handle.is_some() {
+    fn restart_device(&self, d: usize) -> bool {
+        let mut slot = self.devices[d].lock();
+        if slot.handle.is_some() {
             return false;
         }
-        let restarts = self.devices[d].restarts + 1;
-        self.devices[d] = self.spawn_device(d, restarts);
+        let restarts = slot.restarts + 1;
+        *slot = self.spawn_device(d, restarts);
         true
     }
 
-    fn stop(&mut self) {
+    fn stop(&self) {
         for d in 0..self.devices.len() {
             let _ = self.stop_device(d);
         }
+    }
+
+    fn record(&self, ev: FabricEvent) {
+        let at = self.start.elapsed();
+        self.fault.lock().timeline.push((at, ev));
     }
 }
 
@@ -439,31 +606,214 @@ impl Cluster {
     /// injection path. The thread is signalled **and joined** (not
     /// leaked to a join-on-drop); under live election its neighbours
     /// hello-timeout the silence, gossip the obituary, and re-elect
-    /// around the hole. Returns true if a running device was stopped.
+    /// around the hole. Arms the reconvergence stall probe
+    /// ([`Cluster::fabric_stall`]) against every device's pre-failure
+    /// election epoch. Returns true if a running device was stopped.
     ///
     /// # Panics
     ///
     /// Panics if `device` is out of range on a bridged cluster; returns
     /// false on a flat cluster.
-    pub fn stop_bridge(&mut self, device: usize) -> bool {
-        self.bridge.as_mut().is_some_and(|b| b.stop_device(device))
+    pub fn stop_bridge(&self, device: usize) -> bool {
+        let Some(b) = self.bridge.as_ref() else {
+            return false;
+        };
+        if !b.stop_device(device) {
+            return false;
+        }
+        // Snapshot epochs first (slot → policy), then write the fault
+        // state — never the fault lock while reaching for a policy.
+        let epochs: Vec<u64> = b
+            .devices
+            .iter()
+            .map(|slot| slot.lock().policy.lock().election_epoch())
+            .collect();
+        {
+            let mut f = b.fault.lock();
+            f.down_at = Some(Instant::now());
+            f.stall = None;
+            f.epochs_at_down = epochs;
+        }
+        b.record(FabricEvent::BridgeDown(device));
+        true
     }
 
     /// Revives a stopped bridge device cold: fresh filter tables (pins
     /// and learned interest are gone, like a power-cycled bridge),
     /// fresh optimistic views, and a self-assertion version above any
     /// obituary its neighbours still gossip — the threaded counterpart
-    /// of the simulator's `BridgeUp`. Returns true if a stopped device
-    /// was revived.
+    /// of the simulator's `BridgeUp`. Links taken down with
+    /// [`Cluster::link_down`] stay down across the revival. Returns
+    /// true if a stopped device was revived.
     ///
     /// # Panics
     ///
     /// Panics if `device` is out of range on a bridged cluster; returns
     /// false on a flat cluster.
-    pub fn restart_bridge(&mut self, device: usize) -> bool {
+    pub fn restart_bridge(&self, device: usize) -> bool {
+        let Some(b) = self.bridge.as_ref() else {
+            return false;
+        };
+        if !b.restart_device(device) {
+            return false;
+        }
+        b.record(FabricEvent::BridgeUp(device));
+        true
+    }
+
+    /// Fails the (device, segment) attachment: the device stops hearing
+    /// and emitting frames on that port (endpoint-level gating in its
+    /// thread) and gossips the reduced port set, exactly like the
+    /// simulator's `LinkDown`. The loss is cluster state — it survives
+    /// [`Cluster::restart_bridge`] until [`Cluster::link_up`] undoes
+    /// it. Returns true if a live link was severed (false when already
+    /// down, or on a flat cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is not a physical port of `device`, or if
+    /// `segment >= 64` (fault injection's mask cap; the fabric itself
+    /// has no such limit).
+    pub fn link_down(&self, device: usize, segment: usize) -> bool {
+        let Some(b) = self.bridge.as_ref() else {
+            return false;
+        };
+        assert!(
+            b.fabric.topology.ports(device).contains(&segment),
+            "device {device} has no port on segment {segment}"
+        );
+        assert!(segment < 64, "link fault injection caps segments at 64");
+        let bit = 1u64 << segment;
+        if b.lost[device].fetch_or(bit, Ordering::Relaxed) & bit != 0 {
+            return false;
+        }
+        let slot = b.devices[device].lock();
+        if slot.handle.is_some() {
+            let r = slot.policy.lock().kill_port(segment, b.now());
+            if r.active_changed {
+                b.fault.lock().reconvergences += 1;
+            }
+        }
+        drop(slot);
+        b.record(FabricEvent::LinkDown { device, segment });
+        true
+    }
+
+    /// Restores a failed (device, segment) attachment: the port rejoins
+    /// the device's gossiped view and the fabric may re-elect over the
+    /// restored wiring. Returns true if a downed link came back (false
+    /// when it was not down, or on a flat cluster).
+    ///
+    /// # Panics
+    ///
+    /// As [`Cluster::link_down`].
+    pub fn link_up(&self, device: usize, segment: usize) -> bool {
+        let Some(b) = self.bridge.as_ref() else {
+            return false;
+        };
+        assert!(
+            b.fabric.topology.ports(device).contains(&segment),
+            "device {device} has no port on segment {segment}"
+        );
+        assert!(segment < 64, "link fault injection caps segments at 64");
+        let bit = 1u64 << segment;
+        if b.lost[device].fetch_and(!bit, Ordering::Relaxed) & bit == 0 {
+            return false;
+        }
+        let slot = b.devices[device].lock();
+        if slot.handle.is_some() {
+            let r = slot.policy.lock().revive_port(segment, b.now());
+            if r.active_changed {
+                b.fault.lock().reconvergences += 1;
+            }
+        }
+        drop(slot);
+        b.record(FabricEvent::LinkUp { device, segment });
+        true
+    }
+
+    /// Applies one [`FabricEvent`] to the live cluster — the runtime
+    /// twin of the simulator's scripted fault injection, and the unit
+    /// [`crate::FaultPlan`] scripts are made of. Returns whether the
+    /// event changed anything (a `BridgeDown` of an already-dead
+    /// device, say, is a no-op).
+    pub fn apply_fabric_event(&self, ev: FabricEvent) -> bool {
+        match ev {
+            FabricEvent::BridgeDown(d) => self.stop_bridge(d),
+            FabricEvent::BridgeUp(d) => self.restart_bridge(d),
+            FabricEvent::LinkDown { device, segment } => self.link_down(device, segment),
+            FabricEvent::LinkUp { device, segment } => self.link_up(device, segment),
+        }
+    }
+
+    /// Retargets segment `seg`'s Bernoulli frame-loss rate, effective
+    /// for every frame clocked out after the call — the
+    /// `LanConfig::loss` knob made runtime-mutable, so a soak can phase
+    /// between clean and lossy wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range or `loss` is outside `[0, 1]`.
+    pub fn set_loss(&self, seg: usize, loss: f64) {
+        self.lans[seg].set_loss(loss);
+    }
+
+    /// Per-device forwarding counters, **persisting across restarts**:
+    /// frames heard/forwarded/filtered plus the policy's live belief
+    /// counters — the telemetry that previously existed only inside
+    /// the policy, surfaced for parity with the simulator's per-device
+    /// [`BridgeStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flat cluster or an out-of-range device.
+    pub fn bridge_stats(&self, device: usize) -> BridgeStats {
+        let b = self
+            .bridge
+            .as_ref()
+            .expect("bridge_stats needs a segmented cluster");
+        let mut s = *b.stats[device].lock();
+        let (hits, floods, repairs) = b.devices[device].lock().policy.lock().belief_counters();
+        s.belief_hits = hits;
+        s.belief_fallback_floods = floods;
+        s.belief_repairs = repairs;
+        s
+    }
+
+    /// Active-tree changes summed across every bridge device since
+    /// cluster start (0 under static election, an undisturbed fabric,
+    /// or a flat cluster).
+    pub fn fabric_reconvergences(&self) -> u64 {
         self.bridge
-            .as_mut()
-            .is_some_and(|b| b.restart_device(device))
+            .as_ref()
+            .map_or(0, |b| b.fault.lock().reconvergences)
+    }
+
+    /// The measured reconvergence stall: wall time from the most recent
+    /// [`Cluster::stop_bridge`] to the first `PageData` frame forwarded
+    /// by a device whose election epoch advanced past its pre-kill
+    /// snapshot — the window during which cross-fabric pages were
+    /// unreachable. `None` when nothing was killed (or nothing crossed
+    /// afterwards); the threaded twin of the simulator's probe.
+    pub fn fabric_stall(&self) -> Option<Duration> {
+        self.bridge.as_ref().and_then(|b| b.fault.lock().stall)
+    }
+
+    /// Every fault injected so far, with its wall-clock offset from
+    /// cluster start (empty on a flat or undisturbed cluster).
+    pub fn fabric_timeline(&self) -> Vec<(Duration, FabricEvent)> {
+        self.bridge
+            .as_ref()
+            .map_or(Vec::new(), |b| b.fault.lock().timeline.clone())
+    }
+
+    /// Page requests dropped in node receive paths because an identical
+    /// request was already pending in the same drained batch (summed
+    /// over nodes) — the runtime's counterpart of the simulator's
+    /// NIC-level request coalescing, so the two engines' reports line
+    /// up column-for-column.
+    pub fn requests_coalesced(&self) -> u64 {
+        self.nodes.iter().map(Node::requests_coalesced).sum()
     }
 
     /// The segment node `i` sits on (0 for every node of a flat cluster).
@@ -503,13 +853,13 @@ impl Cluster {
             .as_ref()
             .expect("subscribe_segment needs a segmented cluster");
         for slot in &bridge.devices {
-            slot.policy.lock().subscribe(page, seg);
+            slot.lock().policy.lock().subscribe(page, seg);
         }
     }
 
     /// Stops the bridge threads and every node's receiver thread.
     pub fn shutdown(&mut self) {
-        if let Some(b) = self.bridge.as_mut() {
+        if let Some(b) = self.bridge.as_ref() {
             b.stop();
         }
         for n in &mut self.nodes {
@@ -588,6 +938,11 @@ mod tests {
             c.segment_stats(0).packets + c.segment_stats(1).packets,
             "summed view equals per-segment counters"
         );
+        // The new stats surface: the one device heard and forwarded the
+        // cross-segment request/reply pair.
+        let s = c.bridge_stats(0);
+        assert!(s.heard >= 2, "device heard request and reply");
+        assert!(s.forwarded >= 2, "request and reply crossed");
         c.shutdown();
     }
 
@@ -714,6 +1069,10 @@ mod tests {
                 ),
             }
         }
+        // The timeline remembers both injections in order.
+        let tl = c.fabric_timeline();
+        assert!(matches!(tl[0].1, FabricEvent::BridgeDown(0)));
+        assert!(matches!(tl[1].1, FabricEvent::BridgeUp(0)));
         c.shutdown();
     }
 

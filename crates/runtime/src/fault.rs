@@ -1,0 +1,83 @@
+//! Scripted, wall-clock-paced fault injection against a live [`Cluster`].
+//!
+//! A [`FaultPlan`] is the runtime twin of the simulator's scheduled
+//! [`FabricEvent`] timeline: a sorted list of `(offset, event)` pairs
+//! that [`FaultPlan::run`] replays against a cluster in real time,
+//! sleeping out the gaps. Because every event goes through
+//! [`Cluster::apply_fabric_event`], the same plan vocabulary drives
+//! both engines — kill a bridge, sever a link, revive either — and the
+//! cluster's fault telemetry ([`Cluster::fabric_timeline`],
+//! [`Cluster::fabric_stall`], [`Cluster::fabric_reconvergences`])
+//! records what actually happened and when.
+//!
+//! ```no_run
+//! use mether_runtime::{Cluster, ClusterConfig, FaultPlan};
+//! use mether_net::{ElectionMode, FabricEvent};
+//! use mether_net::bridge::FabricConfig;
+//! use std::time::Duration;
+//!
+//! let fabric = FabricConfig::ring(4).with_election(ElectionMode::live());
+//! let cluster = Cluster::new(ClusterConfig::fabric(8, fabric))?;
+//! let plan = FaultPlan::new()
+//!     .at(Duration::from_millis(200), FabricEvent::BridgeDown(0))
+//!     .at(Duration::from_millis(900), FabricEvent::BridgeUp(0));
+//! std::thread::scope(|s| {
+//!     s.spawn(|| plan.run(&cluster));
+//!     // ... drive workload traffic here while the faults land ...
+//! });
+//! # Ok::<(), mether_core::Error>(())
+//! ```
+
+use crate::Cluster;
+use mether_net::FabricEvent;
+use std::time::{Duration, Instant};
+
+/// A scripted list of [`FabricEvent`]s, each pinned to a wall-clock
+/// offset from the moment [`FaultPlan::run`] is called.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    steps: Vec<(Duration, FabricEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (running it returns immediately).
+    pub fn new() -> FaultPlan {
+        FaultPlan { steps: Vec::new() }
+    }
+
+    /// Adds `ev` at `after` from the start of the run. Steps may be
+    /// added in any order; [`FaultPlan::run`] replays them sorted.
+    #[must_use]
+    pub fn at(mut self, after: Duration, ev: FabricEvent) -> FaultPlan {
+        self.steps.push((after, ev));
+        self
+    }
+
+    /// The scripted steps, sorted by offset.
+    pub fn steps(&self) -> Vec<(Duration, FabricEvent)> {
+        let mut s = self.steps.clone();
+        s.sort_by_key(|&(at, _)| at);
+        s
+    }
+
+    /// Replays the plan against `cluster` in real time: sleeps until
+    /// each step's offset, then applies its event. Returns how many
+    /// events actually changed cluster state (an event against an
+    /// already-dead device, say, is a no-op and does not count).
+    ///
+    /// Blocking by design — run it from its own (scoped) thread when
+    /// workload traffic must flow underneath the faults.
+    pub fn run(&self, cluster: &Cluster) -> usize {
+        let t0 = Instant::now();
+        let mut applied = 0;
+        for (at, ev) in self.steps() {
+            if let Some(gap) = at.checked_sub(t0.elapsed()) {
+                std::thread::sleep(gap);
+            }
+            if cluster.apply_fabric_event(ev) {
+                applied += 1;
+            }
+        }
+        applied
+    }
+}

@@ -15,9 +15,11 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 mod node;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use fault::FaultPlan;
 pub use node::Node;
 
 #[cfg(test)]

@@ -15,8 +15,8 @@
 //! so the handshake collapses without changing what reaches the wire.
 
 use mether_core::{
-    AccessOutcome, Effect, Error, HostId, MapMode, MetherConfig, PageId, PageLength, PageTable,
-    Result, VAddr,
+    AccessOutcome, Effect, Error, HostId, MapMode, MetherConfig, Packet, PageId, PageLength,
+    PageTable, Result, VAddr, Want,
 };
 use mether_net::rt::Endpoint;
 use parking_lot::{Condvar, Mutex};
@@ -32,6 +32,32 @@ pub(crate) struct NodeInner {
     endpoint: Arc<Endpoint>,
     shutdown: AtomicBool,
     next_waiter: AtomicU64,
+    /// Page requests dropped because an identical one was already in
+    /// the same drained receive burst (see [`Node::requests_coalesced`]).
+    requests_coalesced: AtomicU64,
+}
+
+/// Is `pkt` a page request identical (same page, length, and want —
+/// plus same requester for directed consistency transfers) to one
+/// already in `earlier`? The runtime's counterpart of the simulator's
+/// NIC-level request coalescing: every reply is a broadcast the whole
+/// wire snoops, so one request per distinct ask satisfies every waiter
+/// a duplicate could.
+fn duplicate_request(pkt: &Packet, earlier: &[Packet]) -> bool {
+    let Packet::PageRequest {
+        from,
+        page,
+        length,
+        want,
+    } = pkt
+    else {
+        return false;
+    };
+    earlier.iter().any(|e| {
+        matches!(e, Packet::PageRequest { from: f2, page: p2, length: l2, want: w2 }
+            if p2 == page && l2 == length && w2 == want
+                && (*want != Want::Consistent || f2 == from))
+    })
 }
 
 impl NodeInner {
@@ -73,6 +99,7 @@ impl Node {
             endpoint: Arc::new(endpoint),
             shutdown: AtomicBool::new(false),
             next_waiter: AtomicU64::new(0),
+            requests_coalesced: AtomicU64::new(0),
         });
         let rx_inner = Arc::clone(&inner);
         let receiver = std::thread::Builder::new()
@@ -80,13 +107,38 @@ impl Node {
             .spawn(move || {
                 // The snooping receiver: every broadcast on the segment is
                 // fed to the driver; effects (replies, wakeups) happen here.
+                // Shutdown is checked every iteration (not only on a recv
+                // timeout) and the burst drain is capped, so a fabric
+                // melting down into a frame storm — a queue that never
+                // goes quiet — cannot wedge the join in [`Node::shutdown`]
+                // or grow an unbounded batch.
                 loop {
+                    if rx_inner.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
                     match rx_inner.endpoint.recv_timeout(Duration::from_millis(50)) {
                         Ok(pkt) => {
+                            // Drain the burst queued behind this frame,
+                            // coalescing identical page requests within
+                            // it — the one broadcast reply satisfies
+                            // every requester the duplicates speak for.
+                            let mut batch: Vec<Packet> = vec![pkt];
+                            for _ in 0..1024 {
+                                let Ok(Some(next)) = rx_inner.endpoint.try_recv() else {
+                                    break;
+                                };
+                                if duplicate_request(&next, &batch) {
+                                    rx_inner.requests_coalesced.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                batch.push(next);
+                            }
                             let effects = {
                                 let mut driver = rx_inner.driver.lock();
                                 let mut fx = Vec::new();
-                                driver.handle_packet(&pkt, &mut fx);
+                                for pkt in &batch {
+                                    driver.handle_packet(pkt, &mut fx);
+                                }
                                 fx
                             };
                             if rx_inner.apply_effects(effects).is_err() {
@@ -112,6 +164,15 @@ impl Node {
     /// This node's host id.
     pub fn host(&self) -> HostId {
         self.inner.host
+    }
+
+    /// Page requests this node's receiver dropped because an identical
+    /// request was already in the same drained burst — the runtime's
+    /// counterpart of the simulator's NIC-level coalescing counter
+    /// (`Calib::with_request_coalescing`), so the engines' reports
+    /// line up.
+    pub fn requests_coalesced(&self) -> u64 {
+        self.inner.requests_coalesced.load(Ordering::Relaxed)
     }
 
     /// Seeds `page` as created here: zero-filled, consistent copy local.

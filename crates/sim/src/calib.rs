@@ -93,6 +93,17 @@ pub struct Calib {
     /// than the ~13 ms per-request serve cost otherwise grow the server
     /// queue without bound.
     pub coalesce_requests: bool,
+    /// Periodic holder re-broadcast: every `interval`, a host re-sends
+    /// the `PageData` broadcast for each page whose consistent copy it
+    /// still holds, at the page's *current* generation (no consistency
+    /// state changes). `None` (the default, and the paper's behaviour —
+    /// no retransmit of any kind) sends nothing. This is the recovery
+    /// path for the hot-spin loss livelock: a data-driven reader
+    /// spinning on a *present* stale copy transmits nothing and never
+    /// blocks, so the fault-retry escalation cannot reach it and a lost
+    /// waking broadcast strands it forever; the periodic re-broadcast
+    /// eventually gets a fresh copy through.
+    pub holder_rebroadcast: Option<SimDuration>,
 }
 
 impl Calib {
@@ -113,6 +124,7 @@ impl Calib {
             server_snoop: SimDuration::from_millis(2),
             fault_retry: None,
             coalesce_requests: false,
+            holder_rebroadcast: None,
         }
     }
 
@@ -128,6 +140,14 @@ impl Calib {
     #[must_use]
     pub fn with_request_coalescing(mut self) -> Self {
         self.coalesce_requests = true;
+        self
+    }
+
+    /// Enables periodic holder re-broadcast (see
+    /// [`Calib::holder_rebroadcast`]).
+    #[must_use]
+    pub fn with_holder_rebroadcast(mut self, interval: SimDuration) -> Self {
+        self.holder_rebroadcast = Some(interval);
         self
     }
 

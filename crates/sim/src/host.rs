@@ -82,6 +82,11 @@ enum ServerWork {
     /// A writeable PURGE is pending: broadcast a read-only copy and issue
     /// DO-PURGE.
     PurgeBroadcast { page: PageId, length: PageLength },
+    /// Re-send the current-generation `PageData` broadcast for a page
+    /// this host still holds consistent — the periodic loss-recovery
+    /// retransmission of [`Calib::holder_rebroadcast`]. No consistency
+    /// state changes; dropped silently if consistency moved away.
+    HolderRebroadcast { page: PageId, length: PageLength },
 }
 
 /// Who the CPU is running.
@@ -157,6 +162,11 @@ pub struct HostSim {
     pending_retries: Vec<(usize, SimTime, u64)>,
     /// Pending writeable-purge broadcast lengths, page → view length.
     purge_lengths: Vec<(PageId, PageLength)>,
+    /// Pages this host has published as the consistent holder (a purge
+    /// broadcast went out), with the length last broadcast — the
+    /// candidate set for [`Calib::holder_rebroadcast`]. Entries whose
+    /// consistency has moved away are skipped at queue time.
+    published_pages: Vec<(PageId, PageLength)>,
     /// A process was just woken: it outranks the server once (SunOS
     /// priority boost for processes returning from a long sleep).
     wake_boost: bool,
@@ -186,6 +196,7 @@ impl HostSim {
             pending_sleeps: Vec::new(),
             pending_retries: Vec::new(),
             purge_lengths: Vec::new(),
+            published_pages: Vec::new(),
             wake_boost: false,
         }
     }
@@ -311,6 +322,37 @@ impl HostSim {
         self.current_burst.is_none()
     }
 
+    /// The periodic holder re-broadcast interval, when enabled.
+    pub fn holder_rebroadcast_interval(&self) -> Option<SimDuration> {
+        self.calib.holder_rebroadcast
+    }
+
+    /// Queues a [`ServerWork::HolderRebroadcast`] for every page this
+    /// host published as the consistent holder and still holds, unless
+    /// an identical retransmission is already waiting in the server
+    /// queue (a saturated server must not accumulate them). Driven by
+    /// the simulation's periodic re-broadcast event; returns how many
+    /// were queued.
+    pub fn queue_holder_rebroadcasts(&mut self, now: SimTime) -> usize {
+        let mut queued = 0;
+        for i in 0..self.published_pages.len() {
+            let (page, length) = self.published_pages[i];
+            if !self.table.is_consistent_holder(page) || self.table.purge_pending(page) {
+                continue;
+            }
+            let already = self
+                .server_queue
+                .iter()
+                .any(|w| matches!(w, ServerWork::HolderRebroadcast { page: p, .. } if *p == page));
+            if already {
+                continue;
+            }
+            self.push_server_work(now, ServerWork::HolderRebroadcast { page, length });
+            queued += 1;
+        }
+        queued
+    }
+
     /// Drains sleep requests made during dispatch; the simulation turns
     /// them into timer events.
     pub fn take_sleeps(&mut self) -> Vec<(usize, SimTime)> {
@@ -388,7 +430,9 @@ impl HostSim {
     fn server_cost(&self, work: &ServerWork) -> SimDuration {
         match work {
             ServerWork::SendPacket(_) => self.calib.server_send_request,
-            ServerWork::PurgeBroadcast { .. } => self.calib.server_purge_broadcast,
+            ServerWork::PurgeBroadcast { .. } | ServerWork::HolderRebroadcast { .. } => {
+                self.calib.server_purge_broadcast
+            }
             ServerWork::Packet(pkt) => match pkt.as_ref() {
                 Packet::PageRequest {
                     page, want, length, ..
@@ -823,7 +867,16 @@ impl HostSim {
             ServerWork::PurgeBroadcast { page, length } => {
                 let mut effects = Vec::new();
                 match self.table.server_purge_broadcast(page, length) {
-                    Ok(pkt) => actions.push(HostAction::Transmit(pkt)),
+                    Ok(pkt) => {
+                        actions.push(HostAction::Transmit(pkt));
+                        // This host is publishing as the holder: remember
+                        // the page so the periodic holder re-broadcast
+                        // can retransmit it if the knob is on.
+                        match self.published_pages.iter_mut().find(|(p, _)| *p == page) {
+                            Some(entry) => entry.1 = length,
+                            None => self.published_pages.push((page, length)),
+                        }
+                    }
                     Err(_) => {
                         // Consistency moved away before the server got to
                         // it; nothing to broadcast.
@@ -831,6 +884,15 @@ impl HostSim {
                 }
                 self.table.do_purge(page, &mut effects);
                 self.apply_effects(now, effects, actions);
+            }
+            ServerWork::HolderRebroadcast { page, length } => {
+                // A pure retransmission: same generation, no state
+                // change. Dropped silently when consistency moved away
+                // or a purge is already pending (its broadcast — at the
+                // next generation — supersedes this one).
+                if let Ok(pkt) = self.table.holder_rebroadcast(page, length) {
+                    actions.push(HostAction::Transmit(pkt));
+                }
             }
             ServerWork::Packet(pkt) => {
                 let mut effects = Vec::new();

@@ -77,6 +77,11 @@ pub struct ProtocolMetrics {
     pub space_pages: u32,
     /// Peak server work-queue depth across hosts (degeneration marker).
     pub max_server_queue: usize,
+    /// Page requests dropped at host NICs because an identical request
+    /// was already queued (`Calib::with_request_coalescing`; the
+    /// runtime counts the same condition in its node receive path).
+    /// 0 when coalescing is off.
+    pub requests_coalesced: u64,
 }
 
 impl ProtocolMetrics {
@@ -123,6 +128,13 @@ impl fmt::Display for ProtocolMetrics {
             self.net.data_packets,
             self.max_server_queue
         )?;
+        if self.requests_coalesced > 0 {
+            writeln!(
+                f,
+                "  {:<24} {} requests",
+                "Coalesced at NIC", self.requests_coalesced
+            )?;
+        }
         writeln!(
             f,
             "  {:<24} {:.1} mean / {} max per host",
@@ -217,6 +229,7 @@ mod tests {
             additions: 1024,
             space_pages: 1,
             max_server_queue: 3,
+            requests_coalesced: 0,
         }
     }
 

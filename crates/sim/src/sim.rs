@@ -290,6 +290,14 @@ enum EvKind {
     },
     /// An injected fabric failure or recovery fires.
     Fabric(FabricEvent),
+    /// One cadence tick of the periodic holder re-broadcast
+    /// ([`Calib::holder_rebroadcast`]): the host queues a
+    /// current-generation retransmission for every page it still holds
+    /// consistent and has published. Self-rescheduling while the run
+    /// lives; seeded once per host when the knob is on.
+    Rebroadcast {
+        host: usize,
+    },
 }
 
 struct Ev {
@@ -610,9 +618,10 @@ impl Simulation {
             EvKind::BridgeTick { .. } | EvKind::ControlDeliver { .. } | EvKind::Fabric(_) => {
                 return 0;
             }
-            EvKind::BurstEnd { host } | EvKind::Timer { host, .. } | EvKind::Retry { host, .. } => {
-                layout.segment_of(*host)
-            }
+            EvKind::BurstEnd { host }
+            | EvKind::Timer { host, .. }
+            | EvKind::Retry { host, .. }
+            | EvKind::Rebroadcast { host } => layout.segment_of(*host),
             EvKind::BridgeForward { dst, .. } => *dst,
             EvKind::Deliver { to, .. } => match to {
                 Recipients::One(h) => layout.segment_of(*h),
@@ -827,6 +836,13 @@ impl Simulation {
                     }
                 }
             }
+            // Seed the periodic holder re-broadcast chains (one
+            // self-rescheduling event per host) when the knob is on.
+            for host in 0..self.hosts.len() {
+                if let Some(interval) = self.hosts[host].holder_rebroadcast_interval() {
+                    self.push(self.now + interval, EvKind::Rebroadcast { host });
+                }
+            }
         }
         for h in 0..self.hosts.len() {
             self.kick(h);
@@ -941,6 +957,14 @@ impl Simulation {
                         self.kick(host);
                     }
                 }
+                EvKind::Rebroadcast { host } => {
+                    if self.hosts[host].queue_holder_rebroadcasts(self.now) > 0 {
+                        self.kick(host);
+                    }
+                    if let Some(interval) = self.hosts[host].holder_rebroadcast_interval() {
+                        self.push(self.now + interval, EvKind::Rebroadcast { host });
+                    }
+                }
                 EvKind::BridgeTick { device, epoch } => {
                     if self.tick_epochs[device] != epoch {
                         continue; // an orphaned chain (the device died)
@@ -983,7 +1007,7 @@ impl Simulation {
                             FabricEvent::BridgeDown(d) | FabricEvent::BridgeUp(d) => {
                                 fabric.is_dead(d)
                             }
-                            FabricEvent::LinkDown { .. } => false,
+                            FabricEvent::LinkDown { .. } | FabricEvent::LinkUp { .. } => false,
                         };
                         fabric.apply_event(ev, self.now);
                         match ev {
@@ -1057,6 +1081,7 @@ impl Simulation {
         let mut lat_sum = SimDuration::ZERO;
         let mut lat_n: u64 = 0;
         let mut max_q = 0;
+        let mut coalesced = 0;
         for h in &self.hosts {
             for i in 0..h.proc_count() {
                 let t = h.times(i);
@@ -1074,6 +1099,7 @@ impl Simulation {
                 lat_n += 1;
             }
             max_q = max_q.max(h.max_server_queue);
+            coalesced += h.requests_coalesced;
         }
         let net = self.net_stats();
         let wall_secs = wall.as_secs_f64();
@@ -1124,6 +1150,7 @@ impl Simulation {
             additions,
             space_pages,
             max_server_queue: max_q,
+            requests_coalesced: coalesced,
         }
     }
 }

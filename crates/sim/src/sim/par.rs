@@ -173,6 +173,12 @@ enum LKind {
         proc: usize,
         epoch: u64,
     },
+    /// One cadence tick of the periodic holder re-broadcast; mirrors
+    /// the serial `EvKind::Rebroadcast` arm exactly (queue, kick,
+    /// reschedule — in that order, for push-sequence identity).
+    Rebroadcast {
+        host: usize,
+    },
 }
 
 struct LEv {
@@ -396,6 +402,16 @@ impl Lane {
                         self.kick(host);
                     }
                 }
+                LKind::Rebroadcast { host } => {
+                    let now = self.now;
+                    if self.hosts[host - self.lo].queue_holder_rebroadcasts(now) > 0 {
+                        self.kick(host);
+                    }
+                    if let Some(interval) = self.hosts[host - self.lo].holder_rebroadcast_interval()
+                    {
+                        self.push(now + interval, LKind::Rebroadcast { host });
+                    }
+                }
             }
             if pausing && self.all_done() {
                 self.exit = WindowExit::Paused(self.now);
@@ -496,7 +512,7 @@ impl Ctrl<'_> {
                             FabricEvent::BridgeDown(d) | FabricEvent::BridgeUp(d) => {
                                 fabric.is_dead(d)
                             }
-                            FabricEvent::LinkDown { .. } => false,
+                            FabricEvent::LinkDown { .. } | FabricEvent::LinkUp { .. } => false,
                         };
                         fabric.apply_event(fev, now);
                         match fev {
@@ -636,6 +652,14 @@ impl Simulation {
                     }
                 }
             }
+            // Seed the periodic holder re-broadcast chains exactly as
+            // the serial engine would (pushed here, routed to lanes in
+            // the partition below).
+            for host in 0..self.hosts.len() {
+                if let Some(interval) = self.hosts[host].holder_rebroadcast_interval() {
+                    self.push(self.now + interval, EvKind::Rebroadcast { host });
+                }
+            }
         }
 
         // Partition hosts (contiguous layout blocks) and media into
@@ -699,6 +723,11 @@ impl Simulation {
                     lanes[layout.segment_of(host)]
                         .lock()
                         .push(ev.at, LKind::Retry { host, proc, epoch });
+                }
+                EvKind::Rebroadcast { host } => {
+                    lanes[layout.segment_of(host)]
+                        .lock()
+                        .push(ev.at, LKind::Rebroadcast { host });
                 }
                 EvKind::Deliver { to, pkt } => {
                     // Leftover deliveries land as segment-local masks;
@@ -934,6 +963,7 @@ impl Simulation {
                 },
                 LKind::Timer { host, proc } => EvKind::Timer { host, proc },
                 LKind::Retry { host, proc, epoch } => EvKind::Retry { host, proc, epoch },
+                LKind::Rebroadcast { host } => EvKind::Rebroadcast { host },
             };
             merged.push((at, tier, seq, kind));
         }

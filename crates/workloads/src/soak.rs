@@ -10,13 +10,17 @@
 //!
 //! A scenario draws:
 //!
-//! * a connected bridge topology — star, chain, balanced tree, ring, or
-//!   2-D mesh — with 2–4 hosts per segment;
+//! * a connected bridge topology — star, chain, balanced tree, ring,
+//!   2-D mesh, or a random connected graph (a parent-vector tree via
+//!   [`BridgeTopology::from_parents`], the same family the election
+//!   proptests explore, plus up to two redundant tie links) — with 2–4
+//!   hosts per segment;
 //! * an election mode ([`ElectionMode::live`] whenever faults are
 //!   scheduled — a static tree cannot reconverge around them), request
 //!   routing, and interest-aging horizon;
 //! * a fault schedule of up to three [`FabricEvent`]s (`BridgeDown`,
-//!   sometimes with a later `BridgeUp`; `LinkDown` on a real port);
+//!   sometimes with a later `BridgeUp`; `LinkDown` on a real port,
+//!   sometimes with a later `LinkUp`);
 //! * an ether loss rate (0, or 1–5%);
 //! * a workload mix: cross-segment P5 counting pairs, a paced publisher
 //!   with polling readers on every other segment, or both at once.
@@ -28,24 +32,44 @@
 //! ends in a [`state_digest`] over host tables, page generations, page
 //! bytes, and traffic counters — the equality the replay tests pin.
 //!
-//! Completion is only asserted for scenarios with no faults and no
-//! loss: a partitioned or lossy run may legitimately end at the limits
-//! (livelock is the protocols' documented loss behaviour, not a bug).
+//! Completion is asserted for every fault-free scenario, **lossy ones
+//! included**: soak deployments run the holder re-broadcast mitigation
+//! ([`mether_sim::Calib::with_holder_rebroadcast`]), which breaks the
+//! hot-spin loss livelock (a waiter spinning on a present stale copy
+//! transmits nothing, so a lost waking broadcast once stranded it for
+//! good), and the fabric's reply-grace floor
+//! ([`FabricConfig::with_reply_grace`]) keeps sub-round-trip aging
+//! horizons from expiring a request's interest before its reply. Only
+//! a faulted run may legitimately end at the limits (a `LinkDown` can
+//! partition the fabric for good).
+//!
+//! [`SoakScenario::run_cross_engine`] executes the same scenario on the
+//! threaded runtime (`mether_runtime::Cluster`) as well — same fabric
+//! config, same loss rate, same workload shape on real blocking threads
+//! — and reports both engines' completion outcomes and final page
+//! words, which [`run_cross_engine_soak`] asserts agree.
 
 use crate::counting::{CountingConfig, DisjointPageCounter};
 use crate::publisher::Publisher;
 use crate::segments::PollingReader;
-use mether_core::{BridgeTopology, PageId};
+use mether_core::{BridgeTopology, MapMode, MetherConfig, PageId, PageLength, VAddr, View};
+use mether_net::rt::LanConfig;
 use mether_net::{
-    AgeHorizon, ElectionMode, FabricConfig, FabricEvent, RequestRouting, SimDuration,
+    AgeHorizon, BridgeStats, ElectionMode, FabricConfig, FabricEvent, NetStats, RequestRouting,
+    SimDuration,
 };
-use mether_sim::{ParallelMode, RunLimits, RunOutcome, SimConfig, Simulation, Topology};
+use mether_runtime::{Cluster, ClusterConfig, FaultPlan};
+use mether_sim::{
+    ParallelMode, ProtocolMetrics, RunLimits, RunOutcome, SimConfig, Simulation, Topology,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The connected bridge-topology shapes a scenario can draw.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SoakShape {
     /// One bridge over this many segments.
     Star(usize),
@@ -57,28 +81,50 @@ pub enum SoakShape {
     Ring(usize),
     /// A 2-D mesh: `(rows, cols)` of segments.
     Mesh2d(usize, usize),
+    /// A random connected graph: the parent-vector tree family the
+    /// election proptests explore ([`BridgeTopology::from_parents`] —
+    /// segment `k+1` attaches under `parents[k] % (k+1)`), plus
+    /// redundant two-port tie bridges between distinct segments.
+    Graph {
+        /// Parent draw for each non-root segment.
+        parents: Vec<usize>,
+        /// Redundant `(a, b)` tie links, `a != b`.
+        ties: Vec<(usize, usize)>,
+    },
 }
 
 impl SoakShape {
     fn build(&self) -> BridgeTopology {
-        match *self {
-            SoakShape::Star(s) => BridgeTopology::star(s),
-            SoakShape::Chain(s) => BridgeTopology::chain(s),
-            SoakShape::Tree(s, f) => BridgeTopology::balanced_tree(s, f),
-            SoakShape::Ring(s) => BridgeTopology::ring(s),
-            SoakShape::Mesh2d(r, c) => BridgeTopology::mesh2d(r, c),
+        match self {
+            SoakShape::Star(s) => BridgeTopology::star(*s),
+            SoakShape::Chain(s) => BridgeTopology::chain(*s),
+            SoakShape::Tree(s, f) => BridgeTopology::balanced_tree(*s, *f),
+            SoakShape::Ring(s) => BridgeTopology::ring(*s),
+            SoakShape::Mesh2d(r, c) => BridgeTopology::mesh2d(*r, *c),
+            SoakShape::Graph { parents, ties } => {
+                let tree = BridgeTopology::from_parents(parents);
+                if ties.is_empty() {
+                    tree
+                } else {
+                    tree.add_redundant_links(ties.iter().map(|&(a, b)| vec![a, b]).collect())
+                        .expect("ties name distinct real segments")
+                }
+            }
         }
     }
 }
 
 impl fmt::Display for SoakShape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
+        match self {
             SoakShape::Star(s) => write!(f, "star({s})"),
             SoakShape::Chain(s) => write!(f, "chain({s})"),
             SoakShape::Tree(s, k) => write!(f, "tree({s},fanout {k})"),
             SoakShape::Ring(s) => write!(f, "ring({s})"),
             SoakShape::Mesh2d(r, c) => write!(f, "mesh2d({r}x{c})"),
+            SoakShape::Graph { parents, ties } => {
+                write!(f, "graph({}segs,{}ties)", parents.len() + 1, ties.len())
+            }
         }
     }
 }
@@ -161,24 +207,45 @@ impl SoakScenario {
     /// fixed SplitMix64).
     pub fn from_seed(seed: u64) -> SoakScenario {
         let mut rng = StdRng::seed_from_u64(seed);
-        let shape = match rng.gen_range(0..5) {
+        let shape = match rng.gen_range(0..6) {
             0 => SoakShape::Star(rng.gen_range(2..7) as usize),
             1 => SoakShape::Chain(rng.gen_range(2..6) as usize),
             2 => SoakShape::Tree(rng.gen_range(4..10) as usize, rng.gen_range(2..4) as usize),
             3 => SoakShape::Ring(rng.gen_range(3..7) as usize),
-            _ => SoakShape::Mesh2d(rng.gen_range(2..4) as usize, rng.gen_range(2..4) as usize),
+            4 => SoakShape::Mesh2d(rng.gen_range(2..4) as usize, rng.gen_range(2..4) as usize),
+            _ => {
+                // The election proptests' parent-vector family: any draw
+                // is a valid connected tree, plus up to two redundant
+                // tie links between distinct segments.
+                let parents: Vec<usize> = (0..rng.gen_range(1..8))
+                    .map(|_| rng.gen_range(0..64) as usize)
+                    .collect();
+                let segs = (parents.len() + 1) as u64;
+                let mut ties = Vec::new();
+                for _ in 0..rng.gen_range(0..3) {
+                    let (a, b) = (
+                        rng.gen_range(0..segs) as usize,
+                        rng.gen_range(0..segs) as usize,
+                    );
+                    if a != b {
+                        ties.push((a, b));
+                    }
+                }
+                SoakShape::Graph { parents, ties }
+            }
         };
         let hosts_per_segment = rng.gen_range(2..5) as usize;
         let holder_directed = rng.gen_range(0..2) == 1;
         let aging = match rng.gen_range(0..3) {
             0 => AgeHorizon::Sticky,
             1 => AgeHorizon::Transits(rng.gen_range(64..512)),
-            // Floor at 16 ms: the horizon must outlive one request →
-            // reply round trip (~13 ms of paper-pace server time), or
-            // the interest a request stamps expires before the reply
-            // it exists to let through — a deterministic livelock in
-            // any deployment, not a bug the soak should rediscover.
-            _ => AgeHorizon::SimTime(SimDuration::from_millis(rng.gen_range(16..50))),
+            // Horizons down to 2 ms — *below* one request → reply round
+            // trip (~13 ms of paper-pace server time). The fabric's
+            // reply-grace floor (`with_reply_grace`, always on in soak
+            // deployments) holds request-stamped interest through the
+            // round trip, so a sub-round-trip horizon ages aggressively
+            // without expiring the interest a request exists to stamp.
+            _ => AgeHorizon::SimTime(SimDuration::from_millis(rng.gen_range(2..50))),
         };
         let loss = if rng.gen_range(0..2) == 0 {
             0.0
@@ -209,6 +276,10 @@ impl SoakScenario {
                 let ports = topo.ports(d);
                 let segment = ports[rng.gen_range(0..ports.len() as u64) as usize];
                 faults.push((at, FabricEvent::LinkDown { device: d, segment }));
+                if rng.gen_range(0..2) == 0 {
+                    let back = at + SimDuration::from_millis(rng.gen_range(10..60));
+                    faults.push((back, FabricEvent::LinkUp { device: d, segment }));
+                }
             }
         }
         faults.sort_by_key(|(at, _)| *at);
@@ -233,32 +304,48 @@ impl SoakScenario {
     }
 
     /// True when the run must complete within [`SoakScenario::limits`]:
-    /// no faults and no loss, so nothing can legitimately stall it.
+    /// no faults, so nothing can legitimately stall it. Lossy runs
+    /// *must* finish too — soak deployments pair the fault-retry timer
+    /// with holder re-broadcast, so neither a blocked nor a hot-spinning
+    /// waiter can be stranded by a lost frame for more than one
+    /// re-broadcast interval.
     pub fn must_finish(&self) -> bool {
-        self.faults.is_empty() && self.loss == 0.0
+        self.faults.is_empty()
     }
 
-    /// The bound on every soak run: far above any clean completion,
-    /// low enough that a livelocked lossy run costs CI nothing.
+    /// The bound on every soak run: far above any legitimate
+    /// completion, low enough that a stranded faulted run costs CI
+    /// nothing.
     ///
     /// The budget scales with `target` because the cost model runs at
     /// the paper's hardware pace — a context switch is milliseconds, a
     /// purge broadcast ~10ms, serving one request ~13ms — so a single
     /// P5 round trip across the fabric is ~35ms and a publisher cycle
-    /// ~15ms plus serving its readers. Events stay sparse (thousands,
-    /// not millions), so a long sim-time bound is still cheap to run.
+    /// ~15ms plus serving its readers. Lossy runs get a 4× budget: a
+    /// lost waking broadcast costs a 20 ms retry or a 25 ms holder
+    /// re-broadcast wait per round, and those waits serialize across a
+    /// mixed workload. Events stay sparse (thousands, not millions),
+    /// so a long sim-time bound is still cheap to run.
     pub fn limits(&self) -> RunLimits {
+        let (base, per_target) = if self.loss > 0.0 {
+            (1_200, 400)
+        } else {
+            (300, 100)
+        };
         RunLimits {
-            max_sim_time: SimDuration::from_millis(300 + 100 * u64::from(self.target)),
+            max_sim_time: SimDuration::from_millis(base + per_target * u64::from(self.target)),
             max_events: 5_000_000,
         }
     }
 
-    /// Builds the deployment: fabric, ether, workloads, and the fault
-    /// schedule, all from the derived fields.
-    pub fn build(&self) -> Simulation {
+    /// The fabric configuration both engines deploy: the drawn shape,
+    /// aging, and routing, with the reply-grace floor always on (the
+    /// generator draws sub-round-trip horizons) and live election when
+    /// the scenario wants it.
+    pub fn fabric_config(&self) -> FabricConfig {
         let mut fabric = FabricConfig::new(self.shape.build())
             .with_aging(self.aging)
+            .with_reply_grace(SimDuration::from_millis(16))
             .with_routing(if self.holder_directed {
                 RequestRouting::HolderDirected
             } else {
@@ -267,6 +354,13 @@ impl SoakScenario {
         if self.election_live {
             fabric = fabric.with_election(ElectionMode::live());
         }
+        fabric
+    }
+
+    /// Builds the deployment: fabric, ether, workloads, and the fault
+    /// schedule, all from the derived fields.
+    pub fn build(&self) -> Simulation {
+        let fabric = self.fabric_config();
         let segments = fabric.topology.segments();
         let hps = self.hosts_per_segment;
         let mut cfg = SimConfig::paper(segments * hps);
@@ -291,6 +385,19 @@ impl SoakScenario {
         // (off in the paper calibration — its measured protocol
         // rankings include the duplicated server load).
         cfg.calib = cfg.calib.with_request_coalescing();
+        if self.loss > 0.0 {
+            // The hot-spin half of loss recovery: a waiter spinning on
+            // a present stale copy transmits nothing, so the fault
+            // retry (which only reaches *blocked* waiters) cannot save
+            // it when the partner's one waking broadcast is lost.
+            // Holders re-publish their pages on this cadence instead —
+            // which is why lossy fault-free scenarios now assert
+            // completion. Slower than the 20 ms retry so the re-sends
+            // never become the dominant server load.
+            cfg.calib = cfg
+                .calib
+                .with_holder_rebroadcast(SimDuration::from_millis(25));
+        }
         cfg.topology = Topology::fabric(fabric);
         let mut sim = Simulation::new(cfg);
         let first_host = |seg: usize| seg * hps;
@@ -385,6 +492,363 @@ impl SoakScenario {
             digest: state_digest(&sim),
         }
     }
+
+    /// The pages the scenario's workloads write, in a fixed order —
+    /// the cross-engine comparison reads each one's first word.
+    pub fn workload_pages(&self) -> Vec<PageId> {
+        let segments = self.segments();
+        let mut pages = Vec::new();
+        if matches!(self.mix, SoakMix::PublisherReaders | SoakMix::Mixed) {
+            pages.push(PageId::new(0));
+        }
+        if matches!(self.mix, SoakMix::Pairs | SoakMix::Mixed) {
+            for p in 0..segments / 2 {
+                pages.push(PageId::new((2 * p + segments) as u32));
+                pages.push(PageId::new((2 * p + 1 + segments) as u32));
+            }
+        }
+        pages
+    }
+
+    /// The first word of every workload page at end of run, read from
+    /// its consistent holder (0 if a page somehow has none).
+    fn sim_final_pages(&self, sim: &Simulation) -> Vec<(PageId, u32)> {
+        self.workload_pages()
+            .into_iter()
+            .map(|page| {
+                let v = (0..sim.host_count())
+                    .find_map(|h| {
+                        let t = &sim.host(h).table;
+                        if !t.is_consistent_holder(page) {
+                            return None;
+                        }
+                        let buf = t.page_buf(page)?;
+                        let word = buf.as_slice().get(..4)?;
+                        Some(u32::from_le_bytes(word.try_into().unwrap()))
+                    })
+                    .unwrap_or(0);
+                (page, v)
+            })
+            .collect()
+    }
+
+    /// How long the threaded run may take before its workers give up:
+    /// generous against loss-retry stalls, bounded so a partitioned
+    /// faulted scenario costs seconds, not a hung test.
+    fn runtime_deadline(&self) -> Duration {
+        Duration::from_millis(3_000 + 150 * u64::from(self.target))
+    }
+
+    /// Executes the scenario on the threaded runtime
+    /// ([`mether_runtime::Cluster`]): the same fabric config (aging,
+    /// routing, election, reply grace), the same per-segment loss rate,
+    /// and the same workload shape — P5 counting pairs and/or a paced
+    /// publisher with polling readers — as real blocking threads whose
+    /// recovery path is the protocols' own demand-retry loop. Faults
+    /// are replayed by a [`FaultPlan`] at the sim schedule's offsets
+    /// (1 sim-ms ≙ 1 wall-ms). `finished` means every worker hit its
+    /// target before [`SoakScenario::runtime_deadline`].
+    pub fn run_runtime(&self) -> RuntimeSoakReport {
+        let mut fabric = self.fabric_config();
+        if self.election_live {
+            // The simulator's default live-election cadence (hello every
+            // 1 ms, dead after 4 ms) is virtual time — jitter-free. The
+            // runtime maps it 1 ms ≙ 1 wall-ms, where a 4 ms silence is
+            // routine scheduler noise on a loaded box; a spuriously
+            // "dead" neighbour keeps forwarding on the old tree while
+            // the survivors unblock the redundant path, and on a cyclic
+            // fabric that closes a forwarding loop — a frame storm.
+            // Give the wall-clock fabric a jitter-tolerant cadence.
+            fabric = fabric.with_election(ElectionMode::Live {
+                hello_interval: SimDuration::from_millis(10),
+                hello_timeout: SimDuration::from_millis(100),
+                hold_down: SimDuration::from_millis(50),
+            });
+        }
+        let segments = fabric.topology.segments();
+        let hps = self.hosts_per_segment;
+        let mut lan = LanConfig::fast();
+        lan.loss = self.loss;
+        lan.seed = self.seed;
+        let cluster = Arc::new(
+            Cluster::new(ClusterConfig {
+                nodes: segments * hps,
+                lan,
+                mether: MetherConfig::new(),
+                fabric: Some(fabric),
+            })
+            .expect("drawn scenarios lay out"),
+        );
+        let t0 = Instant::now();
+        let deadline = t0 + self.runtime_deadline();
+        let first_host = |seg: usize| seg * hps;
+        let target = self.target;
+        let mut workers = Vec::new();
+        if matches!(self.mix, SoakMix::PublisherReaders | SoakMix::Mixed) {
+            let page = PageId::new(0);
+            cluster.node(0).create_owned(page);
+            let c = Arc::clone(&cluster);
+            workers.push(std::thread::spawn(move || {
+                let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+                for i in 1..=target {
+                    if Instant::now() >= deadline || c.node(0).write_u32(addr, i).is_err() {
+                        return false;
+                    }
+                    let _ = c.node(0).purge(page, MapMode::Writeable, PageLength::Short);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                true
+            }));
+            for seg in 1..segments {
+                let c = Arc::clone(&cluster);
+                let node = first_host(seg);
+                workers.push(std::thread::spawn(move || {
+                    let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+                    while Instant::now() < deadline {
+                        let _ = c
+                            .node(node)
+                            .purge(page, MapMode::ReadOnly, PageLength::Short);
+                        if let Ok(v) = c.node(node).read_u32_timeout(
+                            addr,
+                            MapMode::ReadOnly,
+                            Duration::from_millis(200),
+                        ) {
+                            if v >= target {
+                                return true;
+                            }
+                        }
+                    }
+                    false
+                }));
+            }
+        }
+        if matches!(self.mix, SoakMix::Pairs | SoakMix::Mixed) {
+            for p in 0..segments / 2 {
+                let (seg_a, seg_b) = (2 * p, 2 * p + 1);
+                let (host_a, host_b) = (first_host(seg_a) + 1, first_host(seg_b) + 1);
+                let page_a = PageId::new((seg_a + segments) as u32);
+                let page_b = PageId::new((seg_b + segments) as u32);
+                cluster.node(host_a).create_owned(page_a);
+                cluster.node(host_b).create_owned(page_b);
+                // Same deployment requirement as the simulator: the P5
+                // readers are data-driven and transmit nothing a bridge
+                // could learn interest from.
+                cluster.subscribe_segment(page_b, seg_a);
+                cluster.subscribe_segment(page_a, seg_b);
+                for (me, node, my_page, other_page) in
+                    [(0, host_a, page_a, page_b), (1, host_b, page_b, page_a)]
+                {
+                    let c = Arc::clone(&cluster);
+                    workers.push(std::thread::spawn(move || {
+                        p5_runtime_party(&c, node, me, my_page, other_page, target, deadline)
+                    }));
+                }
+            }
+        }
+        let faults = if self.faults.is_empty() {
+            None
+        } else {
+            let mut plan = FaultPlan::new();
+            for (at, ev) in &self.faults {
+                plan = plan.at(Duration::from_nanos(at.as_nanos()), *ev);
+            }
+            let c = Arc::clone(&cluster);
+            Some(std::thread::spawn(move || plan.run(&c)))
+        };
+        // Join every worker (no short-circuit) before folding the verdict.
+        let joined: Vec<bool> = workers
+            .into_iter()
+            .map(|h| h.join().unwrap_or(false))
+            .collect();
+        let finished = joined.into_iter().all(|ok| ok);
+        if let Some(f) = faults {
+            let _ = f.join();
+        }
+        let wall = t0.elapsed();
+        let pages = self.runtime_final_pages(&cluster);
+        let metrics = runtime_metrics(
+            &format!("soak seed {}", self.seed),
+            &cluster,
+            finished,
+            wall,
+        );
+        RuntimeSoakReport {
+            finished,
+            wall,
+            pages,
+            metrics,
+        }
+    }
+
+    /// [`SoakScenario::workload_pages`] read back from the cluster's
+    /// consistent holders.
+    fn runtime_final_pages(&self, cluster: &Cluster) -> Vec<(PageId, u32)> {
+        self.workload_pages()
+            .into_iter()
+            .map(|page| {
+                let addr = VAddr::new(page, View::short_demand(), 0).unwrap();
+                let v = (0..cluster.len())
+                    .find(|&i| cluster.node(i).is_consistent_holder(page))
+                    .and_then(|i| {
+                        // Local on the holder: never crosses the (possibly
+                        // partitioned) fabric.
+                        cluster
+                            .node(i)
+                            .read_u32_timeout(addr, MapMode::Writeable, Duration::from_secs(2))
+                            .ok()
+                    })
+                    .unwrap_or(0);
+                (page, v)
+            })
+            .collect()
+    }
+
+    /// Runs the scenario on **both** engines — the discrete-event
+    /// simulator (asserting completion when
+    /// [`SoakScenario::must_finish`]) and the threaded runtime — and
+    /// returns both outcomes plus each engine's final workload-page
+    /// words. [`run_cross_engine_soak`] asserts the two agree.
+    pub fn run_cross_engine(&self, workers: Option<usize>) -> CrossEngineReport {
+        let mut sim = self.build();
+        if let Some(w) = workers {
+            sim.set_parallel_mode(ParallelMode::Workers(w));
+        }
+        let outcome = sim.run(self.limits());
+        sim.check_invariants();
+        if self.must_finish() {
+            assert!(
+                outcome.finished,
+                "soak seed {}: clean scenario [{self}] hit its limits \
+                 (events={}, wall={})",
+                self.seed, outcome.events, outcome.wall,
+            );
+        }
+        let sim_pages = self.sim_final_pages(&sim);
+        let sim_report = SoakReport {
+            outcome,
+            digest: state_digest(&sim),
+        };
+        let runtime = self.run_runtime();
+        CrossEngineReport {
+            sim: sim_report,
+            sim_pages,
+            runtime,
+        }
+    }
+}
+
+/// One P5 counting party on the threaded runtime: the exact loop the
+/// simulator's `DisjointPageCounter::protocol5` models — write my page
+/// and purge on my turn, else demand-check the partner's page and block
+/// data-driven for its transit. Timeouts fall back to the demand check,
+/// which is the runtime's natural loss-retry path. Returns whether the
+/// party reached `target` before `deadline`.
+fn p5_runtime_party(
+    c: &Cluster,
+    node: usize,
+    me: u32,
+    my_page: PageId,
+    other_page: PageId,
+    target: u32,
+    deadline: Instant,
+) -> bool {
+    let my_addr = VAddr::new(my_page, View::short_demand(), 0).unwrap();
+    let other_demand = VAddr::new(other_page, View::short_demand(), 0).unwrap();
+    let other_data = VAddr::new(other_page, View::short_data(), 0).unwrap();
+    let mut last = 0u32;
+    while last < target {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        if last % 2 == me {
+            if c.node(node).write_u32(my_addr, last + 1).is_err() {
+                return false;
+            }
+            let _ = c
+                .node(node)
+                .purge(my_page, MapMode::Writeable, PageLength::Short);
+            last += 1;
+            continue;
+        }
+        if let Ok(v) = c.node(node).read_u32_timeout(
+            other_demand,
+            MapMode::ReadOnly,
+            Duration::from_millis(200),
+        ) {
+            if v > last {
+                last = v;
+                continue;
+            }
+        }
+        let _ = c
+            .node(node)
+            .purge(other_page, MapMode::ReadOnly, PageLength::Short);
+        if let Ok(v) =
+            c.node(node)
+                .read_u32_timeout(other_data, MapMode::ReadOnly, Duration::from_millis(200))
+        {
+            if v > last {
+                last = v;
+            }
+        }
+    }
+    true
+}
+
+/// A [`ProtocolMetrics`] assembled from a live [`Cluster`]'s counters,
+/// so runtime soak reports line up column-for-column with the
+/// simulator's: traffic per segment and summed, per-device bridge
+/// counters, the injected fault timeline with reconvergence count and
+/// measured stall, and NIC-level request coalescing. Cost-model columns
+/// the runtime cannot measure (user/sys time, context switches, fault
+/// latency) are zero.
+pub fn runtime_metrics(
+    label: &str,
+    cluster: &Cluster,
+    finished: bool,
+    wall: Duration,
+) -> ProtocolMetrics {
+    let net_segments: Vec<NetStats> = (0..cluster.segment_count())
+        .map(|s| cluster.segment_stats(s))
+        .collect();
+    let net = NetStats::sum(&net_segments);
+    let bridge_devices: Vec<BridgeStats> = (0..cluster.bridge_count())
+        .map(|d| cluster.bridge_stats(d))
+        .collect();
+    let bridge = BridgeStats::sum(bridge_devices.iter().copied());
+    let to_sim = |d: Duration| SimDuration::from_nanos(d.as_nanos() as u64);
+    let wall_secs = wall.as_secs_f64().max(f64::EPSILON);
+    ProtocolMetrics {
+        label: label.to_string(),
+        finished,
+        wall: to_sim(wall),
+        user: SimDuration::ZERO,
+        sys: SimDuration::ZERO,
+        net_load_bps: net.bytes as f64 / wall_secs,
+        bytes_per_addition: 0.0,
+        net,
+        net_segments,
+        bridge,
+        bridge_devices,
+        fabric_events: cluster
+            .fabric_timeline()
+            .into_iter()
+            .map(|(at, ev)| (to_sim(at), ev))
+            .collect(),
+        fabric_reconvergences: cluster.fabric_reconvergences(),
+        reconvergence_stall: cluster.fabric_stall().map(to_sim),
+        frames_heard_mean: 0.0,
+        frames_heard_max: 0,
+        ctx_switches: 0,
+        ctx_per_addition: 0.0,
+        avg_latency: SimDuration::ZERO,
+        losses: 0,
+        wins: 0,
+        additions: 0,
+        space_pages: 0,
+        max_server_queue: 0,
+        requests_coalesced: cluster.requests_coalesced(),
+    }
 }
 
 /// What one soak run produced; two runs of one seed must be equal.
@@ -394,6 +858,96 @@ pub struct SoakReport {
     pub outcome: RunOutcome,
     /// [`state_digest`] of the finished simulation.
     pub digest: u64,
+}
+
+/// What one scenario produced on the threaded runtime.
+#[derive(Debug)]
+pub struct RuntimeSoakReport {
+    /// Every worker thread reached its target before the deadline.
+    pub finished: bool,
+    /// Real wall-clock time the workload took.
+    pub wall: Duration,
+    /// First word of each workload page, read from its consistent
+    /// holder after the run.
+    pub pages: Vec<(PageId, u32)>,
+    /// The cluster's counters in the simulator's report shape.
+    pub metrics: ProtocolMetrics,
+}
+
+/// One scenario's results on both engines
+/// ([`SoakScenario::run_cross_engine`]).
+#[derive(Debug)]
+pub struct CrossEngineReport {
+    /// The simulator run (outcome + state digest).
+    pub sim: SoakReport,
+    /// Final workload-page words in the simulator.
+    pub sim_pages: Vec<(PageId, u32)>,
+    /// The threaded-runtime run.
+    pub runtime: RuntimeSoakReport,
+}
+
+impl CrossEngineReport {
+    /// Both engines agree on whether the workload completed.
+    pub fn outcomes_agree(&self) -> bool {
+        self.sim.outcome.finished == self.runtime.finished
+    }
+
+    /// Both engines agree on every workload page's final word
+    /// (vacuously true only when compared — callers gate on completion).
+    pub fn pages_agree(&self) -> bool {
+        self.sim_pages == self.runtime.pages
+    }
+}
+
+/// Runs `count` **fault-free** scenarios (clean and lossy; faulted
+/// seeds are skipped with a notice — their runtime halves have
+/// dedicated fault-injection tests) with seeds from `base_seed` upward
+/// on both engines, printing each seed before its run, and asserts per
+/// scenario that the engines agree: both complete, and every workload
+/// page ends on the same word. Returns the seed-tagged reports.
+pub fn run_cross_engine_soak(
+    base_seed: u64,
+    count: usize,
+    workers: Option<usize>,
+) -> Vec<(u64, CrossEngineReport)> {
+    let mut out = Vec::new();
+    let mut seed = base_seed;
+    while out.len() < count {
+        let scenario = SoakScenario::from_seed(seed);
+        if !scenario.faults.is_empty() {
+            println!("cross-engine soak: skipping faulted seed {seed} [{scenario}]");
+            seed = seed.wrapping_add(1);
+            continue;
+        }
+        let i = out.len();
+        println!("cross-engine[{i}/{count}] seed={seed}: {scenario}");
+        let r = scenario.run_cross_engine(workers);
+        println!(
+            "cross-engine[{i}/{count}] seed={seed}: sim finished={} runtime finished={} \
+             wall={:?} coalesced={}",
+            r.sim.outcome.finished,
+            r.runtime.finished,
+            r.runtime.wall,
+            r.runtime.metrics.requests_coalesced,
+        );
+        assert!(
+            r.runtime.finished,
+            "seed {seed}: runtime half of [{scenario}] missed its deadline"
+        );
+        assert!(
+            r.outcomes_agree(),
+            "seed {seed}: engines disagree on completion"
+        );
+        assert!(
+            r.pages_agree(),
+            "seed {seed}: final page words diverge\n  sim: {:?}\n  runtime: {:?}",
+            r.sim_pages,
+            r.runtime.pages
+        );
+        out.push((seed, r));
+        seed = seed.wrapping_add(1);
+    }
+    out
 }
 
 /// An order-sensitive FNV-1a digest over everything the replay tests
@@ -501,8 +1055,10 @@ mod tests {
     #[test]
     fn scenario_space_is_actually_random() {
         // The derivation must cover the space: across a small seed
-        // range, all five shapes, all three mixes, faulted and clean,
-        // lossy and lossless scenarios all appear.
+        // range, all six shapes, all three mixes, faulted and clean,
+        // lossy and lossless scenarios all appear — including lossy
+        // must-finish ones (the holder re-broadcast coverage) and
+        // graphs with redundant ties.
         let scenarios: Vec<_> = (0..128).map(SoakScenario::from_seed).collect();
         for probe in [
             scenarios
@@ -520,14 +1076,28 @@ mod tests {
             scenarios
                 .iter()
                 .any(|s| matches!(s.shape, SoakShape::Mesh2d(_, _))),
+            scenarios
+                .iter()
+                .any(|s| matches!(s.shape, SoakShape::Graph { .. })),
+            scenarios
+                .iter()
+                .any(|s| matches!(&s.shape, SoakShape::Graph { ties, .. } if !ties.is_empty())),
             scenarios.iter().any(|s| s.mix == SoakMix::Pairs),
             scenarios.iter().any(|s| s.mix == SoakMix::PublisherReaders),
             scenarios.iter().any(|s| s.mix == SoakMix::Mixed),
             scenarios.iter().any(|s| s.faults.is_empty()),
             scenarios.iter().any(|s| !s.faults.is_empty()),
+            scenarios.iter().any(|s| {
+                s.faults
+                    .iter()
+                    .any(|(_, ev)| matches!(ev, FabricEvent::LinkUp { .. }))
+            }),
             scenarios.iter().any(|s| s.loss == 0.0),
             scenarios.iter().any(|s| s.loss > 0.0),
-            scenarios.iter().any(|s| s.must_finish()),
+            scenarios.iter().any(|s| s.must_finish() && s.loss > 0.0),
+            scenarios.iter().any(
+                |s| matches!(s.aging, AgeHorizon::SimTime(d) if d < SimDuration::from_millis(16)),
+            ),
         ] {
             assert!(probe);
         }
@@ -544,7 +1114,8 @@ mod tests {
                     FabricEvent::BridgeDown(d) | FabricEvent::BridgeUp(d) => {
                         assert!(*d < topo.bridges(), "seed {seed}: {ev:?}");
                     }
-                    FabricEvent::LinkDown { device, segment } => {
+                    FabricEvent::LinkDown { device, segment }
+                    | FabricEvent::LinkUp { device, segment } => {
                         assert!(
                             topo.ports(*device).contains(segment),
                             "seed {seed}: {ev:?} names a port the device lacks"
@@ -575,5 +1146,14 @@ mod tests {
         // through the integration test with METHER_SOAK_SCENARIOS set.
         let reports = run_soak(0, 4, None);
         assert_eq!(reports.len(), 4);
+    }
+
+    #[test]
+    fn cross_engine_smoke() {
+        // One clean scenario end to end on both engines; the full ≥25
+        // batch runs through the integration suite / CI.
+        let reports = run_cross_engine_soak(0, 1, None);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].1.outcomes_agree() && reports[0].1.pages_agree());
     }
 }

@@ -36,27 +36,14 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------
-// Random trees for the routing properties: segment k (k ≥ 1) attaches
-// under parent p(k) < k; children are grouped per parent into one
-// multi-port bridge — every such wiring is a valid tree, and the family
-// covers stars (all parents 0 grouped), chains, and everything between.
+// Random trees for the routing properties come from
+// `BridgeTopology::from_parents` (the parent-vector family: stars,
+// chains, and everything between) — promoted into mether-core so the
+// soak generator draws from the same family instead of duplicating it.
 // ---------------------------------------------------------------------
 
 fn tree_from_parents(parents: &[usize]) -> BridgeTopology {
-    let segments = parents.len() + 1;
-    let mut children: Vec<Vec<usize>> = vec![Vec::new(); segments];
-    for (k, &p) in parents.iter().enumerate() {
-        children[p % (k + 1)].push(k + 1);
-    }
-    let links: Vec<Vec<usize>> = (0..segments)
-        .filter(|&p| !children[p].is_empty())
-        .map(|p| {
-            let mut ports = vec![p];
-            ports.extend(children[p].iter().copied());
-            ports
-        })
-        .collect();
-    BridgeTopology::from_links(segments, links).expect("parent wiring is always a tree")
+    BridgeTopology::from_parents(parents)
 }
 
 proptest! {

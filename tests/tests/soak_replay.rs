@@ -32,27 +32,68 @@ use mether_core::{BridgeTopology, PageId};
 use mether_net::{AgeHorizon, FabricConfig, FabricEvent, SimDuration};
 use mether_sim::{RunLimits, SimConfig, Simulation, Topology};
 use mether_workloads::{
-    base_seed_from_env, run_soak, scenario_count_from_env, CountingConfig, DisjointPageCounter,
-    SoakMix, SoakScenario, SoakShape,
+    base_seed_from_env, run_cross_engine_soak, run_soak, scenario_count_from_env, CountingConfig,
+    DisjointPageCounter, PollingReader, Publisher, SoakMix, SoakScenario, SoakShape,
 };
 
-/// Seeds whose scenarios flushed real bugs in the first soak batches;
-/// each must now run to completion (all are fault- and loss-free, so
-/// [`SoakScenario::run`] asserts completion itself).
+/// Scenarios that flushed real bugs in the first soak batches; each
+/// must still run to completion (all are fault-free, so
+/// [`SoakScenario::run`] asserts completion itself). They are pinned as
+/// the explicit scenarios their seeds *originally* drew — the generator
+/// has since grown the random-graph shape, paired `LinkUp`s, and
+/// sub-round-trip aging horizons, which redraws every seed.
 ///
-/// * seed 2 — star(3)x2 mixed, Transits aging: pinned the data-wait
+/// * old seed 2 — star(3)x2 mixed, Transits aging: pinned the data-wait
 ///   retry arming and the paper-pace run budgets;
-/// * seed 21 — ring(6)x4 mixed, static election, SimTime aging: pinned
-///   the static subscriptions for data-driven P5 readers, which
+/// * old seed 21 — ring(6)x4 mixed, static election, SimTime aging:
+///   pinned the static subscriptions for data-driven P5 readers, which
 ///   transmit nothing a bridge could learn interest from;
-/// * seed 24 — ring(6)x2 mixed, live election, SimTime aging: pinned
-///   the sleeper boost on timer wakeups and NIC request coalescing
-///   (the publisher starved behind a server queue of retried reads).
+/// * old seed 24 — ring(6)x2 mixed, live election, SimTime aging:
+///   pinned the sleeper boost on timer wakeups and NIC request
+///   coalescing (the publisher starved behind a server queue of
+///   retried reads).
 #[test]
-fn pinned_seeds_that_flushed_bugs_stay_fixed() {
-    for seed in [2, 21, 24] {
-        let sc = SoakScenario::from_seed(seed);
-        assert!(sc.must_finish(), "pinned seed {seed} is no longer clean");
+fn pinned_scenarios_that_flushed_bugs_stay_fixed() {
+    let pins = [
+        SoakScenario {
+            seed: 2,
+            shape: SoakShape::Star(3),
+            hosts_per_segment: 2,
+            election_live: false,
+            holder_directed: false,
+            aging: AgeHorizon::Transits(115),
+            loss: 0.0,
+            faults: vec![],
+            mix: SoakMix::Mixed,
+            target: 10,
+        },
+        SoakScenario {
+            seed: 21,
+            shape: SoakShape::Ring(6),
+            hosts_per_segment: 4,
+            election_live: false,
+            holder_directed: true,
+            aging: AgeHorizon::SimTime(SimDuration::from_millis(33)),
+            loss: 0.0,
+            faults: vec![],
+            mix: SoakMix::Mixed,
+            target: 9,
+        },
+        SoakScenario {
+            seed: 24,
+            shape: SoakShape::Ring(6),
+            hosts_per_segment: 2,
+            election_live: true,
+            holder_directed: true,
+            aging: AgeHorizon::SimTime(SimDuration::from_millis(36)),
+            loss: 0.0,
+            faults: vec![],
+            mix: SoakMix::Mixed,
+            target: 14,
+        },
+    ];
+    for sc in pins {
+        assert!(sc.must_finish(), "pin {} is no longer clean", sc.seed);
         sc.run(None);
     }
 }
@@ -62,11 +103,16 @@ fn pinned_seeds_that_flushed_bugs_stay_fixed() {
 /// turns a soak failure into a regression test.
 #[test]
 fn soak_seed_replays_identically() {
-    let sc = SoakScenario::from_seed(3);
-    assert!(!sc.faults.is_empty() && sc.loss > 0.0);
+    let seed = (0..)
+        .find(|&s| {
+            let sc = SoakScenario::from_seed(s);
+            !sc.faults.is_empty() && sc.loss > 0.0
+        })
+        .unwrap();
+    let sc = SoakScenario::from_seed(seed);
     let a = sc.run(None);
     let b = sc.run(None);
-    assert_eq!(a, b);
+    assert_eq!(a, b, "seed {seed}");
 }
 
 /// The lane-parallel engine must produce the serial schedule exactly:
@@ -142,6 +188,154 @@ fn lossy_data_wait_recovers_via_retry_escalation() {
         outcome.finished,
         "lossy P5 pair livelocked: events={} wall={}",
         outcome.events, outcome.wall
+    );
+}
+
+/// One lossy P5 pair across a two-segment star: the shared minimized
+/// deployment behind the loss-resilience regressions below. `ether_seed`
+/// picks the loss pattern; `rebroadcast` optionally arms the holder
+/// re-broadcast mitigation.
+fn lossy_p5_pair(ether_seed: u64, rebroadcast: Option<SimDuration>) -> bool {
+    let fabric = FabricConfig::new(BridgeTopology::star(2));
+    let mut cfg = SimConfig::paper(4);
+    cfg.ether.loss = 0.10;
+    cfg.ether.seed = ether_seed;
+    cfg.calib = cfg
+        .calib
+        .with_fault_retry(SimDuration::from_millis(20))
+        .with_request_coalescing();
+    if let Some(every) = rebroadcast {
+        cfg.calib = cfg.calib.with_holder_rebroadcast(every);
+    }
+    cfg.topology = Topology::fabric(fabric);
+    let mut sim = Simulation::new(cfg);
+    let counting = CountingConfig {
+        target: 10,
+        processes: 2,
+        spin: SimDuration::from_micros(48),
+    };
+    // Striped homes: page 2 → segment 0, page 3 → segment 1.
+    let (page_a, page_b) = (PageId::new(2), PageId::new(3));
+    sim.create_owned(1, page_a);
+    sim.create_owned(3, page_b);
+    sim.add_process(
+        1,
+        Box::new(DisjointPageCounter::protocol5(counting, 0, page_a, page_b)),
+    );
+    sim.add_process(
+        3,
+        Box::new(DisjointPageCounter::protocol5(counting, 1, page_b, page_a)),
+    );
+    let outcome = sim.run(RunLimits {
+        max_sim_time: SimDuration::from_millis(5_000),
+        max_events: 2_000_000,
+    });
+    sim.check_invariants();
+    outcome.finished
+}
+
+/// Minimized hot-spin loss livelock (ether seed 0 of the pair above):
+/// the fault-retry escalation only reaches *blocked* waiters, but this
+/// loss pattern leaves a P5 waiter spinning on a present stale copy —
+/// its demand checks hit locally, it transmits nothing, and the
+/// partner's single waking broadcast is gone, so the run is stranded
+/// with the retry mitigation fully armed. Holder re-broadcast
+/// ([`mether_sim::Calib::with_holder_rebroadcast`]) breaks exactly
+/// this: the holder re-publishes on a cadence, the spinner's next check
+/// sees the transit, and the run completes — which is why the soak
+/// harness now asserts completion for lossy fault-free scenarios.
+#[test]
+fn hot_spin_loss_livelock_needs_holder_rebroadcast() {
+    assert!(
+        !lossy_p5_pair(0, None),
+        "ether seed 0 must livelock without holder re-broadcast \
+         (if this starts finishing, the pinned loss pattern drifted)"
+    );
+    assert!(
+        lossy_p5_pair(0, Some(SimDuration::from_millis(25))),
+        "holder re-broadcast must recover the hot-spinning waiter"
+    );
+}
+
+/// A paced publisher on segment 0 with one polling reader on segment 1,
+/// under a **sub-round-trip** interest-aging horizon (4 ms, against a
+/// ~13 ms paper-pace request → reply round trip). `grace` optionally
+/// arms the fabric's reply-grace floor.
+fn sub_round_trip_aging_run(grace: Option<SimDuration>) -> bool {
+    let mut fabric = FabricConfig::new(BridgeTopology::star(2))
+        .with_aging(AgeHorizon::SimTime(SimDuration::from_millis(4)));
+    if let Some(g) = grace {
+        fabric = fabric.with_reply_grace(g);
+    }
+    let mut cfg = SimConfig::paper(4);
+    cfg.calib = cfg
+        .calib
+        .with_fault_retry(SimDuration::from_millis(20))
+        .with_request_coalescing();
+    cfg.topology = Topology::fabric(fabric);
+    let mut sim = Simulation::new(cfg);
+    let page = PageId::new(0);
+    sim.create_owned(0, page);
+    sim.add_process(
+        0,
+        Box::new(Publisher::paced(page, 8, SimDuration::from_millis(1))),
+    );
+    sim.add_process(
+        2,
+        Box::new(PollingReader::new(
+            page,
+            8,
+            SimDuration::from_millis(4),
+            SimDuration::ZERO,
+        )),
+    );
+    let outcome = sim.run(RunLimits {
+        max_sim_time: SimDuration::from_millis(3_000),
+        max_events: 2_000_000,
+    });
+    sim.check_invariants();
+    outcome.finished
+}
+
+/// Sub-round-trip aging horizons used to be a deterministic livelock
+/// (the soak generator floored its draw at 16 ms to avoid them): the
+/// reader's request stamps interest that expires before the ~13 ms
+/// reply arrives, the reply is filtered, and the 20 ms fault retry
+/// re-runs the same doomed exchange forever. The reply-grace floor
+/// (`FabricConfig::with_reply_grace`) holds *request-stamped* interest
+/// through the round trip independent of the horizon, so the same
+/// deployment completes — pinned here because the generator now draws
+/// horizons down to 2 ms and relies on it.
+#[test]
+fn sub_round_trip_aging_needs_the_reply_grace_floor() {
+    assert!(
+        !sub_round_trip_aging_run(None),
+        "a 4 ms horizon must strand the reader without the grace floor \
+         (if this starts finishing, the round-trip cost model drifted)"
+    );
+    assert!(
+        sub_round_trip_aging_run(Some(SimDuration::from_millis(16))),
+        "the reply-grace floor must let the reply through"
+    );
+}
+
+/// The cross-engine batch: every fault-free scenario (clean and lossy)
+/// runs on the discrete-event simulator *and* the threaded runtime,
+/// and [`run_cross_engine_soak`] asserts both engines complete and
+/// agree on every workload page's final word. `METHER_SOAK_SCENARIOS`
+/// sizes the batch (CI pins it), `METHER_SOAK_SEED` moves the window;
+/// every seed is printed before its run.
+#[test]
+fn cross_engine_soak_batch() {
+    let count = scenario_count_from_env(25);
+    let base = base_seed_from_env(0);
+    let reports = run_cross_engine_soak(base, count, None);
+    assert_eq!(reports.len(), count);
+    assert!(
+        reports
+            .iter()
+            .any(|(_, r)| r.runtime.metrics.net.lost > 0 || r.sim.outcome.finished),
+        "the batch must include real runs"
     );
 }
 

@@ -573,6 +573,95 @@ fn bench_election(c: &mut Criterion) {
     g.finish();
 }
 
+/// The invariant observer on the 256-segment, 480-device 16×16 mesh:
+/// the full-deployment oracle sweep (every host table, every device,
+/// tree consistency — what *every* sampled sweep used to cost) against
+/// the dirty-set incremental sweep (drain what changed, check only
+/// that). The deployment is a warmed-up large-soak mesh scenario, so
+/// the tables and filters carry real mid-run state. The gap between
+/// these two numbers is what moved the stride floor from 256 down to
+/// 64 (`_meta_pr9` in `BENCH_baseline.json` records both).
+fn bench_observer(c: &mut Criterion) {
+    use mether_core::PageId;
+    use mether_workloads::{SoakScenario, SoakShape};
+
+    let mut g = c.benchmark_group("observer");
+    // First large seed that draws the 16×16 mesh; the build is a pure
+    // function of the seed, so the bench deployment is stable.
+    let seed = (0..)
+        .find(|&s| SoakScenario::large_from_seed(s).shape == SoakShape::Mesh2d(16, 16))
+        .unwrap();
+    let scenario = SoakScenario::large_from_seed(seed);
+    let warmup = RunLimits {
+        max_sim_time: SimDuration::from_millis(40),
+        max_events: 2_000_000,
+    };
+    let mut sim = scenario.build();
+    sim.run(warmup);
+    g.bench_function("full_sweep_16x16", |b| {
+        b.iter(|| sim.check_invariants());
+    });
+    g.bench_function("incremental_16x16", |b| {
+        // Touch a handful of devices through an ordinary mutation path
+        // (re-pinning a subscription dirties every device on the pin
+        // route), then sweep exactly the dirt — the steady-state cost
+        // a sampled sweep pays mid-run.
+        let page = PageId::new(0);
+        b.iter(|| {
+            sim.subscribe_segment(page, 255);
+            sim.sweep_dirty();
+        });
+    });
+    g.finish();
+}
+
+/// The live-election control plane on the 16×16 mesh, no workload: 480
+/// devices ticking every simulated millisecond. `BridgeTick` periodics
+/// are exactly what the fixed-cadence timer ring keeps out of the
+/// binary heap, so this run's wall time tracks the scheduling hot path
+/// (the ring share of control pushes lands in `_meta_pr9`).
+fn bench_hello_ring(c: &mut Criterion) {
+    use mether_core::{BridgeTopology, PageId};
+    use mether_net::ElectionMode;
+    use mether_sim::{SimConfig, Simulation, Topology};
+    use mether_workloads::Publisher;
+
+    let mut g = c.benchmark_group("election");
+    g.sample_size(10);
+    g.bench_function("hello_ring", |b| {
+        b.iter(|| {
+            // The large-fabric control plane as the soak harness deploys
+            // it: device-scaled hello cadence and sparse delta gossip.
+            // (Stock `live()` full-view hellos on this shape allocate a
+            // 480-entry view vector per PDU per port — gigabytes of
+            // churn per simulated second, the O(devices) wire cost the
+            // delta format exists to kill.)
+            let fabric = FabricConfig::new(BridgeTopology::mesh2d(16, 16))
+                .with_election(ElectionMode::live_scaled(480))
+                .with_gossip_deltas();
+            let mut cfg = SimConfig::paper(256);
+            cfg.topology = Topology::fabric(fabric);
+            let mut sim = Simulation::new(cfg);
+            // One paced publisher outliving the horizon: a run with no
+            // live process exits on its first event, so the workload is
+            // what keeps the 480-device tick stream flowing for the
+            // full 100 simulated milliseconds.
+            let page = PageId::new(0);
+            sim.create_owned(0, page);
+            sim.add_process(
+                0,
+                Box::new(Publisher::paced(page, 200, SimDuration::from_millis(1))),
+            );
+            let outcome = sim.run(RunLimits {
+                max_sim_time: SimDuration::from_millis(100),
+                max_events: 10_000_000,
+            });
+            black_box((outcome.events, sim.event_stats().timer_ring_pushes))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_addr,
@@ -586,6 +675,8 @@ criterion_group!(
     bench_bridge_routing,
     bench_fabric,
     bench_scale,
-    bench_election
+    bench_election,
+    bench_observer,
+    bench_hello_ring
 );
 criterion_main!(benches);

@@ -217,6 +217,10 @@ struct PageEntry {
     /// window: a broadcast that transits in between still lands, so the
     /// subsequent data-driven access hits instead of sleeping forever.
     mapped: bool,
+    /// Already queued in the table's dirty list since the last drain
+    /// (dedup flag so a hot page costs one list entry per observer
+    /// sweep, not one per mutation).
+    dirty: bool,
 }
 
 impl PageEntry {
@@ -233,6 +237,7 @@ impl PageEntry {
             requested: None,
             deferred_transfers: Vec::new(),
             mapped: false,
+            dirty: false,
         }
     }
 
@@ -252,6 +257,12 @@ impl PageEntry {
 #[derive(Default)]
 struct PageSlots {
     slots: Vec<Option<PageEntry>>,
+    /// Pages whose observable consistency state (holder bit, buffer
+    /// presence, generation) changed since the last
+    /// [`PageTable::take_dirty_pages`] drain. Deduplicated via
+    /// `PageEntry::dirty`; drained by the incremental invariant
+    /// observer.
+    dirty: Vec<PageId>,
 }
 
 impl PageSlots {
@@ -286,6 +297,36 @@ impl PageSlots {
 
     fn tracked(&self) -> usize {
         self.slots.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Queues `page` for the next dirty drain. A no-op when the slot
+    /// does not exist (mutations that never materialise a slot have no
+    /// observable state to re-check) or is already queued.
+    fn mark_dirty(&mut self, page: PageId) {
+        if let Some(e) = self
+            .slots
+            .get_mut(page.index() as usize)
+            .and_then(Option::as_mut)
+        {
+            if !e.dirty {
+                e.dirty = true;
+                self.dirty.push(page);
+            }
+        }
+    }
+
+    fn take_dirty(&mut self) -> Vec<PageId> {
+        let drained = std::mem::take(&mut self.dirty);
+        for p in &drained {
+            if let Some(e) = self
+                .slots
+                .get_mut(p.index() as usize)
+                .and_then(Option::as_mut)
+            {
+                e.dirty = false;
+            }
+        }
+        drained
     }
 }
 
@@ -347,6 +388,7 @@ impl PageTable {
         e.buf = Some(PageBuf::new_zeroed());
         e.consistent = true;
         e.generation = Generation::zero();
+        self.pages.mark_dirty(page);
     }
 
     /// Does this host currently hold the consistent copy of `page`?
@@ -495,6 +537,7 @@ impl PageTable {
                     // supersets not affected — dropping the whole local
                     // copy drops every subset view of it.
                     e.buf = None;
+                    self.pages.mark_dirty(page);
                 }
                 Ok(AccessOutcome::Ready)
             }
@@ -532,14 +575,16 @@ impl PageTable {
             PageLength::Full => crate::PAGE_SIZE,
             PageLength::Short => short_len,
         };
-        Ok(Packet::PageData {
+        let pkt = Packet::PageData {
             from: host,
             page,
             length,
             generation: e.generation,
             transfer_to: None,
             data: buf.payload(transfer_len),
-        })
+        };
+        self.pages.mark_dirty(page);
+        Ok(pkt)
     }
 
     /// Builds a *holder re-broadcast* of `page`: the same `PageData`
@@ -664,7 +709,7 @@ impl PageTable {
             // Bridge-to-bridge spanning-tree control traffic: no Mether
             // server consumes it (a real NIC would filter the BPDU
             // multicast address before the driver ever saw the frame).
-            Packet::BridgePdu { .. } => {}
+            Packet::BridgePdu { .. } | Packet::BridgePduDelta { .. } => {}
         }
     }
 
@@ -733,6 +778,7 @@ impl PageTable {
                     transfer_to: None,
                     data,
                 }));
+                self.pages.mark_dirty(page);
             }
             Want::Consistent => {
                 if e.locked || e.purge_pending {
@@ -783,6 +829,7 @@ impl PageTable {
             transfer_to: Some(to),
             data,
         }));
+        self.pages.mark_dirty(page);
     }
 
     fn handle_data(
@@ -894,6 +941,10 @@ impl PageTable {
         if !wakes.is_empty() {
             effects.push(Effect::WakeAll(wakes));
         }
+        // Conservatively dirty: any transit that reached this slot may
+        // have refreshed the copy, advanced the generation, or moved the
+        // holder bit here.
+        self.pages.mark_dirty(page);
     }
 
     /// Abandons `waiter`'s blocked access on `page` (a timed-out fault).
@@ -925,8 +976,9 @@ impl PageTable {
     /// learned interest in this segment.
     pub fn drop_stale_copy(&mut self, page: PageId) {
         if let Some(e) = self.pages.get_mut(page) {
-            if !e.consistent {
+            if !e.consistent && e.buf.is_some() {
                 e.buf = None;
+                self.pages.mark_dirty(page);
             }
         }
     }
@@ -934,6 +986,19 @@ impl PageTable {
     /// Pages this table currently tracks (for diagnostics).
     pub fn tracked_pages(&self) -> impl Iterator<Item = PageId> + '_ {
         self.pages.ids()
+    }
+
+    /// Pages whose observable consistency state (holder bit, buffer
+    /// presence, generation) changed since the last drain, deduplicated.
+    /// Draining clears the set; the incremental invariant observer calls
+    /// this once per sweep and re-checks only what it returns.
+    pub fn take_dirty_pages(&mut self) -> Vec<PageId> {
+        self.pages.take_dirty()
+    }
+
+    /// Number of pages currently queued for the next dirty drain.
+    pub fn dirty_page_count(&self) -> usize {
+        self.pages.dirty.len()
     }
 }
 
@@ -1787,6 +1852,59 @@ mod tests {
             t.generation(p0()),
             Generation(5),
             "generation never regresses"
+        );
+    }
+
+    #[test]
+    fn dirty_pages_track_consistency_mutations_and_dedupe() {
+        let mut t = table(0);
+        assert_eq!(t.dirty_page_count(), 0);
+        t.create_owned(p0());
+        t.create_owned(PageId::new(3));
+        // A second mutation of an already-dirty page adds no entry.
+        let mut fx = Vec::new();
+        t.purge(p0(), MapMode::Writeable, 1, &mut fx).unwrap();
+        t.server_purge_broadcast(p0(), PageLength::Short).unwrap();
+        assert_eq!(t.dirty_page_count(), 2);
+        let mut drained = t.take_dirty_pages();
+        drained.sort();
+        assert_eq!(drained, vec![p0(), PageId::new(3)]);
+        assert_eq!(t.dirty_page_count(), 0);
+        assert!(t.take_dirty_pages().is_empty(), "drain clears the flags");
+        // After a drain the same page can be re-queued.
+        t.do_purge(p0(), &mut fx);
+        t.handle_packet(
+            &Packet::PageRequest {
+                from: HostId(1),
+                page: p0(),
+                length: PageLength::Short,
+                want: Want::ReadOnly,
+            },
+            &mut fx,
+        );
+        assert_eq!(t.take_dirty_pages(), vec![p0()]);
+    }
+
+    #[test]
+    fn foreign_page_snoops_mark_nothing_dirty() {
+        let mut t = table(3);
+        let mut fx = Vec::new();
+        let far = PageId::new(crate::config::MAX_PAGES - 1);
+        t.handle_packet(
+            &Packet::PageData {
+                from: HostId(0),
+                page: far,
+                length: PageLength::Full,
+                generation: Generation(1),
+                transfer_to: None,
+                data: Bytes::from(vec![0u8; 8192]),
+            },
+            &mut fx,
+        );
+        assert_eq!(
+            t.dirty_page_count(),
+            0,
+            "no slot, no observable state, no dirty entry"
         );
     }
 }

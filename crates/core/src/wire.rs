@@ -119,6 +119,7 @@ const MAGIC: u16 = 0x4D45; // "ME"
 const TYPE_REQUEST: u8 = 1;
 const TYPE_DATA: u8 = 2;
 const TYPE_BRIDGE_PDU: u8 = 3;
+const TYPE_BRIDGE_PDU_DELTA: u8 = 4;
 
 /// Upper bound on the per-device view entries a [`Packet::BridgePdu`]
 /// may carry — matches the largest fabric a `HostMask`-segmented
@@ -189,6 +190,22 @@ pub enum Packet {
         /// device id ([`crate::DeviceView`] versioned-gossip entries).
         views: Vec<DeviceView>,
     },
+    /// A sparse bridge hello: only the entries worth announcing (the
+    /// sender's own view, views that changed since the sender's last
+    /// hello, and a small rotating anti-entropy window), each tagged
+    /// with its device id. A full-view [`Packet::BridgePdu`] costs
+    /// O(fabric) wire bytes per hello, which oversubscribes a 10 Mbit/s
+    /// segment once ~50 devices gossip at a 1 ms cadence; delta hellos
+    /// keep the steady-state cost O(1). Semantically equivalent on the
+    /// receive side — absent entries simply carry no news.
+    BridgePduDelta {
+        /// The emitting device's fabric endpoint id.
+        from: HostId,
+        /// The emitting bridge device's index in the topology.
+        device: u16,
+        /// `(device id, view)` gossip entries, ids strictly ascending.
+        entries: Vec<(u16, DeviceView)>,
+    },
 }
 
 impl Packet {
@@ -197,7 +214,7 @@ impl Packet {
     pub fn page(&self) -> PageId {
         match self {
             Packet::PageRequest { page, .. } | Packet::PageData { page, .. } => *page,
-            Packet::BridgePdu { .. } => PageId::new(0),
+            Packet::BridgePdu { .. } | Packet::BridgePduDelta { .. } => PageId::new(0),
         }
     }
 
@@ -206,7 +223,8 @@ impl Packet {
         match self {
             Packet::PageRequest { from, .. }
             | Packet::PageData { from, .. }
-            | Packet::BridgePdu { from, .. } => *from,
+            | Packet::BridgePdu { from, .. }
+            | Packet::BridgePduDelta { from, .. } => *from,
         }
     }
 
@@ -218,7 +236,10 @@ impl Packet {
     /// True for bridge-to-bridge control frames, which no Mether server
     /// consumes.
     pub fn is_control(&self) -> bool {
-        matches!(self, Packet::BridgePdu { .. })
+        matches!(
+            self,
+            Packet::BridgePdu { .. } | Packet::BridgePduDelta { .. }
+        )
     }
 
     /// Serialized payload length in bytes (without link-layer framing).
@@ -234,6 +255,16 @@ impl Packet {
                     + views
                         .iter()
                         .map(|v| 8 + 1 + 2 + mask_wire_words(&v.ports).len() * 8)
+                        .sum::<usize>()
+            }
+            Packet::BridgePduDelta { entries, .. } => {
+                2 + 1
+                    + 2
+                    + 2
+                    + 2
+                    + entries
+                        .iter()
+                        .map(|(_, v)| 2 + 8 + 1 + 2 + mask_wire_words(&v.ports).len() * 8)
                         .sum::<usize>()
             }
         }
@@ -326,6 +357,27 @@ impl Packet {
                     }
                 }
             }
+            Packet::BridgePduDelta {
+                from,
+                device,
+                entries,
+            } => {
+                b.put_u16(MAGIC);
+                b.put_u8(TYPE_BRIDGE_PDU_DELTA);
+                b.put_u16(from.0);
+                b.put_u16(*device);
+                b.put_u16(entries.len() as u16);
+                for (d, v) in entries {
+                    b.put_u16(*d);
+                    b.put_u64(v.version);
+                    b.put_u8(u8::from(v.alive));
+                    let words = mask_wire_words(&v.ports);
+                    b.put_u16(words.len() as u16);
+                    for w in words {
+                        b.put_u64(*w);
+                    }
+                }
+            }
         }
     }
 
@@ -362,6 +414,24 @@ impl Packet {
                     )));
                 }
                 for (d, v) in views.iter().enumerate() {
+                    let words = mask_wire_words(&v.ports).len();
+                    if words > MAX_MASK_WORDS {
+                        return Err(Error::Encode(format!(
+                            "device {d} port mask of {words} words exceeds \
+                             the {MAX_MASK_WORDS}-word limit"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Packet::BridgePduDelta { entries, .. } => {
+                if entries.len() > MAX_PDU_VIEWS {
+                    return Err(Error::Encode(format!(
+                        "{} delta entries exceed the {MAX_PDU_VIEWS}-view limit",
+                        entries.len()
+                    )));
+                }
+                for (d, v) in entries {
                     let words = mask_wire_words(&v.ports).len();
                     if words > MAX_MASK_WORDS {
                         return Err(Error::Encode(format!(
@@ -553,6 +623,46 @@ impl Packet {
                     from,
                     device,
                     views,
+                })
+            }
+            TYPE_BRIDGE_PDU_DELTA => {
+                need(buf, 6)?;
+                let from = HostId(buf.get_u16());
+                let device = buf.get_u16();
+                let count = buf.get_u16() as usize;
+                if count > MAX_PDU_VIEWS {
+                    return Err(Error::Decode(format!("delta pdu claims {count} entries")));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    need(buf, 2 + 8 + 1 + 2)?;
+                    let d = buf.get_u16();
+                    let version = buf.get_u64();
+                    let alive = match buf.get_u8() {
+                        0 => false,
+                        1 => true,
+                        a => return Err(Error::Decode(format!("bad alive flag {a}"))),
+                    };
+                    let nwords = buf.get_u16() as usize;
+                    if nwords > MAX_MASK_WORDS {
+                        return Err(Error::Decode(format!("port mask claims {nwords} words")));
+                    }
+                    need(buf, nwords * 8)?;
+                    let words: Vec<u64> = (0..nwords).map(|_| buf.get_u64()).collect();
+                    let ports = HostMask::from_words(&words);
+                    entries.push((
+                        d,
+                        DeviceView {
+                            version,
+                            alive,
+                            ports,
+                        },
+                    ));
+                }
+                Ok(Packet::BridgePduDelta {
+                    from,
+                    device,
+                    entries,
                 })
             }
             t => Err(Error::Decode(format!("unknown packet type {t}"))),
@@ -778,6 +888,56 @@ mod tests {
             assert!(frame.payload.is_empty());
             assert_eq!(Packet::decode_frame(&frame).unwrap(), p);
         }
+    }
+
+    fn sample_delta(ids: &[u16]) -> Packet {
+        Packet::BridgePduDelta {
+            from: HostId(0xFF05),
+            device: 5,
+            entries: ids
+                .iter()
+                .map(|&d| {
+                    (
+                        d,
+                        crate::DeviceView {
+                            version: u64::from(d) * 7 + 1,
+                            alive: d % 3 != 0,
+                            ports: crate::HostMask::range(d as usize, d as usize + 2),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bridge_pdu_delta_round_trip() {
+        for ids in [&[] as &[u16], &[5], &[0, 7, 63, 901]] {
+            let p = sample_delta(ids);
+            assert!(p.is_control());
+            assert!(!p.is_data());
+            assert_eq!(p.encode().len(), p.encoded_len());
+            assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+            let frame = p.encode_vectored();
+            assert!(frame.payload.is_empty());
+            assert_eq!(Packet::decode_frame(&frame).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn bridge_pdu_delta_is_sparse_on_the_wire() {
+        // The point of the delta format: a one-entry hello from a large
+        // fabric costs about a minimum frame, not O(devices) bytes.
+        let delta = sample_delta(&[17]);
+        assert!(delta.wire_size() <= MIN_FRAME + 16, "{}", delta.wire_size());
+        assert!(sample_pdu(256).wire_size() > 16 * delta.wire_size());
+    }
+
+    #[test]
+    fn oversize_delta_is_refused_not_truncated() {
+        let ids: Vec<u16> = (0..=MAX_PDU_VIEWS as u16).collect();
+        let over = sample_delta(&ids);
+        assert!(matches!(over.try_encode(), Err(Error::Encode(_))));
     }
 
     #[test]

@@ -388,6 +388,26 @@ impl ElectionMode {
         }
     }
 
+    /// Live election with the cadence widened for a fabric of `devices`
+    /// devices: the [`ElectionMode::live`] 1 ms / 4 ms / 2 ms timings
+    /// stretched by `ceil(devices / 32)`. Even with sparse delta hellos
+    /// ([`FabricConfig::with_gossip_deltas`]) the per-hello wire cost
+    /// grows with the anti-entropy window's mask words, and several
+    /// devices share each segment — at a fixed 1 ms cadence a
+    /// 100+ device fabric spends a large fraction of every segment's
+    /// 10 Mbit/s on control traffic. Scaling the cadence keeps the
+    /// hello overhead a small constant fraction of the wire at any
+    /// size; failure detection slows proportionally, which is the
+    /// classic trade.
+    pub fn live_scaled(devices: usize) -> Self {
+        let f = devices.div_ceil(32).max(1) as u64;
+        ElectionMode::Live {
+            hello_interval: SimDuration::from_millis(f),
+            hello_timeout: SimDuration::from_millis(4 * f),
+            hold_down: SimDuration::from_millis(2 * f),
+        }
+    }
+
     /// True for [`ElectionMode::Live`].
     pub fn is_live(&self) -> bool {
         matches!(self, ElectionMode::Live { .. })
@@ -460,6 +480,16 @@ pub struct FabricConfig {
     /// Per-device bridge priorities (lower wins the root election;
     /// missing entries default to 0, ties break on device id).
     pub priorities: Vec<u64>,
+    /// Emit sparse [`mether_core::Packet::BridgePduDelta`] hellos
+    /// instead of full-view [`mether_core::Packet::BridgePdu`]s: each
+    /// hello carries the sender's own view, any views changed since its
+    /// last hello, and a small rotating anti-entropy window. Keeps the
+    /// steady-state hello wire cost O(1) in fabric size — a full view
+    /// costs O(devices) bytes, which oversubscribes a 10 Mbit/s segment
+    /// once ~50 devices gossip at a millisecond cadence. Off by
+    /// default: small fabrics keep the validated byte-identical
+    /// full-view schedule.
+    pub gossip_deltas: bool,
 }
 
 impl FabricConfig {
@@ -476,6 +506,7 @@ impl FabricConfig {
             reply_grace: None,
             election: ElectionMode::Static,
             priorities: Vec::new(),
+            gossip_deltas: false,
         }
     }
 
@@ -565,6 +596,13 @@ impl FabricConfig {
         self.priorities = priorities;
         self
     }
+
+    /// Turns on sparse delta hellos (see [`FabricConfig::gossip_deltas`]).
+    #[must_use]
+    pub fn with_gossip_deltas(mut self) -> Self {
+        self.gossip_deltas = true;
+        self
+    }
 }
 
 /// Per-page filter state of one device: which ports must hear the
@@ -595,6 +633,9 @@ struct PageFilter {
     /// gate one superset reply would repoint every device on its path
     /// at a segment that cannot answer ordinary requests.
     newest_gen: Option<mether_core::Generation>,
+    /// Already queued in the policy's dirty-page list since the last
+    /// drain (dedup flag for the incremental invariant observer).
+    dirty: bool,
 }
 
 /// What one control-plane step changed at a device.
@@ -651,7 +692,31 @@ pub struct BridgePolicy {
     pages: Vec<PageFilter>,
     /// Transits this device has forwarded — the aging clock.
     clock: u64,
+    /// Pages whose filter state changed since the last
+    /// [`BridgePolicy::take_dirty`] drain (dedup via
+    /// `PageFilter::dirty`).
+    dirty_pages: Vec<PageId>,
+    /// Structural (non-per-page) observable state changed since the
+    /// last drain: views, port liveness, active tree, election epoch,
+    /// or hold-downs.
+    dirty_struct: bool,
+    /// Emit sparse delta hellos instead of full views (see
+    /// [`FabricConfig::gossip_deltas`]).
+    gossip_deltas: bool,
+    /// Per device: the view version as of this device's last hello —
+    /// a hello needs to re-announce only entries newer than this. One
+    /// global watermark (not per-port) suffices because every hello
+    /// goes out on all live ports at once.
+    last_gossiped: Vec<u64>,
+    /// Round-robin anti-entropy cursor: each delta hello also carries
+    /// the next [`GOSSIP_WINDOW`] unchanged entries, so a peer that
+    /// missed history (a revived device) resyncs within
+    /// `devices / GOSSIP_WINDOW` hellos.
+    gossip_cursor: usize,
 }
+
+/// Unchanged entries carried per delta hello for anti-entropy.
+const GOSSIP_WINDOW: usize = 8;
 
 impl BridgePolicy {
     /// The filter of device `device` of `topology`, over `layout`, with
@@ -702,6 +767,11 @@ impl BridgePolicy {
             belief_repairs: 0,
             pages: Vec::new(),
             clock: 0,
+            dirty_pages: Vec::new(),
+            dirty_struct: false,
+            gossip_deltas: false,
+            last_gossiped: Vec::new(),
+            gossip_cursor: 0,
         }
     }
 
@@ -752,6 +822,11 @@ impl BridgePolicy {
             belief_repairs: 0,
             pages: Vec::new(),
             clock: 0,
+            dirty_pages: Vec::new(),
+            dirty_struct: false,
+            gossip_deltas: cfg.gossip_deltas,
+            last_gossiped: vec![0; topology.bridges()],
+            gossip_cursor: 0,
         }
     }
 
@@ -774,6 +849,7 @@ impl BridgePolicy {
                 *h = now + hold_down;
             }
         }
+        self.dirty_struct = true;
     }
 
     /// The single device of a 1-bridge star with PR 3 semantics
@@ -861,7 +937,14 @@ impl BridgePolicy {
                 ..PageFilter::default()
             });
         }
-        &mut self.pages[idx]
+        // Every mutation of a page filter flows through here, so this is
+        // the one place page-level dirty marking has to happen.
+        let f = &mut self.pages[idx];
+        if !f.dirty {
+            f.dirty = true;
+            self.dirty_pages.push(page);
+        }
+        f
     }
 
     /// Is the last demand evidence `(stamp_clock, stamp_time)` still
@@ -1024,6 +1107,46 @@ impl BridgePolicy {
         m
     }
 
+    /// Drains this device's dirty state for the incremental invariant
+    /// observer: the pages whose filter state changed since the last
+    /// drain (deduplicated), and whether structural state (views, port
+    /// liveness, active tree, election epoch, hold-downs) changed.
+    pub fn take_dirty(&mut self) -> (Vec<PageId>, bool) {
+        let structural = std::mem::take(&mut self.dirty_struct);
+        let pages = std::mem::take(&mut self.dirty_pages);
+        for p in &pages {
+            if let Some(f) = self.pages.get_mut(p.index() as usize) {
+                f.dirty = false;
+            }
+        }
+        (pages, structural)
+    }
+
+    /// Pending dirty state without draining it: `(dirty page count,
+    /// structural flag)`.
+    pub fn dirty_counts(&self) -> (usize, bool) {
+        (self.dirty_pages.len(), self.dirty_struct)
+    }
+
+    /// Test-only fault injection: forcibly records learned interest for
+    /// `page` on `segment` — which need not be a port of this device,
+    /// deliberately violating the learned ⊆ physical-ports invariant
+    /// the observer checks. Goes through the ordinary mutation path, so
+    /// it registers in the dirty set like a real bug in the learning
+    /// code would.
+    #[doc(hidden)]
+    pub fn corrupt_learned_for_test(&mut self, page: PageId, segment: usize) {
+        self.filter_mut(page).learned.insert(segment);
+    }
+
+    /// Test-only fault injection: forcibly points `page`'s holder
+    /// belief at `segment` — which need not be a port of this device.
+    /// See [`BridgePolicy::corrupt_learned_for_test`].
+    #[doc(hidden)]
+    pub fn corrupt_holder_belief_for_test(&mut self, page: PageId, segment: usize) {
+        self.filter_mut(page).holder = Some(segment as u16);
+    }
+
     /// Statically subscribes segment `seg` to `page`'s transits: this
     /// device pins `seg`, resolved to its port toward `seg` through
     /// whatever active tree is current. Pins never age out and survive
@@ -1125,7 +1248,7 @@ impl BridgePolicy {
                     self.point_holder(*page, port);
                 }
             }
-            Packet::BridgePdu { .. } => {}
+            Packet::BridgePdu { .. } | Packet::BridgePduDelta { .. } => {}
         }
     }
 
@@ -1220,7 +1343,7 @@ impl BridgePolicy {
                 }
                 m.intersection(&fwd).without(in_port)
             }
-            Packet::BridgePdu { .. } => HostMask::EMPTY,
+            Packet::BridgePdu { .. } | Packet::BridgePduDelta { .. } => HostMask::EMPTY,
         }
     }
 
@@ -1235,6 +1358,44 @@ impl BridgePolicy {
             from: HostId(BRIDGE_HOST_BASE + self.device as u16),
             device: self.device as u16,
             views: self.views.clone(),
+        }
+    }
+
+    /// The hello this device actually emits right now. Full-view mode
+    /// returns [`BridgePolicy::pdu`] unchanged; delta mode
+    /// ([`FabricConfig::gossip_deltas`]) returns a sparse
+    /// [`Packet::BridgePduDelta`] carrying the device's own view, every
+    /// view whose version advanced since the previous emission, and the
+    /// next [`GOSSIP_WINDOW`] entries of a rotating anti-entropy
+    /// window; the announcement watermarks advance as a side effect.
+    pub fn pdu_for_emission(&mut self) -> Packet {
+        if !self.gossip_deltas {
+            return self.pdu();
+        }
+        let n = self.views.len();
+        let mut include = vec![false; n];
+        include[self.device] = true;
+        for (d, inc) in include.iter_mut().enumerate() {
+            if self.views[d].version > self.last_gossiped[d] {
+                *inc = true;
+            }
+        }
+        let window = GOSSIP_WINDOW.min(n);
+        for k in 0..window {
+            include[(self.gossip_cursor + k) % n] = true;
+        }
+        self.gossip_cursor = (self.gossip_cursor + window) % n;
+        let entries = (0..n)
+            .filter(|&d| include[d])
+            .map(|d| {
+                self.last_gossiped[d] = self.views[d].version;
+                (d as u16, self.views[d].clone())
+            })
+            .collect();
+        Packet::BridgePduDelta {
+            from: HostId(BRIDGE_HOST_BASE + self.device as u16),
+            device: self.device as u16,
+            entries,
         }
     }
 
@@ -1257,27 +1418,66 @@ impl BridgePolicy {
             if d >= self.views.len() {
                 break;
             }
-            if d == self.device {
-                // Self-defence: a circulating obituary (or stale port
-                // set) about us is rebutted with a higher version — a
-                // live device always out-versions its own death.
-                let mine = &mut self.views[d];
-                if theirs.version >= mine.version && (!theirs.alive || theirs.ports != mine.ports) {
-                    mine.version = theirs.version + 1;
-                    out.view_changed = true;
-                }
-                continue;
-            }
-            // The sender vouches for itself at least as strongly as its
-            // own entry says; ordinary merge covers that too.
-            if self.views[d].merge(theirs) {
+            if self.merge_gossiped(d, theirs) {
                 out.view_changed = true;
             }
         }
         if out.view_changed {
+            self.dirty_struct = true;
             out.active_changed = self.recompute(now);
         }
         out
+    }
+
+    /// Ingests a sparse delta hello (see [`Packet::BridgePduDelta`]):
+    /// same liveness refresh and versioned merge as
+    /// [`BridgePolicy::hear_pdu`], over explicitly-tagged entries.
+    /// Out-of-range device ids are ignored, like the dense form's
+    /// excess trailing views.
+    pub fn hear_pdu_sparse(
+        &mut self,
+        from_device: usize,
+        entries: &[(u16, DeviceView)],
+        _in_port: usize,
+        now: SimTime,
+    ) -> PduOutcome {
+        let mut out = PduOutcome::default();
+        if from_device < self.last_heard.len() {
+            self.last_heard[from_device] = now;
+        }
+        for (d, theirs) in entries {
+            let d = *d as usize;
+            if d >= self.views.len() {
+                continue;
+            }
+            if self.merge_gossiped(d, theirs) {
+                out.view_changed = true;
+            }
+        }
+        if out.view_changed {
+            self.dirty_struct = true;
+            out.active_changed = self.recompute(now);
+        }
+        out
+    }
+
+    /// Merges one gossiped view into this device's belief table.
+    /// Returns whether anything changed.
+    fn merge_gossiped(&mut self, d: usize, theirs: &DeviceView) -> bool {
+        if d == self.device {
+            // Self-defence: a circulating obituary (or stale port
+            // set) about us is rebutted with a higher version — a
+            // live device always out-versions its own death.
+            let mine = &mut self.views[d];
+            if theirs.version >= mine.version && (!theirs.alive || theirs.ports != mine.ports) {
+                mine.version = theirs.version + 1;
+                return true;
+            }
+            return false;
+        }
+        // The sender vouches for itself at least as strongly as its
+        // own entry says; ordinary merge covers that too.
+        self.views[d].merge(theirs)
     }
 
     /// One hello-cadence tick at `now`: declares any neighbour silent
@@ -1313,6 +1513,7 @@ impl BridgePolicy {
             }
         }
         if out.view_changed {
+            self.dirty_struct = true;
             out.active_changed = self.recompute(now);
         }
         out
@@ -1334,6 +1535,7 @@ impl BridgePolicy {
         let v = &mut self.views[self.device];
         v.ports.remove(segment);
         v.version += 2;
+        self.dirty_struct = true;
         PduOutcome {
             view_changed: true,
             active_changed: self.recompute(now),
@@ -1359,6 +1561,7 @@ impl BridgePolicy {
         let v = &mut self.views[self.device];
         v.ports.insert(segment);
         v.version += 2;
+        self.dirty_struct = true;
         PduOutcome {
             view_changed: true,
             active_changed: self.recompute(now),
@@ -1371,6 +1574,7 @@ impl BridgePolicy {
     /// obituary of every previous life).
     pub fn set_self_version(&mut self, version: u64) {
         self.views[self.device].version = version;
+        self.dirty_struct = true;
     }
 
     /// Re-runs the election over the current views; on an active-tree
@@ -1405,6 +1609,7 @@ impl BridgePolicy {
         }
         self.active = new;
         self.epoch += 1;
+        self.dirty_struct = true;
         true
     }
 
@@ -1415,7 +1620,7 @@ impl BridgePolicy {
     /// requests into the dead part of the fabric.
     fn flush_port(&mut self, port: usize) {
         let i = self.port_index(port);
-        for f in &mut self.pages {
+        for (idx, f) in self.pages.iter_mut().enumerate() {
             f.learned.remove(port);
             f.stamps[i] = (0, SimTime::ZERO);
             f.req_stamps[i] = SimTime::ZERO;
@@ -1425,6 +1630,10 @@ impl BridgePolicy {
                 // post-reconvergence data may legitimately arrive with a
                 // generation the old path already reported.
                 f.newest_gen = None;
+            }
+            if !f.dirty {
+                f.dirty = true;
+                self.dirty_pages.push(PageId::new(idx as u32));
             }
         }
     }
@@ -1645,6 +1854,10 @@ pub struct Fabric {
     malformed_pdus: u64,
     /// Every injected fabric event, in injection order.
     timeline: Vec<(SimTime, FabricEvent)>,
+    /// Device liveness changed (a down or a revival) since the last
+    /// [`Fabric::take_dirty`] drain — the fabric-wide structural flag
+    /// for the incremental invariant observer.
+    dirty_liveness: bool,
 }
 
 impl Fabric {
@@ -1674,6 +1887,7 @@ impl Fabric {
             reconvergences: 0,
             malformed_pdus: 0,
             timeline: Vec::new(),
+            dirty_liveness: false,
         };
         fabric.devices = (0..n)
             .map(|device| fabric.build_device(device, 0, HostMask::EMPTY))
@@ -1857,8 +2071,9 @@ impl Fabric {
         arrival: SimTime,
         from_device: usize,
     ) -> Vec<ControlOut> {
-        let Packet::BridgePdu { device, views, .. } = pkt else {
-            return Vec::new();
+        let device = match pkt {
+            Packet::BridgePdu { device, .. } | Packet::BridgePduDelta { device, .. } => device,
+            _ => return Vec::new(),
         };
         // `device` is a wire-decoded field, so on a real transport it is
         // untrusted input: a frame whose embedded id contradicts the
@@ -1878,9 +2093,16 @@ impl Fabric {
             if !self.devices[d].policy().self_live_ports().contains(seg) {
                 continue;
             }
-            let r = self.devices[d]
-                .policy_mut()
-                .hear_pdu(from_device, views, seg, arrival);
+            let policy = self.devices[d].policy_mut();
+            let r = match pkt {
+                Packet::BridgePdu { views, .. } => {
+                    policy.hear_pdu(from_device, views, seg, arrival)
+                }
+                Packet::BridgePduDelta { entries, .. } => {
+                    policy.hear_pdu_sparse(from_device, entries, seg, arrival)
+                }
+                _ => unreachable!("matched above"),
+            };
             if r.active_changed {
                 self.reconvergences += 1;
             }
@@ -1892,11 +2114,13 @@ impl Fabric {
     }
 
     /// The hellos device `device` would emit right now: one per live
-    /// port.
-    fn emissions(&self, device: usize) -> Vec<ControlOut> {
-        let policy = self.devices[device].policy();
-        let pkt = policy.pdu();
-        policy
+    /// port. One [`BridgePolicy::pdu_for_emission`] call per emission —
+    /// the same hello goes out on every live port, so delta-mode
+    /// watermarks advance once per emission, not once per port.
+    fn emissions(&mut self, device: usize) -> Vec<ControlOut> {
+        let pkt = self.devices[device].policy_mut().pdu_for_emission();
+        self.devices[device]
+            .policy()
             .self_live_ports()
             .iter()
             .map(|seg| ControlOut {
@@ -1917,6 +2141,7 @@ impl Fabric {
             FabricEvent::BridgeDown(d) => {
                 if !self.dead[d] {
                     self.dead[d] = true;
+                    self.dirty_liveness = true;
                     // Arm the stall probe against the pre-failure
                     // election epochs.
                     self.down_at = Some(now);
@@ -1932,6 +2157,7 @@ impl Fabric {
                 if self.dead[d] {
                     self.dead[d] = false;
                     self.restarts[d] += 1;
+                    self.dirty_liveness = true;
                     // A cold restart: fresh filter tables, fresh
                     // engine, optimistic views, and a self-version
                     // above every obituary from its previous lives —
@@ -1998,6 +2224,46 @@ impl Fabric {
     /// Per-device traffic counters, indexed by device.
     pub fn device_stats(&self) -> Vec<BridgeStats> {
         self.devices.iter().map(Bridge::stats).collect()
+    }
+
+    /// Mutable device access — fault-injection tests corrupt filter
+    /// state through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[doc(hidden)]
+    pub fn device_mut(&mut self, b: usize) -> &mut Bridge {
+        &mut self.devices[b]
+    }
+
+    /// Drains every device's dirty state for the incremental invariant
+    /// observer: per-device `(device, dirty pages, structural)` entries
+    /// (devices with nothing dirty are omitted), plus whether device
+    /// liveness changed fabric-wide.
+    pub fn take_dirty(&mut self) -> (Vec<(usize, Vec<PageId>, bool)>, bool) {
+        let liveness = std::mem::take(&mut self.dirty_liveness);
+        let mut out = Vec::new();
+        for (i, b) in self.devices.iter_mut().enumerate() {
+            let (pages, structural) = b.policy_mut().take_dirty();
+            if !pages.is_empty() || structural {
+                out.push((i, pages, structural));
+            }
+        }
+        (out, liveness)
+    }
+
+    /// Pending dirty totals without draining: `(dirty page entries
+    /// across devices, any structural or liveness change)`.
+    pub fn dirty_counts(&self) -> (usize, bool) {
+        let mut pages = 0;
+        let mut structural = self.dirty_liveness;
+        for b in &self.devices {
+            let (p, s) = b.policy().dirty_counts();
+            pages += p;
+            structural |= s;
+        }
+        (pages, structural)
     }
 }
 

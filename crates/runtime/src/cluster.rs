@@ -327,8 +327,8 @@ impl BridgeThreads {
                 let now =
                     || SimTime::ZERO + SimDuration::from_nanos(epoch.elapsed().as_nanos() as u64);
                 let gated = |mask: u64, seg: usize| seg < 64 && mask & (1u64 << seg) != 0;
-                let broadcast_hello = |p: &BridgePolicy, lost_now: u64| {
-                    let pdu = p.pdu();
+                let broadcast_hello = |p: &mut BridgePolicy, lost_now: u64| {
+                    let pdu = p.pdu_for_emission();
                     for seg in p.self_live_ports() {
                         if gated(lost_now, seg) {
                             continue;
@@ -345,21 +345,28 @@ impl BridgeThreads {
                         // the endpoint queue fell on a dead wire.
                         return;
                     }
-                    if let Packet::BridgePdu {
-                        device: from,
-                        views,
-                        ..
-                    } = pkt
-                    {
+                    if pkt.is_control() {
                         let mut p = policy.lock();
-                        let r = p.hear_pdu(*from as usize, views, ports[port_idx], now());
+                        let r = match pkt {
+                            Packet::BridgePdu {
+                                device: from,
+                                views,
+                                ..
+                            } => p.hear_pdu(*from as usize, views, ports[port_idx], now()),
+                            Packet::BridgePduDelta {
+                                device: from,
+                                entries,
+                                ..
+                            } => p.hear_pdu_sparse(*from as usize, entries, ports[port_idx], now()),
+                            _ => unreachable!("is_control covers exactly the PDU variants"),
+                        };
                         if r.active_changed {
                             fault.lock().reconvergences += 1;
                         }
                         if r.view_changed {
                             // Triggered hello: propagate the news now,
                             // not a cadence later.
-                            broadcast_hello(&p, lost_now);
+                            broadcast_hello(&mut p, lost_now);
                         }
                         return;
                     }
@@ -456,7 +463,7 @@ impl BridgeThreads {
                             if r.active_changed {
                                 fault.lock().reconvergences += 1;
                             }
-                            broadcast_hello(&p, lost.load(Ordering::Relaxed));
+                            broadcast_hello(&mut p, lost.load(Ordering::Relaxed));
                         }
                     }
                 }

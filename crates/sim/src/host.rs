@@ -475,7 +475,7 @@ impl HostSim {
                 // Control frames are NIC-filtered before the server ever
                 // sees them; the simulator never delivers them to hosts,
                 // so this arm only keeps the cost model total.
-                Packet::BridgePdu { .. } => self.calib.server_snoop,
+                Packet::BridgePdu { .. } | Packet::BridgePduDelta { .. } => self.calib.server_snoop,
             },
         }
     }

@@ -45,6 +45,6 @@ pub use host::{HostSim, ProcState, ProcTimes};
 pub use metrics::ProtocolMetrics;
 pub use process::{DsmOp, OpResult, Step, StepCtx, Workload, WorkloadCounters};
 pub use sim::{
-    DeliveryMode, EventStats, ParallelMode, Recipients, RunLimits, RunOutcome, SimConfig,
-    Simulation, Topology,
+    DeliveryMode, EventStats, ObserverStats, ParallelMode, Recipients, RunLimits, RunOutcome,
+    SimConfig, Simulation, Topology,
 };

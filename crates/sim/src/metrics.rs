@@ -5,6 +5,7 @@
 //! (operation → cost), plus reproduction-specific extras (bytes per
 //! addition, server queue depth).
 
+use crate::sim::ObserverStats;
 use mether_net::{BridgeStats, FabricEvent, NetStats, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -82,6 +83,13 @@ pub struct ProtocolMetrics {
     /// runtime counts the same condition in its node receive path).
     /// 0 when coalescing is off.
     pub requests_coalesced: u64,
+    /// Invariant-observer coverage for the run (sweeps run, entities
+    /// checked, dirty-set high-water mark, effective stride) — what the
+    /// verification layer actually looked at, instead of it being
+    /// invisible. All zero when the observer is off (release builds
+    /// without `METHER_OBSERVE=1`) or on the threaded runtime, which
+    /// has no event-sampled observer.
+    pub observer: ObserverStats,
 }
 
 impl ProtocolMetrics {
@@ -140,6 +148,18 @@ impl fmt::Display for ProtocolMetrics {
             "  {:<24} {:.1} mean / {} max per host",
             "Frames Snooped", self.frames_heard_mean, self.frames_heard_max
         )?;
+        if self.observer.sweeps > 0 || self.observer.full_sweeps > 0 {
+            writeln!(
+                f,
+                "  {:<24} {} sweeps ({} full), {} states checked, dirty high-water {}, stride {}",
+                "Observer",
+                self.observer.sweeps,
+                self.observer.full_sweeps,
+                self.observer.entities_checked,
+                self.observer.dirty_high_water,
+                self.observer.effective_stride
+            )?;
+        }
         if self.net_segments.len() > 1 {
             for (i, s) in self.net_segments.iter().enumerate() {
                 writeln!(f, "  {:<24} {}", format!("Segment {i}"), s)?;
@@ -230,6 +250,7 @@ mod tests {
             space_pages: 1,
             max_server_queue: 3,
             requests_coalesced: 0,
+            observer: ObserverStats::default(),
         }
     }
 

@@ -62,12 +62,13 @@ use mether_net::{
     BridgeStats, ControlOut, EtherConfig, EtherSim, Fabric, FabricConfig, FabricEvent, SimDuration,
     SimTime,
 };
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 mod observe;
 mod par;
 
+pub use observe::ObserverStats;
 pub use par::ParallelMode;
 
 /// How the deployment's hosts are wired together.
@@ -352,6 +353,16 @@ pub struct EventStats {
     /// Events pushed for the fabric control plane (hello ticks and
     /// control-frame deliveries; zero under static election).
     pub control_pushes: u64,
+    /// Hello ticks scheduled on the fixed-cadence timer ring instead of
+    /// the heap (a subset of `control_pushes`): the hello cadence is one
+    /// global interval, so rescheduled ticks are always the latest
+    /// pending deadline and a sorted deque replaces O(log n) heap
+    /// traffic with O(1) appends.
+    pub timer_ring_pushes: u64,
+    /// Worker-pool handoffs performed by the lane-parallel coordinator
+    /// (one per batched window dispatch, not one per lane; zero on
+    /// serial runs). The batching win `lane_event_counts` can't see.
+    pub task_handoffs: u64,
     /// Packet transits that reached at least one recipient.
     pub transits: u64,
     /// Peak heap depth observed.
@@ -369,6 +380,16 @@ pub struct Simulation {
     /// The routed bridge fabric; `None` on flat networks.
     fabric: Option<Fabric>,
     events: BinaryHeap<Ev>,
+    /// The fixed-cadence hello timer ring: pending `BridgeTick`s as
+    /// `(due, seq, device, epoch)`, kept sorted by construction — every
+    /// entry is pushed with `due = now + hello_interval` for the one
+    /// global interval, so a new deadline is never earlier than a
+    /// pending one and `push_back` suffices. Entries draw `seq` from
+    /// the same counter as heap pushes at the same code points, so the
+    /// merged pop order (by `(at, tier, seq)`; ticks are tier 0) is
+    /// bit-identical to the all-heap schedule while the recurring
+    /// O(devices) tick load stops paying heap sift costs.
+    hello_ring: VecDeque<(SimTime, u64, usize, u64)>,
     seq: u64,
     now: SimTime,
     delivery: DeliveryMode,
@@ -427,6 +448,7 @@ impl Simulation {
             layout,
             fabric,
             events: BinaryHeap::new(),
+            hello_ring: VecDeque::new(),
             seq: 0,
             now: SimTime::ZERO,
             delivery: DeliveryMode::default(),
@@ -451,8 +473,43 @@ impl Simulation {
     ///
     /// Panics with a diagnostic on the first contradiction found.
     pub fn check_invariants(&mut self) {
-        let hosts: Vec<&HostSim> = self.hosts.iter().collect();
-        self.observer.sweep(&hosts, self.fabric.as_ref(), self.now);
+        let mut hosts: Vec<&mut HostSim> = self.hosts.iter_mut().collect();
+        self.observer
+            .sweep_full(&mut hosts, self.fabric.as_mut(), self.now);
+    }
+
+    /// Runs one *incremental* invariant sweep right now, regardless of
+    /// the observer's gating: drains the dirty sets (entities whose
+    /// observable state mutated since the last sweep) and checks only
+    /// those, against the persistent holder map and watermarks. This is
+    /// what sampled sweeps during [`Simulation::run`] do; it is public
+    /// so benchmarks and differential tests can drive the incremental
+    /// path head-to-head against [`Simulation::check_invariants`] (the
+    /// full oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic on the first contradiction found.
+    pub fn sweep_dirty(&mut self) {
+        let mut hosts: Vec<&mut HostSim> = self.hosts.iter_mut().collect();
+        self.observer
+            .sweep_incremental_forced(&mut hosts, self.fabric.as_mut(), self.now);
+    }
+
+    /// Observer coverage counters so far (sweeps run, entities checked,
+    /// dirty-set high-water mark, effective stride); all zero when the
+    /// observer never ran.
+    pub fn observer_stats(&self) -> ObserverStats {
+        self.observer.stats()
+    }
+
+    /// Mutable fabric access for corruption-injection tests (`None` on
+    /// flat topologies): lets a differential test plant a bad holder
+    /// belief or learned-interest entry through the devices' ordinary
+    /// mutation paths and assert both observer modes flag it.
+    #[doc(hidden)]
+    pub fn fabric_mut_for_test(&mut self) -> Option<&mut Fabric> {
+        self.fabric.as_mut()
     }
 
     /// Selects serial or lane-parallel execution (see [`ParallelMode`]).
@@ -654,6 +711,18 @@ impl Simulation {
         self.ev_stats.max_heap_depth = self.ev_stats.max_heap_depth.max(self.events.len());
     }
 
+    /// Schedules one hello tick on the timer ring (see
+    /// [`Simulation::hello_ring`]): same sequence counter and control
+    /// accounting as a heap push, no heap traffic.
+    fn ring_push(&mut self, at: SimTime, device: usize, epoch: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ev_stats.control_pushes += 1;
+        self.ev_stats.timer_ring_pushes += 1;
+        debug_assert!(self.hello_ring.back().is_none_or(|&(due, ..)| due <= at));
+        self.hello_ring.push_back((at, seq, device, epoch));
+    }
+
     /// Dispatches `host` if its CPU is idle, scheduling the burst end,
     /// any sleep timers it requested, and any fault-retry timers armed
     /// while blocking.
@@ -824,15 +893,15 @@ impl Simulation {
         let deadline = SimTime::ZERO + limits.max_sim_time;
         let mut processed: u64 = 0;
         // Seed the per-device hello ticks once, at the first run: one
-        // self-rescheduling tick event per live-election bridge device.
+        // self-rescheduling tick entry per live-election bridge device,
+        // on the timer ring rather than the heap.
         if !self.ticks_started {
             self.ticks_started = true;
             if let Some(fabric) = self.fabric.as_ref() {
                 if let Some(interval) = fabric.election().hello_interval() {
                     for device in 0..fabric.device_count() {
                         let epoch = self.tick_epochs[device];
-                        self.ev_stats.control_pushes += 1;
-                        self.push(self.now + interval, EvKind::BridgeTick { device, epoch });
+                        self.ring_push(self.now + interval, device, epoch);
                     }
                 }
             }
@@ -848,7 +917,30 @@ impl Simulation {
             self.kick(h);
         }
         let observing = self.observer.enabled();
-        while let Some(ev) = self.events.pop() {
+        loop {
+            // The next event is the earlier of the heap top and the
+            // hello-ring front under the shared `(time, tier, seq)` key
+            // (ring entries are BridgeTicks: tier 0) — the schedule is
+            // bit-identical to keeping the ticks on the heap.
+            let ring_wins = match (self.events.peek(), self.hello_ring.front()) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(top), Some(&(due, seq, _, _))) => {
+                    (due, 0u16, seq) < (top.at, top.tier, top.seq)
+                }
+            };
+            let ev = if ring_wins {
+                let (at, seq, device, epoch) = self.hello_ring.pop_front().expect("peeked");
+                Ev {
+                    at,
+                    tier: 0,
+                    seq,
+                    kind: EvKind::BridgeTick { device, epoch },
+                }
+            } else {
+                self.events.pop().expect("peeked")
+            };
             if ev.at > deadline || processed >= limits.max_events {
                 self.now = self.now.max(ev.at.max(deadline));
                 if observing {
@@ -985,8 +1077,7 @@ impl Simulation {
                         .as_ref()
                         .and_then(|f| f.election().hello_interval())
                     {
-                        self.ev_stats.control_pushes += 1;
-                        self.push(self.now + interval, EvKind::BridgeTick { device, epoch });
+                        self.ring_push(self.now + interval, device, epoch);
                     }
                 }
                 EvKind::ControlDeliver { seg, from, pkt } => {
@@ -1029,11 +1120,7 @@ impl Simulation {
                                     .as_ref()
                                     .and_then(|f| f.election().hello_interval())
                                 {
-                                    self.ev_stats.control_pushes += 1;
-                                    self.push(
-                                        self.now + interval,
-                                        EvKind::BridgeTick { device, epoch },
-                                    );
+                                    self.ring_push(self.now + interval, device, epoch);
                                 }
                             }
                             _ => {}
@@ -1042,8 +1129,9 @@ impl Simulation {
                 }
             }
             if self.observer.on_event() {
-                let hosts: Vec<&HostSim> = self.hosts.iter().collect();
-                self.observer.sweep(&hosts, self.fabric.as_ref(), self.now);
+                let mut hosts: Vec<&mut HostSim> = self.hosts.iter_mut().collect();
+                self.observer
+                    .sweep_sampled(&mut hosts, self.fabric.as_mut(), self.now);
             }
             if self.hosts.iter().all(HostSim::all_done) {
                 if observing {
@@ -1151,6 +1239,7 @@ impl Simulation {
             space_pages,
             max_server_queue: max_q,
             requests_coalesced: coalesced,
+            observer: self.observer.stats(),
         }
     }
 }

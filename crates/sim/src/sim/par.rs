@@ -75,7 +75,8 @@ use crate::host::{HostAction, HostSim};
 use mether_core::{HostMask, Packet, SegmentLayout};
 use mether_net::{ControlOut, EtherSim, Fabric, FabricEvent, SimDuration, SimTime};
 use parking_lot::Mutex;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How [`Simulation::run`] schedules its event processing.
@@ -428,9 +429,24 @@ struct Task {
     pausing: bool,
 }
 
+/// One window's worth of lane tasks, handed to the pool as a single
+/// shared work list: workers claim tasks through the atomic cursor
+/// instead of the coordinator waking each lane individually, so a
+/// window costs `min(workers, lanes)` channel round-trips rather than
+/// one per dispatched lane (the ROADMAP batch-handoff follow-on;
+/// [`EventStats::task_handoffs`] counts the difference).
+struct WindowBatch {
+    tasks: Vec<Task>,
+    next: AtomicUsize,
+}
+
 /// The control plane the coordinator runs between windows.
 struct Ctrl<'a> {
     heap: BinaryHeap<Ev>,
+    /// The hello timer ring, mirroring the serial engine's (see
+    /// [`Simulation::hello_ring`] — sorted by construction, shared
+    /// `seq` counter, tier-0 merge with the heap).
+    ring: VecDeque<(SimTime, u64, usize, u64)>,
     seq: u64,
     stats: EventStats,
     processed: u64,
@@ -453,6 +469,27 @@ impl Ctrl<'_> {
         self.stats.max_heap_depth = self.stats.max_heap_depth.max(self.heap.len());
     }
 
+    /// Schedules one hello tick on the control timer ring.
+    fn ring_push(&mut self, at: SimTime, device: usize, epoch: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.control_pushes += 1;
+        self.stats.timer_ring_pushes += 1;
+        debug_assert!(self.ring.back().is_none_or(|&(due, ..)| due <= at));
+        self.ring.push_back((at, seq, device, epoch));
+    }
+
+    /// The earliest pending control event time across the heap and the
+    /// timer ring.
+    fn next_at(&self) -> Option<SimTime> {
+        let heap = self.heap.peek().map(|e| e.at);
+        let ring = self.ring.front().map(|&(at, ..)| at);
+        match (heap, ring) {
+            (Some(h), Some(r)) => Some(h.min(r)),
+            (h, r) => h.or(r),
+        }
+    }
+
     fn transmit_control(&mut self, now: SimTime, out: ControlOut, lanes: &[Mutex<Lane>]) {
         let pkt = Arc::new(out.pkt);
         let tx = lanes[out.seg].lock().ether.transmit(now, &pkt);
@@ -469,11 +506,34 @@ impl Ctrl<'_> {
         }
     }
 
-    /// Processes every control event queued at exactly `now`; mirrors
-    /// the corresponding arms of the serial run loop.
+    /// Processes every control event queued at exactly `now` — heap and
+    /// timer ring merged by `(time, seq)` (all control events are tier
+    /// 0); mirrors the corresponding arms of the serial run loop.
     fn run_instant(&mut self, now: SimTime, lanes: &[Mutex<Lane>]) {
-        while self.heap.peek().is_some_and(|e| e.at == now) {
-            let ev = self.heap.pop().expect("peeked");
+        loop {
+            let heap_due = self.heap.peek().filter(|e| e.at == now).map(|e| e.seq);
+            let ring_due = self
+                .ring
+                .front()
+                .filter(|&&(at, ..)| at == now)
+                .map(|&(_, seq, ..)| seq);
+            let ring_wins = match (heap_due, ring_due) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(h), Some(r)) => r < h,
+            };
+            let ev = if ring_wins {
+                let (at, seq, device, epoch) = self.ring.pop_front().expect("peeked");
+                Ev {
+                    at,
+                    tier: 0,
+                    seq,
+                    kind: EvKind::BridgeTick { device, epoch },
+                }
+            } else {
+                self.heap.pop().expect("peeked")
+            };
             self.processed += 1;
             match ev.kind {
                 EvKind::BridgeTick { device, epoch } => {
@@ -492,8 +552,7 @@ impl Ctrl<'_> {
                         self.transmit_control(now, out, lanes);
                     }
                     if let Some(interval) = interval {
-                        self.stats.control_pushes += 1;
-                        self.push(now + interval, EvKind::BridgeTick { device, epoch });
+                        self.ring_push(now + interval, device, epoch);
                     }
                 }
                 EvKind::ControlDeliver { seg, from, pkt } => {
@@ -523,8 +582,7 @@ impl Ctrl<'_> {
                                 self.tick_epochs[device] += 1;
                                 let epoch = self.tick_epochs[device];
                                 if let Some(interval) = fabric.election().hello_interval() {
-                                    self.stats.control_pushes += 1;
-                                    self.push(now + interval, EvKind::BridgeTick { device, epoch });
+                                    self.ring_push(now + interval, device, epoch);
                                 }
                             }
                             _ => {}
@@ -579,28 +637,43 @@ impl Ctrl<'_> {
     }
 }
 
-/// Sends `batch` to the pool and waits for every task to complete; a
-/// single-task batch runs inline on the coordinator instead (the window
-/// has no parallelism to exploit, so skip the channel round-trip).
+/// Runs one window's `batch` of lane tasks and waits for all of them;
+/// returns the number of pool handoffs performed. A single-task batch
+/// runs inline on the coordinator (the window has no parallelism to
+/// exploit, so skip the channel round-trip); a larger batch is shared
+/// with `min(pool_size, tasks)` workers as one [`WindowBatch`] they
+/// drain through its claim cursor — per-window handoff, not per-lane
+/// wakeups.
 fn run_batch(
     lanes: &[Mutex<Lane>],
     env: &Env,
-    task_tx: &crossbeam::channel::Sender<Task>,
+    task_tx: &crossbeam::channel::Sender<Arc<WindowBatch>>,
     done_rx: &crossbeam::channel::Receiver<()>,
+    pool_size: usize,
     batch: Vec<Task>,
-) {
+) -> u64 {
+    if batch.is_empty() {
+        return 0;
+    }
     if batch.len() == 1 {
         let t = &batch[0];
         lanes[t.lane].lock().run_window(t.until, t.pausing, env);
-        return;
+        return 1;
     }
-    let n = batch.len();
-    for t in batch {
-        let _ = task_tx.send(t);
+    let wakeups = pool_size.min(batch.len());
+    let shared = Arc::new(WindowBatch {
+        tasks: batch,
+        next: AtomicUsize::new(0),
+    });
+    for _ in 0..wakeups {
+        let _ = task_tx.send(Arc::clone(&shared));
     }
-    for _ in 0..n {
+    // Every claimed task is finished before its claimer acknowledges,
+    // so `wakeups` acks mean the whole batch ran.
+    for _ in 0..wakeups {
         let _ = done_rx.recv();
     }
+    wakeups as u64
 }
 
 impl Simulation {
@@ -647,8 +720,7 @@ impl Simulation {
                 if let Some(interval) = fabric.election().hello_interval() {
                     for device in 0..fabric.device_count() {
                         let epoch = self.tick_epochs[device];
-                        self.ev_stats.control_pushes += 1;
-                        self.push(self.now + interval, EvKind::BridgeTick { device, epoch });
+                        self.ring_push(self.now + interval, device, epoch);
                     }
                 }
             }
@@ -699,6 +771,7 @@ impl Simulation {
         let mut tick_epochs = std::mem::take(&mut self.tick_epochs);
         let mut ctrl = Ctrl {
             heap: BinaryHeap::new(),
+            ring: VecDeque::new(),
             seq: 0,
             stats: EventStats::default(),
             processed: 0,
@@ -706,6 +779,18 @@ impl Simulation {
             tick_epochs: &mut tick_epochs,
         };
         let mut queued: Vec<Ev> = std::mem::take(&mut self.events).drain().collect();
+        // Fold the serial hello ring into the routing pass: its entries
+        // carry seqs from the same counter as the heap's, so one sort
+        // restores the global `(time, tier, seq)` order and routing in
+        // that order keeps the control ring sorted.
+        for (at, seq, device, epoch) in std::mem::take(&mut self.hello_ring) {
+            queued.push(Ev {
+                at,
+                tier: 0,
+                seq,
+                kind: EvKind::BridgeTick { device, epoch },
+            });
+        }
         queued.sort_by_key(|e| (e.at, e.tier, e.seq));
         for ev in queued {
             match ev.kind {
@@ -752,7 +837,10 @@ impl Simulation {
                         .lock()
                         .push(ev.at, LKind::BridgeForward { from, pkt });
                 }
-                EvKind::BridgeTick { .. } | EvKind::ControlDeliver { .. } | EvKind::Fabric(_) => {
+                EvKind::BridgeTick { device, epoch } => {
+                    ctrl.ring_push(ev.at, device, epoch);
+                }
+                EvKind::ControlDeliver { .. } | EvKind::Fabric(_) => {
                     ctrl.push(ev.at, ev.kind);
                 }
             }
@@ -770,7 +858,7 @@ impl Simulation {
         let mut finished = false;
         let mut final_now = self.now;
         let pool_size = workers.min(nseg).max(1);
-        let (task_tx, task_rx) = crossbeam::channel::unbounded::<Task>();
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<Arc<WindowBatch>>();
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<()>();
         let lanes_ref = &lanes;
         let env_ref = &env;
@@ -779,10 +867,14 @@ impl Simulation {
                 let task_rx = &task_rx;
                 let done_tx = &done_tx;
                 s.spawn(move || {
-                    while let Ok(t) = task_rx.recv() {
-                        lanes_ref[t.lane]
-                            .lock()
-                            .run_window(t.until, t.pausing, env_ref);
+                    while let Ok(batch) = task_rx.recv() {
+                        loop {
+                            let i = batch.next.fetch_add(1, Ordering::Relaxed);
+                            let Some(t) = batch.tasks.get(i) else { break };
+                            lanes_ref[t.lane]
+                                .lock()
+                                .run_window(t.until, t.pausing, env_ref);
+                        }
                         if done_tx.send(()).is_err() {
                             break;
                         }
@@ -798,7 +890,7 @@ impl Simulation {
                         next_lane = Some(next_lane.map_or(t, |m| m.min(t)));
                     }
                 }
-                let next_ctrl = ctrl.heap.peek().map(|e| e.at);
+                let next_ctrl = ctrl.next_at();
                 let Some(next) = [next_lane, next_ctrl].into_iter().flatten().min() else {
                     break; // both queues drained
                 };
@@ -841,7 +933,8 @@ impl Simulation {
                         });
                     }
                 }
-                run_batch(lanes_ref, env_ref, &task_tx, &done_rx, batch);
+                ctrl.stats.task_handoffs +=
+                    run_batch(lanes_ref, env_ref, &task_tx, &done_rx, pool_size, batch);
                 let mut all_done = true;
                 let mut paused: Vec<(usize, SimTime)> = Vec::new();
                 for (i, lane) in lanes_ref.iter().enumerate() {
@@ -878,7 +971,8 @@ impl Simulation {
                             });
                         }
                     }
-                    run_batch(lanes_ref, env_ref, &task_tx, &done_rx, batch);
+                    ctrl.stats.task_handoffs +=
+                        run_batch(lanes_ref, env_ref, &task_tx, &done_rx, pool_size, batch);
                     ctrl.replay_pickups(lanes_ref);
                     final_now = t_star;
                     finished = true;
@@ -899,7 +993,8 @@ impl Simulation {
                     }
                 }
                 if !batch.is_empty() {
-                    run_batch(lanes_ref, env_ref, &task_tx, &done_rx, batch);
+                    ctrl.stats.task_handoffs +=
+                        run_batch(lanes_ref, env_ref, &task_tx, &done_rx, pool_size, batch);
                     for lane in lanes_ref {
                         final_now = final_now.max(lane.lock().now);
                     }
@@ -911,9 +1006,10 @@ impl Simulation {
                 // (invariants (a)–(d); a full sweep also runs after the
                 // lanes reassemble at the end of the run).
                 if observer.on_event() {
-                    let guards: Vec<_> = lanes_ref.iter().map(|l| l.lock()).collect();
-                    let hosts: Vec<&HostSim> = guards.iter().flat_map(|g| g.hosts.iter()).collect();
-                    observer.sweep(&hosts, ctrl.fabric.as_deref(), final_now);
+                    let mut guards: Vec<_> = lanes_ref.iter().map(|l| l.lock()).collect();
+                    let mut hosts: Vec<&mut HostSim> =
+                        guards.iter_mut().flat_map(|g| g.hosts.iter_mut()).collect();
+                    observer.sweep_sampled(&mut hosts, ctrl.fabric.as_deref_mut(), final_now);
                 }
             }
         });
@@ -944,10 +1040,15 @@ impl Simulation {
         self.ev_stats.heap_pushes += ctrl.stats.heap_pushes;
         self.ev_stats.bridge_pushes += ctrl.stats.bridge_pushes;
         self.ev_stats.control_pushes += ctrl.stats.control_pushes;
+        self.ev_stats.timer_ring_pushes += ctrl.stats.timer_ring_pushes;
+        self.ev_stats.task_handoffs += ctrl.stats.task_handoffs;
         self.ev_stats.max_heap_depth = self.ev_stats.max_heap_depth.max(ctrl.stats.max_heap_depth);
         let mut merged: Vec<(SimTime, u16, u64, EvKind)> = Vec::new();
         for ev in ctrl.heap.drain() {
             merged.push((ev.at, 0, ev.seq, ev.kind));
+        }
+        for (at, seq, device, epoch) in ctrl.ring.drain(..) {
+            merged.push((at, 0, seq, EvKind::BridgeTick { device, epoch }));
         }
         for (at, tier, seq, seg, kind) in leftovers {
             let kind = match kind {

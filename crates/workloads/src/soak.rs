@@ -60,7 +60,8 @@ use mether_net::{
 };
 use mether_runtime::{Cluster, ClusterConfig, FaultPlan};
 use mether_sim::{
-    ParallelMode, ProtocolMetrics, RunLimits, RunOutcome, SimConfig, Simulation, Topology,
+    ObserverStats, ParallelMode, ProtocolMetrics, RunLimits, RunOutcome, SimConfig, Simulation,
+    Topology,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -298,9 +299,116 @@ impl SoakScenario {
         }
     }
 
+    /// Derives a **large-fabric** scenario: 100+ bridge devices — the
+    /// 16×16 mesh (480 devices over 256 segments), rings and balanced
+    /// trees past 100 devices, and random parent-vector graphs with
+    /// 200+ segments. The observer's dirty-set sweeps and the hello
+    /// timer ring are what make these shapes affordable to soak; the
+    /// workload caps ([`SoakScenario::pair_count`],
+    /// [`SoakScenario::reader_count`]) keep the process population
+    /// bounded while traffic still crosses the whole fabric.
+    ///
+    /// Large scenarios are fault-free by construction, so every one
+    /// asserts completion ([`SoakScenario::must_finish`]); the fault
+    /// schedule's reconvergence coverage stays with the regular-size
+    /// generator. The seed stream is deliberately distinct from
+    /// [`SoakScenario::from_seed`] (same seed, different scenario).
+    pub fn large_from_seed(seed: u64) -> SoakScenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4c41_5247_455f_3136);
+        let shape = match rng.gen_range(0..4) {
+            0 => SoakShape::Mesh2d(16, 16),
+            1 => SoakShape::Ring(rng.gen_range(100..141) as usize),
+            2 => SoakShape::Tree(rng.gen_range(220..301) as usize, 2),
+            _ => {
+                // The same parent-vector family as the regular draw,
+                // scaled out: ~63% of parent draws are distinct, so
+                // 200+ segments keep the device count past 100 (the
+                // coverage test asserts it for every probed seed).
+                let parents: Vec<usize> = (0..rng.gen_range(200..261))
+                    .map(|_| rng.gen_range(0..1024) as usize)
+                    .collect();
+                let segs = (parents.len() + 1) as u64;
+                let mut ties = Vec::new();
+                for _ in 0..rng.gen_range(0..4) {
+                    let (a, b) = (
+                        rng.gen_range(0..segs) as usize,
+                        rng.gen_range(0..segs) as usize,
+                    );
+                    if a != b {
+                        ties.push((a, b));
+                    }
+                }
+                SoakShape::Graph { parents, ties }
+            }
+        };
+        // Sticky or slow-transit aging only: a sub-round-trip SimTime
+        // horizon is aggressive even on a chain; across a 30-hop mesh
+        // diameter it would age interest faster than a reply can cross,
+        // and that livelock is the small generator's coverage, not this
+        // one's.
+        let aging = match rng.gen_range(0..2) {
+            0 => AgeHorizon::Sticky,
+            _ => AgeHorizon::Transits(rng.gen_range(256..2048)),
+        };
+        SoakScenario {
+            seed,
+            shape,
+            hosts_per_segment: 2,
+            election_live: rng.gen_range(0..2) == 1,
+            holder_directed: rng.gen_range(0..2) == 1,
+            aging,
+            loss: if rng.gen_range(0..4) == 0 { 0.01 } else { 0.0 },
+            faults: Vec::new(),
+            mix: if rng.gen_range(0..2) == 0 {
+                SoakMix::Pairs
+            } else {
+                SoakMix::PublisherReaders
+            },
+            target: rng.gen_range(3..7) as u32,
+        }
+    }
+
     /// Segments in the drawn topology.
     pub fn segments(&self) -> usize {
         self.shape.build().segments()
+    }
+
+    /// Bridge devices in the drawn topology.
+    pub fn devices(&self) -> usize {
+        self.shape.build().bridges()
+    }
+
+    /// The drawn topology itself (fault-injection tests inspect device
+    /// port sets).
+    pub fn topology(&self) -> BridgeTopology {
+        self.shape.build()
+    }
+
+    /// Counting pairs the `Pairs`/`Mixed` mixes deploy: one per
+    /// adjacent-segment pair, capped so a 256-segment fabric gets a
+    /// bounded process population (every regular-size scenario is far
+    /// below either cap — its digests are untouched).
+    ///
+    /// Large fabrics take the lower cap because every published pair
+    /// page adds a periodic holder re-broadcast under loss, and those
+    /// broadcasts concentrate on the fabric's transit core: 24 lossy
+    /// pairs re-publishing 48 pages every 25 ms put ~460 frames/s
+    /// through the root-adjacent segments, and at the paper's 2 ms
+    /// per-snoop server cost that saturates every core host's CPU —
+    /// the server slot always outranks the workload slot, so the core
+    /// pairs' own counters never run again (congestion collapse, not
+    /// slowness; doubling the budget does not finish the run).
+    pub fn pair_count(&self) -> usize {
+        let cap = if self.segments() >= 64 { 12 } else { 24 };
+        (self.segments() / 2).min(cap)
+    }
+
+    /// Polling readers the `PublisherReaders`/`Mixed` mixes deploy,
+    /// capped like [`SoakScenario::pair_count`]; readers land on the
+    /// first remote segments, so on a mesh the publisher's page still
+    /// crosses many devices.
+    pub fn reader_count(&self) -> usize {
+        self.segments().saturating_sub(1).min(24)
     }
 
     /// True when the run must complete within [`SoakScenario::limits`]:
@@ -327,14 +435,26 @@ impl SoakScenario {
     /// mixed workload. Events stay sparse (thousands, not millions),
     /// so a long sim-time bound is still cheap to run.
     pub fn limits(&self) -> RunLimits {
-        let (base, per_target) = if self.loss > 0.0 {
-            (1_200, 400)
-        } else {
-            (300, 100)
+        // Large fabrics get a bigger budget per unit of work: a request
+        // → reply round trip grows with tree depth (a 200-segment
+        // random tree or the 16×16 mesh is 10–30 forwarding hops, not
+        // 1–2), and live elections need tens of milliseconds to first
+        // converge before holder-directed routing settles.
+        let large = self.segments() >= 64;
+        let (base, per_target) = match (self.loss > 0.0, large) {
+            (false, false) => (300, 100),
+            (true, false) => (1_200, 400),
+            (false, true) => (2_000, 500),
+            (true, true) => (4_000, 1_000),
         };
+        // A live election also ticks every device each millisecond, so
+        // the event budget must scale with the device count for the cap
+        // to keep meaning "stuck", not "big". Every regular-size
+        // scenario stays on the old 5M floor.
+        let max_events = 5_000_000u64.max(self.devices() as u64 * 60_000);
         RunLimits {
             max_sim_time: SimDuration::from_millis(base + per_target * u64::from(self.target)),
-            max_events: 5_000_000,
+            max_events,
         }
     }
 
@@ -352,7 +472,21 @@ impl SoakScenario {
                 RequestRouting::Flood
             });
         if self.election_live {
-            fabric = fabric.with_election(ElectionMode::live());
+            if self.segments() >= 64 {
+                // Large fabrics can't afford the small-fabric gossip: a
+                // full-view hello costs O(devices) wire bytes, and at
+                // the stock 1 ms cadence ~50 devices oversubscribe
+                // every 10 Mbit/s segment with control traffic alone —
+                // data frames then queue behind an unbounded hello
+                // backlog and the whole run livelocks. Sparse delta
+                // hellos plus a device-scaled cadence keep the control
+                // plane a few percent of the wire at any size.
+                fabric = fabric
+                    .with_election(ElectionMode::live_scaled(self.devices()))
+                    .with_gossip_deltas();
+            } else {
+                fabric = fabric.with_election(ElectionMode::live());
+            }
         }
         fabric
     }
@@ -364,9 +498,25 @@ impl SoakScenario {
         let segments = fabric.topology.segments();
         let hps = self.hosts_per_segment;
         let mut cfg = SimConfig::paper(segments * hps);
+        // The pairs mix addresses pages up to `2 * pair_count` past the
+        // segment-striped block; the default 64-page space only covers
+        // that on small fabrics.
+        cfg.mether.num_pages = cfg
+            .mether
+            .num_pages
+            .max((segments + 2 * self.pair_count()) as u32);
         cfg.ether.loss = self.loss;
         cfg.ether.seed = self.seed;
-        if self.loss > 0.0 || !self.faults.is_empty() || self.aging != AgeHorizon::Sticky {
+        // Large fabrics arm the retry unconditionally: a request sent
+        // while a 100+ device live election is still converging can be
+        // filtered at a held-down port and is otherwise never re-sent
+        // (small fabrics converge inside the first hello round, so only
+        // loss, faults, or aging can swallow frames there).
+        if self.loss > 0.0
+            || !self.faults.is_empty()
+            || self.aging != AgeHorizon::Sticky
+            || self.segments() >= 64
+        {
             // The recovery path: requests the dead fabric or the lossy
             // wire swallowed are re-sent instead of waited on forever.
             // Aging fabrics need it even on a clean wire — a bridge
@@ -394,9 +544,20 @@ impl SoakScenario {
             // which is why lossy fault-free scenarios now assert
             // completion. Slower than the 20 ms retry so the re-sends
             // never become the dominant server load.
+            //
+            // The cadence stretches on large fabrics: re-broadcasts
+            // flood along sticky flood-learned interest forever (a
+            // holder can't see remote spinners, so it never stops), and
+            // the aggregate rate scales with the published-page count.
+            // At 25 ms the large pair population saturates the transit
+            // core's 2 ms-per-snoop servers outright; 100 ms keeps the
+            // steady-state snoop load a few percent of each CPU while a
+            // lost waking broadcast still recovers well inside the
+            // multi-second large-run budget.
+            let rebroadcast = if self.segments() >= 64 { 100 } else { 25 };
             cfg.calib = cfg
                 .calib
-                .with_holder_rebroadcast(SimDuration::from_millis(25));
+                .with_holder_rebroadcast(SimDuration::from_millis(rebroadcast));
         }
         cfg.topology = Topology::fabric(fabric);
         let mut sim = Simulation::new(cfg);
@@ -416,7 +577,7 @@ impl SoakScenario {
                 )),
             );
             let base = SimDuration::from_millis(4);
-            for seg in 1..segments {
+            for seg in 1..=self.reader_count() {
                 let spacing =
                     base + SimDuration::from_nanos(base.as_nanos() * (seg as u64 - 1) / 4);
                 let offset = SimDuration::from_nanos(base.as_nanos() * (seg as u64 - 1) / 3);
@@ -437,7 +598,7 @@ impl SoakScenario {
                 processes: 2,
                 spin: SimDuration::from_micros(48),
             };
-            for p in 0..segments / 2 {
+            for p in 0..self.pair_count() {
                 let (seg_a, seg_b) = (2 * p, 2 * p + 1);
                 let (host_a, host_b) = (first_host(seg_a) + 1, first_host(seg_b) + 1);
                 let page_a = PageId::new((seg_a + segments) as u32);
@@ -502,7 +663,7 @@ impl SoakScenario {
             pages.push(PageId::new(0));
         }
         if matches!(self.mix, SoakMix::Pairs | SoakMix::Mixed) {
-            for p in 0..segments / 2 {
+            for p in 0..self.pair_count() {
                 pages.push(PageId::new((2 * p + segments) as u32));
                 pages.push(PageId::new((2 * p + 1 + segments) as u32));
             }
@@ -570,11 +731,15 @@ impl SoakScenario {
         let mut lan = LanConfig::fast();
         lan.loss = self.loss;
         lan.seed = self.seed;
+        let mut mether = MetherConfig::new();
+        mether.num_pages = mether
+            .num_pages
+            .max((segments + 2 * self.pair_count()) as u32);
         let cluster = Arc::new(
             Cluster::new(ClusterConfig {
                 nodes: segments * hps,
                 lan,
-                mether: MetherConfig::new(),
+                mether,
                 fabric: Some(fabric),
             })
             .expect("drawn scenarios lay out"),
@@ -599,7 +764,7 @@ impl SoakScenario {
                 }
                 true
             }));
-            for seg in 1..segments {
+            for seg in 1..=self.reader_count() {
                 let c = Arc::clone(&cluster);
                 let node = first_host(seg);
                 workers.push(std::thread::spawn(move || {
@@ -623,7 +788,7 @@ impl SoakScenario {
             }
         }
         if matches!(self.mix, SoakMix::Pairs | SoakMix::Mixed) {
-            for p in 0..segments / 2 {
+            for p in 0..self.pair_count() {
                 let (seg_a, seg_b) = (2 * p, 2 * p + 1);
                 let (host_a, host_b) = (first_host(seg_a) + 1, first_host(seg_b) + 1);
                 let page_a = PageId::new((seg_a + segments) as u32);
@@ -848,6 +1013,9 @@ pub fn runtime_metrics(
         space_pages: 0,
         max_server_queue: 0,
         requests_coalesced: cluster.requests_coalesced(),
+        // The threaded runtime has no event-sampled observer; its
+        // verification is the cross-engine comparison itself.
+        observer: ObserverStats::default(),
     }
 }
 
@@ -1037,6 +1205,34 @@ pub fn run_soak(base_seed: u64, count: usize, workers: Option<usize>) -> Vec<(u6
         .collect()
 }
 
+/// [`run_soak`] over the **large-fabric** generator
+/// ([`SoakScenario::large_from_seed`]): 100+ device shapes, simulator
+/// only (the threaded runtime would need 500+ real threads), every run
+/// asserted to complete (large scenarios are fault-free). Seeds print
+/// before each run, so a panic leaves its reproducer on the console.
+pub fn run_large_soak(
+    base_seed: u64,
+    count: usize,
+    workers: Option<usize>,
+) -> Vec<(u64, SoakReport)> {
+    (0..count)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i as u64);
+            let scenario = SoakScenario::large_from_seed(seed);
+            println!(
+                "large-soak[{i}/{count}] seed={seed} devices={}: {scenario}",
+                scenario.devices()
+            );
+            let report = scenario.run(workers);
+            println!(
+                "large-soak[{i}/{count}] seed={seed}: finished={} events={} wall={} digest={:016x}",
+                report.outcome.finished, report.outcome.events, report.outcome.wall, report.digest,
+            );
+            (seed, report)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1100,6 +1296,60 @@ mod tests {
             ),
         ] {
             assert!(probe);
+        }
+    }
+
+    #[test]
+    fn large_scenarios_are_100_plus_devices_and_deterministic() {
+        // Every large seed must hit the device floor the generator
+        // exists for, stay fault-free (completion is asserted in CI),
+        // and rebuild identically; across a small range all four big
+        // shapes appear, including the 16×16 mesh.
+        let scenarios: Vec<_> = (0..32).map(SoakScenario::large_from_seed).collect();
+        for (seed, s) in scenarios.iter().enumerate() {
+            assert!(
+                s.devices() >= 100,
+                "large seed {seed} drew only {} devices: {s}",
+                s.devices()
+            );
+            assert!(s.faults.is_empty() && s.must_finish(), "large seed {seed}");
+            assert_eq!(
+                *s,
+                SoakScenario::large_from_seed(seed as u64),
+                "large seed {seed}"
+            );
+        }
+        for probe in [
+            scenarios
+                .iter()
+                .any(|s| s.shape == SoakShape::Mesh2d(16, 16)),
+            scenarios
+                .iter()
+                .any(|s| matches!(s.shape, SoakShape::Ring(_))),
+            scenarios
+                .iter()
+                .any(|s| matches!(s.shape, SoakShape::Tree(_, _))),
+            scenarios
+                .iter()
+                .any(|s| matches!(s.shape, SoakShape::Graph { .. })),
+            scenarios.iter().any(|s| s.election_live),
+            scenarios.iter().any(|s| !s.election_live),
+            scenarios.iter().any(|s| s.loss > 0.0),
+        ] {
+            assert!(probe);
+        }
+    }
+
+    #[test]
+    fn workload_caps_leave_regular_scenarios_alone() {
+        // The pair/reader caps exist for the large generator; every
+        // regular-size seed must sit strictly below them, or the caps
+        // would have moved pinned digests.
+        for seed in 0..256 {
+            let s = SoakScenario::from_seed(seed);
+            let segments = s.segments();
+            assert_eq!(s.pair_count(), segments / 2, "seed {seed}");
+            assert_eq!(s.reader_count(), segments - 1, "seed {seed}");
         }
     }
 

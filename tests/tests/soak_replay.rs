@@ -32,9 +32,11 @@ use mether_core::{BridgeTopology, PageId};
 use mether_net::{AgeHorizon, FabricConfig, FabricEvent, SimDuration};
 use mether_sim::{RunLimits, SimConfig, Simulation, Topology};
 use mether_workloads::{
-    base_seed_from_env, run_cross_engine_soak, run_soak, scenario_count_from_env, CountingConfig,
-    DisjointPageCounter, PollingReader, Publisher, SoakMix, SoakScenario, SoakShape,
+    base_seed_from_env, run_cross_engine_soak, run_large_soak, run_soak, scenario_count_from_env,
+    CountingConfig, DisjointPageCounter, PollingReader, Publisher, SoakMix, SoakScenario,
+    SoakShape,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Scenarios that flushed real bugs in the first soak batches; each
 /// must still run to completion (all are fault-free, so
@@ -337,6 +339,145 @@ fn cross_engine_soak_batch() {
             .any(|(_, r)| r.runtime.metrics.net.lost > 0 || r.sim.outcome.finished),
         "the batch must include real runs"
     );
+}
+
+/// The CI large-fabric batch: 100+ device shapes (the 16×16 mesh,
+/// rings, balanced trees, and random graphs past 100 devices) from the
+/// dedicated generator ([`SoakScenario::large_from_seed`]), simulator
+/// only, every run asserted to complete inside
+/// [`SoakScenario::run`] (large scenarios are fault-free by
+/// construction). `METHER_SOAK_SCENARIOS` sizes the batch — CI runs a
+/// bounded one with `METHER_OBSERVE=1` — and `METHER_SOAK_SEED` moves
+/// the window; every seed prints before its run.
+#[test]
+fn ci_large_fabric_soak() {
+    let count = scenario_count_from_env(2);
+    let base = base_seed_from_env(0);
+    let reports = run_large_soak(base, count, None);
+    assert_eq!(reports.len(), count);
+    for (seed, r) in &reports {
+        assert!(r.outcome.finished, "large seed {seed} hit its limits");
+    }
+}
+
+/// True when the invariant observer is active in this process — the
+/// gate [`mether_sim`] itself applies: on under `debug_assertions`
+/// unless `METHER_OBSERVE` disables it, opt-in via `METHER_OBSERVE=1`
+/// in release.
+fn observer_active() -> bool {
+    match std::env::var("METHER_OBSERVE") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off"),
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
+/// Corruption-injection differential: over ≥8 printed seeds, run a
+/// scenario partway, plant exactly one corruption — a second consistent
+/// holder on a host table, a holder belief pointing off-port, or a
+/// learned-interest entry for a segment the device has no port on — and
+/// assert the **incremental** observer ([`Simulation::sweep_dirty`])
+/// flags it on its very next sweep, the same sweep the **full oracle**
+/// ([`Simulation::check_invariants`]) flags it on. The oracle runs on an
+/// identically-prepared twin (the build is a pure function of the seed),
+/// because a sweep panic poisons the first simulation's observer state.
+///
+/// This is the test that keeps the dirty-set fast path honest: every
+/// corruption goes through the entities' ordinary mutation paths, so if
+/// a future change forgets to mark some state transition dirty, the
+/// incremental half here goes quiet while the oracle still fires.
+#[test]
+fn corruption_is_flagged_by_incremental_and_full_alike() {
+    if !observer_active() {
+        eprintln!("corruption-diff: observer off in this build; skipping");
+        return;
+    }
+    let warmup = RunLimits {
+        max_sim_time: SimDuration::from_millis(40),
+        max_events: 1_000_000,
+    };
+    let mut flagged = 0u32;
+    let mut seed = 0u64;
+    while flagged < 8 {
+        let sc = SoakScenario::from_seed(seed);
+        // Fault-free fabrics only: the observer's liveness gate skips
+        // downed devices, which is its own (already-tested) behaviour,
+        // not the differential under test here.
+        if !sc.faults.is_empty() || sc.devices() < 2 {
+            seed += 1;
+            continue;
+        }
+        let kind = flagged % 3;
+        println!("corruption-diff[{flagged}/8] seed={seed} kind={kind}: {sc}");
+        let prepare = || {
+            let mut sim = sc.build();
+            sim.run(warmup);
+            // Clean so far — and settles the incremental holder map, so
+            // the panic below is attributable to the planted corruption.
+            sim.check_invariants();
+            sim
+        };
+        let corrupt = |sim: &mut Simulation| -> bool {
+            match kind {
+                0 => {
+                    // A page with exactly one consistent holder gains a
+                    // second one on another host (mid-transit pages can
+                    // transiently have none — find a settled one).
+                    let found = (0..sim.host_count()).find_map(|h| {
+                        sim.host(h)
+                            .table
+                            .tracked_pages()
+                            .find(|&p| sim.host(h).table.is_consistent_holder(p))
+                            .map(|p| (h, p))
+                    });
+                    let Some((holder, page)) = found else {
+                        return false;
+                    };
+                    let twin = (holder + 1) % sim.host_count();
+                    sim.create_owned(twin, page);
+                    true
+                }
+                _ => {
+                    // Device 0 gets state naming a segment it has no
+                    // port on (falling back to an out-of-range segment
+                    // id on shapes like ring(2) where device 0 spans
+                    // every segment).
+                    let segments = sim.segment_count();
+                    let ports = sc.topology().ports(0).to_vec();
+                    let bad = (0..segments)
+                        .find(|s| !ports.contains(s))
+                        .unwrap_or(segments);
+                    let fabric = sim.fabric_mut_for_test().expect("fabric topology");
+                    let policy = fabric.device_mut(0).policy_mut();
+                    let page = PageId::new(0);
+                    if kind == 1 {
+                        policy.corrupt_holder_belief_for_test(page, bad);
+                    } else {
+                        policy.corrupt_learned_for_test(page, bad);
+                    }
+                    true
+                }
+            }
+        };
+        let mut incremental = prepare();
+        if !corrupt(&mut incremental) {
+            seed += 1;
+            continue;
+        }
+        let inc = catch_unwind(AssertUnwindSafe(|| incremental.sweep_dirty()));
+        assert!(
+            inc.is_err(),
+            "seed {seed} kind {kind}: the incremental observer missed the corruption"
+        );
+        let mut oracle = prepare();
+        assert!(corrupt(&mut oracle), "seed {seed}: twin prep diverged");
+        let full = catch_unwind(AssertUnwindSafe(|| oracle.check_invariants()));
+        assert!(
+            full.is_err(),
+            "seed {seed} kind {kind}: the full oracle missed the corruption"
+        );
+        flagged += 1;
+        seed += 1;
+    }
 }
 
 /// Regression for observer invariant (d): the exact scenario soak seed

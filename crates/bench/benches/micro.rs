@@ -662,6 +662,40 @@ fn bench_hello_ring(c: &mut Criterion) {
     g.finish();
 }
 
+/// Open-loop traffic engine end-to-end: the seeded arrival schedule on
+/// the 4×8 tree, base and with serve-time reply piggybacking. The pair
+/// is the measured serving optimization — `_meta_pr10` records the
+/// percentile deltas; this bench tracks the engine's wall-clock cost
+/// per simulated access (stream draws, histogram records, retry
+/// traffic) so arrival-path regressions show up even when percentiles
+/// don't move.
+fn bench_openloop(c: &mut Criterion) {
+    use mether_workloads::{OpenLoopConfig, OpenLoopScenario};
+
+    let mut g = c.benchmark_group("openloop");
+    g.sample_size(10);
+    // A shortened stream: the SLO-sized run (200 accesses/host) is for
+    // the CI SLO job, not a microbenchmark loop.
+    let cfg = {
+        let mut cfg = OpenLoopConfig::seeded(5);
+        cfg.accesses_per_host = 30;
+        cfg
+    };
+    g.bench_function("tree_4x8", |b| {
+        b.iter(|| {
+            let report = OpenLoopScenario::tree_4x8(cfg).run(None);
+            black_box((report.faults, report.digest))
+        })
+    });
+    g.bench_function("tree_4x8_piggyback", |b| {
+        b.iter(|| {
+            let report = OpenLoopScenario::tree_4x8(cfg).with_piggyback().run(None);
+            black_box((report.piggybacked, report.digest))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_addr,
@@ -677,6 +711,7 @@ criterion_group!(
     bench_scale,
     bench_election,
     bench_observer,
-    bench_hello_ring
+    bench_hello_ring,
+    bench_openloop
 );
 criterion_main!(benches);

@@ -949,16 +949,26 @@ impl PageTable {
 
     /// Abandons `waiter`'s blocked access on `page` (a timed-out fault).
     ///
-    /// Removes the waiter from the demand and data queues; if no demand
-    /// waiter remains, the outstanding-request flag is cleared so that a
-    /// *retry* of the access transmits a fresh request — the recovery
-    /// path for a request or reply datagram lost on the unreliable
-    /// network.
+    /// Removes the waiter from the demand and data queues and clears the
+    /// outstanding-request flag, so that a *retry* of the access
+    /// transmits a fresh request — the recovery path for a request or
+    /// reply datagram lost on the unreliable network.
+    ///
+    /// The flag is cleared even when other demand waiters remain: they
+    /// all ride on one deduplicated request, and if that request's
+    /// answer is never coming (the holder handed consistency off between
+    /// request and serve), every one of them needs the canceling
+    /// waiter's retry to retransmit. Keeping the latch while the list
+    /// was non-empty used to strand two same-page waiters on one host
+    /// forever: each retry canceled itself, saw the other still listed,
+    /// and re-blocked without sending. At worst the eager clear costs a
+    /// duplicate request on the wire, which the protocol already
+    /// tolerates (server-side dedup and reply broadcast).
     pub fn cancel_wait(&mut self, page: PageId, waiter: WaiterId) {
         if let Some(e) = self.pages.get_mut(page) {
             e.demand_waiters.retain(|(w, _, _)| *w != waiter);
             e.data_waiters.retain(|w| *w != waiter);
-            if e.demand_waiters.is_empty() && !e.consistent {
+            if !e.consistent {
                 e.requested = None;
             }
         }
@@ -1704,6 +1714,36 @@ mod tests {
             fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(),
             1,
             "fresh request after cancel"
+        );
+    }
+
+    #[test]
+    fn cancel_wait_retransmits_with_other_waiters_still_listed() {
+        // Two waiters on one host fault the same page writeable; both
+        // ride on one deduplicated request. If that request's answer
+        // never comes, each waiter's retry cancels *itself* — the other
+        // stays listed — and the re-access must still send a fresh
+        // request, or both spin in block/cancel/block forever (the
+        // livelock the open-loop soak flushed out).
+        let mut t = table(1);
+        let mut fx = Vec::new();
+        t.access(p0(), View::short_demand(), MapMode::Writeable, 7, &mut fx)
+            .unwrap();
+        t.access(p0(), View::short_demand(), MapMode::Writeable, 8, &mut fx)
+            .unwrap();
+        assert_eq!(
+            fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(),
+            1,
+            "second same-want fault is deduplicated"
+        );
+        t.cancel_wait(p0(), 7);
+        fx.clear();
+        t.access(p0(), View::short_demand(), MapMode::Writeable, 7, &mut fx)
+            .unwrap();
+        assert_eq!(
+            fx.iter().filter(|e| matches!(e, Effect::Send(_))).count(),
+            1,
+            "retry must retransmit even though waiter 8 is still listed"
         );
     }
 

@@ -490,6 +490,13 @@ pub struct FabricConfig {
     /// default: small fabrics keep the validated byte-identical
     /// full-view schedule.
     pub gossip_deltas: bool,
+    /// Anti-entropy window width for delta hellos: each
+    /// [`mether_core::Packet::BridgePduDelta`] also carries this many
+    /// rotating unchanged entries, so a peer that missed history (a
+    /// revived device) resyncs within `devices / gossip_window` hellos.
+    /// Wider windows resync faster at a linear per-hello wire-cost
+    /// premium. Ignored unless `gossip_deltas` is set.
+    pub gossip_window: usize,
 }
 
 impl FabricConfig {
@@ -507,6 +514,7 @@ impl FabricConfig {
             election: ElectionMode::Static,
             priorities: Vec::new(),
             gossip_deltas: false,
+            gossip_window: GOSSIP_WINDOW,
         }
     }
 
@@ -601,6 +609,20 @@ impl FabricConfig {
     #[must_use]
     pub fn with_gossip_deltas(mut self) -> Self {
         self.gossip_deltas = true;
+        self
+    }
+
+    /// Sets the delta-hello anti-entropy window width (see
+    /// [`FabricConfig::gossip_window`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero — a zero window would never resync a
+    /// revived device.
+    #[must_use]
+    pub fn with_gossip_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "gossip window must be positive");
+        self.gossip_window = window;
         self
     }
 }
@@ -709,13 +731,15 @@ pub struct BridgePolicy {
     /// goes out on all live ports at once.
     last_gossiped: Vec<u64>,
     /// Round-robin anti-entropy cursor: each delta hello also carries
-    /// the next [`GOSSIP_WINDOW`] unchanged entries, so a peer that
+    /// the next `gossip_window` unchanged entries, so a peer that
     /// missed history (a revived device) resyncs within
-    /// `devices / GOSSIP_WINDOW` hellos.
+    /// `devices / gossip_window` hellos.
     gossip_cursor: usize,
+    /// Anti-entropy window width (see [`FabricConfig::gossip_window`]).
+    gossip_window: usize,
 }
 
-/// Unchanged entries carried per delta hello for anti-entropy.
+/// Default anti-entropy window width (unchanged entries per delta hello).
 const GOSSIP_WINDOW: usize = 8;
 
 impl BridgePolicy {
@@ -772,6 +796,7 @@ impl BridgePolicy {
             gossip_deltas: false,
             last_gossiped: Vec::new(),
             gossip_cursor: 0,
+            gossip_window: GOSSIP_WINDOW,
         }
     }
 
@@ -827,6 +852,7 @@ impl BridgePolicy {
             gossip_deltas: cfg.gossip_deltas,
             last_gossiped: vec![0; topology.bridges()],
             gossip_cursor: 0,
+            gossip_window: cfg.gossip_window,
         }
     }
 
@@ -1366,8 +1392,9 @@ impl BridgePolicy {
     /// ([`FabricConfig::gossip_deltas`]) returns a sparse
     /// [`Packet::BridgePduDelta`] carrying the device's own view, every
     /// view whose version advanced since the previous emission, and the
-    /// next [`GOSSIP_WINDOW`] entries of a rotating anti-entropy
-    /// window; the announcement watermarks advance as a side effect.
+    /// next [`FabricConfig::gossip_window`] entries of a rotating
+    /// anti-entropy window; the announcement watermarks advance as a
+    /// side effect.
     pub fn pdu_for_emission(&mut self) -> Packet {
         if !self.gossip_deltas {
             return self.pdu();
@@ -1380,7 +1407,7 @@ impl BridgePolicy {
                 *inc = true;
             }
         }
-        let window = GOSSIP_WINDOW.min(n);
+        let window = self.gossip_window.min(n);
         for k in 0..window {
             include[(self.gossip_cursor + k) % n] = true;
         }
@@ -2387,6 +2414,52 @@ mod tests {
         assert_eq!(set(t), vec![2, 3]);
         // No learning happened: interest still just the home bit.
         assert_eq!(set(p.interest(PageId::new(2), T0)), vec![2]);
+    }
+
+    /// Hellos until the rotating anti-entropy window has announced every
+    /// device's view at least once — the resync horizon a revived device
+    /// faces when nothing else is changing.
+    fn hellos_to_full_coverage(window: usize) -> usize {
+        let segs = 33; // chain(33) = 32 two-port devices
+        let layout = SegmentLayout::new(segs, segs).unwrap();
+        let topology = Arc::new(BridgeTopology::chain(segs));
+        let n = topology.bridges();
+        let cfg = FabricConfig::chain(segs)
+            .with_gossip_deltas()
+            .with_gossip_window(window);
+        let mut p = BridgePolicy::for_device(layout, topology, 0, &cfg, Arc::new(Vec::new()));
+        let mut covered = vec![false; n];
+        for hello in 1..=n {
+            let Packet::BridgePduDelta { entries, .. } = p.pdu_for_emission() else {
+                panic!("delta mode must emit delta hellos");
+            };
+            for (d, _) in entries {
+                covered[d as usize] = true;
+            }
+            if covered.iter().all(|c| *c) {
+                return hello;
+            }
+        }
+        panic!("anti-entropy window never covered the fabric");
+    }
+
+    /// The anti-entropy window is configurable, and a wider window
+    /// shortens resync proportionally: 32 quiescent devices take
+    /// `32 / window` hellos to re-announce in full.
+    #[test]
+    fn wider_gossip_window_shortens_resync() {
+        let narrow = hellos_to_full_coverage(8);
+        let wide = hellos_to_full_coverage(16);
+        assert_eq!(narrow, 4, "32 devices / 8 per hello");
+        assert_eq!(wide, 2, "32 devices / 16 per hello");
+        assert!(wide < narrow);
+    }
+
+    /// The default window matches the historical fixed constant, so
+    /// existing delta-gossip deployments keep their pinned schedules.
+    #[test]
+    fn default_gossip_window_is_eight() {
+        assert_eq!(FabricConfig::chain(4).gossip_window, 8);
     }
 
     #[test]

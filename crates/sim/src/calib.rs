@@ -104,6 +104,18 @@ pub struct Calib {
     /// waking broadcast strands it forever; the periodic re-broadcast
     /// eventually gets a fresh copy through.
     pub holder_rebroadcast: Option<SimDuration>,
+    /// Serve-time reply piggybacking: when the server answers a
+    /// `PageRequest` with a `PageData` reply, any *queued* requests for
+    /// the same page that the reply also satisfies are dropped from the
+    /// server queue and counted. This complements NIC-level coalescing
+    /// ([`Calib::coalesce_requests`]), which only drops duplicates at
+    /// enqueue time: under open-loop arrivals, identical requests keep
+    /// landing during the 13–46 ms serve burst *after* the served
+    /// request was already popped, and each such straggler would
+    /// otherwise cost a full `server_handle_request` + per-KB reply
+    /// build for a page the snoopers just installed. `false` is the
+    /// paper's behaviour (every datagram is processed individually).
+    pub piggyback_replies: bool,
 }
 
 impl Calib {
@@ -125,6 +137,7 @@ impl Calib {
             fault_retry: None,
             coalesce_requests: false,
             holder_rebroadcast: None,
+            piggyback_replies: false,
         }
     }
 
@@ -140,6 +153,14 @@ impl Calib {
     #[must_use]
     pub fn with_request_coalescing(mut self) -> Self {
         self.coalesce_requests = true;
+        self
+    }
+
+    /// Enables serve-time reply piggybacking (see
+    /// [`Calib::piggyback_replies`]).
+    #[must_use]
+    pub fn with_reply_piggyback(mut self) -> Self {
+        self.piggyback_replies = true;
         self
     }
 

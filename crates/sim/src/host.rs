@@ -22,15 +22,100 @@
 //! simulation schedules one `BurstEnd` event per host at a time.
 
 use crate::calib::Calib;
+use crate::hist::LatencyHistogram;
 use crate::process::{DsmOp, OpResult, Step, StepCtx, Workload, WorkloadCounters};
 use mether_core::table::WaiterId;
 use mether_core::{
     AccessOutcome, DriveMode, Effect, FaultKind, MapMode, MetherConfig, Packet, PageId, PageLength,
-    PageTable, Want,
+    PageTable, View, Want,
 };
 use mether_net::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Base of the waiter-id namespace used by the open-loop driver. Process
+/// waiters are process indices (small); open-loop waiters are
+/// `OPEN_WAITER_BASE + issue-sequence`, so the two can share the page
+/// table's wait lists without colliding.
+pub(crate) const OPEN_WAITER_BASE: WaiterId = 1 << 32;
+
+/// One access injected by the open-loop traffic driver: issued at `at`
+/// regardless of what the host is doing (open-loop arrivals do not wait
+/// for earlier accesses to complete — that is the point).
+#[derive(Debug, Clone)]
+pub struct OpenAccess {
+    /// Arrival time of the access.
+    pub at: SimTime,
+    /// Target page.
+    pub page: PageId,
+    /// View (length + drive mode) of the access.
+    pub view: View,
+    /// Read or write.
+    pub mode: MapMode,
+    /// Cold accesses drop any stale local copy first, so a read misses
+    /// and exercises the demand-fetch path even after warmup. Without
+    /// this, a pure read stream goes all-hits once copies are installed
+    /// and the home servers sit idle.
+    pub cold: bool,
+}
+
+/// A deterministic source of open-loop arrivals for one host. The next
+/// access's `at` must be non-decreasing; the stream ends with `None`.
+pub trait ArrivalStream: Send {
+    /// Produces the next access, or `None` when the stream is exhausted.
+    fn next_access(&mut self) -> Option<OpenAccess>;
+}
+
+/// Open-loop driver state on one host: the arrival stream, the buffered
+/// next arrival (so the simulation can schedule its event), outstanding
+/// faults stamped at issue, and the latency histogram filled at
+/// satisfaction.
+struct OpenLoop {
+    stream: Box<dyn ArrivalStream>,
+    next: Option<OpenAccess>,
+    hist: LatencyHistogram,
+    outstanding: Vec<OpenWait>,
+    issued: u64,
+    hits: u64,
+    faults: u64,
+}
+
+/// One outstanding open-loop fault: enough to re-issue the access when
+/// its fault-retry timer fires (an unanswered request — a holder that
+/// handed consistency off mid-flight, a reply lost to the wire — would
+/// otherwise strand the waiter forever, exactly the hazard
+/// [`Calib::fault_retry`] exists for on the process side).
+struct OpenWait {
+    waiter: WaiterId,
+    issued_at: SimTime,
+    page: PageId,
+    view: View,
+    mode: MapMode,
+}
+
+/// Are `a` and `b` page requests that one broadcast reply satisfies
+/// both of? Same page, length, and want — plus same requester for
+/// directed consistency transfers.
+fn same_request(a: &Packet, b: &Packet) -> bool {
+    let (
+        Packet::PageRequest {
+            from: af,
+            page: ap,
+            length: al,
+            want: aw,
+        },
+        Packet::PageRequest {
+            from: bf,
+            page: bp,
+            length: bl,
+            want: bw,
+        },
+    ) = (a, b)
+    else {
+        return false;
+    };
+    ap == bp && al == bl && aw == bw && (*aw != Want::Consistent || af == bf)
+}
 
 /// Scheduler state of a process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +238,12 @@ pub struct HostSim {
     /// Page requests dropped at the NIC because an identical request
     /// was already queued (its broadcast reply satisfies both).
     pub requests_coalesced: u64,
+    /// Queued page requests dropped at serve time because the reply
+    /// just broadcast for an identical request satisfies them too
+    /// ([`Calib::piggyback_replies`]).
+    pub requests_piggybacked: u64,
+    /// Open-loop driver state, when a stream is attached.
+    open: Option<OpenLoop>,
     /// Sleeps requested during dispatch (drained by `finish_burst`).
     pending_sleeps: Vec<(usize, SimTime)>,
     /// Fault-retry timers armed when a process blocked on a
@@ -193,6 +284,8 @@ impl HostSim {
             frames_heard: 0,
             max_server_queue: 0,
             requests_coalesced: 0,
+            requests_piggybacked: 0,
+            open: None,
             pending_sleeps: Vec::new(),
             pending_retries: Vec::new(),
             purge_lengths: Vec::new(),
@@ -226,9 +319,165 @@ impl HostSim {
         self.procs.len()
     }
 
-    /// True when every application process has exited.
+    /// True when every application process has exited and any attached
+    /// open-loop stream is drained with no fault still outstanding.
     pub fn all_done(&self) -> bool {
         self.procs.iter().all(|p| p.state == ProcState::Done)
+            && self
+                .open
+                .as_ref()
+                .is_none_or(|ol| ol.next.is_none() && ol.outstanding.is_empty())
+    }
+
+    /// Attaches an open-loop arrival stream to this host and buffers its
+    /// first arrival so the simulation can schedule the injection event.
+    pub fn attach_open_loop(&mut self, mut stream: Box<dyn ArrivalStream>) {
+        let next = stream.next_access();
+        self.open = Some(OpenLoop {
+            stream,
+            next,
+            hist: LatencyHistogram::new(),
+            outstanding: Vec::new(),
+            issued: 0,
+            hits: 0,
+            faults: 0,
+        });
+    }
+
+    /// Arrival time of the next buffered open-loop access, if any.
+    pub fn open_next_at(&self) -> Option<SimTime> {
+        self.open
+            .as_ref()
+            .and_then(|ol| ol.next.as_ref().map(|a| a.at))
+    }
+
+    /// Injects the buffered open-loop access at `now`: stamps issue time,
+    /// runs it against the page table (a miss blocks an open waiter and
+    /// usually queues a request for the server), and buffers the next
+    /// arrival from the stream. Returns transmissions exactly like
+    /// `finish_burst`.
+    pub fn open_arrival(&mut self, now: SimTime) -> Vec<HostAction> {
+        let mut actions = Vec::new();
+        let Some(acc) = self.open.as_mut().and_then(|ol| ol.next.take()) else {
+            return actions;
+        };
+        let waiter = {
+            let ol = self.open.as_mut().expect("open loop attached");
+            let w = OPEN_WAITER_BASE + ol.issued;
+            ol.issued += 1;
+            w
+        };
+        if acc.cold && acc.mode == MapMode::ReadOnly {
+            // Force the demand path: drop_stale_copy refuses to touch a
+            // consistent holder's copy, so this only sheds snooped
+            // replicas.
+            self.table.drop_stale_copy(acc.page);
+        }
+        let mut effects = Vec::new();
+        match self
+            .table
+            .access(acc.page, acc.view, acc.mode, waiter, &mut effects)
+        {
+            Ok(AccessOutcome::Ready) => {
+                let ol = self.open.as_mut().expect("attached");
+                ol.hits += 1;
+            }
+            Ok(AccessOutcome::Blocked(_)) => {
+                let ol = self.open.as_mut().expect("attached");
+                ol.faults += 1;
+                ol.outstanding.push(OpenWait {
+                    waiter,
+                    issued_at: now,
+                    page: acc.page,
+                    view: acc.view,
+                    mode: acc.mode,
+                });
+                // Open faults arm the same recovery timer as blocked
+                // processes: their request's answerer can vanish
+                // mid-flight (consistency handed off between request and
+                // serve), and no process re-execution would ever re-send.
+                if let Some(every) = self.calib.fault_retry {
+                    self.pending_retries.push((waiter as usize, now + every, 0));
+                }
+            }
+            Err(e) => panic!("open-loop access bug: {e}"),
+        }
+        let ol = self.open.as_mut().expect("attached");
+        ol.next = ol.stream.next_access();
+        self.apply_effects(now, effects, &mut actions);
+        actions
+    }
+
+    /// A fault-retry timer fired for open-loop waiter `waiter`. Returns
+    /// `None` if the fault was already satisfied (a stale timer — waiter
+    /// ids are never reused, so presence in the outstanding list is the
+    /// whole liveness check). Otherwise abandons the wait, re-issues the
+    /// access under the *same* waiter id and issue timestamp (the
+    /// histogram must charge the retry's cost to the fault), re-arms the
+    /// timer if it blocks again, and returns the transmissions.
+    pub fn open_retry_fired(&mut self, now: SimTime, waiter: WaiterId) -> Option<Vec<HostAction>> {
+        let (page, view, mode) = {
+            let ol = self.open.as_mut()?;
+            let w = ol.outstanding.iter().find(|w| w.waiter == waiter)?;
+            (w.page, w.view, w.mode)
+        };
+        self.table.cancel_wait(page, waiter);
+        if mode == MapMode::ReadOnly {
+            // Same escalation as a process data-wait retry: shed any
+            // snooped copy so the re-execution demand-fetches and
+            // re-stamps the fabric's learned interest.
+            self.table.drop_stale_copy(page);
+        }
+        let mut effects = Vec::new();
+        let mut actions = Vec::new();
+        match self.table.access(page, view, mode, waiter, &mut effects) {
+            Ok(AccessOutcome::Ready) => {
+                // Satisfied between the wake we missed and this timer
+                // (e.g. the copy arrived without a waiting wake): stamp
+                // satisfaction now.
+                let ol = self.open.as_mut().expect("checked above");
+                if let Some(pos) = ol.outstanding.iter().position(|w| w.waiter == waiter) {
+                    let w = ol.outstanding.swap_remove(pos);
+                    ol.hist.record(now.since(w.issued_at).as_nanos());
+                }
+            }
+            Ok(AccessOutcome::Blocked(_)) => {
+                if let Some(every) = self.calib.fault_retry {
+                    self.pending_retries.push((waiter as usize, now + every, 0));
+                }
+            }
+            Err(e) => panic!("open-loop retry bug: {e}"),
+        }
+        self.apply_effects(now, effects, &mut actions);
+        Some(actions)
+    }
+
+    /// The open-loop fault-latency histogram, when a stream is attached.
+    pub fn open_hist(&self) -> Option<&LatencyHistogram> {
+        self.open.as_ref().map(|ol| &ol.hist)
+    }
+
+    /// Unsatisfied open-loop faults: `(waiter, page, mode)` per entry.
+    /// Empty after a healthy drain; the soak/debug harnesses print it
+    /// when a run ends unfinished.
+    pub fn open_outstanding(&self) -> Vec<(WaiterId, PageId, MapMode)> {
+        self.open
+            .as_ref()
+            .map(|ol| {
+                ol.outstanding
+                    .iter()
+                    .map(|w| (w.waiter, w.page, w.mode))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Open-loop accounting: `(issued, hits, faults)` accesses so far.
+    pub fn open_counts(&self) -> (u64, u64, u64) {
+        self.open
+            .as_ref()
+            .map(|ol| (ol.issued, ol.hits, ol.faults))
+            .unwrap_or((0, 0, 0))
     }
 
     /// Counters of process `i`.
@@ -273,33 +522,12 @@ impl HostSim {
     /// plus same requester for directed consistency transfers) to one
     /// already sitting in the server queue?
     fn is_duplicate_request(&self, pkt: &Packet) -> bool {
-        let Packet::PageRequest {
-            from,
-            page,
-            length,
-            want,
-        } = pkt
-        else {
+        if !matches!(pkt, Packet::PageRequest { .. }) {
             return false;
-        };
-        self.server_queue.iter().any(|w| {
-            let ServerWork::Packet(q) = w else {
-                return false;
-            };
-            let Packet::PageRequest {
-                from: qfrom,
-                page: qpage,
-                length: qlength,
-                want: qwant,
-            } = q.as_ref()
-            else {
-                return false;
-            };
-            qpage == page
-                && qlength == length
-                && qwant == want
-                && (*want != Want::Consistent || qfrom == from)
-        })
+        }
+        self.server_queue
+            .iter()
+            .any(|w| matches!(w, ServerWork::Packet(q) if same_request(pkt, q.as_ref())))
     }
 
     /// A sleep timer fired for process `proc`.
@@ -838,6 +1066,18 @@ impl HostSim {
     /// Unblocks process `w` (if still blocked): latency accounting, run
     /// queue, and the one-shot sleeper boost.
     fn wake_one(&mut self, now: SimTime, w: WaiterId) {
+        if w >= OPEN_WAITER_BASE {
+            // An open-loop fault was satisfied: stamp satisfaction time
+            // into the histogram. No scheduler state — open arrivals are
+            // injected, not executed by a process.
+            if let Some(ol) = self.open.as_mut() {
+                if let Some(pos) = ol.outstanding.iter().position(|wait| wait.waiter == w) {
+                    let wait = ol.outstanding.swap_remove(pos);
+                    ol.hist.record(now.since(wait.issued_at).as_nanos());
+                }
+            }
+            return;
+        }
         let proc = w as usize;
         let p = &mut self.procs[proc];
         if p.state == ProcState::Blocked {
@@ -897,7 +1137,42 @@ impl HostSim {
             ServerWork::Packet(pkt) => {
                 let mut effects = Vec::new();
                 self.table.handle_packet(&pkt, &mut effects);
+                if self.calib.piggyback_replies {
+                    self.piggyback_queued(pkt.as_ref(), &effects);
+                }
                 self.apply_effects(now, effects, actions);
+            }
+        }
+    }
+
+    /// Serve-time reply piggybacking ([`Calib::piggyback_replies`]): the
+    /// server just answered `served` with a broadcast `PageData` reply;
+    /// any queued requests that same reply satisfies are dropped now
+    /// instead of each costing a full serve leg. NIC-level coalescing
+    /// cannot catch these — they arrived while `served` was already
+    /// popped and being processed.
+    fn piggyback_queued(&mut self, served: &Packet, effects: &[Effect]) {
+        if !matches!(served, Packet::PageRequest { .. }) {
+            return;
+        }
+        let replied = effects
+            .iter()
+            .any(|fx| matches!(fx, Effect::Send(Packet::PageData { .. })));
+        if !replied {
+            return;
+        }
+        let before = self.server_queue.len();
+        self.server_queue.retain(|w| {
+            let ServerWork::Packet(q) = w else {
+                return true;
+            };
+            !same_request(served, q.as_ref())
+        });
+        let dropped = before - self.server_queue.len();
+        if dropped > 0 {
+            self.requests_piggybacked += dropped as u64;
+            if self.server_queue.is_empty() {
+                self.server_ready_since = None;
             }
         }
     }
@@ -1068,5 +1343,111 @@ mod tests {
         h.deliver_packet(SimTime::ZERO, request(2, 7));
         assert_eq!(h.requests_coalesced, 0);
         assert_eq!(h.frames_heard, 3);
+    }
+
+    /// Serve-time piggybacking: the broadcast reply for one request
+    /// also satisfies identical requests that queued while it was being
+    /// served, so they are dropped instead of each costing a full
+    /// 13 ms+ serve leg. NIC-level coalescing cannot catch these — the
+    /// served request was already popped when they arrived.
+    #[test]
+    fn serve_time_piggyback_drops_identical_queued_requests() {
+        let mut h = HostSim::new(
+            0,
+            Calib::sun3_sunos4().with_reply_piggyback(),
+            MetherConfig::default(),
+        );
+        h.table.create_owned(PageId::new(7));
+        h.deliver_packet(SimTime::ZERO, request(1, 7));
+        h.deliver_packet(SimTime::ZERO, request(2, 7));
+        h.deliver_packet(SimTime::ZERO, request(3, 7));
+        h.deliver_packet(SimTime::ZERO, request(1, 8)); // different page
+        assert_eq!(h.requests_coalesced, 0, "coalescing is off");
+        let t = h.dispatch(SimTime::ZERO).expect("server burst");
+        let actions = h.finish_burst(t);
+        assert!(
+            matches!(actions[..], [HostAction::Transmit(Packet::PageData { .. })]),
+            "holder answers with a broadcast reply"
+        );
+        assert_eq!(h.requests_piggybacked, 2);
+        // Only the different-page request is left to serve.
+        let t2 = h.dispatch(t).expect("one more burst");
+        h.finish_burst(t2);
+        assert_eq!(h.requests_piggybacked, 2);
+        assert!(h.dispatch(t2).is_none(), "queue drained");
+    }
+
+    /// Paper default: no piggybacking — every queued duplicate is served
+    /// individually.
+    #[test]
+    fn default_serves_queued_duplicates_individually() {
+        let mut h = host();
+        h.table.create_owned(PageId::new(7));
+        h.deliver_packet(SimTime::ZERO, request(1, 7));
+        h.deliver_packet(SimTime::ZERO, request(2, 7));
+        let t = h.dispatch(SimTime::ZERO).expect("server burst");
+        h.finish_burst(t);
+        assert_eq!(h.requests_piggybacked, 0);
+        assert!(h.dispatch(t).is_some(), "duplicate still queued");
+    }
+
+    /// One-access arrival stream for open-loop host tests.
+    struct OneShot(Option<OpenAccess>);
+
+    impl ArrivalStream for OneShot {
+        fn next_access(&mut self) -> Option<OpenAccess> {
+            self.0.take()
+        }
+    }
+
+    /// An open-loop fault is stamped at issue and at satisfaction: the
+    /// histogram records exactly the span from the injected access to
+    /// the wake the installing reply produces.
+    #[test]
+    fn open_fault_latency_stamped_issue_to_satisfaction() {
+        let mut h = host();
+        h.attach_open_loop(Box::new(OneShot(Some(OpenAccess {
+            at: SimTime::ZERO,
+            page: PageId::new(3),
+            view: View::short_demand(),
+            mode: MapMode::ReadOnly,
+            cold: false,
+        }))));
+        assert_eq!(h.open_next_at(), Some(SimTime::ZERO));
+        assert!(!h.all_done(), "buffered arrival keeps the host busy");
+
+        let actions = h.open_arrival(SimTime::ZERO);
+        assert!(actions.is_empty(), "request goes through the server");
+        assert_eq!(h.open_counts(), (1, 0, 1));
+        assert!(!h.all_done(), "outstanding fault keeps the host busy");
+
+        // The server transmits the request...
+        let t = h.dispatch(SimTime::ZERO).expect("server send burst");
+        let actions = h.finish_burst(t);
+        let HostAction::Transmit(req) = &actions[0];
+
+        // ...a remote holder answers it...
+        let mut owner = HostSim::new(1, Calib::sun3_sunos4(), MetherConfig::default());
+        owner.table.create_owned(PageId::new(3));
+        let mut fx = Vec::new();
+        owner.table.handle_packet(req, &mut fx);
+        let reply = fx
+            .into_iter()
+            .find_map(|f| match f {
+                Effect::Send(p @ Packet::PageData { .. }) => Some(p),
+                _ => None,
+            })
+            .expect("holder answers");
+
+        // ...and installing the reply wakes the open waiter, stamping
+        // the issue-to-satisfaction latency.
+        let later = t + SimDuration::from_millis(5);
+        h.deliver_packet(later, Arc::new(reply));
+        let t2 = h.dispatch(later).expect("install burst");
+        h.finish_burst(t2);
+        let hist = h.open_hist().expect("attached");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), t2.since(SimTime::ZERO).as_nanos());
+        assert!(h.all_done(), "stream drained, nothing outstanding");
     }
 }

@@ -35,13 +35,15 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+pub mod hist;
 pub mod host;
 pub mod metrics;
 pub mod process;
 mod sim;
 
 pub use calib::Calib;
-pub use host::{HostSim, ProcState, ProcTimes};
+pub use hist::LatencyHistogram;
+pub use host::{ArrivalStream, HostSim, OpenAccess, ProcState, ProcTimes};
 pub use metrics::ProtocolMetrics;
 pub use process::{DsmOp, OpResult, Step, StepCtx, Workload, WorkloadCounters};
 pub use sim::{

@@ -83,6 +83,28 @@ pub struct ProtocolMetrics {
     /// runtime counts the same condition in its node receive path).
     /// 0 when coalescing is off.
     pub requests_coalesced: u64,
+    /// Queued page requests dropped at serve time because the reply
+    /// just broadcast for an identical request satisfies them too
+    /// (`Calib::with_reply_piggyback`). 0 when piggybacking is off.
+    pub requests_piggybacked: u64,
+    /// Open-loop accesses issued across all hosts (0 when no open-loop
+    /// stream was attached).
+    pub open_accesses: u64,
+    /// Open-loop accesses that missed and faulted (stamped at issue;
+    /// satisfied ones fill the latency histogram).
+    pub open_faults: u64,
+    /// Open-loop fault-latency median, from the merged histogram.
+    pub open_p50: SimDuration,
+    /// Open-loop fault-latency 99th percentile.
+    pub open_p99: SimDuration,
+    /// Open-loop fault-latency 99.9th percentile.
+    pub open_p999: SimDuration,
+    /// Exact maximum open-loop fault latency.
+    pub open_max: SimDuration,
+    /// Per-segment server-queue high-water marks: the deepest server
+    /// work queue any member host saw (one entry on a flat topology) —
+    /// the hot-home-segment diagnostic the open-loop lens reads.
+    pub server_queue_high_water: Vec<u64>,
     /// Invariant-observer coverage for the run (sweeps run, entities
     /// checked, dirty-set high-water mark, effective stride) — what the
     /// verification layer actually looked at, instead of it being
@@ -142,6 +164,37 @@ impl fmt::Display for ProtocolMetrics {
                 "  {:<24} {} requests",
                 "Coalesced at NIC", self.requests_coalesced
             )?;
+        }
+        if self.requests_piggybacked > 0 {
+            writeln!(
+                f,
+                "  {:<24} {} requests",
+                "Piggybacked at serve", self.requests_piggybacked
+            )?;
+        }
+        if self.open_accesses > 0 {
+            writeln!(
+                f,
+                "  {:<24} {} accesses, {} faults",
+                "Open-loop traffic", self.open_accesses, self.open_faults
+            )?;
+            writeln!(
+                f,
+                "  {:<24} p50 {} / p99 {} / p999 {} / max {}",
+                "Open-loop fault latency",
+                self.open_p50,
+                self.open_p99,
+                self.open_p999,
+                self.open_max
+            )?;
+            let hot = self
+                .server_queue_high_water
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, q)| **q);
+            if let Some((seg, q)) = hot {
+                writeln!(f, "  {:<24} {} (segment {})", "Queue high-water", q, seg)?;
+            }
         }
         writeln!(
             f,
@@ -250,6 +303,14 @@ mod tests {
             space_pages: 1,
             max_server_queue: 3,
             requests_coalesced: 0,
+            requests_piggybacked: 0,
+            open_accesses: 0,
+            open_faults: 0,
+            open_p50: SimDuration::ZERO,
+            open_p99: SimDuration::ZERO,
+            open_p999: SimDuration::ZERO,
+            open_max: SimDuration::ZERO,
+            server_queue_high_water: Vec::new(),
             observer: ObserverStats::default(),
         }
     }

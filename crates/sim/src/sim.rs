@@ -54,9 +54,11 @@
 //! loop is possible by construction.
 
 use crate::calib::Calib;
-use crate::host::{HostAction, HostSim};
+use crate::hist::LatencyHistogram;
+use crate::host::{ArrivalStream, HostAction, HostSim};
 use crate::metrics::ProtocolMetrics;
 use crate::process::Workload;
+use mether_core::table::WaiterId;
 use mether_core::{HostMask, MetherConfig, Packet, PageId, SegmentLayout};
 use mether_net::{
     BridgeStats, ControlOut, EtherConfig, EtherSim, Fabric, FabricConfig, FabricEvent, SimDuration,
@@ -297,6 +299,13 @@ enum EvKind {
     /// consistent and has published. Self-rescheduling while the run
     /// lives; seeded once per host when the knob is on.
     Rebroadcast {
+        host: usize,
+    },
+    /// The next open-loop arrival on `host` is due: inject the buffered
+    /// access ([`HostSim::open_arrival`]) and schedule the following
+    /// one. Self-rescheduling while the host's stream has arrivals
+    /// left; seeded once per attached host at the first `run`.
+    OpenArrival {
         host: usize,
     },
 }
@@ -564,6 +573,77 @@ impl Simulation {
         self.hosts[host].add_process(workload)
     }
 
+    /// Attaches an open-loop arrival stream to `host`
+    /// ([`HostSim::attach_open_loop`]): its accesses are injected as sim
+    /// events at their arrival times, independent of what the host's
+    /// processes are doing. Call before [`Simulation::run`].
+    pub fn attach_open_loop(&mut self, host: usize, stream: Box<dyn ArrivalStream>) {
+        self.hosts[host].attach_open_loop(stream);
+    }
+
+    /// The deployment-wide open-loop fault-latency histogram: every
+    /// host's lane-local histogram merged (order-independent, so serial
+    /// and worker runs agree exactly).
+    pub fn open_loop_hist(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for h in &self.hosts {
+            if let Some(hist) = h.open_hist() {
+                merged.merge(hist);
+            }
+        }
+        merged
+    }
+
+    /// Deterministic digest of the open-loop run: per-host issue/hit/
+    /// fault counts folded with the merged latency histogram's digest.
+    /// Pinned by the determinism tests (same seed ≡ same digest, serial
+    /// ≡ `METHER_WORKERS=2`).
+    pub fn open_loop_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (i, host) in self.hosts.iter().enumerate() {
+            let (issued, hits, faults) = host.open_counts();
+            if issued > 0 || host.open_hist().is_some() {
+                mix(i as u64);
+                mix(issued);
+                mix(hits);
+                mix(faults);
+            }
+        }
+        mix(self.open_loop_hist().digest());
+        h
+    }
+
+    /// Per-segment server-queue high-water marks: for each segment, the
+    /// deepest server work queue any member host saw. On a flat topology
+    /// this is one entry. The open-loop SLO report reads this to spot
+    /// hot home segments.
+    pub fn server_queue_high_water(&self) -> Vec<u64> {
+        match self.layout {
+            None => vec![self
+                .hosts
+                .iter()
+                .map(|h| h.max_server_queue as u64)
+                .max()
+                .unwrap_or(0)],
+            Some(layout) => (0..layout.segments())
+                .map(|s| {
+                    layout
+                        .members(s)
+                        .into_iter()
+                        .map(|h| self.hosts[h].max_server_queue as u64)
+                        .max()
+                        .unwrap_or(0)
+                })
+                .collect(),
+        }
+    }
+
     /// Seeds `page` as created (consistent) on `host`.
     pub fn create_owned(&mut self, host: usize, page: PageId) {
         self.hosts[host].table.create_owned(page);
@@ -678,7 +758,8 @@ impl Simulation {
             EvKind::BurstEnd { host }
             | EvKind::Timer { host, .. }
             | EvKind::Retry { host, .. }
-            | EvKind::Rebroadcast { host } => layout.segment_of(*host),
+            | EvKind::Rebroadcast { host }
+            | EvKind::OpenArrival { host } => layout.segment_of(*host),
             EvKind::BridgeForward { dst, .. } => *dst,
             EvKind::Deliver { to, .. } => match to {
                 Recipients::One(h) => layout.segment_of(*h),
@@ -912,6 +993,13 @@ impl Simulation {
                     self.push(self.now + interval, EvKind::Rebroadcast { host });
                 }
             }
+            // Seed the open-loop arrival chains (one self-rescheduling
+            // event per host with an attached stream).
+            for host in 0..self.hosts.len() {
+                if let Some(at) = self.hosts[host].open_next_at() {
+                    self.push(at, EvKind::OpenArrival { host });
+                }
+            }
         }
         for h in 0..self.hosts.len() {
             self.kick(h);
@@ -1045,7 +1133,14 @@ impl Simulation {
                     self.kick(host);
                 }
                 EvKind::Retry { host, proc, epoch } => {
-                    if self.hosts[host].retry_fired(proc, epoch) {
+                    if (proc as WaiterId) >= crate::host::OPEN_WAITER_BASE {
+                        if let Some(actions) =
+                            self.hosts[host].open_retry_fired(self.now, proc as WaiterId)
+                        {
+                            self.apply(actions);
+                            self.kick(host);
+                        }
+                    } else if self.hosts[host].retry_fired(proc, epoch) {
                         self.kick(host);
                     }
                 }
@@ -1055,6 +1150,14 @@ impl Simulation {
                     }
                     if let Some(interval) = self.hosts[host].holder_rebroadcast_interval() {
                         self.push(self.now + interval, EvKind::Rebroadcast { host });
+                    }
+                }
+                EvKind::OpenArrival { host } => {
+                    let actions = self.hosts[host].open_arrival(self.now);
+                    self.apply(actions);
+                    self.kick(host);
+                    if let Some(at) = self.hosts[host].open_next_at() {
+                        self.push(at, EvKind::OpenArrival { host });
                     }
                 }
                 EvKind::BridgeTick { device, epoch } => {
@@ -1170,6 +1273,9 @@ impl Simulation {
         let mut lat_n: u64 = 0;
         let mut max_q = 0;
         let mut coalesced = 0;
+        let mut piggybacked = 0;
+        let mut open_accesses = 0;
+        let mut open_faults = 0;
         for h in &self.hosts {
             for i in 0..h.proc_count() {
                 let t = h.times(i);
@@ -1188,7 +1294,12 @@ impl Simulation {
             }
             max_q = max_q.max(h.max_server_queue);
             coalesced += h.requests_coalesced;
+            piggybacked += h.requests_piggybacked;
+            let (issued, _, faults) = h.open_counts();
+            open_accesses += issued;
+            open_faults += faults;
         }
+        let open_hist = self.open_loop_hist();
         let net = self.net_stats();
         let wall_secs = wall.as_secs_f64();
         let frames_heard_max = self.hosts.iter().map(|h| h.frames_heard).max().unwrap_or(0);
@@ -1239,6 +1350,14 @@ impl Simulation {
             space_pages,
             max_server_queue: max_q,
             requests_coalesced: coalesced,
+            requests_piggybacked: piggybacked,
+            open_accesses,
+            open_faults,
+            open_p50: SimDuration::from_nanos(open_hist.percentile(0.50)),
+            open_p99: SimDuration::from_nanos(open_hist.percentile(0.99)),
+            open_p999: SimDuration::from_nanos(open_hist.percentile(0.999)),
+            open_max: SimDuration::from_nanos(open_hist.max()),
+            server_queue_high_water: self.server_queue_high_water(),
             observer: self.observer.stats(),
         }
     }

@@ -180,6 +180,12 @@ enum LKind {
     Rebroadcast {
         host: usize,
     },
+    /// An open-loop arrival is due on `host`; mirrors the serial
+    /// `EvKind::OpenArrival` arm exactly (inject, apply, kick,
+    /// reschedule — in that order, for push-sequence identity).
+    OpenArrival {
+        host: usize,
+    },
 }
 
 struct LEv {
@@ -399,7 +405,15 @@ impl Lane {
                     self.kick(host);
                 }
                 LKind::Retry { host, proc, epoch } => {
-                    if self.hosts[host - self.lo].retry_fired(proc, epoch) {
+                    if (proc as u64) >= crate::host::OPEN_WAITER_BASE {
+                        let now = self.now;
+                        if let Some(actions) =
+                            self.hosts[host - self.lo].open_retry_fired(now, proc as u64)
+                        {
+                            self.apply(actions, env);
+                            self.kick(host);
+                        }
+                    } else if self.hosts[host - self.lo].retry_fired(proc, epoch) {
                         self.kick(host);
                     }
                 }
@@ -411,6 +425,15 @@ impl Lane {
                     if let Some(interval) = self.hosts[host - self.lo].holder_rebroadcast_interval()
                     {
                         self.push(now + interval, LKind::Rebroadcast { host });
+                    }
+                }
+                LKind::OpenArrival { host } => {
+                    let now = self.now;
+                    let actions = self.hosts[host - self.lo].open_arrival(now);
+                    self.apply(actions, env);
+                    self.kick(host);
+                    if let Some(at) = self.hosts[host - self.lo].open_next_at() {
+                        self.push(at, LKind::OpenArrival { host });
                     }
                 }
             }
@@ -732,6 +755,13 @@ impl Simulation {
                     self.push(self.now + interval, EvKind::Rebroadcast { host });
                 }
             }
+            // Seed the open-loop arrival chains exactly as the serial
+            // engine would.
+            for host in 0..self.hosts.len() {
+                if let Some(at) = self.hosts[host].open_next_at() {
+                    self.push(at, EvKind::OpenArrival { host });
+                }
+            }
         }
 
         // Partition hosts (contiguous layout blocks) and media into
@@ -813,6 +843,11 @@ impl Simulation {
                     lanes[layout.segment_of(host)]
                         .lock()
                         .push(ev.at, LKind::Rebroadcast { host });
+                }
+                EvKind::OpenArrival { host } => {
+                    lanes[layout.segment_of(host)]
+                        .lock()
+                        .push(ev.at, LKind::OpenArrival { host });
                 }
                 EvKind::Deliver { to, pkt } => {
                     // Leftover deliveries land as segment-local masks;
@@ -1065,6 +1100,7 @@ impl Simulation {
                 LKind::Timer { host, proc } => EvKind::Timer { host, proc },
                 LKind::Retry { host, proc, epoch } => EvKind::Retry { host, proc, epoch },
                 LKind::Rebroadcast { host } => EvKind::Rebroadcast { host },
+                LKind::OpenArrival { host } => EvKind::OpenArrival { host },
             };
             merged.push((at, tier, seq, kind));
         }

@@ -19,6 +19,7 @@
 pub mod ablations;
 pub mod counting;
 pub mod fabric;
+pub mod openloop;
 pub mod protocols;
 pub mod publisher;
 pub mod scale;
@@ -34,6 +35,9 @@ pub use fabric::{
     build_ring_failover, run_ring_failover, sweep_age_horizons, AgePoint, FailoverConfig,
     FailoverReport, PollUntilReader, ReturningReader,
 };
+pub use openloop::{
+    ArrivalProcess, OpenLoopConfig, OpenLoopReport, OpenLoopScenario, OpenLoopShape,
+};
 pub use protocols::{build_counting, run_counting, run_paper_protocol, Protocol};
 pub use publisher::{build_publisher_sim, Publisher};
 pub use scale::{
@@ -46,9 +50,9 @@ pub use segments::{
     sweep_segmented_solver, PollingReader, SegmentedReport, SweepPoint, WriteGraph,
 };
 pub use soak::{
-    base_seed_from_env, run_cross_engine_soak, run_large_soak, run_soak, runtime_metrics,
-    scenario_count_from_env, state_digest, CrossEngineReport, RuntimeSoakReport, SoakMix,
-    SoakReport, SoakScenario, SoakShape,
+    base_seed_from_env, run_cross_engine_soak, run_large_faulted_soak, run_large_soak, run_soak,
+    runtime_metrics, scenario_count_from_env, state_digest, CrossEngineReport, RuntimeSoakReport,
+    SoakMix, SoakReport, SoakScenario, SoakShape,
 };
 pub use solver::{
     jacobi_step, run_solver_speedup, SolverConfig, SolverWorker, SparseMatrix, SpeedupPoint,

@@ -368,6 +368,48 @@ impl SoakScenario {
         }
     }
 
+    /// Derives a **faulted large-fabric** scenario: the same 100+ device
+    /// shapes as [`SoakScenario::large_from_seed`], with a mid-run fault
+    /// schedule layered on top — one to three `BridgeDown`/`LinkDown`
+    /// events, each paired with its recovery so the fabric reconverges
+    /// and traffic can drain. The base scenario (shape, mix, aging,
+    /// loss) is exactly the fault-free large draw for the same seed, so
+    /// a faulted run that stalls is directly comparable against its
+    /// known-good twin.
+    ///
+    /// Faults force live election (a downed root must be re-elected)
+    /// and clear [`SoakScenario::must_finish`]: a large fabric's
+    /// reconvergence can legitimately outlast the run budget, and the
+    /// soak's assertion on these runs is determinism and
+    /// no-stuck-invariants, not completion.
+    pub fn large_faulted_from_seed(seed: u64) -> SoakScenario {
+        let mut base = SoakScenario::large_from_seed(seed);
+        // Distinct stream from both the regular and the large draw:
+        // "FAULT" spelled in ASCII.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4641_554c_54);
+        let topo = base.shape.build();
+        let devices = topo.bridges();
+        let mut faults: Vec<(SimDuration, FabricEvent)> = Vec::new();
+        for _ in 0..rng.gen_range(1..4) {
+            let at = SimDuration::from_millis(rng.gen_range(20..200));
+            let back = at + SimDuration::from_millis(rng.gen_range(30..120));
+            let d = rng.gen_range(0..devices as u64) as usize;
+            if rng.gen_range(0..2) == 0 {
+                faults.push((at, FabricEvent::BridgeDown(d)));
+                faults.push((back, FabricEvent::BridgeUp(d)));
+            } else {
+                let ports = topo.ports(d);
+                let segment = ports[rng.gen_range(0..ports.len() as u64) as usize];
+                faults.push((at, FabricEvent::LinkDown { device: d, segment }));
+                faults.push((back, FabricEvent::LinkUp { device: d, segment }));
+            }
+        }
+        faults.sort_by_key(|(at, _)| *at);
+        base.faults = faults;
+        base.election_live = true;
+        base
+    }
+
     /// Segments in the drawn topology.
     pub fn segments(&self) -> usize {
         self.shape.build().segments()
@@ -1013,6 +1055,14 @@ pub fn runtime_metrics(
         space_pages: 0,
         max_server_queue: 0,
         requests_coalesced: cluster.requests_coalesced(),
+        requests_piggybacked: 0,
+        open_accesses: 0,
+        open_faults: 0,
+        open_p50: SimDuration::ZERO,
+        open_p99: SimDuration::ZERO,
+        open_p999: SimDuration::ZERO,
+        open_max: SimDuration::ZERO,
+        server_queue_high_water: Vec::new(),
         // The threaded runtime has no event-sampled observer; its
         // verification is the cross-engine comparison itself.
         observer: ObserverStats::default(),
@@ -1233,6 +1283,35 @@ pub fn run_large_soak(
         .collect()
 }
 
+/// [`run_large_soak`] over the **faulted** large-fabric generator
+/// ([`SoakScenario::large_faulted_from_seed`]): 100+ device shapes with
+/// mid-run bridge/link faults and paired recoveries. Completion is not
+/// asserted (reconvergence can outlast the budget); determinism is —
+/// the digest line prints after every run so CI can pin it.
+pub fn run_large_faulted_soak(
+    base_seed: u64,
+    count: usize,
+    workers: Option<usize>,
+) -> Vec<(u64, SoakReport)> {
+    (0..count)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i as u64);
+            let scenario = SoakScenario::large_faulted_from_seed(seed);
+            println!(
+                "large-faulted-soak[{i}/{count}] seed={seed} devices={} faults={}: {scenario}",
+                scenario.devices(),
+                scenario.faults.len(),
+            );
+            let report = scenario.run(workers);
+            println!(
+                "large-faulted-soak[{i}/{count}] seed={seed}: finished={} events={} wall={} digest={:016x}",
+                report.outcome.finished, report.outcome.events, report.outcome.wall, report.digest,
+            );
+            (seed, report)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1337,6 +1416,55 @@ mod tests {
             scenarios.iter().any(|s| s.loss > 0.0),
         ] {
             assert!(probe);
+        }
+    }
+
+    #[test]
+    fn faulted_large_scenarios_pair_every_fault_with_recovery() {
+        // The faulted large draw layers a fault schedule on the exact
+        // fault-free twin: same shape/mix/aging/loss, 1..=3 down events
+        // each paired with its recovery, schedule sorted by time,
+        // devices and ports real, must_finish cleared, and the whole
+        // thing seed-deterministic.
+        for seed in 0..32u64 {
+            let s = SoakScenario::large_faulted_from_seed(seed);
+            let twin = SoakScenario::large_from_seed(seed);
+            assert_eq!(s.shape, twin.shape, "seed {seed}");
+            assert_eq!(s.mix, twin.mix, "seed {seed}");
+            assert_eq!(s.aging, twin.aging, "seed {seed}");
+            assert_eq!(s.loss, twin.loss, "seed {seed}");
+            assert!(!s.faults.is_empty() && s.faults.len() <= 6, "seed {seed}");
+            assert_eq!(s.faults.len() % 2, 0, "seed {seed}: unpaired fault");
+            assert!(!s.must_finish(), "seed {seed}");
+            assert!(s.election_live, "seed {seed}");
+            assert!(
+                s.faults.windows(2).all(|w| w[0].0 <= w[1].0),
+                "seed {seed}: schedule not sorted"
+            );
+            let topo = s.shape.build();
+            let mut downs = 0usize;
+            let mut ups = 0usize;
+            for (_, ev) in &s.faults {
+                match ev {
+                    FabricEvent::BridgeDown(d) | FabricEvent::BridgeUp(d) => {
+                        assert!(*d < topo.bridges(), "seed {seed}");
+                    }
+                    FabricEvent::LinkDown { device, segment }
+                    | FabricEvent::LinkUp { device, segment } => {
+                        assert!(topo.ports(*device).contains(segment), "seed {seed}");
+                    }
+                }
+                match ev {
+                    FabricEvent::BridgeDown(_) | FabricEvent::LinkDown { .. } => downs += 1,
+                    _ => ups += 1,
+                }
+            }
+            assert_eq!(downs, ups, "seed {seed}: recovery missing");
+            assert_eq!(
+                s,
+                SoakScenario::large_faulted_from_seed(seed),
+                "seed {seed}"
+            );
         }
     }
 

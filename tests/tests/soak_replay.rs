@@ -32,9 +32,9 @@ use mether_core::{BridgeTopology, PageId};
 use mether_net::{AgeHorizon, FabricConfig, FabricEvent, SimDuration};
 use mether_sim::{RunLimits, SimConfig, Simulation, Topology};
 use mether_workloads::{
-    base_seed_from_env, run_cross_engine_soak, run_large_soak, run_soak, scenario_count_from_env,
-    CountingConfig, DisjointPageCounter, PollingReader, Publisher, SoakMix, SoakScenario,
-    SoakShape,
+    base_seed_from_env, run_cross_engine_soak, run_large_faulted_soak, run_large_soak, run_soak,
+    scenario_count_from_env, CountingConfig, DisjointPageCounter, PollingReader, Publisher,
+    SoakMix, SoakScenario, SoakShape,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -357,6 +357,29 @@ fn ci_large_fabric_soak() {
     assert_eq!(reports.len(), count);
     for (seed, r) in &reports {
         assert!(r.outcome.finished, "large seed {seed} hit its limits");
+    }
+}
+
+/// The faulted large-fabric CI batch: the same 100+ device shapes as
+/// [`ci_large_fabric_soak`], with mid-run `BridgeDown`/`LinkDown`
+/// events and paired recoveries layered on top
+/// ([`SoakScenario::large_faulted_from_seed`]). Completion is *not*
+/// asserted — a large fabric's reconvergence can legitimately outlast
+/// the budget — but every run must replay to the same digest, and the
+/// invariant observer sweeps throughout (CI runs this with
+/// `METHER_OBSERVE=1`).
+#[test]
+fn ci_large_faulted_soak() {
+    let count = scenario_count_from_env(2);
+    let base = base_seed_from_env(0);
+    let reports = run_large_faulted_soak(base, count, None);
+    assert_eq!(reports.len(), count);
+    let replay = run_large_faulted_soak(base, count, None);
+    for ((seed, a), (_, b)) in reports.iter().zip(replay.iter()) {
+        assert_eq!(
+            a, b,
+            "faulted large seed {seed} did not replay to the same digest"
+        );
     }
 }
 
